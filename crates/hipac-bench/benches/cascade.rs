@@ -1,0 +1,59 @@
+//! E6 (§3.2): cascading rule firings produce a tree of nested
+//! transactions — measure firing cost versus cascade depth.
+//!
+//! A chain of classes `c0 … c{d}` with rules "insert into c{i} ⇒ insert
+//! into c{i+1}"; one insert into `c0` cascades down the whole chain.
+//! Expected shape: roughly linear in depth (each hop adds one
+//! subtransaction + one insert + one rule dispatch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+
+fn setup(depth: usize) -> ActiveDatabase {
+    let db = ActiveDatabase::builder().build().unwrap();
+    db.run_top(|t| {
+        for i in 0..=depth {
+            db.store().create_class(
+                t,
+                &format!("c{i}"),
+                None,
+                vec![AttrDef::new("n", ValueType::Int)],
+            )?;
+        }
+        for i in 0..depth {
+            db.rules().create_rule(
+                t,
+                RuleDef::new(format!("hop{i}"))
+                    .on(EventSpec::db(DbEventKind::Insert, Some(&format!("c{i}"))))
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: format!("c{}", i + 1),
+                        values: vec![Expr::NewAttr("n".into()).bin(BinOp::Add, Expr::lit(1))],
+                    }))),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    db
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_cascade_depth");
+    group.sample_size(20);
+    for &depth in &[0usize, 1, 2, 4, 8, 16] {
+        let db = setup(depth);
+        group.bench_function(BenchmarkId::new("insert_cascade", depth), |b| {
+            b.iter(|| {
+                db.run_top(|t| {
+                    db.store().insert(t, "c0", vec![Value::from(0)])?;
+                    Ok(())
+                })
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cascade);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! F5.1 (Figure 5.1): the functional-component interaction path —
+//! cost of one event signal flowing Object Manager → Event Detector →
+//! Rule Manager → Transaction Manager → Condition Evaluator, as the
+//! number of attached rules grows (0, 1, N), separating dispatch cost
+//! from evaluation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+use hipac_bench::workload::{seed_securities, threshold_rules, Market};
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F5_1_component_path");
+    group.sample_size(30);
+    for &rules in &[0usize, 1, 8, 64] {
+        let db = ActiveDatabase::builder().build().unwrap();
+        let market = Market::new(8, 3, 0.02);
+        let oids = seed_securities(&db, &market).unwrap();
+        if rules > 0 {
+            threshold_rules(&db, rules, false, CouplingMode::Immediate).unwrap();
+        }
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("signal_path_rules", rules), |b| {
+            b.iter(|| {
+                i = (i + 1) % oids.len();
+                db.run_top(|t| {
+                    db.store()
+                        .update(t, oids[i], &[("price", Value::from(55.0))])
+                })
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E7 (§2.1): detection cost of primitive vs composite events.
+//!
+//! Signals an external event stream through the registry with
+//! detectors for: a primitive event, a two-way disjunction, a
+//! sequence, a conjunction, and a relative temporal event. Measures
+//! per-signal dispatch cost, including the automaton stepping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac_common::{Clock, VirtualClock};
+use hipac_event::spec::TemporalSpec;
+use hipac_event::{EventRegistry, EventSpec};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn registry() -> (Arc<VirtualClock>, EventRegistry) {
+    let clock = Arc::new(VirtualClock::new());
+    let reg = EventRegistry::new(Arc::clone(&clock) as Arc<dyn Clock>);
+    reg.define_external("a", vec![]).unwrap();
+    reg.define_external("b", vec![]).unwrap();
+    (clock, reg)
+}
+
+fn bench_composite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_composite_events");
+    type SpecFn = fn() -> EventSpec;
+    let cases: Vec<(&str, SpecFn)> = vec![
+        ("primitive", || EventSpec::external("a")),
+        ("disjunction", || {
+            EventSpec::external("a").or(EventSpec::external("b"))
+        }),
+        ("sequence", || {
+            EventSpec::external("a").then(EventSpec::external("b"))
+        }),
+        ("conjunction", || {
+            EventSpec::external("a").and(EventSpec::external("b"))
+        }),
+        ("relative_temporal", || {
+            EventSpec::Temporal(TemporalSpec::Relative {
+                baseline: Box::new(EventSpec::external("a")),
+                offset: 10,
+            })
+        }),
+    ];
+    for (label, spec) in cases {
+        let (clock, reg) = registry();
+        reg.define_event(spec()).unwrap();
+        let mut flip = false;
+        group.bench_function(BenchmarkId::new("signal", label), |bch| {
+            bch.iter(|| {
+                flip = !flip;
+                let name = if flip { "a" } else { "b" };
+                reg.signal_external(name, HashMap::new(), None).unwrap();
+                clock.advance(20);
+                reg.poll_temporal().unwrap();
+            })
+        });
+    }
+    // Scaling: many subscribed composite events on one signal.
+    for &n in &[1usize, 16, 256] {
+        let (_clock, reg) = registry();
+        for _ in 0..n {
+            reg.define_event(EventSpec::external("a").then(EventSpec::external("b")))
+                .unwrap();
+        }
+        group.bench_function(BenchmarkId::new("signal_fanout", n), |bch| {
+            bch.iter(|| {
+                reg.signal_external("a", HashMap::new(), None).unwrap();
+                reg.signal_external("b", HashMap::new(), None).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composite);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E5 (§2.3/§5.5): condition evaluation as the rule base grows.
+//!
+//! Sweep the number of rules triggered by one event from 1 to 1024,
+//! comparing:
+//!
+//! * **shared** — all rules carry the *same* condition query: the
+//!   condition graph evaluates it once and serves the rest from the
+//!   shared node (multiple-query optimization);
+//! * **distinct** — every rule carries its own query: no sharing
+//!   possible;
+//! * **delta vs store** — the same sweep with conditions answerable
+//!   from the update delta (no store access) versus conditions that
+//!   must query the store.
+//!
+//! Expected shape: shared scales ~O(1) in evaluation work (the paper's
+//! motivation for condition graphs), distinct scales O(rules); delta
+//! evaluation beats store evaluation by a widening margin as data
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+use hipac_bench::workload::{seed_securities, Market};
+
+fn setup(rules: usize, shared: bool, delta: bool) -> (ActiveDatabase, Vec<ObjectId>) {
+    let db = ActiveDatabase::builder().build().unwrap();
+    let market = Market::new(64, 7, 0.05);
+    let oids = seed_securities(&db, &market).unwrap();
+    db.run_top(|t| {
+        for i in 0..rules {
+            let threshold = if shared { 1e9 } else { 1e9 + i as f64 };
+            let predicate = if delta {
+                Expr::NewAttr("price".into()).bin(BinOp::Ge, Expr::lit(threshold))
+            } else {
+                Expr::attr("price").bin(BinOp::Ge, Expr::lit(threshold))
+            };
+            db.rules().create_rule(
+                t,
+                RuleDef::new(format!("r{i}"))
+                    .on(EventSpec::on_update("stock"))
+                    .when(Query::filtered("stock", predicate))
+                    .then(Action::none()),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    (db, oids)
+}
+
+fn bench_condition_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_condition_graph");
+    group.sample_size(20);
+    for &n in &[1usize, 4, 16, 64, 256, 1024] {
+        for (label, shared, delta) in [
+            ("shared_delta", true, true),
+            ("distinct_delta", false, true),
+            ("shared_store", true, false),
+            ("distinct_store", false, false),
+        ] {
+            let (db, oids) = setup(n, shared, delta);
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| {
+                    i = (i + 1) % oids.len();
+                    db.run_top(|t| {
+                        db.store()
+                            .update(t, oids[i], &[("price", Value::from(50.0))])
+                    })
+                    .unwrap();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_condition_graph);
+criterion_main!(benches);

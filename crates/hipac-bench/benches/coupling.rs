@@ -1,0 +1,67 @@
+//! E4 (§3.2): cost of the three coupling modes.
+//!
+//! One stock update triggering one rule, with the rule's E-C coupling
+//! swept over immediate / deferred / separate. Expectation from the
+//! execution model: immediate and deferred pay the subtransaction
+//! inside the triggering transaction (deferred additionally batches at
+//! commit); separate returns to the application fastest and pushes the
+//! work onto the pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+use hipac_bench::workload::{seed_securities, Market};
+
+fn bench_coupling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_coupling_modes");
+    for (label, coupling) in [
+        ("immediate", CouplingMode::Immediate),
+        ("deferred", CouplingMode::Deferred),
+        ("separate", CouplingMode::Separate),
+    ] {
+        let db = ActiveDatabase::builder().workers(4).build().unwrap();
+        let market = Market::new(16, 42, 0.05);
+        let oids = seed_securities(&db, &market).unwrap();
+        db.run_top(|t| {
+            db.rules().create_rule(
+                t,
+                RuleDef::new("probe")
+                    .on(EventSpec::on_update("stock"))
+                    .when(Query::parse("from stock where new.price >= 0.0").unwrap())
+                    .then(Action::none())
+                    .ec(coupling),
+            )
+        })
+        .unwrap();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("update_with_rule", label), |b| {
+            b.iter(|| {
+                i = (i + 1) % oids.len();
+                db.run_top(|t| {
+                    db.store()
+                        .update(t, oids[i], &[("price", Value::from(100.0 + i as f64))])
+                })
+                .unwrap();
+            })
+        });
+        db.quiesce();
+    }
+    // Baseline: the same update with no rules at all.
+    let db = ActiveDatabase::builder().build().unwrap();
+    let market = Market::new(16, 42, 0.05);
+    let oids = seed_securities(&db, &market).unwrap();
+    let mut i = 0usize;
+    group.bench_function(BenchmarkId::new("update_with_rule", "none(baseline)"), |b| {
+        b.iter(|| {
+            i = (i + 1) % oids.len();
+            db.run_top(|t| {
+                db.store()
+                    .update(t, oids[i], &[("price", Value::from(100.0 + i as f64))])
+            })
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coupling);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! F4.1 (Figure 4.1): cost of crossing the application/DBMS interface
+//! through each of its four modules — operations on data, on
+//! transactions, on events, and application operations (a rule action
+//! calling back into the application).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipac::prelude::*;
+use hipac_bench::workload::counting_handler;
+use std::collections::HashMap;
+
+fn bench_interface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F4_1_interface_modules");
+
+    let db = ActiveDatabase::builder().build().unwrap();
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "datum",
+            None,
+            vec![AttrDef::new("v", ValueType::Int)],
+        )
+    })
+    .unwrap();
+    let oid = db
+        .run_top(|t| db.store().insert(t, "datum", vec![Value::from(0)]))
+        .unwrap();
+
+    // Module 1: operations on transactions (empty begin/commit).
+    group.bench_function("txn_begin_commit", |b| {
+        b.iter(|| {
+            let t = db.begin();
+            db.commit(t).unwrap();
+        })
+    });
+
+    // Module 2: operations on data (one update inside a transaction).
+    group.bench_function("data_update", |b| {
+        b.iter(|| {
+            db.run_top(|t| db.store().update(t, oid, &[("v", Value::from(1))]))
+                .unwrap();
+        })
+    });
+
+    // Module 3: operations on events (define once, signal many).
+    db.define_event("app_event", &["n"]).unwrap();
+    group.bench_function("event_signal_no_rules", |b| {
+        let mut args = HashMap::new();
+        args.insert("n".to_string(), Value::from(0));
+        b.iter(|| {
+            db.signal_event("app_event", args.clone(), None).unwrap();
+        })
+    });
+
+    // Module 4: application operations (event → rule → handler).
+    let counter = counting_handler(&db, "app");
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("echo")
+                .on(EventSpec::external("app_event"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "app".into(),
+                    request: "echo".into(),
+                    args: vec![("n".into(), Expr::param("n"))],
+                })),
+        )
+    })
+    .unwrap();
+    group.bench_function("event_to_application_roundtrip", |b| {
+        let mut args = HashMap::new();
+        args.insert("n".to_string(), Value::from(1));
+        b.iter(|| {
+            db.signal_event("app_event", args.clone(), None).unwrap();
+            db.quiesce();
+        })
+    });
+    assert!(counter.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_interface);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E8 (§3.1): nested-transaction overhead.
+//!
+//! * commit cost of a flat top-level transaction vs the same work
+//!   split across k nested levels (lock inheritance and version-layer
+//!   folding at each commit);
+//! * sibling-subtransaction fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac_common::{TxnId, Value};
+use hipac_object::{AttrDef, ObjectStore};
+use hipac_txn::TransactionManager;
+use std::sync::Arc;
+
+fn setup() -> (Arc<TransactionManager>, Arc<ObjectStore>, Vec<hipac_common::ObjectId>) {
+    let tm = Arc::new(TransactionManager::new());
+    let store = ObjectStore::new(Arc::clone(&tm), None).unwrap();
+    let oids = tm
+        .run_top(|t| {
+            store.create_class(
+                t,
+                "acct",
+                None,
+                vec![AttrDef::new("balance", hipac_common::ValueType::Int)],
+            )?;
+            (0..64)
+                .map(|i| store.insert(t, "acct", vec![Value::from(i)]))
+                .collect()
+        })
+        .unwrap();
+    (tm, store, oids)
+}
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_nested_transactions");
+
+    // Depth sweep: one update at the innermost level of a k-deep chain.
+    for &depth in &[0usize, 1, 2, 4, 8] {
+        let (tm, store, oids) = setup();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("depth_chain", depth), |b| {
+            b.iter(|| {
+                i = (i + 1) % oids.len();
+                let top = tm.begin();
+                let mut chain = vec![top];
+                for _ in 0..depth {
+                    chain.push(tm.begin_child(*chain.last().unwrap()).unwrap());
+                }
+                store
+                    .update(*chain.last().unwrap(), oids[i], &[("balance", Value::from(1))])
+                    .unwrap();
+                for txn in chain.iter().rev() {
+                    tm.commit(*txn).unwrap();
+                }
+            })
+        });
+    }
+
+    // Sibling fan-out: n sibling subtransactions each updating one
+    // distinct object, then the parent commits.
+    for &n in &[1usize, 4, 16, 64] {
+        let (tm, store, oids) = setup();
+        group.bench_function(BenchmarkId::new("sibling_fanout", n), |b| {
+            b.iter(|| {
+                let top = tm.begin();
+                for (k, oid) in oids.iter().take(n).enumerate() {
+                    tm.run_child(top, |child: TxnId| {
+                        store.update(child, *oid, &[("balance", Value::from(k as i64))])
+                    })
+                    .unwrap();
+                }
+                tm.commit(top).unwrap();
+            })
+        });
+    }
+
+    // Read visibility through deep pending chains. The chain is built
+    // once, outside the routine (Criterion invokes the routine closure
+    // several times, and a second chain would block on the first one's
+    // write locks).
+    {
+        let (tm, store, oids) = setup();
+        let top = tm.begin();
+        let mut cur = top;
+        for _ in 0..8 {
+            store
+                .update(cur, oids[0], &[("balance", Value::from(7))])
+                .unwrap();
+            cur = tm.begin_child(cur).unwrap();
+        }
+        group.bench_function("deep_read_through_layers", |b| {
+            b.iter(|| {
+                store.get(cur, oids[0]).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E9 (§5.1): Object Manager throughput — DML and queries, index vs
+//! scan, at several extent sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+use std::collections::HashMap;
+
+fn populated(n: usize) -> (ActiveDatabase, Vec<ObjectId>) {
+    let db = ActiveDatabase::builder().build().unwrap();
+    let oids = db
+        .run_top(|t| {
+            db.store().create_class(
+                t,
+                "item",
+                None,
+                vec![
+                    AttrDef::new("sku", ValueType::Str).indexed(),
+                    AttrDef::new("qty", ValueType::Int),
+                    AttrDef::new("note", ValueType::Str).nullable(),
+                ],
+            )?;
+            (0..n)
+                .map(|i| {
+                    db.store().insert(
+                        t,
+                        "item",
+                        vec![
+                            Value::from(format!("SKU{i:06}")),
+                            Value::from((i % 100) as i64),
+                            Value::Null,
+                        ],
+                    )
+                })
+                .collect()
+        })
+        .unwrap();
+    (db, oids)
+}
+
+fn bench_object_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_object_manager");
+    group.sample_size(30);
+
+    // DML costs at a fixed extent.
+    let (db, oids) = populated(10_000);
+    let mut i = 0usize;
+    group.bench_function("update_one_txn", |b| {
+        b.iter(|| {
+            i = (i + 1) % oids.len();
+            db.run_top(|t| db.store().update(t, oids[i], &[("qty", Value::from(1))]))
+                .unwrap();
+        })
+    });
+    group.bench_function("insert_one_txn", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            db.run_top(|t| {
+                db.store().insert(
+                    t,
+                    "item",
+                    vec![
+                        Value::from(format!("NEW{k:08}")),
+                        Value::from(0),
+                        Value::Null,
+                    ],
+                )
+            })
+            .unwrap();
+        })
+    });
+    group.bench_function("get_by_oid", |b| {
+        b.iter(|| {
+            i = (i + 1) % oids.len();
+            db.run_top(|t| db.store().get(t, oids[i])).unwrap();
+        })
+    });
+
+    // Index probe vs full scan, sweeping the extent size. The paper's
+    // §2.3 demands "efficient condition evaluation"; this is the
+    // access-path half of that.
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (db, _oids) = populated(n);
+        let target = format!("SKU{:06}", n / 2);
+        let indexed = Query::parse(&format!("from item where sku = \"{target}\"")).unwrap();
+        // qty is not indexed, so this predicate forces a full scan.
+        let scan = Query::parse("from item where qty = 7").unwrap();
+        let params: HashMap<String, Value> = HashMap::new();
+        group.bench_function(BenchmarkId::new("query_index_eq", n), |b| {
+            b.iter(|| {
+                db.run_top(|t| db.store().query(t, &indexed, Some(&params)))
+                    .unwrap();
+            })
+        });
+        group.bench_function(BenchmarkId::new("query_full_scan", n), |b| {
+            b.iter(|| {
+                db.run_top(|t| db.store().query(t, &scan, Some(&params)))
+                    .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_object_manager);
+criterion_main!(benches);

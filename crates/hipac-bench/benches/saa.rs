@@ -1,0 +1,107 @@
+//! F4.2 (Figure 4.2): the Securities Analyst's Assistant, end to end —
+//! quote ingestion throughput with the full SAA rule set installed
+//! (ticker-window display rule + threshold trading rule + trade
+//! display rule), versus a passive database ingesting the same quotes.
+//!
+//! The paper's qualitative claim: all application interaction flows
+//! through rule firings, with "condition and action together in a
+//! separate transaction" keeping the ticker path fast. The measurable
+//! shape: active ingestion costs a bounded constant factor over
+//! passive ingestion, and the display/trade work happens off the
+//! ticker's critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+use hipac_bench::workload::{apply_quote, counting_handler, seed_securities, Market};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+fn saa_db(with_rules: bool) -> (ActiveDatabase, Vec<ObjectId>, Arc<AtomicU64>) {
+    let db = ActiveDatabase::builder().workers(4).build().unwrap();
+    let market = Market::new(32, 1989, 0.02);
+    let oids = seed_securities(&db, &market).unwrap();
+    let displays = counting_handler(&db, "display");
+    let _trades = counting_handler(&db, "trader");
+    db.define_event("trade_executed", &["symbol", "shares"]).unwrap();
+    if with_rules {
+        db.run_top(|t| {
+            db.rules().create_rule(
+                t,
+                RuleDef::new("ticker-window")
+                    .on(EventSpec::on_update("stock"))
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "display".into(),
+                        request: "display_quote".into(),
+                        args: vec![
+                            ("symbol".into(), Expr::NewAttr("symbol".into())),
+                            ("price".into(), Expr::NewAttr("price".into())),
+                        ],
+                    }))
+                    .detached(),
+            )?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("buy-threshold")
+                    .on(EventSpec::on_update("stock"))
+                    .when(Query::parse(
+                        "from stock where new.price >= 105.0 and old.price < 105.0",
+                    )?)
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "trader".into(),
+                        request: "buy".into(),
+                        args: vec![("symbol".into(), Expr::NewAttr("symbol".into()))],
+                    }))
+                    .detached(),
+            )?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("trade-display")
+                    .on(EventSpec::external("trade_executed"))
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "display".into(),
+                        request: "display_trade".into(),
+                        args: vec![("symbol".into(), Expr::param("symbol"))],
+                    }))
+                    .detached(),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    (db, oids, displays)
+}
+
+fn bench_saa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("F4_2_saa");
+    group.sample_size(20);
+    for (label, with_rules) in [("active_saa", true), ("passive_baseline", false)] {
+        let (db, oids, _displays) = saa_db(with_rules);
+        let mut market = Market::new(32, 7, 0.02);
+        group.bench_function(BenchmarkId::new("quote_ingest", label), |b| {
+            b.iter(|| {
+                let q = market.quote();
+                apply_quote(&db, &oids, q).unwrap();
+            })
+        });
+        db.quiesce();
+    }
+    // End-to-end latency: one quote through update → rule → display,
+    // waiting for the separate firing to land.
+    {
+        let (db, oids, displays) = saa_db(true);
+        let mut market = Market::new(32, 9, 0.02);
+        group.bench_function("quote_to_display_latency", |b| {
+            b.iter(|| {
+                let before = displays.load(std::sync::atomic::Ordering::Relaxed);
+                let q = market.quote();
+                apply_quote(&db, &oids, q).unwrap();
+                db.quiesce();
+                assert!(displays.load(std::sync::atomic::Ordering::Relaxed) > before);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saa);
+criterion_main!(benches);

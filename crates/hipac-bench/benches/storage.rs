@@ -1,0 +1,148 @@
+//! E10: storage substrate microbenchmarks — WAL commit latency, B+tree
+//! operations, durable-store put/get, checkpoint and recovery time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac_common::TxnId;
+use hipac_storage::btree::BTree;
+use hipac_storage::buffer::BufferPool;
+use hipac_storage::disk::DiskManager;
+use hipac_storage::{DurableStore, StoreOp};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static UNIQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hipac-bench-storage/{name}-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_storage");
+    group.sample_size(20);
+
+    // Durable commit (WAL append + fsync + apply).
+    for &batch in &[1usize, 16, 256] {
+        let dir = tmpdir("commit");
+        let store = DurableStore::open(&dir).unwrap();
+        let mut k = 0u64;
+        group.bench_function(BenchmarkId::new("durable_commit_ops", batch), |b| {
+            b.iter(|| {
+                let ops: Vec<StoreOp> = (0..batch)
+                    .map(|j| {
+                        k += 1;
+                        StoreOp::Put {
+                            key: format!("key{:012}", k * 1000 + j as u64).into_bytes(),
+                            value: vec![7u8; 100],
+                        }
+                    })
+                    .collect();
+                store.commit(TxnId(k), &ops).unwrap();
+            })
+        });
+    }
+
+    // Point reads from a populated store.
+    {
+        let dir = tmpdir("get");
+        let store = DurableStore::open(&dir).unwrap();
+        let ops: Vec<StoreOp> = (0..10_000u64)
+            .map(|i| StoreOp::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: vec![1u8; 64],
+            })
+            .collect();
+        store.commit(TxnId(1), &ops).unwrap();
+        store.checkpoint().unwrap();
+        let mut i = 0u64;
+        group.bench_function("durable_get", |b| {
+            b.iter(|| {
+                i = (i + 7919) % 10_000;
+                store.get(&i.to_be_bytes()).unwrap().unwrap();
+            })
+        });
+    }
+
+    // B+tree insert/get (buffered, no fsync).
+    {
+        let dir = tmpdir("btree");
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(DiskManager::open(&dir.join("t.db")).unwrap()),
+            256,
+        ));
+        let tree = BTree::create(pool).unwrap();
+        let mut k = 0u64;
+        group.bench_function("btree_insert", |b| {
+            b.iter(|| {
+                k += 1;
+                tree.insert(&k.to_be_bytes(), &[5u8; 64]).unwrap();
+            })
+        });
+        let mut i = 0u64;
+        group.bench_function("btree_get", |b| {
+            b.iter(|| {
+                i = (i % k).wrapping_add(1);
+                tree.get(&i.to_be_bytes()).unwrap();
+            })
+        });
+    }
+
+    // Recovery: reopen a store whose WAL holds N unapplied committed
+    // batches (crash-simulation failpoint), measuring replay cost.
+    for &batches in &[10usize, 100, 1000] {
+        group.bench_function(BenchmarkId::new("recovery_replay", batches), |b| {
+            b.iter_batched(
+                || {
+                    let dir = tmpdir("recover");
+                    {
+                        let store = DurableStore::open(&dir).unwrap();
+                        for i in 0..batches as u64 {
+                            store
+                                .commit_log_only_for_crash_test(
+                                    TxnId(i + 1),
+                                    &[StoreOp::Put {
+                                        key: i.to_be_bytes().to_vec(),
+                                        value: vec![9u8; 64],
+                                    }],
+                                )
+                                .unwrap();
+                        }
+                    }
+                    dir
+                },
+                |dir| {
+                    let store = DurableStore::open(&dir).unwrap();
+                    assert_eq!(store.len().unwrap(), batches);
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Checkpoint cost vs live data volume.
+    for &keys in &[1_000usize, 10_000] {
+        let dir = tmpdir("ckpt");
+        let store = DurableStore::open(&dir).unwrap();
+        let ops: Vec<StoreOp> = (0..keys as u64)
+            .map(|i| StoreOp::Put {
+                key: i.to_be_bytes().to_vec(),
+                value: vec![3u8; 128],
+            })
+            .collect();
+        store.commit(TxnId(1), &ops).unwrap();
+        group.bench_function(BenchmarkId::new("checkpoint", keys), |b| {
+            b.iter(|| store.checkpoint().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

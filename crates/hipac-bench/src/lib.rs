@@ -1,0 +1,5 @@
+//! Benchmark harness crate: workload generators shared by the Criterion
+//! benches (see `benches/`) that regenerate the experiments indexed in
+//! `DESIGN.md` §5 / `EXPERIMENTS.md`.
+
+pub mod workload;

@@ -1,0 +1,183 @@
+//! Workload generators for the benchmark suite.
+//!
+//! The paper's SAA application consumed a live wire-service price feed;
+//! per DESIGN.md we substitute a seeded synthetic quote stream with the
+//! same shape (symbol, new price) and configurable volatility.
+
+use hipac::prelude::*;
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// A synthetic market: `n` securities with geometric random-walk
+/// prices.
+pub struct Market {
+    pub symbols: Vec<String>,
+    prices: Vec<f64>,
+    rng: StdRng,
+    volatility: f64,
+}
+
+impl Market {
+    /// Deterministic market with `n` symbols starting at 100.0.
+    pub fn new(n: usize, seed: u64, volatility: f64) -> Market {
+        Market {
+            symbols: (0..n).map(|i| format!("SYM{i:04}")).collect(),
+            prices: vec![100.0; n],
+            rng: StdRng::seed_from_u64(seed),
+            volatility,
+        }
+    }
+
+    /// Next quote: (symbol index, new price).
+    pub fn quote(&mut self) -> (usize, f64) {
+        let i = self.rng.gen_range(0..self.symbols.len());
+        let step = 1.0 + self.volatility * (self.rng.gen::<f64>() - 0.5);
+        self.prices[i] = (self.prices[i] * step).max(0.01);
+        (i, self.prices[i])
+    }
+
+    /// Current price of symbol `i`.
+    pub fn price(&self, i: usize) -> f64 {
+        self.prices[i]
+    }
+}
+
+/// Create the SAA securities schema and populate `n` stocks; returns
+/// their object ids in symbol order.
+pub fn seed_securities(db: &ActiveDatabase, market: &Market) -> Result<Vec<ObjectId>> {
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "security",
+            None,
+            vec![
+                AttrDef::new("symbol", ValueType::Str).indexed(),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )?;
+        db.store().create_class(
+            t,
+            "stock",
+            Some("security"),
+            vec![AttrDef::new("exchange", ValueType::Str).nullable()],
+        )?;
+        let mut oids = Vec::with_capacity(market.symbols.len());
+        for (i, sym) in market.symbols.iter().enumerate() {
+            oids.push(db.store().insert(
+                t,
+                "stock",
+                vec![
+                    Value::from(sym.as_str()),
+                    Value::from(market.price(i)),
+                    Value::from("NYSE"),
+                ],
+            )?);
+        }
+        Ok(oids)
+    })
+}
+
+/// Apply one ticker quote: update the stock's price in its own
+/// transaction (the Ticker program of §4.2).
+pub fn apply_quote(
+    db: &ActiveDatabase,
+    oids: &[ObjectId],
+    quote: (usize, f64),
+) -> Result<()> {
+    db.run_top(|t| {
+        db.store()
+            .update(t, oids[quote.0], &[("price", Value::from(quote.1))])
+    })
+}
+
+/// Build a fleet of threshold rules ("buy when price crosses K"), one
+/// per rule index, optionally all sharing one condition (for the
+/// condition-graph sharing experiment).
+pub fn threshold_rules(
+    db: &ActiveDatabase,
+    count: usize,
+    shared_condition: bool,
+    coupling: CouplingMode,
+) -> Result<Vec<RuleId>> {
+    db.run_top(|t| {
+        let mut ids = Vec::with_capacity(count);
+        for i in 0..count {
+            let threshold = if shared_condition {
+                1_000_000.0 // never satisfied; we measure evaluation cost
+            } else {
+                1_000_000.0 + i as f64
+            };
+            let rule = RuleDef::new(format!("threshold-{i}"))
+                .on(EventSpec::on_update("stock"))
+                .when(Query::filtered(
+                    "stock",
+                    Expr::NewAttr("price".into()).bin(BinOp::Ge, Expr::lit(threshold)),
+                ))
+                .then(Action::none())
+                .ec(coupling);
+            ids.push(db.rules().create_rule(t, rule)?);
+        }
+        Ok(ids)
+    })
+}
+
+/// A no-op application handler counting invocations.
+pub fn counting_handler(db: &ActiveDatabase, name: &str) -> Arc<std::sync::atomic::AtomicU64> {
+    let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let c = Arc::clone(&counter);
+    db.register_handler(name, move |_req: &str, _args: &Args| {
+        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    });
+    counter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn market_is_deterministic() {
+        let mut a = Market::new(4, 7, 0.02);
+        let mut b = Market::new(4, 7, 0.02);
+        for _ in 0..100 {
+            assert_eq!(a.quote(), b.quote());
+        }
+        assert!(a.price(0) > 0.0);
+    }
+
+    #[test]
+    fn seed_and_quote_roundtrip() {
+        let db = ActiveDatabase::open_in_memory().unwrap();
+        let mut market = Market::new(8, 1, 0.05);
+        let oids = seed_securities(&db, &market).unwrap();
+        assert_eq!(oids.len(), 8);
+        for _ in 0..20 {
+            let q = market.quote();
+            apply_quote(&db, &oids, q).unwrap();
+        }
+        db.run_top(|t| {
+            let rows = db.store().query(t, &Query::all("stock"), None)?;
+            assert_eq!(rows.len(), 8);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn threshold_rules_install() {
+        let db = ActiveDatabase::open_in_memory().unwrap();
+        let market = Market::new(2, 1, 0.05);
+        let oids = seed_securities(&db, &market).unwrap();
+        let ids = threshold_rules(&db, 16, true, CouplingMode::Immediate).unwrap();
+        assert_eq!(ids.len(), 16);
+        // Updates evaluate but never satisfy.
+        apply_quote(&db, &oids, (0, 50.0)).unwrap();
+        use std::sync::atomic::Ordering;
+        assert!(db.rules().stats.rules_triggered.load(Ordering::Relaxed) >= 16);
+        assert_eq!(
+            db.rules().stats.conditions_satisfied.load(Ordering::Relaxed),
+            0
+        );
+    }
+}

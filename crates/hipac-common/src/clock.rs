@@ -1,0 +1,168 @@
+//! Clocks for the temporal event detector (§2.1 of the paper).
+//!
+//! Temporal events (absolute, relative, periodic) need a notion of "now".
+//! Production code uses [`SystemClock`]; tests, benchmarks and the
+//! simulated workloads use [`VirtualClock`], which only moves when it is
+//! told to — making temporal rule firings fully deterministic.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A point in time: microseconds since the database epoch.
+///
+/// For [`SystemClock`] the epoch is the UNIX epoch; for [`VirtualClock`]
+/// it is whatever zero means to the test.
+pub type Timestamp = u64;
+
+/// Source of "now" for the temporal event detector.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds since the clock's epoch.
+    fn now(&self) -> Timestamp;
+}
+
+/// Wall-clock time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A manually advanced clock.
+///
+/// `advance` and `set` never move the clock backwards; this mirrors real
+/// clocks enough for the temporal detector, whose scheduling queue
+/// assumes monotonicity.
+#[derive(Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+    /// Observers notified on every forward movement. The temporal event
+    /// detector registers itself here so that rules with temporal events
+    /// fire as a side effect of advancing the clock.
+    #[allow(clippy::type_complexity)]
+    observers: Mutex<Vec<Box<dyn Fn(Timestamp) + Send + Sync>>>,
+}
+
+impl VirtualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `start`.
+    pub fn starting_at(start: Timestamp) -> Self {
+        let c = Self::new();
+        c.now.store(start, Ordering::SeqCst);
+        c
+    }
+
+    /// Move the clock forward by `delta` microseconds and notify
+    /// observers. Returns the new time.
+    pub fn advance(&self, delta: u64) -> Timestamp {
+        let t = self.now.fetch_add(delta, Ordering::SeqCst) + delta;
+        self.notify(t);
+        t
+    }
+
+    /// Set the clock to `t` if that is a forward movement; backwards
+    /// movements are ignored (the clock is monotone). Returns the
+    /// effective current time.
+    pub fn set(&self, t: Timestamp) -> Timestamp {
+        let mut cur = self.now.load(Ordering::SeqCst);
+        loop {
+            if t <= cur {
+                return cur;
+            }
+            match self
+                .now
+                .compare_exchange(cur, t, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => {
+                    self.notify(t);
+                    return t;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Register an observer called with the new time after every forward
+    /// movement.
+    pub fn observe(&self, f: impl Fn(Timestamp) + Send + Sync + 'static) {
+        self.observers.lock().push(Box::new(f));
+    }
+
+    fn notify(&self, t: Timestamp) {
+        // Snapshot under the lock, call outside it, so observers may
+        // re-enter the clock (e.g. read `now`).
+        let observers = self.observers.lock();
+        for f in observers.iter() {
+            f(t);
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Timestamp {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn system_clock_is_roughly_monotone() {
+        let c = SystemClock;
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a > 1_000_000_000_000_000); // after ~2001 in micros
+    }
+
+    #[test]
+    fn virtual_clock_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(100), 100);
+        assert_eq!(c.advance(50), 150);
+        assert_eq!(c.now(), 150);
+    }
+
+    #[test]
+    fn virtual_clock_set_is_monotone() {
+        let c = VirtualClock::starting_at(1000);
+        assert_eq!(c.set(500), 1000); // backwards ignored
+        assert_eq!(c.set(2000), 2000);
+        assert_eq!(c.now(), 2000);
+    }
+
+    #[test]
+    fn observers_fire_on_movement() {
+        let c = VirtualClock::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let last = Arc::new(AtomicU64::new(0));
+        {
+            let count = Arc::clone(&count);
+            let last = Arc::clone(&last);
+            c.observe(move |t| {
+                count.fetch_add(1, Ordering::SeqCst);
+                last.store(t, Ordering::SeqCst);
+            });
+        }
+        c.advance(10);
+        c.set(5); // no movement, no notification
+        c.set(42);
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        assert_eq!(last.load(Ordering::SeqCst), 42);
+    }
+}

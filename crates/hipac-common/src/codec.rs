@@ -1,0 +1,336 @@
+//! Compact binary codec for [`Value`]s and primitives.
+//!
+//! Used by the storage engine to serialize object records into slotted
+//! pages and by the write-ahead log for before/after images. The format
+//! is self-describing (a one-byte tag per value) and length-prefixed, so
+//! records can be decoded without schema access — which is what recovery
+//! needs.
+//!
+//! Integers use a zig-zag varint encoding so small values (the common
+//! case for ids and counters) take one byte.
+
+use crate::error::{HipacError, Result};
+use crate::id::ObjectId;
+use crate::value::Value;
+
+// Value tags. Stable on disk: never renumber, only append.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BYTES: u8 = 6;
+const TAG_REF: u8 = 7;
+const TAG_TIMESTAMP: u8 = 8;
+const TAG_LIST: u8 = 9;
+
+/// Append an unsigned LEB128 varint.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint, advancing `pos`.
+pub fn get_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| HipacError::Corruption("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(HipacError::Corruption("varint overflow".into()));
+        }
+        result |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            // Reject non-canonical zero continuation bytes beyond 64 bits.
+            if shift == 63 && byte > 1 {
+                return Err(HipacError::Corruption("varint overflow".into()));
+            }
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Zig-zag encode a signed integer so small magnitudes are small.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Append a signed varint.
+pub fn put_ivarint(buf: &mut Vec<u8>, v: i64) {
+    put_uvarint(buf, zigzag(v));
+}
+
+/// Read a signed varint, advancing `pos`.
+pub fn get_ivarint(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(get_uvarint(buf, pos)?))
+}
+
+/// Append a length-prefixed byte slice.
+pub fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_uvarint(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+/// Read a length-prefixed byte slice, advancing `pos`.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    let len = get_uvarint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| HipacError::Corruption("length overflow".into()))?;
+    if end > buf.len() {
+        return Err(HipacError::Corruption("truncated byte string".into()));
+    }
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+/// Append one [`Value`].
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(false) => buf.push(TAG_BOOL_FALSE),
+        Value::Bool(true) => buf.push(TAG_BOOL_TRUE),
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            put_ivarint(buf, *i);
+        }
+        Value::Float(f) => {
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(TAG_STR);
+            put_bytes(buf, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.push(TAG_BYTES);
+            put_bytes(buf, b);
+        }
+        Value::Ref(id) => {
+            buf.push(TAG_REF);
+            put_uvarint(buf, id.raw());
+        }
+        Value::Timestamp(t) => {
+            buf.push(TAG_TIMESTAMP);
+            put_uvarint(buf, *t);
+        }
+        Value::List(items) => {
+            buf.push(TAG_LIST);
+            put_uvarint(buf, items.len() as u64);
+            for item in items {
+                put_value(buf, item);
+            }
+        }
+    }
+}
+
+/// Read one [`Value`], advancing `pos`.
+pub fn get_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| HipacError::Corruption("truncated value tag".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => Ok(Value::Int(get_ivarint(buf, pos)?)),
+        TAG_FLOAT => {
+            let end = *pos + 8;
+            if end > buf.len() {
+                return Err(HipacError::Corruption("truncated float".into()));
+            }
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&buf[*pos..end]);
+            *pos = end;
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(raw))))
+        }
+        TAG_STR => {
+            let b = get_bytes(buf, pos)?;
+            let s = std::str::from_utf8(b)
+                .map_err(|_| HipacError::Corruption("invalid utf-8 in string".into()))?;
+            Ok(Value::Str(s.to_owned()))
+        }
+        TAG_BYTES => Ok(Value::Bytes(get_bytes(buf, pos)?.to_vec())),
+        TAG_REF => Ok(Value::Ref(ObjectId(get_uvarint(buf, pos)?))),
+        TAG_TIMESTAMP => Ok(Value::Timestamp(get_uvarint(buf, pos)?)),
+        TAG_LIST => {
+            let n = get_uvarint(buf, pos)? as usize;
+            // Guard against hostile lengths: each element takes >= 1 byte.
+            if n > buf.len().saturating_sub(*pos) {
+                return Err(HipacError::Corruption("list length exceeds input".into()));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(get_value(buf, pos)?);
+            }
+            Ok(Value::List(items))
+        }
+        other => Err(HipacError::Corruption(format!("unknown value tag {other}"))),
+    }
+}
+
+/// Encode a row (sequence of values) with a leading count.
+pub fn encode_row(values: &[Value]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 * values.len() + 2);
+    put_uvarint(&mut buf, values.len() as u64);
+    for v in values {
+        put_value(&mut buf, v);
+    }
+    buf
+}
+
+/// Decode a row produced by [`encode_row`]. Fails on trailing garbage.
+pub fn decode_row(buf: &[u8]) -> Result<Vec<Value>> {
+    let mut pos = 0;
+    let n = get_uvarint(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_sub(pos) {
+        return Err(HipacError::Corruption("row arity exceeds input".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_value(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(HipacError::Corruption(format!(
+            "trailing {} bytes after row",
+            buf.len() - pos
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &v);
+        let mut pos = 0;
+        let back = get_value(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::Int(0));
+        roundtrip(Value::Int(-1));
+        roundtrip(Value::Int(i64::MIN));
+        roundtrip(Value::Int(i64::MAX));
+        roundtrip(Value::Float(3.5));
+        roundtrip(Value::Float(-0.0));
+        roundtrip(Value::Str("héllo".into()));
+        roundtrip(Value::Bytes(vec![0, 255, 128]));
+        roundtrip(Value::Ref(ObjectId(u64::MAX)));
+        roundtrip(Value::Timestamp(123456789));
+        roundtrip(Value::List(vec![
+            Value::Int(1),
+            Value::List(vec![Value::Str("nested".into())]),
+        ]));
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Float(f64::NAN));
+        let mut pos = 0;
+        match get_value(&buf, &mut pos).unwrap() {
+            Value::Float(f) => assert!(f.is_nan()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -64, 63] {
+            let mut buf = Vec::new();
+            put_ivarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_ivarint(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn small_ints_are_one_byte() {
+        let mut buf = Vec::new();
+        put_ivarint(&mut buf, 5);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Str("hello world".into()));
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(get_value(&buf[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_corruption() {
+        let buf = vec![200u8];
+        let mut pos = 0;
+        assert!(matches!(
+            get_value(&buf, &mut pos),
+            Err(HipacError::Corruption(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_list_length_rejected() {
+        let mut buf = vec![TAG_LIST];
+        put_uvarint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert!(get_value(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn row_roundtrip_and_trailing_garbage() {
+        let row = vec![Value::Int(1), Value::Str("a".into()), Value::Null];
+        let mut buf = encode_row(&row);
+        assert_eq!(decode_row(&buf).unwrap(), row);
+        buf.push(0);
+        assert!(decode_row(&buf).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = vec![TAG_STR];
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        let mut pos = 0;
+        assert!(get_value(&buf, &mut pos).is_err());
+    }
+}

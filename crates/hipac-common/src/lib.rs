@@ -1,0 +1,22 @@
+//! Shared substrate for the HiPAC active DBMS reproduction.
+//!
+//! This crate contains the vocabulary types used by every other crate in
+//! the workspace: strongly typed identifiers, the dynamic [`Value`] type
+//! that object attributes and event arguments are made of, the error
+//! type, logical/virtual clocks used by the temporal event detector, and
+//! a compact binary codec used by the storage engine.
+//!
+//! Nothing in this crate knows about rules, events, transactions or
+//! objects; it is the bottom of the dependency graph.
+
+pub mod clock;
+pub mod codec;
+pub mod error;
+pub mod id;
+pub mod sortkey;
+pub mod value;
+
+pub use clock::{Clock, SystemClock, Timestamp, VirtualClock};
+pub use error::{HipacError, Result};
+pub use id::{AttrId, ClassId, EventId, ObjectId, RuleId, TxnId};
+pub use value::{Value, ValueType};

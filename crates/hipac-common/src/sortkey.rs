@@ -1,0 +1,278 @@
+//! Order-preserving ("memcomparable") byte encoding of [`Value`]s.
+//!
+//! `encode_key(a) < encode_key(b)` (bytewise) **iff** `a < b` under
+//! [`Value`]'s total order, and the encodings are equal iff the values
+//! are equal. This lets the storage engine's B+tree and any byte-ordered
+//! index work directly on encoded keys without decoding.
+//!
+//! Layout per value: a type-rank byte followed by a rank-specific
+//! payload. Numbers (`Int` and `Float` share a rank because they compare
+//! numerically) are encoded as three fixed 8-byte big-endian components:
+//!
+//! 1. the integer part as an order-preserving `i64` (sign bit flipped),
+//!    clamped for floats outside the `i64` range,
+//! 2. the fractional part in `[0,1)` as order-preserving `f64` bits
+//!    (with sentinels −1.0 / +∞ / NaN for out-of-range and NaN floats),
+//! 3. an order-preserving `f64`-bits tiebreaker distinguishing huge
+//!    floats that clamp to the same integer part.
+//!
+//! Variable-length payloads (strings, byte strings, lists) are escaped
+//! with the classic `0x00 0xFF` stuffing + `0x00 0x00` terminator so a
+//! prefix never compares greater than its extension.
+
+use crate::id::ObjectId;
+use crate::value::Value;
+
+const RANK_NULL: u8 = 0;
+const RANK_BOOL: u8 = 1;
+const RANK_NUM: u8 = 2;
+const RANK_TIMESTAMP: u8 = 3;
+const RANK_STR: u8 = 4;
+const RANK_BYTES: u8 = 5;
+const RANK_REF: u8 = 6;
+const RANK_LIST: u8 = 7;
+
+/// Flip the sign bit so that i64 order equals unsigned byte order.
+#[inline]
+fn sortable_i64(v: i64) -> u64 {
+    (v as u64) ^ (1u64 << 63)
+}
+
+/// Standard trick producing a total order over f64 bit patterns that
+/// matches numeric order (with all NaNs mapped to one largest value).
+#[inline]
+fn sortable_f64(v: f64) -> u64 {
+    let v = if v.is_nan() { f64::NAN } else { v };
+    let bits = v.to_bits();
+    if bits >> 63 == 1 {
+        // negative: flip all bits
+        !bits
+    } else {
+        // positive: flip the sign bit
+        bits ^ (1u64 << 63)
+    }
+}
+
+/// Append the escaped form of `data`: 0x00 bytes become 0x00 0xFF, and
+/// the sequence ends with 0x00 0x00.
+fn put_escaped(out: &mut Vec<u8>, data: &[u8]) {
+    for &b in data {
+        if b == 0 {
+            out.push(0);
+            out.push(0xFF);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0);
+    out.push(0);
+}
+
+fn put_numeric(out: &mut Vec<u8>, int_part: i64, frac: f64, tiebreak: f64) {
+    out.extend_from_slice(&sortable_i64(int_part).to_be_bytes());
+    out.extend_from_slice(&sortable_f64(frac).to_be_bytes());
+    out.extend_from_slice(&sortable_f64(tiebreak).to_be_bytes());
+}
+
+fn encode_into(out: &mut Vec<u8>, v: &Value) {
+    const TWO63: f64 = 9_223_372_036_854_775_808.0;
+    match v {
+        Value::Null => out.push(RANK_NULL),
+        Value::Bool(b) => {
+            out.push(RANK_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(RANK_NUM);
+            // Tiebreaker is the closest f64; two distinct ints always
+            // differ in component 1, so lossyness is harmless.
+            put_numeric(out, *i, 0.0, *i as f64);
+        }
+        Value::Float(f) => {
+            out.push(RANK_NUM);
+            if f.is_nan() {
+                put_numeric(out, i64::MAX, f64::NAN, f64::NAN);
+            } else if *f >= TWO63 {
+                // Above every i64: clamp with a fraction sentinel above
+                // any real fraction; the tiebreaker orders these floats.
+                put_numeric(out, i64::MAX, f64::INFINITY, *f);
+            } else if *f < -TWO63 {
+                put_numeric(out, i64::MIN, -1.0, *f);
+            } else {
+                let t = f.trunc();
+                // Normalize -0.0 so Float(-0.0) encodes like Int(0).
+                let frac = {
+                    let d = f - t;
+                    if d == 0.0 {
+                        0.0
+                    } else if d < 0.0 {
+                        // Negative fraction: fold into (int_part-1, 1+d)
+                        // is unnecessary because trunc rounds toward
+                        // zero; instead keep fraction signed-consistent:
+                        // for negative numbers with equal trunc, a more
+                        // negative fraction is smaller, and sortable_f64
+                        // on the signed fraction preserves that.
+                        d
+                    } else {
+                        d
+                    }
+                };
+                put_numeric(out, t as i64, frac, if *f == 0.0 { 0.0 } else { *f });
+            }
+        }
+        Value::Timestamp(t) => {
+            out.push(RANK_TIMESTAMP);
+            out.extend_from_slice(&t.to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(RANK_STR);
+            put_escaped(out, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(RANK_BYTES);
+            put_escaped(out, b);
+        }
+        Value::Ref(ObjectId(id)) => {
+            out.push(RANK_REF);
+            out.extend_from_slice(&id.to_be_bytes());
+        }
+        Value::List(items) => {
+            out.push(RANK_LIST);
+            for item in items {
+                // 0x01 marks "another element follows": it is greater
+                // than the 0x00 terminator, so longer lists sort after
+                // their prefixes, matching Vec's lexicographic Ord.
+                out.push(0x01);
+                encode_into(out, item);
+            }
+            out.push(0x00);
+        }
+    }
+}
+
+/// Encode a single value into an order-preserving byte key.
+pub fn encode_key(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_into(&mut out, v);
+    out
+}
+
+/// Encode a composite key (e.g. `(attr value, object id)` for a
+/// secondary index) — ordering is lexicographic over the components.
+pub fn encode_composite(values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 16);
+    for v in values {
+        encode_into(&mut out, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn check_pair(a: &Value, b: &Value) {
+        let ka = encode_key(a);
+        let kb = encode_key(b);
+        assert_eq!(
+            ka.cmp(&kb),
+            a.cmp(b),
+            "key order mismatch for {a:?} vs {b:?}\n  ka={ka:02x?}\n  kb={kb:02x?}"
+        );
+    }
+
+    fn interesting_values() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(i64::MIN),
+            Value::Int(-2),
+            Value::Int(-1),
+            Value::Int(0),
+            Value::Int(1),
+            Value::Int((1 << 53) - 1),
+            Value::Int(1 << 53),
+            Value::Int((1 << 53) + 1),
+            Value::Int(i64::MAX),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(-1e300),
+            Value::Float(-2.5),
+            Value::Float(-1.0),
+            Value::Float(-0.5),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(0.5),
+            Value::Float(1.0),
+            Value::Float(1.5),
+            Value::Float((1u64 << 53) as f64),
+            Value::Float(1e300),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NAN),
+            Value::Timestamp(0),
+            Value::Timestamp(u64::MAX),
+            Value::Str(String::new()),
+            Value::Str("a".into()),
+            Value::Str("a\0b".into()),
+            Value::Str("a\0".into()),
+            Value::Str("ab".into()),
+            Value::Str("b".into()),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![0]),
+            Value::Bytes(vec![0, 0]),
+            Value::Bytes(vec![0, 1]),
+            Value::Bytes(vec![1]),
+            Value::Bytes(vec![255]),
+            Value::Ref(ObjectId(0)),
+            Value::Ref(ObjectId(42)),
+            Value::List(vec![]),
+            Value::List(vec![Value::Int(1)]),
+            Value::List(vec![Value::Int(1), Value::Int(2)]),
+            Value::List(vec![Value::Int(2)]),
+            Value::List(vec![Value::Str("x".into())]),
+        ]
+    }
+
+    #[test]
+    fn all_pairs_preserve_order() {
+        let vs = interesting_values();
+        for a in &vs {
+            for b in &vs {
+                check_pair(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn equal_int_float_encode_identically() {
+        assert_eq!(encode_key(&Value::Int(7)), encode_key(&Value::Float(7.0)));
+        assert_eq!(
+            encode_key(&Value::Int(0)),
+            encode_key(&Value::Float(-0.0))
+        );
+        let k = 1i64 << 60;
+        assert_eq!(
+            encode_key(&Value::Int(k)),
+            encode_key(&Value::Float((1u64 << 60) as f64))
+        );
+    }
+
+    #[test]
+    fn prefix_strings_sort_before_extensions() {
+        let a = encode_key(&Value::Str("ab".into()));
+        let b = encode_key(&Value::Str("abc".into()));
+        assert_eq!(a.cmp(&b), Ordering::Less);
+        // And the terminator guarantees no encoded key is a byte-prefix
+        // of another unequal key in a way that reverses order.
+        assert!(!b.starts_with(&a) || a == b);
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically() {
+        let a = encode_composite(&[Value::Str("x".into()), Value::Int(1)]);
+        let b = encode_composite(&[Value::Str("x".into()), Value::Int(2)]);
+        let c = encode_composite(&[Value::Str("y".into()), Value::Int(0)]);
+        assert!(a < b && b < c);
+    }
+}

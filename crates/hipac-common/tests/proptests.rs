@@ -1,0 +1,116 @@
+//! Property-based tests for the common substrate: the total order on
+//! `Value`, codec round-trips, and the order-preserving sort-key
+//! encoding.
+
+use hipac_common::codec;
+use hipac_common::sortkey;
+use hipac_common::value::Value;
+use hipac_common::ObjectId;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_leaf_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        // Also generate floats near the i64 boundary and integer-valued
+        // floats, which stress the exact int/float comparison.
+        (-(1i64 << 54)..(1i64 << 54)).prop_map(|i| Value::Float(i as f64)),
+        prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-0.0),
+            Just(9.223372036854776e18),
+            Just(-9.223372036854776e18),
+        ]
+        .prop_map(Value::Float),
+        ".{0,12}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..12).prop_map(Value::Bytes),
+        any::<u64>().prop_map(|v| Value::Ref(ObjectId(v))),
+        any::<u64>().prop_map(Value::Timestamp),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    arb_leaf_value().prop_recursive(3, 24, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Value::List)
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(v in arb_value()) {
+        let mut buf = Vec::new();
+        codec::put_value(&mut buf, &v);
+        let mut pos = 0;
+        let back = codec::get_value(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn row_roundtrip(vs in proptest::collection::vec(arb_value(), 0..8)) {
+        let buf = codec::encode_row(&vs);
+        prop_assert_eq!(codec::decode_row(&buf).unwrap(), vs);
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut pos = 0;
+        let _ = codec::get_value(&bytes, &mut pos);
+        let _ = codec::decode_row(&bytes);
+    }
+
+    #[test]
+    fn value_order_is_antisymmetric_and_hash_consistent(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn value_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut vs = [a, b, c];
+        vs.sort();
+        prop_assert!(vs[0] <= vs[1] && vs[1] <= vs[2] && vs[0] <= vs[2]);
+    }
+
+    #[test]
+    fn sortkey_preserves_order(a in arb_value(), b in arb_value()) {
+        let ka = sortkey::encode_key(&a);
+        let kb = sortkey::encode_key(&b);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b),
+            "values {:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn composite_sortkey_preserves_order(
+        a in proptest::collection::vec(arb_leaf_value(), 1..4),
+        b in proptest::collection::vec(arb_leaf_value(), 1..4),
+    ) {
+        let ka = sortkey::encode_composite(&a);
+        let kb = sortkey::encode_composite(&b);
+        // Lexicographic comparison over components, except that a longer
+        // tuple extends a shorter equal prefix (the encoding
+        // concatenates, so the comparison follows slice Ord on values).
+        let expected = a.iter().zip(b.iter())
+            .map(|(x, y)| x.cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or_else(|| a.len().cmp(&b.len()));
+        prop_assert_eq!(ka.cmp(&kb), expected, "tuples {:?} vs {:?}", a, b);
+    }
+}

@@ -1,0 +1,557 @@
+//! Detection automata for (composite) events.
+//!
+//! An [`EventSpec`] compiles into a tree of nodes, each with a preorder
+//! index. Primitive occurrences are *injected* at leaf indices; the
+//! automaton propagates them upward and reports whether the whole spec
+//! fired, with the merged signal. Temporal nodes report timers to be
+//! scheduled instead of firing inline; the due timer is injected back
+//! at the node's own index.
+//!
+//! Consumption policy is "recent": a sequence keeps only the latest
+//! occurrence of its left operand, and state resets once the composite
+//! fires.
+
+use crate::signal::EventSignal;
+use crate::spec::{DbEventKind, EventSpec, TemporalSpec};
+use hipac_common::Timestamp;
+
+/// A timer the registry must schedule: fire at `due`, injecting at
+/// `node` of this automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerRequest {
+    pub due: Timestamp,
+    pub node: usize,
+    /// For periodic nodes, reschedule every `period` after firing.
+    pub period: Option<u64>,
+}
+
+/// A compiled automaton node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    DbLeaf {
+        idx: usize,
+        kind: DbEventKind,
+        class: Option<String>,
+    },
+    ExtLeaf {
+        idx: usize,
+        name: String,
+    },
+    /// Absolute or periodic timer leaf; fires when its timer is
+    /// injected.
+    TimerLeaf {
+        idx: usize,
+        spec: TemporalSpec,
+    },
+    /// Relative temporal node: when the nested baseline fires, request
+    /// a timer at `baseline_time + offset` targeting `idx`.
+    Relative {
+        idx: usize,
+        offset: u64,
+        baseline: Box<Node>,
+        /// Pending baseline signal, attached to the eventual firing.
+        pending: Option<EventSignal>,
+    },
+    Disj {
+        idx: usize,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Seq {
+        idx: usize,
+        left: Box<Node>,
+        right: Box<Node>,
+        pending: Option<EventSignal>,
+    },
+    Conj {
+        idx: usize,
+        left: Box<Node>,
+        right: Box<Node>,
+        lfired: Option<EventSignal>,
+        rfired: Option<EventSignal>,
+    },
+    Times {
+        idx: usize,
+        n: u32,
+        inner: Box<Node>,
+        /// Accumulated occurrences since the last firing; the merged
+        /// firing signal carries the latest constituent's bindings with
+        /// a `count` parameter.
+        seen: u32,
+        acc: Option<EventSignal>,
+    },
+}
+
+impl Node {
+    fn compile(spec: &EventSpec, next: &mut usize) -> Node {
+        let idx = *next;
+        *next += 1;
+        match spec {
+            EventSpec::Database { kind, class } => Node::DbLeaf {
+                idx,
+                kind: *kind,
+                class: class.clone(),
+            },
+            EventSpec::External { name } => Node::ExtLeaf {
+                idx,
+                name: name.clone(),
+            },
+            EventSpec::Temporal(t) => match t {
+                TemporalSpec::Relative { baseline, offset } => Node::Relative {
+                    idx,
+                    offset: *offset,
+                    baseline: Box::new(Node::compile(baseline, next)),
+                    pending: None,
+                },
+                other => Node::TimerLeaf {
+                    idx,
+                    spec: other.clone(),
+                },
+            },
+            EventSpec::Disjunction(l, r) => Node::Disj {
+                idx,
+                left: Box::new(Node::compile(l, next)),
+                right: Box::new(Node::compile(r, next)),
+            },
+            EventSpec::Sequence(l, r) => Node::Seq {
+                idx,
+                left: Box::new(Node::compile(l, next)),
+                right: Box::new(Node::compile(r, next)),
+                pending: None,
+            },
+            EventSpec::Conjunction(l, r) => Node::Conj {
+                idx,
+                left: Box::new(Node::compile(l, next)),
+                right: Box::new(Node::compile(r, next)),
+                lfired: None,
+                rfired: None,
+            },
+            EventSpec::Times(n, inner) => Node::Times {
+                idx,
+                n: (*n).max(1),
+                inner: Box::new(Node::compile(inner, next)),
+                seen: 0,
+                acc: None,
+            },
+        }
+    }
+
+    /// Reset all detection state (used after the root fires and on
+    /// enable/disable).
+    fn reset(&mut self) {
+        match self {
+            Node::DbLeaf { .. } | Node::ExtLeaf { .. } | Node::TimerLeaf { .. } => {}
+            Node::Relative {
+                baseline, pending, ..
+            } => {
+                *pending = None;
+                baseline.reset();
+            }
+            Node::Disj { left, right, .. } => {
+                left.reset();
+                right.reset();
+            }
+            Node::Seq {
+                left,
+                right,
+                pending,
+                ..
+            } => {
+                *pending = None;
+                left.reset();
+                right.reset();
+            }
+            Node::Conj {
+                left,
+                right,
+                lfired,
+                rfired,
+                ..
+            } => {
+                *lfired = None;
+                *rfired = None;
+                left.reset();
+                right.reset();
+            }
+            Node::Times {
+                inner, seen, acc, ..
+            } => {
+                *seen = 0;
+                *acc = None;
+                inner.reset();
+            }
+        }
+    }
+
+    /// Inject one occurrence addressed to `targets` (leaf indices, or a
+    /// temporal node's own index). A single occurrence may match
+    /// several leaves (e.g. both sides of `e ; e`); delivering the
+    /// whole target set in one call lets sequence nodes evaluate their
+    /// right side against the pre-occurrence state, so one occurrence
+    /// never serves as two sequence elements. Returns the merged signal
+    /// if this subtree fired; appends timer requests to `timers`.
+    fn inject(
+        &mut self,
+        targets: &[usize],
+        sig: &EventSignal,
+        timers: &mut Vec<TimerRequest>,
+    ) -> Option<EventSignal> {
+        match self {
+            Node::DbLeaf { idx, .. } | Node::ExtLeaf { idx, .. } | Node::TimerLeaf { idx, .. } => {
+                targets.contains(idx).then(|| sig.clone())
+            }
+            Node::Relative {
+                idx,
+                offset,
+                baseline,
+                pending,
+            } => {
+                if targets.contains(idx) {
+                    // The scheduled timer came due: fire with the
+                    // baseline's bindings merged in.
+                    let base = pending.take().unwrap_or_default();
+                    return Some(base.merge(sig.clone()));
+                }
+                if let Some(base_sig) = baseline.inject(targets, sig, timers) {
+                    timers.push(TimerRequest {
+                        due: base_sig.time.saturating_add(*offset),
+                        node: *idx,
+                        period: None,
+                    });
+                    *pending = Some(base_sig);
+                }
+                None
+            }
+            Node::Disj { left, right, .. } => {
+                // An occurrence may satisfy both sides; the left wins
+                // and the right's state still advances.
+                let l = left.inject(targets, sig, timers);
+                let r = right.inject(targets, sig, timers);
+                l.or(r)
+            }
+            Node::Seq {
+                left,
+                right,
+                pending,
+                ..
+            } => {
+                // Evaluate the right side against the *previous* state,
+                // so one occurrence cannot serve as both elements.
+                let fired_right = right.inject(targets, sig, timers);
+                let result = match (fired_right, pending.as_ref()) {
+                    (Some(rsig), Some(_)) => {
+                        let first = pending.take().expect("checked");
+                        Some(first.merge(rsig))
+                    }
+                    _ => None,
+                };
+                if let Some(lsig) = left.inject(targets, sig, timers) {
+                    // "Recent" policy: newest left occurrence replaces
+                    // any pending one.
+                    *pending = Some(lsig);
+                }
+                result
+            }
+            Node::Conj {
+                left,
+                right,
+                lfired,
+                rfired,
+                ..
+            } => {
+                if let Some(l) = left.inject(targets, sig, timers) {
+                    *lfired = Some(l);
+                }
+                if let Some(r) = right.inject(targets, sig, timers) {
+                    *rfired = Some(r);
+                }
+                if lfired.is_some() && rfired.is_some() {
+                    let l = lfired.take().expect("checked");
+                    let r = rfired.take().expect("checked");
+                    // Merge in occurrence order.
+                    Some(if l.time <= r.time { l.merge(r) } else { r.merge(l) })
+                } else {
+                    None
+                }
+            }
+            Node::Times {
+                n,
+                inner,
+                seen,
+                acc,
+                ..
+            } => {
+                if let Some(s) = inner.inject(targets, sig, timers) {
+                    *seen += 1;
+                    let merged = match acc.take() {
+                        Some(prev) => prev.merge(s),
+                        None => s,
+                    };
+                    if *seen >= *n {
+                        let mut out = merged;
+                        out.params.insert(
+                            "count".to_owned(),
+                            hipac_common::Value::Int(i64::from(*seen)),
+                        );
+                        *seen = 0;
+                        *acc = None;
+                        return Some(out);
+                    }
+                    *acc = Some(merged);
+                }
+                None
+            }
+        }
+    }
+
+    /// Visit every node.
+    fn walk(&self, f: &mut impl FnMut(&Node)) {
+        f(self);
+        match self {
+            Node::Relative { baseline, .. } => baseline.walk(f),
+            Node::Times { inner, .. } => inner.walk(f),
+            Node::Disj { left, right, .. }
+            | Node::Seq { left, right, .. }
+            | Node::Conj { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A compiled detection automaton for one defined event.
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    root: Node,
+}
+
+/// Leaf subscription info extracted at compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafSub {
+    Db {
+        idx: usize,
+        kind: DbEventKind,
+        class: Option<String>,
+    },
+    External {
+        idx: usize,
+        name: String,
+    },
+    /// Absolute/periodic timers to arm when the event is enabled.
+    Timer {
+        idx: usize,
+        spec: TemporalSpec,
+    },
+}
+
+impl Automaton {
+    /// Compile `spec`.
+    pub fn compile(spec: &EventSpec) -> Automaton {
+        let mut next = 0;
+        Automaton {
+            root: Node::compile(spec, &mut next),
+        }
+    }
+
+    /// The subscriptions this automaton's leaves need.
+    pub fn subscriptions(&self) -> Vec<LeafSub> {
+        let mut out = Vec::new();
+        self.root.walk(&mut |n| match n {
+            Node::DbLeaf { idx, kind, class } => out.push(LeafSub::Db {
+                idx: *idx,
+                kind: *kind,
+                class: class.clone(),
+            }),
+            Node::ExtLeaf { idx, name } => out.push(LeafSub::External {
+                idx: *idx,
+                name: name.clone(),
+            }),
+            Node::TimerLeaf { idx, spec } => out.push(LeafSub::Timer {
+                idx: *idx,
+                spec: spec.clone(),
+            }),
+            _ => {}
+        });
+        out
+    }
+
+    /// Inject one occurrence addressed to `targets`. On firing, state
+    /// resets and the merged signal is returned.
+    pub fn inject(
+        &mut self,
+        targets: &[usize],
+        sig: &EventSignal,
+        timers: &mut Vec<TimerRequest>,
+    ) -> Option<EventSignal> {
+        let fired = self.root.inject(targets, sig, timers);
+        if fired.is_some() {
+            self.root.reset();
+        }
+        fired
+    }
+
+    /// Clear all detection state.
+    pub fn reset(&mut self) {
+        self.root.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::EventSpec as E;
+
+    fn sig(t: Timestamp, key: &str) -> EventSignal {
+        EventSignal::at(t).with_param(key, t as i64)
+    }
+
+    fn leaf_idx(auto: &Automaton, name: &str) -> usize {
+        auto.subscriptions()
+            .iter()
+            .find_map(|s| match s {
+                LeafSub::External { idx, name: n } if n == name => Some(*idx),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn primitive_fires_directly() {
+        let mut a = Automaton::compile(&E::external("e"));
+        let mut timers = Vec::new();
+        let i = leaf_idx(&a, "e");
+        let fired = a.inject(&[i], &sig(5, "x"), &mut timers).unwrap();
+        assert_eq!(fired.time, 5);
+        assert!(timers.is_empty());
+    }
+
+    #[test]
+    fn disjunction_fires_on_either() {
+        let mut a = Automaton::compile(&E::external("a").or(E::external("b")));
+        let ia = leaf_idx(&a, "a");
+        let ib = leaf_idx(&a, "b");
+        let mut timers = Vec::new();
+        assert!(a.inject(&[ia], &sig(1, "x"), &mut timers).is_some());
+        assert!(a.inject(&[ib], &sig(2, "x"), &mut timers).is_some());
+    }
+
+    #[test]
+    fn sequence_requires_order() {
+        let mut a = Automaton::compile(&E::external("a").then(E::external("b")));
+        let ia = leaf_idx(&a, "a");
+        let ib = leaf_idx(&a, "b");
+        let mut timers = Vec::new();
+        // b alone: nothing.
+        assert!(a.inject(&[ib], &sig(1, "b"), &mut timers).is_none());
+        // a then b: fires with merged params.
+        assert!(a.inject(&[ia], &sig(2, "a"), &mut timers).is_none());
+        let fired = a.inject(&[ib], &sig(3, "b"), &mut timers).unwrap();
+        assert_eq!(fired.time, 3);
+        assert_eq!(fired.params["a"], hipac_common::Value::Int(2));
+        assert_eq!(fired.params["b"], hipac_common::Value::Int(3));
+        // State reset: another b alone does not fire.
+        assert!(a.inject(&[ib], &sig(4, "b"), &mut timers).is_none());
+    }
+
+    #[test]
+    fn sequence_recent_policy_replaces_pending() {
+        let mut a = Automaton::compile(&E::external("a").then(E::external("b")));
+        let ia = leaf_idx(&a, "a");
+        let ib = leaf_idx(&a, "b");
+        let mut timers = Vec::new();
+        a.inject(&[ia], &sig(1, "a"), &mut timers);
+        a.inject(&[ia], &sig(2, "a"), &mut timers); // replaces
+        let fired = a.inject(&[ib], &sig(3, "b"), &mut timers).unwrap();
+        assert_eq!(fired.params["a"], hipac_common::Value::Int(2));
+    }
+
+    #[test]
+    fn same_event_sequence_needs_two_occurrences() {
+        let mut a = Automaton::compile(&E::external("e").then(E::external("e")));
+        let subs = a.subscriptions();
+        // Two distinct leaves share the name.
+        let idxs: Vec<usize> = subs
+            .iter()
+            .filter_map(|s| match s {
+                LeafSub::External { idx, name } if name == "e" => Some(*idx),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idxs.len(), 2);
+        let mut timers = Vec::new();
+        // One occurrence addresses both leaves at once — must not
+        // self-complete the sequence.
+        assert!(
+            a.inject(&idxs, &sig(1, "x"), &mut timers).is_none(),
+            "single occurrence must not complete e;e"
+        );
+        assert!(
+            a.inject(&idxs, &sig(2, "x"), &mut timers).is_some(),
+            "second occurrence completes the sequence"
+        );
+    }
+
+    #[test]
+    fn conjunction_any_order() {
+        for (first, second) in [("a", "b"), ("b", "a")] {
+            let mut a = Automaton::compile(&E::external("a").and(E::external("b")));
+            let i1 = leaf_idx(&a, first);
+            let i2 = leaf_idx(&a, second);
+            let mut timers = Vec::new();
+            assert!(a.inject(&[i1], &sig(1, first), &mut timers).is_none());
+            let fired = a.inject(&[i2], &sig(2, second), &mut timers).unwrap();
+            assert_eq!(fired.params.len(), 2);
+        }
+    }
+
+    #[test]
+    fn relative_schedules_then_fires() {
+        let spec = E::Temporal(TemporalSpec::Relative {
+            baseline: Box::new(E::external("base")),
+            offset: 100,
+        });
+        let mut a = Automaton::compile(&spec);
+        let ib = leaf_idx(&a, "base");
+        let mut timers = Vec::new();
+        assert!(a.inject(&[ib], &sig(50, "base"), &mut timers).is_none());
+        assert_eq!(timers.len(), 1);
+        assert_eq!(timers[0].due, 150);
+        let node = timers[0].node;
+        // Timer comes due: fires with baseline bindings merged.
+        let fired = a
+            .inject(&[node], &EventSignal::at(150), &mut Vec::new())
+            .unwrap();
+        assert_eq!(fired.time, 150);
+        assert_eq!(fired.params["base"], hipac_common::Value::Int(50));
+    }
+
+    #[test]
+    fn nested_composites() {
+        // (a | b) ; c
+        let spec = E::external("a").or(E::external("b")).then(E::external("c"));
+        let mut auto = Automaton::compile(&spec);
+        let ib = leaf_idx(&auto, "b");
+        let ic = leaf_idx(&auto, "c");
+        let mut timers = Vec::new();
+        assert!(auto.inject(&[ib], &sig(1, "b"), &mut timers).is_none());
+        let fired = auto.inject(&[ic], &sig(2, "c"), &mut timers).unwrap();
+        assert_eq!(fired.params["b"], hipac_common::Value::Int(1));
+    }
+
+    #[test]
+    fn db_leaf_subscription_metadata() {
+        let spec = E::on_update("stock").or(E::db(DbEventKind::Delete, None));
+        let auto = Automaton::compile(&spec);
+        let subs = auto.subscriptions();
+        assert!(subs.iter().any(|s| matches!(
+            s,
+            LeafSub::Db { kind: DbEventKind::Update, class: Some(c), .. } if c == "stock"
+        )));
+        assert!(subs.iter().any(|s| matches!(
+            s,
+            LeafSub::Db { kind: DbEventKind::Delete, class: None, .. }
+        )));
+    }
+}

@@ -1,0 +1,32 @@
+//! Event detection for the HiPAC active DBMS (§2.1 and §5.3 of the
+//! paper).
+//!
+//! Primitive events:
+//!
+//! * **database operations** — data definition, data manipulation and
+//!   transaction control; the signal includes the operation and its
+//!   actual arguments (the modified instances and the old and new
+//!   attribute values);
+//! * **temporal events** — absolute, relative (baseline event + offset)
+//!   and periodic; the signal includes the absolute time;
+//! * **external notifications** — application-defined events with
+//!   typed formal parameters bound to actual arguments at signal time.
+//!
+//! Primitive events combine with **disjunction** and **sequence**
+//! operators (the two the paper names), plus **conjunction** as a
+//! clearly-flagged extension. Composite detection runs small automata
+//! ([`automaton`]) with a "most recent occurrence" consumption policy.
+//!
+//! The [`registry::EventRegistry`] is the set of Event Detectors from
+//! §5.3: it supports *define / delete / enable / disable event* and
+//! reports occurrences to the registered [`registry::SignalSink`] (the
+//! Rule Manager's single *signal event* operation, §5.4).
+
+pub mod automaton;
+pub mod registry;
+pub mod signal;
+pub mod spec;
+
+pub use registry::{EventRegistry, SignalSink};
+pub use signal::{DbEventData, EventSignal};
+pub use spec::{DbEventKind, EventSpec, TemporalSpec};

@@ -1,0 +1,542 @@
+//! Text syntax for the expression language.
+//!
+//! Grammar (precedence low→high):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ("or" and)*
+//! and     := cmp ("and" cmp)*
+//! cmp     := add (("=" | "!=" | "<>" | "<" | "<=" | ">" | ">=") add)?
+//! add     := mul (("+" | "-") mul)*
+//! mul     := unary (("*" | "/" | "%") unary)*
+//! unary   := "not" unary | "-" unary | primary
+//! primary := literal | "(" expr ")" | ident "(" args ")"
+//!          | "old" "." ident | "new" "." ident | ident | ":" ident
+//! literal := integer | float | string | "true" | "false" | "null"
+//! ```
+//!
+//! `Display` on [`Expr`] prints this syntax back, and
+//! `parse(expr.to_string()) == expr` holds for resolved-name-free
+//! expressions (property-tested).
+
+use crate::expr::{BinOp, Expr, UnOp};
+use hipac_common::{HipacError, Result, Value};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    Param(String),
+    Sym(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> HipacError {
+        HipacError::ParseError {
+            position: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Tok)>> {
+        self.skip_ws();
+        let start = self.pos;
+        let Some(&b) = self.src.get(self.pos) else {
+            return Ok(None);
+        };
+        let tok = match b {
+            b'(' => {
+                self.pos += 1;
+                Tok::Sym("(")
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::Sym(")")
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Sym(",")
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Sym(".")
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Sym("+")
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Sym("-")
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Sym("*")
+            }
+            b'/' => {
+                self.pos += 1;
+                Tok::Sym("/")
+            }
+            b'%' => {
+                self.pos += 1;
+                Tok::Sym("%")
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Sym("=")
+            }
+            b'!' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Sym("!=")
+                } else {
+                    return Err(self.err("expected '=' after '!'"));
+                }
+            }
+            b'<' => match self.src.get(self.pos + 1) {
+                Some(&b'=') => {
+                    self.pos += 2;
+                    Tok::Sym("<=")
+                }
+                Some(&b'>') => {
+                    self.pos += 2;
+                    Tok::Sym("!=")
+                }
+                _ => {
+                    self.pos += 1;
+                    Tok::Sym("<")
+                }
+            },
+            b'>' => {
+                if self.src.get(self.pos + 1) == Some(&b'=') {
+                    self.pos += 2;
+                    Tok::Sym(">=")
+                } else {
+                    self.pos += 1;
+                    Tok::Sym(">")
+                }
+            }
+            b':' => {
+                self.pos += 1;
+                let name = self.ident_tail()?;
+                if name.is_empty() {
+                    return Err(self.err("expected parameter name after ':'"));
+                }
+                Tok::Param(name)
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match self.src.get(self.pos) {
+                        None => return Err(self.err("unterminated string literal")),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            self.pos += 1;
+                            match self.src.get(self.pos) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                _ => return Err(self.err("bad escape in string")),
+                            }
+                            self.pos += 1;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar.
+                            let rest = std::str::from_utf8(&self.src[self.pos..])
+                                .map_err(|_| self.err("invalid utf-8"))?;
+                            let ch = rest.chars().next().expect("nonempty");
+                            s.push(ch);
+                            self.pos += ch.len_utf8();
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'0'..=b'9' => {
+                let mut end = self.pos;
+                while matches!(self.src.get(end), Some(b'0'..=b'9')) {
+                    end += 1;
+                }
+                let mut is_float = false;
+                if self.src.get(end) == Some(&b'.')
+                    && matches!(self.src.get(end + 1), Some(b'0'..=b'9'))
+                {
+                    is_float = true;
+                    end += 1;
+                    while matches!(self.src.get(end), Some(b'0'..=b'9')) {
+                        end += 1;
+                    }
+                }
+                if matches!(self.src.get(end), Some(b'e') | Some(b'E')) {
+                    let mut e = end + 1;
+                    if matches!(self.src.get(e), Some(b'+') | Some(b'-')) {
+                        e += 1;
+                    }
+                    if matches!(self.src.get(e), Some(b'0'..=b'9')) {
+                        is_float = true;
+                        end = e;
+                        while matches!(self.src.get(end), Some(b'0'..=b'9')) {
+                            end += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap();
+                self.pos = end;
+                if is_float {
+                    Tok::Float(
+                        text.parse()
+                            .map_err(|_| self.err(format!("bad float {text}")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse()
+                            .map_err(|_| self.err(format!("integer out of range: {text}")))?,
+                    )
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => Tok::Ident(self.ident_tail()?),
+            other => return Err(self.err(format!("unexpected byte {:?}", other as char))),
+        };
+        Ok(Some((start, tok)))
+    }
+
+    fn ident_tail(&mut self) -> Result<String> {
+        let start = self.pos;
+        while matches!(
+            self.src.get(self.pos),
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.pos += 1;
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in identifier"))?
+            .to_owned())
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.len)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> HipacError {
+        HipacError::ParseError {
+            position: self.pos(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect_sym(&mut self, s: &'static str) -> Result<()> {
+        match self.bump() {
+            Some(Tok::Sym(t)) if t == s => Ok(()),
+            other => Err(self.err(format!("expected '{s}', found {other:?}"))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Tok::Ident(k)) if k == "or") {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = lhs.bin(BinOp::Or, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_cmp()?;
+        while matches!(self.peek(), Some(Tok::Ident(k)) if k == "and") {
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            lhs = lhs.bin(BinOp::And, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => Some(BinOp::Eq),
+            Some(Tok::Sym("!=")) => Some(BinOp::Ne),
+            Some(Tok::Sym("<")) => Some(BinOp::Lt),
+            Some(Tok::Sym("<=")) => Some(BinOp::Le),
+            Some(Tok::Sym(">")) => Some(BinOp::Gt),
+            Some(Tok::Sym(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_add()?;
+            Ok(lhs.bin(op, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => BinOp::Add,
+                Some(Tok::Sym("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_mul()?;
+            lhs = lhs.bin(op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => BinOp::Mul,
+                Some(Tok::Sym("/")) => BinOp::Div,
+                Some(Tok::Sym("%")) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = lhs.bin(op, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Tok::Ident(k)) if k == "not" => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Sym("-")) => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Tok::Float(x)) => Ok(Expr::Literal(Value::Float(x))),
+            Some(Tok::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Tok::Param(p)) => Ok(Expr::Param(p)),
+            Some(Tok::Sym("(")) => {
+                let e = self.parse_or()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => match name.as_str() {
+                "true" => Ok(Expr::Literal(Value::Bool(true))),
+                "false" => Ok(Expr::Literal(Value::Bool(false))),
+                "null" => Ok(Expr::Literal(Value::Null)),
+                "old" | "new" if matches!(self.peek(), Some(Tok::Sym("."))) => {
+                    self.bump();
+                    match self.bump() {
+                        Some(Tok::Ident(attr)) => Ok(if name == "old" {
+                            Expr::OldAttr(attr)
+                        } else {
+                            Expr::NewAttr(attr)
+                        }),
+                        other => {
+                            Err(self.err(format!("expected attribute after '{name}.', found {other:?}")))
+                        }
+                    }
+                }
+                _ if matches!(self.peek(), Some(Tok::Sym("("))) => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Tok::Sym(")"))) {
+                        loop {
+                            args.push(self.parse_or()?);
+                            match self.peek() {
+                                Some(Tok::Sym(",")) => {
+                                    self.bump();
+                                }
+                                _ => break,
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    Ok(Expr::Call(name, args))
+                }
+                _ => Ok(Expr::Attr(name)),
+            },
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse an expression from its text syntax.
+///
+/// ```
+/// use hipac_object::parser::parse_expr;
+/// use hipac_object::expr::Bindings;
+/// let e = parse_expr("1 + 2 * 3 = 7 and not false").unwrap();
+/// assert_eq!(e.eval_bool(&Bindings::default()).unwrap(), true);
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next()? {
+        toks.push(t);
+    }
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        len: src.len(),
+    };
+    let e = p.parse_or()?;
+    if p.idx != p.toks.len() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Expr {
+        let e = parse_expr(src).unwrap();
+        let printed = e.to_string();
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        assert_eq!(e, e2, "roundtrip through {printed:?}");
+        e
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(parse_expr("42").unwrap(), Expr::lit(42));
+        assert_eq!(parse_expr("4.5").unwrap(), Expr::lit(4.5));
+        assert_eq!(parse_expr("1e3").unwrap(), Expr::lit(1000.0));
+        assert_eq!(parse_expr("true").unwrap(), Expr::lit(true));
+        assert_eq!(parse_expr("null").unwrap(), Expr::Literal(Value::Null));
+        assert_eq!(
+            parse_expr("\"he\\\"llo\\n\"").unwrap(),
+            Expr::lit("he\"llo\n")
+        );
+    }
+
+    #[test]
+    fn precedence_matches_convention() {
+        let e = roundtrip("a + b * c = d and e or not f");
+        // ((((a + (b*c)) = d) and e) or (not f))
+        assert_eq!(
+            e.to_string(),
+            "a + b * c = d and e or not f"
+        );
+        let e = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(e.to_string(), "(a + b) * c");
+    }
+
+    #[test]
+    fn comparison_chain_is_rejected() {
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn old_new_params_functions() {
+        let e = roundtrip("new.price >= 50 and old.price < 50 and symbol = :sym");
+        let mut attrs = Vec::new();
+        e.referenced_attrs(&mut attrs);
+        assert_eq!(attrs, vec!["price", "price", "symbol"]);
+        let e = roundtrip("contains(lower(name), \"xerox\")");
+        assert!(matches!(e, Expr::Call(_, _)));
+        // old/new without a dot are plain attributes.
+        let e = parse_expr("old = 1").unwrap();
+        assert_eq!(e, Expr::attr("old").bin(BinOp::Eq, Expr::lit(1)));
+    }
+
+    #[test]
+    fn unary_and_negative_numbers() {
+        assert_eq!(
+            parse_expr("-5").unwrap(),
+            Expr::Unary(UnOp::Neg, Box::new(Expr::lit(5)))
+        );
+        roundtrip("not (a and b)");
+        roundtrip("-x + 3");
+    }
+
+    #[test]
+    fn error_positions() {
+        match parse_expr("price >= ") {
+            Err(HipacError::ParseError { position, .. }) => assert!(position >= 8),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_expr("\"unterminated").is_err());
+        assert!(parse_expr("a ! b").is_err());
+        assert!(parse_expr("a b").is_err(), "trailing input");
+        assert!(parse_expr(":").is_err());
+        assert!(parse_expr("f(a,)").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_unicode_strings() {
+        let e = parse_expr("  name =\n\t\"héllo wörld\"  ").unwrap();
+        assert_eq!(
+            e,
+            Expr::attr("name").bin(BinOp::Eq, Expr::lit("héllo wörld"))
+        );
+    }
+
+    #[test]
+    fn sql_style_not_equals() {
+        assert_eq!(
+            parse_expr("a <> b").unwrap(),
+            parse_expr("a != b").unwrap()
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Worker pool for separate-coupled rule firings.
+//!
+//! §6.2: "For each rule firing with separate condition evaluation, the
+//! Rule Manager obtains a new top level transaction … all of these
+//! transactions execute concurrently, each in its own thread of
+//! execution." The 1989 prototype used Smalltalk lightweight processes;
+//! we use a small OS-thread pool fed by a crossbeam channel.
+//!
+//! [`WorkerPool::quiesce`] waits until all submitted firings have
+//! drained — tests and benchmarks use it to make asynchronous firings
+//! observable deterministically.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    outstanding: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// A fixed-size worker pool.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `size` workers (at least 1).
+    pub fn new(size: usize) -> WorkerPool {
+        let (tx, rx) = unbounded::<Job>();
+        let shared = Arc::new(Shared {
+            outstanding: Mutex::new(0),
+            cv: Condvar::new(),
+        });
+        let mut workers = Vec::new();
+        for i in 0..size.max(1) {
+            let rx = rx.clone();
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hipac-rule-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            let mut n = shared.outstanding.lock();
+                            *n -= 1;
+                            if *n == 0 {
+                                shared.cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+        WorkerPool {
+            tx: Some(tx),
+            shared,
+            workers,
+        }
+    }
+
+    /// Submit a firing. Never blocks.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut n = self.shared.outstanding.lock();
+            *n += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool is alive while not dropped")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Block until every submitted job (including jobs submitted by
+    /// running jobs) has completed.
+    pub fn quiesce(&self) {
+        let mut n = self.shared.outstanding.lock();
+        while *n > 0 {
+            self.shared.cv.wait(&mut n);
+        }
+    }
+
+    /// Number of jobs submitted but not yet finished.
+    pub fn outstanding(&self) -> usize {
+        *self.shared.outstanding.lock()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel so workers exit, then join them.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_and_quiesce_waits() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.quiesce();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn jobs_can_submit_jobs() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool2 = Arc::clone(&pool);
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..5 {
+                    let c = Arc::clone(&c);
+                    pool2.submit(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        pool.quiesce();
+        assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,237 @@
+//! Rule definitions: the attributes of rule objects (§2.1).
+
+use hipac_event::EventSpec;
+use hipac_object::expr::Expr;
+use hipac_object::query::Query;
+
+/// Coupling modes (§2.1): the transactional relationship between the
+/// triggering event and condition evaluation (E-C) and between
+/// condition evaluation and action execution (C-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CouplingMode {
+    /// Evaluate at the triggering point, in a subtransaction, with the
+    /// parent suspended.
+    Immediate,
+    /// Evaluate in a subtransaction created just before the triggering
+    /// transaction commits.
+    Deferred,
+    /// Evaluate in a separate top-level transaction executing
+    /// concurrently with the triggering transaction.
+    Separate,
+}
+
+/// One step of a rule action: a database operation or a request to an
+/// application program (§2.1: "these can be database operations or
+/// external requests to application programs").
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionOp {
+    /// A database operation.
+    Db(DbAction),
+    /// A request to an application program (§4.1 role reversal: HiPAC
+    /// becomes the client). `handler` names a registered
+    /// [`crate::manager::ApplicationHandler`]; `request` is passed
+    /// through; `args` are evaluated against the firing context.
+    AppRequest {
+        handler: String,
+        request: String,
+        args: Vec<(String, Expr)>,
+    },
+    /// Raise an application-defined event (feeding other rules — the
+    /// paper's "one program can send a request to another … indirectly
+    /// through a rule firing").
+    SignalEvent {
+        name: String,
+        args: Vec<(String, Expr)>,
+    },
+    /// Run the nested ops once per row of the `query_index`-th
+    /// condition query's result, with the row's attributes in scope.
+    ForEachRow {
+        query_index: usize,
+        ops: Vec<ActionOp>,
+    },
+    /// Fail the firing (and thereby, for immediate coupling, the
+    /// triggering operation) with a constraint violation — the
+    /// integrity-enforcement idiom.
+    AbortWith { message: String },
+}
+
+/// Database operations available to actions. Value expressions are
+/// evaluated against the firing context (event parameters, old/new
+/// images, and — inside [`ActionOp::ForEachRow`] — the current row).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbAction {
+    Insert {
+        class: String,
+        values: Vec<Expr>,
+    },
+    /// Update every object matching `query` with the assignments.
+    UpdateWhere {
+        query: Query,
+        assignments: Vec<(String, Expr)>,
+    },
+    /// Delete every object matching `query`.
+    DeleteWhere { query: Query },
+}
+
+/// A rule action: a sequence of operations (§2.1).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Action {
+    pub ops: Vec<ActionOp>,
+}
+
+impl Action {
+    /// An empty action (useful for alerter-style rules whose effect is
+    /// entirely in the condition side effects or for testing).
+    pub fn none() -> Action {
+        Action::default()
+    }
+
+    /// Action with one step.
+    pub fn single(op: ActionOp) -> Action {
+        Action { ops: vec![op] }
+    }
+
+    /// Append a step.
+    pub fn then(mut self, op: ActionOp) -> Action {
+        self.ops.push(op);
+        self
+    }
+}
+
+/// A rule definition — the attributes from §2.1. Build with
+/// [`RuleDef::new`] and the builder methods:
+///
+/// ```
+/// use hipac_rules::{RuleDef, Action, ActionOp, CouplingMode};
+/// use hipac_event::EventSpec;
+/// use hipac_object::Query;
+///
+/// let rule = RuleDef::new("reorder")
+///     .on(EventSpec::on_update("item"))
+///     .when(Query::parse("from item where new.on_hand <= new.reorder_at").unwrap())
+///     .then(Action::single(ActionOp::AbortWith { message: "out of stock".into() }))
+///     .ec(CouplingMode::Deferred);
+/// assert_eq!(rule.ec_coupling, CouplingMode::Deferred);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDef {
+    pub name: String,
+    /// Triggering event; `None` means "derive from the condition"
+    /// (§2.1: HiPAC derives the event specification from the
+    /// condition).
+    pub event: Option<EventSpec>,
+    /// The condition: a collection of queries, satisfied iff all return
+    /// non-empty results. An empty collection is the always-true
+    /// condition.
+    pub condition: Vec<Query>,
+    pub action: Action,
+    pub ec_coupling: CouplingMode,
+    pub ca_coupling: CouplingMode,
+    /// Created enabled unless cleared.
+    pub enabled: bool,
+}
+
+impl RuleDef {
+    /// A rule named `name` with an always-true condition, empty action
+    /// and immediate/immediate coupling.
+    pub fn new(name: impl Into<String>) -> RuleDef {
+        RuleDef {
+            name: name.into(),
+            event: None,
+            condition: Vec::new(),
+            action: Action::none(),
+            ec_coupling: CouplingMode::Immediate,
+            ca_coupling: CouplingMode::Immediate,
+            enabled: true,
+        }
+    }
+
+    /// Set the triggering event.
+    pub fn on(mut self, event: EventSpec) -> RuleDef {
+        self.event = Some(event);
+        self
+    }
+
+    /// Add a condition query.
+    pub fn when(mut self, query: Query) -> RuleDef {
+        self.condition.push(query);
+        self
+    }
+
+    /// Set the action.
+    pub fn then(mut self, action: Action) -> RuleDef {
+        self.action = action;
+        self
+    }
+
+    /// Set the E-C coupling mode.
+    pub fn ec(mut self, mode: CouplingMode) -> RuleDef {
+        self.ec_coupling = mode;
+        self
+    }
+
+    /// Set the C-A coupling mode.
+    pub fn ca(mut self, mode: CouplingMode) -> RuleDef {
+        self.ca_coupling = mode;
+        self
+    }
+
+    /// Set both couplings to `Separate` — the paper's SAA rules use
+    /// "condition and action together in a separate transaction".
+    pub fn detached(mut self) -> RuleDef {
+        self.ec_coupling = CouplingMode::Separate;
+        // Condition and action run together: the action joins the
+        // condition's transaction via immediate C-A.
+        self.ca_coupling = CouplingMode::Immediate;
+        self
+    }
+
+    /// Create the rule disabled.
+    pub fn disabled(mut self) -> RuleDef {
+        self.enabled = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipac_event::EventSpec as E;
+    use hipac_object::expr::{BinOp, Expr};
+
+    #[test]
+    fn builder_produces_expected_rule() {
+        let rule = RuleDef::new("ticker")
+            .on(E::on_update("stock"))
+            .when(Query::filtered(
+                "stock",
+                Expr::attr("price").bin(BinOp::Ge, Expr::lit(50.0)),
+            ))
+            .then(Action::single(ActionOp::AppRequest {
+                handler: "display".into(),
+                request: "show_quote".into(),
+                args: vec![("price".into(), Expr::param("price"))],
+            }))
+            .detached();
+        assert_eq!(rule.name, "ticker");
+        assert_eq!(rule.ec_coupling, CouplingMode::Separate);
+        assert_eq!(rule.ca_coupling, CouplingMode::Immediate);
+        assert!(rule.enabled);
+        assert_eq!(rule.condition.len(), 1);
+        assert_eq!(rule.action.ops.len(), 1);
+    }
+
+    #[test]
+    fn action_composition() {
+        let a = Action::none()
+            .then(ActionOp::AbortWith {
+                message: "no".into(),
+            })
+            .then(ActionOp::SignalEvent {
+                name: "e".into(),
+                args: vec![],
+            });
+        assert_eq!(a.ops.len(), 2);
+        assert_eq!(Action::none(), Action::default());
+    }
+}

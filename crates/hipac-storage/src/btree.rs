@@ -1,0 +1,745 @@
+//! A disk-backed B+tree mapping byte keys to byte values.
+//!
+//! Nodes are serialized whole into buffer-pool pages (clarity over raw
+//! in-page mutation; the buffer pool keeps hot nodes resident so the
+//! asymptotics are unchanged). Keys are unique; `insert` is an upsert.
+//! Leaves are chained for range scans.
+//!
+//! Sizing is byte-based rather than arity-based: a node splits when its
+//! serialized form outgrows a page and is rebalanced (merged with or
+//! refilled from a sibling) when it shrinks below a quarter page.
+//! `key.len() + value.len()` is capped at [`MAX_ENTRY`] so that any two
+//! entries always fit one page.
+//!
+//! Pages freed by merges are leaked until the next durable-store
+//! checkpoint, which rewrites the file compactly; a free list would be
+//! redundant with that.
+
+use crate::buffer::BufferPool;
+use crate::page::{PageId, PAGE_SIZE};
+use hipac_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
+use hipac_common::{HipacError, Result};
+use parking_lot::RwLock;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Maximum `key.len() + value.len()` for one entry.
+pub const MAX_ENTRY: usize = 1024;
+/// Serialized-node byte budget per page.
+const NODE_CAPACITY: usize = PAGE_SIZE - 8;
+/// Nodes smaller than this (in serialized bytes) are rebalanced.
+const UNDERFLOW: usize = NODE_CAPACITY / 4;
+
+const TYPE_LEAF: u8 = 1;
+const TYPE_INTERNAL: u8 = 2;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        next: PageId,
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Internal {
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256);
+        match self {
+            Node::Leaf { next, entries } => {
+                buf.push(TYPE_LEAF);
+                put_uvarint(&mut buf, next.0);
+                put_uvarint(&mut buf, entries.len() as u64);
+                for (k, v) in entries {
+                    put_bytes(&mut buf, k);
+                    put_bytes(&mut buf, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                buf.push(TYPE_INTERNAL);
+                put_uvarint(&mut buf, keys.len() as u64);
+                for k in keys {
+                    put_bytes(&mut buf, k);
+                }
+                for c in children {
+                    put_uvarint(&mut buf, c.0);
+                }
+            }
+        }
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let mut pos = 0usize;
+        let ty = *buf
+            .first()
+            .ok_or_else(|| HipacError::Corruption("empty btree node".into()))?;
+        pos += 1;
+        match ty {
+            TYPE_LEAF => {
+                let next = PageId(get_uvarint(buf, &mut pos)?);
+                let n = get_uvarint(buf, &mut pos)? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let k = get_bytes(buf, &mut pos)?.to_vec();
+                    let v = get_bytes(buf, &mut pos)?.to_vec();
+                    entries.push((k, v));
+                }
+                Ok(Node::Leaf { next, entries })
+            }
+            TYPE_INTERNAL => {
+                let n = get_uvarint(buf, &mut pos)? as usize;
+                let mut keys = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    keys.push(get_bytes(buf, &mut pos)?.to_vec());
+                }
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..=n {
+                    children.push(PageId(get_uvarint(buf, &mut pos)?));
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            other => Err(HipacError::Corruption(format!(
+                "unknown btree node type {other}"
+            ))),
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+/// Result of a recursive insert: a promoted separator and new right
+/// sibling, if the child split.
+type SplitInfo = Option<(Vec<u8>, PageId)>;
+
+/// The B+tree.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    /// Tree-level latch: structural changes take the write lock,
+    /// lookups the read lock.
+    root: RwLock<PageId>,
+}
+
+impl BTree {
+    /// Create an empty tree; remember [`BTree::root_page`] to reopen it.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
+        let page = pool.new_page()?;
+        let root = page.id();
+        Self::write_node(
+            &pool,
+            root,
+            &Node::Leaf {
+                next: PageId::NULL,
+                entries: Vec::new(),
+            },
+        )?;
+        Ok(BTree {
+            pool,
+            root: RwLock::new(root),
+        })
+    }
+
+    /// Open an existing tree rooted at `root`.
+    pub fn open(pool: Arc<BufferPool>, root: PageId) -> Result<Self> {
+        // Validate eagerly so corruption surfaces at open time.
+        let page = pool.fetch(root)?;
+        let guard = page.read();
+        let len = guard.get_u32(0) as usize;
+        if len > NODE_CAPACITY {
+            return Err(HipacError::Corruption("btree root length field".into()));
+        }
+        Node::decode(guard.get_slice(4, len))?;
+        drop(guard);
+        Ok(BTree {
+            pool,
+            root: RwLock::new(root),
+        })
+    }
+
+    /// Current root page id (persist this in the meta page).
+    pub fn root_page(&self) -> PageId {
+        *self.root.read()
+    }
+
+    fn read_node(pool: &BufferPool, id: PageId) -> Result<Node> {
+        let page = pool.fetch(id)?;
+        let guard = page.read();
+        let len = guard.get_u32(0) as usize;
+        if len > NODE_CAPACITY {
+            return Err(HipacError::Corruption(format!(
+                "btree node {id} length field {len}"
+            )));
+        }
+        Node::decode(guard.get_slice(4, len))
+    }
+
+    fn write_node(pool: &BufferPool, id: PageId, node: &Node) -> Result<()> {
+        let bytes = node.encode();
+        if bytes.len() > NODE_CAPACITY {
+            return Err(HipacError::internal(format!(
+                "btree node {id} overflow: {} bytes",
+                bytes.len()
+            )));
+        }
+        let page = pool.fetch(id)?;
+        let mut guard = page.write();
+        guard.put_u32(0, bytes.len() as u32);
+        guard.put_slice(4, &bytes);
+        Ok(())
+    }
+
+    fn check_entry(key: &[u8], value: &[u8]) -> Result<()> {
+        if key.len() + value.len() > MAX_ENTRY {
+            return Err(HipacError::RecordTooLarge {
+                size: key.len() + value.len(),
+                max: MAX_ENTRY,
+            });
+        }
+        Ok(())
+    }
+
+    /// Look up `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let root = self.root.read();
+        let mut id = *root;
+        loop {
+            match Self::read_node(&self.pool, id)? {
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    id = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Insert or replace `key`; returns the previous value, if any.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        Self::check_entry(key, value)?;
+        let mut root = self.root.write();
+        let (old, split) = self.insert_rec(*root, key, value)?;
+        if let Some((sep, right)) = split {
+            let page = self.pool.new_page()?;
+            let new_root = page.id();
+            Self::write_node(
+                &self.pool,
+                new_root,
+                &Node::Internal {
+                    keys: vec![sep],
+                    children: vec![*root, right],
+                },
+            )?;
+            *root = new_root;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec(
+        &self,
+        id: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(Option<Vec<u8>>, SplitInfo)> {
+        let mut node = Self::read_node(&self.pool, id)?;
+        let old = match &mut node {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let prev = std::mem::replace(&mut entries[i].1, value.to_vec());
+                        Some(prev)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[idx];
+                let (old, split) = self.insert_rec(child, key, value)?;
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                }
+                old
+            }
+        };
+        if node.size() > NODE_CAPACITY {
+            let (sep, right_node) = Self::split(&mut node);
+            let right_page = self.pool.new_page()?;
+            let right_id = right_page.id();
+            // For leaves fix the chain: left -> new right -> old next
+            // (right_node already carries the old next pointer).
+            if let Node::Leaf { next, .. } = &mut node {
+                *next = right_id;
+            }
+            Self::write_node(&self.pool, right_id, &right_node)?;
+            Self::write_node(&self.pool, id, &node)?;
+            Ok((old, Some((sep, right_id))))
+        } else {
+            Self::write_node(&self.pool, id, &node)?;
+            Ok((old, None))
+        }
+    }
+
+    /// Split an oversized node roughly in half (by bytes for leaves, by
+    /// arity for internals). Returns the promoted separator and the new
+    /// right node; `node` becomes the left half.
+    fn split(node: &mut Node) -> (Vec<u8>, Node) {
+        match node {
+            Node::Leaf { next, entries } => {
+                let total: usize = entries.iter().map(|(k, v)| k.len() + v.len() + 8).sum();
+                let mut acc = 0usize;
+                let mut cut = entries.len() / 2;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    acc += k.len() + v.len() + 8;
+                    if acc >= total / 2 {
+                        cut = (i + 1).min(entries.len() - 1).max(1);
+                        break;
+                    }
+                }
+                let right_entries = entries.split_off(cut);
+                let sep = right_entries[0].0.clone();
+                let right = Node::Leaf {
+                    next: *next,
+                    entries: right_entries,
+                };
+                (sep, right)
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("internal node has keys");
+                let right_children = children.split_off(mid + 1);
+                let right = Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                };
+                (sep, right)
+            }
+        }
+    }
+
+    /// Remove `key`; returns the removed value, if present.
+    pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut root = self.root.write();
+        let old = self.delete_rec(*root, key)?;
+        // Collapse a root that became a single-child internal node.
+        loop {
+            match Self::read_node(&self.pool, *root)? {
+                Node::Internal { keys, children } if keys.is_empty() => {
+                    *root = children[0];
+                }
+                _ => break,
+            }
+        }
+        Ok(old)
+    }
+
+    fn delete_rec(&self, id: PageId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut node = Self::read_node(&self.pool, id)?;
+        match &mut node {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, v) = entries.remove(i);
+                        Self::write_node(&self.pool, id, &node)?;
+                        Ok(Some(v))
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child_id = children[idx];
+                let old = self.delete_rec(child_id, key)?;
+                if old.is_some() {
+                    let child = Self::read_node(&self.pool, child_id)?;
+                    if child.size() < UNDERFLOW && children.len() > 1 {
+                        self.rebalance(keys, children, idx)?;
+                        Self::write_node(&self.pool, id, &node)?;
+                    }
+                }
+                Ok(old)
+            }
+        }
+    }
+
+    /// Fix an underflowing child at `idx` by merging with or borrowing
+    /// from a sibling. `keys`/`children` belong to the parent and are
+    /// mutated in place; the caller rewrites the parent.
+    fn rebalance(
+        &self,
+        keys: &mut Vec<Vec<u8>>,
+        children: &mut Vec<PageId>,
+        idx: usize,
+    ) -> Result<()> {
+        // Normalize to (left_idx, right_idx) = adjacent pair.
+        let (li, ri) = if idx == 0 { (0, 1) } else { (idx - 1, idx) };
+        let left_id = children[li];
+        let right_id = children[ri];
+        let mut left = Self::read_node(&self.pool, left_id)?;
+        let mut right = Self::read_node(&self.pool, right_id)?;
+        let sep = keys[li].clone();
+
+        if left.size() + right.size() <= NODE_CAPACITY - 64 {
+            // Merge right into left.
+            match (&mut left, right) {
+                (
+                    Node::Leaf { next, entries },
+                    Node::Leaf {
+                        next: rnext,
+                        entries: rentries,
+                    },
+                ) => {
+                    entries.extend(rentries);
+                    *next = rnext;
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    lk.push(sep);
+                    lk.extend(rk);
+                    lc.extend(rc);
+                }
+                _ => {
+                    return Err(HipacError::internal(
+                        "sibling nodes of different kinds",
+                    ))
+                }
+            }
+            Self::write_node(&self.pool, left_id, &left)?;
+            keys.remove(li);
+            children.remove(ri);
+            // right_id's page is leaked until the next checkpoint.
+        } else {
+            // Redistribute: move entries/keys across until both sides
+            // are above the underflow threshold.
+            match (&mut left, &mut right) {
+                (
+                    Node::Leaf { entries: le, .. },
+                    Node::Leaf { entries: re, .. },
+                ) => {
+                    while Self::leaf_bytes(le) < UNDERFLOW && re.len() > 1 {
+                        le.push(re.remove(0));
+                    }
+                    while Self::leaf_bytes(re) < UNDERFLOW && le.len() > 1 {
+                        re.insert(0, le.pop().expect("nonempty"));
+                    }
+                    keys[li] = re[0].0.clone();
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    // Rotate through the separator one step at a time.
+                    let mut sep = sep;
+                    while lk.len() + 1 < rk.len() {
+                        lk.push(std::mem::replace(&mut sep, rk.remove(0)));
+                        lc.push(rc.remove(0));
+                    }
+                    while rk.len() + 1 < lk.len() {
+                        rk.insert(0, std::mem::replace(&mut sep, lk.pop().expect("nonempty")));
+                        rc.insert(0, lc.pop().expect("nonempty"));
+                    }
+                    keys[li] = sep;
+                }
+                _ => {
+                    return Err(HipacError::internal(
+                        "sibling nodes of different kinds",
+                    ))
+                }
+            }
+            Self::write_node(&self.pool, left_id, &left)?;
+            Self::write_node(&self.pool, right_id, &right)?;
+        }
+        Ok(())
+    }
+
+    fn leaf_bytes(entries: &[(Vec<u8>, Vec<u8>)]) -> usize {
+        entries.iter().map(|(k, v)| k.len() + v.len() + 8).sum()
+    }
+
+    /// Scan entries with keys in `[start, end)` bounds.
+    pub fn range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let root = self.root.read();
+        // Descend to the leaf containing the lower bound.
+        let seek: &[u8] = match start {
+            Bound::Included(k) | Bound::Excluded(k) => k,
+            Bound::Unbounded => &[],
+        };
+        let mut id = *root;
+        while let Node::Internal { keys, children } = Self::read_node(&self.pool, id)? {
+            let idx = keys.partition_point(|k| k.as_slice() <= seek);
+            id = children[idx];
+        }
+        let mut out = Vec::new();
+        let in_lower = |k: &[u8]| match start {
+            Bound::Included(s) => k >= s,
+            Bound::Excluded(s) => k > s,
+            Bound::Unbounded => true,
+        };
+        let in_upper = |k: &[u8]| match end {
+            Bound::Included(e) => k <= e,
+            Bound::Excluded(e) => k < e,
+            Bound::Unbounded => true,
+        };
+        loop {
+            let Node::Leaf { next, entries } = Self::read_node(&self.pool, id)? else {
+                return Err(HipacError::Corruption("leaf chain hit internal node".into()));
+            };
+            for (k, v) in entries {
+                if !in_lower(&k) {
+                    continue;
+                }
+                if !in_upper(&k) {
+                    return Ok(out);
+                }
+                out.push((k, v));
+            }
+            if next.is_null() {
+                return Ok(out);
+            }
+            id = next;
+        }
+    }
+
+    /// All entries in key order.
+    pub fn iter_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Number of entries (walks the leaf chain).
+    pub fn len(&self) -> Result<usize> {
+        Ok(self.iter_all()?.len())
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Tree height (root to leaf), for tests and diagnostics.
+    pub fn height(&self) -> Result<usize> {
+        let root = self.root.read();
+        let mut id = *root;
+        let mut h = 1;
+        loop {
+            match Self::read_node(&self.pool, id)? {
+                Node::Leaf { .. } => return Ok(h),
+                Node::Internal { children, .. } => {
+                    id = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+    use rand::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn make_tree(name: &str) -> BTree {
+        let dir = std::env::temp_dir().join("hipac-btree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(DiskManager::open(&p).unwrap()),
+            64,
+        ));
+        BTree::create(pool).unwrap()
+    }
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let t = make_tree("small");
+        assert_eq!(t.insert(b"b", b"2").unwrap(), None);
+        assert_eq!(t.insert(b"a", b"1").unwrap(), None);
+        assert_eq!(t.insert(b"c", b"3").unwrap(), None);
+        assert_eq!(t.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.get(b"z").unwrap(), None);
+        assert_eq!(t.insert(b"a", b"9").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(b"a").unwrap(), Some(b"9".to_vec()));
+    }
+
+    #[test]
+    fn sequential_inserts_split_and_stay_sorted() {
+        let t = make_tree("seq");
+        let n = 2000u64;
+        for i in 0..n {
+            t.insert(&key(i), format!("value-{i}").as_bytes()).unwrap();
+        }
+        assert!(t.height().unwrap() >= 2, "tree must have split");
+        for i in 0..n {
+            assert_eq!(
+                t.get(&key(i)).unwrap(),
+                Some(format!("value-{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+        let all = t.iter_all().unwrap();
+        assert_eq!(all.len(), n as usize);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "sorted order");
+    }
+
+    #[test]
+    fn random_inserts_match_model() {
+        let t = make_tree("random");
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..3000 {
+            let k = key(rng.gen_range(0..1000));
+            let v = vec![rng.gen::<u8>(); rng.gen_range(0..64)];
+            let expected = model.insert(k.clone(), v.clone());
+            assert_eq!(t.insert(&k, &v).unwrap(), expected);
+        }
+        for (k, v) in &model {
+            assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
+        }
+        let all = t.iter_all().unwrap();
+        assert_eq!(all.len(), model.len());
+    }
+
+    #[test]
+    fn deletes_match_model_and_rebalance() {
+        let t = make_tree("delete");
+        let mut model = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..2000u64 {
+            let v = vec![b'x'; 32];
+            t.insert(&key(i), &v).unwrap();
+            model.insert(key(i), v);
+        }
+        let pre_height = t.height().unwrap();
+        assert!(pre_height >= 2);
+        // Delete 90% in random order.
+        let mut keys: Vec<u64> = (0..2000).collect();
+        keys.shuffle(&mut rng);
+        for i in &keys[..1800] {
+            let expected = model.remove(&key(*i));
+            assert_eq!(t.delete(&key(*i)).unwrap(), expected, "delete {i}");
+        }
+        assert_eq!(t.delete(&key(keys[0])).unwrap(), None, "double delete");
+        for (k, v) in &model {
+            assert_eq!(t.get(k).unwrap().as_ref(), Some(v));
+        }
+        assert_eq!(t.len().unwrap(), model.len());
+        assert!(
+            t.height().unwrap() <= pre_height,
+            "root collapse must not grow the tree"
+        );
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_tree() {
+        let t = make_tree("drain");
+        for i in 0..500u64 {
+            t.insert(&key(i), &[0u8; 100]).unwrap();
+        }
+        for i in 0..500u64 {
+            assert!(t.delete(&key(i)).unwrap().is_some());
+        }
+        assert!(t.is_empty().unwrap());
+        assert_eq!(t.height().unwrap(), 1, "tree collapsed to a leaf root");
+        // Still usable afterwards.
+        t.insert(b"again", b"yes").unwrap();
+        assert_eq!(t.get(b"again").unwrap(), Some(b"yes".to_vec()));
+    }
+
+    #[test]
+    fn range_scans() {
+        let t = make_tree("range");
+        for i in (0..100u64).step_by(2) {
+            t.insert(&key(i), &key(i * 10)).unwrap();
+        }
+        let r = t
+            .range(Bound::Included(&key(10)[..]), Bound::Excluded(&key(20)[..]))
+            .unwrap();
+        let got: Vec<u64> = r
+            .iter()
+            .map(|(k, _)| u64::from_be_bytes(k[..8].try_into().unwrap()))
+            .collect();
+        assert_eq!(got, vec![10, 12, 14, 16, 18]);
+        let r = t
+            .range(Bound::Excluded(&key(10)[..]), Bound::Included(&key(14)[..]))
+            .unwrap();
+        assert_eq!(r.len(), 2); // 12, 14
+        let all = t.range(Bound::Unbounded, Bound::Unbounded).unwrap();
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn large_values_and_entry_cap() {
+        let t = make_tree("large");
+        let v = vec![9u8; MAX_ENTRY - 8];
+        t.insert(b"bigkey12", &v).unwrap();
+        assert_eq!(t.get(b"bigkey12").unwrap(), Some(v));
+        let too_big = vec![0u8; MAX_ENTRY + 1];
+        assert!(matches!(
+            t.insert(b"", &too_big),
+            Err(HipacError::RecordTooLarge { .. })
+        ));
+        // Many large entries force splits with tiny arity.
+        for i in 0..50u64 {
+            t.insert(&key(i), &vec![1u8; 900]).unwrap();
+        }
+        for i in 0..50u64 {
+            assert_eq!(t.get(&key(i)).unwrap(), Some(vec![1u8; 900]));
+        }
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let dir = std::env::temp_dir().join("hipac-btree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("reopen-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let disk = Arc::new(DiskManager::open(&p).unwrap());
+        let root;
+        {
+            let pool = Arc::new(BufferPool::new(Arc::clone(&disk), 64));
+            let t = BTree::create(Arc::clone(&pool)).unwrap();
+            for i in 0..1000u64 {
+                t.insert(&key(i), &key(i)).unwrap();
+            }
+            root = t.root_page();
+            pool.flush_and_sync().unwrap();
+        }
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        let t = BTree::open(pool, root).unwrap();
+        assert_eq!(t.len().unwrap(), 1000);
+        assert_eq!(t.get(&key(999)).unwrap(), Some(key(999)));
+    }
+}

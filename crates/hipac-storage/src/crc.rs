@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), used to checksum WAL frames.
+//!
+//! Implemented from scratch (table-driven) so the workspace stays within
+//! its approved dependency set.
+
+/// Lazily built 256-entry lookup table for the reflected polynomial
+/// 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (init 0xFFFFFFFF, final xor 0xFFFFFFFF — the
+/// standard zlib/ethernet parameterization).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"hello world, this is a wal frame".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}.{bit} undetected");
+            }
+        }
+    }
+}

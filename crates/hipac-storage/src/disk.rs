@@ -1,0 +1,204 @@
+//! The disk manager: page-granularity I/O over a single database file.
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use hipac_common::{HipacError, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Owns the database file and allocates pages from it.
+///
+/// Reads and writes use positioned I/O (`pread`/`pwrite`), so they are
+/// safe to issue concurrently; the `Mutex` only guards file extension.
+pub struct DiskManager {
+    file: File,
+    /// Number of pages the file currently holds (including the meta
+    /// page). Page ids below this are valid.
+    num_pages: AtomicU64,
+    extend_lock: Mutex<()>,
+}
+
+impl DiskManager {
+    /// Open (or create) the database file at `path`.
+    ///
+    /// A fresh file is primed with a zeroed page 0 (the meta page), so
+    /// the first allocatable page is page 1.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(HipacError::Corruption(format!(
+                "database file length {len} is not a multiple of the page size"
+            )));
+        }
+        let dm = DiskManager {
+            file,
+            num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            extend_lock: Mutex::new(()),
+        };
+        if dm.num_pages() == 0 {
+            // Prime the meta page.
+            let id = dm.allocate()?;
+            debug_assert_eq!(id, PageId(0));
+        }
+        Ok(dm)
+    }
+
+    /// Number of pages in the file.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages.load(Ordering::Acquire)
+    }
+
+    /// Read page `id` from disk.
+    pub fn read_page(&self, id: PageId) -> Result<Page> {
+        if id.0 >= self.num_pages() {
+            return Err(HipacError::StorageNotFound(format!(
+                "{id} beyond end of file ({} pages)",
+                self.num_pages()
+            )));
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        self.file.read_exact_at(&mut buf, id.offset())?;
+        Ok(Page::from_bytes(buf))
+    }
+
+    /// Write `page` to disk at `id`. Does not sync.
+    pub fn write_page(&self, id: PageId, page: &Page) -> Result<()> {
+        if id.0 >= self.num_pages() {
+            return Err(HipacError::Internal(format!(
+                "write to unallocated {id} ({} pages)",
+                self.num_pages()
+            )));
+        }
+        self.file.write_all_at(page.bytes(), id.offset())?;
+        Ok(())
+    }
+
+    /// Extend the file by one zeroed page and return its id.
+    pub fn allocate(&self) -> Result<PageId> {
+        let _guard = self.extend_lock.lock();
+        let id = PageId(self.num_pages.load(Ordering::Acquire));
+        let zero = [0u8; PAGE_SIZE];
+        self.file.write_all_at(&zero, id.offset())?;
+        self.num_pages.fetch_add(1, Ordering::Release);
+        Ok(id)
+    }
+
+    /// Flush file contents and metadata to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("hipac-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.db", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn fresh_file_has_meta_page() {
+        let path = tmpfile("fresh");
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.num_pages(), 1);
+        let meta = dm.read_page(PageId(0)).unwrap();
+        assert!(meta.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = tmpfile("rw");
+        let dm = DiskManager::open(&path).unwrap();
+        let id = dm.allocate().unwrap();
+        let mut p = Page::new();
+        p.put_u64(16, 0xABCD);
+        p.put_slice(100, b"persist me");
+        dm.write_page(id, &p).unwrap();
+        let back = dm.read_page(id).unwrap();
+        assert_eq!(back.get_u64(16), 0xABCD);
+        assert_eq!(back.get_slice(100, 10), b"persist me");
+    }
+
+    #[test]
+    fn contents_survive_reopen() {
+        let path = tmpfile("reopen");
+        let id;
+        {
+            let dm = DiskManager::open(&path).unwrap();
+            id = dm.allocate().unwrap();
+            let mut p = Page::new();
+            p.put_u32(0, 77);
+            dm.write_page(id, &p).unwrap();
+            dm.sync().unwrap();
+        }
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.num_pages(), 2);
+        assert_eq!(dm.read_page(id).unwrap().get_u32(0), 77);
+    }
+
+    #[test]
+    fn read_past_end_is_not_found() {
+        let path = tmpfile("oob");
+        let dm = DiskManager::open(&path).unwrap();
+        assert!(matches!(
+            dm.read_page(PageId(99)),
+            Err(HipacError::StorageNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn allocation_is_sequential_and_zeroed() {
+        let path = tmpfile("alloc");
+        let dm = DiskManager::open(&path).unwrap();
+        let a = dm.allocate().unwrap();
+        let b = dm.allocate().unwrap();
+        assert_eq!(a, PageId(1));
+        assert_eq!(b, PageId(2));
+        assert!(dm.read_page(b).unwrap().bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn concurrent_allocation_yields_unique_pages() {
+        let path = tmpfile("concalloc");
+        let dm = std::sync::Arc::new(DiskManager::open(&path).unwrap());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let dm = dm.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..25).map(|_| dm.allocate().unwrap().0).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+        assert_eq!(dm.num_pages(), 101);
+    }
+
+    #[test]
+    fn non_page_aligned_file_is_corruption() {
+        let path = tmpfile("misaligned");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(matches!(
+            DiskManager::open(&path),
+            Err(HipacError::Corruption(_))
+        ));
+    }
+}

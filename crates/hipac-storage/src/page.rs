@@ -1,0 +1,208 @@
+//! Fixed-size pages: the unit of I/O and buffering.
+
+use std::fmt;
+
+/// Size of every page, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within the database file: its index.
+///
+/// Page 0 is the metadata page owned by [`crate::store::DurableStore`];
+/// it is never handed out by the allocator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel meaning "no page" (page 0 is the meta page, so it can
+    /// double as the null link in page chains).
+    pub const NULL: PageId = PageId(0);
+
+    /// True if this is the null sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte offset of this page in the database file.
+    #[inline]
+    pub fn offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// An in-memory page image.
+///
+/// The buffer is boxed so `Page` values are cheap to move; all typed
+/// accessors are little-endian and bounds-checked by slice indexing
+/// (a bad offset is a bug, so panicking is the right failure mode).
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zero-filled page.
+    pub fn new() -> Self {
+        Page {
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap(),
+        }
+    }
+
+    /// Build a page from raw bytes read off disk.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Page {
+            data: Box::new(bytes),
+        }
+    }
+
+    /// The full page image.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable access to the full page image.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Read a `u16` at `off` (little-endian).
+    #[inline]
+    pub fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+    }
+
+    /// Write a `u16` at `off`.
+    #[inline]
+    pub fn put_u16(&mut self, off: usize, v: u16) {
+        self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a `u32` at `off`.
+    #[inline]
+    pub fn get_u32(&self, off: usize) -> u32 {
+        u32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+    }
+
+    /// Write a `u32` at `off`.
+    #[inline]
+    pub fn put_u32(&mut self, off: usize, v: u32) {
+        self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a `u64` at `off`.
+    #[inline]
+    pub fn get_u64(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    /// Write a `u64` at `off`.
+    #[inline]
+    pub fn put_u64(&mut self, off: usize, v: u64) {
+        self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read `len` bytes at `off`.
+    #[inline]
+    pub fn get_slice(&self, off: usize, len: usize) -> &[u8] {
+        &self.data[off..off + len]
+    }
+
+    /// Write `bytes` at `off`.
+    #[inline]
+    pub fn put_slice(&mut self, off: usize, bytes: &[u8]) {
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Zero the whole page.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::new()
+    }
+}
+
+impl Clone for Page {
+    fn clone(&self) -> Self {
+        Page {
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_zeroed() {
+        let p = Page::new();
+        assert!(p.bytes().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mut p = Page::new();
+        p.put_u16(0, 0xBEEF);
+        p.put_u32(2, 0xDEADBEEF);
+        p.put_u64(6, u64::MAX - 1);
+        p.put_slice(100, b"hello");
+        assert_eq!(p.get_u16(0), 0xBEEF);
+        assert_eq!(p.get_u32(2), 0xDEADBEEF);
+        assert_eq!(p.get_u64(6), u64::MAX - 1);
+        assert_eq!(p.get_slice(100, 5), b"hello");
+    }
+
+    #[test]
+    fn accessors_work_at_page_end() {
+        let mut p = Page::new();
+        p.put_u64(PAGE_SIZE - 8, 42);
+        assert_eq!(p.get_u64(PAGE_SIZE - 8), 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut p = Page::new();
+        p.put_u64(PAGE_SIZE - 7, 42);
+    }
+
+    #[test]
+    fn page_id_offset_and_null() {
+        assert_eq!(PageId(3).offset(), 3 * PAGE_SIZE as u64);
+        assert!(PageId::NULL.is_null());
+        assert!(!PageId(1).is_null());
+        assert_eq!(format!("{}", PageId(7)), "page#7");
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = Page::new();
+        a.put_u64(0, 7);
+        let b = a.clone();
+        a.put_u64(0, 9);
+        assert_eq!(b.get_u64(0), 7);
+    }
+}

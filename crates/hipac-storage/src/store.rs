@@ -1,0 +1,614 @@
+//! The durable store: a crash-safe logical key→bytes map.
+//!
+//! This is the persistence boundary the Object Manager sits on. The
+//! design (see crate docs for why it fits HiPAC's execution model):
+//!
+//! * **Redo-only commit logging.** Only committed top-level transactions
+//!   reach the store, as an atomic batch of [`StoreOp`]s. A batch is
+//!   appended to the WAL (`Begin … Commit`) and fsynced *before* being
+//!   applied to the heap/index, so a crash at any point loses nothing
+//!   committed and applies nothing uncommitted.
+//! * **No-steal buffering.** The buffer pool never evicts dirty pages
+//!   ([`EvictionPolicy::CleanOnly`]), so the data file always holds
+//!   exactly the last checkpoint's state.
+//! * **Shadow checkpoints.** A checkpoint rewrites all live data into a
+//!   fresh file, fsyncs it, atomically renames it over the old file and
+//!   only then truncates the WAL. A crash anywhere in that sequence
+//!   leaves either (old file + full WAL) or (new file + replayable WAL),
+//!   both of which recover to the same state because replay is
+//!   idempotent (last-writer-wins upserts).
+//!
+//! Values of any size are supported by chunking across heap records.
+
+use crate::btree::BTree;
+use crate::buffer::{BufferPool, EvictionPolicy};
+use crate::disk::DiskManager;
+use crate::heap::{HeapFile, RecordId};
+use crate::page::PageId;
+use crate::wal::{Wal, WalRecord};
+use hipac_common::{HipacError, Result, TxnId};
+use parking_lot::Mutex;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: u64 = 0x4849_5041_4344_4231; // "HIPACDB1"
+const META_MAGIC_OFF: usize = 0;
+const META_HEAP_OFF: usize = 8;
+const META_INDEX_OFF: usize = 16;
+
+/// Default WAL size (bytes) that triggers an automatic checkpoint.
+pub const DEFAULT_CHECKPOINT_THRESHOLD: u64 = 4 * 1024 * 1024;
+
+/// One logical operation in a committed batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreOp {
+    /// Insert or replace `key`.
+    Put { key: Vec<u8>, value: Vec<u8> },
+    /// Remove `key` (removing an absent key is a no-op).
+    Delete { key: Vec<u8> },
+}
+
+struct Engine {
+    pool: Arc<BufferPool>,
+    heap: HeapFile,
+    index: BTree,
+}
+
+impl Engine {
+    /// Open or initialize the engine over `data_path`.
+    fn open(data_path: &Path, pool_capacity: usize) -> Result<Engine> {
+        let disk = Arc::new(DiskManager::open(data_path)?);
+        let pool = Arc::new(BufferPool::with_policy(
+            disk,
+            pool_capacity,
+            EvictionPolicy::CleanOnly,
+        ));
+        let meta = pool.fetch(PageId(0))?;
+        let magic = meta.read().get_u64(META_MAGIC_OFF);
+        if magic == MAGIC {
+            let heap_first = PageId(meta.read().get_u64(META_HEAP_OFF));
+            let index_root = PageId(meta.read().get_u64(META_INDEX_OFF));
+            let heap = HeapFile::open(Arc::clone(&pool), heap_first)?;
+            let index = BTree::open(Arc::clone(&pool), index_root)?;
+            Ok(Engine { pool, heap, index })
+        } else if magic == 0 {
+            let heap = HeapFile::create(Arc::clone(&pool))?;
+            let index = BTree::create(Arc::clone(&pool))?;
+            {
+                let mut guard = meta.write();
+                guard.put_u64(META_MAGIC_OFF, MAGIC);
+                guard.put_u64(META_HEAP_OFF, heap.first_page().0);
+                guard.put_u64(META_INDEX_OFF, index.root_page().0);
+            }
+            pool.flush_and_sync()?;
+            Ok(Engine { pool, heap, index })
+        } else {
+            Err(HipacError::Corruption(format!(
+                "bad database magic {magic:#x} in {}",
+                data_path.display()
+            )))
+        }
+    }
+
+    /// Store `value` as a chunk chain; returns the head record id.
+    fn write_value(&self, value: &[u8]) -> Result<RecordId> {
+        let chunk_payload = HeapFile::max_record_len() - 8;
+        // Write chunks back-to-front so each holds its successor's rid.
+        let mut next: u64 = 0;
+        let mut chunks: Vec<&[u8]> = value.chunks(chunk_payload).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]);
+        }
+        for chunk in chunks.iter().rev() {
+            let mut rec = Vec::with_capacity(8 + chunk.len());
+            rec.extend_from_slice(&next.to_le_bytes());
+            rec.extend_from_slice(chunk);
+            let rid = self.heap.insert(&rec)?;
+            next = rid.to_u64() + 1; // +1 so 0 can mean "no next"
+        }
+        Ok(RecordId::from_u64(next - 1))
+    }
+
+    /// Read a chunk chain starting at `head`.
+    fn read_value(&self, head: RecordId) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut cur = Some(head);
+        while let Some(rid) = cur {
+            let rec = self.heap.get(rid)?;
+            if rec.len() < 8 {
+                return Err(HipacError::Corruption("value chunk too short".into()));
+            }
+            let next = u64::from_le_bytes(rec[..8].try_into().unwrap());
+            out.extend_from_slice(&rec[8..]);
+            cur = if next == 0 {
+                None
+            } else {
+                Some(RecordId::from_u64(next - 1))
+            };
+        }
+        Ok(out)
+    }
+
+    /// Delete a chunk chain starting at `head`.
+    fn delete_value(&self, head: RecordId) -> Result<()> {
+        let mut cur = Some(head);
+        while let Some(rid) = cur {
+            let rec = self.heap.get(rid)?;
+            let next = u64::from_le_bytes(rec[..8].try_into().unwrap());
+            self.heap.delete(rid)?;
+            cur = if next == 0 {
+                None
+            } else {
+                Some(RecordId::from_u64(next - 1))
+            };
+        }
+        Ok(())
+    }
+
+    fn apply(&self, op: &StoreOp) -> Result<()> {
+        match op {
+            StoreOp::Put { key, value } => {
+                let head = self.write_value(value)?;
+                if let Some(old) = self.index.insert(key, &head.to_u64().to_le_bytes())? {
+                    let old_rid = RecordId::from_u64(u64::from_le_bytes(
+                        old.as_slice().try_into().map_err(|_| {
+                            HipacError::Corruption("bad rid in index".into())
+                        })?,
+                    ));
+                    self.delete_value(old_rid)?;
+                }
+            }
+            StoreOp::Delete { key } => {
+                if let Some(old) = self.index.delete(key)? {
+                    let old_rid = RecordId::from_u64(u64::from_le_bytes(
+                        old.as_slice().try_into().map_err(|_| {
+                            HipacError::Corruption("bad rid in index".into())
+                        })?,
+                    ));
+                    self.delete_value(old_rid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.index.get(key)? {
+            Some(ridb) => {
+                let rid = RecordId::from_u64(u64::from_le_bytes(
+                    ridb.as_slice()
+                        .try_into()
+                        .map_err(|_| HipacError::Corruption("bad rid in index".into()))?,
+                ));
+                Ok(Some(self.read_value(rid)?))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct Inner {
+    engine: Engine,
+    wal: Wal,
+    checkpoint_threshold: u64,
+}
+
+/// The durable store. All methods are safe to call concurrently; writes
+/// serialize internally.
+///
+/// ```
+/// use hipac_storage::{DurableStore, StoreOp};
+/// use hipac_common::TxnId;
+/// let dir = std::env::temp_dir().join(format!("hipac-doc-{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let store = DurableStore::open(&dir).unwrap();
+/// store.commit(TxnId(1), &[StoreOp::Put { key: b"k".to_vec(), value: b"v".to_vec() }]).unwrap();
+/// assert_eq!(store.get(b"k").unwrap(), Some(b"v".to_vec()));
+/// ```
+pub struct DurableStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl DurableStore {
+    /// Open (creating or recovering as needed) the store in `dir`.
+    pub fn open(dir: &Path) -> Result<DurableStore> {
+        Self::open_with(dir, 1024, DEFAULT_CHECKPOINT_THRESHOLD)
+    }
+
+    /// Open with an explicit buffer-pool capacity (pages) and WAL
+    /// checkpoint threshold (bytes).
+    pub fn open_with(
+        dir: &Path,
+        pool_capacity: usize,
+        checkpoint_threshold: u64,
+    ) -> Result<DurableStore> {
+        std::fs::create_dir_all(dir)?;
+        // A crash during checkpoint may leave a stale tmp file; it is
+        // never authoritative, so discard it.
+        let _ = std::fs::remove_file(dir.join("data.db.tmp"));
+        let engine = Engine::open(&dir.join("data.db"), pool_capacity)?;
+        let (wal, records) = Wal::open(&dir.join("wal.log"))?;
+        // Recovery: apply every committed batch in log order.
+        let mut current: Option<(TxnId, Vec<StoreOp>)> = None;
+        for rec in records {
+            match rec {
+                WalRecord::Begin { txn } => current = Some((txn, Vec::new())),
+                WalRecord::Put { txn, key, value } => {
+                    if let Some((t, ops)) = &mut current {
+                        if *t == txn {
+                            ops.push(StoreOp::Put { key, value });
+                        }
+                    }
+                }
+                WalRecord::Delete { txn, key } => {
+                    if let Some((t, ops)) = &mut current {
+                        if *t == txn {
+                            ops.push(StoreOp::Delete { key });
+                        }
+                    }
+                }
+                WalRecord::Commit { txn } => {
+                    if let Some((t, ops)) = current.take() {
+                        if t == txn {
+                            for op in &ops {
+                                engine.apply(op)?;
+                            }
+                        }
+                    }
+                }
+                WalRecord::Abort { .. } => current = None,
+                WalRecord::Checkpoint => current = None,
+            }
+        }
+        Ok(DurableStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                engine,
+                wal,
+                checkpoint_threshold,
+            }),
+        })
+    }
+
+    /// Atomically and durably commit a batch of operations on behalf of
+    /// top-level transaction `txn`.
+    pub fn commit(&self, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        Self::log_batch(&inner.wal, txn, ops)?;
+        for op in ops {
+            inner.engine.apply(op)?;
+        }
+        if inner.wal.size()? >= inner.checkpoint_threshold {
+            Self::checkpoint_locked(&self.dir, &mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Failpoint for crash testing: durably log the batch but "crash"
+    /// before applying it to the data structures. A subsequent
+    /// [`DurableStore::open`] must recover the batch from the WAL.
+    pub fn commit_log_only_for_crash_test(&self, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        let inner = self.inner.lock();
+        Self::log_batch(&inner.wal, txn, ops)
+    }
+
+    fn log_batch(wal: &Wal, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        let mut records = Vec::with_capacity(ops.len() + 2);
+        records.push(WalRecord::Begin { txn });
+        for op in ops {
+            records.push(match op {
+                StoreOp::Put { key, value } => WalRecord::Put {
+                    txn,
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+                StoreOp::Delete { key } => WalRecord::Delete {
+                    txn,
+                    key: key.clone(),
+                },
+            });
+        }
+        records.push(WalRecord::Commit { txn });
+        wal.append_all(&records)?;
+        wal.sync()
+    }
+
+    /// Read the value for `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.lock().engine.get(key)
+    }
+
+    /// All `(key, value)` pairs with `key` in the given range, in key
+    /// order.
+    pub fn range(
+        &self,
+        start: Bound<&[u8]>,
+        end: Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let inner = self.inner.lock();
+        let keys = inner.engine.index.range(start, end)?;
+        let mut out = Vec::with_capacity(keys.len());
+        for (key, ridb) in keys {
+            let rid = RecordId::from_u64(u64::from_le_bytes(
+                ridb.as_slice()
+                    .try_into()
+                    .map_err(|_| HipacError::Corruption("bad rid in index".into()))?,
+            ));
+            let value = inner.engine.read_value(rid)?;
+            out.push((key, value));
+        }
+        Ok(out)
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let all = self.range(Bound::Included(prefix), Bound::Unbounded)?;
+        Ok(all
+            .into_iter()
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .collect())
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> Result<usize> {
+        self.inner.lock().engine.index.len()
+    }
+
+    /// True if the store holds no keys.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Force a checkpoint now (rewrite the data file compactly and
+    /// truncate the WAL).
+    pub fn checkpoint(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        Self::checkpoint_locked(&self.dir, &mut inner)
+    }
+
+    fn checkpoint_locked(dir: &Path, inner: &mut Inner) -> Result<()> {
+        let tmp_path = dir.join("data.db.tmp");
+        let data_path = dir.join("data.db");
+        let _ = std::fs::remove_file(&tmp_path);
+        // Build the shadow copy.
+        {
+            let shadow = Engine::open(&tmp_path, 1024)?;
+            for (key, ridb) in inner.engine.index.iter_all()? {
+                let rid = RecordId::from_u64(u64::from_le_bytes(
+                    ridb.as_slice()
+                        .try_into()
+                        .map_err(|_| HipacError::Corruption("bad rid in index".into()))?,
+                ));
+                let value = inner.engine.read_value(rid)?;
+                shadow.apply(&StoreOp::Put { key, value })?;
+            }
+            // Persist the shadow's (possibly moved) roots.
+            let meta = shadow.pool.fetch(PageId(0))?;
+            {
+                let mut guard = meta.write();
+                guard.put_u64(META_HEAP_OFF, shadow.heap.first_page().0);
+                guard.put_u64(META_INDEX_OFF, shadow.index.root_page().0);
+            }
+            shadow.pool.flush_and_sync()?;
+        }
+        // Atomic switch.
+        std::fs::rename(&tmp_path, &data_path)?;
+        // Reopen over the new file, then retire the WAL.
+        inner.engine = Engine::open(&data_path, 1024)?;
+        inner.wal.append(&WalRecord::Checkpoint)?;
+        inner.wal.sync()?;
+        inner.wal.reset()?;
+        Ok(())
+    }
+
+    /// Current WAL size in bytes (diagnostics).
+    pub fn wal_size(&self) -> Result<u64> {
+        self.inner.lock().wal.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hipac-store-tests/{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn put(key: &[u8], value: &[u8]) -> StoreOp {
+        StoreOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }
+    }
+
+    fn del(key: &[u8]) -> StoreOp {
+        StoreOp::Delete { key: key.to_vec() }
+    }
+
+    #[test]
+    fn basic_commit_and_get() {
+        let dir = tmpdir("basic");
+        let store = DurableStore::open(&dir).unwrap();
+        store
+            .commit(TxnId(1), &[put(b"a", b"1"), put(b"b", b"2")])
+            .unwrap();
+        assert_eq!(store.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(store.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(store.get(b"c").unwrap(), None);
+        store.commit(TxnId(2), &[del(b"a"), put(b"b", b"22")]).unwrap();
+        assert_eq!(store.get(b"a").unwrap(), None);
+        assert_eq!(store.get(b"b").unwrap(), Some(b"22".to_vec()));
+        assert_eq!(store.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            store
+                .commit(TxnId(1), &[put(b"k", b"persisted")])
+                .unwrap();
+        }
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"k").unwrap(), Some(b"persisted".to_vec()));
+    }
+
+    #[test]
+    fn crash_before_apply_recovers_from_wal() {
+        let dir = tmpdir("crash");
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            store.commit(TxnId(1), &[put(b"a", b"1")]).unwrap();
+            // Simulated crash: batch reaches the WAL but not the data
+            // structures, and nothing is flushed.
+            store
+                .commit_log_only_for_crash_test(TxnId(2), &[put(b"b", b"2"), del(b"a")])
+                .unwrap();
+        }
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(store.get(b"a").unwrap(), None, "delete recovered too");
+    }
+
+    #[test]
+    fn torn_uncommitted_batch_is_ignored() {
+        let dir = tmpdir("torn");
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            store.commit(TxnId(1), &[put(b"keep", b"me")]).unwrap();
+        }
+        // Hand-append an unterminated batch directly to the WAL.
+        {
+            let (wal, _) = Wal::open(&dir.join("wal.log")).unwrap();
+            wal.append(&WalRecord::Begin { txn: TxnId(9) }).unwrap();
+            wal.append(&WalRecord::Put {
+                txn: TxnId(9),
+                key: b"phantom".to_vec(),
+                value: b"x".to_vec(),
+            })
+            .unwrap();
+            wal.sync().unwrap();
+        }
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"keep").unwrap(), Some(b"me".to_vec()));
+        assert_eq!(store.get(b"phantom").unwrap(), None);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_preserves_data() {
+        let dir = tmpdir("ckpt");
+        let store = DurableStore::open(&dir).unwrap();
+        for i in 0..100u64 {
+            store
+                .commit(TxnId(i), &[put(&i.to_be_bytes(), &[i as u8; 64])])
+                .unwrap();
+        }
+        assert!(store.wal_size().unwrap() > 0);
+        store.checkpoint().unwrap();
+        assert_eq!(store.wal_size().unwrap(), 0);
+        for i in 0..100u64 {
+            assert_eq!(
+                store.get(&i.to_be_bytes()).unwrap(),
+                Some(vec![i as u8; 64])
+            );
+        }
+        // Post-checkpoint commits + reopen still work.
+        store.commit(TxnId(1000), &[put(b"post", b"ckpt")]).unwrap();
+        drop(store);
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"post").unwrap(), Some(b"ckpt".to_vec()));
+        assert_eq!(store.len().unwrap(), 101);
+    }
+
+    #[test]
+    fn automatic_checkpoint_by_threshold() {
+        let dir = tmpdir("auto-ckpt");
+        let store = DurableStore::open_with(&dir, 256, 4096).unwrap();
+        for i in 0..200u64 {
+            store
+                .commit(TxnId(i), &[put(&i.to_be_bytes(), &[7u8; 100])])
+                .unwrap();
+        }
+        // The 4 KiB threshold must have tripped at least once.
+        assert!(store.wal_size().unwrap() < 8192);
+        assert_eq!(store.len().unwrap(), 200);
+    }
+
+    #[test]
+    fn large_values_chunk_across_records() {
+        let dir = tmpdir("large");
+        let store = DurableStore::open(&dir).unwrap();
+        let big = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect::<Vec<u8>>();
+        store.commit(TxnId(1), &[put(b"big", &big)]).unwrap();
+        assert_eq!(store.get(b"big").unwrap(), Some(big.clone()));
+        // Overwrite with a small value and make sure the chain is gone
+        // (checkpoint rewrites compactly; size should be small).
+        store.commit(TxnId(2), &[put(b"big", b"small")]).unwrap();
+        store.checkpoint().unwrap();
+        assert_eq!(store.get(b"big").unwrap(), Some(b"small".to_vec()));
+        let data_len = std::fs::metadata(dir.join("data.db")).unwrap().len();
+        assert!(data_len < 64 * 1024, "compacted file is small, got {data_len}");
+        // And the big value still readable after reopen.
+        drop(store);
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"big").unwrap(), Some(b"small".to_vec()));
+    }
+
+    #[test]
+    fn range_and_prefix_scans() {
+        let dir = tmpdir("scan");
+        let store = DurableStore::open(&dir).unwrap();
+        store
+            .commit(
+                TxnId(1),
+                &[
+                    put(b"a/1", b"v1"),
+                    put(b"a/2", b"v2"),
+                    put(b"b/1", b"v3"),
+                ],
+            )
+            .unwrap();
+        let a = store.scan_prefix(b"a/").unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].0, b"a/1");
+        let all = store.range(Bound::Unbounded, Bound::Unbounded).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn empty_value_roundtrips() {
+        let dir = tmpdir("empty");
+        let store = DurableStore::open(&dir).unwrap();
+        store.commit(TxnId(1), &[put(b"e", b"")]).unwrap();
+        assert_eq!(store.get(b"e").unwrap(), Some(vec![]));
+        drop(store);
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"e").unwrap(), Some(vec![]));
+    }
+
+    #[test]
+    fn many_batches_with_reopen_each_time() {
+        let dir = tmpdir("churn");
+        for round in 0..5u64 {
+            let store = DurableStore::open(&dir).unwrap();
+            store
+                .commit(
+                    TxnId(round),
+                    &[put(format!("k{round}").as_bytes(), b"v")],
+                )
+                .unwrap();
+            drop(store);
+        }
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.len().unwrap(), 5);
+    }
+}

@@ -1,0 +1,361 @@
+//! Write-ahead log: a checksummed, append-only record stream.
+//!
+//! The durable store logs *committed top-level transactions only* (see
+//! the crate docs), so the record vocabulary is logical and redo-only:
+//! `Begin / Put / Delete / Commit / Abort` plus `Checkpoint` markers.
+//!
+//! Each frame on disk is `[len: u32][crc32: u32][payload: len bytes]`.
+//! On open, the log is scanned and truncated at the first torn or
+//! corrupt frame — everything before it is the recoverable prefix, which
+//! is exactly the crash-consistency contract fsync gives us.
+
+use crate::crc::crc32;
+use hipac_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
+use hipac_common::{HipacError, Result, TxnId};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// One logical log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A committed batch for `txn` starts.
+    Begin { txn: TxnId },
+    /// Upsert of `key` to `value`.
+    Put {
+        txn: TxnId,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
+    /// Removal of `key`.
+    Delete { txn: TxnId, key: Vec<u8> },
+    /// The batch for `txn` is complete; recovery applies it.
+    Commit { txn: TxnId },
+    /// The batch for `txn` must be ignored (written only by tests and
+    /// kept for completeness — the store never logs uncommitted work).
+    Abort { txn: TxnId },
+    /// All preceding records are reflected in the data file.
+    Checkpoint,
+}
+
+const T_BEGIN: u8 = 1;
+const T_PUT: u8 = 2;
+const T_DELETE: u8 = 3;
+const T_COMMIT: u8 = 4;
+const T_ABORT: u8 = 5;
+const T_CHECKPOINT: u8 = 6;
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            WalRecord::Begin { txn } => {
+                buf.push(T_BEGIN);
+                put_uvarint(&mut buf, txn.raw());
+            }
+            WalRecord::Put { txn, key, value } => {
+                buf.push(T_PUT);
+                put_uvarint(&mut buf, txn.raw());
+                put_bytes(&mut buf, key);
+                put_bytes(&mut buf, value);
+            }
+            WalRecord::Delete { txn, key } => {
+                buf.push(T_DELETE);
+                put_uvarint(&mut buf, txn.raw());
+                put_bytes(&mut buf, key);
+            }
+            WalRecord::Commit { txn } => {
+                buf.push(T_COMMIT);
+                put_uvarint(&mut buf, txn.raw());
+            }
+            WalRecord::Abort { txn } => {
+                buf.push(T_ABORT);
+                put_uvarint(&mut buf, txn.raw());
+            }
+            WalRecord::Checkpoint => buf.push(T_CHECKPOINT),
+        }
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<WalRecord> {
+        let mut pos = 0usize;
+        let tag = *buf
+            .first()
+            .ok_or_else(|| HipacError::WalCorrupt("empty record".into()))?;
+        pos += 1;
+        let rec = match tag {
+            T_BEGIN => WalRecord::Begin {
+                txn: TxnId(get_uvarint(buf, &mut pos)?),
+            },
+            T_PUT => {
+                let txn = TxnId(get_uvarint(buf, &mut pos)?);
+                let key = get_bytes(buf, &mut pos)?.to_vec();
+                let value = get_bytes(buf, &mut pos)?.to_vec();
+                WalRecord::Put { txn, key, value }
+            }
+            T_DELETE => {
+                let txn = TxnId(get_uvarint(buf, &mut pos)?);
+                let key = get_bytes(buf, &mut pos)?.to_vec();
+                WalRecord::Delete { txn, key }
+            }
+            T_COMMIT => WalRecord::Commit {
+                txn: TxnId(get_uvarint(buf, &mut pos)?),
+            },
+            T_ABORT => WalRecord::Abort {
+                txn: TxnId(get_uvarint(buf, &mut pos)?),
+            },
+            T_CHECKPOINT => WalRecord::Checkpoint,
+            other => {
+                return Err(HipacError::WalCorrupt(format!(
+                    "unknown record tag {other}"
+                )))
+            }
+        };
+        if pos != buf.len() {
+            return Err(HipacError::WalCorrupt("trailing bytes in record".into()));
+        }
+        Ok(rec)
+    }
+}
+
+/// The write-ahead log file.
+pub struct Wal {
+    file: Mutex<File>,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, scan it, truncate any torn
+    /// tail, and return the log handle plus the valid records.
+    pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let (records, valid_len) = Self::scan(&raw);
+        if valid_len != raw.len() {
+            file.set_len(valid_len as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Wal {
+                file: Mutex::new(file),
+            },
+            records,
+        ))
+    }
+
+    /// Parse frames from `raw`, stopping at the first torn/corrupt one.
+    /// Returns the records and the byte length of the valid prefix.
+    fn scan(raw: &[u8]) -> (Vec<WalRecord>, usize) {
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            if pos + 8 > raw.len() {
+                break;
+            }
+            let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
+            let start = pos + 8;
+            let Some(end) = start.checked_add(len) else {
+                break;
+            };
+            if end > raw.len() {
+                break;
+            }
+            let payload = &raw[start..end];
+            if crc32(payload) != crc {
+                break;
+            }
+            match WalRecord::decode(payload) {
+                Ok(rec) => records.push(rec),
+                Err(_) => break,
+            }
+            pos = end;
+        }
+        (records, pos)
+    }
+
+    /// Append a record (buffered by the OS; call [`Wal::sync`] to make
+    /// it durable).
+    pub fn append(&self, rec: &WalRecord) -> Result<()> {
+        self.append_all(std::slice::from_ref(rec))
+    }
+
+    /// Append several records under one lock acquisition, keeping the
+    /// batch contiguous in the file.
+    pub fn append_all(&self, recs: &[WalRecord]) -> Result<()> {
+        let mut frame = Vec::new();
+        for rec in recs {
+            let payload = rec.encode();
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+        }
+        let mut file = self.file.lock();
+        file.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Force the log to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    /// Truncate the log to zero length (after a checkpoint has made its
+    /// contents redundant).
+    pub fn reset(&self) -> Result<()> {
+        let mut file = self.file.lock();
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// Current log size in bytes.
+    pub fn size(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("hipac-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin { txn: TxnId(1) },
+            WalRecord::Put {
+                txn: TxnId(1),
+                key: b"k1".to_vec(),
+                value: b"v1".to_vec(),
+            },
+            WalRecord::Delete {
+                txn: TxnId(1),
+                key: b"k0".to_vec(),
+            },
+            WalRecord::Commit { txn: TxnId(1) },
+            WalRecord::Checkpoint,
+            WalRecord::Abort { txn: TxnId(2) },
+        ]
+    }
+
+    #[test]
+    fn append_reopen_replay() {
+        let path = tmp("replay");
+        {
+            let (wal, existing) = Wal::open(&path).unwrap();
+            assert!(existing.is_empty());
+            for rec in sample_records() {
+                wal.append(&rec).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, sample_records());
+    }
+
+    #[test]
+    fn append_all_equals_individual_appends() {
+        let path = tmp("batch");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append_all(&sample_records()).unwrap();
+            wal.sync().unwrap();
+        }
+        let (_w, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, sample_records());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = tmp("torn");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append_all(&sample_records()).unwrap();
+            wal.sync().unwrap();
+        }
+        // Append garbage simulating a torn frame.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        }
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, sample_records());
+        // The log was truncated back to the valid prefix, so further
+        // appends produce a clean log.
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_w, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), sample_records().len() + 1);
+    }
+
+    #[test]
+    fn corrupt_middle_frame_cuts_the_suffix() {
+        let path = tmp("corrupt");
+        {
+            let (wal, _) = Wal::open(&path).unwrap();
+            wal.append_all(&sample_records()).unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip one byte in the middle of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_w, records) = Wal::open(&path).unwrap();
+        assert!(records.len() < sample_records().len());
+        // Whatever survived must be a prefix of the original sequence.
+        assert_eq!(records[..], sample_records()[..records.len()]);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append_all(&sample_records()).unwrap();
+        wal.sync().unwrap();
+        assert!(wal.size().unwrap() > 0);
+        wal.reset().unwrap();
+        assert_eq!(wal.size().unwrap(), 0);
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_w, records) = Wal::open(&path).unwrap();
+        assert_eq!(records, vec![WalRecord::Checkpoint]);
+    }
+
+    #[test]
+    fn empty_keys_and_values_roundtrip() {
+        let rec = WalRecord::Put {
+            txn: TxnId(0),
+            key: vec![],
+            value: vec![],
+        };
+        let enc = rec.encode();
+        assert_eq!(WalRecord::decode(&enc).unwrap(), rec);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = WalRecord::Checkpoint.encode();
+        enc.push(0);
+        assert!(WalRecord::decode(&enc).is_err());
+    }
+}

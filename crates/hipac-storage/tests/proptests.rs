@@ -1,0 +1,209 @@
+//! Model-based property tests for the storage engine: the B+tree and
+//! the durable store are exercised against `std::collections::BTreeMap`
+//! oracles under random operation sequences, and the slotted page
+//! against a vector model.
+
+use hipac_common::TxnId;
+use hipac_storage::btree::BTree;
+use hipac_storage::buffer::BufferPool;
+use hipac_storage::disk::DiskManager;
+use hipac_storage::page::Page;
+use hipac_storage::slotted::{SlottedPage, UpdateOutcome};
+use hipac_storage::{DurableStore, StoreOp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(name: &str) -> PathBuf {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "hipac-storage-proptests/{name}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    Range(Vec<u8>, Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space to force collisions, updates and deletes of
+    // existing keys.
+    proptest::collection::vec(0u8..8, 1..4)
+}
+
+fn arb_tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (arb_key(), proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        arb_key().prop_map(TreeOp::Delete),
+        arb_key().prop_map(TreeOp::Get),
+        (arb_key(), arb_key()).prop_map(|(a, b)| TreeOp::Range(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(arb_tree_op(), 1..150)) {
+        let dir = tmpdir("btree-model");
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(DiskManager::open(&dir.join("t.db")).unwrap()),
+            8, // tiny pool to force eviction paths
+        ));
+        let tree = BTree::create(pool).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let expected = model.insert(k.clone(), v.clone());
+                    prop_assert_eq!(tree.insert(&k, &v).unwrap(), expected);
+                }
+                TreeOp::Delete(k) => {
+                    let expected = model.remove(&k);
+                    prop_assert_eq!(tree.delete(&k).unwrap(), expected);
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&k).unwrap(), model.get(&k).cloned());
+                }
+                TreeOp::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got = tree
+                        .range(Bound::Included(&lo[..]), Bound::Excluded(&hi[..]))
+                        .unwrap();
+                    let expected: Vec<(Vec<u8>, Vec<u8>)> = model
+                        .range::<[u8], _>((
+                            Bound::Included(&lo[..]),
+                            Bound::Excluded(&hi[..]),
+                        ))
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, expected);
+                }
+            }
+        }
+        // Final full-scan equivalence.
+        let all = tree.iter_all().unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> =
+            model.into_iter().collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn slotted_page_matches_vec_model(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // (insert data)
+                proptest::collection::vec(any::<u8>(), 0..200).prop_map(Some),
+                // (delete/update victim index selector)
+                Just(None),
+            ],
+            1..120,
+        ),
+        seed in any::<u64>(),
+    ) {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut page = Page::new();
+        let mut s = SlottedPage::new(&mut page, 0);
+        s.init();
+        // model: slot -> data for live records
+        let mut model: BTreeMap<u16, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Some(data) => {
+                    if let Some(slot) = s.insert(&data) {
+                        prop_assert!(!model.contains_key(&slot), "slot reused while live");
+                        model.insert(slot, data);
+                    }
+                }
+                None if !model.is_empty() => {
+                    let keys: Vec<u16> = model.keys().copied().collect();
+                    let victim = keys[rng.gen_range(0..keys.len())];
+                    if rng.gen_bool(0.5) {
+                        prop_assert!(s.delete(victim));
+                        model.remove(&victim);
+                    } else {
+                        let new_data = vec![rng.gen::<u8>(); rng.gen_range(0..150)];
+                        match s.update(victim, &new_data) {
+                            UpdateOutcome::Done => {
+                                model.insert(victim, new_data);
+                            }
+                            UpdateOutcome::NoSpace => {}
+                        }
+                    }
+                }
+                None => {}
+            }
+            // Full consistency check against the model.
+            for (slot, data) in &model {
+                prop_assert_eq!(s.get(*slot).unwrap(), &data[..]);
+            }
+            let live: Vec<u16> = s.iter_live().map(|(i, _)| i).collect();
+            let expected: Vec<u16> = model.keys().copied().collect();
+            prop_assert_eq!(live, expected);
+        }
+    }
+
+    #[test]
+    fn durable_store_recovers_random_history(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    (arb_key(), proptest::collection::vec(any::<u8>(), 0..64))
+                        .prop_map(|(k, v)| StoreOp::Put { key: k, value: v }),
+                    arb_key().prop_map(|k| StoreOp::Delete { key: k }),
+                ],
+                1..6,
+            ),
+            1..12,
+        ),
+        crash_tail in 0usize..3,
+    ) {
+        let dir = tmpdir("store-model");
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            let applied_cut = batches.len().saturating_sub(crash_tail);
+            for (i, ops) in batches.iter().enumerate() {
+                if i < applied_cut {
+                    store.commit(TxnId(i as u64 + 1), ops).unwrap();
+                } else {
+                    // Simulate a crash window: the tail batches reach
+                    // only the WAL.
+                    store
+                        .commit_log_only_for_crash_test(TxnId(i as u64 + 1), ops)
+                        .unwrap();
+                }
+                for op in ops {
+                    match op {
+                        StoreOp::Put { key, value } => {
+                            model.insert(key.clone(), value.clone());
+                        }
+                        StoreOp::Delete { key } => {
+                            model.remove(key);
+                        }
+                    }
+                }
+            }
+        }
+        // "Restart" and compare full contents with the model.
+        let store = DurableStore::open(&dir).unwrap();
+        let all = store.range(Bound::Unbounded, Bound::Unbounded).unwrap();
+        let expected: Vec<(Vec<u8>, Vec<u8>)> = model.into_iter().collect();
+        prop_assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,38 @@
+//! Nested transaction management for the HiPAC active DBMS (§3 and §5.2
+//! of the paper).
+//!
+//! The paper's execution model rests on Moss-style nested transactions:
+//!
+//! * top-level transactions are atomic, serializable and permanent;
+//! * nested transactions (subtransactions) are atomic; their effects
+//!   become permanent only when every ancestor up to a top-level
+//!   transaction commits;
+//! * sibling subtransactions may run concurrently and are serializable;
+//! * a parent is suspended while its children execute;
+//! * aborting a transaction discards the effects of all descendants.
+//!
+//! This crate provides:
+//!
+//! * [`tree::TxnTree`] — the transaction forest with state tracking and
+//!   the "parent suspended" rule;
+//! * [`lock::LockManager`] — read/write locks with Moss's rules (a lock
+//!   conflicts unless every conflicting holder is an ancestor), upward
+//!   lock inheritance on commit, a wait-for-graph deadlock detector and
+//!   a wait timeout;
+//! * [`version::VersionStore`] — layered pending versions with
+//!   tombstones, giving each transaction its correct view and making
+//!   commit (merge into parent / publish) and abort (discard) cheap;
+//! * [`manager::TransactionManager`] — the component interface from
+//!   §5.2 (*create / commit / abort transaction*), with resource-manager
+//!   and hook registration so the Object Manager and the Rule Manager
+//!   participate in commit processing exactly as §6.3 describes.
+
+pub mod lock;
+pub mod manager;
+pub mod tree;
+pub mod version;
+
+pub use lock::{LockManager, LockMode};
+pub use manager::{ResourceManager, TransactionManager, TxnHook};
+pub use tree::{TxnState, TxnTree};
+pub use version::VersionStore;

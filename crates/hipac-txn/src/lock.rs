@@ -1,0 +1,435 @@
+//! Lock manager implementing Moss's nested-transaction locking rules.
+//!
+//! Grant rules (§3 of the paper, after Moss 1985):
+//!
+//! * a transaction may acquire a **read** lock iff every *write* holder
+//!   is itself or an ancestor;
+//! * a transaction may acquire a **write** lock iff every holder (read
+//!   or write) is itself or an ancestor;
+//! * on commit, a subtransaction's locks are **inherited** by its
+//!   parent; a top-level commit (or any abort) releases them.
+//!
+//! Blocked requests park on a condition variable. Every blocked request
+//! maintains its edges in a wait-for graph; if adding them closes a
+//! cycle the *requester* is chosen as the deadlock victim and receives
+//! [`HipacError::Deadlock`] (aborting a transaction running on another
+//! thread would race with its work; having the closer of the cycle die
+//! is the classic textbook resolution and guarantees progress). A wait
+//! timeout bounds worst-case blocking.
+
+use crate::tree::{TxnState, TxnTree};
+use hipac_common::{HipacError, Result, TxnId};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lock modes. `Write` subsumes `Read`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Read,
+    Write,
+}
+
+impl LockMode {
+    fn max(self, other: LockMode) -> LockMode {
+        if self == LockMode::Write || other == LockMode::Write {
+            LockMode::Write
+        } else {
+            LockMode::Read
+        }
+    }
+}
+
+struct LockState<K> {
+    /// Per-key holder sets.
+    locks: HashMap<K, HashMap<TxnId, LockMode>>,
+    /// Reverse index: keys held by each transaction.
+    holdings: HashMap<TxnId, HashSet<K>>,
+    /// Wait-for graph: blocked requester → current blockers.
+    waits_for: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+/// The lock manager, generic over the lockable key type (the Object
+/// Manager locks objects, classes and rules).
+pub struct LockManager<K: Eq + Hash + Clone> {
+    tree: Arc<TxnTree>,
+    state: Mutex<LockState<K>>,
+    cv: Condvar,
+    timeout: Duration,
+}
+
+impl<K: Eq + Hash + Clone> LockManager<K> {
+    /// Create a lock manager over the given transaction tree with the
+    /// default 10 s wait timeout.
+    pub fn new(tree: Arc<TxnTree>) -> Self {
+        Self::with_timeout(tree, Duration::from_secs(10))
+    }
+
+    /// Create with an explicit wait timeout.
+    pub fn with_timeout(tree: Arc<TxnTree>, timeout: Duration) -> Self {
+        LockManager {
+            tree,
+            state: Mutex::new(LockState {
+                locks: HashMap::new(),
+                holdings: HashMap::new(),
+                waits_for: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Transactions (other than `txn` and its ancestors) whose holds on
+    /// `key` conflict with `mode`.
+    fn blockers(
+        &self,
+        state: &LockState<K>,
+        txn: TxnId,
+        key: &K,
+        mode: LockMode,
+    ) -> HashSet<TxnId> {
+        let Some(holders) = state.locks.get(key) else {
+            return HashSet::new();
+        };
+        holders
+            .iter()
+            .filter(|(h, m)| {
+                **h != txn
+                    && match mode {
+                        LockMode::Read => **m == LockMode::Write,
+                        LockMode::Write => true,
+                    }
+                    && !self.tree.is_ancestor_or_self(**h, txn)
+            })
+            .map(|(h, _)| *h)
+            .collect()
+    }
+
+    /// Does the requester `from` reach itself through the wait-for
+    /// graph extended with `from → seeds`?
+    fn closes_cycle(
+        state: &LockState<K>,
+        from: TxnId,
+        seeds: &HashSet<TxnId>,
+    ) -> bool {
+        let mut stack: Vec<TxnId> = seeds.iter().copied().collect();
+        let mut seen = HashSet::new();
+        while let Some(t) = stack.pop() {
+            if t == from {
+                return true;
+            }
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(next) = state.waits_for.get(&t) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    /// Acquire `mode` on `key` for `txn`, blocking as needed.
+    ///
+    /// Errors: [`HipacError::Deadlock`] if waiting would close a cycle,
+    /// [`HipacError::LockTimeout`] after the configured timeout,
+    /// [`HipacError::TxnAborted`] if the transaction was aborted while
+    /// waiting.
+    pub fn acquire(&self, txn: TxnId, key: K, mode: LockMode) -> Result<()> {
+        let mut state = self.state.lock();
+        loop {
+            // The transaction may have been aborted by someone else
+            // (e.g. a parent abort) while we were waiting.
+            match self.tree.state(txn) {
+                Ok(TxnState::Active) | Ok(TxnState::Committing) => {}
+                Ok(_) | Err(_) => {
+                    state.waits_for.remove(&txn);
+                    return Err(HipacError::TxnAborted(txn));
+                }
+            }
+            let blockers = self.blockers(&state, txn, &key, mode);
+            if blockers.is_empty() {
+                let holders = state.locks.entry(key.clone()).or_default();
+                let entry = holders.entry(txn).or_insert(mode);
+                *entry = entry.max(mode);
+                state.holdings.entry(txn).or_default().insert(key);
+                state.waits_for.remove(&txn);
+                return Ok(());
+            }
+            if Self::closes_cycle(&state, txn, &blockers) {
+                state.waits_for.remove(&txn);
+                self.cv.notify_all();
+                return Err(HipacError::Deadlock(txn));
+            }
+            state.waits_for.insert(txn, blockers);
+            if self.cv.wait_for(&mut state, self.timeout).timed_out() {
+                state.waits_for.remove(&txn);
+                return Err(HipacError::LockTimeout(txn));
+            }
+        }
+    }
+
+    /// Non-blocking acquire; `Ok(false)` when it would block.
+    pub fn try_acquire(&self, txn: TxnId, key: K, mode: LockMode) -> Result<bool> {
+        let mut state = self.state.lock();
+        let blockers = self.blockers(&state, txn, &key, mode);
+        if !blockers.is_empty() {
+            return Ok(false);
+        }
+        let holders = state.locks.entry(key.clone()).or_default();
+        let entry = holders.entry(txn).or_insert(mode);
+        *entry = entry.max(mode);
+        state.holdings.entry(txn).or_default().insert(key);
+        Ok(true)
+    }
+
+    /// Mode `txn` currently holds on `key`, if any (ancestor holds do
+    /// not count).
+    pub fn held(&self, txn: TxnId, key: &K) -> Option<LockMode> {
+        self.state
+            .lock()
+            .locks
+            .get(key)
+            .and_then(|h| h.get(&txn))
+            .copied()
+    }
+
+    /// Release everything `txn` holds (abort path, or top-level
+    /// commit).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut state = self.state.lock();
+        if let Some(keys) = state.holdings.remove(&txn) {
+            for key in keys {
+                if let Some(holders) = state.locks.get_mut(&key) {
+                    holders.remove(&txn);
+                    if holders.is_empty() {
+                        state.locks.remove(&key);
+                    }
+                }
+            }
+        }
+        state.waits_for.remove(&txn);
+        self.cv.notify_all();
+    }
+
+    /// Transfer all of `txn`'s locks to `parent` (subtransaction
+    /// commit). The parent retains the stronger mode where both held.
+    pub fn inherit_to_parent(&self, txn: TxnId, parent: TxnId) {
+        let mut state = self.state.lock();
+        if let Some(keys) = state.holdings.remove(&txn) {
+            for key in keys {
+                if let Some(holders) = state.locks.get_mut(&key) {
+                    if let Some(mode) = holders.remove(&txn) {
+                        let entry = holders.entry(parent).or_insert(mode);
+                        *entry = entry.max(mode);
+                    }
+                }
+                state
+                    .holdings
+                    .entry(parent)
+                    .or_default()
+                    .insert(key);
+            }
+        }
+        state.waits_for.remove(&txn);
+        self.cv.notify_all();
+    }
+
+    /// Number of keys currently locked (diagnostics).
+    pub fn locked_key_count(&self) -> usize {
+        self.state.lock().locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    type Lm = LockManager<&'static str>;
+
+    fn setup() -> (Arc<TxnTree>, Lm) {
+        let tree = Arc::new(TxnTree::new());
+        let lm = LockManager::with_timeout(Arc::clone(&tree), Duration::from_millis(400));
+        (tree, lm)
+    }
+
+    #[test]
+    fn shared_reads_and_exclusive_writes() {
+        let (tree, lm) = setup();
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Read).unwrap();
+        lm.acquire(b, "x", LockMode::Read).unwrap();
+        assert!(!lm.try_acquire(b, "x", LockMode::Write).unwrap());
+        lm.release_all(a);
+        assert!(lm.try_acquire(b, "x", LockMode::Write).unwrap());
+        assert_eq!(lm.held(b, &"x"), Some(LockMode::Write));
+    }
+
+    #[test]
+    fn write_excludes_read_from_strangers_but_not_descendants() {
+        let (tree, lm) = setup();
+        let t = tree.begin_top();
+        let child = tree.begin_child(t).unwrap();
+        let stranger = tree.begin_top();
+        lm.acquire(t, "x", LockMode::Write).unwrap();
+        // Moss rule: descendant may read (and write) through an
+        // ancestor's write lock.
+        assert!(lm.try_acquire(child, "x", LockMode::Read).unwrap());
+        assert!(lm.try_acquire(child, "x", LockMode::Write).unwrap());
+        assert!(!lm.try_acquire(stranger, "x", LockMode::Read).unwrap());
+    }
+
+    #[test]
+    fn sibling_write_conflicts() {
+        let (tree, lm) = setup();
+        let t = tree.begin_top();
+        let c1 = tree.begin_child(t).unwrap();
+        let c2 = tree.begin_child(t).unwrap();
+        lm.acquire(c1, "x", LockMode::Write).unwrap();
+        assert!(
+            !lm.try_acquire(c2, "x", LockMode::Write).unwrap(),
+            "siblings are not ancestors of each other"
+        );
+        assert!(!lm.try_acquire(c2, "x", LockMode::Read).unwrap());
+        // Parent cannot bypass its own child's lock either (the child
+        // is not an ancestor of the parent).
+        assert!(!lm.try_acquire(t, "x", LockMode::Write).unwrap());
+    }
+
+    #[test]
+    fn commit_inheritance_moves_locks_upward() {
+        let (tree, lm) = setup();
+        let t = tree.begin_top();
+        let c = tree.begin_child(t).unwrap();
+        let sibling = tree.begin_child(t).unwrap();
+        lm.acquire(c, "x", LockMode::Write).unwrap();
+        assert!(!lm.try_acquire(sibling, "x", LockMode::Read).unwrap());
+        // Child commits: parent inherits the write lock, so the other
+        // child can now read through it.
+        lm.inherit_to_parent(c, t);
+        assert_eq!(lm.held(t, &"x"), Some(LockMode::Write));
+        assert_eq!(lm.held(c, &"x"), None);
+        assert!(lm.try_acquire(sibling, "x", LockMode::Read).unwrap());
+    }
+
+    #[test]
+    fn inheritance_keeps_stronger_mode() {
+        let (tree, lm) = setup();
+        let t = tree.begin_top();
+        let c = tree.begin_child(t).unwrap();
+        lm.acquire(t, "x", LockMode::Read).unwrap();
+        lm.acquire(c, "x", LockMode::Write).unwrap();
+        lm.inherit_to_parent(c, t);
+        assert_eq!(lm.held(t, &"x"), Some(LockMode::Write));
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_on_release() {
+        let (tree, lm) = setup();
+        let lm = Arc::new(lm);
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let handle = thread::spawn(move || lm2.acquire(b, "x", LockMode::Write));
+        thread::sleep(Duration::from_millis(50));
+        lm.release_all(a);
+        handle.join().unwrap().unwrap();
+        assert_eq!(lm.held(b, &"x"), Some(LockMode::Write));
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_victim_errors() {
+        let (tree, lm) = setup();
+        let lm = Arc::new(lm);
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        lm.acquire(b, "y", LockMode::Write).unwrap();
+        let lm2 = Arc::clone(&lm);
+        // a blocks on y (held by b)…
+        let ha = thread::spawn(move || lm2.acquire(a, "y", LockMode::Write));
+        thread::sleep(Duration::from_millis(50));
+        // …then b requests x (held by a): cycle, b must die.
+        let err = lm.acquire(b, "x", LockMode::Write).unwrap_err();
+        assert_eq!(err, HipacError::Deadlock(b));
+        // Unblock a by releasing b's locks (as its abort handler would).
+        lm.release_all(b);
+        ha.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn upgrade_deadlock_between_two_readers() {
+        let (tree, lm) = setup();
+        let lm = Arc::new(lm);
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Read).unwrap();
+        lm.acquire(b, "x", LockMode::Read).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let ha = thread::spawn(move || lm2.acquire(a, "x", LockMode::Write));
+        thread::sleep(Duration::from_millis(50));
+        let err = lm.acquire(b, "x", LockMode::Write).unwrap_err();
+        assert_eq!(err, HipacError::Deadlock(b));
+        lm.release_all(b);
+        ha.join().unwrap().unwrap();
+        assert_eq!(lm.held(a, &"x"), Some(LockMode::Write));
+    }
+
+    #[test]
+    fn lock_wait_times_out() {
+        let (tree, lm) = setup();
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        let err = lm.acquire(b, "x", LockMode::Read).unwrap_err();
+        assert_eq!(err, HipacError::LockTimeout(b));
+    }
+
+    #[test]
+    fn aborted_waiter_errors_out() {
+        let (tree, lm) = setup();
+        let lm = Arc::new(lm);
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let tree2 = Arc::clone(&tree);
+        let hb = thread::spawn(move || {
+            let r = lm2.acquire(b, "x", LockMode::Write);
+            (r, tree2)
+        });
+        thread::sleep(Duration::from_millis(50));
+        tree.set_state(b, TxnState::Aborted).unwrap();
+        // Any notify re-checks the waiter's state.
+        lm.release_all(TxnId(999_999)); // no-op release still notifies
+        let (r, _) = hb.join().unwrap();
+        assert_eq!(r.unwrap_err(), HipacError::TxnAborted(b));
+    }
+
+    #[test]
+    fn release_cleans_empty_entries() {
+        let (tree, lm) = setup();
+        let a = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Read).unwrap();
+        lm.acquire(a, "y", LockMode::Write).unwrap();
+        assert_eq!(lm.locked_key_count(), 2);
+        lm.release_all(a);
+        assert_eq!(lm.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn reacquire_held_lock_is_idempotent() {
+        let (tree, lm) = setup();
+        let a = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Read).unwrap();
+        lm.acquire(a, "x", LockMode::Read).unwrap();
+        lm.acquire(a, "x", LockMode::Write).unwrap(); // self-upgrade
+        assert_eq!(lm.held(a, &"x"), Some(LockMode::Write));
+        lm.acquire(a, "x", LockMode::Read).unwrap(); // does not downgrade
+        assert_eq!(lm.held(a, &"x"), Some(LockMode::Write));
+    }
+}

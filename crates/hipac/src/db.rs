@@ -1,0 +1,340 @@
+//! [`ActiveDatabase`]: the assembled engine and the application
+//! interface of Figure 4.1.
+
+use hipac_common::{Clock, HipacError, Result, SystemClock, Timestamp, TxnId, Value, VirtualClock};
+use hipac_event::EventRegistry;
+use hipac_object::ObjectStore;
+use hipac_rules::manager::FnHandler;
+use hipac_rules::RuleManager;
+use hipac_storage::DurableStore;
+use hipac_txn::TransactionManager;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which clock drives temporal events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// A manually advanced clock ([`ActiveDatabase::advance_clock`]);
+    /// deterministic, the default for tests, simulations and
+    /// benchmarks.
+    #[default]
+    Virtual,
+    /// Wall-clock time; call [`ActiveDatabase::poll_temporal`]
+    /// periodically (e.g. from a timer thread) to fire due events.
+    System,
+}
+
+/// Configuration builder for [`ActiveDatabase`].
+pub struct Builder {
+    durable_dir: Option<PathBuf>,
+    workers: usize,
+    lock_timeout: Duration,
+    clock: ClockMode,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            durable_dir: None,
+            workers: 4,
+            lock_timeout: Duration::from_secs(10),
+            clock: ClockMode::Virtual,
+        }
+    }
+}
+
+impl Builder {
+    /// Persist committed data under `dir` (WAL + checkpointed data
+    /// file); reopening the same directory recovers the database.
+    pub fn durable(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Worker threads for separate-coupled rule firings.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Lock-wait timeout (bounds blocking under contention).
+    pub fn lock_timeout(mut self, d: Duration) -> Self {
+        self.lock_timeout = d;
+        self
+    }
+
+    /// Clock mode for temporal events.
+    pub fn clock(mut self, mode: ClockMode) -> Self {
+        self.clock = mode;
+        self
+    }
+
+    /// Assemble the engine.
+    pub fn build(self) -> Result<ActiveDatabase> {
+        let tm = Arc::new(TransactionManager::new());
+        let durable = match &self.durable_dir {
+            Some(dir) => Some(Arc::new(DurableStore::open(dir)?)),
+            None => None,
+        };
+        let store =
+            ObjectStore::with_lock_timeout(Arc::clone(&tm), durable.clone(), self.lock_timeout)?;
+        let virtual_clock = match self.clock {
+            ClockMode::Virtual => Some(Arc::new(VirtualClock::new())),
+            ClockMode::System => None,
+        };
+        let clock: Arc<dyn Clock> = match &virtual_clock {
+            Some(vc) => Arc::clone(vc) as Arc<dyn Clock>,
+            None => Arc::new(SystemClock),
+        };
+        let events = Arc::new(EventRegistry::new(clock));
+        // Replay persisted external event definitions before the Rule
+        // Manager loads persisted rules that reference them.
+        if let Some(d) = &durable {
+            for (key, bytes) in d.scan_prefix(b"e")? {
+                let name = std::str::from_utf8(&key[1..])
+                    .map_err(|_| HipacError::Corruption("bad event name".into()))?;
+                let row = hipac_common::codec::decode_row(&bytes)?;
+                let formals = row
+                    .into_iter()
+                    .map(|v| match v {
+                        Value::Str(s) => Ok(s),
+                        _ => Err(HipacError::Corruption("bad event formals".into())),
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                events.define_external(name, formals)?;
+            }
+        }
+        let rules = RuleManager::with_durability(
+            Arc::clone(&tm),
+            Arc::clone(&store),
+            Arc::clone(&events),
+            self.workers,
+            durable.clone(),
+        )?;
+        Ok(ActiveDatabase {
+            tm,
+            store,
+            events,
+            rules,
+            virtual_clock,
+            durable,
+        })
+    }
+}
+
+/// The assembled active DBMS.
+///
+/// The accessors expose the paper's components directly — applications
+/// use [`ActiveDatabase::store`] for data operations,
+/// [`ActiveDatabase::begin`]/[`ActiveDatabase::commit`]/
+/// [`ActiveDatabase::abort`] for transaction operations,
+/// [`ActiveDatabase::define_event`]/[`ActiveDatabase::signal_event`]
+/// for event operations, and [`ActiveDatabase::register_handler`] for
+/// application operations (the four modules of Figure 4.1).
+pub struct ActiveDatabase {
+    tm: Arc<TransactionManager>,
+    store: Arc<ObjectStore>,
+    events: Arc<EventRegistry>,
+    rules: Arc<RuleManager>,
+    virtual_clock: Option<Arc<VirtualClock>>,
+    durable: Option<Arc<DurableStore>>,
+}
+
+impl ActiveDatabase {
+    /// Start configuring a database.
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// In-memory database with defaults.
+    pub fn open_in_memory() -> Result<ActiveDatabase> {
+        Builder::default().build()
+    }
+
+    // ---- component access ------------------------------------------------
+
+    /// The Object Manager (§5.1): DDL, DML, queries.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The Transaction Manager (§5.2).
+    pub fn txn(&self) -> &Arc<TransactionManager> {
+        &self.tm
+    }
+
+    /// The Event Detectors (§5.3).
+    pub fn events(&self) -> &Arc<EventRegistry> {
+        &self.events
+    }
+
+    /// The Rule Manager (§5.4).
+    pub fn rules(&self) -> &Arc<RuleManager> {
+        &self.rules
+    }
+
+    // ---- transaction operations (Figure 4.1) -----------------------------
+
+    /// Create a top-level transaction.
+    pub fn begin(&self) -> TxnId {
+        self.tm.begin()
+    }
+
+    /// Create a subtransaction.
+    pub fn begin_child(&self, parent: TxnId) -> Result<TxnId> {
+        self.tm.begin_child(parent)
+    }
+
+    /// Commit (runs deferred rule firings first, §6.3).
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.tm.commit(txn)
+    }
+
+    /// Abort (cascades to descendants).
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.tm.abort(txn)
+    }
+
+    /// Run `f` in a new top-level transaction; commit on `Ok`, abort on
+    /// `Err`.
+    pub fn run_top<T>(&self, f: impl FnOnce(TxnId) -> Result<T>) -> Result<T> {
+        self.tm.run_top(f)
+    }
+
+    /// Run `f` in a subtransaction of `parent`.
+    pub fn run_child<T>(&self, parent: TxnId, f: impl FnOnce(TxnId) -> Result<T>) -> Result<T> {
+        self.tm.run_child(parent, f)
+    }
+
+    // ---- event operations (Figure 4.1) ------------------------------------
+
+    /// Define an application-specific event with named parameters
+    /// (§4.1 *define*). In durable mode, the definition persists and is
+    /// replayed on reopen.
+    pub fn define_event(&self, name: &str, params: &[&str]) -> Result<hipac_common::EventId> {
+        let id = self
+            .events
+            .define_external(name, params.iter().map(|s| s.to_string()).collect())?;
+        if let Some(d) = &self.durable {
+            let mut key = Vec::with_capacity(1 + name.len());
+            key.push(b'e');
+            key.extend_from_slice(name.as_bytes());
+            let row: Vec<Value> = params.iter().map(|p| Value::from(*p)).collect();
+            d.commit(
+                // TxnId(0) labels non-transactional metadata writes.
+                TxnId(0),
+                &[hipac_storage::StoreOp::Put {
+                    key,
+                    value: hipac_common::codec::encode_row(&row),
+                }],
+            )?;
+        }
+        Ok(id)
+    }
+
+    /// Raise an application-specific event (§4.1 *signal*). Pass the
+    /// transaction when the signal is part of one; immediate/deferred
+    /// rules then couple to it.
+    pub fn signal_event(
+        &self,
+        name: &str,
+        args: HashMap<String, Value>,
+        txn: Option<TxnId>,
+    ) -> Result<()> {
+        self.events.signal_external(name, args, txn)
+    }
+
+    // ---- application operations (Figure 4.1) ------------------------------
+
+    /// Register an application handler callable from rule actions
+    /// (§4.1: HiPAC as client, application as server).
+    pub fn register_handler<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&str, &HashMap<String, Value>) -> Result<()> + Send + Sync + 'static,
+    {
+        self.rules.register_handler(name, Arc::new(FnHandler(f)));
+    }
+
+    // ---- clock / temporal --------------------------------------------------
+
+    /// Advance the virtual clock by `delta` microseconds and fire due
+    /// temporal events. Errors under [`ClockMode::System`].
+    pub fn advance_clock(&self, delta: u64) -> Result<Timestamp> {
+        let vc = self.virtual_clock.as_ref().ok_or_else(|| {
+            HipacError::internal("advance_clock requires ClockMode::Virtual")
+        })?;
+        let t = vc.advance(delta);
+        self.events.poll_temporal()?;
+        Ok(t)
+    }
+
+    /// Fire due temporal events against the current clock.
+    pub fn poll_temporal(&self) -> Result<()> {
+        self.events.poll_temporal()
+    }
+
+    /// Current database time.
+    pub fn now(&self) -> Timestamp {
+        self.events.clock().now()
+    }
+
+    // ---- lifecycle ----------------------------------------------------------
+
+    /// Wait for all separate-coupled firings submitted so far.
+    pub fn quiesce(&self) {
+        self.rules.quiesce();
+    }
+
+    /// Drain errors from separate-coupled firings.
+    pub fn take_separate_errors(&self) -> Vec<(hipac_common::RuleId, HipacError)> {
+        self.rules.take_separate_errors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipac_common::ValueType;
+    use hipac_object::{AttrDef, Query};
+
+    #[test]
+    fn builder_defaults_and_components() {
+        let db = ActiveDatabase::open_in_memory().unwrap();
+        assert_eq!(db.now(), 0, "virtual clock starts at zero");
+        let t = db.begin();
+        db.store()
+            .create_class(t, "c", None, vec![AttrDef::new("x", ValueType::Int)])
+            .unwrap();
+        db.store().insert(t, "c", vec![Value::from(1)]).unwrap();
+        db.commit(t).unwrap();
+        db.run_top(|t| {
+            assert_eq!(db.store().query(t, &Query::all("c"), None)?.len(), 1);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn advance_clock_requires_virtual_mode() {
+        let db = ActiveDatabase::builder()
+            .clock(ClockMode::System)
+            .build()
+            .unwrap();
+        assert!(db.advance_clock(1).is_err());
+        assert!(db.now() > 0, "system clock is wall time");
+        db.poll_temporal().unwrap();
+    }
+
+    #[test]
+    fn event_define_and_signal_roundtrip() {
+        let db = ActiveDatabase::open_in_memory().unwrap();
+        db.define_event("ping", &["n"]).unwrap();
+        let mut args = HashMap::new();
+        args.insert("n".to_string(), Value::from(1));
+        db.signal_event("ping", args, None).unwrap();
+        db.quiesce();
+        assert!(db.take_separate_errors().is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! # HiPAC — an active DBMS with Event-Condition-Action rules
+//!
+//! A from-scratch Rust reproduction of *"The Architecture Of An Active
+//! Data Base Management System"* (McCarthy & Dayal, SIGMOD 1989): an
+//! object-oriented DBMS that executes user-specified actions
+//! automatically when specified events occur, built on nested
+//! transactions.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hipac::prelude::*;
+//!
+//! let db = ActiveDatabase::builder().build().unwrap();
+//!
+//! // Schema + data (the Object Manager).
+//! db.run_top(|t| {
+//!     db.store().create_class(t, "stock", None, vec![
+//!         AttrDef::new("symbol", ValueType::Str).indexed(),
+//!         AttrDef::new("price", ValueType::Float),
+//!     ])?;
+//!     db.store().insert(t, "stock",
+//!         vec![Value::from("XRX"), Value::from(48.0)])?;
+//!     Ok(())
+//! }).unwrap();
+//!
+//! // An ECA rule: when a stock's price reaches 50, ask the trader
+//! // application to buy (the paper's flagship example).
+//! db.register_handler("trader", |req: &str, args: &Args| {
+//!     println!("{req}: {:?}", args.get("price"));
+//!     Ok(())
+//! });
+//! db.run_top(|t| {
+//!     db.rules().create_rule(t, RuleDef::new("buy-xerox")
+//!         .on(EventSpec::on_update("stock"))
+//!         .when(Query::parse(
+//!             "from stock where new.price >= 50.0 and new.symbol = \"XRX\"")?)
+//!         .then(Action::single(ActionOp::AppRequest {
+//!             handler: "trader".into(),
+//!             request: "buy".into(),
+//!             args: vec![("price".into(), Expr::NewAttr("price".into()))],
+//!         })))?;
+//!     Ok(())
+//! }).unwrap();
+//!
+//! // The rule fires inside this update (immediate coupling).
+//! db.run_top(|t| {
+//!     let row = &db.store().query(t, &Query::parse("from stock")?, None)?[0];
+//!     db.store().update(t, row.oid, &[("price", Value::from(50.0))])
+//! }).unwrap();
+//! ```
+//!
+//! ## Architecture
+//!
+//! The five functional components of the paper's Figure 5.1 map to the
+//! workspace crates:
+//!
+//! | Paper component     | Crate / type                           |
+//! |---------------------|----------------------------------------|
+//! | Object Manager      | `hipac-object` / [`ObjectStore`]       |
+//! | Transaction Manager | `hipac-txn` / [`TransactionManager`]   |
+//! | Event Detectors     | `hipac-event` / [`EventRegistry`]      |
+//! | Rule Manager        | `hipac-rules` / [`RuleManager`]        |
+//! | Condition Evaluator | `hipac-rules` / `ConditionEvaluator`   |
+//!
+//! [`ActiveDatabase`] wires them together and exposes the four-module
+//! application interface of Figure 4.1: operations on **data**, on
+//! **transactions**, on **events**, and **application operations**
+//! (rule actions calling back into registered application handlers).
+
+pub mod db;
+
+pub use db::{ActiveDatabase, Builder, ClockMode};
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::db::{ActiveDatabase, Builder, ClockMode};
+    pub use hipac_common::{
+        ClassId, EventId, HipacError, ObjectId, Result, RuleId, Timestamp, TxnId, Value,
+        ValueType,
+    };
+    pub use hipac_event::spec::{DbEventKind, TemporalSpec};
+    pub use hipac_event::{EventSignal, EventSpec};
+    pub use hipac_object::expr::{BinOp, Expr};
+    pub use hipac_object::query::Row;
+    pub use hipac_object::{AttrDef, ObjectStore, Query};
+    pub use hipac_rules::{Action, ActionOp, CouplingMode, DbAction, RuleDef, RuleManager};
+    pub use hipac_txn::TransactionManager;
+
+    /// Argument map passed to application handlers.
+    pub type Args = std::collections::HashMap<String, Value>;
+}
+
+pub use hipac_common::{
+    ClassId, EventId, HipacError, ObjectId, Result, RuleId, Timestamp, TxnId, Value, ValueType,
+};
+pub use hipac_event::{EventRegistry, EventSignal, EventSpec};
+pub use hipac_object::{AttrDef, ObjectStore, Query};
+pub use hipac_rules::{Action, ActionOp, CouplingMode, DbAction, RuleDef, RuleManager};
+pub use hipac_txn::TransactionManager;

@@ -1,0 +1,172 @@
+//! Integrity enforcement with ECA rules — the use-case the paper traces
+//! back to System R triggers/assertions (§1): constraints expressed as
+//! rules with immediate coupling, so a violating operation is rejected
+//! *inside* its own transaction, and referential actions (cascading
+//! deletes) run automatically.
+//!
+//! Run with: `cargo run --example integrity`
+
+use hipac::prelude::*;
+
+fn main() -> Result<()> {
+    let db = ActiveDatabase::builder().build()?;
+
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "department",
+            None,
+            vec![
+                AttrDef::new("name", ValueType::Str).indexed(),
+                AttrDef::new("budget", ValueType::Float),
+            ],
+        )?;
+        db.store().create_class(
+            t,
+            "employee",
+            None,
+            vec![
+                AttrDef::new("name", ValueType::Str),
+                AttrDef::new("dept", ValueType::Str).indexed(),
+                AttrDef::new("salary", ValueType::Float),
+            ],
+        )?;
+        Ok(())
+    })?;
+
+    db.run_top(|t| {
+        // Constraint 1: salaries are positive and below 1M. An
+        // immediate rule turns the violating insert/update into an
+        // error of that very operation.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("salary-range")
+                .on(EventSpec::db(DbEventKind::Insert, Some("employee"))
+                    .or(EventSpec::on_update("employee")))
+                .when(Query::parse(
+                    "from employee where new.salary <= 0.0 or new.salary > 1000000.0",
+                )?)
+                .then(Action::single(ActionOp::AbortWith {
+                    message: "salary out of range".into(),
+                }))
+                .ec(CouplingMode::Immediate),
+        )?;
+
+        Ok(())
+    })?;
+
+    db.register_handler("validator", |request: &str, args: &Args| {
+        if request == "payroll_changed" {
+            println!("[validator] payroll changed in {:?}", args["dept"]);
+        }
+        Ok(())
+    });
+
+    db.run_top(|t| {
+        // Referential action: deleting a department cascades to its
+        // employees.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("dept-delete-cascade")
+                .on(EventSpec::db(DbEventKind::Delete, Some("department")))
+                .then(Action::single(ActionOp::Db(DbAction::DeleteWhere {
+                    query: Query::parse("from employee where dept = old.name")?,
+                })))
+                .ec(CouplingMode::Immediate),
+        )?;
+
+        // Derived data: keep each department's budget consuming 110% of
+        // its payroll, refreshed at commit (deferred coupling batches
+        // per-transaction updates).
+        db.rules().create_rule(
+            t,
+            RuleDef::new("payroll-audit")
+                .on(EventSpec::db(DbEventKind::Insert, Some("employee"))
+                    .or(EventSpec::on_update("employee")))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "validator".into(),
+                    request: "payroll_changed".into(),
+                    args: vec![("dept".into(), Expr::NewAttr("dept".into()))],
+                }))
+                .ec(CouplingMode::Deferred),
+        )?;
+        Ok(())
+    })?;
+
+    // Populate.
+    db.run_top(|t| {
+        db.store().insert(
+            t,
+            "department",
+            vec![Value::from("research"), Value::from(1_000_000.0)],
+        )?;
+        db.store().insert(
+            t,
+            "employee",
+            vec![
+                Value::from("dayal"),
+                Value::from("research"),
+                Value::from(90_000.0),
+            ],
+        )?;
+        db.store().insert(
+            t,
+            "employee",
+            vec![
+                Value::from("mccarthy"),
+                Value::from("research"),
+                Value::from(85_000.0),
+            ],
+        )?;
+        Ok(())
+    })?;
+
+    // A violating insert is rejected — and the whole transaction with
+    // it, leaving no partial state.
+    let err = db
+        .run_top(|t| {
+            db.store().insert(
+                t,
+                "employee",
+                vec![
+                    Value::from("intern"),
+                    Value::from("research"),
+                    Value::from(-1.0),
+                ],
+            )?;
+            // Never reached:
+            db.store().insert(
+                t,
+                "employee",
+                vec![
+                    Value::from("ghost"),
+                    Value::from("research"),
+                    Value::from(50_000.0),
+                ],
+            )
+        })
+        .unwrap_err();
+    println!("[constraint] rejected: {err}");
+
+    db.run_top(|t| {
+        let employees = db.store().query(t, &Query::parse("from employee")?, None)?;
+        println!("[state] {} employees before department delete", employees.len());
+        Ok(())
+    })?;
+
+    // Deleting the department cascades.
+    db.run_top(|t| {
+        let dept = &db
+            .store()
+            .query(t, &Query::parse("from department where name = \"research\"")?, None)?[0];
+        db.store().delete(t, dept.oid)
+    })?;
+
+    db.run_top(|t| {
+        let employees = db.store().query(t, &Query::parse("from employee")?, None)?;
+        println!("[state] {} employees after cascade", employees.len());
+        assert!(employees.is_empty());
+        Ok(())
+    })?;
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Inventory management: deferred rules, temporal events and cascades.
+//!
+//! Demonstrates the coupling modes on a workload the paper's
+//! introduction motivates (automatic reactions without user
+//! intervention):
+//!
+//! * a **deferred** reorder rule batches per-transaction stock
+//!   movements and places at most the needed orders at commit;
+//! * a **periodic temporal** rule produces a stock report every
+//!   simulated hour (virtual clock);
+//! * order placement **cascades** into an audit trail via a second
+//!   rule.
+//!
+//! Run with: `cargo run --example inventory`
+
+use hipac::prelude::*;
+
+fn main() -> Result<()> {
+    let db = ActiveDatabase::builder().build()?;
+
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "item",
+            None,
+            vec![
+                AttrDef::new("sku", ValueType::Str).indexed(),
+                AttrDef::new("on_hand", ValueType::Int),
+                AttrDef::new("reorder_at", ValueType::Int),
+            ],
+        )?;
+        db.store().create_class(
+            t,
+            "order",
+            None,
+            vec![
+                AttrDef::new("sku", ValueType::Str),
+                AttrDef::new("quantity", ValueType::Int),
+            ],
+        )?;
+        db.store().create_class(
+            t,
+            "audit",
+            None,
+            vec![AttrDef::new("entry", ValueType::Str)],
+        )?;
+        for (sku, on_hand) in [("BOLT", 100), ("NUT", 80), ("GEAR", 25)] {
+            db.store().insert(
+                t,
+                "item",
+                vec![Value::from(sku), Value::from(on_hand), Value::from(20)],
+            )?;
+        }
+        Ok(())
+    })?;
+
+    db.register_handler("console", |request: &str, args: &Args| {
+        println!("[{request}] {args:?}");
+        Ok(())
+    });
+
+    db.run_top(|t| {
+        // Deferred reorder: evaluated once per committing transaction,
+        // after all of its withdrawals.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("reorder")
+                .on(EventSpec::on_update("item"))
+                .when(Query::parse(
+                    "from item where new.on_hand <= new.reorder_at \
+                     and old.on_hand > old.reorder_at",
+                )?)
+                .then(Action::single(ActionOp::Db(DbAction::Insert {
+                    class: "order".into(),
+                    values: vec![
+                        Expr::NewAttr("sku".into()),
+                        // Order back up to 5x the reorder point.
+                        Expr::NewAttr("reorder_at".into())
+                            .bin(BinOp::Mul, Expr::lit(5))
+                            .bin(BinOp::Sub, Expr::NewAttr("on_hand".into())),
+                    ],
+                })))
+                .ec(CouplingMode::Deferred),
+        )?;
+
+        // Cascade: every placed order leaves an audit entry.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("order-audit")
+                .on(EventSpec::db(DbEventKind::Insert, Some("order")))
+                .then(Action::single(ActionOp::Db(DbAction::Insert {
+                    class: "audit".into(),
+                    values: vec![Expr::lit("order placed: ")
+                        .bin(BinOp::Add, Expr::NewAttr("sku".into()))],
+                }))),
+        )?;
+
+        // Hourly stock report (temporal, fires outside any transaction,
+        // therefore in its own top-level transaction).
+        db.rules().create_rule(
+            t,
+            RuleDef::new("hourly-report")
+                .on(EventSpec::Temporal(TemporalSpec::Periodic {
+                    period: 3_600_000_000, // one hour in microseconds
+                    start: Some(0),
+                }))
+                .when(Query::parse("from item where on_hand <= reorder_at")?)
+                .then(Action::single(ActionOp::ForEachRow {
+                    query_index: 0,
+                    ops: vec![ActionOp::AppRequest {
+                        handler: "console".into(),
+                        request: "low-stock-report".into(),
+                        args: vec![
+                            ("sku".into(), Expr::attr("sku")),
+                            ("on_hand".into(), Expr::attr("on_hand")),
+                        ],
+                    }],
+                })),
+        )?;
+        Ok(())
+    })?;
+
+    // A day of warehouse activity: withdrawals in batches.
+    let items = db.run_top(|t| {
+        Ok(db
+            .store()
+            .query(t, &Query::parse("from item")?, None)?
+            .into_iter()
+            .map(|r| (r.oid, r.values[0].as_str().unwrap().to_owned()))
+            .collect::<Vec<_>>())
+    })?;
+    for hour in 1..=4u64 {
+        // One transaction per hour of withdrawals.
+        db.run_top(|t| {
+            for (oid, sku) in &items {
+                let current = db.store().get_attr(t, *oid, "on_hand")?.as_int()?;
+                let take = match sku.as_str() {
+                    "GEAR" => 3, // will cross its reorder point
+                    _ => 10,
+                };
+                db.store()
+                    .update(t, *oid, &[("on_hand", Value::from(current - take))])?;
+            }
+            Ok(())
+        })?;
+        // Advance simulated time one hour; the periodic report fires.
+        db.advance_clock(3_600_000_000)?;
+        println!("-- end of hour {hour} --");
+    }
+    db.quiesce();
+    for (rule, err) in db.take_separate_errors() {
+        eprintln!("[warn] {rule}: {err}");
+    }
+
+    db.run_top(|t| {
+        let orders = db.store().query(t, &Query::parse("from order")?, None)?;
+        println!("orders placed:");
+        for o in &orders {
+            println!("  {} x {}", o.values[0], o.values[1]);
+        }
+        let audit = db.store().query(t, &Query::parse("from audit")?, None)?;
+        assert_eq!(audit.len(), orders.len(), "cascaded audit entries");
+        println!("audit entries: {}", audit.len());
+        Ok(())
+    })?;
+    Ok(())
+}

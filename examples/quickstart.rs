@@ -1,0 +1,82 @@
+//! Quickstart: the paper's flagship rule — "buy 500 shares of Xerox
+//! for client A when the price reaches 50" (§4.2) — built with the
+//! public API.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hipac::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Assemble an in-memory active database.
+    let db = ActiveDatabase::builder().build()?;
+
+    // 2. Define the schema and load a security (Object Manager, §5.1).
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "stock",
+            None,
+            vec![
+                AttrDef::new("symbol", ValueType::Str).indexed(),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )?;
+        db.store()
+            .insert(t, "stock", vec![Value::from("XRX"), Value::from(48.25)])?;
+        Ok(())
+    })?;
+
+    // 3. Register the trading application (§4.1: rule actions send
+    //    requests *to* applications — HiPAC becomes the client).
+    db.register_handler("trader", |request: &str, args: &Args| {
+        println!(
+            "[trader] {request}: {} shares of {} for client {} at {}",
+            args["shares"], args["symbol"], args["client"], args["price"]
+        );
+        Ok(())
+    });
+
+    // 4. Create the ECA rule (Rule Manager, §5.4).
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("buy-xerox-at-50")
+                // Event: update of a stock's price.
+                .on(EventSpec::on_update("stock"))
+                // Condition: the update pushed XRX to 50 or above
+                // (evaluated incrementally against the update delta).
+                .when(Query::parse(
+                    "from stock where new.symbol = \"XRX\" and new.price >= 50.0 \
+                     and old.price < 50.0",
+                )?)
+                // Action: request to the trader application.
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "trader".into(),
+                    request: "buy".into(),
+                    args: vec![
+                        ("symbol".into(), Expr::NewAttr("symbol".into())),
+                        ("shares".into(), Expr::lit(500)),
+                        ("client".into(), Expr::lit("A")),
+                        ("price".into(), Expr::NewAttr("price".into())),
+                    ],
+                }))
+                // Immediate coupling: fire inside the triggering
+                // transaction, at the triggering operation.
+                .ec(CouplingMode::Immediate)
+                .ca(CouplingMode::Immediate),
+        )?;
+        Ok(())
+    })?;
+
+    // 5. Ticker updates: below the threshold nothing happens; the
+    //    crossing update fires the rule before it even commits.
+    let oid = db.run_top(|t| Ok(db.store().query(t, &Query::parse("from stock")?, None)?[0].oid))?;
+    for price in [48.5, 49.0, 49.75, 50.0, 50.25] {
+        println!("[ticker] XRX -> {price}");
+        db.run_top(|t| db.store().update(t, oid, &[("price", Value::from(price))]))?;
+    }
+
+    // Only the 49.75 -> 50.0 crossing bought shares.
+    println!("done.");
+    Ok(())
+}

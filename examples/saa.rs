@@ -1,0 +1,239 @@
+//! The Securities Analyst's Assistant (SAA) — the first application
+//! built over HiPAC (§4.2 of the paper, Figure 4.2).
+//!
+//! Three application programs, glued together *exclusively* by rules
+//! (the paper's observation: "there are no direct interactions between
+//! the application programs; all interactions take place through rules
+//! firing"):
+//!
+//! * **Ticker** — updates current prices from a (here: synthetic) wire
+//!   service, one transaction per quote;
+//! * **Display** — renders price quotes and executed trades on the
+//!   analyst's workstation (here: stdout lines), driven by display
+//!   rules;
+//! * **Trader** — executes trades against a trading service and
+//!   signals the `trade_executed` event; driven by trading rules.
+//!
+//! Rule wiring, exactly as in the paper:
+//!
+//! 1. *ticker-window* (display rule): on every stock price update, send
+//!    a `display_quote` request — "condition and action together in a
+//!    separate transaction".
+//! 2. *buy-xerox* (trading rule): when XRX reaches 50, send a buy
+//!    request to the trader — separate transaction.
+//! 3. *trade-display* (display rule): the `trade_executed` event (an
+//!    application-defined event signalled by the Trader) updates the
+//!    client's portfolio and displays the trade.
+//!
+//! Run with: `cargo run --example saa`
+
+use hipac::prelude::*;
+use rand::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() -> Result<()> {
+    let db = Arc::new(ActiveDatabase::builder().workers(4).build()?);
+
+    // ---------------------------------------------------------------
+    // Schema: securities and portfolio positions.
+    // ---------------------------------------------------------------
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "stock",
+            None,
+            vec![
+                AttrDef::new("symbol", ValueType::Str).indexed(),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )?;
+        db.store().create_class(
+            t,
+            "position",
+            None,
+            vec![
+                AttrDef::new("client", ValueType::Str).indexed(),
+                AttrDef::new("symbol", ValueType::Str),
+                AttrDef::new("shares", ValueType::Int),
+            ],
+        )?;
+        for (sym, price) in [("XRX", 48.0), ("DEC", 110.0), ("IBM", 122.5)] {
+            db.store()
+                .insert(t, "stock", vec![Value::from(sym), Value::from(price)])?;
+        }
+        db.store().insert(
+            t,
+            "position",
+            vec![Value::from("A"), Value::from("XRX"), Value::from(0)],
+        )?;
+        Ok(())
+    })?;
+
+    // ---------------------------------------------------------------
+    // Application-defined event: the Trader signals executed trades.
+    // ---------------------------------------------------------------
+    db.define_event("trade_executed", &["client", "symbol", "shares", "price"])?;
+
+    // ---------------------------------------------------------------
+    // The Display program: a pure server rendering requests.
+    // ---------------------------------------------------------------
+    db.register_handler("display", |request: &str, args: &Args| {
+        match request {
+            "display_quote" => println!(
+                "[display] {:>4} {:>8}",
+                args["symbol"].as_str().unwrap_or("?"),
+                args["price"].to_string(),
+            ),
+            "display_trade" => println!(
+                "[display] TRADE client {} bought {} {} @ {}",
+                args["client"], args["shares"], args["symbol"], args["price"]
+            ),
+            other => println!("[display] {other}: {args:?}"),
+        }
+        Ok(())
+    });
+
+    // ---------------------------------------------------------------
+    // The Trader program: executes trades, then *signals* the
+    // trade_executed event (it never talks to the display directly).
+    // ---------------------------------------------------------------
+    {
+        let db2 = Arc::clone(&db);
+        db.register_handler("trader", move |request: &str, args: &Args| {
+            if request == "buy" {
+                println!(
+                    "[trader ] executing: buy {} {} for client {}",
+                    args["shares"], args["symbol"], args["client"]
+                );
+                let mut out = HashMap::new();
+                for k in ["client", "symbol", "shares", "price"] {
+                    out.insert(k.to_string(), args[k].clone());
+                }
+                // Signalled outside any transaction: the rules coupled
+                // to it run as separate top-level transactions.
+                db2.signal_event("trade_executed", out, None)?;
+            }
+            Ok(())
+        });
+    }
+
+    // ---------------------------------------------------------------
+    // Rules (the application's control logic lives here, not in code).
+    // ---------------------------------------------------------------
+    db.run_top(|t| {
+        // 1. Ticker window: every price quote scrolls across the
+        //    display.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("ticker-window")
+                .on(EventSpec::on_update("stock"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "display".into(),
+                    request: "display_quote".into(),
+                    args: vec![
+                        ("symbol".into(), Expr::NewAttr("symbol".into())),
+                        ("price".into(), Expr::NewAttr("price".into())),
+                    ],
+                }))
+                .detached(), // condition+action in a separate transaction
+        )?;
+
+        // 2. The analyst's instruction: buy 500 XRX for client A when
+        //    the price reaches 50.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("buy-xerox")
+                .on(EventSpec::on_update("stock"))
+                .when(Query::parse(
+                    "from stock where new.symbol = \"XRX\" and new.price >= 50.0 \
+                     and old.price < 50.0",
+                )?)
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "trader".into(),
+                    request: "buy".into(),
+                    args: vec![
+                        ("client".into(), Expr::lit("A")),
+                        ("symbol".into(), Expr::NewAttr("symbol".into())),
+                        ("shares".into(), Expr::lit(500)),
+                        ("price".into(), Expr::NewAttr("price".into())),
+                    ],
+                }))
+                .detached(),
+        )?;
+
+        // 3. Executed trades update the portfolio and reach the screen.
+        db.rules().create_rule(
+            t,
+            RuleDef::new("trade-display")
+                .on(EventSpec::external("trade_executed"))
+                .then(
+                    Action::single(ActionOp::Db(DbAction::UpdateWhere {
+                        query: Query::parse(
+                            "from position where client = :client and symbol = :symbol",
+                        )?,
+                        assignments: vec![(
+                            "shares".into(),
+                            Expr::attr("shares").bin(BinOp::Add, Expr::param("shares")),
+                        )],
+                    }))
+                    .then(ActionOp::AppRequest {
+                        handler: "display".into(),
+                        request: "display_trade".into(),
+                        args: vec![
+                            ("client".into(), Expr::param("client")),
+                            ("symbol".into(), Expr::param("symbol")),
+                            ("shares".into(), Expr::param("shares")),
+                            ("price".into(), Expr::param("price")),
+                        ],
+                    }),
+                )
+                .detached(),
+        )?;
+        Ok(())
+    })?;
+
+    // ---------------------------------------------------------------
+    // The Ticker program: a synthetic wire service (substitution for
+    // the paper's NYSE feed, see DESIGN.md) pushing quotes.
+    // ---------------------------------------------------------------
+    let oids: Vec<(ObjectId, String)> = db.run_top(|t| {
+        Ok(db
+            .store()
+            .query(t, &Query::parse("from stock")?, None)?
+            .into_iter()
+            .map(|r| (r.oid, r.values[0].as_str().unwrap().to_owned()))
+            .collect())
+    })?;
+    let mut rng = StdRng::seed_from_u64(1989);
+    for round in 0..12 {
+        let (oid, sym) = &oids[rng.gen_range(0..oids.len())];
+        let bump = if sym == "XRX" {
+            0.5 // trend XRX toward the threshold
+        } else {
+            rng.gen_range(-1.0..1.0)
+        };
+        db.run_top(|t| {
+            let old = db.store().get_attr(t, *oid, "price")?.as_float()?;
+            db.store()
+                .update(t, *oid, &[("price", Value::from(old + bump))])
+        })?;
+        let _ = round;
+    }
+
+    // Let the separate-mode firings drain, then show the portfolio.
+    db.quiesce();
+    for (rule, err) in db.take_separate_errors() {
+        eprintln!("[warn] rule {rule} failed: {err}");
+    }
+    db.run_top(|t| {
+        for row in db.store().query(t, &Query::parse("from position")?, None)? {
+            println!(
+                "[portfolio] client {} holds {} {}",
+                row.values[0], row.values[2], row.values[1]
+            );
+        }
+        Ok(())
+    })?;
+    Ok(())
+}

@@ -1,0 +1,361 @@
+//! An interactive shell over the active database — a miniature ISQL for
+//! ECA rules. Also runnable non-interactively:
+//!
+//! ```text
+//! printf 'class stock symbol:str:indexed price:float\ninsert stock "XRX" 48.0\nquery from stock\n' \
+//!     | cargo run --example shell
+//! ```
+//!
+//! Commands (one per line):
+//!
+//! ```text
+//! class <name> [<super>:] <attr>:<type>[:indexed][:nullable] ...
+//! insert <class> <literal> ...
+//! update <oid> <attr> <literal>
+//! delete <oid>
+//! query from <class> [where <expr>] [select a, b]
+//! event <name> <param> ...           define an external event
+//! signal <name> <param>=<literal> ...
+//! rule <name> on (update|insert|delete) <class> [where <expr>] \
+//!      [do abort <msg> | do signal <event>] [deferred|separate]
+//! rules                              list rules
+//! explain <rule>                     show a rule's strategy
+//! enable <rule> / disable <rule> / drop rule <rule>
+//! trace on|off / traces              firing traces
+//! stats                              engine counters
+//! quit
+//! ```
+
+use hipac::prelude::*;
+use std::collections::HashMap;
+use std::io::{BufRead, Write as _};
+
+fn parse_literal(tok: &str) -> Result<Value> {
+    if tok == "null" {
+        return Ok(Value::Null);
+    }
+    if tok == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if tok == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(stripped) = tok.strip_prefix('"') {
+        return Ok(Value::from(stripped.trim_end_matches('"')));
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Ok(Value::from(tok))
+}
+
+fn parse_attr_spec(tok: &str) -> Result<AttrDef> {
+    let mut parts = tok.split(':');
+    let name = parts.next().unwrap_or_default();
+    let ty = match parts.next() {
+        Some("str") => ValueType::Str,
+        Some("int") => ValueType::Int,
+        Some("float") => ValueType::Float,
+        Some("bool") => ValueType::Bool,
+        Some("ts") | Some("timestamp") => ValueType::Timestamp,
+        other => {
+            return Err(HipacError::ParseError {
+                position: 0,
+                message: format!("unknown attribute type {other:?} in {tok}"),
+            })
+        }
+    };
+    let mut def = AttrDef::new(name, ty);
+    for flag in parts {
+        match flag {
+            "indexed" => def = def.indexed(),
+            "nullable" => def = def.nullable(),
+            other => {
+                return Err(HipacError::ParseError {
+                    position: 0,
+                    message: format!("unknown attribute flag {other}"),
+                })
+            }
+        }
+    }
+    Ok(def)
+}
+
+fn handle(db: &ActiveDatabase, line: &str) -> Result<bool> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(true);
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    match tokens.as_slice() {
+        ["quit"] | ["exit"] => return Ok(false),
+
+        ["class", name, attrs @ ..] => {
+            let (superclass, attrs) = match attrs.split_first() {
+                Some((first, rest)) if first.ends_with(':') && !first.contains("::") && !first[..first.len()-1].contains(':') => {
+                    (Some(first.trim_end_matches(':')), rest)
+                }
+                _ => (None, attrs),
+            };
+            let defs: Vec<AttrDef> = attrs
+                .iter()
+                .map(|a| parse_attr_spec(a))
+                .collect::<Result<_>>()?;
+            let id = db.run_top(|t| db.store().create_class(t, name, superclass, defs))?;
+            println!("created {name} ({id})");
+        }
+
+        ["insert", class, values @ ..] => {
+            let vals: Vec<Value> = values.iter().map(|v| parse_literal(v)).collect::<Result<_>>()?;
+            let oid = db.run_top(|t| db.store().insert(t, class, vals))?;
+            println!("inserted {oid}");
+        }
+
+        ["update", oid, attr, value] => {
+            let oid = ObjectId(oid.trim_start_matches("obj#").parse().map_err(|_| {
+                HipacError::ParseError {
+                    position: 0,
+                    message: format!("bad oid {oid}"),
+                }
+            })?);
+            let v = parse_literal(value)?;
+            db.run_top(|t| db.store().update(t, oid, &[(attr, v.clone())]))?;
+            println!("updated {oid}");
+        }
+
+        ["delete", oid] => {
+            let oid = ObjectId(oid.trim_start_matches("obj#").parse().map_err(|_| {
+                HipacError::ParseError {
+                    position: 0,
+                    message: format!("bad oid {oid}"),
+                }
+            })?);
+            db.run_top(|t| db.store().delete(t, oid))?;
+            println!("deleted {oid}");
+        }
+
+        ["query", ..] => {
+            let q = Query::parse(line.strip_prefix("query ").unwrap_or(line))?;
+            let rows = db.run_top(|t| db.store().query(t, &q, None))?;
+            for row in &rows {
+                let vals: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+                println!("{}  {}", row.oid, vals.join(", "));
+            }
+            println!("({} rows)", rows.len());
+        }
+
+        ["event", name, params @ ..] => {
+            db.define_event(name, params)?;
+            println!("event {name}({}) defined", params.join(", "));
+        }
+
+        ["signal", name, args @ ..] => {
+            let mut map = HashMap::new();
+            for a in args {
+                let (k, v) = a.split_once('=').ok_or_else(|| HipacError::ParseError {
+                    position: 0,
+                    message: format!("expected param=value, got {a}"),
+                })?;
+                map.insert(k.to_string(), parse_literal(v)?);
+            }
+            db.signal_event(name, map, None)?;
+            db.quiesce();
+            println!("signalled {name}");
+        }
+
+        ["rule", name, "on", kind, class, rest @ ..] => {
+            let kind = match *kind {
+                "update" => DbEventKind::Update,
+                "insert" => DbEventKind::Insert,
+                "delete" => DbEventKind::Delete,
+                other => {
+                    return Err(HipacError::ParseError {
+                        position: 0,
+                        message: format!("unknown event kind {other}"),
+                    })
+                }
+            };
+            let mut rule = RuleDef::new(*name).on(EventSpec::db(kind, Some(class)));
+            let mut rest: Vec<&str> = rest.to_vec();
+            // trailing coupling keyword
+            if let Some(last) = rest.last() {
+                match *last {
+                    "deferred" => {
+                        rule = rule.ec(CouplingMode::Deferred);
+                        rest.pop();
+                    }
+                    "separate" => {
+                        rule = rule.ec(CouplingMode::Separate);
+                        rest.pop();
+                    }
+                    _ => {}
+                }
+            }
+            // optional `do ...` clause
+            let mut condition_toks = rest.clone();
+            if let Some(pos) = rest.iter().position(|t| *t == "do") {
+                condition_toks = rest[..pos].to_vec();
+                match rest.get(pos + 1) {
+                    Some(&"abort") => {
+                        let msg = rest[pos + 2..].join(" ");
+                        rule = rule.then(Action::single(ActionOp::AbortWith { message: msg }));
+                    }
+                    Some(&"signal") => {
+                        let ev = rest.get(pos + 2).ok_or_else(|| HipacError::ParseError {
+                            position: 0,
+                            message: "do signal <event>".into(),
+                        })?;
+                        rule = rule.then(Action::single(ActionOp::SignalEvent {
+                            name: ev.to_string(),
+                            args: vec![],
+                        }));
+                    }
+                    Some(&"print") => {
+                        rule = rule.then(Action::single(ActionOp::AppRequest {
+                            handler: "console".into(),
+                            request: rest[pos + 2..].join(" "),
+                            args: vec![],
+                        }));
+                    }
+                    other => {
+                        return Err(HipacError::ParseError {
+                            position: 0,
+                            message: format!("unknown action {other:?}"),
+                        })
+                    }
+                }
+            }
+            if let Some(pos) = condition_toks.iter().position(|t| *t == "where") {
+                let expr_text = condition_toks[pos + 1..].join(" ");
+                rule = rule.when(Query::parse(&format!("from {class} where {expr_text}"))?);
+            }
+            db.run_top(|t| db.rules().create_rule(t, rule.clone()))?;
+            println!("rule {name} created");
+        }
+
+        ["rules"] => {
+            let n = db.run_top(|t| Ok(db.rules().rule_count(t)))?;
+            println!("{n} rule(s) defined");
+        }
+
+        ["explain", name] => {
+            let ex = db.run_top(|t| db.rules().explain_rule(t, name))?;
+            print!("{ex}");
+        }
+
+        ["enable", name] => {
+            db.run_top(|t| db.rules().enable_rule(t, name))?;
+            println!("enabled {name}");
+        }
+        ["disable", name] => {
+            db.run_top(|t| db.rules().disable_rule(t, name))?;
+            println!("disabled {name}");
+        }
+        ["drop", "rule", name] => {
+            db.run_top(|t| db.rules().drop_rule(t, name))?;
+            println!("dropped {name}");
+        }
+
+        ["trace", "on"] => {
+            db.rules().tracer.set_enabled(true);
+            println!("tracing on");
+        }
+        ["trace", "off"] => {
+            db.rules().tracer.set_enabled(false);
+            println!("tracing off");
+        }
+        ["traces"] => {
+            for t in db.rules().tracer.take() {
+                println!(
+                    "{} [{}] depth={} satisfied={} action={} {}µs",
+                    t.rule_name,
+                    match t.ec_coupling {
+                        CouplingMode::Immediate => "imm",
+                        CouplingMode::Deferred => "def",
+                        CouplingMode::Separate => "sep",
+                    },
+                    t.cascade_depth,
+                    t.satisfied,
+                    t.action_executed,
+                    t.duration_us
+                );
+            }
+        }
+
+        ["stats"] => {
+            use std::sync::atomic::Ordering;
+            let s = &db.rules().stats;
+            println!(
+                "signals={} triggered={} satisfied={} actions={} store-evals={} delta-evals={} cache-hits={}",
+                s.signals_processed.load(Ordering::Relaxed),
+                s.rules_triggered.load(Ordering::Relaxed),
+                s.conditions_satisfied.load(Ordering::Relaxed),
+                s.actions_executed.load(Ordering::Relaxed),
+                s.store_evaluations.load(Ordering::Relaxed),
+                s.delta_evaluations.load(Ordering::Relaxed),
+                s.cache_hits.load(Ordering::Relaxed),
+            );
+        }
+
+        _ => {
+            println!("unrecognized: {line}");
+        }
+    }
+    Ok(true)
+}
+
+fn main() {
+    let db = ActiveDatabase::builder().build().expect("build db");
+    db.register_handler("console", |request: &str, args: &Args| {
+        if args.is_empty() {
+            println!(">> {request}");
+        } else {
+            println!(">> {request} {args:?}");
+        }
+        Ok(())
+    });
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    if interactive {
+        println!("hipac shell — 'quit' to exit");
+    }
+    loop {
+        if interactive {
+            print!("hipac> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match handle(&db, &line) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+}
+
+/// Poor man's isatty: assume non-interactive when piped input ends
+/// immediately; we cannot easily detect a tty without platform code, so
+/// check the TERM/CI heuristics instead.
+fn atty_stdin() -> bool {
+    use std::os::unix::io::AsRawFd;
+    // SAFETY: isatty is a pure query on a valid fd.
+    unsafe { libc_isatty(std::io::stdin().as_raw_fd()) }
+}
+
+#[allow(non_snake_case)]
+unsafe fn libc_isatty(fd: i32) -> bool {
+    extern "C" {
+        fn isatty(fd: i32) -> i32;
+    }
+    isatty(fd) == 1
+}

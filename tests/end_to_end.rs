@@ -1,0 +1,298 @@
+//! F4.2 — the Securities Analyst's Assistant as an end-to-end test
+//! (Figure 4.2), plus concurrency and durability scenarios exercising
+//! the whole stack together.
+
+use hipac::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build the SAA: ticker/display/trader glued by rules. Returns the db
+/// plus observable counters.
+fn build_saa() -> (Arc<ActiveDatabase>, Arc<Mutex<Vec<String>>>) {
+    let db = Arc::new(ActiveDatabase::builder().workers(4).build().unwrap());
+    let screen = Arc::new(Mutex::new(Vec::new()));
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "stock",
+            None,
+            vec![
+                AttrDef::new("symbol", ValueType::Str).indexed(),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )?;
+        db.store().create_class(
+            t,
+            "position",
+            None,
+            vec![
+                AttrDef::new("client", ValueType::Str).indexed(),
+                AttrDef::new("symbol", ValueType::Str),
+                AttrDef::new("shares", ValueType::Int),
+            ],
+        )?;
+        db.store()
+            .insert(t, "stock", vec![Value::from("XRX"), Value::from(48.0)])?;
+        db.store().insert(
+            t,
+            "position",
+            vec![Value::from("A"), Value::from("XRX"), Value::from(0)],
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    db.define_event("trade_executed", &["client", "symbol", "shares", "price"])
+        .unwrap();
+    {
+        let screen2 = Arc::clone(&screen);
+        db.register_handler("display", move |request: &str, args: &Args| {
+            screen2.lock().push(format!(
+                "{request} {}",
+                args.get("symbol").cloned().unwrap_or(Value::Null)
+            ));
+            Ok(())
+        });
+    }
+    {
+        let db2 = Arc::clone(&db);
+        db.register_handler("trader", move |request: &str, args: &Args| {
+            assert_eq!(request, "buy");
+            let mut out = HashMap::new();
+            for k in ["client", "symbol", "shares", "price"] {
+                out.insert(k.to_string(), args[k].clone());
+            }
+            db2.signal_event("trade_executed", out, None)
+        });
+    }
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("ticker-window")
+                .on(EventSpec::on_update("stock"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "display".into(),
+                    request: "quote".into(),
+                    args: vec![("symbol".into(), Expr::NewAttr("symbol".into()))],
+                }))
+                .detached(),
+        )?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("buy-xerox")
+                .on(EventSpec::on_update("stock"))
+                .when(Query::parse(
+                    "from stock where new.symbol = \"XRX\" and new.price >= 50.0 \
+                     and old.price < 50.0",
+                )?)
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "trader".into(),
+                    request: "buy".into(),
+                    args: vec![
+                        ("client".into(), Expr::lit("A")),
+                        ("symbol".into(), Expr::NewAttr("symbol".into())),
+                        ("shares".into(), Expr::lit(500)),
+                        ("price".into(), Expr::NewAttr("price".into())),
+                    ],
+                }))
+                .detached(),
+        )?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("trade-display")
+                .on(EventSpec::external("trade_executed"))
+                .then(
+                    Action::single(ActionOp::Db(DbAction::UpdateWhere {
+                        query: Query::parse(
+                            "from position where client = :client and symbol = :symbol",
+                        )?,
+                        assignments: vec![(
+                            "shares".into(),
+                            Expr::attr("shares").bin(BinOp::Add, Expr::param("shares")),
+                        )],
+                    }))
+                    .then(ActionOp::AppRequest {
+                        handler: "display".into(),
+                        request: "trade".into(),
+                        args: vec![("symbol".into(), Expr::param("symbol"))],
+                    }),
+                )
+                .detached(),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    (db, screen)
+}
+
+#[test]
+fn saa_full_flow_quote_to_portfolio() {
+    let (db, screen) = build_saa();
+    let oid = db
+        .run_top(|t| {
+            Ok(db
+                .store()
+                .query(t, &Query::parse("from stock").unwrap(), None)?[0]
+                .oid)
+        })
+        .unwrap();
+    // Quotes below, at, and above the threshold.
+    for price in [48.5, 49.0, 50.5, 51.0] {
+        db.run_top(|t| db.store().update(t, oid, &[("price", Value::from(price))]))
+            .unwrap();
+        db.quiesce(); // keep the trade's own events ordered for the test
+    }
+    db.quiesce();
+    let errors = db.take_separate_errors();
+    assert!(errors.is_empty(), "separate firings failed: {errors:?}");
+    let screen = screen.lock();
+    // All four quotes reached the ticker window…
+    assert_eq!(
+        screen.iter().filter(|l| l.starts_with("quote")).count(),
+        4
+    );
+    // …exactly one threshold crossing traded and displayed.
+    assert_eq!(
+        screen.iter().filter(|l| l.starts_with("trade")).count(),
+        1
+    );
+    drop(screen);
+    // The portfolio was updated through the rule, not by any program.
+    db.run_top(|t| {
+        let pos = db
+            .store()
+            .query(t, &Query::parse("from position").unwrap(), None)?;
+        assert_eq!(pos[0].values[2], Value::from(500));
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn concurrent_tickers_stay_serializable() {
+    // Multiple ticker threads hammer different stocks while rules fire;
+    // the final state must reflect every update exactly once and the
+    // engine must stay deadlock-free (deadlock victims retry).
+    let (db, _screen) = build_saa();
+    let oids: Vec<ObjectId> = db
+        .run_top(|t| {
+            let mut oids = Vec::new();
+            for i in 0..4 {
+                oids.push(db.store().insert(
+                    t,
+                    "stock",
+                    vec![Value::from(format!("S{i}")), Value::from(10.0)],
+                )?);
+            }
+            Ok(oids)
+        })
+        .unwrap();
+    let mut handles = Vec::new();
+    for (i, oid) in oids.iter().enumerate() {
+        let db = Arc::clone(&db);
+        let oid = *oid;
+        handles.push(std::thread::spawn(move || {
+            for round in 0..50 {
+                loop {
+                    let r = db.run_top(|t| {
+                        db.store().update(
+                            t,
+                            oid,
+                            &[("price", Value::from(10.0 + (i * 50 + round) as f64))],
+                        )
+                    });
+                    match r {
+                        Ok(()) => break,
+                        Err(e) if e.is_txn_fatal() => continue, // retry victims
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.quiesce();
+    db.run_top(|t| {
+        for (i, oid) in oids.iter().enumerate() {
+            assert_eq!(
+                db.store().get_attr(t, *oid, "price")?,
+                Value::from(10.0 + (i * 50 + 49) as f64),
+                "stock {i} final price"
+            );
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn durable_database_survives_restart_with_schema_data_and_rules() {
+    let dir = std::env::temp_dir().join(format!("hipac-e2e-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+        db.run_top(|t| {
+            db.store().create_class(
+                t,
+                "counter",
+                None,
+                vec![AttrDef::new("n", ValueType::Int)],
+            )?;
+            db.store().insert(t, "counter", vec![Value::from(0)])?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("bump-on-anything")
+                    .on(EventSpec::on_update("counter"))
+                    .when(Query::parse("from counter where new.n = 100")?)
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "counter".into(),
+                        values: vec![Expr::lit(999)],
+                    }))),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    }
+    for round in 0..3 {
+        let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+        let oid = db
+            .run_top(|t| {
+                Ok(db
+                    .store()
+                    .query(t, &Query::parse("from counter").unwrap(), None)?[0]
+                    .oid)
+            })
+            .unwrap();
+        db.run_top(|t| {
+            db.store()
+                .update(t, oid, &[("n", Value::from(round as i64 + 1))])
+        })
+        .unwrap();
+        drop(db);
+    }
+    // Final restart: value reflects the last round, rule still present,
+    // and it fires when its condition is finally met.
+    let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+    let oid = db
+        .run_top(|t| {
+            let rows = db
+                .store()
+                .query(t, &Query::parse("from counter").unwrap(), None)?;
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].values[0], Value::from(3));
+            Ok(rows[0].oid)
+        })
+        .unwrap();
+    db.run_top(|t| db.store().update(t, oid, &[("n", Value::from(100))]))
+        .unwrap();
+    db.run_top(|t| {
+        let rows = db
+            .store()
+            .query(t, &Query::parse("from counter where n = 999").unwrap(), None)?;
+        assert_eq!(rows.len(), 1, "persisted rule fired after restart");
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,293 @@
+//! F4.1 — the application/DBMS interface of Figure 4.1 and the §4
+//! application paradigm.
+//!
+//! The figure divides the interface into four modules: operations on
+//! data, operations on transactions, operations on events (define /
+//! signal), and application operations (requests flowing *from* HiPAC
+//! *to* the application). These tests drive each module and verify the
+//! paradigm-level observations the paper makes in §4.2.
+
+use hipac::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[test]
+fn four_interface_modules_roundtrip() {
+    let db = ActiveDatabase::builder().build().unwrap();
+
+    // Module: operations on data (DDL + DML through one interface,
+    // §5.1's single "execute operation").
+    let oid = db
+        .run_top(|t| {
+            db.store().create_class(
+                t,
+                "doc",
+                None,
+                vec![
+                    AttrDef::new("title", ValueType::Str),
+                    AttrDef::new("version", ValueType::Int),
+                ],
+            )?;
+            db.store()
+                .insert(t, "doc", vec![Value::from("spec"), Value::from(1)])
+        })
+        .unwrap();
+
+    // Module: operations on transactions (create/commit/abort, nested).
+    let t = db.begin();
+    let c = db.begin_child(t).unwrap();
+    db.store()
+        .update(c, oid, &[("version", Value::from(2))])
+        .unwrap();
+    db.commit(c).unwrap();
+    db.abort(t).unwrap(); // child's work dies with the parent
+    db.run_top(|x| {
+        assert_eq!(db.store().get_attr(x, oid, "version")?, Value::from(1));
+        Ok(())
+    })
+    .unwrap();
+
+    // Module: operations on events (define + signal with typed
+    // formals).
+    db.define_event("reviewed", &["doc", "grade"]).unwrap();
+    let mut args = HashMap::new();
+    args.insert("doc".to_string(), Value::from("spec"));
+    // Missing formal rejected.
+    assert!(db.signal_event("reviewed", args.clone(), None).is_err());
+    args.insert("grade".to_string(), Value::from(5));
+    db.signal_event("reviewed", args, None).unwrap();
+
+    // Module: application operations (the DBMS calls the application).
+    let called = Arc::new(Mutex::new(Vec::new()));
+    {
+        let called = Arc::clone(&called);
+        db.register_handler("app", move |request: &str, args: &Args| {
+            called
+                .lock()
+                .push((request.to_owned(), args["grade"].clone()));
+            Ok(())
+        });
+    }
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("on-review")
+                .on(EventSpec::external("reviewed"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "app".into(),
+                    request: "archive".into(),
+                    args: vec![("grade".into(), Expr::param("grade"))],
+                })),
+        )
+    })
+    .unwrap();
+    let mut args = HashMap::new();
+    args.insert("doc".to_string(), Value::from("spec"));
+    args.insert("grade".to_string(), Value::from(4));
+    db.signal_event("reviewed", args, None).unwrap();
+    db.quiesce();
+    assert_eq!(
+        called.lock().as_slice(),
+        [("archive".to_string(), Value::Int(4))]
+    );
+}
+
+#[test]
+fn control_flows_through_rules_not_direct_calls() {
+    // §4.2's observation: "one program can send a request to another
+    // program either directly … or indirectly through a rule firing."
+    // Here program A signals an event; program B receives a request —
+    // without A knowing B exists. Swapping the rule re-routes control
+    // without touching either program.
+    let db = ActiveDatabase::builder().build().unwrap();
+    db.define_event("work_ready", &["job"]).unwrap();
+    let b_calls = Arc::new(Mutex::new(0usize));
+    let c_calls = Arc::new(Mutex::new(0usize));
+    {
+        let b = Arc::clone(&b_calls);
+        db.register_handler("program_b", move |_r: &str, _a: &Args| {
+            *b.lock() += 1;
+            Ok(())
+        });
+        let c = Arc::clone(&c_calls);
+        db.register_handler("program_c", move |_r: &str, _a: &Args| {
+            *c.lock() += 1;
+            Ok(())
+        });
+    }
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("route")
+                .on(EventSpec::external("work_ready"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "program_b".into(),
+                    request: "do".into(),
+                    args: vec![],
+                })),
+        )
+    })
+    .unwrap();
+    let mut args = HashMap::new();
+    args.insert("job".to_string(), Value::from(1));
+    db.signal_event("work_ready", args.clone(), None).unwrap();
+    db.quiesce();
+    assert_eq!((*b_calls.lock(), *c_calls.lock()), (1, 0));
+
+    // "To modify the behavior of the application, we would change the
+    // rules rather than the software."
+    db.run_top(|t| {
+        db.rules().drop_rule(t, "route")?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("route")
+                .on(EventSpec::external("work_ready"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "program_c".into(),
+                    request: "do".into(),
+                    args: vec![],
+                })),
+        )
+    })
+    .unwrap();
+    db.signal_event("work_ready", args, None).unwrap();
+    db.quiesce();
+    assert_eq!((*b_calls.lock(), *c_calls.lock()), (1, 1));
+}
+
+#[test]
+fn event_signal_carries_bindings_into_condition_and_action() {
+    // §2.1: event formals bind to actuals; "the condition … may refer
+    // to arguments in the event signal. The results of these queries
+    // are passed on to the action, together with the argument
+    // bindings."
+    let db = ActiveDatabase::builder().build().unwrap();
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "account",
+            None,
+            vec![
+                AttrDef::new("owner", ValueType::Str).indexed(),
+                AttrDef::new("balance", ValueType::Float),
+            ],
+        )?;
+        db.store().insert(
+            t,
+            "account",
+            vec![Value::from("alice"), Value::from(100.0)],
+        )?;
+        db.store().insert(
+            t,
+            "account",
+            vec![Value::from("bob"), Value::from(5.0)],
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    db.define_event("withdrawal", &["owner", "amount"]).unwrap();
+    let granted = Arc::new(Mutex::new(Vec::new()));
+    {
+        let granted = Arc::clone(&granted);
+        db.register_handler("teller", move |_r: &str, args: &Args| {
+            granted.lock().push((
+                args["owner"].clone(),
+                args["amount"].clone(),
+                args["balance"].clone(),
+            ));
+            Ok(())
+        });
+    }
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("grant-withdrawal")
+                .on(EventSpec::external("withdrawal"))
+                // Condition references both the event args and stored
+                // attributes.
+                .when(Query::parse(
+                    "from account where owner = :owner and balance >= :amount",
+                )?)
+                .then(Action::single(ActionOp::ForEachRow {
+                    query_index: 0,
+                    ops: vec![ActionOp::AppRequest {
+                        handler: "teller".into(),
+                        request: "grant".into(),
+                        args: vec![
+                            ("owner".into(), Expr::param("owner")),
+                            ("amount".into(), Expr::param("amount")),
+                            // …and the condition's result row flows in.
+                            ("balance".into(), Expr::attr("balance")),
+                        ],
+                    }],
+                })),
+        )
+    })
+    .unwrap();
+    let signal = |owner: &str, amount: f64| {
+        let mut args = HashMap::new();
+        args.insert("owner".to_string(), Value::from(owner));
+        args.insert("amount".to_string(), Value::from(amount));
+        db.signal_event("withdrawal", args, None).unwrap();
+    };
+    signal("alice", 50.0); // satisfied
+    signal("bob", 50.0); // bob has only 5.0: condition fails
+    db.quiesce();
+    assert_eq!(
+        granted.lock().as_slice(),
+        [(
+            Value::from("alice"),
+            Value::from(50.0),
+            Value::from(100.0)
+        )]
+    );
+}
+
+#[test]
+fn handler_error_inside_transactional_signal_aborts_it() {
+    // An event signalled *within* a transaction couples the rule firing
+    // to it; a failing immediate action makes the signalling operation
+    // fail, and the application can abort.
+    let db = ActiveDatabase::builder().build().unwrap();
+    db.define_event("risky", &[]).unwrap();
+    db.register_handler("refuser", |_r: &str, _a: &Args| {
+        Err(HipacError::ConstraintViolation("refused".into()))
+    });
+    db.run_top(|t| {
+        db.store()
+            .create_class(t, "c", None, vec![AttrDef::new("x", ValueType::Int)])?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("refuse")
+                .on(EventSpec::external("risky"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "refuser".into(),
+                    request: "x".into(),
+                    args: vec![],
+                }))
+                .ec(CouplingMode::Immediate),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    let err = db
+        .run_top(|t| {
+            db.store().insert(t, "c", vec![Value::from(1)])?;
+            db.signal_event("risky", HashMap::new(), Some(t))?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(matches!(err, HipacError::ConstraintViolation(_)));
+    db.run_top(|t| {
+        assert_eq!(
+            db.store()
+                .query(t, &Query::parse("from c").unwrap(), None)?
+                .len(),
+            0,
+            "the signalling transaction aborted cleanly"
+        );
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,460 @@
+//! F5.1 — the rule-processing protocols of §6, traced across the
+//! functional components of Figure 5.1.
+//!
+//! These tests verify the *interaction sequences* the paper specifies:
+//!
+//! * §6.1 rule creation: the event detector is programmed (event
+//!   defined) and the event→rule mapping extended, transactionally;
+//! * §6.2 event signal processing: the triggering operation is
+//!   suspended; rules are divided into the three coupling groups;
+//!   immediate firings complete before the operation resumes;
+//! * §6.3 transaction commit processing: deferred firings run between
+//!   the commit request and the transaction's actual commit, in
+//!   subtransactions of the committing transaction.
+
+use hipac::prelude::*;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared event log for tracing orderings.
+type Log = Arc<Mutex<Vec<String>>>;
+
+fn engine_with_log() -> (ActiveDatabase, Log) {
+    let db = ActiveDatabase::builder().workers(2).build().unwrap();
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    {
+        let log = Arc::clone(&log);
+        db.register_handler("probe", move |request: &str, _args: &Args| {
+            log.lock().push(format!("handler:{request}"));
+            Ok(())
+        });
+    }
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "stock",
+            None,
+            vec![
+                AttrDef::new("symbol", ValueType::Str).indexed(),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )?;
+        db.store()
+            .insert(t, "stock", vec![Value::from("XRX"), Value::from(48.0)])?;
+        Ok(())
+    })
+    .unwrap();
+    (db, log)
+}
+
+fn stock_oid(db: &ActiveDatabase) -> ObjectId {
+    db.run_top(|t| Ok(db.store().query(t, &Query::parse("from stock").unwrap(), None)?[0].oid))
+        .unwrap()
+}
+
+#[test]
+fn rule_creation_programs_the_event_detector() {
+    // §6.1: creating a rule defines its event; the detector reports
+    // occurrences only afterwards, and rule deletion retires the
+    // subscription once no rule references the event.
+    let (db, log) = engine_with_log();
+    let oid = stock_oid(&db);
+    // Before creation: updates are inert.
+    db.run_top(|t| db.store().update(t, oid, &[("price", Value::from(49.0))]))
+        .unwrap();
+    assert!(log.lock().is_empty());
+    let events_before = db.events().len();
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("watch")
+                .on(EventSpec::on_update("stock"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "probe".into(),
+                    request: "fired".into(),
+                    args: vec![],
+                })),
+        )
+    })
+    .unwrap();
+    assert_eq!(
+        db.events().len(),
+        events_before + 1,
+        "define event request reached the detector"
+    );
+    db.run_top(|t| db.store().update(t, oid, &[("price", Value::from(50.0))]))
+        .unwrap();
+    assert_eq!(log.lock().as_slice(), ["handler:fired"]);
+    // Drop commits → the event definition is retired with the rule.
+    db.run_top(|t| db.rules().drop_rule(t, "watch")).unwrap();
+    assert_eq!(db.events().len(), events_before);
+}
+
+#[test]
+fn signal_processing_divides_rules_into_coupling_groups() {
+    // §6.2: one event, three rules with different E-C couplings. The
+    // immediate one completes inside the operation; the deferred one at
+    // commit; the separate one concurrently (observable after
+    // quiesce).
+    let (db, log) = engine_with_log();
+    let oid = stock_oid(&db);
+    db.run_top(|t| {
+        for (name, mode) in [
+            ("imm", CouplingMode::Immediate),
+            ("def", CouplingMode::Deferred),
+            ("sep", CouplingMode::Separate),
+        ] {
+            db.rules().create_rule(
+                t,
+                RuleDef::new(name)
+                    .on(EventSpec::on_update("stock"))
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "probe".into(),
+                        request: name.into(),
+                        args: vec![],
+                    }))
+                    .ec(mode),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    let t = db.begin();
+    {
+        let log = log.lock();
+        assert!(log.is_empty());
+    }
+    db.store()
+        .update(t, oid, &[("price", Value::from(50.0))])
+        .unwrap();
+    // The operation has returned: the immediate firing already ran
+    // ("the operation that originally caused the event signal resumes"
+    // only after immediate processing completes).
+    {
+        let log = log.lock();
+        assert!(log.contains(&"handler:imm".to_string()));
+        assert!(!log.contains(&"handler:def".to_string()), "deferred waits");
+    }
+    log.lock().push("marker:before-commit".into());
+    db.commit(t).unwrap();
+    // §6.3: the deferred firing ran during commit processing.
+    {
+        let log = log.lock();
+        let def_pos = log.iter().position(|l| l == "handler:def").unwrap();
+        let marker = log.iter().position(|l| l == "marker:before-commit").unwrap();
+        assert!(def_pos > marker, "deferred fired after the commit request");
+    }
+    db.quiesce();
+    assert!(log.lock().contains(&"handler:sep".to_string()));
+}
+
+#[test]
+fn deferred_firings_run_in_subtransactions_of_the_committing_txn() {
+    // The deferred action's database writes must commit with the parent
+    // (they run in subtransactions of it, §3.2).
+    let (db, _log) = engine_with_log();
+    let oid = stock_oid(&db);
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "audit",
+            None,
+            vec![AttrDef::new("note", ValueType::Str)],
+        )?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("audit-deferred")
+                .on(EventSpec::on_update("stock"))
+                .then(Action::single(ActionOp::Db(DbAction::Insert {
+                    class: "audit".into(),
+                    values: vec![Expr::lit("deferred write")],
+                })))
+                .ec(CouplingMode::Deferred),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    let t = db.begin();
+    db.store()
+        .update(t, oid, &[("price", Value::from(51.0))])
+        .unwrap();
+    // Not yet visible anywhere (not even to t: it runs at commit).
+    db.run_child(t, |c| {
+        assert_eq!(
+            db.store()
+                .query(c, &Query::parse("from audit").unwrap(), None)?
+                .len(),
+            0
+        );
+        Ok(())
+    })
+    .unwrap();
+    db.commit(t).unwrap();
+    db.run_top(|x| {
+        assert_eq!(
+            db.store()
+                .query(x, &Query::parse("from audit").unwrap(), None)?
+                .len(),
+            1,
+            "deferred subtransaction committed with its parent"
+        );
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn cascading_firings_form_a_transaction_tree_that_aborts_atomically() {
+    // §3.2: "cascading rule firings produce a tree of nested
+    // transactions" — and an abort of the root discards the whole tree.
+    let (db, _log) = engine_with_log();
+    let oid = stock_oid(&db);
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "level1",
+            None,
+            vec![AttrDef::new("x", ValueType::Int)],
+        )?;
+        db.store().create_class(
+            t,
+            "level2",
+            None,
+            vec![AttrDef::new("y", ValueType::Int)],
+        )?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("hop1")
+                .on(EventSpec::on_update("stock"))
+                .then(Action::single(ActionOp::Db(DbAction::Insert {
+                    class: "level1".into(),
+                    values: vec![Expr::lit(1)],
+                }))),
+        )?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("hop2")
+                .on(EventSpec::db(DbEventKind::Insert, Some("level1")))
+                .then(Action::single(ActionOp::Db(DbAction::Insert {
+                    class: "level2".into(),
+                    values: vec![Expr::lit(2)],
+                }))),
+        )?;
+        Ok(())
+    })
+    .unwrap();
+    let t = db.begin();
+    db.store()
+        .update(t, oid, &[("price", Value::from(60.0))])
+        .unwrap();
+    // Inside t, both cascade levels are visible.
+    db.run_child(t, |c| {
+        assert_eq!(
+            db.store()
+                .query(c, &Query::parse("from level1").unwrap(), None)?
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.store()
+                .query(c, &Query::parse("from level2").unwrap(), None)?
+                .len(),
+            1
+        );
+        Ok(())
+    })
+    .unwrap();
+    db.abort(t).unwrap();
+    db.run_top(|x| {
+        assert_eq!(
+            db.store()
+                .query(x, &Query::parse("from level1").unwrap(), None)?
+                .len(),
+            0,
+            "the whole cascade tree aborted with the root"
+        );
+        assert_eq!(
+            db.store()
+                .query(x, &Query::parse("from level2").unwrap(), None)?
+                .len(),
+            0
+        );
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn rule_write_lock_serializes_update_against_firing() {
+    // §2.2: firing takes a read lock; disable takes a write lock. A
+    // transaction that disabled (but not yet committed) a rule blocks
+    // firings of that rule from other transactions.
+    let (db, log) = engine_with_log();
+    let oid = stock_oid(&db);
+    db.run_top(|t| {
+        db.rules().create_rule(
+            t,
+            RuleDef::new("guarded")
+                .on(EventSpec::on_update("stock"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "probe".into(),
+                    request: "guarded".into(),
+                    args: vec![],
+                })),
+        )
+    })
+    .unwrap();
+    let disabler = db.begin();
+    db.rules().disable_rule(disabler, "guarded").unwrap();
+    // Another transaction's update triggers the rule; its firing needs
+    // a read lock on the rule and must wait for the disabler. With the
+    // disabler aborting, the rule stays enabled and fires.
+    let db2 = Arc::new(db);
+    let dbc = Arc::clone(&db2);
+    let h = std::thread::spawn(move || {
+        dbc.run_top(|t| dbc.store().update(t, oid, &[("price", Value::from(70.0))]))
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    assert!(
+        log.lock().is_empty(),
+        "firing blocked behind the rule write lock"
+    );
+    db2.abort(disabler).unwrap();
+    h.join().unwrap().unwrap();
+    assert_eq!(log.lock().as_slice(), ["handler:guarded"]);
+}
+
+#[test]
+fn rules_persist_across_restart() {
+    // Rules are database objects: a durable database reopens with its
+    // rule base intact and firing.
+    let dir = std::env::temp_dir().join(format!("hipac-rule-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let oid;
+    {
+        let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+        db.define_event("external_ping", &["n"]).unwrap();
+        db.run_top(|t| {
+            db.store().create_class(
+                t,
+                "stock",
+                None,
+                vec![
+                    AttrDef::new("symbol", ValueType::Str).indexed(),
+                    AttrDef::new("price", ValueType::Float),
+                ],
+            )?;
+            db.store()
+                .insert(t, "stock", vec![Value::from("XRX"), Value::from(48.0)])?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("persisted-threshold")
+                    .on(EventSpec::on_update("stock").or(EventSpec::external("external_ping")))
+                    .when(Query::parse("from stock where price >= 50.0")?)
+                    .then(Action::single(ActionOp::Db(DbAction::UpdateWhere {
+                        query: Query::parse("from stock where symbol = \"XRX\"")?,
+                        assignments: vec![("symbol".into(), Expr::lit("XRX*"))],
+                    })))
+                    .ec(CouplingMode::Deferred),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        oid = db.run_top(|t| {
+            Ok(db
+                .store()
+                .query(t, &Query::parse("from stock").unwrap(), None)?[0]
+                .oid)
+        })
+        .unwrap();
+    }
+    // Restart.
+    let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+    db.run_top(|t| {
+        assert_eq!(db.rules().rule_count(t), 1, "rule reloaded");
+        Ok(())
+    })
+    .unwrap();
+    // And it still fires: push the price over the threshold.
+    db.run_top(|t| db.store().update(t, oid, &[("price", Value::from(55.0))]))
+        .unwrap();
+    db.run_top(|t| {
+        assert_eq!(
+            db.store().get_attr(t, oid, "symbol")?,
+            Value::from("XRX*"),
+            "reloaded rule executed its action"
+        );
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn altered_rules_persist_their_new_definition() {
+    let dir = std::env::temp_dir().join(format!("hipac-alter-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+        db.run_top(|t| {
+            db.store().create_class(
+                t,
+                "gauge",
+                None,
+                vec![AttrDef::new("v", ValueType::Int)],
+            )?;
+            db.store().insert(t, "gauge", vec![Value::from(0)])?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("mark")
+                    .on(EventSpec::on_update("gauge"))
+                    .when(Query::parse("from gauge where new.v = 1")?)
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "gauge".into(),
+                        values: vec![Expr::lit(100)],
+                    }))),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        // Alter the condition threshold from 1 to 2 and persist it.
+        db.run_top(|t| {
+            db.rules().alter_rule(
+                t,
+                "mark",
+                RuleDef::new("mark")
+                    .on(EventSpec::on_update("gauge"))
+                    .when(Query::parse("from gauge where new.v = 2").unwrap())
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "gauge".into(),
+                        values: vec![Expr::lit(200)],
+                    }))),
+            )
+        })
+        .unwrap();
+    }
+    // Restart: the altered definition (threshold 2, inserts 200) is
+    // what fires.
+    let db = ActiveDatabase::builder().durable(&dir).build().unwrap();
+    let oid = db
+        .run_top(|t| {
+            Ok(db
+                .store()
+                .query(t, &Query::parse("from gauge").unwrap(), None)?[0]
+                .oid)
+        })
+        .unwrap();
+    db.run_top(|t| db.store().update(t, oid, &[("v", Value::from(1))]))
+        .unwrap();
+    db.run_top(|t| db.store().update(t, oid, &[("v", Value::from(2))]))
+        .unwrap();
+    db.run_top(|t| {
+        let rows = db
+            .store()
+            .query(t, &Query::parse("from gauge where v >= 100").unwrap(), None)?;
+        assert_eq!(rows.len(), 1, "only the altered condition fired");
+        assert_eq!(rows[0].values[0], Value::from(200));
+        Ok(())
+    })
+    .unwrap();
+}
