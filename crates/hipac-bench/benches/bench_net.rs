@@ -1,0 +1,98 @@
+//! NET: cost of crossing the Figure 4.1 interface over a socket instead
+//! of in process — loopback round trips through hipac-net's wire
+//! protocol for each interface module, plus the §4.1 role-reversal push
+//! path (rule action → application request → push frame).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hipac::prelude::*;
+use hipac_net::{HipacClient, HipacServer};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn bench_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("NET_loopback_roundtrips");
+
+    let db = Arc::new(ActiveDatabase::builder().workers(4).build().unwrap());
+    let server = HipacServer::bind(Arc::clone(&db), "127.0.0.1:0").unwrap();
+    let client = HipacClient::connect(server.local_addr()).unwrap();
+
+    let t = client.begin().unwrap();
+    client
+        .create_class(t, "datum", None, vec![AttrDef::new("v", ValueType::Int)])
+        .unwrap();
+    let oid = client.insert(t, "datum", vec![Value::from(0)]).unwrap();
+    client.commit(t).unwrap();
+
+    // Cheapest possible round trip: a stats snapshot.
+    group.bench_function("stats_roundtrip", |b| {
+        b.iter(|| {
+            client.stats().unwrap();
+        })
+    });
+
+    // Transaction module over the wire (three round trips).
+    group.bench_function("txn_begin_commit", |b| {
+        b.iter(|| {
+            let t = client.begin().unwrap();
+            client.commit(t).unwrap();
+        })
+    });
+
+    // Data module over the wire.
+    group.bench_function("data_update", |b| {
+        b.iter(|| {
+            let t = client.begin().unwrap();
+            client
+                .update(t, oid, vec![("v".into(), Value::from(1))])
+                .unwrap();
+            client.commit(t).unwrap();
+        })
+    });
+
+    // Event module over the wire.
+    client.define_event("net_event", &["n"]).unwrap();
+    group.bench_function("event_signal_no_rules", |b| {
+        let mut args = HashMap::new();
+        args.insert("n".to_string(), Value::from(0));
+        b.iter(|| {
+            client.signal_event("net_event", args.clone(), None).unwrap();
+        })
+    });
+
+    // Application module: event → rule → push frame back to a
+    // subscribed client. Measures signal + push delivery latency.
+    let subscriber = HipacClient::connect(server.local_addr()).unwrap();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    subscriber
+        .subscribe("net_app", move |_push| {
+            let _ = tx.send(());
+        })
+        .unwrap();
+    let t = client.begin().unwrap();
+    client
+        .create_rule(
+            t,
+            &RuleDef::new("net_echo")
+                .on(EventSpec::external("net_event"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "net_app".into(),
+                    request: "echo".into(),
+                    args: vec![("n".into(), Expr::param("n"))],
+                })),
+        )
+        .unwrap();
+    client.commit(t).unwrap();
+    group.bench_function("event_to_pushed_application_request", |b| {
+        let mut args = HashMap::new();
+        args.insert("n".to_string(), Value::from(1));
+        b.iter(|| {
+            client.signal_event("net_event", args.clone(), None).unwrap();
+            rx.recv().unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -104,6 +104,49 @@ pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
     Ok(out)
 }
 
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string, advancing `pos`.
+pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    let b = get_bytes(buf, pos)?;
+    std::str::from_utf8(b)
+        .map(str::to_owned)
+        .map_err(|_| HipacError::Corruption("invalid utf-8 in string".into()))
+}
+
+/// Append a string-keyed value map with a leading count. Entries are
+/// written in sorted key order so equal maps encode identically.
+pub fn put_kv_map(buf: &mut Vec<u8>, map: &std::collections::HashMap<String, Value>) {
+    put_uvarint(buf, map.len() as u64);
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort();
+    for k in keys {
+        put_str(buf, k);
+        put_value(buf, &map[k]);
+    }
+}
+
+/// Read a map written by [`put_kv_map`], advancing `pos`.
+pub fn get_kv_map(
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<std::collections::HashMap<String, Value>> {
+    let n = get_uvarint(buf, pos)? as usize;
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(HipacError::Corruption("map length exceeds input".into()));
+    }
+    let mut map = std::collections::HashMap::with_capacity(n);
+    for _ in 0..n {
+        let k = get_str(buf, pos)?;
+        let v = get_value(buf, pos)?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
 /// Append one [`Value`].
 pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
     match v {

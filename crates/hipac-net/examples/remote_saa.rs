@@ -1,0 +1,92 @@
+//! A miniature Securities Analyst's Assistant split across the wire:
+//! the engine runs behind a [`HipacServer`]; a display client
+//! subscribes as the application endpoint; a feed client writes
+//! quotes. The rule's application request crosses the network as a
+//! push frame — the paper's §4.1 role reversal, remote.
+//!
+//! ```bash
+//! cargo run -p hipac-net --example remote_saa [hold-seconds]
+//! ```
+//!
+//! With a `hold-seconds` argument the server stays up after the demo
+//! so external clients can poke the printed address.
+
+use hipac::prelude::*;
+use hipac_net::{HipacClient, HipacServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> std::result::Result<(), Box<dyn std::error::Error>> {
+    let db = Arc::new(ActiveDatabase::builder().workers(4).build()?);
+    let server = HipacServer::bind(db, "127.0.0.1:0")?;
+    println!("server listening on {}", server.local_addr());
+
+    // Display client: becomes the application endpoint for "display".
+    let display = HipacClient::connect(server.local_addr())?;
+    let (tx, rx) = crossbeam::channel::unbounded();
+    display.subscribe("display", move |push| {
+        let _ = tx.send(format!("{}: {:?}", push.request, push.args));
+    })?;
+
+    // Feed client: schema, the buy-xerox rule, and quotes.
+    let feed = HipacClient::connect(server.local_addr())?;
+    let t = feed.begin()?;
+    feed.create_class(
+        t,
+        "stock",
+        None,
+        vec![
+            AttrDef::new("symbol", ValueType::Str).indexed(),
+            AttrDef::new("price", ValueType::Float),
+        ],
+    )?;
+    feed.create_rule(
+        t,
+        &RuleDef::new("buy-xerox")
+            .on(EventSpec::on_update("stock"))
+            .when(Query::parse(
+                "from stock where new.symbol = \"XRX\" and new.price >= 50.0",
+            )?)
+            .then(Action::single(ActionOp::AppRequest {
+                handler: "display".into(),
+                request: "buy".into(),
+                args: vec![("price".into(), Expr::NewAttr("price".into()))],
+            })),
+    )?;
+    let oid = feed.insert(t, "stock", vec!["XRX".into(), 48.0.into()])?;
+    feed.commit(t)?;
+
+    for price in [48.5, 49.2, 51.3] {
+        let t = feed.begin()?;
+        feed.update(t, oid, vec![("price".into(), Value::from(price))])?;
+        feed.commit(t)?;
+        println!("quote: XRX @ {price}");
+    }
+
+    let pushed = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("push frame within 5s");
+    println!("display client received push -> {pushed}");
+
+    // A remote error carries the engine's error kind across the wire.
+    let t = feed.begin()?;
+    match feed.insert(t, "no_such_class", vec![Value::from(1)]) {
+        Err(hipac_net::WireError::Remote { kind, message }) => {
+            println!("remote error example -> {kind}: {message}")
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    feed.abort(t)?;
+
+    let stats = feed.stats()?;
+    println!(
+        "engine stats over the wire -> rules_triggered={} actions_executed={}",
+        stats.rules_triggered, stats.actions_executed
+    );
+
+    if let Some(secs) = std::env::args().nth(1).and_then(|s| s.parse::<u64>().ok()) {
+        println!("holding server open for {secs}s...");
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+    Ok(())
+}

@@ -1,0 +1,359 @@
+//! [`HipacClient`]: blocking request/response client with push-frame
+//! delivery.
+//!
+//! A background reader thread demultiplexes the socket: responses are
+//! routed to the issuing caller by request id (so the client is safe to
+//! share across threads — `&self` methods, interior locking), and push
+//! frames — application requests from rule actions, the paper's §4.1
+//! role reversal — are dispatched to handlers registered with
+//! [`HipacClient::on_push`] / [`HipacClient::subscribe`].
+
+use crate::proto::{Command, Frame, PushEvent, Reply, WireAttr, WireError, WireRow, WireStats, PROTOCOL_VERSION};
+use hipac_common::{TxnId, Value};
+use hipac_object::AttrDef;
+use hipac_rules::RuleDef;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Callback invoked on a push frame.
+pub type PushHandler = Box<dyn Fn(&PushEvent) + Send + Sync>;
+
+type Pending = Mutex<HashMap<u64, crossbeam::channel::Sender<Reply>>>;
+
+/// A connection to a [`crate::HipacServer`].
+pub struct HipacClient {
+    writer: Mutex<TcpStream>,
+    next_id: AtomicU64,
+    pending: Arc<Pending>,
+    handlers: Arc<RwLock<HashMap<String, PushHandler>>>,
+    closed: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl HipacClient {
+    /// Connect and verify protocol compatibility with a ping.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<HipacClient, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+
+        let pending: Arc<Pending> = Arc::new(Mutex::new(HashMap::new()));
+        let handlers: Arc<RwLock<HashMap<String, PushHandler>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let closed = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let pending = Arc::clone(&pending);
+            let handlers = Arc::clone(&handlers);
+            let closed = Arc::clone(&closed);
+            std::thread::Builder::new()
+                .name("hipac-net-client-reader".to_owned())
+                .spawn(move || read_loop(reader_stream, &pending, &handlers, &closed))
+                .expect("spawn client reader")
+        };
+
+        let client = HipacClient {
+            writer: Mutex::new(stream),
+            next_id: AtomicU64::new(1),
+            pending,
+            handlers,
+            closed,
+            reader: Some(reader),
+        };
+        match client.request(Command::Ping {
+            version: PROTOCOL_VERSION,
+        })? {
+            Reply::Pong { version } if version == PROTOCOL_VERSION => Ok(client),
+            Reply::Pong { version } => Err(WireError::Protocol(format!(
+                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Send one command and wait for its reply. `Reply::Err` becomes
+    /// `WireError::Remote`.
+    pub fn request(&self, command: Command) -> Result<Reply, WireError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(WireError::Io("connection closed".into()));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.pending.lock().insert(id, tx);
+        let frame = Frame::Request { id, command }.encode();
+        let write_result = self.writer.lock().write_all(&frame);
+        if let Err(e) = write_result {
+            self.pending.lock().remove(&id);
+            return Err(e.into());
+        }
+        match rx.recv() {
+            Ok(Reply::Err { kind, message }) => Err(WireError::Remote { kind, message }),
+            Ok(reply) => Ok(reply),
+            // Reader dropped the sender: connection died.
+            Err(_) => Err(WireError::Io("connection closed".into())),
+        }
+    }
+
+    /// Register a local callback for push frames addressed to
+    /// `handler`, without telling the server (use
+    /// [`HipacClient::subscribe`] for both at once).
+    pub fn on_push(&self, handler: &str, f: impl Fn(&PushEvent) + Send + Sync + 'static) {
+        self.handlers.write().insert(handler.to_owned(), Box::new(f));
+    }
+
+    // ---- transaction operations ----
+
+    pub fn begin(&self) -> Result<TxnId, WireError> {
+        match self.request(Command::Begin)? {
+            Reply::Txn(t) => Ok(t),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn begin_child(&self, parent: TxnId) -> Result<TxnId, WireError> {
+        match self.request(Command::BeginChild { parent })? {
+            Reply::Txn(t) => Ok(t),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn commit(&self, txn: TxnId) -> Result<(), WireError> {
+        self.expect_ok(Command::Commit { txn })
+    }
+
+    pub fn abort(&self, txn: TxnId) -> Result<(), WireError> {
+        self.expect_ok(Command::Abort { txn })
+    }
+
+    // ---- data operations ----
+
+    /// Create a class; returns the class id.
+    pub fn create_class(
+        &self,
+        txn: TxnId,
+        name: &str,
+        superclass: Option<&str>,
+        attrs: Vec<AttrDef>,
+    ) -> Result<u64, WireError> {
+        let attrs = attrs
+            .into_iter()
+            .map(|a| WireAttr {
+                name: a.name,
+                ty: crate::proto::type_code(a.ty),
+                nullable: a.nullable,
+                indexed: a.indexed,
+            })
+            .collect();
+        match self.request(Command::CreateClass {
+            txn,
+            name: name.to_owned(),
+            superclass: superclass.map(str::to_owned),
+            attrs,
+        })? {
+            Reply::Id(id) => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Insert an object; returns its oid.
+    pub fn insert(&self, txn: TxnId, class: &str, values: Vec<Value>) -> Result<u64, WireError> {
+        match self.request(Command::Insert {
+            txn,
+            class: class.to_owned(),
+            values,
+        })? {
+            Reply::Object(oid) => Ok(oid.raw()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn update(
+        &self,
+        txn: TxnId,
+        oid: u64,
+        assignments: Vec<(String, Value)>,
+    ) -> Result<(), WireError> {
+        self.expect_ok(Command::Update {
+            txn,
+            oid,
+            assignments,
+        })
+    }
+
+    pub fn delete(&self, txn: TxnId, oid: u64) -> Result<(), WireError> {
+        self.expect_ok(Command::Delete { txn, oid })
+    }
+
+    /// Run a query in the surface syntax
+    /// (`from <class> [where <expr>] [select a, b]`).
+    pub fn query(
+        &self,
+        txn: TxnId,
+        text: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<Vec<WireRow>, WireError> {
+        match self.request(Command::Query {
+            txn,
+            text: text.to_owned(),
+            params,
+        })? {
+            Reply::Rows(rows) => Ok(rows),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    // ---- event operations ----
+
+    /// Define an external event; returns the event id.
+    pub fn define_event(&self, name: &str, params: &[&str]) -> Result<u64, WireError> {
+        match self.request(Command::DefineEvent {
+            name: name.to_owned(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+        })? {
+            Reply::Id(id) => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Signal an external event, optionally inside a transaction.
+    pub fn signal_event(
+        &self,
+        name: &str,
+        args: HashMap<String, Value>,
+        txn: Option<TxnId>,
+    ) -> Result<(), WireError> {
+        self.expect_ok(Command::SignalEvent {
+            name: name.to_owned(),
+            args,
+            txn,
+        })
+    }
+
+    // ---- rule operations ----
+
+    /// Create a rule from a locally built [`RuleDef`]; returns the rule
+    /// id.
+    pub fn create_rule(&self, txn: TxnId, def: &RuleDef) -> Result<u64, WireError> {
+        match self.request(Command::CreateRule {
+            txn,
+            rule: hipac_rules::codec::encode_rule(def),
+        })? {
+            Reply::Id(id) => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn drop_rule(&self, txn: TxnId, name: &str) -> Result<(), WireError> {
+        self.expect_ok(Command::DropRule {
+            txn,
+            name: name.to_owned(),
+        })
+    }
+
+    pub fn enable_rule(&self, txn: TxnId, name: &str) -> Result<(), WireError> {
+        self.expect_ok(Command::EnableRule {
+            txn,
+            name: name.to_owned(),
+        })
+    }
+
+    pub fn disable_rule(&self, txn: TxnId, name: &str) -> Result<(), WireError> {
+        self.expect_ok(Command::DisableRule {
+            txn,
+            name: name.to_owned(),
+        })
+    }
+
+    // ---- application operations (§4.1 role reversal) ----
+
+    /// Become the application server for `handler`: rule actions
+    /// addressed to it are delivered to `f` on this client's reader
+    /// thread. Keep `f` quick — it blocks delivery of later frames.
+    pub fn subscribe(
+        &self,
+        handler: &str,
+        f: impl Fn(&PushEvent) + Send + Sync + 'static,
+    ) -> Result<(), WireError> {
+        self.on_push(handler, f);
+        self.expect_ok(Command::Subscribe {
+            handler: handler.to_owned(),
+        })
+    }
+
+    /// Stop serving `handler`.
+    pub fn unsubscribe(&self, handler: &str) -> Result<(), WireError> {
+        self.expect_ok(Command::Unsubscribe {
+            handler: handler.to_owned(),
+        })?;
+        self.handlers.write().remove(handler);
+        Ok(())
+    }
+
+    // ---- observability ----
+
+    /// Fetch the server's engine statistics snapshot.
+    pub fn stats(&self) -> Result<WireStats, WireError> {
+        match self.request(Command::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn expect_ok(&self, command: Command) -> Result<(), WireError> {
+        match self.request(command)? {
+            Reply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+impl Drop for HipacClient {
+    fn drop(&mut self) {
+        self.closed.store(true, Ordering::Release);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+        if let Some(t) = self.reader.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn unexpected(reply: Reply) -> WireError {
+    WireError::Protocol(format!("unexpected reply: {reply:?}"))
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    pending: &Pending,
+    handlers: &RwLock<HashMap<String, PushHandler>>,
+    closed: &AtomicBool,
+) {
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Some(Frame::Response { id, reply })) => {
+                if let Some(tx) = pending.lock().remove(&id) {
+                    let _ = tx.send(reply);
+                }
+                // No waiter: request raced with a local error path that
+                // already gave up on it; drop the reply.
+            }
+            Ok(Some(Frame::Push(event))) => {
+                let guard = handlers.read();
+                if let Some(h) = guard.get(&event.handler) {
+                    h(&event);
+                }
+                // No handler registered: the server pushed to a handler
+                // this client never subscribed; ignore.
+            }
+            // Servers never send requests; a malformed stream is fatal.
+            Ok(Some(Frame::Request { .. })) | Err(_) | Ok(None) => break,
+        }
+    }
+    closed.store(true, Ordering::Release);
+    // Wake every blocked caller: dropping the senders errors their recv.
+    pending.lock().clear();
+}

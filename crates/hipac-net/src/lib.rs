@@ -1,0 +1,26 @@
+//! hipac-net: the network service layer of the HiPAC active DBMS.
+//!
+//! HiPAC's architecture (Figure 4.1 of the paper) exposes four groups
+//! of operations to applications — transaction control, data
+//! operations, event operations, and application requests flowing
+//! *back* from the DBMS to the application (the §4.1 "role reversal").
+//! This crate puts that surface on a socket:
+//!
+//! * [`proto`] — a length-prefixed binary wire protocol encoding
+//!   requests, responses, and server-push frames, built on the
+//!   self-describing value codec from `hipac-common`.
+//! * [`server`] — [`server::HipacServer`]: a concurrent TCP server
+//!   wrapping an `ActiveDatabase`, session-per-connection on a bounded
+//!   worker pool, per-session transaction tables, and delivery of
+//!   rule-action application requests as push frames to subscribed
+//!   clients.
+//! * [`client`] — [`client::HipacClient`]: a blocking request/response
+//!   client with push-frame handler registration.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::HipacClient;
+pub use proto::{Command, Frame, PushEvent, Reply, WireError};
+pub use server::{HipacServer, ServerConfig};

@@ -1,0 +1,633 @@
+//! [`HipacServer`]: the active DBMS behind a TCP listener.
+//!
+//! Sessions are served one-per-connection on a bounded worker pool: an
+//! accept thread hands sockets to `workers` session threads through a
+//! bounded crossbeam channel, so at most `workers` sessions run
+//! concurrently and at most `max_pending` more wait in the queue;
+//! connections beyond that are refused with an error frame instead of
+//! queueing unboundedly.
+//!
+//! The paper's §4.1 role reversal — the DBMS calling the application —
+//! crosses the network through subscriptions: a client that sends
+//! `Subscribe { handler }` becomes the application server for that
+//! handler name, and every rule action addressed to it is delivered to
+//! the client as a push frame, synchronously from the firing's thread
+//! (immediate/deferred firings block the triggering transaction on the
+//! socket write; separate firings block a pool worker).
+//!
+//! Sessions own the transactions they begin: a connection that drops —
+//! idle timeout, protocol error, or plain disconnect — has its open
+//! transactions aborted, so a crashed client cannot strand locks.
+
+use crate::proto::{
+    code_type, Command, Frame, PushEvent, Reply, WireError, WireStats, PROTOCOL_VERSION,
+};
+use hipac::{ActiveDatabase, EngineStats};
+use hipac_common::{HipacError, ObjectId, Result as HipacResult, TxnId, Value};
+use hipac_object::{AttrDef, Query};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`HipacServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent session threads (the hard concurrency cap).
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a free session thread.
+    /// Beyond this the server refuses with an error frame.
+    pub max_pending: usize,
+    /// A session with no complete request for this long is closed (its
+    /// open transactions abort). This is the backpressure backstop: a
+    /// stalled client cannot pin a session thread forever.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            max_pending: 16,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// How often blocked reads wake to check idle/shutdown state.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Subscription table: handler name -> sessions serving it. The engine
+/// sees one proxy `ApplicationHandler` per name; the proxy fans out to
+/// the live subscribers at call time.
+struct Subscriptions {
+    by_handler: RwLock<HashMap<String, Vec<Subscriber>>>,
+}
+
+#[derive(Clone)]
+struct Subscriber {
+    session: u64,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+impl Subscriptions {
+    fn new() -> Arc<Subscriptions> {
+        Arc::new(Subscriptions {
+            by_handler: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Add `session` as a server for `handler`. Registers the engine
+    /// proxy on the first subscriber.
+    fn subscribe(
+        self: &Arc<Self>,
+        db: &ActiveDatabase,
+        handler: &str,
+        session: u64,
+        writer: Arc<Mutex<TcpStream>>,
+    ) {
+        let mut map = self.by_handler.write();
+        let subs = map.entry(handler.to_owned()).or_default();
+        if !subs.iter().any(|s| s.session == session) {
+            subs.push(Subscriber { session, writer });
+        }
+        if subs.len() == 1 {
+            let me = Arc::clone(self);
+            let name = handler.to_owned();
+            db.register_handler(handler, move |request, args| {
+                me.deliver(&name, request, args)
+            });
+        }
+    }
+
+    /// Remove `session` from `handler`'s subscribers; unregisters the
+    /// proxy when the list empties.
+    fn unsubscribe(&self, db: &ActiveDatabase, handler: &str, session: u64) {
+        let mut map = self.by_handler.write();
+        if let Some(subs) = map.get_mut(handler) {
+            subs.retain(|s| s.session != session);
+            if subs.is_empty() {
+                map.remove(handler);
+                db.unregister_handler(handler);
+            }
+        }
+    }
+
+    /// Remove `session` from every handler it serves.
+    fn drop_session(&self, db: &ActiveDatabase, session: u64) {
+        let mut map = self.by_handler.write();
+        map.retain(|handler, subs| {
+            subs.retain(|s| s.session != session);
+            if subs.is_empty() {
+                db.unregister_handler(handler);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Push `request` to every subscriber of `handler`. Succeeds when
+    /// at least one delivery succeeds; dead subscribers are pruned.
+    fn deliver(
+        &self,
+        handler: &str,
+        request: &str,
+        args: &HashMap<String, Value>,
+    ) -> HipacResult<()> {
+        let subscribers: Vec<Subscriber> = match self.by_handler.read().get(handler) {
+            Some(subs) => subs.clone(),
+            None => Vec::new(),
+        };
+        if subscribers.is_empty() {
+            return Err(HipacError::NoApplicationHandler(handler.to_owned()));
+        }
+        let frame = Frame::Push(PushEvent {
+            handler: handler.to_owned(),
+            request: request.to_owned(),
+            args: args.clone(),
+        })
+        .encode();
+        let mut delivered = 0usize;
+        let mut dead = Vec::new();
+        for sub in &subscribers {
+            let mut w = sub.writer.lock();
+            match w.write_all(&frame) {
+                Ok(()) => delivered += 1,
+                Err(_) => dead.push(sub.session),
+            }
+        }
+        if !dead.is_empty() {
+            let mut map = self.by_handler.write();
+            if let Some(subs) = map.get_mut(handler) {
+                subs.retain(|s| !dead.contains(&s.session));
+            }
+        }
+        if delivered == 0 {
+            return Err(HipacError::NoApplicationHandler(format!(
+                "{handler} (all subscribers disconnected)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A running network front end over an [`ActiveDatabase`].
+///
+/// Dropping the server shuts it down gracefully: the listener stops
+/// accepting, live sessions finish their in-flight request, open
+/// transactions of interrupted sessions abort, and all threads join.
+pub struct HipacServer {
+    db: Arc<ActiveDatabase>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    session_threads: Vec<JoinHandle<()>>,
+    /// Connections refused because the pending queue was full.
+    refused: Arc<AtomicU64>,
+}
+
+impl HipacServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `db` with default [`ServerConfig`].
+    pub fn bind(db: Arc<ActiveDatabase>, addr: impl ToSocketAddrs) -> Result<HipacServer, WireError> {
+        HipacServer::bind_with(db, addr, ServerConfig::default())
+    }
+
+    /// Bind with explicit configuration.
+    pub fn bind_with(
+        db: Arc<ActiveDatabase>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<HipacServer, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Polling accept: wake every tick to observe the shutdown flag.
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let subscriptions = Subscriptions::new();
+        let refused = Arc::new(AtomicU64::new(0));
+        let workers = config.workers.max(1);
+        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.max_pending.max(1));
+
+        let mut session_threads = Vec::with_capacity(workers);
+        for n in 0..workers {
+            let rx = conn_rx.clone();
+            let db = Arc::clone(&db);
+            let subs = Arc::clone(&subscriptions);
+            let stop = Arc::clone(&shutdown);
+            let cfg = config.clone();
+            session_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hipac-net-session-{n}"))
+                    .spawn(move || {
+                        // Channel closes when the accept thread drops the
+                        // last sender at shutdown.
+                        while let Ok(stream) = rx.recv() {
+                            let session = Session::new(&db, &subs, &stop, &cfg, stream);
+                            if let Some(mut s) = session {
+                                s.run();
+                            }
+                        }
+                    })
+                    .expect("spawn session thread"),
+            );
+        }
+
+        let accept_thread = {
+            let stop = Arc::clone(&shutdown);
+            let refused = Arc::clone(&refused);
+            std::thread::Builder::new()
+                .name("hipac-net-accept".to_owned())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                match conn_tx.try_send(stream) {
+                                    Ok(()) => {}
+                                    Err(crossbeam::channel::TrySendError::Full(stream)) => {
+                                        refused.fetch_add(1, Ordering::Relaxed);
+                                        refuse(stream);
+                                    }
+                                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(READ_TICK);
+                            }
+                            Err(_) => std::thread::sleep(READ_TICK),
+                        }
+                    }
+                    // Dropping conn_tx here closes the channel; session
+                    // threads exit once the queue drains.
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(HipacServer {
+            db,
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            session_threads,
+            refused,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The database being served.
+    pub fn db(&self) -> &Arc<ActiveDatabase> {
+        &self.db
+    }
+
+    /// Connections refused so far because the pending queue was full.
+    pub fn refused_connections(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, interrupt live sessions at their next read tick,
+    /// abort their open transactions, and join all threads.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.session_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HipacServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Best-effort "server busy" notice on a refused connection.
+fn refuse(mut stream: TcpStream) {
+    let frame = Frame::Response {
+        id: 0,
+        reply: Reply::Err {
+            kind: "ServerBusy".to_owned(),
+            message: "connection limit reached".to_owned(),
+        },
+    };
+    let _ = stream.write_all(&frame.encode());
+}
+
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+/// Resumable frame reader for sockets with a short read timeout.
+///
+/// `poll` accumulates bytes across timeout ticks, so a frame split
+/// across ticks never desynchronizes the stream — partial reads park in
+/// the buffer until the frame completes.
+struct TickReader {
+    /// Frame length once the 4-byte header is complete.
+    want: Option<usize>,
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+impl TickReader {
+    fn new() -> TickReader {
+        TickReader {
+            want: None,
+            buf: vec![0u8; 4],
+            filled: 0,
+        }
+    }
+
+    /// Try to complete one frame. `Ok(Some(payload))` when a full frame
+    /// arrived, `Ok(None)` when the read tick expired first, `Err` on
+    /// EOF, oversized frame, or transport error.
+    fn poll(&mut self, stream: &mut TcpStream) -> Result<Option<Vec<u8>>, WireError> {
+        use std::io::Read;
+        loop {
+            let target = self.buf.len();
+            while self.filled < target {
+                match stream.read(&mut self.buf[self.filled..]) {
+                    Ok(0) => return Err(WireError::Io("connection closed".into())),
+                    Ok(n) => self.filled += n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(None)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            match self.want {
+                None => {
+                    let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                        as usize;
+                    if len > crate::proto::MAX_FRAME {
+                        return Err(WireError::Protocol(format!(
+                            "frame of {len} bytes exceeds cap"
+                        )));
+                    }
+                    self.want = Some(len);
+                    self.buf = vec![0u8; len];
+                    self.filled = 0;
+                }
+                Some(_) => {
+                    let payload = std::mem::replace(&mut self.buf, vec![0u8; 4]);
+                    self.want = None;
+                    self.filled = 0;
+                    return Ok(Some(payload));
+                }
+            }
+        }
+    }
+}
+
+/// One client connection: a read loop, a transaction table, and a
+/// shared writer handle (responses from this thread, pushes from
+/// whichever thread fires a subscribed rule).
+struct Session<'a> {
+    id: u64,
+    db: &'a Arc<ActiveDatabase>,
+    subs: &'a Arc<Subscriptions>,
+    stop: &'a AtomicBool,
+    idle_timeout: Duration,
+    reader: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    /// Transactions begun by this session and not yet terminated.
+    open_txns: HashSet<TxnId>,
+}
+
+impl<'a> Session<'a> {
+    fn new(
+        db: &'a Arc<ActiveDatabase>,
+        subs: &'a Arc<Subscriptions>,
+        stop: &'a AtomicBool,
+        cfg: &ServerConfig,
+        stream: TcpStream,
+    ) -> Option<Session<'a>> {
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(READ_TICK)).ok();
+        let writer = Arc::new(Mutex::new(stream.try_clone().ok()?));
+        Some(Session {
+            id: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
+            db,
+            subs,
+            stop,
+            idle_timeout: cfg.idle_timeout,
+            reader: stream,
+            writer,
+            open_txns: HashSet::new(),
+        })
+    }
+
+    fn run(&mut self) {
+        let mut frames = TickReader::new();
+        let mut last_activity = Instant::now();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            match frames.poll(&mut self.reader) {
+                Ok(Some(payload)) => {
+                    last_activity = Instant::now();
+                    match Frame::decode(&payload) {
+                        Ok(Frame::Request { id, command }) => {
+                            let reply = self.dispatch(command);
+                            let frame = Frame::Response { id, reply };
+                            if self.writer.lock().write_all(&frame.encode()).is_err() {
+                                break;
+                            }
+                        }
+                        // Clients never send responses or pushes; treat
+                        // as a protocol violation and drop the session.
+                        _ => break,
+                    }
+                }
+                Ok(None) => {
+                    // Read tick expired with no complete frame: enforce
+                    // the idle timeout, otherwise keep waiting.
+                    if last_activity.elapsed() >= self.idle_timeout {
+                        break;
+                    }
+                }
+                Err(_) => break, // EOF or transport error
+            }
+        }
+        self.teardown();
+    }
+
+    /// Abort open transactions and drop subscriptions on disconnect.
+    fn teardown(&mut self) {
+        self.subs.drop_session(self.db, self.id);
+        // Abort parents last: aborting a parent cascades to children,
+        // making the child abort a no-op error we ignore anyway.
+        let mut txns: Vec<TxnId> = self.open_txns.drain().collect();
+        txns.sort_by_key(|t| std::cmp::Reverse(t.raw()));
+        for t in txns {
+            let _ = self.db.abort(t);
+        }
+    }
+
+    fn dispatch(&mut self, command: Command) -> Reply {
+        match self.execute(command) {
+            Ok(reply) => reply,
+            Err(e) => Reply::from(e),
+        }
+    }
+
+    fn execute(&mut self, command: Command) -> HipacResult<Reply> {
+        Ok(match command {
+            Command::Ping { version: _ } => Reply::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            Command::Begin => {
+                let t = self.db.begin();
+                self.open_txns.insert(t);
+                Reply::Txn(t)
+            }
+            Command::BeginChild { parent } => {
+                let t = self.db.begin_child(parent)?;
+                self.open_txns.insert(t);
+                Reply::Txn(t)
+            }
+            Command::Commit { txn } => {
+                let result = self.db.commit(txn);
+                self.open_txns.remove(&txn);
+                match result {
+                    Ok(()) => Reply::Ok,
+                    Err(e) => {
+                        // A failed commit leaves the transaction dead;
+                        // make sure it is really gone before reporting.
+                        let _ = self.db.abort(txn);
+                        return Err(e);
+                    }
+                }
+            }
+            Command::Abort { txn } => {
+                self.open_txns.remove(&txn);
+                self.db.abort(txn)?;
+                Reply::Ok
+            }
+            Command::CreateClass {
+                txn,
+                name,
+                superclass,
+                attrs,
+            } => {
+                let mut defs = Vec::with_capacity(attrs.len());
+                for a in attrs {
+                    let ty = code_type(a.ty).map_err(|e| HipacError::TypeError(e.to_string()))?;
+                    defs.push(AttrDef {
+                        name: a.name,
+                        ty,
+                        nullable: a.nullable,
+                        indexed: a.indexed,
+                    });
+                }
+                let cid = self
+                    .db
+                    .store()
+                    .create_class(txn, &name, superclass.as_deref(), defs)?;
+                Reply::Id(cid.raw())
+            }
+            Command::Insert { txn, class, values } => {
+                let oid = self.db.store().insert(txn, &class, values)?;
+                Reply::Object(oid)
+            }
+            Command::Update {
+                txn,
+                oid,
+                assignments,
+            } => {
+                let borrowed: Vec<(&str, Value)> = assignments
+                    .iter()
+                    .map(|(n, v)| (n.as_str(), v.clone()))
+                    .collect();
+                self.db.store().update(txn, ObjectId(oid), &borrowed)?;
+                Reply::Ok
+            }
+            Command::Delete { txn, oid } => {
+                self.db.store().delete(txn, ObjectId(oid))?;
+                Reply::Ok
+            }
+            Command::Query { txn, text, params } => {
+                let query = Query::parse(&text)?;
+                let params = if params.is_empty() { None } else { Some(&params) };
+                let rows = self.db.store().query(txn, &query, params)?;
+                Reply::Rows(
+                    rows.into_iter()
+                        .map(|r| crate::proto::WireRow {
+                            oid: r.oid.raw(),
+                            class: r.class.raw(),
+                            values: r.values,
+                        })
+                        .collect(),
+                )
+            }
+            Command::DefineEvent { name, params } => {
+                let borrowed: Vec<&str> = params.iter().map(String::as_str).collect();
+                let eid = self.db.define_event(&name, &borrowed)?;
+                Reply::Id(eid.raw())
+            }
+            Command::SignalEvent { name, args, txn } => {
+                self.db.signal_event(&name, args, txn)?;
+                Reply::Ok
+            }
+            Command::CreateRule { txn, rule } => {
+                let def = hipac_rules::codec::decode_rule(&rule)?;
+                let rid = self.db.rules().create_rule(txn, def)?;
+                Reply::Id(rid.raw())
+            }
+            Command::DropRule { txn, name } => {
+                self.db.rules().drop_rule(txn, &name)?;
+                Reply::Ok
+            }
+            Command::EnableRule { txn, name } => {
+                self.db.rules().enable_rule(txn, &name)?;
+                Reply::Ok
+            }
+            Command::DisableRule { txn, name } => {
+                self.db.rules().disable_rule(txn, &name)?;
+                Reply::Ok
+            }
+            Command::Subscribe { handler } => {
+                self.subs
+                    .subscribe(self.db, &handler, self.id, Arc::clone(&self.writer));
+                Reply::Ok
+            }
+            Command::Unsubscribe { handler } => {
+                self.subs.unsubscribe(self.db, &handler, self.id);
+                Reply::Ok
+            }
+            Command::Stats => Reply::Stats(stats_to_wire(self.db.stats())),
+        })
+    }
+}
+
+/// Convert the facade snapshot into its wire representation.
+pub fn stats_to_wire(s: EngineStats) -> WireStats {
+    WireStats {
+        signals_processed: s.signals_processed,
+        rules_triggered: s.rules_triggered,
+        conditions_satisfied: s.conditions_satisfied,
+        actions_executed: s.actions_executed,
+        store_evaluations: s.store_evaluations,
+        delta_evaluations: s.delta_evaluations,
+        cache_hits: s.cache_hits,
+        deferred_txns: s.deferred_txns,
+        deferred_firings: s.deferred_firings,
+        pool_outstanding: s.pool_outstanding,
+        separate_errors: s.separate_errors,
+    }
+}

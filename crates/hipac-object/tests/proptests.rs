@@ -18,7 +18,8 @@ fn arb_ident() -> impl Strategy<Value = String> {
 
 fn arb_literal() -> impl Strategy<Value = Expr> {
     prop_oneof![
-        any::<i64>().prop_map(|i| Expr::Literal(Value::Int(i.abs()))),
+        any::<i64>()
+            .prop_map(|i| Expr::Literal(Value::Int(i.checked_abs().unwrap_or(i64::MAX)))),
         // Positive finite floats with simple decimal forms survive the
         // Display→parse cycle structurally.
         (0u32..100000u32, 1u32..1000u32)

@@ -468,6 +468,31 @@ impl RuleManager {
         self.handlers.write().insert(name.to_owned(), h);
     }
 
+    /// Remove an application handler. Rules addressing it afterwards
+    /// fail with `NoApplicationHandler`. Returns whether it existed.
+    pub fn unregister_handler(&self, name: &str) -> bool {
+        self.handlers.write().remove(name).is_some()
+    }
+
+    /// Size of the deferred-firing table: `(transactions with queued
+    /// firings, total queued firings)`.
+    pub fn deferred_sizes(&self) -> (usize, usize) {
+        let deferred = self.deferred.lock();
+        let entries = deferred.values().map(Vec::len).sum();
+        (deferred.len(), entries)
+    }
+
+    /// Separate-mode firings submitted but not yet finished.
+    pub fn pool_outstanding(&self) -> usize {
+        self.pool.outstanding()
+    }
+
+    /// Errors buffered from separate-mode firings (without draining;
+    /// see [`RuleManager::take_separate_errors`]).
+    pub fn separate_error_count(&self) -> usize {
+        self.separate_errors.lock().len()
+    }
+
     /// Wait until all separate-mode firings submitted so far have
     /// finished.
     pub fn quiesce(&self) {

@@ -124,6 +124,37 @@ impl Builder {
     }
 }
 
+/// A point-in-time snapshot of engine activity, cheap to take (atomic
+/// counter reads plus two short lock holds). Served remotely by
+/// `hipac-net`'s STATS command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Event signals run through the Rule Manager.
+    pub signals_processed: u64,
+    /// Rule firings triggered (all coupling modes).
+    pub rules_triggered: u64,
+    /// Condition evaluations that came back true.
+    pub conditions_satisfied: u64,
+    /// Rule actions executed.
+    pub actions_executed: u64,
+    /// Conditions evaluated against the full store.
+    pub store_evaluations: u64,
+    /// Conditions evaluated against operation deltas.
+    pub delta_evaluations: u64,
+    /// Condition-evaluation cache hits.
+    pub cache_hits: u64,
+    /// Transactions currently holding deferred firings.
+    pub deferred_txns: u64,
+    /// Total deferred firings queued across those transactions.
+    pub deferred_firings: u64,
+    /// Separate-mode firings submitted to the worker pool and not yet
+    /// finished.
+    pub pool_outstanding: u64,
+    /// Errors buffered from separate-mode firings, not yet drained via
+    /// [`ActiveDatabase::take_separate_errors`].
+    pub separate_errors: u64,
+}
+
 /// The assembled active DBMS.
 ///
 /// The accessors expose the paper's components directly — applications
@@ -255,6 +286,34 @@ impl ActiveDatabase {
         F: Fn(&str, &HashMap<String, Value>) -> Result<()> + Send + Sync + 'static,
     {
         self.rules.register_handler(name, Arc::new(FnHandler(f)));
+    }
+
+    /// Remove a previously registered handler (e.g. when the
+    /// application endpoint disconnects). Returns whether it existed.
+    pub fn unregister_handler(&self, name: &str) -> bool {
+        self.rules.unregister_handler(name)
+    }
+
+    // ---- observability -----------------------------------------------------
+
+    /// Snapshot engine activity counters.
+    pub fn stats(&self) -> EngineStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = &self.rules.stats;
+        let (deferred_txns, deferred_firings) = self.rules.deferred_sizes();
+        EngineStats {
+            signals_processed: s.signals_processed.load(Relaxed),
+            rules_triggered: s.rules_triggered.load(Relaxed),
+            conditions_satisfied: s.conditions_satisfied.load(Relaxed),
+            actions_executed: s.actions_executed.load(Relaxed),
+            store_evaluations: s.store_evaluations.load(Relaxed),
+            delta_evaluations: s.delta_evaluations.load(Relaxed),
+            cache_hits: s.cache_hits.load(Relaxed),
+            deferred_txns: deferred_txns as u64,
+            deferred_firings: deferred_firings as u64,
+            pool_outstanding: self.rules.pool_outstanding() as u64,
+            separate_errors: self.rules.separate_error_count() as u64,
+        }
     }
 
     // ---- clock / temporal --------------------------------------------------

@@ -70,11 +70,11 @@
 
 pub mod db;
 
-pub use db::{ActiveDatabase, Builder, ClockMode};
+pub use db::{ActiveDatabase, Builder, ClockMode, EngineStats};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::db::{ActiveDatabase, Builder, ClockMode};
+    pub use crate::db::{ActiveDatabase, Builder, ClockMode, EngineStats};
     pub use hipac_common::{
         ClassId, EventId, HipacError, ObjectId, Result, RuleId, Timestamp, TxnId, Value,
         ValueType,

@@ -1,0 +1,297 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function`, `iter` / `iter_batched`, `sample_size` —
+//! with a simple median-of-samples measurement loop and one-line text
+//! output (`<group>/<name>  median  <ns> ns/iter`). No plots, no
+//! statistical regression analysis, no CLI; unknown flags passed by
+//! `cargo bench` are ignored.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing for [`Bencher::iter_batched`] (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 11,
+            target_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        run_bench(&name, self.sample_count, self.target_sample_time, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion uses this as the statistical sample count; the shim
+    /// maps it to its (much smaller) timing-sample count, capped to
+    /// keep runs quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = n.clamp(5, 25);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.target_sample_time = d / 10;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_bench(
+            &name,
+            self.criterion.sample_count,
+            self.criterion.target_sample_time,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the closure of `bench_function`; runs the measured code.
+pub struct Bencher {
+    /// Iterations per sample, tuned before measurement.
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Calibrating: discover cost per iteration.
+    Calibrate,
+    /// Measuring: record samples.
+    Measure,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let start = Instant::now();
+                black_box(f());
+                self.samples.push(start.elapsed().as_secs_f64());
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(f());
+                }
+                let total = start.elapsed().as_secs_f64();
+                self.samples.push(total / self.iters_per_sample as f64);
+            }
+        }
+    }
+
+    /// Measure `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            BencherMode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.samples.push(start.elapsed().as_secs_f64());
+            }
+            BencherMode::Measure => {
+                let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                let total = start.elapsed().as_secs_f64();
+                self.samples.push(total / self.iters_per_sample as f64);
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_count: usize,
+    target_sample_time: Duration,
+    mut f: F,
+) {
+    // Calibration pass: one un-batched iteration to size the batches.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BencherMode::Calibrate,
+    };
+    f(&mut b);
+    let per_iter = b.samples.first().copied().unwrap_or(1e-6).max(1e-9);
+    let iters = (target_sample_time.as_secs_f64() / per_iter).clamp(1.0, 1e7) as u64;
+
+    // Measurement pass.
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::new(),
+        mode: BencherMode::Measure,
+    };
+    for _ in 0..sample_count {
+        f(&mut b);
+    }
+    let mut samples = b.samples;
+    samples.sort_by(|a, z| a.partial_cmp(z).unwrap());
+    let median = if samples.is_empty() {
+        0.0
+    } else {
+        samples[samples.len() / 2]
+    };
+    println!("{name:<48} median {:>12.1} ns/iter", median * 1e9);
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_count: 3,
+            target_sample_time: Duration::from_micros(200),
+        };
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion {
+            sample_count: 3,
+            target_sample_time: Duration::from_micros(200),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("case", 4), |b| {
+            b.iter_batched(|| vec![1u8; 4], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates registry, so the workspace
+//! vendors the proptest API subset its property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, `any::<T>()`, range and tuple strategies, a
+//! regex-lite string strategy, `collection::vec`, `prop_oneof!`,
+//! `Just`, and the `proptest!` test macro.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated values
+//!   via `prop_assert!` context; cases are deterministic per test name,
+//!   so failures reproduce exactly.
+//! * **String strategies** accept the small regex subset the tests use
+//!   (char classes, `.`, `\PC`, `{m,n}` repetition) rather than full
+//!   regex syntax.
+//! * Case count defaults to 64 (configure with
+//!   `ProptestConfig::with_cases`).
+
+pub mod strategy;
+
+pub mod collection;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, TestRng};
+
+/// Per-block configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Give-up threshold for `prop_filter` rejections per case.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated
+/// inputs, deterministically seeded from the test name.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_munch!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_munch!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher behind [`proptest!`]. A separate macro so an input
+/// it cannot parse is a compile error, not unbounded recursion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_munch!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose uniformly among the listed strategies (all producing the
+/// same value type). Weight prefixes are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $($crate::strategy::BoxedStrategy::new($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        #[test]
+        fn ints_in_range(v in 10i64..20) {
+            prop_assert!((10..20).contains(&v));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0u32..5, 0u32..5), s in ".{0,8}") {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!(s.chars().count() <= 8);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn filter_holds(v in (0u32..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_form_compiles(v in any::<bool>()) {
+            prop_assert!(v || !v);
+        }
+    }
+
+    #[test]
+    fn char_class_strategy_matches() {
+        let mut rng = TestRng::from_name("char_class");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(s.chars().count() <= 7, "{s:?}");
+            for c in chars {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_',
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates_and_varies() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let strat = any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::from_name("recursive");
+        let mut saw_leaf = false;
+        let mut saw_node = false;
+        for _ in 0..100 {
+            match Strategy::generate(&strat, &mut rng) {
+                Tree::Leaf(_) => saw_leaf = true,
+                Tree::Node(_) => saw_node = true,
+            }
+        }
+        assert!(saw_leaf && saw_node);
+    }
+}

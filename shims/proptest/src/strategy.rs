@@ -1,0 +1,576 @@
+//! Strategy trait, primitive strategies, and combinators.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deterministic generator (xorshift64*), seeded from the test name so
+/// every run of a given test explores the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// A value generator. Real proptest separates value *trees* (for
+/// shrinking) from strategies; the shim only generates.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Reject generated values failing `pred` (regenerates; panics
+    /// after too many consecutive rejections).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Build a recursive strategy: `expand` receives a strategy for the
+    /// recursive positions and returns the composite level. `depth`
+    /// bounds nesting; the extra proptest sizing parameters are
+    /// accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let expand = Arc::new(expand);
+        Recursive {
+            base: BoxedStrategy::new(self),
+            expand: Arc::new(move |inner| BoxedStrategy::new(expand(inner))),
+            depth,
+        }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cheaply clonable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub fn new<S>(strategy: S) -> BoxedStrategy<T>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(strategy),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    #[allow(clippy::type_complexity)]
+    expand: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            expand: Arc::clone(&self.expand),
+            depth: self.depth,
+        }
+    }
+}
+
+/// Generates at a fixed remaining depth; handed to `expand` closures
+/// for the recursive positions.
+struct AtDepth<T> {
+    rec: Recursive<T>,
+}
+
+impl<T: 'static> Strategy for AtDepth<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.rec.generate(rng)
+    }
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Flip toward the base as depth runs out so generated values
+        // mix leaves and deep structures at every level.
+        if self.depth == 0 || rng.chance(0.33) {
+            return self.base.generate(rng);
+        }
+        let inner = BoxedStrategy::new(AtDepth {
+            rec: Recursive {
+                base: self.base.clone(),
+                expand: Arc::clone(&self.expand),
+                depth: self.depth - 1,
+            },
+        });
+        (self.expand)(inner).generate(rng)
+    }
+}
+
+/// Types with a canonical strategy, used via [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix boundary values in: overflow edges find more bugs
+                // than uniform bits.
+                match rng.below(16) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.below(16) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => f64::NAN,
+            5 => f64::MIN,
+            6 => f64::MAX,
+            7 => f64::EPSILON,
+            // Wide exponent spread without being all-extreme.
+            _ => {
+                let mantissa = rng.next_f64() * 2.0 - 1.0;
+                let exp = rng.below(64) as i32 - 32;
+                mantissa * (2f64).powi(exp)
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        if rng.chance(0.9) {
+            (0x20u8 + rng.below(0x5f) as u8) as char
+        } else {
+            char::from_u32(rng.below(0xD7FF) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident => $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A => 0),
+    (A => 0, B => 1),
+    (A => 0, B => 1, C => 2),
+    (A => 0, B => 1, C => 2, D => 3),
+    (A => 0, B => 1, C => 2, D => 3, E => 4),
+);
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub fn one_of<T>(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { arms }
+}
+
+/// Strategy returned by [`one_of`].
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regex-lite string strategies
+// ---------------------------------------------------------------------
+
+/// String literals act as regex-subset strategies, like in proptest.
+/// Supported: literal chars, `.` / `\PC` (any printable), `[...]`
+/// classes with ranges, and `{m,n}` / `{n}` / `*` / `+` / `?`
+/// repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_rep + rng.below(atom.max_rep - atom.min_rep + 1);
+            for _ in 0..n {
+                out.push(atom.kind.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    kind: AtomKind,
+    min_rep: usize,
+    max_rep: usize,
+}
+
+enum AtomKind {
+    Literal(char),
+    /// Any printable char (`.` or `\PC`).
+    AnyPrintable,
+    /// Explicit alternatives from a `[...]` class.
+    Class(Vec<char>),
+}
+
+impl AtomKind {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            AtomKind::Literal(c) => *c,
+            AtomKind::AnyPrintable => {
+                // Mostly ASCII printable, occasionally multi-byte, to
+                // exercise UTF-8 handling.
+                if rng.chance(0.9) {
+                    (0x20u8 + rng.below(0x5f) as u8) as char
+                } else {
+                    ['é', 'λ', '中', '🦀', 'ß', '→'][rng.below(6)]
+                }
+            }
+            AtomKind::Class(chars) => chars[rng.below(chars.len())],
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '.' => {
+                i += 1;
+                AtomKind::AnyPrintable
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    // \PC (and \pC): "not a control char" — printable.
+                    Some('P') | Some('p') => {
+                        i += 2; // skip the category letter too
+                        AtomKind::AnyPrintable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        let lit = match c {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        };
+                        AtomKind::Literal(lit)
+                    }
+                    None => AtomKind::Literal('\\'),
+                }
+            }
+            '[' => {
+                i += 1;
+                let mut members = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if c == '\\' && i + 1 < chars.len() {
+                        members.push(chars[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    // A range like `a-z` (a `-` at the end is literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (c as u32, chars[i + 2] as u32);
+                        for v in lo..=hi {
+                            if let Some(m) = char::from_u32(v) {
+                                members.push(m);
+                            }
+                        }
+                        i += 3;
+                        continue;
+                    }
+                    members.push(c);
+                    i += 1;
+                }
+                i += 1; // closing ]
+                assert!(!members.is_empty(), "empty char class in {pat:?}");
+                AtomKind::Class(members)
+            }
+            c => {
+                i += 1;
+                AtomKind::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (min_rep, max_rep) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min_rep <= max_rep, "bad repetition in pattern {pat:?}");
+        atoms.push(Atom {
+            kind,
+            min_rep,
+            max_rep,
+        });
+    }
+    atoms
+}

@@ -1,0 +1,257 @@
+//! Offline shim for the `rand` crate.
+//!
+//! A deterministic splitmix64/xorshift generator behind the rand 0.8
+//! API subset the workspace uses: `StdRng::seed_from_u64`, `Rng::gen`,
+//! `gen_range`, `gen_bool`, and `SliceRandom::shuffle`. Distribution
+//! quality is far beyond what seeded tests and synthetic workloads
+//! need; cryptographic use is out of scope.
+
+use std::ops::Range;
+
+/// Seedable generator trait (subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values generable by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+/// Types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The user-facing generator trait (subset of rand's `Rng`).
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The standard generator: splitmix64-seeded xorshift64*.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // splitmix64 of the seed avoids weak low-entropy states.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        StdRng {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna); passes the statistical bar for tests.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Seeded from the system clock + a process counter; deterministic
+/// generators ([`SeedableRng::seed_from_u64`]) are preferred in tests.
+pub fn thread_rng() -> StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    StdRng::seed_from_u64(t ^ COUNTER.fetch_add(0x9e37_79b9, Ordering::Relaxed))
+}
+
+macro_rules! impl_int_sampling {
+    ($(($t:ty, $u:ty)),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: Range<$t>) -> $t {
+                // The span always fits the unsigned counterpart, even
+                // for signed ranges straddling zero.
+                let span = range.end.wrapping_sub(range.start) as $u as u64;
+                // Lemire multiply-shift reduction: unbiased enough for
+                // tests without a rejection loop.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                range.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> f32 {
+        rng.next_f64() as f32
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<f64>) -> f64 {
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore>(rng: &mut R, range: Range<f32>) -> f32 {
+        range.start + rng.next_f64() as f32 * (range.end - range.start)
+    }
+}
+
+/// Slice helpers (subset of rand's `SliceRandom`).
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = Rng::gen_range(rng, 0..i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[Rng::gen_range(rng, 0..self.len())])
+        }
+    }
+}
+
+/// One-stop imports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng, SliceRandom, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}
