@@ -1,0 +1,263 @@
+//! Conflict-graph construction and cycle detection.
+
+use crate::schedule::History;
+use hipac_common::TxnId;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A directed conflict: `from`'s access to `key` at `from_seq` precedes
+/// `to`'s conflicting access at `to_seq`, so any equivalent serial
+/// order must run `from` before `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictEdge<K> {
+    pub from: TxnId,
+    pub to: TxnId,
+    pub key: K,
+    pub from_seq: u64,
+    pub to_seq: u64,
+}
+
+/// Evidence that a history is not conflict-serializable: a cycle in the
+/// conflict graph, with one witness edge per hop.
+#[derive(Debug, Clone)]
+pub struct Violation<K> {
+    /// The transactions around the cycle; `edges[i]` goes from
+    /// `cycle[i]` to `cycle[(i + 1) % cycle.len()]`.
+    pub cycle: Vec<TxnId>,
+    pub edges: Vec<ConflictEdge<K>>,
+}
+
+impl<K: Debug> std::fmt::Display for Violation<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "non-serializable history: conflict cycle of {} transactions", self.cycle.len())?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -> {} on key {:?} (seq {} before {})",
+                e.from, e.to, e.key, e.from_seq, e.to_seq
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a successful check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    pub txns: usize,
+    pub accesses: usize,
+    pub edges: usize,
+}
+
+/// Check a committed history for conflict-serializability.
+///
+/// Builds the conflict graph — an edge `T1 → T2` whenever `T1` and `T2`
+/// both accessed a key, at least one access was a write, and `T1`'s
+/// access carries the smaller global sequence number — and searches it
+/// for a cycle. `Ok(Report)` means the history is equivalent to *some*
+/// serial order (any topological order of the graph); `Err(Violation)`
+/// carries a concrete cycle as the witness.
+pub fn check_serializable<K: Eq + Hash + Ord + Clone + Debug>(
+    history: &History<K>,
+) -> Result<Report, Box<Violation<K>>> {
+    // Group accesses by key, keeping (seq, txn, kind), then sort each
+    // key's accesses by the global sequence.
+    let mut by_key: BTreeMap<&K, Vec<(u64, TxnId, crate::AccessKind)>> = BTreeMap::new();
+    let mut accesses = 0usize;
+    for ct in &history.committed {
+        for a in &ct.accesses {
+            accesses += 1;
+            by_key.entry(&a.key).or_default().push((a.seq, ct.txn, a.kind));
+        }
+    }
+
+    // One witness edge per ordered transaction pair.
+    let mut edges: HashMap<(TxnId, TxnId), ConflictEdge<K>> = HashMap::new();
+    for (key, mut accs) in by_key {
+        accs.sort_unstable_by_key(|(seq, _, _)| *seq);
+        for i in 0..accs.len() {
+            for j in (i + 1)..accs.len() {
+                let (si, ti, ki) = accs[i];
+                let (sj, tj, kj) = accs[j];
+                if ti != tj && ki.conflicts_with(kj) {
+                    edges.entry((ti, tj)).or_insert_with(|| ConflictEdge {
+                        from: ti,
+                        to: tj,
+                        key: key.clone(),
+                        from_seq: si,
+                        to_seq: sj,
+                    });
+                }
+            }
+        }
+    }
+
+    // Adjacency in deterministic order for reproducible witnesses.
+    let mut adj: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
+    for ct in &history.committed {
+        adj.entry(ct.txn).or_default();
+    }
+    let mut pairs: Vec<&(TxnId, TxnId)> = edges.keys().collect();
+    pairs.sort_unstable();
+    for &&(from, to) in &pairs {
+        adj.entry(from).or_default().push(to);
+    }
+
+    // Iterative three-color DFS; a back edge closes a cycle, and the
+    // DFS stack slice between the target and the top is the witness.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<TxnId, Color> = adj.keys().map(|&t| (t, Color::White)).collect();
+    let roots: Vec<TxnId> = adj.keys().copied().collect();
+    for root in roots {
+        if color[&root] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index); `path` mirrors the gray
+        // chain so the cycle can be read off directly.
+        let mut stack: Vec<(TxnId, usize)> = vec![(root, 0)];
+        color.insert(root, Color::Gray);
+        while let Some(&(node, next)) = stack.last() {
+            let children = &adj[&node];
+            if next < children.len() {
+                stack.last_mut().unwrap().1 += 1;
+                let child = children[next];
+                match color[&child] {
+                    Color::White => {
+                        color.insert(child, Color::Gray);
+                        stack.push((child, 0));
+                    }
+                    Color::Gray => {
+                        let start = stack.iter().position(|&(t, _)| t == child).unwrap();
+                        let cycle: Vec<TxnId> = stack[start..].iter().map(|&(t, _)| t).collect();
+                        let witness_edges = cycle
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &t)| {
+                                let next_t = cycle[(i + 1) % cycle.len()];
+                                edges[&(t, next_t)].clone()
+                            })
+                            .collect();
+                        return Err(Box::new(Violation {
+                            cycle,
+                            edges: witness_edges,
+                        }));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+
+    Ok(Report {
+        txns: history.committed.len(),
+        accesses,
+        edges: edges.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{Access, AccessKind, CommittedTxn};
+
+    fn txn(id: u64, commit_seq: u64, accesses: Vec<(u64, &str, AccessKind)>) -> CommittedTxn<String> {
+        CommittedTxn {
+            txn: TxnId(id),
+            commit_seq,
+            accesses: accesses
+                .into_iter()
+                .map(|(seq, key, kind)| Access {
+                    seq,
+                    key: key.to_string(),
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    use AccessKind::{Read, Write};
+
+    #[test]
+    fn empty_and_single_txn_histories_are_serializable() {
+        let h: History<String> = History::default();
+        assert!(check_serializable(&h).is_ok());
+        let h = History {
+            committed: vec![txn(1, 10, vec![(0, "x", Write), (1, "x", Read)])],
+        };
+        let r = check_serializable(&h).unwrap();
+        assert_eq!(r, Report { txns: 1, accesses: 2, edges: 0 });
+    }
+
+    #[test]
+    fn serial_conflicting_history_is_serializable() {
+        // T1 entirely before T2 on the same keys.
+        let h = History {
+            committed: vec![
+                txn(1, 2, vec![(0, "x", Write), (1, "y", Write)]),
+                txn(2, 5, vec![(3, "x", Read), (4, "y", Write)]),
+            ],
+        };
+        let r = check_serializable(&h).unwrap();
+        assert_eq!(r.edges, 1); // single witness edge T1→T2
+    }
+
+    #[test]
+    fn classic_write_skew_interleaving_is_caught() {
+        // T1: r(x)@0, w(y)@2 — T2: r(y)@1, w(x)@3.
+        // x: T1 reads before T2 writes ⇒ T1→T2.
+        // y: T2 reads before T1 writes ⇒ T2→T1. Cycle.
+        let h = History {
+            committed: vec![
+                txn(1, 10, vec![(0, "x", Read), (2, "y", Write)]),
+                txn(2, 11, vec![(1, "y", Read), (3, "x", Write)]),
+            ],
+        };
+        let v = check_serializable(&h).unwrap_err();
+        assert_eq!(v.cycle.len(), 2);
+        assert_eq!(v.edges.len(), 2);
+        // Edges actually link the cycle.
+        for (i, e) in v.edges.iter().enumerate() {
+            assert_eq!(e.from, v.cycle[i]);
+            assert_eq!(e.to, v.cycle[(i + 1) % v.cycle.len()]);
+            assert!(e.from_seq < e.to_seq);
+        }
+        let shown = v.to_string();
+        assert!(shown.contains("conflict cycle"), "{shown}");
+    }
+
+    #[test]
+    fn reads_alone_never_conflict() {
+        let h = History {
+            committed: vec![
+                txn(1, 10, vec![(0, "x", Read)]),
+                txn(2, 11, vec![(1, "x", Read)]),
+                txn(3, 12, vec![(2, "x", Read)]),
+            ],
+        };
+        let r = check_serializable(&h).unwrap();
+        assert_eq!(r.edges, 0);
+    }
+
+    #[test]
+    fn three_txn_cycle_is_caught() {
+        // T1→T2 on x, T2→T3 on y, T3→T1 on z.
+        let h = History {
+            committed: vec![
+                txn(1, 20, vec![(0, "x", Write), (5, "z", Write)]),
+                txn(2, 21, vec![(1, "x", Write), (2, "y", Write)]),
+                txn(3, 22, vec![(3, "y", Write), (4, "z", Write)]),
+            ],
+        };
+        let v = check_serializable(&h).unwrap_err();
+        assert_eq!(v.cycle.len(), 3);
+    }
+}

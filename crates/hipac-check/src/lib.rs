@@ -1,0 +1,36 @@
+//! Serializability checking for the HiPAC active DBMS reproduction.
+//!
+//! The paper's correctness criterion (§3) is that a top-level
+//! transaction together with all of its rule-firing subtransactions —
+//! immediate and deferred — behaves as **one serializable unit**, and
+//! that separate-mode firings are ordinary top-level transactions that
+//! serialize with everything else. This crate checks that criterion on
+//! *actual executions* instead of trusting the lock manager:
+//!
+//! * [`ScheduleRecorder`] plugs into the transaction manager's existing
+//!   seams — it is a [`hipac_txn::ResourceManager`] for lifecycle
+//!   (subtransaction commits fold read/write sets into the parent, so a
+//!   cascade of rule firings collapses into its top-level ancestor;
+//!   aborts discard) and a [`hipac_txn::LockTracer`] for data accesses
+//!   (every granted read/write lock is an access).
+//! * [`check_serializable`] builds the conflict graph over the committed
+//!   history — an edge `T1 → T2` for every pair of accesses to the same
+//!   key, at least one a write, with `T1`'s access first — and searches
+//!   it for a cycle. Acyclic ⇒ the history is conflict-serializable in
+//!   the commit order induced by the edges; a cycle is returned as a
+//!   concrete witness ([`Violation`]) naming the transactions, keys and
+//!   access sequence numbers involved.
+//!
+//! Why lock grants are a faithful access log: the lock manager is
+//! strict two-phase (locks release only at top-level commit or abort),
+//! so for two *conflicting* accesses the later grant can only happen
+//! after the earlier transaction completed — the global grant sequence
+//! number therefore orders conflicting accesses exactly as the data
+//! manager executed them. Non-conflicting grants may interleave
+//! arbitrarily; the checker never draws edges from them.
+
+pub mod conflict;
+pub mod schedule;
+
+pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
+pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};

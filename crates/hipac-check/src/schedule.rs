@@ -1,0 +1,219 @@
+//! Recording committed schedules off the transaction manager's seams.
+
+use hipac_common::{Result, TxnId};
+use hipac_txn::{LockManager, LockMode, ResourceManager};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Was the access a read or a write?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl AccessKind {
+    /// Two accesses to the same key conflict iff at least one writes.
+    pub fn conflicts_with(self, other: AccessKind) -> bool {
+        self == AccessKind::Write || other == AccessKind::Write
+    }
+}
+
+/// One recorded data access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access<K> {
+    /// Position in the global access sequence (strictly increasing
+    /// across all transactions).
+    pub seq: u64,
+    pub key: K,
+    pub kind: AccessKind,
+}
+
+/// A committed top-level transaction with its full read/write set,
+/// including every access made by committed descendant subtransactions
+/// (rule firings folded upward on subtransaction commit).
+#[derive(Debug, Clone)]
+pub struct CommittedTxn<K> {
+    pub txn: TxnId,
+    /// Position of the top-level commit in the global sequence.
+    pub commit_seq: u64,
+    pub accesses: Vec<Access<K>>,
+}
+
+/// The committed history of an execution, in commit order.
+#[derive(Debug, Clone, Default)]
+pub struct History<K> {
+    pub committed: Vec<CommittedTxn<K>>,
+}
+
+struct RecorderState<K> {
+    /// Accesses of transactions that have not reached their final fate.
+    active: HashMap<TxnId, Vec<Access<K>>>,
+    committed: Vec<CommittedTxn<K>>,
+}
+
+/// Records per-transaction read/write sets as the system runs.
+///
+/// Wire it up with [`ScheduleRecorder::attach`] (lock tracer) and
+/// `TransactionManager::register_resource` (lifecycle), or drive it
+/// manually with [`ScheduleRecorder::record`] in unit tests.
+pub struct ScheduleRecorder<K> {
+    seq: AtomicU64,
+    state: Mutex<RecorderState<K>>,
+}
+
+impl<K> Default for ScheduleRecorder<K> {
+    fn default() -> Self {
+        ScheduleRecorder {
+            seq: AtomicU64::new(0),
+            state: Mutex::new(RecorderState {
+                active: HashMap::new(),
+                committed: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl<K: Clone + Send + 'static> ScheduleRecorder<K> {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Record one access by `txn`.
+    pub fn record(&self, txn: TxnId, key: K, kind: AccessKind) {
+        let seq = self.next_seq();
+        self.state
+            .lock()
+            .active
+            .entry(txn)
+            .or_default()
+            .push(Access { seq, key, kind });
+    }
+
+    /// Install this recorder as the grant tracer of `locks`. Read locks
+    /// record reads, write locks record writes.
+    pub fn attach<Q>(self: &Arc<Self>, locks: &LockManager<Q>)
+    where
+        Q: Eq + Hash + Clone + Into<K> + Send + Sync + 'static,
+    {
+        let me = Arc::clone(self);
+        locks.set_tracer(Some(Arc::new(move |txn, key: &Q, mode| {
+            let kind = match mode {
+                LockMode::Read => AccessKind::Read,
+                LockMode::Write => AccessKind::Write,
+            };
+            me.record(txn, key.clone().into(), kind);
+        })));
+    }
+
+    /// Snapshot the committed history recorded so far.
+    pub fn history(&self) -> History<K> {
+        History {
+            committed: self.state.lock().committed.clone(),
+        }
+    }
+
+    /// Number of transactions currently holding unresolved accesses
+    /// (diagnostics; should be 0 once the workload has quiesced).
+    pub fn active_count(&self) -> usize {
+        self.state.lock().active.len()
+    }
+}
+
+impl<K: Clone + Send + 'static> ResourceManager for ScheduleRecorder<K> {
+    fn on_commit_child(&self, txn: TxnId, parent: TxnId) -> Result<()> {
+        let mut state = self.state.lock();
+        if let Some(accesses) = state.active.remove(&txn) {
+            state.active.entry(parent).or_default().extend(accesses);
+        }
+        Ok(())
+    }
+
+    fn on_commit_top(&self, txn: TxnId) -> Result<()> {
+        let commit_seq = self.next_seq();
+        let mut state = self.state.lock();
+        let accesses = state.active.remove(&txn).unwrap_or_default();
+        state.committed.push(CommittedTxn {
+            txn,
+            commit_seq,
+            accesses,
+        });
+        Ok(())
+    }
+
+    fn on_abort(&self, txn: TxnId) -> Result<()> {
+        // Discards the transaction's own accesses *and* anything folded
+        // in from already-committed subtransactions — exactly the
+        // nested-transaction abort semantics.
+        self.state.lock().active.remove(&txn);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hipac_txn::{TransactionManager, TxnTree};
+    use std::time::Duration;
+
+    #[test]
+    fn child_accesses_fold_into_parent_and_aborts_discard() {
+        let rec: Arc<ScheduleRecorder<String>> = ScheduleRecorder::new();
+        let tm = TransactionManager::new();
+        tm.register_resource(Arc::clone(&rec) as Arc<dyn ResourceManager>);
+
+        // t1: own write + committed child's read.
+        let t1 = tm.begin();
+        rec.record(t1, "x".into(), AccessKind::Write);
+        let c = tm.begin_child(t1).unwrap();
+        rec.record(c, "y".into(), AccessKind::Read);
+        tm.commit(c).unwrap();
+        tm.commit(t1).unwrap();
+
+        // t2 aborts: nothing of it may survive, including its committed
+        // child's accesses.
+        let t2 = tm.begin();
+        let c2 = tm.begin_child(t2).unwrap();
+        rec.record(c2, "z".into(), AccessKind::Write);
+        tm.commit(c2).unwrap();
+        tm.abort(t2).unwrap();
+
+        let h = rec.history();
+        assert_eq!(h.committed.len(), 1);
+        let only = &h.committed[0];
+        assert_eq!(only.txn, t1);
+        let keys: Vec<&str> = only.accesses.iter().map(|a| a.key.as_str()).collect();
+        assert_eq!(keys, ["x", "y"]);
+        assert_eq!(rec.active_count(), 0);
+    }
+
+    #[test]
+    fn attach_records_lock_grants() {
+        let tree = Arc::new(TxnTree::new());
+        let locks: LockManager<&'static str> =
+            LockManager::with_timeout(Arc::clone(&tree), Duration::from_millis(200));
+        let rec: Arc<ScheduleRecorder<&'static str>> = ScheduleRecorder::new();
+        rec.attach(&locks);
+
+        let t = tree.begin_top();
+        locks.acquire(t, "a", hipac_txn::LockMode::Read).unwrap();
+        locks.acquire(t, "b", hipac_txn::LockMode::Write).unwrap();
+        rec.on_commit_top(t).unwrap();
+
+        let h = rec.history();
+        assert_eq!(h.committed.len(), 1);
+        let acc = &h.committed[0].accesses;
+        assert_eq!(acc.len(), 2);
+        assert_eq!((acc[0].key, acc[0].kind), ("a", AccessKind::Read));
+        assert_eq!((acc[1].key, acc[1].kind), ("b", AccessKind::Write));
+        assert!(acc[0].seq < acc[1].seq);
+    }
+}

@@ -787,13 +787,24 @@ impl Frame {
     }
 
     /// Read one frame from a stream. `Ok(None)` on clean EOF at a
-    /// frame boundary.
+    /// frame boundary; EOF *inside* the length prefix or payload is an
+    /// error (a `read_exact`-based reader would silently conflate the
+    /// two and report a connection torn mid-prefix as a clean close).
     pub fn read_from(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
         let mut len_buf = [0u8; 4];
-        match r.read_exact(&mut len_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let mut filled = 0;
+        while filled < 4 {
+            match r.read(&mut len_buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(WireError::Protocol(format!(
+                        "eof inside frame length prefix ({filled}/4 bytes)"
+                    )))
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
         }
         let len = u32::from_be_bytes(len_buf) as usize;
         if len > MAX_FRAME {

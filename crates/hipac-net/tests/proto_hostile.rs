@@ -1,0 +1,208 @@
+//! Hostile-input fuzzing of the wire-protocol decoder.
+//!
+//! A networked server must survive anything a byte stream can carry:
+//! truncated frames, oversized length prefixes, garbage opcodes,
+//! bit-flipped valid frames, pure noise. Every property here asserts
+//! the same contract — `Frame::decode` / `Frame::read_from` return
+//! `Err` (or a clean `Ok`) but **never panic, hang, or allocate
+//! unboundedly**.
+
+use hipac_common::{TxnId, Value};
+use hipac_net::proto::{Command, Frame, PushEvent, Reply, WireError, MAX_FRAME};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::Cursor;
+
+/// Representative valid frames covering all three frame kinds and a
+/// spread of command/reply shapes.
+fn sample_frames() -> Vec<Frame> {
+    let mut args = HashMap::new();
+    args.insert("price".to_string(), Value::from(50.0));
+    vec![
+        Frame::Request {
+            id: 1,
+            command: Command::Ping { version: 1 },
+        },
+        Frame::Request {
+            id: u64::MAX,
+            command: Command::Begin,
+        },
+        Frame::Request {
+            id: 7,
+            command: Command::Insert {
+                txn: TxnId(3),
+                class: "stock".into(),
+                values: vec![Value::from("XRX"), Value::from(48.0), Value::Null],
+            },
+        },
+        Frame::Request {
+            id: 8,
+            command: Command::Query {
+                txn: TxnId(3),
+                text: "from stock where new.price >= 50.0".into(),
+                params: HashMap::from([("p".to_string(), Value::from(1))]),
+            },
+        },
+        Frame::Response {
+            id: 7,
+            reply: Reply::Object(hipac_common::ObjectId(42)),
+        },
+        Frame::Response {
+            id: 9,
+            reply: Reply::Err {
+                kind: "Deadlock".into(),
+                message: "txn#9 chosen as victim".into(),
+            },
+        },
+        Frame::Push(PushEvent {
+            handler: "trader".into(),
+            request: "buy".into(),
+            args,
+        }),
+    ]
+}
+
+/// Strip the 4-byte length prefix off an encoded frame.
+fn payload_of(frame: &Frame) -> Vec<u8> {
+    frame.encode()[4..].to_vec()
+}
+
+#[test]
+fn sample_frames_roundtrip() {
+    for frame in sample_frames() {
+        let payload = payload_of(&frame);
+        assert_eq!(Frame::decode(&payload).unwrap(), frame);
+        let mut cursor = Cursor::new(frame.encode());
+        assert_eq!(Frame::read_from(&mut cursor).unwrap(), Some(frame));
+    }
+}
+
+/// Every strict prefix of a valid payload must be rejected (the
+/// decoder demands exact consumption), and no prefix may panic.
+#[test]
+fn every_truncation_of_every_sample_frame_errors() {
+    for frame in sample_frames() {
+        let payload = payload_of(&frame);
+        for cut in 0..payload.len() {
+            let truncated = &payload[..cut];
+            assert!(
+                Frame::decode(truncated).is_err(),
+                "decode accepted a {cut}-byte prefix of {frame:?}"
+            );
+        }
+        // Stream truncation: cutting anywhere inside the wire bytes is
+        // either a clean EOF at the boundary (cut == 0) or an error —
+        // never a parsed frame, never a panic.
+        let wire = frame.encode();
+        for cut in 0..wire.len() {
+            let mut cursor = Cursor::new(wire[..cut].to_vec());
+            match Frame::read_from(&mut cursor) {
+                Ok(None) if cut == 0 => {}
+                Ok(other) => panic!("{cut}-byte prefix parsed as {other:?}"),
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+/// Length prefixes beyond `MAX_FRAME` are rejected before any payload
+/// read; the hostile length never drives an allocation.
+#[test]
+fn oversized_length_prefixes_are_rejected_up_front() {
+    for len in [
+        MAX_FRAME as u64 + 1,
+        u64::from(u32::MAX),
+        0x2000_0000,
+        0xFFFF_FFF0,
+    ] {
+        let mut wire = (len as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]); // a few bytes, nowhere near `len`
+        let mut cursor = Cursor::new(wire);
+        match Frame::read_from(&mut cursor) {
+            Err(WireError::Protocol(msg)) => {
+                assert!(msg.contains("exceeds cap"), "wrong rejection: {msg}")
+            }
+            other => panic!("oversized length {len} produced {other:?}"),
+        }
+    }
+}
+
+/// Unknown opcodes (19..=255) and unknown frame kinds (3..=255) must
+/// error cleanly whatever bytes follow them.
+#[test]
+fn garbage_opcodes_and_kinds_error() {
+    for op in 19..=255u8 {
+        // kind 0 (request), id 1, then the bad opcode and some body.
+        let payload = vec![0u8, 1, op, 0xDE, 0xAD, 0xBE, 0xEF];
+        match Frame::decode(&payload) {
+            Err(WireError::Protocol(_)) => {}
+            other => panic!("opcode {op} produced {other:?}"),
+        }
+    }
+    for kind in 3..=255u8 {
+        let payload = vec![kind, 1, 2, 3];
+        match Frame::decode(&payload) {
+            Err(WireError::Protocol(_)) => {}
+            other => panic!("frame kind {kind} produced {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Pure noise: arbitrary payload bytes never panic the decoder.
+    #[test]
+    fn random_payloads_never_panic(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&payload);
+    }
+
+    /// Noise shaped like a frame: a valid kind byte followed by random
+    /// bytes still never panics.
+    #[test]
+    fn random_bodies_under_valid_kinds_never_panic(
+        kind in 0u8..3,
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut payload = vec![kind];
+        payload.extend_from_slice(&body);
+        let _ = Frame::decode(&payload);
+    }
+
+    /// Random byte streams through the framed reader: any outcome but a
+    /// panic, and the reader never spins forever (Cursor is finite).
+    #[test]
+    fn random_streams_never_panic(wire in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut cursor = Cursor::new(wire);
+        while let Ok(Some(_)) = Frame::read_from(&mut cursor) {}
+    }
+
+    /// Bit-flip fuzzing: corrupting one byte of a valid payload either
+    /// still decodes (the flip hit a don't-care bit such as a value in
+    /// an id) or errors — never a panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        which in 0usize..7,
+        offset in any::<u16>(),
+        flip in 1u8..255,
+    ) {
+        let frames = sample_frames();
+        let mut payload = payload_of(&frames[which % frames.len()]);
+        if !payload.is_empty() {
+            let at = offset as usize % payload.len();
+            payload[at] ^= flip;
+            let _ = Frame::decode(&payload);
+        }
+    }
+
+    /// Truncation fuzzing across random cut points of random sample
+    /// frames (denser than the exhaustive loop for wire-level reads).
+    #[test]
+    fn random_truncations_never_panic(which in 0usize..7, cut in any::<u16>()) {
+        let frames = sample_frames();
+        let wire = frames[which % frames.len()].encode();
+        let cut = cut as usize % wire.len();
+        let mut cursor = Cursor::new(wire[..cut].to_vec());
+        let _ = Frame::read_from(&mut cursor);
+    }
+}

@@ -142,7 +142,7 @@ fn deep_schema(depth: usize, attrs_per_class: usize) -> Schema {
         classes.push(ClassDef {
             id: ClassId(level as u64 + 1),
             name: format!("c{level}"),
-            superclass: (level > 0).then(|| ClassId(level as u64)),
+            superclass: (level > 0).then_some(ClassId(level as u64)),
             attrs: (0..attrs_per_class)
                 .map(|i| AttrDef::new(format!("a{level}_{i}"), ValueType::Int))
                 .collect(),

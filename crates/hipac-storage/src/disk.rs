@@ -1,5 +1,6 @@
 //! The disk manager: page-granularity I/O over a single database file.
 
+use crate::fault::{FaultPoint, FaultPolicy};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use hipac_common::{HipacError, Result};
 use parking_lot::Mutex;
@@ -7,6 +8,18 @@ use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Flush the directory entry metadata for `dir` to stable storage.
+///
+/// `fsync` of a newly created or renamed file does not make its
+/// *directory entry* durable; a crash can leave the file's contents on
+/// disk but the name missing. Called after file creation and after the
+/// checkpoint rename.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
 
 /// Owns the database file and allocates pages from it.
 ///
@@ -18,6 +31,7 @@ pub struct DiskManager {
     /// page). Page ids below this are valid.
     num_pages: AtomicU64,
     extend_lock: Mutex<()>,
+    faults: Arc<FaultPolicy>,
 }
 
 impl DiskManager {
@@ -26,6 +40,12 @@ impl DiskManager {
     /// A fresh file is primed with a zeroed page 0 (the meta page), so
     /// the first allocatable page is page 1.
     pub fn open(path: &Path) -> Result<Self> {
+        Self::open_with_faults(path, FaultPolicy::none())
+    }
+
+    /// As [`DiskManager::open`], with a fault-injection policy crossed
+    /// before every mutating file operation.
+    pub fn open_with_faults(path: &Path, faults: Arc<FaultPolicy>) -> Result<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -42,6 +62,7 @@ impl DiskManager {
             file,
             num_pages: AtomicU64::new(len / PAGE_SIZE as u64),
             extend_lock: Mutex::new(()),
+            faults,
         };
         if dm.num_pages() == 0 {
             // Prime the meta page.
@@ -77,6 +98,7 @@ impl DiskManager {
                 self.num_pages()
             )));
         }
+        self.faults.hit(FaultPoint::DiskWrite)?;
         self.file.write_all_at(page.bytes(), id.offset())?;
         Ok(())
     }
@@ -84,6 +106,7 @@ impl DiskManager {
     /// Extend the file by one zeroed page and return its id.
     pub fn allocate(&self) -> Result<PageId> {
         let _guard = self.extend_lock.lock();
+        self.faults.hit(FaultPoint::DiskAllocate)?;
         let id = PageId(self.num_pages.load(Ordering::Acquire));
         let zero = [0u8; PAGE_SIZE];
         self.file.write_all_at(&zero, id.offset())?;
@@ -93,6 +116,7 @@ impl DiskManager {
 
     /// Flush file contents and metadata to stable storage.
     pub fn sync(&self) -> Result<()> {
+        self.faults.hit(FaultPoint::DiskSync)?;
         self.file.sync_all()?;
         Ok(())
     }

@@ -1,0 +1,250 @@
+//! Deterministic fault injection for the storage I/O path.
+//!
+//! Every mutating step on the durability path — WAL appends and syncs,
+//! page writes and allocations, file/directory syncs, batch applies,
+//! the checkpoint rename — calls into a shared [`FaultPolicy`] before
+//! touching the file system. The default policy ([`FaultPolicy::none`])
+//! is a no-op; test harnesses substitute:
+//!
+//! * [`FaultPolicy::count_only`] — count and log every fault point a
+//!   workload crosses, which is how the crash-matrix suite *enumerates*
+//!   its crash schedule;
+//! * [`FaultPolicy::crash_at`] — simulate a process crash at the `n`-th
+//!   fault point. WAL appends may additionally be *torn*: a
+//!   seed-derived prefix of the frame bytes reaches the file before the
+//!   "crash", exercising the torn-tail truncation path in
+//!   [`crate::wal::Wal::open`].
+//!
+//! A fired crash is sticky: every subsequent fault-point hit on the
+//! same policy also errors, so a "dead" store cannot keep mutating
+//! disk state — exactly like a killed process. Recovery is then tested
+//! by reopening the store with a fresh (no-op) policy.
+//!
+//! Page writes are never torn (crash-before or crash-after only): the
+//! shadow-checkpoint design makes data-file writes meaningful only
+//! behind an atomic rename, and the one exception — priming a fresh
+//! file — is covered by the magic-written-last initialization ordering
+//! in `store::Engine::open`.
+
+use hipac_common::{HipacError, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A named point on the storage I/O path where a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// `Wal::append_all`, before the frame bytes are written. The only
+    /// point that can produce a *torn* (partial) write.
+    WalAppend,
+    /// `Wal::sync`, before `fsync`.
+    WalSync,
+    /// `Wal::reset`, before the log is truncated.
+    WalReset,
+    /// `DiskManager::write_page`, before the page write.
+    DiskWrite,
+    /// `DiskManager::allocate`, before the file is extended.
+    DiskAllocate,
+    /// `DiskManager::sync`, before `fsync` of the data file.
+    DiskSync,
+    /// Before an `fsync` of the store's parent directory (file
+    /// creation and checkpoint rename durability).
+    DirSync,
+    /// `DurableStore::commit`, before each logged operation is applied
+    /// to the heap/index.
+    StoreApply,
+    /// Checkpoint, before the shadow file is renamed over the data
+    /// file.
+    CheckpointRename,
+}
+
+enum Plan {
+    /// Count and log hits; never fail.
+    CountOnly,
+    /// Simulate a crash at the given 0-based global hit index.
+    CrashAt(u64),
+}
+
+struct State {
+    hits: u64,
+    crashed: bool,
+    log: Vec<FaultPoint>,
+    rng: u64,
+}
+
+/// A shared, thread-safe fault-injection policy. Thread one through
+/// [`crate::DurableStore::open_with_faults`] (which forwards it to its
+/// `DiskManager` and `Wal`) to make every durability step observable
+/// and crashable.
+pub struct FaultPolicy {
+    plan: Plan,
+    enabled: bool,
+    state: Mutex<State>,
+}
+
+impl FaultPolicy {
+    fn new(plan: Plan, enabled: bool, seed: u64) -> Arc<FaultPolicy> {
+        Arc::new(FaultPolicy {
+            plan,
+            enabled,
+            state: Mutex::new(State {
+                hits: 0,
+                crashed: false,
+                log: Vec::new(),
+                // xorshift64 must not start at 0.
+                rng: seed | 1,
+            }),
+        })
+    }
+
+    /// The no-op policy every production open uses.
+    pub fn none() -> Arc<FaultPolicy> {
+        Self::new(Plan::CountOnly, false, 0)
+    }
+
+    /// Count and record every fault point crossed; never inject.
+    pub fn count_only() -> Arc<FaultPolicy> {
+        Self::new(Plan::CountOnly, true, 0)
+    }
+
+    /// Simulate a crash at hit index `n` (0-based, counted across all
+    /// fault points). `seed` drives the torn-write prefix length for
+    /// [`FaultPoint::WalAppend`] crashes.
+    pub fn crash_at(n: u64, seed: u64) -> Arc<FaultPolicy> {
+        Self::new(Plan::CrashAt(n), true, seed)
+    }
+
+    /// Total fault-point hits so far.
+    pub fn hits(&self) -> u64 {
+        self.state.lock().hits
+    }
+
+    /// The fault points crossed, in order.
+    pub fn log(&self) -> Vec<FaultPoint> {
+        self.state.lock().log.clone()
+    }
+
+    /// Has the simulated crash fired?
+    pub fn has_crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// The error an injected crash surfaces as.
+    pub fn crash_error(point: FaultPoint) -> HipacError {
+        HipacError::Io(format!("injected crash at {point:?}"))
+    }
+
+    /// Is `e` an injected-crash error (as opposed to a real failure)?
+    pub fn is_injected(e: &HipacError) -> bool {
+        matches!(e, HipacError::Io(msg) if msg.starts_with("injected crash at "))
+    }
+
+    /// Cross a non-write fault point. Errors when the policy decides to
+    /// crash here (or already crashed).
+    pub fn hit(&self, point: FaultPoint) -> Result<()> {
+        self.on_write(point, 0).map(|_| ())
+    }
+
+    /// Cross a write-sized fault point. Returns:
+    ///
+    /// * `Ok(None)` — proceed with the full write;
+    /// * `Ok(Some(n))` — *crash during the write*: the caller must
+    ///   write exactly the first `n` bytes (possibly all of them:
+    ///   crash-after-write) and then fail with
+    ///   [`FaultPolicy::crash_error`];
+    /// * `Err(_)` — crash before writing anything.
+    pub fn on_write(&self, point: FaultPoint, len: usize) -> Result<Option<usize>> {
+        if !self.enabled {
+            return Ok(None);
+        }
+        let mut s = self.state.lock();
+        if s.crashed {
+            return Err(Self::crash_error(point));
+        }
+        let idx = s.hits;
+        s.hits += 1;
+        s.log.push(point);
+        if let Plan::CrashAt(n) = self.plan {
+            if idx == n {
+                s.crashed = true;
+                if len > 0 {
+                    // xorshift64: deterministic torn-prefix length in
+                    // 0..=len (len itself means crash-after-write).
+                    let mut x = s.rng;
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    s.rng = x;
+                    return Ok(Some((x % (len as u64 + 1)) as usize));
+                }
+                return Err(Self::crash_error(point));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert() {
+        let p = FaultPolicy::none();
+        for _ in 0..10 {
+            p.hit(FaultPoint::WalSync).unwrap();
+        }
+        assert_eq!(p.hits(), 0, "disabled policy does not even count");
+        assert!(!p.has_crashed());
+    }
+
+    #[test]
+    fn count_only_logs_in_order() {
+        let p = FaultPolicy::count_only();
+        p.hit(FaultPoint::WalAppend).unwrap();
+        p.hit(FaultPoint::WalSync).unwrap();
+        p.on_write(FaultPoint::DiskWrite, 4096).unwrap();
+        assert_eq!(p.hits(), 3);
+        assert_eq!(
+            p.log(),
+            vec![
+                FaultPoint::WalAppend,
+                FaultPoint::WalSync,
+                FaultPoint::DiskWrite
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_fires_once_then_sticks() {
+        let p = FaultPolicy::crash_at(1, 7);
+        p.hit(FaultPoint::WalAppend).unwrap();
+        let err = p.hit(FaultPoint::WalSync).unwrap_err();
+        assert!(FaultPolicy::is_injected(&err));
+        assert!(p.has_crashed());
+        // Every later hit fails too (the process is "dead").
+        assert!(p.hit(FaultPoint::DiskWrite).is_err());
+        assert!(p.on_write(FaultPoint::WalAppend, 100).is_err());
+    }
+
+    #[test]
+    fn torn_write_prefix_is_deterministic_and_bounded() {
+        for seed in [1u64, 2, 3, 99, 12345] {
+            let a = FaultPolicy::crash_at(0, seed);
+            let b = FaultPolicy::crash_at(0, seed);
+            let na = a.on_write(FaultPoint::WalAppend, 64).unwrap().unwrap();
+            let nb = b.on_write(FaultPoint::WalAppend, 64).unwrap().unwrap();
+            assert_eq!(na, nb, "same seed, same torn length");
+            assert!(na <= 64);
+        }
+    }
+
+    #[test]
+    fn injected_error_classification() {
+        assert!(FaultPolicy::is_injected(&FaultPolicy::crash_error(
+            FaultPoint::WalSync
+        )));
+        assert!(!FaultPolicy::is_injected(&HipacError::Io(
+            "disk on fire".into()
+        )));
+    }
+}

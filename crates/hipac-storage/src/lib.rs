@@ -24,6 +24,7 @@ pub mod btree;
 pub mod buffer;
 pub mod crc;
 pub mod disk;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod slotted;
@@ -32,6 +33,7 @@ pub mod wal;
 
 pub use buffer::BufferPool;
 pub use disk::DiskManager;
+pub use fault::{FaultPoint, FaultPolicy};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use store::{DurableStore, StoreOp};

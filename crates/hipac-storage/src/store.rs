@@ -22,7 +22,8 @@
 
 use crate::btree::BTree;
 use crate::buffer::{BufferPool, EvictionPolicy};
-use crate::disk::DiskManager;
+use crate::disk::{sync_dir, DiskManager};
+use crate::fault::{FaultPoint, FaultPolicy};
 use crate::heap::{HeapFile, RecordId};
 use crate::page::PageId;
 use crate::wal::{Wal, WalRecord};
@@ -57,8 +58,8 @@ struct Engine {
 
 impl Engine {
     /// Open or initialize the engine over `data_path`.
-    fn open(data_path: &Path, pool_capacity: usize) -> Result<Engine> {
-        let disk = Arc::new(DiskManager::open(data_path)?);
+    fn open(data_path: &Path, pool_capacity: usize, faults: Arc<FaultPolicy>) -> Result<Engine> {
+        let disk = Arc::new(DiskManager::open_with_faults(data_path, faults)?);
         let pool = Arc::new(BufferPool::with_policy(
             disk,
             pool_capacity,
@@ -77,10 +78,16 @@ impl Engine {
             let index = BTree::create(Arc::clone(&pool))?;
             {
                 let mut guard = meta.write();
-                guard.put_u64(META_MAGIC_OFF, MAGIC);
                 guard.put_u64(META_HEAP_OFF, heap.first_page().0);
                 guard.put_u64(META_INDEX_OFF, index.root_page().0);
             }
+            // The magic goes to disk *last*, in its own flush: a crash
+            // at any earlier point leaves magic 0 and a reopen simply
+            // re-initializes. Writing everything in one flush could
+            // persist the magic before the heap/index pages it points
+            // at (flush order is unspecified).
+            pool.flush_and_sync()?;
+            meta.write().put_u64(META_MAGIC_OFF, MAGIC);
             pool.flush_and_sync()?;
             Ok(Engine { pool, heap, index })
         } else {
@@ -192,6 +199,7 @@ struct Inner {
     engine: Engine,
     wal: Wal,
     checkpoint_threshold: u64,
+    faults: Arc<FaultPolicy>,
 }
 
 /// The durable store. All methods are safe to call concurrently; writes
@@ -224,12 +232,29 @@ impl DurableStore {
         pool_capacity: usize,
         checkpoint_threshold: u64,
     ) -> Result<DurableStore> {
+        Self::open_with_faults(dir, pool_capacity, checkpoint_threshold, FaultPolicy::none())
+    }
+
+    /// As [`DurableStore::open_with`], threading a fault-injection
+    /// policy through every mutating step of the store, its disk
+    /// manager and its WAL (crash testing; see [`crate::fault`]).
+    pub fn open_with_faults(
+        dir: &Path,
+        pool_capacity: usize,
+        checkpoint_threshold: u64,
+        faults: Arc<FaultPolicy>,
+    ) -> Result<DurableStore> {
         std::fs::create_dir_all(dir)?;
         // A crash during checkpoint may leave a stale tmp file; it is
         // never authoritative, so discard it.
         let _ = std::fs::remove_file(dir.join("data.db.tmp"));
-        let engine = Engine::open(&dir.join("data.db"), pool_capacity)?;
-        let (wal, records) = Wal::open(&dir.join("wal.log"))?;
+        let engine = Engine::open(&dir.join("data.db"), pool_capacity, Arc::clone(&faults))?;
+        let (wal, records) = Wal::open_with_faults(&dir.join("wal.log"), Arc::clone(&faults))?;
+        // The data and WAL files may have just been created: make their
+        // directory entries durable before anything is logged against
+        // them.
+        faults.hit(FaultPoint::DirSync)?;
+        sync_dir(dir)?;
         // Recovery: apply every committed batch in log order.
         let mut current: Option<(TxnId, Vec<StoreOp>)> = None;
         for rec in records {
@@ -268,6 +293,7 @@ impl DurableStore {
                 engine,
                 wal,
                 checkpoint_threshold,
+                faults,
             }),
         })
     }
@@ -278,6 +304,9 @@ impl DurableStore {
         let mut inner = self.inner.lock();
         Self::log_batch(&inner.wal, txn, ops)?;
         for op in ops {
+            // Failpoint between the durable log and each in-memory
+            // apply: a crash here must recover the batch from the WAL.
+            inner.faults.hit(FaultPoint::StoreApply)?;
             inner.engine.apply(op)?;
         }
         if inner.wal.size()? >= inner.checkpoint_threshold {
@@ -374,7 +403,7 @@ impl DurableStore {
         let _ = std::fs::remove_file(&tmp_path);
         // Build the shadow copy.
         {
-            let shadow = Engine::open(&tmp_path, 1024)?;
+            let shadow = Engine::open(&tmp_path, 1024, Arc::clone(&inner.faults))?;
             for (key, ridb) in inner.engine.index.iter_all()? {
                 let rid = RecordId::from_u64(u64::from_le_bytes(
                     ridb.as_slice()
@@ -393,10 +422,14 @@ impl DurableStore {
             }
             shadow.pool.flush_and_sync()?;
         }
-        // Atomic switch.
+        // Atomic switch; the rename itself needs a directory fsync to
+        // be durable.
+        inner.faults.hit(FaultPoint::CheckpointRename)?;
         std::fs::rename(&tmp_path, &data_path)?;
+        inner.faults.hit(FaultPoint::DirSync)?;
+        sync_dir(dir)?;
         // Reopen over the new file, then retire the WAL.
-        inner.engine = Engine::open(&data_path, 1024)?;
+        inner.engine = Engine::open(&data_path, 1024, Arc::clone(&inner.faults))?;
         inner.wal.append(&WalRecord::Checkpoint)?;
         inner.wal.sync()?;
         inner.wal.reset()?;
@@ -593,6 +626,56 @@ mod tests {
         drop(store);
         let store = DurableStore::open(&dir).unwrap();
         assert_eq!(store.get(b"e").unwrap(), Some(vec![]));
+    }
+
+    #[test]
+    fn directory_fsync_points_are_exercised() {
+        let dir = tmpdir("dirsync");
+        let faults = FaultPolicy::count_only();
+        let store = DurableStore::open_with_faults(
+            &dir,
+            1024,
+            DEFAULT_CHECKPOINT_THRESHOLD,
+            Arc::clone(&faults),
+        )
+        .unwrap();
+        let dirsyncs = |log: &[FaultPoint]| {
+            log.iter().filter(|p| **p == FaultPoint::DirSync).count()
+        };
+        assert!(
+            dirsyncs(&faults.log()) >= 1,
+            "creating data/wal files must fsync the parent directory"
+        );
+        let before = dirsyncs(&faults.log());
+        store.commit(TxnId(1), &[put(b"k", b"v")]).unwrap();
+        store.checkpoint().unwrap();
+        assert!(
+            dirsyncs(&faults.log()) > before,
+            "the checkpoint rename must fsync the parent directory"
+        );
+        // And the injectable crash right before the rename leaves the
+        // store recoverable to the pre-checkpoint (same logical) state.
+        let log = faults.log();
+        let rename_idx = log
+            .iter()
+            .position(|p| *p == FaultPoint::CheckpointRename)
+            .expect("checkpoint crossed its rename fault point") as u64;
+        drop(store);
+        let dir2 = tmpdir("dirsync2");
+        let faults2 = FaultPolicy::crash_at(rename_idx, 42);
+        let store2 = DurableStore::open_with_faults(
+            &dir2,
+            1024,
+            DEFAULT_CHECKPOINT_THRESHOLD,
+            faults2,
+        )
+        .unwrap();
+        store2.commit(TxnId(1), &[put(b"k", b"v")]).unwrap();
+        let err = store2.checkpoint().unwrap_err();
+        assert!(FaultPolicy::is_injected(&err));
+        drop(store2);
+        let recovered = DurableStore::open(&dir2).unwrap();
+        assert_eq!(recovered.get(b"k").unwrap(), Some(b"v".to_vec()));
     }
 
     #[test]

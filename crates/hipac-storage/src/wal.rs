@@ -10,12 +10,14 @@
 //! is exactly the crash-consistency contract fsync gives us.
 
 use crate::crc::crc32;
+use crate::fault::{FaultPoint, FaultPolicy};
 use hipac_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
 use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// One logical log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,12 +124,23 @@ impl WalRecord {
 /// The write-ahead log file.
 pub struct Wal {
     file: Mutex<File>,
+    faults: Arc<FaultPolicy>,
 }
 
 impl Wal {
     /// Open (or create) the log at `path`, scan it, truncate any torn
     /// tail, and return the log handle plus the valid records.
     pub fn open(path: &Path) -> Result<(Wal, Vec<WalRecord>)> {
+        Self::open_with_faults(path, FaultPolicy::none())
+    }
+
+    /// As [`Wal::open`], with a fault-injection policy crossed before
+    /// every append, sync and reset. The recovery scan itself is not
+    /// faulted: crash testing reopens with a no-op policy.
+    pub fn open_with_faults(
+        path: &Path,
+        faults: Arc<FaultPolicy>,
+    ) -> Result<(Wal, Vec<WalRecord>)> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -145,6 +158,7 @@ impl Wal {
         Ok((
             Wal {
                 file: Mutex::new(file),
+                faults,
             },
             records,
         ))
@@ -198,12 +212,22 @@ impl Wal {
             frame.extend_from_slice(&payload);
         }
         let mut file = self.file.lock();
-        file.write_all(&frame)?;
+        match self.faults.on_write(FaultPoint::WalAppend, frame.len())? {
+            None => file.write_all(&frame)?,
+            Some(torn) => {
+                // Injected crash mid-append: a prefix of the frame
+                // reaches the file, then the "process dies".
+                file.write_all(&frame[..torn])?;
+                let _ = file.sync_data();
+                return Err(FaultPolicy::crash_error(FaultPoint::WalAppend));
+            }
+        }
         Ok(())
     }
 
     /// Force the log to stable storage.
     pub fn sync(&self) -> Result<()> {
+        self.faults.hit(FaultPoint::WalSync)?;
         self.file.lock().sync_data()?;
         Ok(())
     }
@@ -212,6 +236,7 @@ impl Wal {
     /// contents redundant).
     pub fn reset(&self) -> Result<()> {
         let mut file = self.file.lock();
+        self.faults.hit(FaultPoint::WalReset)?;
         file.set_len(0)?;
         file.seek(SeekFrom::Start(0))?;
         file.sync_all()?;

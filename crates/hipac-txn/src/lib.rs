@@ -32,7 +32,7 @@ pub mod manager;
 pub mod tree;
 pub mod version;
 
-pub use lock::{LockManager, LockMode};
+pub use lock::{LockManager, LockMode, LockTracer};
 pub use manager::{ResourceManager, TransactionManager, TxnHook};
 pub use tree::{TxnState, TxnTree};
 pub use version::VersionStore;

@@ -51,6 +51,17 @@ struct LockState<K> {
     waits_for: HashMap<TxnId, HashSet<TxnId>>,
 }
 
+/// Observer invoked after every successful lock grant with the
+/// requesting transaction, the key, and the *requested* mode (the held
+/// mode may be stronger if the transaction already had a write lock).
+///
+/// The tracer runs outside the lock-state mutex, after the grant is
+/// visible, so strict two-phase locking guarantees that the order in
+/// which a tracer observes two *conflicting* grants is the order in
+/// which the transactions actually accessed the key. The serializability
+/// checker in `hipac-check` builds its schedules from this seam.
+pub type LockTracer<K> = Arc<dyn Fn(TxnId, &K, LockMode) + Send + Sync>;
+
 /// The lock manager, generic over the lockable key type (the Object
 /// Manager locks objects, classes and rules).
 pub struct LockManager<K: Eq + Hash + Clone> {
@@ -58,6 +69,7 @@ pub struct LockManager<K: Eq + Hash + Clone> {
     state: Mutex<LockState<K>>,
     cv: Condvar,
     timeout: Duration,
+    tracer: Mutex<Option<LockTracer<K>>>,
 }
 
 impl<K: Eq + Hash + Clone> LockManager<K> {
@@ -78,6 +90,19 @@ impl<K: Eq + Hash + Clone> LockManager<K> {
             }),
             cv: Condvar::new(),
             timeout,
+            tracer: Mutex::new(None),
+        }
+    }
+
+    /// Install (or clear) the grant tracer. See [`LockTracer`].
+    pub fn set_tracer(&self, tracer: Option<LockTracer<K>>) {
+        *self.tracer.lock() = tracer;
+    }
+
+    fn trace_grant(&self, txn: TxnId, key: &K, mode: LockMode) {
+        let tracer = self.tracer.lock().clone();
+        if let Some(t) = tracer {
+            t(txn, key, mode);
         }
     }
 
@@ -153,8 +178,10 @@ impl<K: Eq + Hash + Clone> LockManager<K> {
                 let holders = state.locks.entry(key.clone()).or_default();
                 let entry = holders.entry(txn).or_insert(mode);
                 *entry = entry.max(mode);
-                state.holdings.entry(txn).or_default().insert(key);
+                state.holdings.entry(txn).or_default().insert(key.clone());
                 state.waits_for.remove(&txn);
+                drop(state);
+                self.trace_grant(txn, &key, mode);
                 return Ok(());
             }
             if Self::closes_cycle(&state, txn, &blockers) {
@@ -180,7 +207,9 @@ impl<K: Eq + Hash + Clone> LockManager<K> {
         let holders = state.locks.entry(key.clone()).or_default();
         let entry = holders.entry(txn).or_insert(mode);
         *entry = entry.max(mode);
-        state.holdings.entry(txn).or_default().insert(key);
+        state.holdings.entry(txn).or_default().insert(key.clone());
+        drop(state);
+        self.trace_grant(txn, &key, mode);
         Ok(true)
     }
 
@@ -419,6 +448,33 @@ mod tests {
         assert_eq!(lm.locked_key_count(), 2);
         lm.release_all(a);
         assert_eq!(lm.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn tracer_observes_grants_with_requested_mode() {
+        let (tree, lm) = setup();
+        type GrantLog = Vec<(TxnId, &'static str, LockMode)>;
+        let log: Arc<Mutex<GrantLog>> = Arc::new(Mutex::new(vec![]));
+        let log2 = Arc::clone(&log);
+        lm.set_tracer(Some(Arc::new(move |txn, key: &&'static str, mode| {
+            log2.lock().push((txn, key, mode));
+        })));
+        let a = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        // Re-read under a held write lock: tracer sees the *requested*
+        // Read even though the held mode stays Write.
+        lm.acquire(a, "x", LockMode::Read).unwrap();
+        assert!(lm.try_acquire(a, "y", LockMode::Read).unwrap());
+        lm.set_tracer(None);
+        lm.acquire(a, "z", LockMode::Write).unwrap(); // not traced
+        assert_eq!(
+            *log.lock(),
+            vec![
+                (a, "x", LockMode::Write),
+                (a, "x", LockMode::Read),
+                (a, "y", LockMode::Read),
+            ]
+        );
     }
 
     #[test]

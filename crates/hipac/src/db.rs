@@ -6,7 +6,7 @@ use hipac_event::EventRegistry;
 use hipac_object::ObjectStore;
 use hipac_rules::manager::FnHandler;
 use hipac_rules::RuleManager;
-use hipac_storage::DurableStore;
+use hipac_storage::{DurableStore, FaultPolicy};
 use hipac_txn::TransactionManager;
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -32,6 +32,7 @@ pub struct Builder {
     workers: usize,
     lock_timeout: Duration,
     clock: ClockMode,
+    storage_faults: Option<Arc<FaultPolicy>>,
 }
 
 impl Default for Builder {
@@ -41,6 +42,7 @@ impl Default for Builder {
             workers: 4,
             lock_timeout: Duration::from_secs(10),
             clock: ClockMode::Virtual,
+            storage_faults: None,
         }
     }
 }
@@ -71,11 +73,29 @@ impl Builder {
         self
     }
 
+    /// Inject a storage fault policy (crash testing; see
+    /// `hipac_storage::fault`). Only meaningful together with
+    /// [`Builder::durable`]; the policy crosses every WAL append/sync,
+    /// page write/allocation, file/directory sync and checkpoint step
+    /// the durable store performs.
+    pub fn storage_faults(mut self, faults: Arc<FaultPolicy>) -> Self {
+        self.storage_faults = Some(faults);
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Result<ActiveDatabase> {
         let tm = Arc::new(TransactionManager::new());
         let durable = match &self.durable_dir {
-            Some(dir) => Some(Arc::new(DurableStore::open(dir)?)),
+            Some(dir) => {
+                let faults = self.storage_faults.unwrap_or_else(FaultPolicy::none);
+                Some(Arc::new(DurableStore::open_with_faults(
+                    dir,
+                    1024,
+                    hipac_storage::store::DEFAULT_CHECKPOINT_THRESHOLD,
+                    faults,
+                )?))
+            }
             None => None,
         };
         let store =
@@ -384,6 +404,29 @@ mod tests {
         assert!(db.advance_clock(1).is_err());
         assert!(db.now() > 0, "system clock is wall time");
         db.poll_temporal().unwrap();
+    }
+
+    #[test]
+    fn storage_faults_thread_through_the_builder() {
+        let dir = std::env::temp_dir().join(format!("hipac-db-faults-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = hipac_storage::FaultPolicy::count_only();
+        let db = ActiveDatabase::builder()
+            .durable(&dir)
+            .storage_faults(Arc::clone(&faults))
+            .build()
+            .unwrap();
+        db.run_top(|t| {
+            db.store()
+                .create_class(t, "c", None, vec![AttrDef::new("x", ValueType::Int)])?;
+            db.store().insert(t, "c", vec![Value::from(1)])?;
+            Ok(())
+        })
+        .unwrap();
+        assert!(
+            faults.hits() > 0,
+            "durable commits must cross the injected fault points"
+        );
     }
 
     #[test]

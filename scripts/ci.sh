@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, the deterministic fault/serializability
+# torture suites, and (when available) clippy as a hard error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (full workspace)"
+cargo test -q
+
+echo "==> crash matrix (deterministic, fixed seed)"
+cargo test -q -p hipac-storage --test crash_matrix
+
+echo "==> serializability-checked stress suites"
+cargo test -q -p hipac --test chaos --test coupling_stress
+
+# The offline toolchain may ship without clippy; lint hard when present.
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "==> clippy unavailable in this toolchain; skipping lint"
+fi
+
+echo "==> CI OK"

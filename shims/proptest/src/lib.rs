@@ -163,7 +163,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(8))]
         #[test]
         fn config_form_compiles(v in any::<bool>()) {
-            prop_assert!(v || !v);
+            prop_assert!(u8::from(v) <= 1);
         }
     }
 

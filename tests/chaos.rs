@@ -8,9 +8,14 @@
 //!   (cascaded rule firings are atomic with their triggers);
 //! * no negative values survive (the constraint rule plus transaction
 //!   rollback really reject the whole violating transaction);
-//! * the engine is still consistent and usable.
+//! * the engine is still consistent and usable;
+//! * the committed history is conflict-serializable (`hipac-check`
+//!   records every lock grant and folds rule subtransactions into
+//!   their triggering transactions).
 
 use hipac::prelude::*;
+use hipac_check::{check_serializable, ScheduleRecorder};
+use hipac_object::LockKey;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -23,6 +28,10 @@ fn concurrent_mixed_workload_with_rules_and_aborts() {
             .build()
             .unwrap(),
     );
+    let recorder: Arc<ScheduleRecorder<LockKey>> = ScheduleRecorder::new();
+    recorder.attach(db.store().locks());
+    db.txn()
+        .register_resource(Arc::clone(&recorder) as Arc<dyn hipac_txn::ResourceManager>);
     db.run_top(|t| {
         db.store().create_class(
             t,
@@ -175,4 +184,13 @@ fn concurrent_mixed_workload_with_rules_and_aborts() {
         "the violating path was actually exercised"
     );
     assert!(db.take_separate_errors().is_empty());
+
+    // The whole mixed history — cascading rule firings, constraint
+    // aborts, manual aborts — must be conflict-serializable.
+    let report = check_serializable(&recorder.history()).unwrap_or_else(|v| panic!("{v}"));
+    assert!(
+        report.txns as u64 >= committed_updates.load(Ordering::SeqCst),
+        "history covers the committed updates"
+    );
+    assert_eq!(recorder.active_count(), 0, "no transaction left unresolved");
 }
