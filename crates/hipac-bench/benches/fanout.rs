@@ -1,0 +1,68 @@
+//! E11 (ISSUE 3): fan-out firing — one update triggers N rules whose
+//! action subtransactions run as concurrent siblings of the suspended
+//! parent.
+//!
+//! Each rule's action issues an `AppRequest` to a handler that blocks
+//! ~200µs, modelling the paper's §4.1 application service round trips;
+//! overlapping those waits is what the firing pool buys, even on one
+//! core. Expected shape: at parallelism 1 the cost grows linearly with
+//! N; at parallelism 4 it grows at roughly N/4 once N exceeds the
+//! pool width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hipac::prelude::*;
+
+fn setup(n: usize, parallelism: usize) -> (ActiveDatabase, ObjectId) {
+    let db = ActiveDatabase::builder()
+        .firing_parallelism(parallelism)
+        .build()
+        .unwrap();
+    db.register_handler("service", |_req: &str, _args: &Args| {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        Ok(())
+    });
+    db.run_top(|t| {
+        db.store()
+            .create_class(t, "src", None, vec![AttrDef::new("val", ValueType::Int)])?;
+        for i in 0..n {
+            db.rules().create_rule(
+                t,
+                RuleDef::new(format!("fan{i}"))
+                    .on(EventSpec::on_update("src"))
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "service".into(),
+                        request: format!("r{i}"),
+                        args: vec![],
+                    })),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let oid = db
+        .run_top(|t| db.store().insert(t, "src", vec![Value::from(0)]))
+        .unwrap();
+    (db, oid)
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    for &parallelism in &[1usize, 4] {
+        let mut group = c.benchmark_group(format!("E11_fanout_p{parallelism}"));
+        group.sample_size(10);
+        for &n in &[1usize, 4, 16, 64] {
+            let (db, oid) = setup(n, parallelism);
+            let mut v = 0i64;
+            group.bench_function(BenchmarkId::new("update_fanout", n), |b| {
+                b.iter(|| {
+                    v += 1;
+                    db.run_top(|t| db.store().update(t, oid, &[("val", Value::from(v))]))
+                        .unwrap();
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ use std::io::{Read, Write};
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// Protocol version carried in `Hello`. Bump on incompatible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2; // v2: Stats gained firings_parallel + pool_queue_depth
 
 // Frame kinds.
 const KIND_REQUEST: u8 = 0;
@@ -200,6 +200,8 @@ pub struct WireStats {
     pub deferred_firings: u64,
     pub pool_outstanding: u64,
     pub separate_errors: u64,
+    pub firings_parallel: u64,
+    pub pool_queue_depth: u64,
 }
 
 impl WireStats {
@@ -216,17 +218,19 @@ impl WireStats {
             self.deferred_firings,
             self.pool_outstanding,
             self.separate_errors,
+            self.firings_parallel,
+            self.pool_queue_depth,
         ] {
             put_uvarint(buf, v);
         }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
-        let mut fields = [0u64; 11];
+        let mut fields = [0u64; 13];
         for f in &mut fields {
             *f = get_uvarint(buf, pos)?;
         }
-        let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors] =
+        let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth] =
             fields;
         Ok(WireStats {
             signals_processed,
@@ -240,6 +244,8 @@ impl WireStats {
             deferred_firings,
             pool_outstanding,
             separate_errors,
+            firings_parallel,
+            pool_queue_depth,
         })
     }
 }
@@ -987,6 +993,8 @@ mod tests {
                 deferred_firings: 9,
                 pool_outstanding: 10,
                 separate_errors: 11,
+                firings_parallel: 12,
+                pool_queue_depth: 13,
             }),
             Reply::Err {
                 kind: "UnknownClass".into(),

@@ -629,5 +629,7 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         deferred_firings: s.deferred_firings,
         pool_outstanding: s.pool_outstanding,
         separate_errors: s.separate_errors,
+        firings_parallel: s.firings_parallel,
+        pool_queue_depth: s.pool_queue_depth,
     }
 }

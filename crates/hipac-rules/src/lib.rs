@@ -42,5 +42,6 @@ pub mod trace;
 
 pub use condition::ConditionEvaluator;
 pub use manager::{ApplicationHandler, RuleManager};
+pub use pool::FiringPool;
 pub use rule::{Action, ActionOp, CouplingMode, DbAction, RuleDef};
 pub use trace::{FiringTrace, QueryStrategy, RuleExplanation, RuleTracer};

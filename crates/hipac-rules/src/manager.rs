@@ -29,7 +29,7 @@
 //! runs each satisfied rule's action in its own subtransaction.
 
 use crate::condition::{ConditionEvaluator, EvalStats};
-use crate::pool::WorkerPool;
+use crate::pool::{FiringPool, WorkerPool};
 use crate::rule::{Action, ActionOp, CouplingMode, DbAction, RuleDef};
 use hipac_common::id::IdAllocator;
 use hipac_common::{EventId, HipacError, ObjectId, Result, RuleId, TxnId, Value};
@@ -42,7 +42,7 @@ use hipac_object::ObjectStore;
 use hipac_txn::{LockMode, ResourceManager, TransactionManager, TxnHook, VersionStore};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// An application program registered to receive rule-action requests
@@ -62,6 +62,9 @@ pub struct RuleStats {
     pub store_evaluations: AtomicU64,
     pub delta_evaluations: AtomicU64,
     pub cache_hits: AtomicU64,
+    /// Action firings dispatched through the parallel sibling pool
+    /// (a subset of `actions_executed`).
+    pub firings_parallel: AtomicU64,
 }
 
 impl RuleStats {
@@ -89,6 +92,9 @@ pub struct RuleManager {
     events: Arc<EventRegistry>,
     evaluator: ConditionEvaluator,
     pool: WorkerPool,
+    /// Scoped pool firing immediate/deferred sibling subtransactions
+    /// concurrently (§3's execution model).
+    firing: FiringPool,
     rules: VersionStore<RuleId, RuleDef>,
     rule_names: VersionStore<String, RuleId>,
     ids: IdAllocator,
@@ -379,10 +385,29 @@ impl RuleManager {
         workers: usize,
         durable: Option<Arc<hipac_storage::DurableStore>>,
     ) -> Result<Arc<RuleManager>> {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_config(tm, store, events, workers, parallelism, durable)
+    }
+
+    /// [`RuleManager::with_durability`] with an explicit firing
+    /// parallelism: the number of immediate/deferred sibling action
+    /// subtransactions of one group that may execute concurrently
+    /// (`1` = sequential, the pre-pool behavior).
+    pub fn with_config(
+        tm: Arc<TransactionManager>,
+        store: Arc<ObjectStore>,
+        events: Arc<EventRegistry>,
+        workers: usize,
+        firing_parallelism: usize,
+        durable: Option<Arc<hipac_storage::DurableStore>>,
+    ) -> Result<Arc<RuleManager>> {
         let tree = Arc::clone(tm.tree());
         let mgr = Arc::new(RuleManager {
             evaluator: ConditionEvaluator::new(Arc::clone(&store)),
             pool: WorkerPool::new(workers),
+            firing: FiringPool::new(firing_parallelism),
             rules: VersionStore::new(Arc::clone(&tree)),
             rule_names: VersionStore::new(tree),
             ids: IdAllocator::new(1),
@@ -485,6 +510,17 @@ impl RuleManager {
     /// Separate-mode firings submitted but not yet finished.
     pub fn pool_outstanding(&self) -> usize {
         self.pool.outstanding()
+    }
+
+    /// Configured sibling-firing parallelism (1 = sequential).
+    pub fn firing_parallelism(&self) -> usize {
+        self.firing.parallelism()
+    }
+
+    /// Sibling action jobs enqueued on the firing pool and not yet
+    /// claimed by any thread.
+    pub fn firing_queue_depth(&self) -> usize {
+        self.firing.queue_depth()
     }
 
     /// Errors buffered from separate-mode firings (without draining;
@@ -762,6 +798,8 @@ impl RuleManager {
                 depth,
             });
         }
+        let tracing = self.tracer.is_enabled();
+        let cond_start = tracing.then(std::time::Instant::now);
         // Condition evaluation subtransaction. Rules triggered by the
         // same signal are evaluated as ONE batch so the condition graph
         // can share structurally identical queries across rules (§5.5).
@@ -817,10 +855,41 @@ impl RuleManager {
                 return Err(e);
             }
         };
-        // Action execution.
-        let tracing = self.tracer.is_enabled();
-        for ((rid, def, signal), outcome) in group.into_iter().zip(outcomes) {
-            let action_start = tracing.then(std::time::Instant::now);
+        // Ceiling to a whole microsecond so even a sub-µs condition
+        // phase is distinguishable from "not measured".
+        let cond_us = cond_start
+            .map(|s| (s.elapsed().as_nanos() as u64).div_ceil(1000))
+            .unwrap_or(0);
+        self.dispatch_actions(parent, depth, group, outcomes, cond_us, tracing)
+    }
+
+    /// Run the action phase of a fired group: satisfied rules with a
+    /// synchronous C-A coupling (immediate/deferred) execute as sibling
+    /// subtransactions of `parent` — concurrently, on the firing pool,
+    /// when more than one is runnable and parallelism allows — while
+    /// separate-coupled actions go to the detached worker pool.
+    ///
+    /// Error semantics are first-error-wins and deterministic: the
+    /// first failing sibling raises a shared cancel flag so siblings
+    /// that have not begun never do, and of the errors that did occur
+    /// the one with the lowest group index is reported (the same error
+    /// the sequential path would surface for a commuting group).
+    /// Already-running siblings finish normally; their effects are
+    /// discarded when the caller aborts `parent` in response.
+    fn dispatch_actions(
+        &self,
+        parent: TxnId,
+        depth: usize,
+        group: Vec<(RuleId, RuleDef, EventSignal)>,
+        outcomes: Vec<crate::condition::ConditionOutcome>,
+        cond_us: u64,
+        tracing: bool,
+    ) -> Result<()> {
+        let mut sync: Vec<(usize, RuleId, RuleDef, EventSignal, Vec<QueryResult>)> =
+            Vec::new();
+        for (idx, ((rid, def, signal), outcome)) in
+            group.into_iter().zip(outcomes).enumerate()
+        {
             if !outcome.satisfied {
                 if tracing {
                     self.tracer.record(crate::trace::FiringTrace {
@@ -833,7 +902,7 @@ impl RuleManager {
                         action_executed: false,
                         cascade_depth: depth,
                         event_time: signal.time,
-                        duration_us: 0,
+                        duration_us: cond_us,
                     });
                 }
                 continue;
@@ -842,34 +911,11 @@ impl RuleManager {
                 .conditions_satisfied
                 .fetch_add(1, Ordering::Relaxed);
             match def.ca_coupling {
+                // Both run before the parent resumes; "deferred"
+                // relative to the (already committed) condition
+                // transaction coincides with immediate here.
                 CouplingMode::Immediate | CouplingMode::Deferred => {
-                    // Both run before the parent resumes; "deferred"
-                    // relative to the (already committed) condition
-                    // transaction coincides with immediate here.
-                    let act_txn = self.tm.begin_child(parent)?;
-                    match self.execute_action(act_txn, &def.action, &signal, &outcome.rows) {
-                        Ok(()) => self.tm.commit(act_txn)?,
-                        Err(e) => {
-                            let _ = self.tm.abort(act_txn);
-                            return Err(e);
-                        }
-                    }
-                    if tracing {
-                        self.tracer.record(crate::trace::FiringTrace {
-                            rule: rid,
-                            rule_name: def.name.clone(),
-                            event: self.catalog.read().get(&rid).map(|e| e.event),
-                            txn: Some(parent),
-                            ec_coupling: def.ec_coupling,
-                            satisfied: true,
-                            action_executed: true,
-                            cascade_depth: depth,
-                            event_time: signal.time,
-                            duration_us: action_start
-                                .map(|s| s.elapsed().as_micros() as u64)
-                                .unwrap_or(0),
-                        });
-                    }
+                    sync.push((idx, rid, def, signal, outcome.rows));
                 }
                 CouplingMode::Separate => {
                     if tracing {
@@ -883,12 +929,96 @@ impl RuleManager {
                             action_executed: true, // scheduled on the pool
                             cascade_depth: depth,
                             event_time: signal.time,
-                            duration_us: 0,
+                            duration_us: cond_us,
                         });
                     }
                     self.submit_separate_action(rid, def, signal, outcome.rows);
                 }
             }
+        }
+        if sync.len() <= 1 || self.firing.parallelism() <= 1 {
+            for (_, rid, def, signal, rows) in sync {
+                self.run_one_action(parent, depth, rid, def, signal, rows, cond_us, tracing)?;
+            }
+            return Ok(());
+        }
+        let mgr = self.me();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let errors: Arc<Mutex<Vec<(usize, HipacError)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let count = sync.len() as u64;
+        let jobs: Vec<crate::pool::Job> = sync
+            .into_iter()
+            .map(|(idx, rid, def, signal, rows)| {
+                let mgr = Arc::clone(&mgr);
+                let cancel = Arc::clone(&cancel);
+                let errors = Arc::clone(&errors);
+                Box::new(move || {
+                    if cancel.load(Ordering::SeqCst) {
+                        return; // a sibling already failed; never begin
+                    }
+                    if let Err(e) = mgr.run_one_action(
+                        parent, depth, rid, def, signal, rows, cond_us, tracing,
+                    ) {
+                        cancel.store(true, Ordering::SeqCst);
+                        errors.lock().push((idx, e));
+                    }
+                }) as crate::pool::Job
+            })
+            .collect();
+        if self.firing.run_batch(jobs) {
+            self.stats
+                .firings_parallel
+                .fetch_add(count, Ordering::Relaxed);
+        }
+        let errs = std::mem::take(&mut *errors.lock());
+        match errs.into_iter().min_by_key(|(idx, _)| *idx) {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// One satisfied rule's action, in its own subtransaction of
+    /// `parent`. Safe to call from firing-pool workers: it touches only
+    /// thread-safe state (transaction manager, stores, atomics, the
+    /// tracer ring).
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_action(
+        &self,
+        parent: TxnId,
+        depth: usize,
+        rid: RuleId,
+        def: RuleDef,
+        signal: EventSignal,
+        rows: Vec<QueryResult>,
+        cond_us: u64,
+        tracing: bool,
+    ) -> Result<()> {
+        let action_start = tracing.then(std::time::Instant::now);
+        let act_txn = self.tm.begin_child(parent)?;
+        match self.execute_action(act_txn, &def.action, &signal, &rows) {
+            Ok(()) => self.tm.commit(act_txn)?,
+            Err(e) => {
+                let _ = self.tm.abort(act_txn);
+                return Err(e);
+            }
+        }
+        if tracing {
+            self.tracer.record(crate::trace::FiringTrace {
+                rule: rid,
+                rule_name: def.name.clone(),
+                event: self.catalog.read().get(&rid).map(|e| e.event),
+                txn: Some(parent),
+                ec_coupling: def.ec_coupling,
+                satisfied: true,
+                action_executed: true,
+                cascade_depth: depth,
+                event_time: signal.time,
+                duration_us: cond_us
+                    + action_start
+                        .map(|s| s.elapsed().as_micros() as u64)
+                        .unwrap_or(0),
+            });
         }
         Ok(())
     }

@@ -1,21 +1,37 @@
-//! Worker pool for separate-coupled rule firings.
+//! Worker pools for rule firings.
 //!
-//! §6.2: "For each rule firing with separate condition evaluation, the
-//! Rule Manager obtains a new top level transaction … all of these
-//! transactions execute concurrently, each in its own thread of
-//! execution." The 1989 prototype used Smalltalk lightweight processes;
-//! we use a small OS-thread pool fed by a crossbeam channel.
+//! Two pools with different synchronization contracts live here:
 //!
-//! [`WorkerPool::quiesce`] waits until all submitted firings have
-//! drained — tests and benchmarks use it to make asynchronous firings
-//! observable deterministically.
+//! * [`WorkerPool`] — fire-and-forget, for **separate**-coupled rule
+//!   firings. §6.2: "For each rule firing with separate condition
+//!   evaluation, the Rule Manager obtains a new top level transaction …
+//!   all of these transactions execute concurrently, each in its own
+//!   thread of execution." The 1989 prototype used Smalltalk
+//!   lightweight processes; we use a small OS-thread pool fed by a
+//!   crossbeam channel. [`WorkerPool::quiesce`] waits until all
+//!   submitted firings have drained — tests and benchmarks use it to
+//!   make asynchronous firings observable deterministically.
+//!
+//! * [`FiringPool`] — scoped batches, for **immediate/deferred**
+//!   firings. §3's execution model fires the rules triggered by one
+//!   event concurrently as sibling subtransactions of the suspended
+//!   parent; [`FiringPool::run_batch`] provides exactly that scope: the
+//!   calling thread hands a batch of sibling jobs to the pool, takes
+//!   part in draining them, and returns only when every job in the
+//!   batch has finished. The caller-participation rule doubles as the
+//!   overflow path for cascades: a worker whose rule action triggers a
+//!   further group re-enters `run_batch` and simply drains the unclaimed
+//!   sub-jobs itself, so waits only ever point at actively-executing
+//!   workers and can never cycle.
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of work for either pool.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Shared {
     outstanding: Mutex<usize>,
@@ -102,10 +118,158 @@ impl Drop for WorkerPool {
     }
 }
 
+/// One batch of sibling jobs. Shared between the submitting thread and
+/// the workers that got a hint for it.
+struct BatchCore {
+    /// Jobs not yet claimed. Claiming = popping; a popped job is being
+    /// executed by exactly one thread.
+    queue: Mutex<Vec<Job>>,
+    /// Jobs (claimed or not) that have not finished.
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl BatchCore {
+    /// Pop-and-run jobs until the queue is empty, decrementing `depth`
+    /// per claim and `remaining` per completion.
+    fn drain(&self, depth: &AtomicUsize) {
+        loop {
+            let job = self.queue.lock().pop();
+            match job {
+                Some(job) => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    job();
+                    let mut n = self.remaining.lock();
+                    *n -= 1;
+                    if *n == 0 {
+                        self.cv.notify_all();
+                    }
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// A scoped pool for firing sibling subtransactions concurrently.
+///
+/// `parallelism` is the number of threads that may execute jobs of one
+/// batch at once: the submitting thread plus `parallelism - 1` pool
+/// workers. `parallelism <= 1` means no workers are spawned and
+/// [`run_batch`](FiringPool::run_batch) degenerates to the sequential
+/// in-order loop, which is the pre-pool behavior bit for bit.
+pub struct FiringPool {
+    parallelism: usize,
+    tx: Option<Sender<Arc<BatchCore>>>,
+    /// Jobs enqueued but not yet claimed by any thread, across all
+    /// live batches. Doubles as the overflow heuristic: a batch
+    /// arriving while the backlog already covers every worker runs
+    /// inline on its caller instead of queueing behind it.
+    depth: Arc<AtomicUsize>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FiringPool {
+    /// A pool allowing `parallelism` concurrent siblings (min 1).
+    pub fn new(parallelism: usize) -> FiringPool {
+        let parallelism = parallelism.max(1);
+        let (tx, rx) = unbounded::<Arc<BatchCore>>();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for i in 0..parallelism - 1 {
+            let rx = rx.clone();
+            let depth = Arc::clone(&depth);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hipac-firing-worker-{i}"))
+                    .spawn(move || {
+                        // A hint names a batch that had unclaimed jobs
+                        // when sent; by now the caller may have drained
+                        // them, in which case drain() is a no-op.
+                        while let Ok(core) = rx.recv() {
+                            core.drain(&depth);
+                        }
+                    })
+                    .expect("spawn firing worker thread"),
+            );
+        }
+        FiringPool {
+            parallelism,
+            tx: Some(tx),
+            depth,
+            workers,
+        }
+    }
+
+    /// Configured parallelism (1 = sequential).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Jobs currently enqueued and unclaimed, across all batches.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Run a batch of sibling jobs, returning when all have finished.
+    ///
+    /// Jobs may run concurrently (up to the pool parallelism) and in
+    /// any order; with `parallelism <= 1` they run sequentially in
+    /// order on the calling thread. Returns `true` when the batch was
+    /// dispatched to the pool (i.e. jobs may actually have overlapped).
+    ///
+    /// The calling thread always participates: it drains unclaimed
+    /// jobs itself and then waits only for jobs already claimed by
+    /// workers. A cascade re-entering `run_batch` from inside a worker
+    /// therefore cannot deadlock — waiting threads never claim new
+    /// jobs, and every wait points at a thread actively executing one
+    /// of the waiter's own sub-jobs.
+    pub fn run_batch(&self, jobs: Vec<Job>) -> bool {
+        let n = jobs.len();
+        // Overflow to caller: sequential semantics, single job, or a
+        // backlog already deep enough to keep every worker busy.
+        if self.parallelism <= 1
+            || n <= 1
+            || self.depth.load(Ordering::Relaxed) >= self.workers.len()
+        {
+            for job in jobs {
+                job();
+            }
+            return false;
+        }
+        let core = Arc::new(BatchCore {
+            queue: Mutex::new(jobs),
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        });
+        self.depth.fetch_add(n, Ordering::Relaxed);
+        // One hint per job a worker could usefully claim (the caller
+        // takes at least one); stale hints are harmless no-ops.
+        let tx = self.tx.as_ref().expect("pool is alive while not dropped");
+        for _ in 0..(n - 1).min(self.workers.len()) {
+            tx.send(Arc::clone(&core)).expect("workers outlive the sender");
+        }
+        core.drain(&self.depth);
+        let mut remaining = core.remaining.lock();
+        while *remaining > 0 {
+            core.cv.wait(&mut remaining);
+        }
+        true
+    }
+}
+
+impl Drop for FiringPool {
+    fn drop(&mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn jobs_run_and_quiesce_waits() {
@@ -141,6 +305,86 @@ mod tests {
         }
         pool.quiesce();
         assert_eq!(counter.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn firing_batch_runs_all_jobs_and_settles() {
+        let pool = FiringPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..64)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.run_batch(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn firing_batch_overlaps_blocking_jobs() {
+        // Two jobs that each wait for the other can only finish if they
+        // actually run concurrently.
+        let pool = FiringPool::new(2);
+        let a = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..2)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                Box::new(move || {
+                    a.fetch_add(1, Ordering::SeqCst);
+                    while a.load(Ordering::SeqCst) < 2 {
+                        std::thread::yield_now();
+                    }
+                }) as Job
+            })
+            .collect();
+        assert!(pool.run_batch(jobs));
+    }
+
+    #[test]
+    fn firing_parallelism_one_is_sequential_in_order() {
+        let pool = FiringPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                Box::new(move || order.lock().push(i)) as Job
+            })
+            .collect();
+        assert!(!pool.run_batch(jobs));
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn firing_cascades_reenter_without_deadlock() {
+        // Every job of the outer batch submits an inner batch from
+        // inside the pool; with caller participation this terminates
+        // even though the fan-out exceeds the worker count.
+        let pool = Arc::new(FiringPool::new(3));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let outer: Vec<Job> = (0..6)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(&counter);
+                Box::new(move || {
+                    let inner: Vec<Job> = (0..4)
+                        .map(|_| {
+                            let c = Arc::clone(&counter);
+                            Box::new(move || {
+                                c.fetch_add(1, Ordering::SeqCst);
+                            }) as Job
+                        })
+                        .collect();
+                    pool.run_batch(inner);
+                }) as Job
+            })
+            .collect();
+        pool.run_batch(outer);
+        assert_eq!(counter.load(Ordering::SeqCst), 24);
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]

@@ -37,9 +37,11 @@ pub struct FiringTrace {
     pub cascade_depth: usize,
     /// Database time of the triggering signal.
     pub event_time: Timestamp,
-    /// Wall-clock cost of the action execution (0 when the condition
-    /// was not satisfied; condition-evaluation cost is shared across
-    /// the batch and reported by `RuleStats` instead).
+    /// Wall-clock cost of this firing, rounded up to a whole
+    /// microsecond: the condition-evaluation phase (shared across the
+    /// batch, so every firing of one group reports the same condition
+    /// component) plus, for satisfied rules with a synchronous C-A
+    /// coupling, the action subtransaction.
     pub duration_us: u64,
 }
 

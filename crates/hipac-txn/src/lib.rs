@@ -34,5 +34,5 @@ pub mod version;
 
 pub use lock::{LockManager, LockMode, LockTracer};
 pub use manager::{ResourceManager, TransactionManager, TxnHook};
-pub use tree::{TxnState, TxnTree};
+pub use tree::{Transition, TxnState, TxnTree};
 pub use version::VersionStore;

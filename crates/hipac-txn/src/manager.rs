@@ -14,7 +14,7 @@
 //!   Rule Manager replies … and the Transaction Manager resumes commit
 //!   processing."
 
-use crate::tree::{TxnState, TxnTree};
+use crate::tree::{Transition, TxnState, TxnTree};
 use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -137,23 +137,30 @@ impl TransactionManager {
     /// children. If a `before_commit` hook (deferred rule processing)
     /// fails, the transaction is aborted and the hook's error returned.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        match self.tree.state(txn)? {
-            TxnState::Active => {}
-            TxnState::Aborted => return Err(HipacError::TxnAborted(txn)),
-            _ => {
-                return Err(HipacError::InvalidTxnState {
-                    txn,
-                    state: "not active",
-                })
-            }
-        }
         if !self.tree.active_children(txn)?.is_empty() {
             return Err(HipacError::InvalidTxnState {
                 txn,
                 state: "has active subtransactions",
             });
         }
-        self.tree.set_state(txn, TxnState::Committing)?;
+        // Claim the transaction for commit. Exactly one of a racing
+        // commit/abort pair wins this CAS; a concurrent abort that got
+        // there first surfaces as `TxnAborted`.
+        match self
+            .tree
+            .try_transition(txn, &[TxnState::Active], TxnState::Committing)?
+        {
+            Transition::Applied(_) => {}
+            Transition::Refused(TxnState::Aborted) => {
+                return Err(HipacError::TxnAborted(txn))
+            }
+            Transition::Refused(_) => {
+                return Err(HipacError::InvalidTxnState {
+                    txn,
+                    state: "not active",
+                })
+            }
+        }
         // §6.3: signal the commit event; deferred rule firings run now,
         // in subtransactions of `txn`.
         for h in self.hooks.read().iter() {
@@ -208,24 +215,51 @@ impl TransactionManager {
     /// aborted first (deepest first), then the transaction's own
     /// effects are discarded.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
-        match self.tree.state(txn)? {
-            TxnState::Active | TxnState::Committing => {}
-            TxnState::Aborted => return Ok(()), // idempotent
-            TxnState::Committed => {
-                return Err(HipacError::InvalidTxnState {
-                    txn,
-                    state: "committed",
-                })
+        self.abort_impl(txn, false)
+    }
+
+    /// `tolerate_committed` is set when recursing into children: a
+    /// child that committed concurrently is already resolved (its
+    /// effects were folded into us and are discarded by our own
+    /// `on_abort`), so it is skipped rather than an error.
+    fn abort_impl(&self, txn: TxnId, tolerate_committed: bool) -> Result<()> {
+        loop {
+            // Claim the transaction for abort. Claiming the state first
+            // (before touching children or resources) closes the door
+            // on new subtransactions: `begin_child` requires an
+            // Active/Committing parent.
+            match self
+                .tree
+                .try_transition(txn, &[TxnState::Active], TxnState::Aborted)?
+            {
+                Transition::Applied(_) => break,
+                Transition::Refused(TxnState::Aborted) => return Ok(()), // idempotent
+                Transition::Refused(TxnState::Committed) => {
+                    if tolerate_committed {
+                        return Ok(());
+                    }
+                    return Err(HipacError::InvalidTxnState {
+                        txn,
+                        state: "committed",
+                    });
+                }
+                // An in-flight commit owns the transaction; wait for it
+                // to resolve (to Committed, or back to Active on a hook
+                // failure). Lock waits inside commit processing are
+                // bounded by the lock timeout, so this terminates.
+                Transition::Refused(TxnState::Committing) => std::thread::yield_now(),
+                Transition::Refused(TxnState::Active) => {
+                    unreachable!("Active is an expected state")
+                }
             }
         }
         for child in self.tree.active_children(txn)? {
-            self.abort(child)?;
+            self.abort_impl(child, true)?;
         }
         let resources = self.resources.read().clone();
         for rm in &resources {
             rm.on_abort(txn)?;
         }
-        self.tree.set_state(txn, TxnState::Aborted)?;
         let top = self.tree.parent(txn)?.is_none();
         for h in self.hooks.read().iter() {
             h.after_abort(txn, top);

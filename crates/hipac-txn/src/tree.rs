@@ -18,6 +18,16 @@ pub enum TxnState {
     Aborted,
 }
 
+/// Outcome of [`TxnTree::try_transition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The transition applied; carries the previous state.
+    Applied(TxnState),
+    /// The transaction was in none of the expected states; carries the
+    /// (unchanged) state that was observed.
+    Refused(TxnState),
+}
+
 #[derive(Debug, Clone)]
 struct TxnMeta {
     parent: Option<TxnId>,
@@ -109,6 +119,31 @@ impl TxnTree {
             .get(&txn)
             .map(|m| m.state)
             .ok_or(HipacError::UnknownTxn(txn))
+    }
+
+    /// Atomically transition `txn` to `to` iff its current state is one
+    /// of `from`.
+    ///
+    /// This is the compare-and-swap that lets concurrent commit and
+    /// abort race safely: exactly one claimant wins (sees `Applied`),
+    /// every loser observes the state that beat it (`Refused`) and can
+    /// decide — e.g. an abort that loses to an in-flight commit spins
+    /// until the commit resolves.
+    pub fn try_transition(
+        &self,
+        txn: TxnId,
+        from: &[TxnState],
+        to: TxnState,
+    ) -> Result<Transition> {
+        let mut txns = self.txns.write();
+        let meta = txns.get_mut(&txn).ok_or(HipacError::UnknownTxn(txn))?;
+        if from.contains(&meta.state) {
+            let prev = meta.state;
+            meta.state = to;
+            Ok(Transition::Applied(prev))
+        } else {
+            Ok(Transition::Refused(meta.state))
+        }
     }
 
     /// Transition `txn` to `state`.
@@ -352,6 +387,35 @@ mod tests {
         let a = tree.begin_top();
         let b = tree.begin_top();
         assert!(tree.seq(a).unwrap() < tree.seq(b).unwrap());
+    }
+
+    #[test]
+    fn try_transition_is_a_state_cas() {
+        let tree = TxnTree::new();
+        let t = tree.begin_top();
+        assert_eq!(
+            tree.try_transition(t, &[TxnState::Active], TxnState::Committing)
+                .unwrap(),
+            Transition::Applied(TxnState::Active)
+        );
+        // A second claim from Active is refused and leaves the state alone.
+        assert_eq!(
+            tree.try_transition(t, &[TxnState::Active], TxnState::Aborted)
+                .unwrap(),
+            Transition::Refused(TxnState::Committing)
+        );
+        assert_eq!(tree.state(t).unwrap(), TxnState::Committing);
+        // Multiple expected states are accepted.
+        assert_eq!(
+            tree.try_transition(
+                t,
+                &[TxnState::Active, TxnState::Committing],
+                TxnState::Committed
+            )
+            .unwrap(),
+            Transition::Applied(TxnState::Committing)
+        );
+        assert!(tree.try_transition(TxnId(999), &[TxnState::Active], TxnState::Aborted).is_err());
     }
 
     #[test]

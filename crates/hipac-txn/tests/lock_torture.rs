@@ -2,8 +2,8 @@
 //! paths, and a fairness smoke test (no waiter starves across many
 //! rounds of contention).
 
-use hipac_common::{HipacError, TxnId};
-use hipac_txn::{LockManager, LockMode, TxnTree};
+use hipac_common::{HipacError, Result, TxnId};
+use hipac_txn::{LockManager, LockMode, ResourceManager, TransactionManager, TxnTree};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -197,4 +197,130 @@ fn sibling_deadlock_resolves_and_parent_continues() {
     assert_eq!(lm.held(top, &"y"), Some(LockMode::Write));
     lm.release_all(top);
     assert_eq!(lm.locked_key_count(), 0);
+}
+
+/// Plugs the lock manager into the Transaction Manager as a resource,
+/// the way the Object Manager's lock table participates in commit
+/// processing: child commit inherits locks upward, top commit and
+/// abort release.
+struct LockRm(Arc<Lm>);
+
+impl ResourceManager for LockRm {
+    fn on_commit_child(&self, txn: TxnId, parent: TxnId) -> Result<()> {
+        self.0.inherit_to_parent(txn, parent);
+        Ok(())
+    }
+    fn on_commit_top(&self, txn: TxnId) -> Result<()> {
+        self.0.release_all(txn);
+        Ok(())
+    }
+    fn on_abort(&self, txn: TxnId) -> Result<()> {
+        self.0.release_all(txn);
+        Ok(())
+    }
+}
+
+fn setup_tm(timeout: Duration) -> (Arc<TransactionManager>, Arc<Lm>) {
+    let tm = Arc::new(TransactionManager::new());
+    let lm = Arc::new(LockManager::with_timeout(Arc::clone(tm.tree()), timeout));
+    tm.register_resource(Arc::new(LockRm(Arc::clone(&lm))));
+    (tm, lm)
+}
+
+/// The parallel-firing shape end to end through the Transaction
+/// Manager: two sibling subtransactions of a suspended parent deadlock
+/// against each other; exactly one is the victim and is aborted, the
+/// survivor commits (its locks inherited by the parent), and the parent
+/// goes on to commit normally.
+#[test]
+fn sibling_deadlock_victim_aborts_survivor_commits_parent_continues() {
+    let (tm, lm) = setup_tm(Duration::from_secs(5));
+    let top = tm.begin();
+    let c1 = tm.begin_child(top).unwrap();
+    let c2 = tm.begin_child(top).unwrap();
+
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+    let deadlocks = Arc::new(AtomicU64::new(0));
+    let commits = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for (child, first, second) in [(c1, "x", "y"), (c2, "y", "x")] {
+        let tm = Arc::clone(&tm);
+        let lm = Arc::clone(&lm);
+        let barrier = Arc::clone(&barrier);
+        let deadlocks = Arc::clone(&deadlocks);
+        let commits = Arc::clone(&commits);
+        handles.push(std::thread::spawn(move || {
+            lm.acquire(child, first, LockMode::Write).unwrap();
+            barrier.wait();
+            match lm.acquire(child, second, LockMode::Write) {
+                Ok(()) => {
+                    tm.commit(child).unwrap();
+                    commits.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(HipacError::Deadlock(victim)) => {
+                    assert_eq!(victim, child, "the cycle closer is its own victim");
+                    tm.abort(child).unwrap();
+                    deadlocks.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(deadlocks.load(Ordering::SeqCst), 1, "exactly one victim");
+    assert_eq!(commits.load(Ordering::SeqCst), 1, "exactly one survivor");
+
+    // The survivor's locks were inherited by the suspended parent; the
+    // victim's were released outright.
+    assert_eq!(lm.held(top, &"x"), Some(LockMode::Write));
+    assert_eq!(lm.held(top, &"y"), Some(LockMode::Write));
+    // The parent resumes and commits; everything is released.
+    tm.check_operable(top).unwrap();
+    tm.commit(top).unwrap();
+    assert_eq!(lm.locked_key_count(), 0);
+    assert!(tm.tree().is_empty(), "terminated tree pruned");
+}
+
+/// Aborting a parent whose children are still live (mid-action on other
+/// threads): the abort claims the children before any new ones can
+/// start, releases every lock in the subtree, and the children's own
+/// commit attempts observe `TxnAborted` instead of corrupting state.
+#[test]
+fn abort_of_parent_with_live_children_cleans_up() {
+    let (tm, lm) = setup_tm(Duration::from_secs(5));
+    let top = tm.begin();
+    let mid = tm.begin_child(top).unwrap();
+    let c1 = tm.begin_child(mid).unwrap();
+    let c2 = tm.begin_child(mid).unwrap();
+
+    let mut handles = Vec::new();
+    for (child, key) in [(c1, "k1"), (c2, "k2")] {
+        let tm = Arc::clone(&tm);
+        let lm = Arc::clone(&lm);
+        handles.push(std::thread::spawn(move || {
+            lm.acquire(child, key, LockMode::Write).unwrap();
+            // Simulate a long-running action; the parent abort lands
+            // while we hold the lock.
+            std::thread::sleep(Duration::from_millis(250));
+            tm.commit(child)
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(60));
+    tm.abort(mid).unwrap();
+    for h in handles {
+        let err = h.join().unwrap().unwrap_err();
+        assert!(
+            matches!(err, HipacError::TxnAborted(_)),
+            "late child commit sees the abort: {err}"
+        );
+    }
+    assert_eq!(lm.locked_key_count(), 0, "subtree locks all released");
+    // The enclosing top-level transaction is unaffected and usable.
+    tm.check_operable(top).unwrap();
+    lm.acquire(top, "k1", LockMode::Write).unwrap();
+    tm.commit(top).unwrap();
+    assert_eq!(lm.locked_key_count(), 0);
+    assert!(tm.tree().is_empty(), "terminated tree pruned");
 }

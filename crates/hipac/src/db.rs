@@ -30,6 +30,7 @@ pub enum ClockMode {
 pub struct Builder {
     durable_dir: Option<PathBuf>,
     workers: usize,
+    firing_parallelism: usize,
     lock_timeout: Duration,
     clock: ClockMode,
     storage_faults: Option<Arc<FaultPolicy>>,
@@ -40,6 +41,9 @@ impl Default for Builder {
         Builder {
             durable_dir: None,
             workers: 4,
+            firing_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             lock_timeout: Duration::from_secs(10),
             clock: ClockMode::Virtual,
             storage_faults: None,
@@ -58,6 +62,15 @@ impl Builder {
     /// Worker threads for separate-coupled rule firings.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n;
+        self
+    }
+
+    /// How many sibling action subtransactions of one immediate or
+    /// deferred rule group may execute concurrently (§3's concurrent
+    /// sibling firing). Defaults to the number of available cores;
+    /// `1` is the sequential in-order behavior.
+    pub fn firing_parallelism(mut self, n: usize) -> Self {
+        self.firing_parallelism = n;
         self
     }
 
@@ -126,11 +139,12 @@ impl Builder {
                 events.define_external(name, formals)?;
             }
         }
-        let rules = RuleManager::with_durability(
+        let rules = RuleManager::with_config(
             Arc::clone(&tm),
             Arc::clone(&store),
             Arc::clone(&events),
             self.workers,
+            self.firing_parallelism,
             durable.clone(),
         )?;
         Ok(ActiveDatabase {
@@ -173,6 +187,12 @@ pub struct EngineStats {
     /// Errors buffered from separate-mode firings, not yet drained via
     /// [`ActiveDatabase::take_separate_errors`].
     pub separate_errors: u64,
+    /// Immediate/deferred action firings dispatched through the
+    /// parallel sibling pool (a subset of `actions_executed`).
+    pub firings_parallel: u64,
+    /// Sibling action jobs enqueued on the firing pool and not yet
+    /// claimed by any thread.
+    pub pool_queue_depth: u64,
 }
 
 /// The assembled active DBMS.
@@ -333,6 +353,8 @@ impl ActiveDatabase {
             deferred_firings: deferred_firings as u64,
             pool_outstanding: self.rules.pool_outstanding() as u64,
             separate_errors: self.rules.separate_error_count() as u64,
+            firings_parallel: s.firings_parallel.load(Relaxed),
+            pool_queue_depth: self.rules.firing_queue_depth() as u64,
         }
     }
 

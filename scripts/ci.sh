@@ -16,6 +16,12 @@ cargo test -q -p hipac-storage --test crash_matrix
 echo "==> serializability-checked stress suites"
 cargo test -q -p hipac --test chaos --test coupling_stress
 
+echo "==> parallel-firing differential suite (includes parallelism 2)"
+cargo test -q -p hipac --test parallel_firing
+
+echo "==> fanout bench smoke (N=16, 1 iteration, both parallelism levels)"
+cargo run --release -q -p hipac-bench --bin report -- --only fanout --smoke
+
 # The offline toolchain may ship without clippy; lint hard when present.
 if cargo clippy --version >/dev/null 2>&1; then
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -19,11 +19,14 @@ use hipac_object::LockKey;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-#[test]
-fn concurrent_mixed_workload_with_rules_and_aborts() {
+/// The whole chaos run, at a given sibling-firing parallelism. Every
+/// invariant below must hold identically in sequential mode and with
+/// rule groups firing concurrently.
+fn run_chaos(firing_parallelism: usize) {
     let db = Arc::new(
         ActiveDatabase::builder()
             .workers(4)
+            .firing_parallelism(firing_parallelism)
             .lock_timeout(std::time::Duration::from_millis(200))
             .build()
             .unwrap(),
@@ -193,4 +196,19 @@ fn concurrent_mixed_workload_with_rules_and_aborts() {
         "history covers the committed updates"
     );
     assert_eq!(recorder.active_count(), 0, "no transaction left unresolved");
+    assert_eq!(
+        db.rules().deferred_sizes(),
+        (0, 0),
+        "deferred table empty after the run"
+    );
+}
+
+#[test]
+fn concurrent_mixed_workload_with_rules_and_aborts() {
+    run_chaos(1);
+}
+
+#[test]
+fn concurrent_mixed_workload_with_parallel_firing() {
+    run_chaos(4);
 }

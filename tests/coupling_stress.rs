@@ -16,10 +16,11 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-fn build_db() -> (Arc<ActiveDatabase>, Arc<ScheduleRecorder<LockKey>>) {
+fn build_db(firing_parallelism: usize) -> (Arc<ActiveDatabase>, Arc<ScheduleRecorder<LockKey>>) {
     let db = Arc::new(
         ActiveDatabase::builder()
             .workers(4)
+            .firing_parallelism(firing_parallelism)
             .lock_timeout(std::time::Duration::from_millis(500))
             .build()
             .unwrap(),
@@ -89,9 +90,8 @@ fn rng(thread: u64) -> impl FnMut() -> u64 {
     }
 }
 
-#[test]
-fn deferred_coupling_under_concurrent_aborts_is_serializable() {
-    let (db, rec) = build_db();
+fn run_deferred_coupling(firing_parallelism: usize) {
+    let (db, rec) = build_db(firing_parallelism);
     let oids = setup_classes(&db);
     db.run_top(|t| {
         db.rules()
@@ -182,11 +182,25 @@ fn deferred_coupling_under_concurrent_aborts_is_serializable() {
         folded,
         "deferred firings' audit writes must appear in the triggering txn's write set"
     );
+    assert_eq!(
+        db.rules().deferred_sizes(),
+        (0, 0),
+        "deferred table empty after the run"
+    );
 }
 
 #[test]
-fn separate_coupling_under_concurrent_aborts_is_serializable() {
-    let (db, rec) = build_db();
+fn deferred_coupling_under_concurrent_aborts_is_serializable() {
+    run_deferred_coupling(1);
+}
+
+#[test]
+fn deferred_coupling_with_parallel_firing_is_serializable() {
+    run_deferred_coupling(4);
+}
+
+fn run_separate_coupling(firing_parallelism: usize) {
+    let (db, rec) = build_db(firing_parallelism);
     let oids = setup_classes(&db);
     db.run_top(|t| {
         db.rules()
@@ -254,4 +268,79 @@ fn separate_coupling_under_concurrent_aborts_is_serializable() {
     let history = rec.history();
     check_serializable(&history).unwrap_or_else(|v| panic!("{v}"));
     assert_eq!(rec.active_count(), 0, "no transaction left unresolved");
+}
+
+#[test]
+fn separate_coupling_under_concurrent_aborts_is_serializable() {
+    run_separate_coupling(1);
+}
+
+#[test]
+fn separate_coupling_with_parallel_firing_is_serializable() {
+    run_separate_coupling(4);
+}
+
+/// Hammer the deferred table itself: threads race signal-then-abort
+/// against signal-then-commit on a deferred rule, with a second thread
+/// group aborting *other* threads' staging work indirectly via lock
+/// conflicts. Whatever the interleaving, entries for aborted
+/// transactions must be removed by the abort hook — the table holds
+/// nothing once every transaction has resolved.
+#[test]
+fn deferred_table_cleared_under_signal_abort_races() {
+    let (db, _rec) = build_db(4);
+    let oids = setup_classes(&db);
+    db.run_top(|t| {
+        db.rules()
+            .create_rule(t, audit_rule(CouplingMode::Deferred))?;
+        Ok(())
+    })
+    .unwrap();
+
+    let mut handles = Vec::new();
+    for thread in 0..6u64 {
+        let db = Arc::clone(&db);
+        let oids = oids.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rand = rng(thread);
+            for i in 0..50i64 {
+                let oid = oids[(rand() % oids.len() as u64) as usize];
+                let t = db.begin();
+                // Possibly several signals per transaction: the entry
+                // accumulates multiple queued firings before resolving.
+                let signals = 1 + rand() % 3;
+                let mut poisoned = false;
+                for s in 0..signals as i64 {
+                    if db
+                        .store()
+                        .update(t, oid, &[("val", Value::from(i * 10 + s))])
+                        .is_err()
+                    {
+                        poisoned = true;
+                        break;
+                    }
+                }
+                // While the transaction still holds queued firings, the
+                // table must know about it.
+                if !poisoned {
+                    let (txns, entries) = db.rules().deferred_sizes();
+                    assert!(txns >= 1 && entries >= 1, "own entry visible");
+                }
+                if poisoned || rand() % 2 == 0 {
+                    let _ = db.abort(t);
+                } else {
+                    let _ = db.commit(t);
+                }
+            }
+        }));
+    }
+    for (idx, h) in handles.into_iter().enumerate() {
+        h.join().unwrap_or_else(|_| panic!("thread {idx} panicked"));
+    }
+    db.quiesce();
+    assert_eq!(
+        db.rules().deferred_sizes(),
+        (0, 0),
+        "entries for resolved transactions must not leak"
+    );
 }

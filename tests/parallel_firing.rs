@@ -1,0 +1,581 @@
+//! Differential proof of concurrent sibling rule firing.
+//!
+//! §3 of the paper fires the rules triggered by one event concurrently
+//! as sibling subtransactions, with serializability as the correctness
+//! criterion. The engine's `firing_parallelism` knob turns that on;
+//! these tests are the proof that it is *safe*: every workload here
+//! runs twice — once at parallelism 1 (the sequential reference) and
+//! once at parallelism N — and the committed store state must come out
+//! identical. On top of that, each parallel run records its lock-grant
+//! schedule through `hipac-check` and must be conflict-serializable
+//! with zero cycle witnesses.
+//!
+//! State comparison is oid-independent (sibling order may permute oid
+//! allocation): per class, the multiset of row value vectors.
+
+use hipac::prelude::*;
+use hipac_check::{check_serializable, ScheduleRecorder};
+use hipac_object::LockKey;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn build_db(parallelism: usize) -> (Arc<ActiveDatabase>, Arc<ScheduleRecorder<LockKey>>) {
+    let db = Arc::new(
+        ActiveDatabase::builder()
+            .workers(2)
+            .firing_parallelism(parallelism)
+            .lock_timeout(std::time::Duration::from_millis(500))
+            .build()
+            .unwrap(),
+    );
+    let rec: Arc<ScheduleRecorder<LockKey>> = ScheduleRecorder::new();
+    rec.attach(db.store().locks());
+    db.txn()
+        .register_resource(Arc::clone(&rec) as Arc<dyn hipac_txn::ResourceManager>);
+    (db, rec)
+}
+
+/// Committed rows per class, as a sorted multiset of value vectors:
+/// equal maps mean equal observable database state.
+fn dump_state(db: &ActiveDatabase, classes: &[&str]) -> BTreeMap<String, Vec<String>> {
+    db.run_top(|t| {
+        let mut out = BTreeMap::new();
+        for class in classes {
+            let mut rows: Vec<String> = db
+                .store()
+                .query(t, &Query::all(*class), None)?
+                .into_iter()
+                .map(|r| format!("{:?}", r.values))
+                .collect();
+            rows.sort();
+            out.insert((*class).to_string(), rows);
+        }
+        Ok(out)
+    })
+    .unwrap()
+}
+
+/// Run a workload at parallelism 1 and at `parallelism`, assert the
+/// committed state matches, the parallel schedule is serializable, and
+/// the deferred table drained.
+fn differential(
+    classes: &[&str],
+    parallelism: usize,
+    setup: impl Fn(&ActiveDatabase),
+    workload: impl Fn(&ActiveDatabase),
+) {
+    let (seq_db, _) = build_db(1);
+    setup(&seq_db);
+    workload(&seq_db);
+    seq_db.quiesce();
+    let reference = dump_state(&seq_db, classes);
+
+    let (par_db, rec) = build_db(parallelism);
+    setup(&par_db);
+    workload(&par_db);
+    par_db.quiesce();
+    let state = dump_state(&par_db, classes);
+
+    assert_eq!(
+        reference, state,
+        "committed state at parallelism {parallelism} diverged from sequential"
+    );
+    check_serializable(&rec.history()).unwrap_or_else(|v| panic!("{v}"));
+    assert_eq!(rec.active_count(), 0, "no transaction left unresolved");
+    assert_eq!(
+        par_db.rules().deferred_sizes(),
+        (0, 0),
+        "deferred table drained after the run"
+    );
+}
+
+fn fanout_setup(n: usize) -> impl Fn(&ActiveDatabase) {
+    move |db: &ActiveDatabase| {
+        db.run_top(|t| {
+            db.store().create_class(
+                t,
+                "src",
+                None,
+                vec![AttrDef::new("val", ValueType::Int)],
+            )?;
+            db.store().create_class(
+                t,
+                "sink",
+                None,
+                vec![
+                    AttrDef::new("rule", ValueType::Int),
+                    AttrDef::new("val", ValueType::Int),
+                ],
+            )?;
+            db.store().insert(t, "src", vec![Value::from(0)])?;
+            for i in 0..n {
+                db.rules().create_rule(
+                    t,
+                    RuleDef::new(format!("fan-{i}"))
+                        .on(EventSpec::on_update("src"))
+                        .then(Action::single(ActionOp::Db(DbAction::Insert {
+                            class: "sink".into(),
+                            values: vec![
+                                Expr::lit(i as i64),
+                                Expr::NewAttr("val".into()),
+                            ],
+                        }))),
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+fn src_oid(db: &ActiveDatabase) -> ObjectId {
+    db.run_top(|t| Ok(db.store().query(t, &Query::all("src"), None)?[0].oid))
+        .unwrap()
+}
+
+/// One event → 16 sibling actions, repeated; the core fan-out shape.
+/// Parallelism 2 is the configuration `scripts/ci.sh` smokes.
+#[test]
+fn fanout_differential_at_parallelism_2_and_4() {
+    for parallelism in [2, 4] {
+        differential(
+            &["src", "sink"],
+            parallelism,
+            fanout_setup(16),
+            |db| {
+                let oid = src_oid(db);
+                for round in 0..8i64 {
+                    db.run_top(|t| {
+                        db.store().update(t, oid, &[("val", Value::from(round))])
+                    })
+                    .unwrap();
+                }
+            },
+        );
+    }
+}
+
+/// The parallel path is actually taken: firings_parallel counts the
+/// sibling actions dispatched through the pool, and the queue gauge
+/// settles back to zero.
+#[test]
+fn fanout_engages_the_firing_pool() {
+    let (db, _) = build_db(4);
+    fanout_setup(16)(&db);
+    let oid = src_oid(&db);
+    db.run_top(|t| db.store().update(t, oid, &[("val", Value::from(7))]))
+        .unwrap();
+    let stats = db.stats();
+    assert_eq!(stats.actions_executed, 16);
+    assert_eq!(
+        stats.firings_parallel, 16,
+        "all sibling actions of the group went through the pool"
+    );
+    assert_eq!(stats.pool_queue_depth, 0, "queue settles after the batch");
+
+    // Sequential engines never report parallel firings.
+    let (db1, _) = build_db(1);
+    fanout_setup(16)(&db1);
+    let oid = src_oid(&db1);
+    db1.run_top(|t| db1.store().update(t, oid, &[("val", Value::from(7))]))
+        .unwrap();
+    assert_eq!(db1.stats().firings_parallel, 0);
+    assert_eq!(db1.stats().actions_executed, 16);
+}
+
+/// Cascades: each insert into level i fans out to 3 inserts into level
+/// i+1, three levels deep (1 → 3 → 9 → 27 rows). Workers re-enter the
+/// pool from inside jobs; the overflow-to-caller rule keeps this
+/// deadlock-free even with parallelism below the fan-out.
+#[test]
+fn cascade_differential() {
+    let classes = ["c0", "c1", "c2", "c3"];
+    differential(
+        &classes,
+        3,
+        |db| {
+            db.run_top(|t| {
+                for c in &classes {
+                    db.store().create_class(
+                        t,
+                        c,
+                        None,
+                        vec![AttrDef::new("val", ValueType::Int)],
+                    )?;
+                }
+                for level in 0..3usize {
+                    for branch in 0..3i64 {
+                        db.rules().create_rule(
+                            t,
+                            RuleDef::new(format!("cascade-{level}-{branch}"))
+                                .on(EventSpec::db(
+                                    DbEventKind::Insert,
+                                    Some(classes[level]),
+                                ))
+                                .then(Action::single(ActionOp::Db(DbAction::Insert {
+                                    class: classes[level + 1].into(),
+                                    values: vec![Expr::NewAttr("val".into())
+                                        .bin(BinOp::Mul, Expr::lit(10))
+                                        .bin(BinOp::Add, Expr::lit(branch))],
+                                }))),
+                        )?;
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+        },
+        |db| {
+            db.run_top(|t| {
+                db.store().insert(t, "c0", vec![Value::from(1)])?;
+                Ok(())
+            })
+            .unwrap();
+        },
+    );
+}
+
+/// Mixed E-C couplings in one engine: immediate audit, deferred audit,
+/// and an immediate integrity constraint that rejects negative values.
+/// Violating transactions abort identically in both modes.
+#[test]
+fn mixed_couplings_with_aborts_differential() {
+    let setup = |db: &ActiveDatabase| {
+        db.run_top(|t| {
+            db.store().create_class(
+                t,
+                "acct",
+                None,
+                vec![AttrDef::new("val", ValueType::Int)],
+            )?;
+            db.store().create_class(
+                t,
+                "log_imm",
+                None,
+                vec![AttrDef::new("val", ValueType::Int)],
+            )?;
+            db.store().create_class(
+                t,
+                "log_def",
+                None,
+                vec![AttrDef::new("val", ValueType::Int)],
+            )?;
+            for _ in 0..4 {
+                db.store().insert(t, "acct", vec![Value::from(0)])?;
+            }
+            db.rules().create_rule(
+                t,
+                RuleDef::new("audit-imm")
+                    .on(EventSpec::on_update("acct"))
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "log_imm".into(),
+                        values: vec![Expr::NewAttr("val".into())],
+                    })))
+                    .ec(CouplingMode::Immediate),
+            )?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("audit-def")
+                    .on(EventSpec::on_update("acct"))
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "log_def".into(),
+                        values: vec![Expr::NewAttr("val".into())],
+                    })))
+                    .ec(CouplingMode::Deferred),
+            )?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("non-negative")
+                    .on(EventSpec::on_update("acct"))
+                    .when(
+                        Query::parse("from acct where new.val < 0").unwrap(),
+                    )
+                    .then(Action::single(ActionOp::AbortWith {
+                        message: "negative balance".into(),
+                    })),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    };
+    differential(&["acct", "log_imm", "log_def"], 4, setup, |db| {
+        let oids = db
+            .run_top(|t| {
+                Ok(db
+                    .store()
+                    .query(t, &Query::all("acct"), None)?
+                    .into_iter()
+                    .map(|r| r.oid)
+                    .collect::<Vec<_>>())
+            })
+            .unwrap();
+        for (i, oid) in oids.iter().cycle().take(12).enumerate() {
+            // Every third update violates the constraint and must
+            // abort without leaving audit rows behind.
+            let val = if i % 3 == 2 { -1i64 } else { i as i64 };
+            let r = db.run_top(|t| {
+                db.store().update(t, *oid, &[("val", Value::from(val))])
+            });
+            assert_eq!(r.is_err(), val < 0, "constraint verdict for val={val}");
+        }
+    });
+}
+
+/// First-error-wins: when one sibling of a fan-out group fails, the
+/// group error aborts the triggering transaction, and the committed
+/// state is identical to the sequential engine's (none of the group's
+/// effects survive, however many siblings had already committed).
+#[test]
+fn failing_sibling_differential() {
+    let setup = |db: &ActiveDatabase| {
+        fanout_setup(8)(db);
+        db.run_top(|t| {
+            // One more rule in the same group whose action always
+            // fails: insert into a class that does not exist.
+            db.rules().create_rule(
+                t,
+                RuleDef::new("saboteur")
+                    .on(EventSpec::on_update("src"))
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "no_such_class".into(),
+                        values: vec![Expr::lit(0)],
+                    }))),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    };
+    differential(&["src", "sink"], 4, setup, |db| {
+        let oid = src_oid(db);
+        let err = db
+            .run_top(|t| db.store().update(t, oid, &[("val", Value::from(5))]))
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("no_such_class") || msg.contains("class"),
+            "group error surfaces the failing sibling: {msg}"
+        );
+    });
+}
+
+/// Randomized commuting rule sets: R lanes, each a chain
+/// `src[slot==i] → sink_i → tail_i` with a random E-C coupling per
+/// rule. Lanes touch disjoint sink classes, so the rules commute and
+/// the parallel outcome must equal the sequential one for any schedule.
+#[test]
+fn randomized_commuting_rules_differential() {
+    for seed in 1..=5u64 {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        const LANES: usize = 6;
+        let ec: Vec<CouplingMode> = (0..LANES * 2)
+            .map(|_| {
+                if rand() % 2 == 0 {
+                    CouplingMode::Immediate
+                } else {
+                    CouplingMode::Deferred
+                }
+            })
+            .collect();
+        let ops: Vec<(usize, i64)> = (0..24)
+            .map(|_| ((rand() % LANES as u64) as usize, (rand() % 100) as i64))
+            .collect();
+
+        let mut classes: Vec<String> = vec!["src".into()];
+        for i in 0..LANES {
+            classes.push(format!("sink_{i}"));
+            classes.push(format!("tail_{i}"));
+        }
+        let class_refs: Vec<&str> = classes.iter().map(|s| s.as_str()).collect();
+
+        let ec_setup = ec.clone();
+        let setup = move |db: &ActiveDatabase| {
+            db.run_top(|t| {
+                db.store().create_class(
+                    t,
+                    "src",
+                    None,
+                    vec![
+                        AttrDef::new("slot", ValueType::Int).indexed(),
+                        AttrDef::new("val", ValueType::Int),
+                    ],
+                )?;
+                for i in 0..LANES {
+                    for stage in ["sink", "tail"] {
+                        db.store().create_class(
+                            t,
+                            &format!("{stage}_{i}"),
+                            None,
+                            vec![AttrDef::new("val", ValueType::Int)],
+                        )?;
+                    }
+                    db.store()
+                        .insert(t, "src", vec![Value::from(i as i64), Value::from(0)])?;
+                    db.rules().create_rule(
+                        t,
+                        RuleDef::new(format!("lane-{i}"))
+                            .on(EventSpec::on_update("src"))
+                            .when(
+                                Query::parse(&format!(
+                                    "from src where new.slot = {i}"
+                                ))
+                                .unwrap(),
+                            )
+                            .then(Action::single(ActionOp::Db(DbAction::Insert {
+                                class: format!("sink_{i}"),
+                                values: vec![Expr::NewAttr("val".into())],
+                            })))
+                            .ec(ec_setup[i * 2]),
+                    )?;
+                    db.rules().create_rule(
+                        t,
+                        RuleDef::new(format!("lane-{i}-chain"))
+                            .on(EventSpec::db(
+                                DbEventKind::Insert,
+                                Some(&format!("sink_{i}")),
+                            ))
+                            .then(Action::single(ActionOp::Db(DbAction::Insert {
+                                class: format!("tail_{i}"),
+                                values: vec![Expr::NewAttr("val".into())
+                                    .bin(BinOp::Add, Expr::lit(1))],
+                            })))
+                            .ec(ec_setup[i * 2 + 1]),
+                    )?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        };
+
+        let ops_run = ops.clone();
+        differential(&class_refs, 4, setup, move |db| {
+            let by_slot: Vec<ObjectId> = db
+                .run_top(|t| {
+                    let mut rows = db.store().query(t, &Query::all("src"), None)?;
+                    rows.sort_by_key(|r| match r.values[0] {
+                        Value::Int(i) => i,
+                        _ => 0,
+                    });
+                    Ok(rows.into_iter().map(|r| r.oid).collect())
+                })
+                .unwrap();
+            for (slot, val) in &ops_run {
+                db.run_top(|t| {
+                    db.store()
+                        .update(t, by_slot[*slot], &[("val", Value::from(*val))])
+                })
+                .unwrap();
+            }
+        });
+    }
+}
+
+/// Concurrent writers at parallelism 4: every transaction's deferred
+/// entries either fire at its commit or vanish with its abort; the
+/// table never leaks and the parallel schedule stays serializable.
+#[test]
+fn deferred_table_never_leaks_under_parallel_firing() {
+    let (db, rec) = build_db(4);
+    db.run_top(|t| {
+        db.store().create_class(
+            t,
+            "acct",
+            None,
+            vec![AttrDef::new("val", ValueType::Int)],
+        )?;
+        db.store()
+            .create_class(t, "audit", None, vec![AttrDef::new("val", ValueType::Int)])?;
+        for _ in 0..4 {
+            db.store().insert(t, "acct", vec![Value::from(0)])?;
+        }
+        // Two deferred rules so each commit fires a (parallelizable)
+        // group of two siblings.
+        for r in 0..2 {
+            db.rules().create_rule(
+                t,
+                RuleDef::new(format!("audit-{r}"))
+                    .on(EventSpec::on_update("acct"))
+                    .then(Action::single(ActionOp::Db(DbAction::Insert {
+                        class: "audit".into(),
+                        values: vec![Expr::NewAttr("val".into())],
+                    })))
+                    .ec(CouplingMode::Deferred),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let oids = db
+        .run_top(|t| {
+            Ok(db
+                .store()
+                .query(t, &Query::all("acct"), None)?
+                .into_iter()
+                .map(|r| r.oid)
+                .collect::<Vec<_>>())
+        })
+        .unwrap();
+
+    let committed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for thread in 0..4u64 {
+        let db = Arc::clone(&db);
+        let oids = oids.clone();
+        let committed = Arc::clone(&committed);
+        handles.push(std::thread::spawn(move || {
+            let mut x = thread.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut rand = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            for _ in 0..30 {
+                let oid = oids[(rand() % oids.len() as u64) as usize];
+                let val = (rand() % 1000) as i64;
+                if rand() % 2 == 0 {
+                    loop {
+                        match db.run_top(|t| {
+                            db.store().update(t, oid, &[("val", Value::from(val))])
+                        }) {
+                            Ok(()) => {
+                                committed.fetch_add(1, Ordering::SeqCst);
+                                break;
+                            }
+                            Err(e) if e.is_txn_fatal() => continue,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                } else {
+                    // Signal, then abort: the queued deferred firings
+                    // must be discarded with the transaction.
+                    let t = db.begin();
+                    let _ = db.store().update(t, oid, &[("val", Value::from(val))]);
+                    let _ = db.abort(t);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    db.quiesce();
+
+    assert_eq!(db.rules().deferred_sizes(), (0, 0), "deferred table leaked");
+    let audit = db
+        .run_top(|t| Ok(db.store().query(t, &Query::all("audit"), None)?.len() as u64))
+        .unwrap();
+    assert_eq!(
+        audit,
+        2 * committed.load(Ordering::SeqCst),
+        "two audit rows per committed update, none for aborted ones"
+    );
+    check_serializable(&rec.history()).unwrap_or_else(|v| panic!("{v}"));
+    assert_eq!(rec.active_count(), 0);
+}
