@@ -28,9 +28,16 @@
 //! number therefore orders conflicting accesses exactly as the data
 //! manager executed them. Non-conflicting grants may interleave
 //! arbitrarily; the checker never draws edges from them.
+//!
+//! [`ChaosProxy`] extends the same discipline across the wire: a
+//! deterministic seeded TCP relay that injects delays, partial writes,
+//! mid-frame resets and drops between a `hipac-net` client and server,
+//! so exactly-once and drain guarantees can be checked under failure.
 
 pub mod conflict;
+pub mod netchaos;
 pub mod schedule;
 
 pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
+pub use netchaos::{ChaosConfig, ChaosFault, ChaosHit, ChaosProxy, ChaosStats};
 pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};

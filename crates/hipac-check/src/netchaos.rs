@@ -1,0 +1,490 @@
+//! Deterministic chaos TCP proxy — the network analogue of the
+//! storage layer's `FaultPolicy`.
+//!
+//! [`ChaosProxy`] listens on an ephemeral local port and relays every
+//! connection to an upstream address (the real `hipac-net` server).
+//! Each relayed chunk passes through a seeded fault policy that can
+//! inject:
+//!
+//! * **delays** — a short sleep before forwarding, simulating
+//!   congestion and widening race windows;
+//! * **partial writes** — the chunk is split and flushed in two pieces,
+//!   exercising the resumable frame readers on both ends;
+//! * **mid-frame resets** — a *prefix* of the chunk is forwarded and
+//!   then both directions are torn down, leaving the peer with a
+//!   half-delivered frame;
+//! * **drops** — the connection is torn down without forwarding the
+//!   chunk at all (a lost request, or a lost reply).
+//!
+//! All decisions come from a per-connection xorshift64* stream derived
+//! from a master seed, so a failing run is exactly reproducible from
+//! its seed. Every injected fault is counted and appended to a bounded
+//! log for post-mortem assertions (`stats()`, `log()`), mirroring the
+//! observability contract of the storage `FaultPolicy`.
+
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the policy decided to do with one relayed chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Sleep briefly, then forward the chunk intact.
+    Delay,
+    /// Forward the chunk in two flushed pieces.
+    PartialWrite,
+    /// Forward a prefix of the chunk, then reset the connection.
+    MidFrameReset,
+    /// Tear the connection down without forwarding the chunk.
+    Drop,
+}
+
+/// Seeded fault policy for the proxy. Rates are in basis points
+/// (1/10000) per relayed chunk; `0` yields a transparent relay.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; each connection derives its own PRNG stream.
+    pub seed: u64,
+    /// Probability (basis points per chunk) that *any* fault fires.
+    pub fault_rate_bp: u32,
+    /// Upper bound for injected delays.
+    pub max_delay: Duration,
+}
+
+impl ChaosConfig {
+    /// A policy with the given seed and fault probability in percent.
+    pub fn percent(seed: u64, percent: u32) -> Self {
+        ChaosConfig {
+            seed,
+            fault_rate_bp: percent * 100,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+
+    /// A transparent relay (no faults) — useful for baseline runs.
+    pub fn clean() -> Self {
+        ChaosConfig::percent(0, 0)
+    }
+}
+
+/// Counters for every fault the proxy injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted and relayed.
+    pub connections: u64,
+    /// Chunks delayed before forwarding.
+    pub delays: u64,
+    /// Chunks forwarded as two flushed pieces.
+    pub partial_writes: u64,
+    /// Connections reset mid-frame (prefix forwarded).
+    pub resets: u64,
+    /// Connections dropped without forwarding the chunk.
+    pub drops: u64,
+}
+
+impl ChaosStats {
+    /// Total destructive faults (resets + drops).
+    pub fn teardowns(&self) -> u64 {
+        self.resets + self.drops
+    }
+
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.delays + self.partial_writes + self.resets + self.drops
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    delays: AtomicU64,
+    partial_writes: AtomicU64,
+    resets: AtomicU64,
+    drops: AtomicU64,
+}
+
+/// One entry in the fault log: which connection, which direction, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosHit {
+    /// Connection ordinal (accept order, from 0).
+    pub conn: u64,
+    /// True for client→server chunks, false for server→client.
+    pub to_server: bool,
+    /// The injected fault.
+    pub fault: ChaosFault,
+}
+
+const LOG_CAP: usize = 4096;
+
+struct Shared {
+    cfg: ChaosConfig,
+    counters: Counters,
+    log: Mutex<Vec<ChaosHit>>,
+    /// Live relayed sockets, for forced teardown and shutdown.
+    live: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+}
+
+/// Deterministic chaos TCP relay. See the module docs.
+pub struct ChaosProxy {
+    shared: Arc<Shared>,
+    local: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy relaying `127.0.0.1:<ephemeral>` to `upstream`.
+    pub fn spawn(upstream: SocketAddr, cfg: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cfg,
+            counters: Counters::default(),
+            log: Mutex::new(Vec::new()),
+            live: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(listener, upstream, accept_shared))
+            .expect("spawn chaos accept thread");
+        Ok(ChaosProxy {
+            shared,
+            local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Snapshot of the injected-fault counters.
+    pub fn stats(&self) -> ChaosStats {
+        let c = &self.shared.counters;
+        ChaosStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            delays: c.delays.load(Ordering::Relaxed),
+            partial_writes: c.partial_writes.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            drops: c.drops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The (bounded) log of injected faults, in injection order.
+    pub fn log(&self) -> Vec<ChaosHit> {
+        self.shared.log.lock().clone()
+    }
+
+    /// Forcibly tear down every live relayed connection. New
+    /// connections are still accepted — this simulates a transient
+    /// network partition and is the deterministic way to force a
+    /// client reconnect in tests.
+    pub fn break_connections(&self) {
+        let mut live = self.shared.live.lock();
+        for s in live.drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stop accepting, tear down all relayed connections, and join the
+    /// accept thread.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.break_connections();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, upstream: SocketAddr, shared: Arc<Shared>) {
+    let mut conn_index: u64 = 0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let upstream_conn = match TcpStream::connect_timeout(
+                    &upstream,
+                    Duration::from_secs(5),
+                ) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Upstream gone (e.g. server drained): refuse by
+                        // closing, which the client sees as a transport
+                        // error.
+                        drop(client);
+                        continue;
+                    }
+                };
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = conn_index;
+                conn_index += 1;
+                {
+                    let mut live = shared.live.lock();
+                    if let (Ok(c), Ok(u)) = (client.try_clone(), upstream_conn.try_clone()) {
+                        live.push(c);
+                        live.push(u);
+                    }
+                }
+                spawn_pumps(client, upstream_conn, conn, &shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Spawn the two relay pumps for one connection. Each direction gets
+/// its own PRNG stream so decisions stay deterministic regardless of
+/// thread scheduling between the two pumps.
+fn spawn_pumps(client: TcpStream, upstream: TcpStream, conn: u64, shared: &Arc<Shared>) {
+    let c2s = (
+        match client.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+        match upstream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        },
+    );
+    let s2c = (upstream, client);
+    for (to_server, (src, dst)) in [(true, c2s), (false, s2c)] {
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name(format!("chaos-pump-{conn}"))
+            .spawn(move || pump(src, dst, conn, to_server, shared));
+    }
+}
+
+fn record_hit(shared: &Shared, hit: ChaosHit) {
+    let mut log = shared.log.lock();
+    if log.len() < LOG_CAP {
+        log.push(hit);
+    }
+}
+
+fn pump(mut src: TcpStream, mut dst: TcpStream, conn: u64, to_server: bool, shared: Arc<Shared>) {
+    // Distinct stream per (connection, direction).
+    let stream_id = conn.wrapping_mul(2).wrapping_add(to_server as u64);
+    let mut rng = Xorshift::new(shared.cfg.seed ^ splitmix64(stream_id.wrapping_add(1)));
+    let mut buf = [0u8; 4096];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &buf[..n];
+        match decide(&mut rng, &shared.cfg) {
+            None => {
+                if dst.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            Some(ChaosFault::Delay) => {
+                shared.counters.delays.fetch_add(1, Ordering::Relaxed);
+                record_hit(&shared, ChaosHit { conn, to_server, fault: ChaosFault::Delay });
+                let max = shared.cfg.max_delay.as_micros().max(1) as u64;
+                std::thread::sleep(Duration::from_micros(1 + rng.next() % max));
+                if dst.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            Some(ChaosFault::PartialWrite) => {
+                shared.counters.partial_writes.fetch_add(1, Ordering::Relaxed);
+                record_hit(
+                    &shared,
+                    ChaosHit { conn, to_server, fault: ChaosFault::PartialWrite },
+                );
+                let split = 1 + (rng.next() as usize) % n.max(1);
+                let ok = dst.write_all(&chunk[..split.min(n)]).is_ok()
+                    && dst.flush().is_ok()
+                    && {
+                        std::thread::sleep(Duration::from_micros(200));
+                        dst.write_all(&chunk[split.min(n)..]).is_ok()
+                    };
+                if !ok {
+                    break;
+                }
+            }
+            Some(ChaosFault::MidFrameReset) => {
+                shared.counters.resets.fetch_add(1, Ordering::Relaxed);
+                record_hit(
+                    &shared,
+                    ChaosHit { conn, to_server, fault: ChaosFault::MidFrameReset },
+                );
+                let prefix = (rng.next() as usize) % n;
+                if prefix > 0 {
+                    let _ = dst.write_all(&chunk[..prefix]);
+                    let _ = dst.flush();
+                }
+                let _ = dst.shutdown(Shutdown::Both);
+                let _ = src.shutdown(Shutdown::Both);
+                break;
+            }
+            Some(ChaosFault::Drop) => {
+                shared.counters.drops.fetch_add(1, Ordering::Relaxed);
+                record_hit(&shared, ChaosHit { conn, to_server, fault: ChaosFault::Drop });
+                let _ = dst.shutdown(Shutdown::Both);
+                let _ = src.shutdown(Shutdown::Both);
+                break;
+            }
+        }
+    }
+    // Mirror EOF/teardown to the peer so half-open relays don't hang.
+    let _ = dst.shutdown(Shutdown::Both);
+}
+
+/// Per-chunk decision. Destructive faults (reset/drop) are rarer than
+/// benign ones (delay/partial) so a faulted run still makes progress.
+fn decide(rng: &mut Xorshift, cfg: &ChaosConfig) -> Option<ChaosFault> {
+    if cfg.fault_rate_bp == 0 {
+        return None;
+    }
+    if rng.next() % 10_000 >= cfg.fault_rate_bp as u64 {
+        return None;
+    }
+    Some(match rng.next() % 100 {
+        0..=44 => ChaosFault::Delay,
+        45..=69 => ChaosFault::PartialWrite,
+        70..=84 => ChaosFault::MidFrameReset,
+        _ => ChaosFault::Drop,
+    })
+}
+
+/// xorshift64* — tiny, deterministic, good enough for fault schedules.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Xorshift(splitmix64(seed.max(1)))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// A trivial echo server for exercising the relay.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            // Serve a handful of connections, then exit.
+            for _ in 0..64 {
+                let (mut s, _) = match listener.accept() {
+                    Ok(x) => x,
+                    Err(_) => return,
+                };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn clean_policy_is_transparent() {
+        let (addr, _h) = echo_server();
+        let proxy = ChaosProxy::spawn(addr, ChaosConfig::clean()).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+        assert_eq!(proxy.stats().total(), 0);
+        assert_eq!(proxy.stats().connections, 1);
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<Option<ChaosFault>> {
+            let cfg = ChaosConfig::percent(seed, 20);
+            let mut rng = Xorshift::new(cfg.seed ^ splitmix64(1));
+            (0..200).map(|_| decide(&mut rng, &cfg)).collect()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8), "different seeds diverge");
+        assert!(draw(7).iter().any(|f| f.is_some()), "20% rate injects");
+    }
+
+    #[test]
+    fn full_rate_injects_and_counts() {
+        let (addr, _h) = echo_server();
+        let proxy = ChaosProxy::spawn(addr, ChaosConfig::percent(3, 100)).unwrap();
+        // Every chunk faults; drive until we have observed teardowns.
+        for _ in 0..32 {
+            let mut c = match TcpStream::connect(proxy.local_addr()) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            c.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+            let _ = c.write_all(b"ping");
+            let mut buf = [0u8; 4];
+            let _ = c.read_exact(&mut buf);
+        }
+        let stats = proxy.stats();
+        assert!(stats.total() > 0, "faults injected: {stats:?}");
+        assert_eq!(stats.total(), proxy.log().len() as u64);
+    }
+
+    #[test]
+    fn break_connections_resets_live_relays() {
+        let (addr, _h) = echo_server();
+        let proxy = ChaosProxy::spawn(addr, ChaosConfig::clean()).unwrap();
+        let mut c = TcpStream::connect(proxy.local_addr()).unwrap();
+        c.write_all(b"x").unwrap();
+        let mut buf = [0u8; 1];
+        c.read_exact(&mut buf).unwrap();
+        proxy.break_connections();
+        c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let gone = matches!(c.read(&mut buf), Ok(0) | Err(_));
+        assert!(gone, "relay torn down");
+        // New connections still work.
+        let mut c2 = TcpStream::connect(proxy.local_addr()).unwrap();
+        c2.write_all(b"y").unwrap();
+        c2.read_exact(&mut buf).unwrap();
+        assert_eq!(buf[0], b'y');
+    }
+}

@@ -45,6 +45,10 @@ pub enum HipacError {
     TxnAborted(TxnId),
     /// A subtransaction operation referenced a parent that is not active.
     ParentNotActive(TxnId),
+    /// The request's deadline passed while the transaction was waiting
+    /// (e.g. in a lock queue); the transaction aborted cleanly rather
+    /// than keep the caller hanging.
+    DeadlineExceeded(TxnId),
 
     // ---- events & rules ----
     /// An event name or id did not resolve.
@@ -97,6 +101,7 @@ impl HipacError {
             HipacError::Deadlock(_)
                 | HipacError::TxnAborted(_)
                 | HipacError::LockTimeout(_)
+                | HipacError::DeadlineExceeded(_)
         )
     }
 
@@ -125,6 +130,9 @@ impl fmt::Display for HipacError {
             LockTimeout(id) => write!(f, "transaction {id}: lock wait timed out"),
             TxnAborted(id) => write!(f, "transaction {id} is aborted"),
             ParentNotActive(id) => write!(f, "parent transaction {id} is not active"),
+            DeadlineExceeded(id) => {
+                write!(f, "transaction {id} aborted: request deadline exceeded")
+            }
             UnknownEvent(name) => write!(f, "unknown event: {name}"),
             UnknownRule(name) => write!(f, "unknown rule: {name}"),
             DuplicateRule(name) => write!(f, "rule already defined: {name}"),
@@ -186,6 +194,7 @@ mod tests {
         assert!(HipacError::Deadlock(TxnId(1)).is_txn_fatal());
         assert!(HipacError::TxnAborted(TxnId(1)).is_txn_fatal());
         assert!(HipacError::LockTimeout(TxnId(1)).is_txn_fatal());
+        assert!(HipacError::DeadlineExceeded(TxnId(1)).is_txn_fatal());
         assert!(!HipacError::UnknownClass("x".into()).is_txn_fatal());
     }
 

@@ -1,5 +1,5 @@
 //! [`HipacClient`]: blocking request/response client with push-frame
-//! delivery.
+//! delivery and transparent failure recovery.
 //!
 //! A background reader thread demultiplexes the socket: responses are
 //! routed to the issuing caller by request id (so the client is safe to
@@ -7,95 +7,312 @@
 //! frames — application requests from rule actions, the paper's §4.1
 //! role reversal — are dispatched to handlers registered with
 //! [`HipacClient::on_push`] / [`HipacClient::subscribe`].
+//!
+//! ## Resilience
+//!
+//! A transport failure (socket error, connection reset, server
+//! restart) no longer poisons the client: the dead connection is torn
+//! down and the next request redials with exponential backoff and
+//! jitter, re-subscribing every handler the client serves. Each
+//! request carries an idempotency key — a stable per-client id plus a
+//! monotonic sequence number — and a retry re-sends the *same* key, so
+//! the server's dedup window replays the cached reply instead of
+//! re-executing: an acked command applies exactly once even when the
+//! ack was lost in transit. When retries are exhausted the caller gets
+//! [`WireError::Transport`], meaning the outcome of the *last* attempt
+//! is unknown (at-most-once). Per-request deadlines ride in the
+//! request metadata — the server bounds lock waits with them — and
+//! expire locally as [`WireError::Timeout`].
 
-use crate::proto::{Command, Frame, PushEvent, Reply, WireAttr, WireError, WireRow, WireStats, PROTOCOL_VERSION};
+use crate::proto::{
+    Command, Frame, PushEvent, Reply, RequestMeta, WireAttr, WireError, WireRow, WireStats,
+    PROTOCOL_VERSION,
+};
 use hipac_common::{TxnId, Value};
 use hipac_object::AttrDef;
 use hipac_rules::RuleDef;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Callback invoked on a push frame.
 pub type PushHandler = Box<dyn Fn(&PushEvent) + Send + Sync>;
 
 type Pending = Mutex<HashMap<u64, crossbeam::channel::Sender<Reply>>>;
 
+/// Tuning knobs for [`HipacClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Attempts beyond the first after a transport failure. Retries
+    /// re-send the same idempotency key, so they are exactly-once
+    /// against a v3 server. `0` fails fast.
+    pub max_retries: u32,
+    /// Base reconnect backoff; attempt `n` waits `backoff * 2^(n-1)`
+    /// plus deterministic jitter, capped at one second.
+    pub backoff: Duration,
+    /// Deadline applied to every request that does not carry its own
+    /// (see [`HipacClient::request_with_deadline`]). `None` waits
+    /// indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// Stable client identity for the server's dedup window. `0`
+    /// generates a process-unique one.
+    pub client_id: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 3,
+            backoff: Duration::from_millis(10),
+            default_deadline: None,
+            client_id: 0,
+        }
+    }
+}
+
+/// One live TCP connection: writer half, response router, reader
+/// thread. Torn down and replaced wholesale on any transport error.
+struct Conn {
+    writer: Mutex<TcpStream>,
+    pending: Arc<Pending>,
+    dead: Arc<AtomicBool>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Conn {
+    fn dial(
+        addrs: &[SocketAddr],
+        handlers: &Arc<RwLock<HashMap<String, PushHandler>>>,
+    ) -> Result<Conn, WireError> {
+        let stream = TcpStream::connect(addrs)?;
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+        let pending: Arc<Pending> = Arc::new(Mutex::new(HashMap::new()));
+        let dead = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let pending = Arc::clone(&pending);
+            let handlers = Arc::clone(handlers);
+            let dead = Arc::clone(&dead);
+            std::thread::Builder::new()
+                .name("hipac-net-client-reader".to_owned())
+                .spawn(move || read_loop(reader_stream, &pending, &handlers, &dead))
+                .expect("spawn client reader")
+        };
+        Ok(Conn {
+            writer: Mutex::new(stream),
+            pending,
+            dead,
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// Close the socket and join the reader; blocked callers wake with
+    /// a transport error when the reader clears the pending table.
+    fn teardown(&self) {
+        self.dead.store(true, Ordering::Release);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+        if let Some(t) = self.reader.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
 /// A connection to a [`crate::HipacServer`].
 pub struct HipacClient {
-    writer: Mutex<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    client_id: u64,
     next_id: AtomicU64,
-    pending: Arc<Pending>,
+    next_seq: AtomicU64,
+    conn: Mutex<Option<Arc<Conn>>>,
     handlers: Arc<RwLock<HashMap<String, PushHandler>>>,
-    closed: Arc<AtomicBool>,
-    reader: Option<JoinHandle<()>>,
+    /// Handlers the server knows this client serves; re-subscribed on
+    /// every reconnect.
+    subscribed: Mutex<HashSet<String>>,
+    closed: AtomicBool,
 }
 
 impl HipacClient {
     /// Connect and verify protocol compatibility with a ping.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<HipacClient, WireError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader_stream = stream.try_clone()?;
+        HipacClient::connect_with(addr, ClientConfig::default())
+    }
 
-        let pending: Arc<Pending> = Arc::new(Mutex::new(HashMap::new()));
-        let handlers: Arc<RwLock<HashMap<String, PushHandler>>> =
-            Arc::new(RwLock::new(HashMap::new()));
-        let closed = Arc::new(AtomicBool::new(false));
-
-        let reader = {
-            let pending = Arc::clone(&pending);
-            let handlers = Arc::clone(&handlers);
-            let closed = Arc::clone(&closed);
-            std::thread::Builder::new()
-                .name("hipac-net-client-reader".to_owned())
-                .spawn(move || read_loop(reader_stream, &pending, &handlers, &closed))
-                .expect("spawn client reader")
+    /// Connect with explicit resilience configuration.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<HipacClient, WireError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(WireError::Io("address resolved to nothing".into()));
+        }
+        let client_id = match config.client_id {
+            0 => auto_client_id(),
+            id => id,
         };
-
         let client = HipacClient {
-            writer: Mutex::new(stream),
+            addrs,
+            config,
+            client_id,
             next_id: AtomicU64::new(1),
-            pending,
-            handlers,
-            closed,
-            reader: Some(reader),
+            next_seq: AtomicU64::new(1),
+            conn: Mutex::new(None),
+            handlers: Arc::new(RwLock::new(HashMap::new())),
+            subscribed: Mutex::new(HashSet::new()),
+            closed: AtomicBool::new(false),
         };
-        match client.request(Command::Ping {
-            version: PROTOCOL_VERSION,
-        })? {
-            Reply::Pong { version } if version == PROTOCOL_VERSION => Ok(client),
-            Reply::Pong { version } => Err(WireError::Protocol(format!(
-                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
-            ))),
-            other => Err(unexpected(other)),
+        // Fail fast on first dial: a bad address or incompatible server
+        // should error at connect, not at first use.
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    /// The stable identity this client presents in idempotency keys.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Send one command and wait for its reply, retrying transport
+    /// failures per [`ClientConfig`]. `Reply::Err` becomes
+    /// `WireError::Remote`.
+    pub fn request(&self, command: Command) -> Result<Reply, WireError> {
+        self.request_with_deadline(command, self.config.default_deadline)
+    }
+
+    /// [`HipacClient::request`] with an explicit per-request deadline
+    /// (overriding the config default). The deadline travels to the
+    /// server, which bounds lock waits with it; locally the wait ends
+    /// in [`WireError::Timeout`] — an *indefinite* outcome — shortly
+    /// after it passes.
+    pub fn request_with_deadline(
+        &self,
+        command: Command,
+        deadline: Option<Duration>,
+    ) -> Result<Reply, WireError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(WireError::Io("client closed".into()));
+        }
+        let meta = RequestMeta {
+            client_id: self.client_id,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            deadline_ms: deadline.map_or(0, |d| d.as_millis().max(1) as u64),
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            match self.try_once(meta, &command, deadline) {
+                Ok(Reply::Err { kind, message }) => {
+                    return Err(WireError::Remote { kind, message })
+                }
+                Ok(reply) => return Ok(reply),
+                // Only transport failures retry: the key is unchanged,
+                // so a server that did execute replays its cached
+                // reply. Timeouts and remote errors are definite or
+                // deadline-bound — never retried implicitly.
+                Err(e) if matches!(e, WireError::Io(_) | WireError::Transport(_)) => {
+                    self.discard_conn();
+                    if attempt >= self.config.max_retries {
+                        return Err(match e {
+                            WireError::Io(m) if attempt > 0 => WireError::Transport(m),
+                            other => other,
+                        });
+                    }
+                    attempt += 1;
+                    std::thread::sleep(retry_backoff(
+                        self.config.backoff,
+                        self.client_id,
+                        meta.seq,
+                        attempt,
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
-    /// Send one command and wait for its reply. `Reply::Err` becomes
-    /// `WireError::Remote`.
-    pub fn request(&self, command: Command) -> Result<Reply, WireError> {
-        if self.closed.load(Ordering::Acquire) {
-            return Err(WireError::Io("connection closed".into()));
+    /// One attempt: get (or re-establish) the connection, write the
+    /// frame, wait for the routed reply.
+    fn try_once(
+        &self,
+        meta: RequestMeta,
+        command: &Command,
+        deadline: Option<Duration>,
+    ) -> Result<Reply, WireError> {
+        let conn = self.ensure_conn()?;
+        raw_request(
+            &conn,
+            self.next_id.fetch_add(1, Ordering::Relaxed),
+            meta,
+            command.clone(),
+            deadline,
+        )
+    }
+
+    /// Current connection, dialing a fresh one (handshake ping +
+    /// handler re-subscription) if the last died.
+    fn ensure_conn(&self) -> Result<Arc<Conn>, WireError> {
+        let mut guard = self.conn.lock();
+        if let Some(c) = guard.as_ref() {
+            if !c.dead.load(Ordering::Acquire) {
+                return Ok(Arc::clone(c));
+            }
         }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        self.pending.lock().insert(id, tx);
-        let frame = Frame::Request { id, command }.encode();
-        let write_result = self.writer.lock().write_all(&frame);
-        if let Err(e) = write_result {
-            self.pending.lock().remove(&id);
-            return Err(e.into());
+        if let Some(old) = guard.take() {
+            old.teardown();
         }
-        match rx.recv() {
-            Ok(Reply::Err { kind, message }) => Err(WireError::Remote { kind, message }),
-            Ok(reply) => Ok(reply),
-            // Reader dropped the sender: connection died.
-            Err(_) => Err(WireError::Io("connection closed".into())),
+        let conn = Arc::new(Conn::dial(&self.addrs, &self.handlers)?);
+        let handshake = (|| -> Result<(), WireError> {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let ping = Command::Ping {
+                version: PROTOCOL_VERSION,
+            };
+            match raw_request(&conn, id, RequestMeta::default(), ping, None)? {
+                Reply::Pong { version } if version == PROTOCOL_VERSION => {}
+                Reply::Pong { version } => {
+                    return Err(WireError::Protocol(format!(
+                        "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+                    )))
+                }
+                Reply::Err { kind, message } => return Err(WireError::Remote { kind, message }),
+                other => return Err(unexpected(other)),
+            }
+            for handler in self.subscribed.lock().iter() {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let cmd = Command::Subscribe {
+                    handler: handler.clone(),
+                };
+                match raw_request(&conn, id, RequestMeta::default(), cmd, None)? {
+                    Reply::Ok => {}
+                    Reply::Err { kind, message } => {
+                        return Err(WireError::Remote { kind, message })
+                    }
+                    other => return Err(unexpected(other)),
+                }
+            }
+            Ok(())
+        })();
+        match handshake {
+            Ok(()) => {
+                *guard = Some(Arc::clone(&conn));
+                Ok(conn)
+            }
+            Err(e) => {
+                conn.teardown();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop the current connection (if any) so the next request
+    /// redials.
+    fn discard_conn(&self) {
+        if let Some(old) = self.conn.lock().take() {
+            old.teardown();
         }
     }
 
@@ -274,6 +491,8 @@ impl HipacClient {
     /// Become the application server for `handler`: rule actions
     /// addressed to it are delivered to `f` on this client's reader
     /// thread. Keep `f` quick — it blocks delivery of later frames.
+    /// The subscription survives reconnects: the client re-subscribes
+    /// every tracked handler as part of redialing.
     pub fn subscribe(
         &self,
         handler: &str,
@@ -282,11 +501,14 @@ impl HipacClient {
         self.on_push(handler, f);
         self.expect_ok(Command::Subscribe {
             handler: handler.to_owned(),
-        })
+        })?;
+        self.subscribed.lock().insert(handler.to_owned());
+        Ok(())
     }
 
     /// Stop serving `handler`.
     pub fn unsubscribe(&self, handler: &str) -> Result<(), WireError> {
+        self.subscribed.lock().remove(handler);
         self.expect_ok(Command::Unsubscribe {
             handler: handler.to_owned(),
         })?;
@@ -315,11 +537,92 @@ impl HipacClient {
 impl Drop for HipacClient {
     fn drop(&mut self) {
         self.closed.store(true, Ordering::Release);
-        let _ = self.writer.lock().shutdown(Shutdown::Both);
-        if let Some(t) = self.reader.take() {
-            let _ = t.join();
+        self.discard_conn();
+    }
+}
+
+/// Register the pending slot, write the frame, await the routed reply.
+/// `Reply::Err` passes through (the caller distinguishes remote errors
+/// from transport ones); all failure paths clean up the pending slot.
+fn raw_request(
+    conn: &Conn,
+    id: u64,
+    meta: RequestMeta,
+    command: Command,
+    deadline: Option<Duration>,
+) -> Result<Reply, WireError> {
+    if conn.dead.load(Ordering::Acquire) {
+        return Err(WireError::Transport("connection lost".into()));
+    }
+    let (tx, rx) = crossbeam::channel::bounded(1);
+    conn.pending.lock().insert(id, tx);
+    let frame = Frame::Request { id, meta, command }.encode();
+    if let Err(e) = conn.writer.lock().write_all(&frame) {
+        conn.pending.lock().remove(&id);
+        return Err(WireError::Transport(format!("write failed: {e}")));
+    }
+    match deadline {
+        None => match rx.recv() {
+            Ok(reply) => Ok(reply),
+            // Reader dropped the senders: connection died with the
+            // request outstanding — outcome unknown.
+            Err(_) => Err(WireError::Transport(
+                "connection lost awaiting reply".into(),
+            )),
+        },
+        Some(d) => {
+            // Grace on top of the deadline: a server that aborts the
+            // request with DeadlineExceeded at the deadline still needs
+            // time to deliver that definite answer.
+            let wait = d + DEADLINE_GRACE;
+            match rx.recv_timeout(wait) {
+                Ok(reply) => Ok(reply),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    conn.pending.lock().remove(&id);
+                    Err(WireError::Timeout(format!(
+                        "no reply within {}ms deadline (+{}ms grace)",
+                        d.as_millis(),
+                        DEADLINE_GRACE.as_millis()
+                    )))
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(
+                    WireError::Transport("connection lost awaiting reply".into()),
+                ),
+            }
         }
     }
+}
+
+/// Slack between the deadline and the local timeout, so the server's
+/// definite `DeadlineExceeded` beats the client's indefinite
+/// [`WireError::Timeout`] when both fire.
+const DEADLINE_GRACE: Duration = Duration::from_millis(500);
+
+/// Process-unique, nonzero client identity: pid, wall clock, and a
+/// process-local counter hashed together.
+fn auto_client_id() -> u64 {
+    use std::hash::{Hash, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut h);
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .subsec_nanos()
+        .hash(&mut h);
+    COUNTER.fetch_add(1, Ordering::Relaxed).hash(&mut h);
+    h.finish() | 1
+}
+
+/// Exponential backoff with deterministic jitter, capped at a second.
+fn retry_backoff(base: Duration, client_id: u64, seq: u64, attempt: u32) -> Duration {
+    use std::hash::{Hash, Hasher};
+    let base_us = base.as_micros().max(1) as u64;
+    let exp = base_us.saturating_mul(1 << attempt.min(6));
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (client_id, seq, attempt).hash(&mut h);
+    let jitter = h.finish() % base_us.max(1);
+    Duration::from_micros((exp + jitter).min(1_000_000))
 }
 
 fn unexpected(reply: Reply) -> WireError {
@@ -330,7 +633,7 @@ fn read_loop(
     mut stream: TcpStream,
     pending: &Pending,
     handlers: &RwLock<HashMap<String, PushHandler>>,
-    closed: &AtomicBool,
+    dead: &AtomicBool,
 ) {
     loop {
         match Frame::read_from(&mut stream) {
@@ -347,13 +650,14 @@ fn read_loop(
                     h(&event);
                 }
                 // No handler registered: the server pushed to a handler
-                // this client never subscribed; ignore.
+                // this client never subscribed (or one unregistered
+                // since); ignore.
             }
             // Servers never send requests; a malformed stream is fatal.
             Ok(Some(Frame::Request { .. })) | Err(_) | Ok(None) => break,
         }
     }
-    closed.store(true, Ordering::Release);
+    dead.store(true, Ordering::Release);
     // Wake every blocked caller: dropping the senders errors their recv.
     pending.lock().clear();
 }

@@ -16,11 +16,20 @@
 //!   clients.
 //! * [`client`] — [`client::HipacClient`]: a blocking request/response
 //!   client with push-frame handler registration.
+//!
+//! Protocol v3 adds end-to-end failure resilience: every request
+//! carries an idempotency key (stable client id + monotonic sequence)
+//! and an optional deadline. The server deduplicates retries through a
+//! bounded reply window, propagates deadlines into engine lock waits,
+//! sheds work past an admission budget with a typed `Overloaded`
+//! error, and drains gracefully; the client reconnects with backoff,
+//! re-subscribes its handlers, and retries transport failures
+//! exactly-once.
 
 pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::HipacClient;
-pub use proto::{Command, Frame, PushEvent, Reply, WireError};
+pub use client::{ClientConfig, HipacClient};
+pub use proto::{Command, Frame, PushEvent, Reply, RequestMeta, WireError};
 pub use server::{HipacServer, ServerConfig};

@@ -6,7 +6,8 @@
 //! ```text
 //! [u32 len] [kind u8] [body ...]
 //!
-//! kind 0  Request   uvarint id, opcode u8, command body
+//! kind 0  Request   uvarint id, meta (client_id, seq, deadline_ms
+//!                   uvarints, 0 = absent), opcode u8, command body
 //! kind 1  Response  uvarint id, status u8, reply body
 //! kind 2  Push      push body (server -> client, unsolicited)
 //! ```
@@ -37,7 +38,10 @@ use std::io::{Read, Write};
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
 /// Protocol version carried in `Hello`. Bump on incompatible change.
-pub const PROTOCOL_VERSION: u32 = 2; // v2: Stats gained firings_parallel + pool_queue_depth
+/// v2: Stats gained firings_parallel + pool_queue_depth.
+/// v3: Request frames carry idempotency metadata (client id, sequence,
+/// deadline); Stats gained the resilience counters.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 // Frame kinds.
 const KIND_REQUEST: u8 = 0;
@@ -55,6 +59,15 @@ pub enum WireError {
     Io(String),
     /// Malformed or unexpected frame.
     Protocol(String),
+    /// The connection failed while a request was in flight and the
+    /// retry budget (if any) was exhausted before a definite reply
+    /// arrived. The request may or may not have been applied — it is
+    /// *at most once*; the client remains usable and reconnects on
+    /// the next request.
+    Transport(String),
+    /// The request's deadline expired on the client before a definite
+    /// reply arrived.
+    Timeout(String),
 }
 
 impl WireError {
@@ -64,8 +77,19 @@ impl WireError {
         matches!(
             self,
             WireError::Remote { kind, .. }
-                if kind == "Deadlock" || kind == "TxnAborted" || kind == "LockTimeout"
+                if kind == "Deadlock"
+                    || kind == "TxnAborted"
+                    || kind == "LockTimeout"
+                    || kind == "DeadlineExceeded"
         )
+    }
+
+    /// True when the error leaves the request outcome unknown
+    /// (transport failure or client-side timeout): the command was
+    /// applied *at most once*, and only a reply (or server-side state)
+    /// can say which.
+    pub fn is_indefinite(&self) -> bool {
+        matches!(self, WireError::Transport(_) | WireError::Timeout(_))
     }
 }
 
@@ -75,6 +99,8 @@ impl fmt::Display for WireError {
             WireError::Remote { kind, message } => write!(f, "remote {kind}: {message}"),
             WireError::Io(msg) => write!(f, "connection error: {msg}"),
             WireError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            WireError::Transport(msg) => write!(f, "transport failure (outcome unknown): {msg}"),
+            WireError::Timeout(msg) => write!(f, "request deadline expired: {msg}"),
         }
     }
 }
@@ -114,6 +140,7 @@ fn variant_name(e: &HipacError) -> &'static str {
         LockTimeout(_) => "LockTimeout",
         TxnAborted(_) => "TxnAborted",
         ParentNotActive(_) => "ParentNotActive",
+        DeadlineExceeded(_) => "DeadlineExceeded",
         UnknownEvent(_) => "UnknownEvent",
         UnknownRule(_) => "UnknownRule",
         DuplicateRule(_) => "DuplicateRule",
@@ -202,6 +229,12 @@ pub struct WireStats {
     pub separate_errors: u64,
     pub firings_parallel: u64,
     pub pool_queue_depth: u64,
+    // ---- v3 resilience counters ----
+    pub active_connections: u64,
+    pub shed_requests: u64,
+    pub dedup_hits: u64,
+    pub separate_retries: u64,
+    pub separate_dead_letters: u64,
 }
 
 impl WireStats {
@@ -220,17 +253,22 @@ impl WireStats {
             self.separate_errors,
             self.firings_parallel,
             self.pool_queue_depth,
+            self.active_connections,
+            self.shed_requests,
+            self.dedup_hits,
+            self.separate_retries,
+            self.separate_dead_letters,
         ] {
             put_uvarint(buf, v);
         }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
-        let mut fields = [0u64; 13];
+        let mut fields = [0u64; 18];
         for f in &mut fields {
             *f = get_uvarint(buf, pos)?;
         }
-        let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth] =
+        let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters] =
             fields;
         Ok(WireStats {
             signals_processed,
@@ -246,6 +284,11 @@ impl WireStats {
             separate_errors,
             firings_parallel,
             pool_queue_depth,
+            active_connections,
+            shed_requests,
+            dedup_hits,
+            separate_retries,
+            separate_dead_letters,
         })
     }
 }
@@ -718,10 +761,33 @@ pub struct PushEvent {
     pub args: HashMap<String, Value>,
 }
 
+/// Request metadata introduced in protocol v3: an idempotency key and
+/// a deadline. `0` means "absent" for every field, so plain fire-once
+/// requests pay three zero bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestMeta {
+    /// Stable identity of the sending client, surviving reconnects.
+    /// Together with `seq` it forms the idempotency key for the
+    /// server's dedup window.
+    pub client_id: u64,
+    /// Client-monotonic request sequence number. A retry re-sends the
+    /// *same* `(client_id, seq)`, so the server can replay the cached
+    /// reply instead of re-executing.
+    pub seq: u64,
+    /// Relative deadline in milliseconds from server receipt. The
+    /// server propagates it into lock waits; past-deadline requests
+    /// abort with `DeadlineExceeded` instead of waiting on.
+    pub deadline_ms: u64,
+}
+
 /// A complete protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    Request { id: u64, command: Command },
+    Request {
+        id: u64,
+        meta: RequestMeta,
+        command: Command,
+    },
     Response { id: u64, reply: Reply },
     Push(PushEvent),
 }
@@ -731,9 +797,12 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::with_capacity(64);
         match self {
-            Frame::Request { id, command } => {
+            Frame::Request { id, meta, command } => {
                 payload.push(KIND_REQUEST);
                 put_uvarint(&mut payload, *id);
+                put_uvarint(&mut payload, meta.client_id);
+                put_uvarint(&mut payload, meta.seq);
+                put_uvarint(&mut payload, meta.deadline_ms);
                 command.encode(&mut payload);
             }
             Frame::Response { id, reply } => {
@@ -762,8 +831,13 @@ impl Frame {
         let frame = match next_byte(payload, &mut pos)? {
             KIND_REQUEST => {
                 let id = get_uvarint(payload, &mut pos)?;
+                let meta = RequestMeta {
+                    client_id: get_uvarint(payload, &mut pos)?,
+                    seq: get_uvarint(payload, &mut pos)?,
+                    deadline_ms: get_uvarint(payload, &mut pos)?,
+                };
                 let command = Command::decode(payload, &mut pos)?;
-                Frame::Request { id, command }
+                Frame::Request { id, meta, command }
             }
             KIND_RESPONSE => {
                 let id = get_uvarint(payload, &mut pos)?;
@@ -954,9 +1028,23 @@ mod tests {
         for (i, command) in commands.into_iter().enumerate() {
             roundtrip(Frame::Request {
                 id: i as u64 * 1000,
+                meta: RequestMeta::default(),
                 command,
             });
         }
+    }
+
+    #[test]
+    fn request_meta_roundtrips() {
+        roundtrip(Frame::Request {
+            id: 7,
+            meta: RequestMeta {
+                client_id: u64::MAX,
+                seq: 123_456,
+                deadline_ms: 2_500,
+            },
+            command: Command::Begin,
+        });
     }
 
     #[test]
@@ -995,6 +1083,11 @@ mod tests {
                 separate_errors: 11,
                 firings_parallel: 12,
                 pool_queue_depth: 13,
+                active_connections: 14,
+                shed_requests: 15,
+                dedup_hits: 16,
+                separate_retries: 17,
+                separate_dead_letters: 18,
             }),
             Reply::Err {
                 kind: "UnknownClass".into(),
@@ -1035,6 +1128,7 @@ mod tests {
     fn truncated_frames_error_not_panic() {
         let full = Frame::Request {
             id: 5,
+            meta: RequestMeta::default(),
             command: Command::Query {
                 txn: TxnId(1),
                 text: "from c".into(),
@@ -1068,7 +1162,22 @@ mod tests {
     fn txn_fatal_classification_crosses_the_wire() {
         let e: WireError = HipacError::Deadlock(TxnId(1)).into();
         assert!(e.is_txn_fatal());
+        let e: WireError = HipacError::DeadlineExceeded(TxnId(1)).into();
+        assert!(e.is_txn_fatal());
         let e: WireError = HipacError::UnknownClass("c".into()).into();
         assert!(!e.is_txn_fatal());
+    }
+
+    #[test]
+    fn indefinite_outcome_classification() {
+        assert!(WireError::Transport("reset".into()).is_indefinite());
+        assert!(WireError::Timeout("2s elapsed".into()).is_indefinite());
+        assert!(!WireError::Io("refused".into()).is_indefinite());
+        let remote = WireError::Remote {
+            kind: "Overloaded".into(),
+            message: "shed".into(),
+        };
+        // A definite server refusal: the command was NOT applied.
+        assert!(!remote.is_indefinite());
     }
 }

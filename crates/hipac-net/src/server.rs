@@ -20,13 +20,14 @@
 //! transactions aborted, so a crashed client cannot strand locks.
 
 use crate::proto::{
-    code_type, Command, Frame, PushEvent, Reply, WireError, WireStats, PROTOCOL_VERSION,
+    code_type, Command, Frame, PushEvent, Reply, RequestMeta, WireError, WireStats,
+    PROTOCOL_VERSION,
 };
 use hipac::{ActiveDatabase, EngineStats};
 use hipac_common::{HipacError, ObjectId, Result as HipacResult, TxnId, Value};
 use hipac_object::{AttrDef, Query};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,6 +47,16 @@ pub struct ServerConfig {
     /// open transactions abort). This is the backpressure backstop: a
     /// stalled client cannot pin a session thread forever.
     pub idle_timeout: Duration,
+    /// Admission budget: requests allowed in dispatch concurrently
+    /// across all sessions. Beyond this the server sheds the request
+    /// with an `Overloaded` error instead of queueing it behind slow
+    /// work. `0` disables shedding (dispatch concurrency is then
+    /// bounded only by `workers`).
+    pub max_inflight: usize,
+    /// Replies remembered per client for idempotent retries: a request
+    /// re-sent with an already-seen `(client_id, seq)` is answered from
+    /// this window without re-executing. `0` disables deduplication.
+    pub dedup_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +65,8 @@ impl Default for ServerConfig {
             workers: 8,
             max_pending: 16,
             idle_timeout: Duration::from_secs(30),
+            max_inflight: 0,
+            dedup_window: 128,
         }
     }
 }
@@ -176,6 +189,98 @@ impl Subscriptions {
     }
 }
 
+/// Cross-session resilience state: gauges served over STATS, the
+/// admission-control budget, and the idempotency window.
+struct ServerShared {
+    /// Live sessions (a gauge: incremented at session start,
+    /// decremented at teardown).
+    active_connections: AtomicU64,
+    /// Requests shed by admission control with an `Overloaded` error.
+    shed_requests: AtomicU64,
+    /// Requests answered from the dedup window instead of re-executing.
+    dedup_hits: AtomicU64,
+    /// Requests currently in dispatch (the admission gauge).
+    in_flight: AtomicU64,
+    /// Set by [`HipacServer::drain`]: refuse new connections and new
+    /// requests while in-flight work finishes.
+    draining: AtomicBool,
+    dedup: Mutex<DedupWindow>,
+}
+
+impl ServerShared {
+    fn new(dedup_window: usize) -> Arc<ServerShared> {
+        Arc::new(ServerShared {
+            active_connections: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            dedup: Mutex::new(DedupWindow::new(dedup_window)),
+        })
+    }
+}
+
+/// Bounded per-client reply cache keyed by `(client_id, seq)`.
+///
+/// A retry of an acked-but-lost response replays the cached reply, so
+/// the command applies exactly once even though the client sent it
+/// twice. Only *definite* outcomes are remembered — shed (`Overloaded`)
+/// and draining refusals are returned before insertion, so a later
+/// retry of the same `seq` re-executes.
+struct DedupWindow {
+    per_client: usize,
+    clients: HashMap<u64, ClientWindow>,
+    /// First-seen order of clients, for eviction at [`Self::MAX_CLIENTS`].
+    client_order: VecDeque<u64>,
+}
+
+#[derive(Default)]
+struct ClientWindow {
+    replies: HashMap<u64, Reply>,
+    order: VecDeque<u64>,
+}
+
+impl DedupWindow {
+    /// Distinct clients remembered at once; oldest-first eviction
+    /// beyond this keeps the window bounded even under client churn.
+    const MAX_CLIENTS: usize = 1024;
+
+    fn new(per_client: usize) -> DedupWindow {
+        DedupWindow {
+            per_client,
+            clients: HashMap::new(),
+            client_order: VecDeque::new(),
+        }
+    }
+
+    fn lookup(&self, client: u64, seq: u64) -> Option<Reply> {
+        self.clients.get(&client)?.replies.get(&seq).cloned()
+    }
+
+    fn remember(&mut self, client: u64, seq: u64, reply: &Reply) {
+        if self.per_client == 0 {
+            return;
+        }
+        if !self.clients.contains_key(&client) {
+            if self.client_order.len() >= Self::MAX_CLIENTS {
+                if let Some(old) = self.client_order.pop_front() {
+                    self.clients.remove(&old);
+                }
+            }
+            self.client_order.push_back(client);
+        }
+        let w = self.clients.entry(client).or_default();
+        if w.replies.insert(seq, reply.clone()).is_none() {
+            w.order.push_back(seq);
+            if w.order.len() > self.per_client {
+                if let Some(old) = w.order.pop_front() {
+                    w.replies.remove(&old);
+                }
+            }
+        }
+    }
+}
+
 /// A running network front end over an [`ActiveDatabase`].
 ///
 /// Dropping the server shuts it down gracefully: the listener stops
@@ -189,6 +294,7 @@ pub struct HipacServer {
     session_threads: Vec<JoinHandle<()>>,
     /// Connections refused because the pending queue was full.
     refused: Arc<AtomicU64>,
+    shared: Arc<ServerShared>,
 }
 
 impl HipacServer {
@@ -212,6 +318,7 @@ impl HipacServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let subscriptions = Subscriptions::new();
         let refused = Arc::new(AtomicU64::new(0));
+        let shared = ServerShared::new(config.dedup_window);
         let workers = config.workers.max(1);
         let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.max_pending.max(1));
 
@@ -221,6 +328,7 @@ impl HipacServer {
             let db = Arc::clone(&db);
             let subs = Arc::clone(&subscriptions);
             let stop = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             let cfg = config.clone();
             session_threads.push(
                 std::thread::Builder::new()
@@ -229,7 +337,7 @@ impl HipacServer {
                         // Channel closes when the accept thread drops the
                         // last sender at shutdown.
                         while let Ok(stream) = rx.recv() {
-                            let session = Session::new(&db, &subs, &stop, &cfg, stream);
+                            let session = Session::new(&db, &subs, &stop, &shared, &cfg, stream);
                             if let Some(mut s) = session {
                                 s.run();
                             }
@@ -242,17 +350,22 @@ impl HipacServer {
         let accept_thread = {
             let stop = Arc::clone(&shutdown);
             let refused = Arc::clone(&refused);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("hipac-net-accept".to_owned())
                 .spawn(move || {
                     while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _)) => {
+                                if shared.draining.load(Ordering::Acquire) {
+                                    refuse(stream, "Draining", "server is draining");
+                                    continue;
+                                }
                                 match conn_tx.try_send(stream) {
                                     Ok(()) => {}
                                     Err(crossbeam::channel::TrySendError::Full(stream)) => {
                                         refused.fetch_add(1, Ordering::Relaxed);
-                                        refuse(stream);
+                                        refuse(stream, "ServerBusy", "connection limit reached");
                                     }
                                     Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
                                 }
@@ -276,6 +389,7 @@ impl HipacServer {
             accept_thread: Some(accept_thread),
             session_threads,
             refused,
+            shared,
         })
     }
 
@@ -294,6 +408,21 @@ impl HipacServer {
         self.refused.load(Ordering::Relaxed)
     }
 
+    /// Requests shed so far by admission control.
+    pub fn shed_requests(&self) -> u64 {
+        self.shared.shed_requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from the idempotency window so far.
+    pub fn dedup_hits(&self) -> u64 {
+        self.shared.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Currently live sessions.
+    pub fn active_connections(&self) -> u64 {
+        self.shared.active_connections.load(Ordering::Relaxed)
+    }
+
     /// Stop accepting, interrupt live sessions at their next read tick,
     /// abort their open transactions, and join all threads.
     pub fn shutdown(&mut self) {
@@ -305,6 +434,25 @@ impl HipacServer {
             let _ = t.join();
         }
     }
+
+    /// Graceful drain: refuse new connections and new requests (with a
+    /// `Draining` error, so clients get a definite answer rather than a
+    /// cut socket), let every request already in dispatch finish and
+    /// flush its reply, wait for separate-coupled firings already
+    /// submitted to the engine, then shut down. Committed transactions
+    /// are never lost: a request either completes and is acknowledged,
+    /// or is refused before touching the engine.
+    pub fn drain(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // In-flight dispatches finish and write their replies before
+        // their session observes the stop flag, but waiting here keeps
+        // the engine quiet before we quiesce the rule workers.
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.db.quiesce();
+        self.shutdown();
+    }
 }
 
 impl Drop for HipacServer {
@@ -313,13 +461,13 @@ impl Drop for HipacServer {
     }
 }
 
-/// Best-effort "server busy" notice on a refused connection.
-fn refuse(mut stream: TcpStream) {
+/// Best-effort typed error frame on a refused connection.
+fn refuse(mut stream: TcpStream, kind: &str, message: &str) {
     let frame = Frame::Response {
         id: 0,
         reply: Reply::Err {
-            kind: "ServerBusy".to_owned(),
-            message: "connection limit reached".to_owned(),
+            kind: kind.to_owned(),
+            message: message.to_owned(),
         },
     };
     let _ = stream.write_all(&frame.encode());
@@ -401,7 +549,9 @@ struct Session<'a> {
     db: &'a Arc<ActiveDatabase>,
     subs: &'a Arc<Subscriptions>,
     stop: &'a AtomicBool,
+    shared: &'a ServerShared,
     idle_timeout: Duration,
+    max_inflight: usize,
     reader: TcpStream,
     writer: Arc<Mutex<TcpStream>>,
     /// Transactions begun by this session and not yet terminated.
@@ -413,18 +563,22 @@ impl<'a> Session<'a> {
         db: &'a Arc<ActiveDatabase>,
         subs: &'a Arc<Subscriptions>,
         stop: &'a AtomicBool,
+        shared: &'a Arc<ServerShared>,
         cfg: &ServerConfig,
         stream: TcpStream,
     ) -> Option<Session<'a>> {
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(READ_TICK)).ok();
         let writer = Arc::new(Mutex::new(stream.try_clone().ok()?));
+        shared.active_connections.fetch_add(1, Ordering::Relaxed);
         Some(Session {
             id: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
             db,
             subs,
             stop,
+            shared,
             idle_timeout: cfg.idle_timeout,
+            max_inflight: cfg.max_inflight,
             reader: stream,
             writer,
             open_txns: HashSet::new(),
@@ -442,8 +596,8 @@ impl<'a> Session<'a> {
                 Ok(Some(payload)) => {
                     last_activity = Instant::now();
                     match Frame::decode(&payload) {
-                        Ok(Frame::Request { id, command }) => {
-                            let reply = self.dispatch(command);
+                        Ok(Frame::Request { id, meta, command }) => {
+                            let reply = self.handle(meta, command);
                             let frame = Frame::Response { id, reply };
                             if self.writer.lock().write_all(&frame.encode()).is_err() {
                                 break;
@@ -469,6 +623,7 @@ impl<'a> Session<'a> {
 
     /// Abort open transactions and drop subscriptions on disconnect.
     fn teardown(&mut self) {
+        self.shared.active_connections.fetch_sub(1, Ordering::Relaxed);
         self.subs.drop_session(self.db, self.id);
         // Abort parents last: aborting a parent cascades to children,
         // making the child abort a no-op error we ignore anyway.
@@ -479,11 +634,62 @@ impl<'a> Session<'a> {
         }
     }
 
-    fn dispatch(&mut self, command: Command) -> Reply {
-        match self.execute(command) {
+    /// The resilience pipeline around [`Session::dispatch`]:
+    /// idempotency replay, drain refusal, admission control, then the
+    /// reply is remembered for future retries of the same `(client_id,
+    /// seq)`. Refusals (`Draining`, `Overloaded`) return before the
+    /// window insert, so a retried `seq` re-executes once capacity is
+    /// back.
+    fn handle(&mut self, meta: RequestMeta, command: Command) -> Reply {
+        let keyed = meta.client_id != 0 && meta.seq != 0;
+        if keyed {
+            if let Some(cached) = self.shared.dedup.lock().lookup(meta.client_id, meta.seq) {
+                self.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return cached;
+            }
+        }
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Reply::Err {
+                kind: "Draining".to_owned(),
+                message: "server is draining; open transactions will abort".to_owned(),
+            };
+        }
+        let in_flight = self.shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.max_inflight > 0 && in_flight > self.max_inflight as u64 {
+            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            self.shared.shed_requests.fetch_add(1, Ordering::Relaxed);
+            return Reply::Err {
+                kind: "Overloaded".to_owned(),
+                message: "admission budget exhausted; retry later".to_owned(),
+            };
+        }
+        let reply = self.dispatch(meta, command);
+        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if keyed {
+            self.shared.dedup.lock().remember(meta.client_id, meta.seq, &reply);
+        }
+        reply
+    }
+
+    fn dispatch(&mut self, meta: RequestMeta, command: Command) -> Reply {
+        // Propagate the request deadline into the engine: the
+        // transaction this command works under sees it in lock waits
+        // for the duration of the dispatch.
+        let deadline = (meta.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(meta.deadline_ms));
+        let txn = deadline.and_then(|_| command_txn(&command));
+        if let (Some(d), Some(t)) = (deadline, txn) {
+            let _ = self.db.set_txn_deadline(t, Some(d));
+        }
+        let reply = match self.execute(command) {
             Ok(reply) => reply,
             Err(e) => Reply::from(e),
+        };
+        if let Some(t) = txn {
+            // Best effort: commit/abort may already have retired it.
+            let _ = self.db.set_txn_deadline(t, None);
         }
+        reply
     }
 
     fn execute(&mut self, command: Command) -> HipacResult<Reply> {
@@ -610,12 +816,43 @@ impl<'a> Session<'a> {
                 self.subs.unsubscribe(self.db, &handler, self.id);
                 Reply::Ok
             }
-            Command::Stats => Reply::Stats(stats_to_wire(self.db.stats())),
+            Command::Stats => {
+                let mut w = stats_to_wire(self.db.stats());
+                w.active_connections = self.shared.active_connections.load(Ordering::Relaxed);
+                w.shed_requests = self.shared.shed_requests.load(Ordering::Relaxed);
+                w.dedup_hits = self.shared.dedup_hits.load(Ordering::Relaxed);
+                Reply::Stats(w)
+            }
         })
     }
 }
 
-/// Convert the facade snapshot into its wire representation.
+/// The transaction a command works under, for deadline propagation.
+/// Connection-scoped commands (ping, stats, subscriptions, event
+/// definitions, begin) have none.
+fn command_txn(c: &Command) -> Option<TxnId> {
+    match c {
+        Command::BeginChild { parent } => Some(*parent),
+        Command::Commit { txn }
+        | Command::Abort { txn }
+        | Command::CreateClass { txn, .. }
+        | Command::Insert { txn, .. }
+        | Command::Update { txn, .. }
+        | Command::Delete { txn, .. }
+        | Command::Query { txn, .. }
+        | Command::CreateRule { txn, .. }
+        | Command::DropRule { txn, .. }
+        | Command::EnableRule { txn, .. }
+        | Command::DisableRule { txn, .. } => Some(*txn),
+        Command::SignalEvent { txn, .. } => *txn,
+        _ => None,
+    }
+}
+
+/// Convert the facade snapshot into its wire representation. The
+/// connection-layer gauges (`active_connections`, `shed_requests`,
+/// `dedup_hits`) are zero here — the serving session fills them in
+/// from its [`ServerShared`].
 pub fn stats_to_wire(s: EngineStats) -> WireStats {
     WireStats {
         signals_processed: s.signals_processed,
@@ -631,5 +868,10 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         separate_errors: s.separate_errors,
         firings_parallel: s.firings_parallel,
         pool_queue_depth: s.pool_queue_depth,
+        active_connections: 0,
+        shed_requests: 0,
+        dedup_hits: 0,
+        separate_retries: s.separate_retries,
+        separate_dead_letters: s.separate_dead_letters,
     }
 }

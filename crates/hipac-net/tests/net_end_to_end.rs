@@ -174,6 +174,7 @@ fn connection_limit_refuses_with_error_frame() {
             workers: 1,
             max_pending: 1,
             idle_timeout: Duration::from_secs(30),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

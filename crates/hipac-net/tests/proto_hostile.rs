@@ -8,7 +8,7 @@
 //! unboundedly**.
 
 use hipac_common::{TxnId, Value};
-use hipac_net::proto::{Command, Frame, PushEvent, Reply, WireError, MAX_FRAME};
+use hipac_net::proto::{Command, Frame, PushEvent, Reply, RequestMeta, WireError, MAX_FRAME};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::io::Cursor;
@@ -21,14 +21,21 @@ fn sample_frames() -> Vec<Frame> {
     vec![
         Frame::Request {
             id: 1,
+            meta: RequestMeta::default(),
             command: Command::Ping { version: 1 },
         },
         Frame::Request {
             id: u64::MAX,
+            meta: RequestMeta {
+                client_id: 0xDEAD_BEEF,
+                seq: 42,
+                deadline_ms: 1_500,
+            },
             command: Command::Begin,
         },
         Frame::Request {
             id: 7,
+            meta: RequestMeta::default(),
             command: Command::Insert {
                 txn: TxnId(3),
                 class: "stock".into(),
@@ -37,6 +44,11 @@ fn sample_frames() -> Vec<Frame> {
         },
         Frame::Request {
             id: 8,
+            meta: RequestMeta {
+                client_id: 9,
+                seq: u64::MAX,
+                deadline_ms: 0,
+            },
             command: Command::Query {
                 txn: TxnId(3),
                 text: "from stock where new.price >= 50.0".into(),
@@ -132,8 +144,9 @@ fn oversized_length_prefixes_are_rejected_up_front() {
 #[test]
 fn garbage_opcodes_and_kinds_error() {
     for op in 19..=255u8 {
-        // kind 0 (request), id 1, then the bad opcode and some body.
-        let payload = vec![0u8, 1, op, 0xDE, 0xAD, 0xBE, 0xEF];
+        // kind 0 (request), id 1, zeroed request meta, then the bad
+        // opcode and some body.
+        let payload = vec![0u8, 1, 0, 0, 0, op, 0xDE, 0xAD, 0xBE, 0xEF];
         match Frame::decode(&payload) {
             Err(WireError::Protocol(_)) => {}
             other => panic!("opcode {op} produced {other:?}"),

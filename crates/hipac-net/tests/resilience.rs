@@ -1,0 +1,539 @@
+//! End-to-end failure resilience: exactly-once retries through a
+//! deterministic chaos proxy, server-side idempotency replay, load
+//! shedding and deadline propagation, graceful drain, and push-frame
+//! behavior across reconnects.
+
+use hipac::ActiveDatabase;
+use hipac_check::{ChaosConfig, ChaosProxy};
+use hipac_common::{TxnId, Value, ValueType};
+use hipac_event::EventSpec;
+use hipac_net::proto::{Command, Frame, Reply, RequestMeta};
+use hipac_net::{ClientConfig, HipacClient, HipacServer, ServerConfig, WireError};
+use hipac_object::{AttrDef, Expr};
+use hipac_rules::{Action, ActionOp, RuleDef};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn server_with(config: ServerConfig) -> HipacServer {
+    let db = Arc::new(
+        ActiveDatabase::builder()
+            .lock_timeout(Duration::from_secs(3))
+            .build()
+            .unwrap(),
+    );
+    HipacServer::bind_with(db, "127.0.0.1:0", config).unwrap()
+}
+
+fn server() -> HipacServer {
+    server_with(ServerConfig::default())
+}
+
+/// Create class `t(n: Int)` directly on the served engine.
+fn setup_int_class(server: &HipacServer) {
+    let db = server.db();
+    db.run_top(|t| {
+        db.store()
+            .create_class(t, "t", None, vec![AttrDef::new("n", ValueType::Int)])?;
+        Ok(())
+    })
+    .unwrap();
+}
+
+/// Count committed rows of class `t` per value of `n`.
+fn committed_counts(server: &HipacServer) -> HashMap<i64, usize> {
+    let db = server.db();
+    db.run_top(|t| {
+        let rows = db
+            .store()
+            .query(t, &hipac_object::Query::all("t"), None)?;
+        let mut counts = HashMap::new();
+        for r in rows {
+            if let Value::Int(n) = r.values[0] {
+                *counts.entry(n).or_insert(0usize) += 1;
+            }
+        }
+        Ok(counts)
+    })
+    .unwrap()
+}
+
+/// The tentpole torture test: a client performing sequential
+/// begin/insert/commit transactions through a faulty network must end
+/// with every *acked* commit applied exactly once and every unacked
+/// one at most once, across multiple chaos seeds.
+#[test]
+fn exactly_once_commits_through_chaos_across_seeds() {
+    for seed in [11u64, 22, 33] {
+        let server = server();
+        setup_int_class(&server);
+        let proxy = ChaosProxy::spawn(server.local_addr(), ChaosConfig::percent(seed, 5)).unwrap();
+        let client = HipacClient::connect_with(
+            proxy.local_addr().to_string(),
+            ClientConfig {
+                max_retries: 8,
+                backoff: Duration::from_millis(2),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut acked = Vec::new(); // commit returned Ok
+        let mut indefinite = Vec::new(); // transport/timeout: at most once
+        for i in 0..30i64 {
+            let txn = match client.begin() {
+                Ok(t) => t,
+                Err(_) => continue, // no txn, nothing could commit
+            };
+            if client.insert(txn, "t", vec![Value::from(i)]).is_err() {
+                let _ = client.abort(txn);
+                continue;
+            }
+            match client.commit(txn) {
+                Ok(()) => acked.push(i),
+                Err(e) if e.is_indefinite() => indefinite.push(i),
+                Err(_) => {} // definite rejection
+            }
+        }
+
+        let counts = committed_counts(&server);
+        for i in &acked {
+            assert_eq!(
+                counts.get(i),
+                Some(&1),
+                "seed {seed}: acked commit of {i} must be applied exactly once; counts: {counts:?}"
+            );
+        }
+        for (n, c) in &counts {
+            assert_eq!(*c, 1, "seed {seed}: value {n} applied {c} times");
+            assert!(
+                (0..30).contains(n),
+                "seed {seed}: foreign value {n} appeared"
+            );
+        }
+        for i in &indefinite {
+            assert!(
+                counts.get(i).copied().unwrap_or(0) <= 1,
+                "seed {seed}: indefinite commit of {i} applied more than once"
+            );
+        }
+        assert!(
+            !acked.is_empty(),
+            "seed {seed}: the client must make progress under 5% faults"
+        );
+        let chaos = proxy.stats();
+        assert!(
+            chaos.total() > 0,
+            "seed {seed}: the proxy must actually have injected faults: {chaos:?}"
+        );
+    }
+}
+
+/// A forced partition mid-session must not poison the client: the next
+/// request reconnects (with backoff) and succeeds on the same client
+/// value.
+#[test]
+fn client_reusable_after_forced_partition() {
+    let server = server();
+    setup_int_class(&server);
+    let proxy = ChaosProxy::spawn(server.local_addr(), ChaosConfig::clean()).unwrap();
+    let client = HipacClient::connect_with(
+        proxy.local_addr().to_string(),
+        ClientConfig {
+            max_retries: 5,
+            backoff: Duration::from_millis(2),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    let t = client.begin().unwrap();
+    client.insert(t, "t", vec![Value::from(1)]).unwrap();
+    client.commit(t).unwrap();
+
+    proxy.break_connections();
+
+    // Same client object, next transaction: transparently redials.
+    let t = client.begin().unwrap();
+    client.insert(t, "t", vec![Value::from(2)]).unwrap();
+    client.commit(t).unwrap();
+
+    let counts = committed_counts(&server);
+    assert_eq!(counts.get(&1), Some(&1));
+    assert_eq!(counts.get(&2), Some(&1));
+}
+
+/// Deterministic server-side idempotency: re-sending a committed
+/// request's `(client_id, seq)` — even from a brand-new connection, as
+/// a reconnecting client would — replays the cached reply instead of
+/// re-executing.
+#[test]
+fn duplicate_request_id_replays_cached_reply() {
+    let server = server();
+    setup_int_class(&server);
+    let addr = server.local_addr();
+
+    let roundtrip = |stream: &mut TcpStream, id: u64, meta: RequestMeta, command: Command| {
+        stream
+            .write_all(&Frame::Request { id, meta, command }.encode())
+            .unwrap();
+        loop {
+            match Frame::read_from(stream).unwrap().expect("reply") {
+                Frame::Response { id: rid, reply } if rid == id => return reply,
+                Frame::Response { .. } | Frame::Push(_) => continue,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    };
+    let meta = |seq: u64| RequestMeta {
+        client_id: 77,
+        seq,
+        deadline_ms: 0,
+    };
+
+    let mut conn1 = TcpStream::connect(addr).unwrap();
+    let txn = match roundtrip(&mut conn1, 1, meta(1), Command::Begin) {
+        Reply::Txn(t) => t,
+        other => panic!("{other:?}"),
+    };
+    roundtrip(
+        &mut conn1,
+        2,
+        meta(2),
+        Command::Insert {
+            txn,
+            class: "t".into(),
+            values: vec![Value::from(9)],
+        },
+    );
+    assert_eq!(
+        roundtrip(&mut conn1, 3, meta(3), Command::Commit { txn }),
+        Reply::Ok
+    );
+    drop(conn1);
+
+    // "Reconnect" and retry the commit with the same idempotency key:
+    // the engine must not re-execute (the txn is long gone — a real
+    // re-execution would error), and the row must exist exactly once.
+    let mut conn2 = TcpStream::connect(addr).unwrap();
+    assert_eq!(
+        roundtrip(&mut conn2, 50, meta(3), Command::Commit { txn }),
+        Reply::Ok,
+        "retried commit must replay the cached ack"
+    );
+    // An unkeyed duplicate (seq 0) is not deduplicated and surfaces
+    // the real engine error, proving the replay above came from the
+    // window.
+    match roundtrip(&mut conn2, 51, RequestMeta::default(), Command::Commit { txn }) {
+        Reply::Err { .. } => {}
+        other => panic!("unkeyed duplicate commit produced {other:?}"),
+    }
+    assert_eq!(committed_counts(&server).get(&9), Some(&1));
+    assert_eq!(server.dedup_hits(), 1);
+}
+
+/// Load shedding and deadline propagation, both typed: with an
+/// admission budget of one, a second concurrent request is refused
+/// with `Overloaded`; the request occupying the budget is cut short by
+/// its own deadline inside the engine's lock wait, surfacing the
+/// definite `DeadlineExceeded`.
+#[test]
+fn overload_sheds_and_deadlines_cut_lock_waits() {
+    let server = server_with(ServerConfig {
+        max_inflight: 1,
+        ..ServerConfig::default()
+    });
+    setup_int_class(&server);
+    let addr = server.local_addr().to_string();
+
+    let a = HipacClient::connect(&*addr).unwrap();
+    let ta = a.begin().unwrap();
+    let oid = a.insert(ta, "t", vec![Value::from(1)]).unwrap();
+    a.commit(ta).unwrap();
+
+    // A holds the row's write lock in an open transaction.
+    let ta = a.begin().unwrap();
+    a.update(ta, oid, vec![("n".into(), Value::from(2))]).unwrap();
+
+    // B and C connect while the admission budget is still free (the
+    // connect handshake itself is a request and would be shed).
+    let b = HipacClient::connect(&*addr).unwrap();
+    let c = HipacClient::connect(&*addr).unwrap();
+    let tb = b.begin().unwrap();
+    let b_thread = std::thread::spawn(move || {
+        let err = b
+            .request_with_deadline(
+                Command::Update {
+                    txn: tb,
+                    oid,
+                    assignments: vec![("n".into(), Value::from(3))],
+                },
+                Some(Duration::from_millis(400)),
+            )
+            .unwrap_err();
+        let _ = b.abort(tb);
+        err
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // C's request arrives while B occupies the whole admission budget.
+    let c_err = c.begin().unwrap_err();
+    match &c_err {
+        WireError::Remote { kind, .. } => assert_eq!(kind, "Overloaded", "{c_err:?}"),
+        other => panic!("expected typed Overloaded, got {other:?}"),
+    }
+    assert!(server.shed_requests() >= 1);
+
+    let b_err = b_thread.join().unwrap();
+    match &b_err {
+        WireError::Remote { kind, .. } => {
+            assert_eq!(kind, "DeadlineExceeded", "{b_err:?}");
+            assert!(b_err.is_txn_fatal());
+        }
+        other => panic!("expected remote DeadlineExceeded, got {other:?}"),
+    }
+    a.abort(ta).unwrap();
+}
+
+/// Graceful drain under active traffic: every writer gets a definite
+/// reply or a typed transport error, the server quiesces and joins,
+/// and the store holds exactly the acked values — no duplicates, no
+/// lost committed transactions.
+#[test]
+fn drain_keeps_store_consistent_under_traffic() {
+    let mut server = server();
+    setup_int_class(&server);
+    let addr = server.local_addr().to_string();
+
+    let acked = Arc::new(parking_lot::Mutex::new(Vec::<i64>::new()));
+    let mut writers = Vec::new();
+    for w in 0..3i64 {
+        let addr = addr.clone();
+        let acked = Arc::clone(&acked);
+        writers.push(std::thread::spawn(move || {
+            let client = match HipacClient::connect_with(
+                &*addr,
+                ClientConfig {
+                    max_retries: 1,
+                    backoff: Duration::from_millis(1),
+                    ..ClientConfig::default()
+                },
+            ) {
+                Ok(c) => c,
+                Err(_) => return,
+            };
+            for i in 0..200i64 {
+                let v = w * 1000 + i;
+                let txn = match client.begin() {
+                    Ok(t) => t,
+                    Err(_) => return,
+                };
+                if client.insert(txn, "t", vec![Value::from(v)]).is_err() {
+                    return;
+                }
+                match client.commit(txn) {
+                    Ok(()) => acked.lock().push(v),
+                    Err(_) => return,
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(100));
+    server.drain();
+    for t in writers {
+        t.join().unwrap();
+    }
+
+    let counts = committed_counts(&server);
+    let acked = acked.lock();
+    assert!(!acked.is_empty(), "writers made progress before the drain");
+    for v in acked.iter() {
+        assert_eq!(
+            counts.get(v),
+            Some(&1),
+            "acked {v} must survive the drain exactly once"
+        );
+    }
+    for (v, c) in &counts {
+        assert_eq!(*c, 1, "value {v} committed {c} times");
+    }
+}
+
+/// §4.1 push subscriptions must survive a reconnect: after a forced
+/// partition, the next request re-subscribes every tracked handler and
+/// later rule firings reach the same client again.
+#[test]
+fn push_subscription_survives_reconnect() {
+    let server = server();
+    let proxy = ChaosProxy::spawn(server.local_addr(), ChaosConfig::clean()).unwrap();
+
+    let subscriber = HipacClient::connect_with(
+        proxy.local_addr().to_string(),
+        ClientConfig {
+            max_retries: 5,
+            backoff: Duration::from_millis(2),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let (tx, rx) = crossbeam::channel::unbounded();
+    subscriber
+        .subscribe("alert", move |push| {
+            tx.send(push.request.clone()).unwrap();
+        })
+        .unwrap();
+
+    // An ordinary client (direct, unaffected by the partition) sets up
+    // schema + rule and triggers firings.
+    let trigger = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    let t = trigger.begin().unwrap();
+    trigger
+        .create_class(t, "item", None, vec![AttrDef::new("qty", ValueType::Int)])
+        .unwrap();
+    trigger
+        .create_rule(
+            t,
+            &RuleDef::new("watch")
+                .on(EventSpec::on_update("item"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "alert".into(),
+                    request: "notify".into(),
+                    args: vec![("sev".into(), Expr::lit(1))],
+                })),
+        )
+        .unwrap();
+    let oid = trigger.insert(t, "item", vec![Value::from(10)]).unwrap();
+    trigger.commit(t).unwrap();
+
+    let fire = |n: i64| {
+        let t = trigger.begin().unwrap();
+        trigger
+            .update(t, oid, vec![("qty".into(), Value::from(n))])
+            .unwrap();
+        trigger.commit(t).unwrap();
+    };
+    fire(1);
+    assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "notify");
+
+    proxy.break_connections();
+    // Any request forces the reconnect + re-subscription. The dead
+    // session's teardown races this; poll until the new subscription
+    // is live and receives a push.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        subscriber.stats().unwrap();
+        fire(2);
+        match rx.recv_timeout(Duration::from_millis(500)) {
+            Ok(req) => {
+                assert_eq!(req, "notify");
+                break;
+            }
+            Err(_) if std::time::Instant::now() < deadline => continue,
+            Err(e) => panic!("push never reached the resubscribed client: {e:?}"),
+        }
+    }
+}
+
+/// A rule action pushed to a handler nobody serves anymore must fail
+/// the triggering request with the typed `NoApplicationHandler`
+/// remote error (not hang, not silently drop).
+#[test]
+fn push_to_unsubscribed_handler_is_typed_remote_error() {
+    let server = server();
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+
+    let t = client.begin().unwrap();
+    client
+        .create_class(t, "item", None, vec![AttrDef::new("qty", ValueType::Int)])
+        .unwrap();
+    client
+        .create_rule(
+            t,
+            &RuleDef::new("orphan")
+                .on(EventSpec::on_update("item"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "nobody-home".into(),
+                    request: "ping".into(),
+                    args: vec![],
+                })),
+        )
+        .unwrap();
+    let oid = client.insert(t, "item", vec![Value::from(1)]).unwrap();
+    client.commit(t).unwrap();
+
+    // Subscribe then unsubscribe, so the server once knew the handler.
+    client.subscribe("nobody-home", |_| {}).unwrap();
+    client.unsubscribe("nobody-home").unwrap();
+
+    let t = client.begin().unwrap();
+    let err = client
+        .update(t, oid, vec![("qty".into(), Value::from(2))])
+        .unwrap_err();
+    match &err {
+        WireError::Remote { kind, .. } => {
+            assert_eq!(kind, "NoApplicationHandler", "{err:?}")
+        }
+        other => panic!("expected typed remote error, got {other:?}"),
+    }
+    client.abort(t).ok();
+}
+
+/// An error response racing a push frame on the same connection: the
+/// reader must route both — the push to its (slow) handler, the error
+/// reply to its caller — without deadlock or cross-routing.
+#[test]
+fn error_reply_routes_while_push_handler_is_busy() {
+    let server = server();
+    let client = Arc::new(HipacClient::connect(server.local_addr().to_string()).unwrap());
+
+    let t = client.begin().unwrap();
+    client
+        .create_class(t, "item", None, vec![AttrDef::new("qty", ValueType::Int)])
+        .unwrap();
+    client
+        .create_rule(
+            t,
+            &RuleDef::new("slowpoke")
+                .on(EventSpec::on_update("item"))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "slow".into(),
+                    request: "work".into(),
+                    args: vec![],
+                })),
+        )
+        .unwrap();
+    let oid = client.insert(t, "item", vec![Value::from(1)]).unwrap();
+    client.commit(t).unwrap();
+
+    let (started_tx, started_rx) = crossbeam::channel::bounded::<()>(1);
+    client
+        .subscribe("slow", move |_| {
+            let _ = started_tx.try_send(());
+            std::thread::sleep(Duration::from_millis(300));
+        })
+        .unwrap();
+
+    // Thread 1: triggers the rule; its dispatch blocks until the push
+    // is delivered (immediate coupling writes the push synchronously).
+    let c1 = Arc::clone(&client);
+    let updater = std::thread::spawn(move || {
+        let t = c1.begin().unwrap();
+        c1.update(t, oid, vec![("qty".into(), Value::from(2))])
+            .unwrap();
+        c1.commit(t).unwrap();
+    });
+
+    // Thread 2: as soon as the slow handler is running on the reader
+    // thread, issue a failing request. Its error frame queues behind
+    // the handler but must still reach this caller.
+    started_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    let err = client.commit(TxnId(999_999)).unwrap_err();
+    assert!(
+        matches!(err, WireError::Remote { .. }),
+        "error reply must route through a busy reader: {err:?}"
+    );
+    updater.join().unwrap();
+}

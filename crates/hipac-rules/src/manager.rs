@@ -65,6 +65,14 @@ pub struct RuleStats {
     /// Action firings dispatched through the parallel sibling pool
     /// (a subset of `actions_executed`).
     pub firings_parallel: AtomicU64,
+    /// Separate-mode firing attempts retried after a transaction-fatal
+    /// abort (deadlock / lock timeout / deadline).
+    pub separate_retries: AtomicU64,
+    /// Separate-mode firings abandoned after exhausting the retry
+    /// budget (or failing with a non-retryable error); each leaves a
+    /// dead-letter trace entry and an entry in the separate-error
+    /// buffer.
+    pub separate_dead_letters: AtomicU64,
 }
 
 impl RuleStats {
@@ -114,6 +122,9 @@ pub struct RuleManager {
     internal_txns: Mutex<std::collections::HashSet<TxnId>>,
     handlers: RwLock<HashMap<String, Arc<dyn ApplicationHandler>>>,
     separate_errors: Mutex<Vec<(RuleId, HipacError)>>,
+    /// Retry budget for separate-mode firings aborted by a
+    /// transaction-fatal error (attempts beyond the first).
+    separate_retry_limit: std::sync::atomic::AtomicUsize,
     /// Maximum transaction-tree depth for cascading firings.
     cascade_limit: usize,
     /// Statistics.
@@ -418,6 +429,7 @@ impl RuleManager {
             internal_txns: Mutex::new(std::collections::HashSet::new()),
             handlers: RwLock::new(HashMap::new()),
             separate_errors: Mutex::new(Vec::new()),
+            separate_retry_limit: std::sync::atomic::AtomicUsize::new(3),
             cascade_limit: 32,
             stats: RuleStats::default(),
             tracer: crate::trace::RuleTracer::new(4096),
@@ -527,6 +539,19 @@ impl RuleManager {
     /// see [`RuleManager::take_separate_errors`]).
     pub fn separate_error_count(&self) -> usize {
         self.separate_errors.lock().len()
+    }
+
+    /// Set the retry budget for separate-mode firings: how many times a
+    /// firing aborted by a transaction-fatal error (deadlock, lock
+    /// timeout, deadline) is re-run before being dead-lettered. `0`
+    /// disables retries (the pre-retry behavior).
+    pub fn set_separate_retry_limit(&self, limit: usize) {
+        self.separate_retry_limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// Current separate-firing retry budget.
+    pub fn separate_retry_limit(&self) -> usize {
+        self.separate_retry_limit.load(Ordering::Relaxed)
     }
 
     /// Wait until all separate-mode firings submitted so far have
@@ -903,6 +928,8 @@ impl RuleManager {
                         cascade_depth: depth,
                         event_time: signal.time,
                         duration_us: cond_us,
+                        retries: 0,
+                        dead_letter: false,
                     });
                 }
                 continue;
@@ -930,6 +957,8 @@ impl RuleManager {
                             cascade_depth: depth,
                             event_time: signal.time,
                             duration_us: cond_us,
+                            retries: 0,
+                            dead_letter: false,
                         });
                     }
                     self.submit_separate_action(rid, def, signal, outcome.rows);
@@ -1018,6 +1047,8 @@ impl RuleManager {
                     + action_start
                         .map(|s| s.elapsed().as_micros() as u64)
                         .unwrap_or(0),
+                retries: 0,
+                dead_letter: false,
             });
         }
         Ok(())
@@ -1027,25 +1058,19 @@ impl RuleManager {
     /// on the worker pool; failures are collected, not propagated to
     /// the trigger.
     fn submit_separate(&self, rid: RuleId, signal: EventSignal) {
-        let mgr = self.me();
-        self.pool.submit(move || {
-            let result = mgr.tm.run_top(|txn| {
-                mgr.internal_txns.lock().insert(txn);
-                let Some(def) = mgr.rules.get(txn, &rid) else {
-                    return Ok(()); // deleted meanwhile
-                };
-                if !def.enabled {
-                    return Ok(());
-                }
-                let sig = EventSignal {
-                    txn: Some(txn),
-                    ..signal.clone()
-                };
-                mgr.fire_group(txn, vec![(rid, def, sig)])
-            });
-            if let Err(e) = result {
-                mgr.separate_errors.lock().push((rid, e));
+        let time = signal.time;
+        self.submit_separate_job(rid, time, move |mgr, txn| {
+            let Some(def) = mgr.rules.get(txn, &rid) else {
+                return Ok(()); // deleted meanwhile
+            };
+            if !def.enabled {
+                return Ok(());
             }
+            let sig = EventSignal {
+                txn: Some(txn),
+                ..signal.clone()
+            };
+            mgr.fire_group(txn, vec![(rid, def, sig)])
         });
     }
 
@@ -1058,20 +1083,87 @@ impl RuleManager {
         signal: EventSignal,
         rows: Vec<QueryResult>,
     ) {
+        let time = signal.time;
+        self.submit_separate_job(rid, time, move |mgr, txn| {
+            let sig = EventSignal {
+                txn: Some(txn),
+                ..signal.clone()
+            };
+            mgr.execute_action(txn, &def.action, &sig, &rows)
+        });
+    }
+
+    /// Run a separate firing body on the worker pool with bounded
+    /// retry: an attempt aborted by a transaction-fatal error
+    /// (deadlock victim, lock timeout, deadline) is re-run — each
+    /// attempt in a fresh top-level transaction, after an exponential
+    /// backoff with deterministic per-rule jitter — until it commits
+    /// or the retry budget is exhausted. Non-retryable errors and
+    /// exhausted budgets dead-letter the firing: a trace entry, a
+    /// stat, and an entry in the separate-error buffer.
+    fn submit_separate_job<F>(&self, rid: RuleId, event_time: hipac_common::Timestamp, body: F)
+    where
+        F: Fn(&RuleManager, TxnId) -> Result<()> + Send + 'static,
+    {
         let mgr = self.me();
         self.pool.submit(move || {
-            let result = mgr.tm.run_top(|txn| {
-                mgr.internal_txns.lock().insert(txn);
-                let sig = EventSignal {
-                    txn: Some(txn),
-                    ..signal.clone()
-                };
-                mgr.execute_action(txn, &def.action, &sig, &rows)
-            });
-            if let Err(e) = result {
-                mgr.separate_errors.lock().push((rid, e));
+            let limit = mgr.separate_retry_limit.load(Ordering::Relaxed) as u64;
+            let mut attempt: u64 = 0;
+            loop {
+                let result = mgr.tm.run_top(|txn| {
+                    mgr.internal_txns.lock().insert(txn);
+                    body(&mgr, txn)
+                });
+                match result {
+                    Ok(()) => return,
+                    Err(e) if e.is_txn_fatal() && attempt < limit => {
+                        attempt += 1;
+                        mgr.stats.separate_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(separate_backoff(rid, attempt));
+                    }
+                    Err(e) => {
+                        mgr.separate_dead_letter(rid, attempt, event_time, e);
+                        return;
+                    }
+                }
             }
         });
+    }
+
+    /// Terminal failure of a separate firing: account for it and keep a
+    /// dead-letter record (the separate transaction has no caller to
+    /// report to — the paper leaves disposition open, we keep the
+    /// evidence).
+    fn separate_dead_letter(
+        &self,
+        rid: RuleId,
+        retries: u64,
+        event_time: hipac_common::Timestamp,
+        err: HipacError,
+    ) {
+        self.stats
+            .separate_dead_letters
+            .fetch_add(1, Ordering::Relaxed);
+        let name = self
+            .rules
+            .get_committed(&rid)
+            .map(|d| d.name)
+            .unwrap_or_default();
+        self.tracer.record(crate::trace::FiringTrace {
+            rule: rid,
+            rule_name: name,
+            event: self.catalog.read().get(&rid).map(|e| e.event),
+            txn: None,
+            ec_coupling: CouplingMode::Separate,
+            satisfied: true,
+            action_executed: false,
+            cascade_depth: 0,
+            event_time,
+            duration_us: 0,
+            retries,
+            dead_letter: true,
+        });
+        self.separate_errors.lock().push((rid, err));
     }
 
     // ------------------------------------------------------------------
@@ -1342,6 +1434,23 @@ impl RuleManager {
             action_ops: def.action.ops.len(),
         })
     }
+}
+
+/// Exponential backoff with deterministic per-(rule, attempt) jitter
+/// for separate-firing retries. Deterministic so torture runs replay
+/// identically from their seeds; jittered so two victims of the same
+/// deadlock do not re-collide in lockstep.
+fn separate_backoff(rid: RuleId, attempt: u64) -> std::time::Duration {
+    const BASE_US: u64 = 500;
+    const CAP_US: u64 = 50_000;
+    let exp = BASE_US.saturating_mul(1u64 << attempt.min(6));
+    let mut h = rid
+        .raw()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attempt);
+    h ^= h >> 33;
+    let jitter = h % BASE_US;
+    std::time::Duration::from_micros((exp + jitter).min(CAP_US))
 }
 
 /// An [`ApplicationHandler`] backed by a plain closure — convenient for

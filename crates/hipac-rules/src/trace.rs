@@ -43,6 +43,13 @@ pub struct FiringTrace {
     /// component) plus, for satisfied rules with a synchronous C-A
     /// coupling, the action subtransaction.
     pub duration_us: u64,
+    /// Retry attempts consumed beyond the first execution (separate
+    /// firings only; synchronous firings never retry).
+    pub retries: u64,
+    /// True for the dead-letter record of a separate firing that
+    /// failed terminally (retry budget exhausted, or a non-retryable
+    /// error).
+    pub dead_letter: bool,
 }
 
 /// Bounded in-memory trace buffer. Disabled by default (zero cost:
@@ -169,6 +176,8 @@ mod tests {
             cascade_depth: 0,
             event_time: 0,
             duration_us: 1,
+            retries: 0,
+            dead_letter: false,
         }
     }
 

@@ -915,3 +915,234 @@ fn times_event_rule_fires_every_nth_update() {
     // 7 updates → firings after the 3rd and 6th.
     assert_eq!(e.log.lock().as_slice(), ["third(count=3)", "third(count=3)"]);
 }
+
+/// Differential check of separate-mode firing recovery. A "transfer"
+/// rule's worker transaction is forced to close a wait cycle with the
+/// triggering application's transaction — the lock manager picks the
+/// worker as deadlock victim — and the bounded retry must re-run it
+/// until it commits, ending in exactly the state of the uncontended
+/// run.
+#[test]
+fn separate_deadlock_victim_is_retried_until_it_commits() {
+    // Returns (bal(a1), bal(a2), separate_retries).
+    fn scenario(contended: bool) -> (Value, Value, u64) {
+        let e = engine();
+        e.rules.set_separate_retry_limit(5);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let gate_tx = Mutex::new(gate_tx);
+        e.rules.register_handler(
+            "gate",
+            Arc::new(FnHandler(move |_req: &str, _args: &HashMap<String, Value>| {
+                let _ = gate_tx.lock().send(());
+                // Linger so the application transaction can block on a2
+                // before this firing requests a1 — the firing then
+                // closes the wait cycle and is chosen as victim.
+                std::thread::sleep(std::time::Duration::from_millis(250));
+                Ok(())
+            })),
+        );
+        let acct = |name: &str| {
+            Query::filtered("acct", Expr::attr("name").bin(BinOp::Eq, Expr::lit(name)))
+        };
+        e.tm.run_top(|t| {
+            e.store.create_class(
+                t,
+                "acct",
+                None,
+                vec![
+                    AttrDef::new("name", ValueType::Str).indexed(),
+                    AttrDef::new("bal", ValueType::Float),
+                ],
+            )?;
+            e.store
+                .insert(t, "acct", vec![Value::from("a1"), Value::from(1.0)])?;
+            e.store
+                .insert(t, "acct", vec![Value::from("a2"), Value::from(2.0)])?;
+            e.store
+                .create_class(t, "trig", None, vec![AttrDef::new("n", ValueType::Int)])?;
+            e.store.insert(t, "trig", vec![Value::from(0)])?;
+            e.rules.create_rule(
+                t,
+                RuleDef::new("transfer")
+                    .on(EventSpec::on_update("trig"))
+                    .when(Query::filtered(
+                        "trig",
+                        Expr::NewAttr("n".into()).bin(BinOp::Ge, Expr::lit(0)),
+                    ))
+                    .then(Action {
+                        ops: vec![
+                            ActionOp::Db(DbAction::UpdateWhere {
+                                query: acct("a2"),
+                                assignments: vec![("bal".into(), Expr::lit(200.0))],
+                            }),
+                            ActionOp::AppRequest {
+                                handler: "gate".into(),
+                                request: "sync".into(),
+                                args: vec![],
+                            },
+                            ActionOp::Db(DbAction::UpdateWhere {
+                                query: acct("a1"),
+                                assignments: vec![("bal".into(), Expr::lit(100.0))],
+                            }),
+                        ],
+                    })
+                    .ec(CouplingMode::Separate)
+                    .ca(CouplingMode::Immediate),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+        let (a1_oid, a2_oid, trig_oid) = e
+            .tm
+            .run_top(|t| {
+                Ok((
+                    e.store.query(t, &acct("a1"), None)?[0].oid,
+                    e.store.query(t, &acct("a2"), None)?[0].oid,
+                    e.store.query(t, &Query::all("trig"), None)?[0].oid,
+                ))
+            })
+            .unwrap();
+
+        if contended {
+            let t1 = e.tm.begin();
+            e.store
+                .update(t1, a1_oid, &[("bal", Value::from(10.0))])
+                .unwrap();
+            // Fire the separate rule from an independent, immediately
+            // committed transaction so the worker runs concurrently
+            // with t1.
+            e.tm
+                .run_top(|t| e.store.update(t, trig_oid, &[("n", Value::from(1))]))
+                .unwrap();
+            gate_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("separate firing reached the gate");
+            // Blocks on a2 (the firing holds it); unblocks when the
+            // deadlock check kills the firing.
+            e.store
+                .update(t1, a2_oid, &[("bal", Value::from(2.5))])
+                .unwrap();
+            e.tm.commit(t1).unwrap();
+        } else {
+            e.tm
+                .run_top(|t| {
+                    e.store.update(t, a1_oid, &[("bal", Value::from(10.0))])?;
+                    e.store.update(t, a2_oid, &[("bal", Value::from(2.5))])
+                })
+                .unwrap();
+            e.tm
+                .run_top(|t| e.store.update(t, trig_oid, &[("n", Value::from(1))]))
+                .unwrap();
+        }
+        e.rules.quiesce();
+        assert!(
+            e.rules.take_separate_errors().is_empty(),
+            "the firing must eventually commit (contended={contended})"
+        );
+        let (b1, b2) = e
+            .tm
+            .run_top(|t| {
+                Ok((
+                    e.store.query(t, &acct("a1"), None)?[0].values[1].clone(),
+                    e.store.query(t, &acct("a2"), None)?[0].values[1].clone(),
+                ))
+            })
+            .unwrap();
+        let retries = e
+            .rules
+            .stats
+            .separate_retries
+            .load(std::sync::atomic::Ordering::Relaxed);
+        (b1, b2, retries)
+    }
+
+    let clean = scenario(false);
+    let contended = scenario(true);
+    assert_eq!(
+        (&clean.0, &clean.1),
+        (&contended.0, &contended.1),
+        "differential: contended run must converge to the uncontended state"
+    );
+    assert_eq!(
+        (contended.0, contended.1),
+        (Value::from(100.0), Value::from(200.0)),
+        "the app-txn-then-firing serial outcome"
+    );
+    assert_eq!(clean.2, 0, "uncontended run never retries");
+    assert!(
+        contended.2 >= 1,
+        "the deadlock victim must have been retried"
+    );
+}
+
+/// When every retry of a separate firing keeps hitting the same
+/// transient abort, the budget runs out and the firing is
+/// dead-lettered: error surfaced via take_separate_errors, counters
+/// bumped, and a dead-letter trace recorded.
+#[test]
+fn exhausted_separate_retries_dead_letter_with_accounting() {
+    let e = engine();
+    e.rules.set_separate_retry_limit(1);
+    assert_eq!(e.rules.separate_retry_limit(), 1);
+    e.rules.tracer.set_enabled(true);
+    e.tm.run_top(|t| {
+        e.rules.create_rule(
+            t,
+            RuleDef::new("poison")
+                .on(EventSpec::on_update("stock"))
+                .when(Query::filtered(
+                    "stock",
+                    Expr::NewAttr("symbol".into()).bin(BinOp::Eq, Expr::lit("XRX")),
+                ))
+                .then(Action::single(ActionOp::Db(DbAction::UpdateWhere {
+                    query: Query::filtered(
+                        "stock",
+                        Expr::attr("symbol").bin(BinOp::Eq, Expr::lit("XRX")),
+                    ),
+                    assignments: vec![("price".into(), Expr::lit(1.0))],
+                })))
+                .ec(CouplingMode::Separate)
+                .ca(CouplingMode::Immediate),
+        )
+    })
+    .unwrap();
+    let oid = xrx_oid(&e);
+    // Hold the write lock on XRX across the firing's whole retry
+    // budget: every attempt times out waiting for it.
+    let t1 = e.tm.begin();
+    e.store
+        .update(t1, oid, &[("price", Value::from(55.0))])
+        .unwrap();
+    e.rules.quiesce(); // initial attempt + 1 retry, then dead-letter
+    let errors = e.rules.take_separate_errors();
+    assert_eq!(errors.len(), 1, "terminal error surfaced: {errors:?}");
+    assert!(
+        errors[0].1.is_txn_fatal(),
+        "terminal error is the transient abort that exhausted the budget: {:?}",
+        errors[0].1
+    );
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(e.rules.stats.separate_retries.load(Relaxed), 1);
+    assert_eq!(e.rules.stats.separate_dead_letters.load(Relaxed), 1);
+    let traces = e.rules.tracer.take();
+    let dead: Vec<_> = traces.iter().filter(|tr| tr.dead_letter).collect();
+    assert_eq!(dead.len(), 1, "one dead-letter trace: {traces:?}");
+    assert_eq!(dead[0].retries, 1);
+    assert_eq!(dead[0].rule_name, "poison");
+    assert!(!dead[0].action_executed);
+    e.tm.commit(t1).unwrap();
+    // The dead-lettered action never applied.
+    let price = e
+        .tm
+        .run_top(|t| {
+            Ok(e.store.query(
+                t,
+                &Query::filtered("stock", Expr::attr("symbol").bin(BinOp::Eq, Expr::lit("XRX"))),
+                None,
+            )?[0]
+                .values[1]
+                .clone())
+        })
+        .unwrap();
+    assert_eq!(price, Value::from(55.0));
+}

@@ -159,8 +159,10 @@ impl<K: Eq + Hash + Clone> LockManager<K> {
     ///
     /// Errors: [`HipacError::Deadlock`] if waiting would close a cycle,
     /// [`HipacError::LockTimeout`] after the configured timeout,
-    /// [`HipacError::TxnAborted`] if the transaction was aborted while
-    /// waiting.
+    /// [`HipacError::DeadlineExceeded`] when the transaction's
+    /// effective request deadline (see [`TxnTree::effective_deadline`])
+    /// passes while waiting, [`HipacError::TxnAborted`] if the
+    /// transaction was aborted while waiting.
     pub fn acquire(&self, txn: TxnId, key: K, mode: LockMode) -> Result<()> {
         let mut state = self.state.lock();
         loop {
@@ -189,10 +191,35 @@ impl<K: Eq + Hash + Clone> LockManager<K> {
                 self.cv.notify_all();
                 return Err(HipacError::Deadlock(txn));
             }
+            // A request deadline (inherited from any ancestor) clamps
+            // the wait: a transaction past its deadline stops waiting
+            // rather than hold its place in the queue.
+            let deadline = self.tree.effective_deadline(txn);
+            let wait = match deadline {
+                Some(d) => {
+                    let now = std::time::Instant::now();
+                    if now >= d {
+                        state.waits_for.remove(&txn);
+                        self.cv.notify_all();
+                        return Err(HipacError::DeadlineExceeded(txn));
+                    }
+                    self.timeout.min(d - now)
+                }
+                None => self.timeout,
+            };
             state.waits_for.insert(txn, blockers);
-            if self.cv.wait_for(&mut state, self.timeout).timed_out() {
-                state.waits_for.remove(&txn);
-                return Err(HipacError::LockTimeout(txn));
+            if self.cv.wait_for(&mut state, wait).timed_out() {
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    state.waits_for.remove(&txn);
+                    self.cv.notify_all();
+                    return Err(HipacError::DeadlineExceeded(txn));
+                }
+                if wait >= self.timeout {
+                    state.waits_for.remove(&txn);
+                    return Err(HipacError::LockTimeout(txn));
+                }
+                // Deadline-clamped wait elapsed but the clock has not
+                // quite reached the deadline: loop and re-check.
             }
         }
     }
@@ -416,6 +443,53 @@ mod tests {
         lm.acquire(a, "x", LockMode::Write).unwrap();
         let err = lm.acquire(b, "x", LockMode::Read).unwrap_err();
         assert_eq!(err, HipacError::LockTimeout(b));
+    }
+
+    #[test]
+    fn deadline_cuts_lock_wait_short() {
+        let (tree, lm) = setup(); // 400 ms lock timeout
+        let a = tree.begin_top();
+        let b = tree.begin_top();
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        tree.set_deadline(b, Some(std::time::Instant::now() + Duration::from_millis(60)))
+            .unwrap();
+        let started = std::time::Instant::now();
+        let err = lm.acquire(b, "x", LockMode::Read).unwrap_err();
+        assert_eq!(err, HipacError::DeadlineExceeded(b));
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "deadline pre-empted the 400 ms lock timeout: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_inherited_from_parent_applies_to_child_waits() {
+        let (tree, lm) = setup();
+        let holder = tree.begin_top();
+        lm.acquire(holder, "x", LockMode::Write).unwrap();
+        let top = tree.begin_top();
+        let child = tree.begin_child(top).unwrap();
+        tree.set_deadline(top, Some(std::time::Instant::now() + Duration::from_millis(60)))
+            .unwrap();
+        let err = lm.acquire(child, "x", LockMode::Write).unwrap_err();
+        assert_eq!(err, HipacError::DeadlineExceeded(child));
+    }
+
+    #[test]
+    fn expired_deadline_fails_only_when_blocked() {
+        let (tree, lm) = setup();
+        let a = tree.begin_top();
+        tree.set_deadline(a, Some(std::time::Instant::now() - Duration::from_millis(1)))
+            .unwrap();
+        // Uncontended acquires still succeed: the deadline only stops
+        // *waiting*, it does not poison the transaction by itself.
+        lm.acquire(a, "x", LockMode::Write).unwrap();
+        let b = tree.begin_top();
+        tree.set_deadline(b, Some(std::time::Instant::now() - Duration::from_millis(1)))
+            .unwrap();
+        let err = lm.acquire(b, "x", LockMode::Read).unwrap_err();
+        assert_eq!(err, HipacError::DeadlineExceeded(b));
     }
 
     #[test]

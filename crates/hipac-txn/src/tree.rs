@@ -4,6 +4,7 @@ use hipac_common::id::IdAllocator;
 use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Lifecycle state of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,9 @@ struct TxnMeta {
     /// Global begin sequence number; used to pick deadlock victims
     /// ("youngest dies") and exposed for diagnostics.
     seq: u64,
+    /// Absolute deadline after which waits on behalf of this
+    /// transaction should give up (request deadline propagation).
+    deadline: Option<Instant>,
 }
 
 /// The shared registry of all transactions.
@@ -72,6 +76,7 @@ impl TxnTree {
                 state: TxnState::Active,
                 depth: 0,
                 seq: self.seqs.alloc(),
+                deadline: None,
             },
         );
         id
@@ -103,6 +108,7 @@ impl TxnTree {
                 state: TxnState::Active,
                 depth,
                 seq: self.seqs.alloc(),
+                deadline: None,
             },
         );
         txns.get_mut(&parent)
@@ -209,6 +215,41 @@ impl TxnTree {
             .get(&txn)
             .map(|m| m.seq)
             .ok_or(HipacError::UnknownTxn(txn))
+    }
+
+    /// Attach (or clear) an absolute deadline to `txn`.
+    ///
+    /// The network layer sets this on the top-level transaction a
+    /// deadlined request runs in; lock waits performed by the
+    /// transaction or any descendant observe it via
+    /// [`TxnTree::effective_deadline`] and give up with
+    /// [`HipacError::DeadlineExceeded`] once it passes.
+    pub fn set_deadline(&self, txn: TxnId, deadline: Option<Instant>) -> Result<()> {
+        let mut txns = self.txns.write();
+        match txns.get_mut(&txn) {
+            Some(meta) => {
+                meta.deadline = deadline;
+                Ok(())
+            }
+            None => Err(HipacError::UnknownTxn(txn)),
+        }
+    }
+
+    /// The tightest deadline along `txn`'s ancestor chain (inclusive),
+    /// or `None` when no ancestor carries one.
+    pub fn effective_deadline(&self, txn: TxnId) -> Option<Instant> {
+        let txns = self.txns.read();
+        let mut best: Option<Instant> = None;
+        let mut cur = Some(txn);
+        while let Some(id) = cur {
+            let Some(meta) = txns.get(&id) else { break };
+            best = match (best, meta.deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            cur = meta.parent;
+        }
+        best
     }
 
     /// Is `a` equal to or an ancestor of `b`?
@@ -416,6 +457,27 @@ mod tests {
             Transition::Applied(TxnState::Committing)
         );
         assert!(tree.try_transition(TxnId(999), &[TxnState::Active], TxnState::Aborted).is_err());
+    }
+
+    #[test]
+    fn deadlines_propagate_down_and_take_the_minimum() {
+        let tree = TxnTree::new();
+        let t = tree.begin_top();
+        let c = tree.begin_child(t).unwrap();
+        let g = tree.begin_child(c).unwrap();
+        assert_eq!(tree.effective_deadline(g), None);
+        let soon = Instant::now() + std::time::Duration::from_secs(5);
+        let later = soon + std::time::Duration::from_secs(5);
+        tree.set_deadline(t, Some(later)).unwrap();
+        assert_eq!(tree.effective_deadline(g), Some(later));
+        // A tighter deadline on an intermediate node wins.
+        tree.set_deadline(c, Some(soon)).unwrap();
+        assert_eq!(tree.effective_deadline(g), Some(soon));
+        assert_eq!(tree.effective_deadline(t), Some(later));
+        tree.set_deadline(t, None).unwrap();
+        tree.set_deadline(c, None).unwrap();
+        assert_eq!(tree.effective_deadline(g), None);
+        assert!(tree.set_deadline(TxnId(999), Some(soon)).is_err());
     }
 
     #[test]

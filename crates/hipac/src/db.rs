@@ -34,6 +34,7 @@ pub struct Builder {
     lock_timeout: Duration,
     clock: ClockMode,
     storage_faults: Option<Arc<FaultPolicy>>,
+    separate_retry_limit: usize,
 }
 
 impl Default for Builder {
@@ -47,6 +48,7 @@ impl Default for Builder {
             lock_timeout: Duration::from_secs(10),
             clock: ClockMode::Virtual,
             storage_faults: None,
+            separate_retry_limit: 3,
         }
     }
 }
@@ -83,6 +85,15 @@ impl Builder {
     /// Clock mode for temporal events.
     pub fn clock(mut self, mode: ClockMode) -> Self {
         self.clock = mode;
+        self
+    }
+
+    /// How many times a separate-coupled firing whose worker
+    /// transaction aborts transiently (deadlock, lock timeout,
+    /// deadline) is retried before being dead-lettered. `0` disables
+    /// retries.
+    pub fn separate_retry_limit(mut self, n: usize) -> Self {
+        self.separate_retry_limit = n;
         self
     }
 
@@ -147,6 +158,7 @@ impl Builder {
             self.firing_parallelism,
             durable.clone(),
         )?;
+        rules.set_separate_retry_limit(self.separate_retry_limit);
         Ok(ActiveDatabase {
             tm,
             store,
@@ -193,6 +205,12 @@ pub struct EngineStats {
     /// Sibling action jobs enqueued on the firing pool and not yet
     /// claimed by any thread.
     pub pool_queue_depth: u64,
+    /// Separate-mode firing attempts retried after a transient
+    /// (txn-fatal) abort such as a deadlock or lock timeout.
+    pub separate_retries: u64,
+    /// Separate-mode firings that exhausted their retry budget (or hit
+    /// a non-retryable error) and were dead-lettered.
+    pub separate_dead_letters: u64,
 }
 
 /// The assembled active DBMS.
@@ -279,6 +297,14 @@ impl ActiveDatabase {
         self.tm.run_child(parent, f)
     }
 
+    /// Attach (or clear, with `None`) a wall-clock deadline to a
+    /// transaction. Lock waits by the transaction or its descendants
+    /// return `DeadlineExceeded` once the deadline passes; used by
+    /// `hipac-net` to propagate per-request deadlines into the engine.
+    pub fn set_txn_deadline(&self, txn: TxnId, deadline: Option<std::time::Instant>) -> Result<()> {
+        self.tm.tree().set_deadline(txn, deadline)
+    }
+
     // ---- event operations (Figure 4.1) ------------------------------------
 
     /// Define an application-specific event with named parameters
@@ -355,6 +381,8 @@ impl ActiveDatabase {
             separate_errors: self.rules.separate_error_count() as u64,
             firings_parallel: s.firings_parallel.load(Relaxed),
             pool_queue_depth: self.rules.firing_queue_depth() as u64,
+            separate_retries: s.separate_retries.load(Relaxed),
+            separate_dead_letters: s.separate_dead_letters.load(Relaxed),
         }
     }
 

@@ -22,6 +22,15 @@ cargo test -q -p hipac --test parallel_firing
 echo "==> fanout bench smoke (N=16, 1 iteration, both parallelism levels)"
 cargo run --release -q -p hipac-bench --bin report -- --only fanout --smoke
 
+echo "==> network chaos suite (fixed seed matrix 11/22/33, exactly-once torture)"
+cargo test -q -p hipac-net --test resilience
+
+echo "==> separate-mode firing recovery (deadlock retry + dead-letter)"
+cargo test -q -p hipac-rules --test rule_manager_tests separate
+
+echo "==> netchaos bench smoke (0% vs 5% faults, seed 4242)"
+cargo run --release -q -p hipac-bench --bin report -- --only netchaos --smoke --json netchaos
+
 # The offline toolchain may ship without clippy; lint hard when present.
 if cargo clippy --version >/dev/null 2>&1; then
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"
