@@ -34,10 +34,18 @@
 //! mid-frame resets and drops between a `hipac-net` client and server,
 //! so exactly-once and drain guarantees can be checked under failure.
 
+//! [`restart`] composes both with the storage layer's crash-injecting
+//! `FaultPolicy` into a full crash-restart torture: a seeded storage
+//! crash mid-burst, a reboot onto the same data directory, and clients
+//! retrying through the partition — proving the durable reply journal
+//! and push outbox keep exactly-once across the restart.
+
 pub mod conflict;
 pub mod netchaos;
+pub mod restart;
 pub mod schedule;
 
 pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
 pub use netchaos::{ChaosConfig, ChaosFault, ChaosHit, ChaosProxy, ChaosStats};
+pub use restart::{run_restart_torture, RestartTortureConfig, RestartTortureReport};
 pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};

@@ -126,6 +126,9 @@ struct Shared {
     log: Mutex<Vec<ChaosHit>>,
     /// Live relayed sockets, for forced teardown and shutdown.
     live: Mutex<Vec<TcpStream>>,
+    /// Where new connections relay to; mutable so a restarted upstream
+    /// (new ephemeral port, same data dir) can be swapped in.
+    upstream: Mutex<SocketAddr>,
     stop: AtomicBool,
 }
 
@@ -147,12 +150,13 @@ impl ChaosProxy {
             counters: Counters::default(),
             log: Mutex::new(Vec::new()),
             live: Mutex::new(Vec::new()),
+            upstream: Mutex::new(upstream),
             stop: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("chaos-accept".into())
-            .spawn(move || accept_loop(listener, upstream, accept_shared))
+            .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawn chaos accept thread");
         Ok(ChaosProxy {
             shared,
@@ -183,6 +187,14 @@ impl ChaosProxy {
         self.shared.log.lock().clone()
     }
 
+    /// Point new connections at a different upstream address. Existing
+    /// relays keep their old upstream until torn down — combine with
+    /// [`ChaosProxy::break_connections`] to model a server that
+    /// crashed and came back on a new port with the same data dir.
+    pub fn retarget(&self, upstream: SocketAddr) {
+        *self.shared.upstream.lock() = upstream;
+    }
+
     /// Forcibly tear down every live relayed connection. New
     /// connections are still accepted — this simulates a transient
     /// network partition and is the deterministic way to force a
@@ -211,11 +223,12 @@ impl Drop for ChaosProxy {
     }
 }
 
-fn accept_loop(listener: TcpListener, upstream: SocketAddr, shared: Arc<Shared>) {
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut conn_index: u64 = 0;
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((client, _)) => {
+                let upstream = *shared.upstream.lock();
                 let upstream_conn = match TcpStream::connect_timeout(
                     &upstream,
                     Duration::from_secs(5),

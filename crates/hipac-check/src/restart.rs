@@ -1,0 +1,514 @@
+//! Crash-restart torture harness: the end-to-end proof that the
+//! durable reply journal and the acked push outbox together give
+//! exactly-once across a full server crash.
+//!
+//! One run composes every failure layer this workspace has:
+//!
+//! * a **storage crash** — the served database opens with
+//!   [`FaultPolicy::crash_at`], so at a seeded fault-point index the
+//!   WAL/apply path starts failing like a kill -9 (every later storage
+//!   op errors too, and the server refuses traffic until "rebooted");
+//! * a **chaos network** — all clients talk through a seeded
+//!   [`ChaosProxy`] that delays, splits, resets and drops chunks;
+//! * a **restart** — after the crash fires, the harness drops the
+//!   server, reopens the *same data directory* with a clean fault
+//!   policy, rebinds on a fresh port, retargets the proxy and tears
+//!   down every live relay, exactly like a process restart behind a
+//!   stable VIP.
+//!
+//! Clients run a redo protocol that is only sound if the server keeps
+//! its side of the exactly-once contract:
+//!
+//! * ambiguous outcomes (`Io`, transport loss, `Draining`,
+//!   `Overloaded`) are retried with the **same** idempotency key —
+//!   never redone — until the server gives a definite answer;
+//! * definite non-executions (`UnknownTxn` after reconnect, deadlock
+//!   victims, refusals) are redone in a fresh transaction;
+//! * a retried key whose original committed **before the crash** must
+//!   be answered from the recovered reply journal, not re-executed.
+//!
+//! A subscriber rides along: committed inserts into a second class
+//! fire a rule that pushes to its handler, and every push — including
+//! ones retained in the durable outbox across the crash — must reach
+//! the handler exactly once per sequence number, with the outbox
+//! draining to empty once acks land.
+//!
+//! The report deliberately contains raw evidence (per-value counts,
+//! per-seq delivery counts, journal probe results) so test assertions
+//! and bench cells stay outside the harness.
+
+use crate::netchaos::{ChaosConfig, ChaosProxy};
+use hipac::ActiveDatabase;
+use hipac_common::{TxnId, Value, ValueType};
+use hipac_event::EventSpec;
+use hipac_net::proto::{Command, Frame, Reply, RequestMeta, WireError};
+use hipac_net::{ClientConfig, HipacClient, HipacServer};
+use hipac_object::{AttrDef, Expr, Query};
+use hipac_rules::{Action, ActionOp, RuleDef};
+use hipac_storage::fault::FaultPolicy;
+use hipac_storage::journal;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs for one torture run. Everything that influences the schedule
+/// derives from `seed`, so a failure reproduces from its seed alone.
+#[derive(Debug, Clone)]
+pub struct RestartTortureConfig {
+    /// Master seed: chaos decisions, crash placement spread.
+    pub seed: u64,
+    /// Concurrent exactly-once worker clients.
+    pub workers: usize,
+    /// Committed transactions each worker must land.
+    pub txns_per_worker: i64,
+    /// Chaos fault probability in percent per relayed chunk.
+    pub chaos_percent: u32,
+    /// Storage fault-point hits *after setup* before the crash fires.
+    pub crash_offset: u64,
+    /// Push-firing transactions before the crash window opens.
+    pub pushes_before: i64,
+    /// Push-firing transactions after the restart.
+    pub pushes_after: i64,
+    /// Wall-clock budget for the whole run.
+    pub budget: Duration,
+}
+
+impl RestartTortureConfig {
+    /// The fast CI shape: small burst, crash mid-burst, a few pushes
+    /// on each side of the crash.
+    pub fn fast(seed: u64) -> RestartTortureConfig {
+        RestartTortureConfig {
+            seed,
+            workers: 3,
+            txns_per_worker: 8,
+            chaos_percent: 3,
+            crash_offset: 20 + seed % 40,
+            pushes_before: 4,
+            pushes_after: 4,
+            budget: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Raw evidence from one torture run; assertions live with the caller.
+#[derive(Debug)]
+pub struct RestartTortureReport {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Absolute fault-point index the crash was armed at.
+    pub crash_hit: u64,
+    /// Did the armed crash actually fire?
+    pub crashed: bool,
+    /// Committed `t.n` counts read from the restarted store.
+    pub counts: HashMap<i64, usize>,
+    /// Committed counts from an uncontended run of the same workload.
+    pub expected: HashMap<i64, usize>,
+    /// Values whose commit the workload acked (must appear once each).
+    pub acked: Vec<i64>,
+    /// Values whose outcome stayed ambiguous (should be empty: the
+    /// journal must resolve every retry to a definite answer).
+    pub unknown: Vec<i64>,
+    /// Reply-journal entries found on disk after the restart.
+    pub journal_entries: u64,
+    /// Raw duplicate probes sent against the restarted server.
+    pub replay_probes: u64,
+    /// Probes answered `Ok` — from the journal, without re-execution.
+    pub replay_hits: u64,
+    /// The restarted server's journal-replay gauge at the end.
+    pub journal_replays: u64,
+    /// Time from killing the old server to the new one accepting.
+    pub recovery: Duration,
+    /// Handler executions per push sequence number (each must be 1).
+    pub push_deliveries: HashMap<u64, u64>,
+    /// The restarted server's redelivered-push gauge at the end.
+    pub pushes_redelivered: u64,
+    /// Unacked pushes still retained when the run ended (must be 0).
+    pub unacked_after: u64,
+}
+
+fn fresh_dir(tag: &str, seed: u64) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hipac-restart-{tag}-{}-{seed}-{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create torture dir");
+    dir
+}
+
+/// Schema + rule shared by every phase: class `t(n)` for the
+/// exactly-once workload, class `p(n)` whose inserts fire a push to
+/// handler `audit`.
+fn setup_schema(db: &Arc<ActiveDatabase>) {
+    db.run_top(|t| {
+        db.store()
+            .create_class(t, "t", None, vec![AttrDef::new("n", ValueType::Int)])?;
+        db.store()
+            .create_class(t, "p", None, vec![AttrDef::new("n", ValueType::Int)])?;
+        db.rules().create_rule(
+            t,
+            RuleDef::new("audit-insert")
+                .on(EventSpec::db(hipac_event::spec::DbEventKind::Insert, Some("p")))
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "audit".into(),
+                    request: "audit".into(),
+                    args: vec![("sev".into(), Expr::lit(1))],
+                })),
+        )?;
+        Ok(())
+    })
+    .expect("setup schema");
+}
+
+/// Fault-point hits the schema setup costs on this build, measured on
+/// a throwaway directory so the armed crash can be placed *after*
+/// setup deterministically.
+fn measure_setup_hits(seed: u64) -> u64 {
+    let dir = fresh_dir("calib", seed);
+    let faults = FaultPolicy::count_only();
+    let db = Arc::new(
+        ActiveDatabase::builder()
+            .durable(&dir)
+            .storage_faults(Arc::clone(&faults))
+            .lock_timeout(Duration::from_secs(3))
+            .build()
+            .expect("open calibration db"),
+    );
+    setup_schema(&db);
+    let hits = faults.hits();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    hits
+}
+
+fn committed_counts(db: &Arc<ActiveDatabase>) -> HashMap<i64, usize> {
+    db.run_top(|t| {
+        let rows = db.store().query(t, &Query::all("t"), None)?;
+        let mut counts = HashMap::new();
+        for r in rows {
+            if let Value::Int(n) = r.values[0] {
+                *counts.entry(n).or_insert(0usize) += 1;
+            }
+        }
+        Ok(counts)
+    })
+    .expect("read committed counts")
+}
+
+/// One value's redo loop: retry ambiguity with the same key (the
+/// client does that internally), redo definite non-executions in a
+/// fresh transaction, and treat only `ReplyEvicted` / exhausted
+/// budgets as permanently unknown.
+fn land_value(client: &HipacClient, class: &str, v: i64, deadline: Instant) -> bool {
+    while Instant::now() < deadline {
+        let txn = match client.begin() {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        if let Err(e) = client.insert(txn, class, vec![Value::from(v)]) {
+            let _ = client.abort(txn);
+            if matches!(&e, WireError::Remote { kind, .. } if kind == "ReplyEvicted") {
+                return false;
+            }
+            continue;
+        }
+        match client.commit(txn) {
+            Ok(()) => return true,
+            // Definite non-executions: the transaction is gone (session
+            // died before the commit executed), was a deadlock victim,
+            // or was refused. Redo in a fresh transaction.
+            Err(WireError::Remote { kind, .. })
+                if matches!(
+                    kind.as_str(),
+                    "UnknownTxn"
+                        | "Deadlock"
+                        | "LockTimeout"
+                        | "DeadlineExceeded"
+                        | "NoApplicationHandler"
+                        | "Overloaded"
+                        | "Draining"
+                        | "InUse"
+                ) =>
+            {
+                continue
+            }
+            // Outcome-unknown-permanent, or anything else ambiguous the
+            // retry budget could not resolve: redoing could double.
+            Err(_) => return false,
+        }
+    }
+    false
+}
+
+fn torture_client(addr: String, seed: u64, salt: u64) -> HipacClient {
+    HipacClient::connect_with(
+        addr,
+        ClientConfig {
+            max_retries: 64,
+            backoff: Duration::from_millis(1),
+            retry_ambiguous: true,
+            client_id: 0xC0FFEE ^ (seed << 8) ^ salt,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect torture client")
+}
+
+/// Send a raw keyed duplicate straight at `addr` and report whether it
+/// came back `Ok` — with the original session dead and the transaction
+/// long gone, only a journal replay can say `Ok` here.
+fn raw_replay_probe(addr: std::net::SocketAddr, client_id: u64, seq: u64) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let frame = Frame::Request {
+        id: 1,
+        meta: RequestMeta {
+            client_id,
+            seq,
+            deadline_ms: 0,
+        },
+        command: Command::Commit {
+            txn: TxnId(u64::MAX),
+        },
+    };
+    if stream.write_all(&frame.encode()).is_err() {
+        return false;
+    }
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Some(Frame::Response { id: 1, reply })) => return reply == Reply::Ok,
+            Ok(Some(_)) => continue,
+            _ => return false,
+        }
+    }
+}
+
+/// The same workload with no chaos, no crash, no restarts: the
+/// committed state the torture run must converge to.
+fn uncontended_counts(cfg: &RestartTortureConfig) -> HashMap<i64, usize> {
+    let db = Arc::new(
+        ActiveDatabase::builder()
+            .lock_timeout(Duration::from_secs(3))
+            .build()
+            .expect("open uncontended db"),
+    );
+    setup_schema(&db);
+    let server = HipacServer::bind(Arc::clone(&db), "127.0.0.1:0").expect("bind uncontended server");
+    let deadline = Instant::now() + cfg.budget;
+    let client = torture_client(server.local_addr().to_string(), cfg.seed, 0xBA5E);
+    client.subscribe("audit", |_| {}).expect("subscribe");
+    for w in 0..cfg.workers as i64 {
+        for i in 0..cfg.txns_per_worker {
+            assert!(
+                land_value(&client, "t", w * 1000 + i, deadline),
+                "uncontended run failed to land {w}/{i}"
+            );
+        }
+    }
+    for i in 0..cfg.pushes_before + cfg.pushes_after {
+        assert!(
+            land_value(&client, "p", 9000 + i, deadline),
+            "uncontended run failed to land push txn {i}"
+        );
+    }
+    committed_counts(&db)
+}
+
+/// Run the full crash-restart torture. See the module docs for the
+/// phases; the returned report carries raw evidence only.
+pub fn run_restart_torture(cfg: &RestartTortureConfig) -> RestartTortureReport {
+    let expected = uncontended_counts(cfg);
+    let deadline = Instant::now() + cfg.budget;
+
+    let crash_hit = measure_setup_hits(cfg.seed) + cfg.crash_offset;
+    let dir = fresh_dir("data", cfg.seed);
+    let faults = FaultPolicy::crash_at(crash_hit, cfg.seed);
+    let db1 = Arc::new(
+        ActiveDatabase::builder()
+            .durable(&dir)
+            .storage_faults(Arc::clone(&faults))
+            .lock_timeout(Duration::from_secs(3))
+            .build()
+            .expect("open torture db"),
+    );
+    setup_schema(&db1);
+    let server1 = HipacServer::bind(Arc::clone(&db1), "127.0.0.1:0").expect("bind torture server");
+    let proxy = Arc::new(
+        ChaosProxy::spawn(
+            server1.local_addr(),
+            ChaosConfig::percent(cfg.seed, cfg.chaos_percent),
+        )
+        .expect("spawn chaos proxy"),
+    );
+    let proxy_addr = proxy.local_addr().to_string();
+
+    // Subscriber: counts handler executions per push seq; its poll
+    // thread keeps a request flowing so reconnects re-subscribe (which
+    // is what triggers outbox redelivery).
+    let push_deliveries: Arc<Mutex<HashMap<u64, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let subscriber = Arc::new(torture_client(proxy_addr.clone(), cfg.seed, 0x5B5B));
+    {
+        let deliveries = Arc::clone(&push_deliveries);
+        subscriber
+            .subscribe("audit", move |event| {
+                *deliveries.lock().entry(event.seq).or_insert(0) += 1;
+            })
+            .expect("subscribe audit");
+    }
+    let sub_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sub_poll = {
+        let subscriber = Arc::clone(&subscriber);
+        let stop = Arc::clone(&sub_stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = subscriber.stats();
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        })
+    };
+
+    // Workers: each lands its values through the chaos + crash.
+    let acked: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let unknown: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut threads = Vec::new();
+    for w in 0..cfg.workers as i64 {
+        let addr = proxy_addr.clone();
+        let acked = Arc::clone(&acked);
+        let unknown = Arc::clone(&unknown);
+        let seed = cfg.seed;
+        let per = cfg.txns_per_worker;
+        threads.push(std::thread::spawn(move || {
+            let client = torture_client(addr, seed, w as u64 + 1);
+            for i in 0..per {
+                let v = w * 1000 + i;
+                if land_value(&client, "t", v, deadline) {
+                    acked.lock().push(v);
+                } else {
+                    unknown.lock().push(v);
+                }
+            }
+        }));
+    }
+    // Pusher: fires the pre-crash pushes concurrently with the burst.
+    {
+        let addr = proxy_addr.clone();
+        let unknown = Arc::clone(&unknown);
+        let seed = cfg.seed;
+        let n = cfg.pushes_before;
+        threads.push(std::thread::spawn(move || {
+            let client = torture_client(addr, seed, 0x9057);
+            for i in 0..n {
+                if !land_value(&client, "p", 9000 + i, deadline) {
+                    unknown.lock().push(9000 + i);
+                }
+            }
+        }));
+    }
+
+    // Wait for the armed crash, then "reboot": drop the dead server,
+    // reopen the same directory clean, rebind, swing the proxy over.
+    let crash_wait = Instant::now() + cfg.budget / 2;
+    while !faults.has_crashed() && Instant::now() < crash_wait {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let crashed = faults.has_crashed();
+    let mut server1 = server1;
+    let restart_started = Instant::now();
+    server1.shutdown();
+    drop(server1);
+    drop(db1);
+    let db2 = Arc::new(
+        ActiveDatabase::builder()
+            .durable(&dir)
+            .lock_timeout(Duration::from_secs(3))
+            .build()
+            .expect("reopen torture db"),
+    );
+    let server2 = HipacServer::bind(Arc::clone(&db2), "127.0.0.1:0").expect("rebind torture server");
+    let recovery = restart_started.elapsed();
+    proxy.retarget(server2.local_addr());
+    proxy.break_connections();
+
+    // Post-restart pushes, then drain everything.
+    {
+        let addr = proxy_addr.clone();
+        let unknown = Arc::clone(&unknown);
+        let seed = cfg.seed;
+        let (from, to) = (cfg.pushes_before, cfg.pushes_before + cfg.pushes_after);
+        threads.push(std::thread::spawn(move || {
+            let client = torture_client(addr, seed, 0x9058);
+            for i in from..to {
+                if !land_value(&client, "p", 9000 + i, deadline) {
+                    unknown.lock().push(9000 + i);
+                }
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("join torture thread");
+    }
+
+    // Drain the outbox: acks flow through chaos, so force periodic
+    // reconnects (redelivery + re-ack) until nothing is retained.
+    while server2.unacked_pushes() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        if server2.unacked_pushes() > 0 {
+            proxy.break_connections();
+        }
+    }
+    sub_stop.store(true, Ordering::Relaxed);
+    sub_poll.join().expect("join subscriber poll");
+
+    // Journal evidence: enumerate surviving entries and fire raw keyed
+    // duplicates at the restarted server — `Ok` without a live session
+    // or transaction can only come from the recovered journal.
+    let mut journal_entries = 0u64;
+    let mut replay_probes = 0u64;
+    let mut replay_hits = 0u64;
+    if let Some(d) = db2.durable_store() {
+        if let Ok(entries) = d.scan_prefix(&[journal::REPLY_PREFIX]) {
+            for (key, _) in &entries {
+                journal_entries += 1;
+                if replay_probes < 3 {
+                    if let Some((client_id, seq)) = journal::parse_reply_key(key) {
+                        replay_probes += 1;
+                        if raw_replay_probe(server2.local_addr(), client_id, seq) {
+                            replay_hits += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let counts = committed_counts(&db2);
+    let report = RestartTortureReport {
+        seed: cfg.seed,
+        crash_hit,
+        crashed,
+        counts,
+        expected,
+        acked: acked.lock().clone(),
+        unknown: unknown.lock().clone(),
+        journal_entries,
+        replay_probes,
+        replay_hits,
+        journal_replays: server2.journal_replays(),
+        recovery,
+        push_deliveries: push_deliveries.lock().clone(),
+        pushes_redelivered: server2.pushes_redelivered(),
+        unacked_after: server2.unacked_pushes(),
+    };
+    drop(server2);
+    drop(db2);
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}

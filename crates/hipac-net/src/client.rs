@@ -23,6 +23,18 @@
 //! is unknown (at-most-once). Per-request deadlines ride in the
 //! request metadata — the server bounds lock waits with them — and
 //! expire locally as [`WireError::Timeout`].
+//!
+//! Protocol v4 extends the guarantees across server restarts: push
+//! frames carry per-subscription sequence numbers which the reader
+//! thread acknowledges after the handler returns (redeliveries with an
+//! already-seen sequence are acked but not re-handled), and
+//! [`ClientConfig::retry_ambiguous`] opts keyed requests into retrying
+//! server refusals and ambiguous storage errors with the *same*
+//! idempotency key until the server — possibly a restarted one
+//! consulting its reply journal — produces a definite answer. Repeated
+//! dial failures trip a process-wide per-address circuit breaker
+//! ([`ClientConfig::breaker_threshold`]) so a dead server is probed by
+//! one caller per cooldown instead of hammered by every thread.
 
 use crate::proto::{
     Command, Frame, PushEvent, Reply, RequestMeta, WireAttr, WireError, WireRow, WireStats,
@@ -36,9 +48,9 @@ use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Callback invoked on a push frame.
 pub type PushHandler = Box<dyn Fn(&PushEvent) + Send + Sync>;
@@ -62,6 +74,23 @@ pub struct ClientConfig {
     /// Stable client identity for the server's dedup window. `0`
     /// generates a process-unique one.
     pub client_id: u64,
+    /// Also retry typed server refusals (`Overloaded`, `Draining`) and
+    /// ambiguous storage errors (`Io`) with the same idempotency key.
+    /// Refusals are definite non-executions, so the retry is safe; an
+    /// `Io` retry is resolved truthfully by a restarted server's reply
+    /// journal (committed → replayed ack, not committed → definite
+    /// `UnknownTxn`). Off by default: callers that don't run a redo
+    /// protocol should see refusals immediately.
+    pub retry_ambiguous: bool,
+    /// Consecutive dial/handshake failures against this client's
+    /// address before the shared per-address circuit breaker opens
+    /// (subsequent connection attempts from *any* client in the
+    /// process fail fast until a half-open probe succeeds). `0`
+    /// disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses before allowing one half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ClientConfig {
@@ -71,14 +100,114 @@ impl Default for ClientConfig {
             backoff: Duration::from_millis(10),
             default_deadline: None,
             client_id: 0,
+            retry_ambiguous: false,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
+}
+
+/// Connection-failure circuit breaker, shared per address across every
+/// client in the process.
+struct Breaker {
+    state: Mutex<BreakerState>,
+    trips: AtomicU64,
+    resets: AtomicU64,
+}
+
+enum BreakerState {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// Outcome of asking the breaker for permission to dial.
+enum BreakerGate {
+    /// Dial normally.
+    Pass,
+    /// Dial as the single half-open probe.
+    Probe,
+    /// Fail fast — the breaker is open (or another caller holds the
+    /// probe slot).
+    Refuse,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+            trips: AtomicU64::new(0),
+            resets: AtomicU64::new(0),
+        }
+    }
+
+    fn admit(&self) -> BreakerGate {
+        let mut state = self.state.lock();
+        match *state {
+            BreakerState::Closed { .. } => BreakerGate::Pass,
+            BreakerState::Open { until } if Instant::now() >= until => {
+                *state = BreakerState::HalfOpen;
+                BreakerGate::Probe
+            }
+            BreakerState::Open { .. } | BreakerState::HalfOpen => BreakerGate::Refuse,
+        }
+    }
+
+    fn on_success(&self) {
+        let mut state = self.state.lock();
+        if !matches!(*state, BreakerState::Closed { failures: 0 }) {
+            if matches!(*state, BreakerState::HalfOpen | BreakerState::Open { .. }) {
+                self.resets.fetch_add(1, Ordering::Relaxed);
+            }
+            *state = BreakerState::Closed { failures: 0 };
+        }
+    }
+
+    fn on_failure(&self, threshold: u32, cooldown: Duration) {
+        let mut state = self.state.lock();
+        match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= threshold {
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                    *state = BreakerState::Open {
+                        until: Instant::now() + cooldown,
+                    };
+                } else {
+                    *state = BreakerState::Closed { failures };
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to open for another cooldown.
+                self.trips.fetch_add(1, Ordering::Relaxed);
+                *state = BreakerState::Open {
+                    until: Instant::now() + cooldown,
+                };
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+}
+
+/// Process-wide breaker registry: every client dialing the same address
+/// shares one breaker, which is the point — when the server is down,
+/// one probe per cooldown suffices for all of them.
+fn breaker_for(addr: SocketAddr) -> Arc<Breaker> {
+    static REGISTRY: OnceLock<Mutex<HashMap<SocketAddr, Arc<Breaker>>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    Arc::clone(
+        registry
+            .lock()
+            .entry(addr)
+            .or_insert_with(|| Arc::new(Breaker::new())),
+    )
 }
 
 /// One live TCP connection: writer half, response router, reader
 /// thread. Torn down and replaced wholesale on any transport error.
 struct Conn {
-    writer: Mutex<TcpStream>,
+    /// Shared with the reader thread, which writes push acks on it.
+    writer: Arc<Mutex<TcpStream>>,
     pending: Arc<Pending>,
     dead: Arc<AtomicBool>,
     reader: Mutex<Option<JoinHandle<()>>>,
@@ -88,23 +217,27 @@ impl Conn {
     fn dial(
         addrs: &[SocketAddr],
         handlers: &Arc<RwLock<HashMap<String, PushHandler>>>,
+        push_seen: &Arc<Mutex<HashMap<String, u64>>>,
     ) -> Result<Conn, WireError> {
         let stream = TcpStream::connect(addrs)?;
         stream.set_nodelay(true).ok();
         let reader_stream = stream.try_clone()?;
+        let writer = Arc::new(Mutex::new(stream));
         let pending: Arc<Pending> = Arc::new(Mutex::new(HashMap::new()));
         let dead = Arc::new(AtomicBool::new(false));
         let reader = {
             let pending = Arc::clone(&pending);
             let handlers = Arc::clone(handlers);
             let dead = Arc::clone(&dead);
+            let writer = Arc::clone(&writer);
+            let push_seen = Arc::clone(push_seen);
             std::thread::Builder::new()
                 .name("hipac-net-client-reader".to_owned())
-                .spawn(move || read_loop(reader_stream, &pending, &handlers, &dead))
+                .spawn(move || read_loop(reader_stream, &pending, &handlers, &push_seen, &writer, &dead))
                 .expect("spawn client reader")
         };
         Ok(Conn {
-            writer: Mutex::new(stream),
+            writer,
             pending,
             dead,
             reader: Mutex::new(Some(reader)),
@@ -131,6 +264,10 @@ pub struct HipacClient {
     next_seq: AtomicU64,
     conn: Mutex<Option<Arc<Conn>>>,
     handlers: Arc<RwLock<HashMap<String, PushHandler>>>,
+    /// Highest push sequence handled per handler. Owned by the client
+    /// (not the connection) so redeliveries after a reconnect are
+    /// recognized and acked without re-running the handler.
+    push_seen: Arc<Mutex<HashMap<String, u64>>>,
     /// Handlers the server knows this client serves; re-subscribed on
     /// every reconnect.
     subscribed: Mutex<HashSet<String>>,
@@ -164,6 +301,7 @@ impl HipacClient {
             next_seq: AtomicU64::new(1),
             conn: Mutex::new(None),
             handlers: Arc::new(RwLock::new(HashMap::new())),
+            push_seen: Arc::new(Mutex::new(HashMap::new())),
             subscribed: Mutex::new(HashSet::new()),
             closed: AtomicBool::new(false),
         };
@@ -206,11 +344,29 @@ impl HipacClient {
         let mut attempt: u32 = 0;
         loop {
             match self.try_once(meta, &command, deadline) {
+                // Opt-in: retry refusals (definitely not executed) and
+                // ambiguous storage errors with the SAME key until a
+                // definite answer arrives — across a server restart,
+                // the recovered reply journal provides it.
+                Ok(Reply::Err { kind, message })
+                    if self.config.retry_ambiguous
+                        && matches!(kind.as_str(), "Overloaded" | "Draining" | "Io")
+                        && attempt < self.config.max_retries =>
+                {
+                    let _ = message;
+                    attempt += 1;
+                    std::thread::sleep(retry_backoff(
+                        self.config.backoff,
+                        self.client_id,
+                        meta.seq,
+                        attempt,
+                    ));
+                }
                 Ok(Reply::Err { kind, message }) => {
                     return Err(WireError::Remote { kind, message })
                 }
                 Ok(reply) => return Ok(reply),
-                // Only transport failures retry: the key is unchanged,
+                // Transport failures retry: the key is unchanged,
                 // so a server that did execute replays its cached
                 // reply. Timeouts and remote errors are definite or
                 // deadline-bound — never retried implicitly.
@@ -265,7 +421,29 @@ impl HipacClient {
         if let Some(old) = guard.take() {
             old.teardown();
         }
-        let conn = Arc::new(Conn::dial(&self.addrs, &self.handlers)?);
+        let breaker = if self.config.breaker_threshold > 0 {
+            let b = breaker_for(self.addrs[0]);
+            match b.admit() {
+                BreakerGate::Pass | BreakerGate::Probe => Some(b),
+                BreakerGate::Refuse => {
+                    return Err(WireError::Transport(format!(
+                        "circuit open for {}; retry after cooldown",
+                        self.addrs[0]
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        let conn = match Conn::dial(&self.addrs, &self.handlers, &self.push_seen) {
+            Ok(c) => Arc::new(c),
+            Err(e) => {
+                if let Some(b) = &breaker {
+                    b.on_failure(self.config.breaker_threshold, self.config.breaker_cooldown);
+                }
+                return Err(e);
+            }
+        };
         let handshake = (|| -> Result<(), WireError> {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             let ping = Command::Ping {
@@ -298,14 +476,31 @@ impl HipacClient {
         })();
         match handshake {
             Ok(()) => {
+                if let Some(b) = &breaker {
+                    b.on_success();
+                }
                 *guard = Some(Arc::clone(&conn));
                 Ok(conn)
             }
             Err(e) => {
+                if let Some(b) = &breaker {
+                    b.on_failure(self.config.breaker_threshold, self.config.breaker_cooldown);
+                }
                 conn.teardown();
                 Err(e)
             }
         }
+    }
+
+    /// Times the shared breaker for this client's primary address has
+    /// tripped open (0 when the breaker is disabled or never tripped).
+    pub fn breaker_trips(&self) -> u64 {
+        breaker_for(self.addrs[0]).trips.load(Ordering::Relaxed)
+    }
+
+    /// Times the shared breaker recovered (half-open probe succeeded).
+    pub fn breaker_resets(&self) -> u64 {
+        breaker_for(self.addrs[0]).resets.load(Ordering::Relaxed)
     }
 
     /// Drop the current connection (if any) so the next request
@@ -633,6 +828,8 @@ fn read_loop(
     mut stream: TcpStream,
     pending: &Pending,
     handlers: &RwLock<HashMap<String, PushHandler>>,
+    push_seen: &Mutex<HashMap<String, u64>>,
+    writer: &Mutex<TcpStream>,
     dead: &AtomicBool,
 ) {
     loop {
@@ -642,16 +839,50 @@ fn read_loop(
                     let _ = tx.send(reply);
                 }
                 // No waiter: request raced with a local error path that
-                // already gave up on it; drop the reply.
+                // already gave up on it (or id 0: a fire-and-forget ack
+                // whose Ok the server still sends); drop the reply.
             }
             Ok(Some(Frame::Push(event))) => {
-                let guard = handlers.read();
-                if let Some(h) = guard.get(&event.handler) {
-                    h(&event);
+                // seq 0 = pre-v4 unacked push: always deliver, no ack.
+                // Otherwise dedup on the per-handler high-water mark —
+                // redelivery after reconnect resends pushes the server
+                // never saw acked, including ones we already ran.
+                let duplicate = event.seq != 0 && {
+                    let mut seen = push_seen.lock();
+                    let last = seen.entry(event.handler.clone()).or_insert(0);
+                    if event.seq <= *last {
+                        true
+                    } else {
+                        *last = event.seq;
+                        false
+                    }
+                };
+                if !duplicate {
+                    let guard = handlers.read();
+                    if let Some(h) = guard.get(&event.handler) {
+                        h(&event);
+                    }
+                    // No handler registered: the server pushed to a
+                    // handler this client never subscribed (or one
+                    // unregistered since); ignore.
                 }
-                // No handler registered: the server pushed to a handler
-                // this client never subscribed (or one unregistered
-                // since); ignore.
+                // Ack after the handler returns (at-least-once for the
+                // handler, exactly-once per seq for delivery). Id 0 is
+                // the fire-and-forget channel: no waiter is registered,
+                // so the server's Ok is dropped above.
+                if event.seq != 0 {
+                    let ack = Frame::Request {
+                        id: 0,
+                        meta: RequestMeta::default(),
+                        command: Command::AckPush {
+                            handler: event.handler.clone(),
+                            seq: event.seq,
+                        },
+                    };
+                    if ack.write_to(&mut *writer.lock()).is_err() {
+                        break;
+                    }
+                }
             }
             // Servers never send requests; a malformed stream is fatal.
             Ok(Some(Frame::Request { .. })) | Err(_) | Ok(None) => break,

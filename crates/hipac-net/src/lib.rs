@@ -25,6 +25,18 @@
 //! error, and drains gracefully; the client reconnects with backoff,
 //! re-subscribes its handlers, and retries transport failures
 //! exactly-once.
+//!
+//! Protocol v4 makes that contract survive a server crash: on a
+//! durable store, cached replies ride the WAL batch of the commit they
+//! acknowledge (the reply journal, reloaded on recovery, with evicted
+//! keys refused via a typed `ReplyEvicted`), and push frames carry a
+//! per-subscription sequence number backed by a durable outbox — the
+//! client acks each push after its handler runs ([`Command::AckPush`]),
+//! unacked frames are redelivered on resubscribe, and the client
+//! dedups redeliveries by sequence. v4 also adds adaptive shedding on
+//! a dispatch-delay EWMA and a client-side per-address circuit
+//! breaker. See DESIGN.md §7 and the `hipac-check::restart` torture
+//! for the proof obligations.
 
 pub mod client;
 pub mod proto;

@@ -41,7 +41,11 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// v2: Stats gained firings_parallel + pool_queue_depth.
 /// v3: Request frames carry idempotency metadata (client id, sequence,
 /// deadline); Stats gained the resilience counters.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// v4: Push frames carry a per-subscription sequence number, clients
+/// acknowledge them with `AckPush`, unacked pushes are redelivered on
+/// re-subscribe; Stats gained shed_adaptive, journal_replays and
+/// pushes_redelivered.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 // Frame kinds.
 const KIND_REQUEST: u8 = 0;
@@ -235,6 +239,10 @@ pub struct WireStats {
     pub dedup_hits: u64,
     pub separate_retries: u64,
     pub separate_dead_letters: u64,
+    // ---- v4 durable exactly-once counters ----
+    pub shed_adaptive: u64,
+    pub journal_replays: u64,
+    pub pushes_redelivered: u64,
 }
 
 impl WireStats {
@@ -258,17 +266,20 @@ impl WireStats {
             self.dedup_hits,
             self.separate_retries,
             self.separate_dead_letters,
+            self.shed_adaptive,
+            self.journal_replays,
+            self.pushes_redelivered,
         ] {
             put_uvarint(buf, v);
         }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
-        let mut fields = [0u64; 18];
+        let mut fields = [0u64; 21];
         for f in &mut fields {
             *f = get_uvarint(buf, pos)?;
         }
-        let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters] =
+        let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters, shed_adaptive, journal_replays, pushes_redelivered] =
             fields;
         Ok(WireStats {
             signals_processed,
@@ -289,6 +300,9 @@ impl WireStats {
             dedup_hits,
             separate_retries,
             separate_dead_letters,
+            shed_adaptive,
+            journal_replays,
+            pushes_redelivered,
         })
     }
 }
@@ -348,6 +362,11 @@ pub enum Command {
     /// `name`: rule actions addressed to it are pushed here.
     Subscribe { handler: String },
     Unsubscribe { handler: String },
+    /// Acknowledge the push frame with sequence `seq` on subscription
+    /// `handler`: the server drops it from the redelivery outbox. Sent
+    /// by the client after the push handler returns (frame id 0 —
+    /// fire-and-forget, the `Ok` reply is discarded).
+    AckPush { handler: String, seq: u64 },
     // ---- observability ----
     Stats,
 }
@@ -372,6 +391,7 @@ const OP_DISABLE_RULE: u8 = 15;
 const OP_SUBSCRIBE: u8 = 16;
 const OP_UNSUBSCRIBE: u8 = 17;
 const OP_STATS: u8 = 18;
+const OP_ACK_PUSH: u8 = 19;
 
 impl Command {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -497,6 +517,11 @@ impl Command {
             Command::Unsubscribe { handler } => {
                 buf.push(OP_UNSUBSCRIBE);
                 put_str(buf, handler);
+            }
+            Command::AckPush { handler, seq } => {
+                buf.push(OP_ACK_PUSH);
+                put_str(buf, handler);
+                put_uvarint(buf, *seq);
             }
             Command::Stats => buf.push(OP_STATS),
         }
@@ -633,6 +658,10 @@ impl Command {
             OP_UNSUBSCRIBE => Command::Unsubscribe {
                 handler: get_str(buf, pos)?,
             },
+            OP_ACK_PUSH => Command::AckPush {
+                handler: get_str(buf, pos)?,
+                seq: get_uvarint(buf, pos)?,
+            },
             OP_STATS => Command::Stats,
             other => return Err(WireError::Protocol(format!("unknown opcode {other}"))),
         })
@@ -747,12 +776,39 @@ impl Reply {
             other => return Err(WireError::Protocol(format!("unknown status {other}"))),
         })
     }
+
+    /// Serialize standalone (no frame envelope). Used by the server's
+    /// reply journal, which persists cached replies by value.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16);
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Inverse of [`Reply::to_bytes`]; rejects trailing garbage.
+    pub fn from_bytes(buf: &[u8]) -> Result<Reply, WireError> {
+        let mut pos = 0;
+        let reply = Reply::decode(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(WireError::Protocol(format!(
+                "trailing {} bytes after reply",
+                buf.len() - pos
+            )));
+        }
+        Ok(reply)
+    }
 }
 
 /// Server-push payload: a rule action requested service from the
 /// application (§4.1 role reversal).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PushEvent {
+    /// Per-subscription sequence number (v4). Starts at 1 and is
+    /// monotonic per handler; the client acks it with
+    /// [`Command::AckPush`] and dedups redeliveries by it. `0` means
+    /// "unsequenced" (pre-v4 producer) and is neither acked nor
+    /// deduplicated.
+    pub seq: u64,
     /// The handler name the rule action addressed.
     pub handler: String,
     /// The request string from the rule action.
@@ -812,6 +868,7 @@ impl Frame {
             }
             Frame::Push(p) => {
                 payload.push(KIND_PUSH);
+                put_uvarint(&mut payload, p.seq);
                 put_str(&mut payload, &p.handler);
                 put_str(&mut payload, &p.request);
                 put_kv_map(&mut payload, &p.args);
@@ -845,6 +902,7 @@ impl Frame {
                 Frame::Response { id, reply }
             }
             KIND_PUSH => Frame::Push(PushEvent {
+                seq: get_uvarint(payload, &mut pos)?,
                 handler: get_str(payload, &mut pos)?,
                 request: get_str(payload, &mut pos)?,
                 args: get_kv_map(payload, &mut pos)?,
@@ -1023,6 +1081,10 @@ mod tests {
             Command::Unsubscribe {
                 handler: "reorderer".into(),
             },
+            Command::AckPush {
+                handler: "reorderer".into(),
+                seq: 99,
+            },
             Command::Stats,
         ];
         for (i, command) in commands.into_iter().enumerate() {
@@ -1088,6 +1150,9 @@ mod tests {
                 dedup_hits: 16,
                 separate_retries: 17,
                 separate_dead_letters: 18,
+                shed_adaptive: 19,
+                journal_replays: 20,
+                pushes_redelivered: 21,
             }),
             Reply::Err {
                 kind: "UnknownClass".into(),
@@ -1107,10 +1172,29 @@ mod tests {
         let mut args = HashMap::new();
         args.insert("n".to_owned(), Value::Float(1.5));
         roundtrip(Frame::Push(PushEvent {
+            seq: 41,
             handler: "h".into(),
             request: "restock".into(),
             args,
         }));
+    }
+
+    #[test]
+    fn reply_bytes_roundtrip_and_reject_garbage() {
+        for reply in [
+            Reply::Ok,
+            Reply::Txn(TxnId(9)),
+            Reply::Err {
+                kind: "UnknownTxn".into(),
+                message: "gone".into(),
+            },
+        ] {
+            assert_eq!(Reply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+        let mut bytes = Reply::Ok.to_bytes();
+        bytes.push(7);
+        assert!(Reply::from_bytes(&bytes).is_err());
+        assert!(Reply::from_bytes(&[200]).is_err());
     }
 
     #[test]

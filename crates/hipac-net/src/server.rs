@@ -26,8 +26,10 @@ use crate::proto::{
 use hipac::{ActiveDatabase, EngineStats};
 use hipac_common::{HipacError, ObjectId, Result as HipacResult, TxnId, Value};
 use hipac_object::{AttrDef, Query};
+use hipac_storage::journal;
+use hipac_storage::{DurableStore, StoreOp};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -57,6 +59,24 @@ pub struct ServerConfig {
     /// re-sent with an already-seen `(client_id, seq)` is answered from
     /// this window without re-executing. `0` disables deduplication.
     pub dedup_window: usize,
+    /// Persist the dedup window for keyed commits as a crash-safe
+    /// reply journal when the served database is durable: the cached
+    /// ack becomes durable in the same WAL batch as the commit it
+    /// acknowledges, and a restart rebuilds the window from the
+    /// journal, so a retry across the restart replays instead of
+    /// re-executing. No effect on in-memory databases.
+    pub reply_journal: bool,
+    /// Unacked push frames retained per handler for redelivery.
+    /// Delivery to a full outbox fails the triggering rule action
+    /// (backpressure into the transaction) rather than dropping the
+    /// frame silently.
+    pub outbox_cap: usize,
+    /// Adaptive admission signal: when the EWMA of dispatch time
+    /// exceeds this, new requests are shed with `Overloaded` (counted
+    /// in `shed_adaptive`) while at least one other request is in
+    /// flight. `None` disables it; `max_inflight` remains the hard
+    /// cap.
+    pub shed_queue_delay: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +87,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             max_inflight: 0,
             dedup_window: 128,
+            reply_journal: true,
+            outbox_cap: 256,
+            shed_queue_delay: None,
         }
     }
 }
@@ -77,8 +100,30 @@ const READ_TICK: Duration = Duration::from_millis(50);
 /// Subscription table: handler name -> sessions serving it. The engine
 /// sees one proxy `ApplicationHandler` per name; the proxy fans out to
 /// the live subscribers at call time.
+///
+/// v4 adds the push outbox: every delivered frame carries a
+/// per-handler sequence number and is retained (durably, when the
+/// database is) until a client acks it, so a push lost between the
+/// socket write and the client handler is redelivered on the next
+/// subscribe instead of vanishing. The first ack clears the frame —
+/// with multiple subscribers per handler, redelivery is exactly-once
+/// per *subscription*, not per subscriber.
 struct Subscriptions {
     by_handler: RwLock<HashMap<String, Vec<Subscriber>>>,
+    outbox: Mutex<HashMap<String, HandlerOutbox>>,
+    outbox_cap: usize,
+    /// Persist outbox records and sequence counters when serving a
+    /// durable database (counters must survive restarts: reusing a
+    /// sequence would make clients silently drop a fresh push as a
+    /// redelivery).
+    durable: Option<Arc<DurableStore>>,
+}
+
+#[derive(Default)]
+struct HandlerOutbox {
+    next_seq: u64,
+    /// Encoded push frames awaiting ack, in sequence order.
+    unacked: BTreeMap<u64, Vec<u8>>,
 }
 
 #[derive(Clone)]
@@ -88,10 +133,47 @@ struct Subscriber {
 }
 
 impl Subscriptions {
-    fn new() -> Arc<Subscriptions> {
-        Arc::new(Subscriptions {
+    fn new(outbox_cap: usize, durable: Option<Arc<DurableStore>>) -> Arc<Subscriptions> {
+        let subs = Subscriptions {
             by_handler: RwLock::new(HashMap::new()),
-        })
+            outbox: Mutex::new(HashMap::new()),
+            outbox_cap: outbox_cap.max(1),
+            durable,
+        };
+        subs.restore();
+        Arc::new(subs)
+    }
+
+    /// Rebuild the outbox and sequence counters from storage after a
+    /// restart. Torn or corrupt records are dropped (their seal fails),
+    /// never replayed.
+    fn restore(&self) {
+        let Some(d) = &self.durable else { return };
+        let mut ob = self.outbox.lock();
+        if let Ok(entries) = d.scan_prefix(&[journal::PUSH_SEQ_PREFIX]) {
+            for (key, value) in entries {
+                let (Some(handler), Some(raw)) =
+                    (journal::parse_push_seq_key(&key), journal::unseal(&value))
+                else {
+                    continue;
+                };
+                if let Ok(bytes) = <[u8; 8]>::try_from(raw) {
+                    ob.entry(handler).or_default().next_seq = u64::from_be_bytes(bytes);
+                }
+            }
+        }
+        if let Ok(entries) = d.scan_prefix(&[journal::OUTBOX_PREFIX]) {
+            for (key, value) in entries {
+                let (Some((handler, seq)), Some(frame)) =
+                    (journal::parse_outbox_key(&key), journal::unseal(&value))
+                else {
+                    continue;
+                };
+                let h = ob.entry(handler).or_default();
+                h.unacked.insert(seq, frame.to_vec());
+                h.next_seq = h.next_seq.max(seq + 1);
+            }
+        }
     }
 
     /// Add `session` as a server for `handler`. Registers the engine
@@ -144,8 +226,15 @@ impl Subscriptions {
         });
     }
 
-    /// Push `request` to every subscriber of `handler`. Succeeds when
-    /// at least one delivery succeeds; dead subscribers are pruned.
+    /// Push `request` to every subscriber of `handler`.
+    ///
+    /// v4 semantics: the frame is sequenced and enqueued in the outbox
+    /// (persisted *before* the socket write, so a crash between the
+    /// two redelivers rather than loses) and delivery succeeds as soon
+    /// as the frame is retained — even if every socket write fails, a
+    /// reconnecting subscriber picks it up on re-subscribe. Delivery
+    /// fails only when nobody subscribes to the handler at all or the
+    /// outbox is full (backpressure into the triggering rule action).
     fn deliver(
         &self,
         handler: &str,
@@ -159,19 +248,50 @@ impl Subscriptions {
         if subscribers.is_empty() {
             return Err(HipacError::NoApplicationHandler(handler.to_owned()));
         }
-        let frame = Frame::Push(PushEvent {
-            handler: handler.to_owned(),
-            request: request.to_owned(),
-            args: args.clone(),
-        })
-        .encode();
-        let mut delivered = 0usize;
+        let frame = {
+            let mut ob = self.outbox.lock();
+            let h = ob.entry(handler.to_owned()).or_default();
+            if h.unacked.len() >= self.outbox_cap {
+                return Err(HipacError::InUse(format!(
+                    "push outbox full for handler {handler} ({} unacked)",
+                    h.unacked.len()
+                )));
+            }
+            let seq = h.next_seq.max(1);
+            h.next_seq = seq + 1;
+            let frame = Frame::Push(PushEvent {
+                seq,
+                handler: handler.to_owned(),
+                request: request.to_owned(),
+                args: args.clone(),
+            })
+            .encode();
+            if let Some(d) = &self.durable {
+                // Persist-then-send: runs as a metadata batch (TxnId 0)
+                // so it cannot consume a reply-journal annotation armed
+                // for the enclosing commit.
+                d.commit(
+                    TxnId(0),
+                    &[
+                        StoreOp::Put {
+                            key: journal::outbox_key(handler, seq),
+                            value: journal::seal(&frame),
+                        },
+                        StoreOp::Put {
+                            key: journal::push_seq_key(handler),
+                            value: journal::seal(&h.next_seq.to_be_bytes()),
+                        },
+                    ],
+                )?;
+            }
+            h.unacked.insert(seq, frame.clone());
+            frame
+        };
         let mut dead = Vec::new();
         for sub in &subscribers {
             let mut w = sub.writer.lock();
-            match w.write_all(&frame) {
-                Ok(()) => delivered += 1,
-                Err(_) => dead.push(sub.session),
+            if w.write_all(&frame).is_err() {
+                dead.push(sub.session);
             }
         }
         if !dead.is_empty() {
@@ -180,12 +300,61 @@ impl Subscriptions {
                 subs.retain(|s| !dead.contains(&s.session));
             }
         }
-        if delivered == 0 {
-            return Err(HipacError::NoApplicationHandler(format!(
-                "{handler} (all subscribers disconnected)"
-            )));
-        }
         Ok(())
+    }
+
+    /// Drop an acked frame from the outbox (and storage).
+    fn ack(&self, handler: &str, seq: u64) {
+        let removed = {
+            let mut ob = self.outbox.lock();
+            ob.get_mut(handler)
+                .map(|h| h.unacked.remove(&seq).is_some())
+                .unwrap_or(false)
+        };
+        if removed {
+            if let Some(d) = &self.durable {
+                // Best effort: a crash before this delete redelivers
+                // the frame after restart and the client dedups by
+                // sequence.
+                let _ = d.commit(
+                    TxnId(0),
+                    &[StoreOp::Delete {
+                        key: journal::outbox_key(handler, seq),
+                    }],
+                );
+            }
+        }
+    }
+
+    /// Write every unacked frame of `handler` to `writer` in sequence
+    /// order (a freshly subscribed session catching up). Returns how
+    /// many frames were redelivered.
+    fn redeliver(&self, handler: &str, writer: &Arc<Mutex<TcpStream>>) -> u64 {
+        let frames: Vec<Vec<u8>> = {
+            let ob = self.outbox.lock();
+            match ob.get(handler) {
+                Some(h) => h.unacked.values().cloned().collect(),
+                None => Vec::new(),
+            }
+        };
+        let mut n = 0u64;
+        let mut w = writer.lock();
+        for frame in &frames {
+            if w.write_all(frame).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Total unacked push frames across all handlers (test/ops gauge).
+    fn unacked_total(&self) -> u64 {
+        self.outbox
+            .lock()
+            .values()
+            .map(|h| h.unacked.len() as u64)
+            .sum()
     }
 }
 
@@ -199,12 +368,34 @@ struct ServerShared {
     shed_requests: AtomicU64,
     /// Requests answered from the dedup window instead of re-executing.
     dedup_hits: AtomicU64,
+    /// Dedup hits served from the persistent reply journal after a
+    /// restart (a subset of `dedup_hits`): retries whose original
+    /// committed in a previous process incarnation.
+    journal_replays: AtomicU64,
+    /// Requests shed by the adaptive queueing-delay signal (a subset
+    /// of neither — counted separately from `shed_requests`).
+    shed_adaptive: AtomicU64,
+    /// Push frames redelivered from the outbox on re-subscribe.
+    pushes_redelivered: AtomicU64,
+    /// EWMA of dispatch time in microseconds (the adaptive admission
+    /// signal).
+    ewma_us: AtomicU64,
     /// Requests currently in dispatch (the admission gauge).
     in_flight: AtomicU64,
     /// Set by [`HipacServer::drain`]: refuse new connections and new
     /// requests while in-flight work finishes.
     draining: AtomicBool,
+    /// Set when a dispatch surfaced a storage `Io` error on a durable
+    /// database: the in-memory engine may have diverged from the WAL,
+    /// so every further request is refused (`Draining`) until the
+    /// operator restarts against the data dir. Refusing is what makes
+    /// an Io outcome *safe* to leave ambiguous — the retry resolves it
+    /// against the recovered journal, not against poisoned state.
+    storage_poisoned: AtomicBool,
     dedup: Mutex<DedupWindow>,
+    /// Journal keys evicted from the in-memory window, awaiting a
+    /// piggybacked durable delete on the next journaled commit.
+    pending_evictions: Mutex<Vec<(u64, u64)>>,
 }
 
 impl ServerShared {
@@ -213,9 +404,15 @@ impl ServerShared {
             active_connections: AtomicU64::new(0),
             shed_requests: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
+            journal_replays: AtomicU64::new(0),
+            shed_adaptive: AtomicU64::new(0),
+            pushes_redelivered: AtomicU64::new(0),
+            ewma_us: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            storage_poisoned: AtomicBool::new(false),
             dedup: Mutex::new(DedupWindow::new(dedup_window)),
+            pending_evictions: Mutex::new(Vec::new()),
         })
     }
 }
@@ -234,10 +431,35 @@ struct DedupWindow {
     client_order: VecDeque<u64>,
 }
 
+#[derive(Clone)]
+struct CachedReply {
+    reply: Reply,
+    /// The entry also exists in the durable reply journal (its
+    /// eviction must piggyback a journal delete).
+    journaled: bool,
+    /// The entry was rebuilt from the journal at startup — a hit on it
+    /// is a cross-restart replay, counted in `journal_replays`.
+    restored: bool,
+}
+
 #[derive(Default)]
 struct ClientWindow {
-    replies: HashMap<u64, Reply>,
+    replies: HashMap<u64, CachedReply>,
     order: VecDeque<u64>,
+    /// Highest sequence ever evicted from this client's window. A miss
+    /// at or below the floor is answered with a typed `ReplyEvicted`
+    /// refusal instead of silently re-executing: the outcome of that
+    /// old request is unknowable, and "definitely refused" is the only
+    /// safe answer.
+    floor: u64,
+}
+
+/// Outcome of a dedup probe, distinguishing a fresh sequence from one
+/// whose cached reply was evicted under pressure.
+enum DedupProbe {
+    Hit(CachedReply),
+    Evicted,
+    Miss,
 }
 
 impl DedupWindow {
@@ -253,31 +475,65 @@ impl DedupWindow {
         }
     }
 
-    fn lookup(&self, client: u64, seq: u64) -> Option<Reply> {
-        self.clients.get(&client)?.replies.get(&seq).cloned()
+    fn probe(&self, client: u64, seq: u64) -> DedupProbe {
+        match self.clients.get(&client) {
+            Some(w) => match w.replies.get(&seq) {
+                Some(cached) => DedupProbe::Hit(cached.clone()),
+                None if seq <= w.floor => DedupProbe::Evicted,
+                None => DedupProbe::Miss,
+            },
+            None => DedupProbe::Miss,
+        }
     }
 
-    fn remember(&mut self, client: u64, seq: u64, reply: &Reply) {
+    /// Insert a reply; returns the journaled `(client, seq)` entries
+    /// this insert evicted, which owe a durable journal delete.
+    fn remember(
+        &mut self,
+        client: u64,
+        seq: u64,
+        reply: &Reply,
+        journaled: bool,
+        restored: bool,
+    ) -> Vec<(u64, u64)> {
+        let mut evicted_journal = Vec::new();
         if self.per_client == 0 {
-            return;
+            return evicted_journal;
         }
         if !self.clients.contains_key(&client) {
             if self.client_order.len() >= Self::MAX_CLIENTS {
                 if let Some(old) = self.client_order.pop_front() {
-                    self.clients.remove(&old);
+                    if let Some(w) = self.clients.remove(&old) {
+                        for (s, c) in &w.replies {
+                            if c.journaled {
+                                evicted_journal.push((old, *s));
+                            }
+                        }
+                    }
                 }
             }
             self.client_order.push_back(client);
         }
         let w = self.clients.entry(client).or_default();
-        if w.replies.insert(seq, reply.clone()).is_none() {
+        let cached = CachedReply {
+            reply: reply.clone(),
+            journaled,
+            restored,
+        };
+        if w.replies.insert(seq, cached).is_none() {
             w.order.push_back(seq);
             if w.order.len() > self.per_client {
                 if let Some(old) = w.order.pop_front() {
-                    w.replies.remove(&old);
+                    w.floor = w.floor.max(old);
+                    if let Some(c) = w.replies.remove(&old) {
+                        if c.journaled {
+                            evicted_journal.push((client, old));
+                        }
+                    }
                 }
             }
         }
+        evicted_journal
     }
 }
 
@@ -295,6 +551,7 @@ pub struct HipacServer {
     /// Connections refused because the pending queue was full.
     refused: Arc<AtomicU64>,
     shared: Arc<ServerShared>,
+    subscriptions: Arc<Subscriptions>,
 }
 
 impl HipacServer {
@@ -316,9 +573,17 @@ impl HipacServer {
         listener.set_nonblocking(true)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let subscriptions = Subscriptions::new();
+        let durable = if config.reply_journal {
+            db.durable_store().cloned()
+        } else {
+            None
+        };
+        let subscriptions = Subscriptions::new(config.outbox_cap, durable.clone());
         let refused = Arc::new(AtomicU64::new(0));
         let shared = ServerShared::new(config.dedup_window);
+        if let Some(d) = &durable {
+            load_reply_journal(d, &shared, config.dedup_window);
+        }
         let workers = config.workers.max(1);
         let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.max_pending.max(1));
 
@@ -330,6 +595,7 @@ impl HipacServer {
             let stop = Arc::clone(&shutdown);
             let shared = Arc::clone(&shared);
             let cfg = config.clone();
+            let journal = durable.clone();
             session_threads.push(
                 std::thread::Builder::new()
                     .name(format!("hipac-net-session-{n}"))
@@ -337,7 +603,8 @@ impl HipacServer {
                         // Channel closes when the accept thread drops the
                         // last sender at shutdown.
                         while let Ok(stream) = rx.recv() {
-                            let session = Session::new(&db, &subs, &stop, &shared, &cfg, stream);
+                            let session =
+                                Session::new(&db, &subs, &stop, &shared, &cfg, &journal, stream);
                             if let Some(mut s) = session {
                                 s.run();
                             }
@@ -390,6 +657,7 @@ impl HipacServer {
             session_threads,
             refused,
             shared,
+            subscriptions,
         })
     }
 
@@ -416,6 +684,27 @@ impl HipacServer {
     /// Requests answered from the idempotency window so far.
     pub fn dedup_hits(&self) -> u64 {
         self.shared.dedup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Dedup hits served from the persistent reply journal — retries
+    /// whose original committed before a restart.
+    pub fn journal_replays(&self) -> u64 {
+        self.shared.journal_replays.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed so far by the adaptive queueing-delay signal.
+    pub fn shed_adaptive(&self) -> u64 {
+        self.shared.shed_adaptive.load(Ordering::Relaxed)
+    }
+
+    /// Push frames redelivered from the outbox on re-subscribe.
+    pub fn pushes_redelivered(&self) -> u64 {
+        self.shared.pushes_redelivered.load(Ordering::Relaxed)
+    }
+
+    /// Push frames currently awaiting a client ack.
+    pub fn unacked_pushes(&self) -> u64 {
+        self.subscriptions.unacked_total()
     }
 
     /// Currently live sessions.
@@ -458,6 +747,47 @@ impl HipacServer {
 impl Drop for HipacServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Rebuild the in-memory dedup window from the durable reply journal
+/// at startup. Entries are scanned in `(client, seq)` order, so the
+/// per-client FIFO keeps the *newest* sequences when a journal holds
+/// more than the window; overflow entries (and torn values, whose
+/// seal fails) are deleted from storage so the journal stays bounded
+/// across restarts.
+fn load_reply_journal(d: &Arc<DurableStore>, shared: &Arc<ServerShared>, window: usize) {
+    if window == 0 {
+        return;
+    }
+    let entries = match d.scan_prefix(&[journal::REPLY_PREFIX]) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let mut dead_keys = Vec::new();
+    let mut dedup = shared.dedup.lock();
+    for (key, value) in entries {
+        let Some((client, seq)) = journal::parse_reply_key(&key) else {
+            dead_keys.push(key);
+            continue;
+        };
+        let reply = journal::unseal(&value).and_then(|raw| Reply::from_bytes(raw).ok());
+        match reply {
+            Some(reply) => {
+                for (c, s) in dedup.remember(client, seq, &reply, true, true) {
+                    dead_keys.push(journal::reply_key(c, s));
+                }
+            }
+            None => dead_keys.push(key),
+        }
+    }
+    drop(dedup);
+    if !dead_keys.is_empty() {
+        let ops: Vec<StoreOp> = dead_keys
+            .into_iter()
+            .map(|key| StoreOp::Delete { key })
+            .collect();
+        let _ = d.commit(TxnId(0), &ops);
     }
 }
 
@@ -552,6 +882,10 @@ struct Session<'a> {
     shared: &'a ServerShared,
     idle_timeout: Duration,
     max_inflight: usize,
+    shed_queue_delay: Option<Duration>,
+    /// The durable store for the reply journal (None when journaling
+    /// is off or the database is in-memory).
+    journal: &'a Option<Arc<DurableStore>>,
     reader: TcpStream,
     writer: Arc<Mutex<TcpStream>>,
     /// Transactions begun by this session and not yet terminated.
@@ -565,6 +899,7 @@ impl<'a> Session<'a> {
         stop: &'a AtomicBool,
         shared: &'a Arc<ServerShared>,
         cfg: &ServerConfig,
+        journal: &'a Option<Arc<DurableStore>>,
         stream: TcpStream,
     ) -> Option<Session<'a>> {
         stream.set_nodelay(true).ok();
@@ -579,6 +914,8 @@ impl<'a> Session<'a> {
             shared,
             idle_timeout: cfg.idle_timeout,
             max_inflight: cfg.max_inflight,
+            shed_queue_delay: cfg.shed_queue_delay,
+            journal,
             reader: stream,
             writer,
             open_txns: HashSet::new(),
@@ -635,18 +972,40 @@ impl<'a> Session<'a> {
     }
 
     /// The resilience pipeline around [`Session::dispatch`]:
-    /// idempotency replay, drain refusal, admission control, then the
+    /// idempotency replay (in-memory window, backed by the durable
+    /// journal across restarts), drain/poison refusal, admission
+    /// control (static cap + adaptive queueing-delay signal), then the
     /// reply is remembered for future retries of the same `(client_id,
-    /// seq)`. Refusals (`Draining`, `Overloaded`) return before the
-    /// window insert, so a retried `seq` re-executes once capacity is
-    /// back.
+    /// seq)`. Refusals (`Draining`, `Overloaded`, `ReplyEvicted`)
+    /// return before the window insert, so a retried `seq` re-executes
+    /// once capacity is back; `Io` replies are *never* remembered —
+    /// their outcome is ambiguous in memory and only the recovered
+    /// journal can answer the retry truthfully.
     fn handle(&mut self, meta: RequestMeta, command: Command) -> Reply {
         let keyed = meta.client_id != 0 && meta.seq != 0;
         if keyed {
-            if let Some(cached) = self.shared.dedup.lock().lookup(meta.client_id, meta.seq) {
-                self.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                return cached;
+            match self.shared.dedup.lock().probe(meta.client_id, meta.seq) {
+                DedupProbe::Hit(cached) => {
+                    self.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    if cached.restored {
+                        self.shared.journal_replays.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return cached.reply;
+                }
+                DedupProbe::Evicted => {
+                    return Reply::Err {
+                        kind: "ReplyEvicted".to_owned(),
+                        message: "idempotency entry evicted; outcome unknown".to_owned(),
+                    };
+                }
+                DedupProbe::Miss => {}
             }
+        }
+        if self.shared.storage_poisoned.load(Ordering::Acquire) {
+            return Reply::Err {
+                kind: "Draining".to_owned(),
+                message: "storage failed; server requires restart".to_owned(),
+            };
         }
         if self.shared.draining.load(Ordering::Acquire) {
             return Reply::Err {
@@ -663,10 +1022,82 @@ impl<'a> Session<'a> {
                 message: "admission budget exhausted; retry later".to_owned(),
             };
         }
+        if let Some(limit) = self.shed_queue_delay {
+            // Adaptive signal: shed while dispatches are slower than
+            // the target and someone else is already in flight (a lone
+            // request always admits, so the signal can decay).
+            let ewma = Duration::from_micros(self.shared.ewma_us.load(Ordering::Relaxed));
+            if in_flight >= 2 && ewma > limit {
+                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                self.shared.shed_adaptive.fetch_add(1, Ordering::Relaxed);
+                return Reply::Err {
+                    kind: "Overloaded".to_owned(),
+                    message: "queueing delay over budget; retry later".to_owned(),
+                };
+            }
+        }
+
+        // Arm the crash-atomic reply journal for keyed commits: the
+        // predicted ack (a commit that succeeds always replies `Ok`)
+        // rides the commit's own WAL batch, along with deletes for any
+        // entries evicted from the window since the last journaled
+        // commit.
+        let journaling = keyed
+            && matches!(command, Command::Commit { .. })
+            && self.journal.is_some();
+        if journaling {
+            let mut ops = vec![StoreOp::Put {
+                key: journal::reply_key(meta.client_id, meta.seq),
+                value: journal::seal(&Reply::Ok.to_bytes()),
+            }];
+            for (c, s) in self.shared.pending_evictions.lock().drain(..) {
+                ops.push(StoreOp::Delete {
+                    key: journal::reply_key(c, s),
+                });
+            }
+            journal::set_pending_ops(ops);
+        }
+        let started = Instant::now();
         let reply = self.dispatch(meta, command);
+        let spent = started.elapsed().as_micros() as u64;
+        let prev = self.shared.ewma_us.load(Ordering::Relaxed);
+        self.shared
+            .ewma_us
+            .store(prev - prev / 8 + spent / 8, Ordering::Relaxed);
         self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        if keyed {
-            self.shared.dedup.lock().remember(meta.client_id, meta.seq, &reply);
+        if journaling {
+            if let Some(ops) = journal::take_pending_ops() {
+                // The dispatch never flushed a transactional batch
+                // (read-only commit). If it succeeded, the predicted
+                // ack still holds — persist it as a standalone
+                // metadata batch; a failed dispatch discards the
+                // annotation (error outcomes are not journaled).
+                if reply == Reply::Ok {
+                    if let Some(d) = self.journal {
+                        let _ = d.commit(TxnId(0), &ops);
+                    }
+                }
+            }
+        }
+        let io_error = matches!(&reply, Reply::Err { kind, .. } if kind == "Io");
+        if io_error && self.db.durable_store().is_some() {
+            // The WAL and the in-memory engine may now disagree;
+            // answering further requests from poisoned state could
+            // break exactly-once. Fail definite-and-loud until the
+            // operator restarts into recovery.
+            self.shared.storage_poisoned.store(true, Ordering::Release);
+        }
+        if keyed && !io_error {
+            let evicted = self.shared.dedup.lock().remember(
+                meta.client_id,
+                meta.seq,
+                &reply,
+                journaling && reply == Reply::Ok,
+                false,
+            );
+            if !evicted.is_empty() {
+                self.shared.pending_evictions.lock().extend(evicted);
+            }
         }
         reply
     }
@@ -693,6 +1124,17 @@ impl<'a> Session<'a> {
     }
 
     fn execute(&mut self, command: Command) -> HipacResult<Reply> {
+        // Sessions own the transactions they begin: a command naming a
+        // transaction this session did not begin (or already retired)
+        // is refused with the definite `UnknownTxn`. This is what
+        // makes a post-restart retry of an uncommitted transaction
+        // safe — the id cannot alias a transaction some other session
+        // opened in the new process incarnation.
+        if let Some(t) = command_txn(&command) {
+            if !self.open_txns.contains(&t) {
+                return Err(HipacError::UnknownTxn(t));
+            }
+        }
         Ok(match command {
             Command::Ping { version: _ } => Reply::Pong {
                 version: PROTOCOL_VERSION,
@@ -810,10 +1252,20 @@ impl<'a> Session<'a> {
             Command::Subscribe { handler } => {
                 self.subs
                     .subscribe(self.db, &handler, self.id, Arc::clone(&self.writer));
+                // Catch the new subscriber up on unacked pushes; its
+                // client dedups redeliveries by sequence.
+                let n = self.subs.redeliver(&handler, &self.writer);
+                if n > 0 {
+                    self.shared.pushes_redelivered.fetch_add(n, Ordering::Relaxed);
+                }
                 Reply::Ok
             }
             Command::Unsubscribe { handler } => {
                 self.subs.unsubscribe(self.db, &handler, self.id);
+                Reply::Ok
+            }
+            Command::AckPush { handler, seq } => {
+                self.subs.ack(&handler, seq);
                 Reply::Ok
             }
             Command::Stats => {
@@ -821,6 +1273,9 @@ impl<'a> Session<'a> {
                 w.active_connections = self.shared.active_connections.load(Ordering::Relaxed);
                 w.shed_requests = self.shared.shed_requests.load(Ordering::Relaxed);
                 w.dedup_hits = self.shared.dedup_hits.load(Ordering::Relaxed);
+                w.shed_adaptive = self.shared.shed_adaptive.load(Ordering::Relaxed);
+                w.journal_replays = self.shared.journal_replays.load(Ordering::Relaxed);
+                w.pushes_redelivered = self.shared.pushes_redelivered.load(Ordering::Relaxed);
                 Reply::Stats(w)
             }
         })
@@ -873,5 +1328,8 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         dedup_hits: 0,
         separate_retries: s.separate_retries,
         separate_dead_letters: s.separate_dead_letters,
+        shed_adaptive: 0,
+        journal_replays: 0,
+        pushes_redelivered: 0,
     }
 }

@@ -67,6 +67,7 @@ fn sample_frames() -> Vec<Frame> {
             },
         },
         Frame::Push(PushEvent {
+            seq: 3,
             handler: "trader".into(),
             request: "buy".into(),
             args,
@@ -139,11 +140,11 @@ fn oversized_length_prefixes_are_rejected_up_front() {
     }
 }
 
-/// Unknown opcodes (19..=255) and unknown frame kinds (3..=255) must
+/// Unknown opcodes (20..=255) and unknown frame kinds (3..=255) must
 /// error cleanly whatever bytes follow them.
 #[test]
 fn garbage_opcodes_and_kinds_error() {
-    for op in 19..=255u8 {
+    for op in 20..=255u8 {
         // kind 0 (request), id 1, zeroed request meta, then the bad
         // opcode and some body.
         let payload = vec![0u8, 1, 0, 0, 0, op, 0xDE, 0xAD, 0xBE, 0xEF];

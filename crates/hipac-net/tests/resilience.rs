@@ -537,3 +537,249 @@ fn error_reply_routes_while_push_handler_is_busy() {
     );
     updater.join().unwrap();
 }
+
+/// The reply journal keeps exactly-once across a full restart: a
+/// committed keyed commit is re-sent — same `(client_id, seq)`, brand
+/// new process, brand new connection — against a server rebooted on
+/// the same data directory, and must come back `Ok` from the recovered
+/// journal instead of re-executing (the transaction is long gone; a
+/// real re-execution would be a definite error, as the unkeyed
+/// duplicate proves).
+#[test]
+fn reply_journal_replays_across_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "hipac-net-journal-restart-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let durable_server = || {
+        let db = Arc::new(
+            ActiveDatabase::builder()
+                .durable(&dir)
+                .lock_timeout(Duration::from_secs(3))
+                .build()
+                .unwrap(),
+        );
+        HipacServer::bind(db, "127.0.0.1:0").unwrap()
+    };
+    let roundtrip = |stream: &mut TcpStream, id: u64, meta: RequestMeta, command: Command| {
+        stream
+            .write_all(&Frame::Request { id, meta, command }.encode())
+            .unwrap();
+        loop {
+            match Frame::read_from(stream).unwrap().expect("reply") {
+                Frame::Response { id: rid, reply } if rid == id => return reply,
+                Frame::Response { .. } | Frame::Push(_) => continue,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    };
+    let meta = |seq: u64| RequestMeta {
+        client_id: 555,
+        seq,
+        deadline_ms: 0,
+    };
+
+    let mut server1 = durable_server();
+    setup_int_class(&server1);
+    let mut conn = TcpStream::connect(server1.local_addr()).unwrap();
+    let txn = match roundtrip(&mut conn, 1, meta(1), Command::Begin) {
+        Reply::Txn(t) => t,
+        other => panic!("{other:?}"),
+    };
+    roundtrip(
+        &mut conn,
+        2,
+        meta(2),
+        Command::Insert {
+            txn,
+            class: "t".into(),
+            values: vec![Value::from(7)],
+        },
+    );
+    assert_eq!(roundtrip(&mut conn, 3, meta(3), Command::Commit { txn }), Reply::Ok);
+    drop(conn);
+    server1.shutdown();
+    drop(server1);
+
+    let server2 = durable_server();
+    assert_eq!(
+        committed_counts(&server2).get(&7),
+        Some(&1),
+        "committed row recovered from the WAL"
+    );
+    let mut conn = TcpStream::connect(server2.local_addr()).unwrap();
+    // Same idempotency key, dead session, long-gone transaction: only
+    // the recovered journal can say Ok here.
+    assert_eq!(
+        roundtrip(&mut conn, 10, meta(3), Command::Commit { txn }),
+        Reply::Ok,
+        "pre-restart commit must replay from the durable journal"
+    );
+    assert_eq!(server2.journal_replays(), 1);
+    // The unkeyed duplicate bypasses the journal and surfaces the
+    // definite verdict: this session does not own that transaction.
+    match roundtrip(&mut conn, 11, RequestMeta::default(), Command::Commit { txn }) {
+        Reply::Err { kind, .. } => assert_eq!(kind, "UnknownTxn"),
+        other => panic!("unkeyed duplicate produced {other:?}"),
+    }
+    assert_eq!(committed_counts(&server2).get(&7), Some(&1));
+    drop(server2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client whose dedup entry aged out of the window must get the
+/// typed `ReplyEvicted` refusal — outcome unknown, permanently — not a
+/// silent re-execution and not a fake replay.
+#[test]
+fn evicted_dedup_entry_gets_typed_refusal() {
+    let server = server_with(ServerConfig {
+        dedup_window: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let roundtrip = |stream: &mut TcpStream, id: u64, meta: RequestMeta, command: Command| {
+        stream
+            .write_all(&Frame::Request { id, meta, command }.encode())
+            .unwrap();
+        loop {
+            match Frame::read_from(stream).unwrap().expect("reply") {
+                Frame::Response { id: rid, reply } if rid == id => return reply,
+                Frame::Response { .. } | Frame::Push(_) => continue,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    };
+    let meta = |seq: u64| RequestMeta {
+        client_id: 88,
+        seq,
+        deadline_ms: 0,
+    };
+    let mut conn = TcpStream::connect(addr).unwrap();
+    // Three keyed requests through a window of two: seq 1 ages out.
+    for seq in 1..=3u64 {
+        match roundtrip(&mut conn, seq, meta(seq), Command::Begin) {
+            Reply::Txn(_) => {}
+            other => panic!("begin produced {other:?}"),
+        }
+    }
+    match roundtrip(&mut conn, 10, meta(1), Command::Begin) {
+        Reply::Err { kind, message } => {
+            assert_eq!(kind, "ReplyEvicted", "{message}");
+        }
+        other => panic!("evicted key must be refused, got {other:?}"),
+    }
+    // A still-windowed key replays instead.
+    let replayed = roundtrip(&mut conn, 11, meta(3), Command::Begin);
+    assert!(matches!(replayed, Reply::Txn(_)), "{replayed:?}");
+    assert!(server.dedup_hits() >= 1);
+}
+
+/// Adaptive shedding: with a queueing-delay budget configured, slow
+/// dispatches push the EWMA over it and a request arriving while
+/// another is in flight is refused `Overloaded` (counted separately in
+/// `shed_adaptive`), without any static `max_inflight` cap set.
+#[test]
+fn adaptive_shed_refuses_when_queueing_delay_over_budget() {
+    let server = server_with(ServerConfig {
+        shed_queue_delay: Some(Duration::from_millis(40)),
+        ..ServerConfig::default()
+    });
+    setup_int_class(&server);
+    let addr = server.local_addr().to_string();
+
+    let a = HipacClient::connect(&*addr).unwrap();
+    let ta = a.begin().unwrap();
+    let oid = a.insert(ta, "t", vec![Value::from(1)]).unwrap();
+    a.commit(ta).unwrap();
+    // A holds the row's write lock in an open transaction.
+    let ta = a.begin().unwrap();
+    a.update(ta, oid, vec![("n".into(), Value::from(2))]).unwrap();
+
+    let b = HipacClient::connect(&*addr).unwrap();
+    let c = HipacClient::connect(&*addr).unwrap();
+    let tb = b.begin().unwrap();
+    // B: two deadline-bound updates against the held lock. The first
+    // (~400ms) drives the dispatch EWMA to ~50ms > 40ms; the second
+    // keeps one request in flight while C arrives.
+    let b_thread = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let _ = b.request_with_deadline(
+                Command::Update {
+                    txn: tb,
+                    oid,
+                    assignments: vec![("n".into(), Value::from(3))],
+                },
+                Some(Duration::from_millis(400)),
+            );
+        }
+        let _ = b.abort(tb);
+    });
+    std::thread::sleep(Duration::from_millis(550));
+
+    let c_err = c.begin().unwrap_err();
+    match &c_err {
+        WireError::Remote { kind, message } => {
+            assert_eq!(kind, "Overloaded", "{message}");
+            assert!(message.contains("queueing delay"), "{message}");
+        }
+        other => panic!("expected adaptive Overloaded, got {other:?}"),
+    }
+    assert!(server.shed_adaptive() >= 1, "shed_adaptive gauge counted");
+
+    b_thread.join().unwrap();
+    a.abort(ta).unwrap();
+    // With the contention gone and traffic sparse, a lone request is
+    // always admitted: the signal can decay instead of latching shut.
+    let t = c.begin().unwrap();
+    c.abort(t).unwrap();
+}
+
+/// The shared per-address circuit breaker: repeated dial failures trip
+/// it open (fast typed refusal instead of a connect timeout per call),
+/// and after the cooldown a half-open probe against a revived server
+/// closes it again, counting one trip and one reset.
+#[test]
+fn circuit_breaker_trips_and_recovers() {
+    // Reserve a port that never accepted a connection, so it can be
+    // rebound later without TIME_WAIT interference.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let addr = format!("127.0.0.1:{port}");
+    let config = ClientConfig {
+        max_retries: 0,
+        backoff: Duration::from_millis(1),
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_millis(100),
+        ..ClientConfig::default()
+    };
+
+    // Nothing listens: the dial fails and trips the breaker...
+    let e1 = match HipacClient::connect_with(&*addr, config.clone()) {
+        Err(e) => e,
+        Ok(_) => panic!("dial against an empty port succeeded"),
+    };
+    assert!(matches!(e1, WireError::Io(_) | WireError::Transport(_)), "{e1:?}");
+    // ...so the next attempt inside the cooldown is refused fast.
+    let e2 = match HipacClient::connect_with(&*addr, config.clone()) {
+        Err(e) => e,
+        Ok(_) => panic!("open breaker admitted a dial"),
+    };
+    match &e2 {
+        WireError::Transport(msg) => assert!(msg.contains("circuit open"), "{msg}"),
+        other => panic!("expected fast circuit-open refusal, got {other:?}"),
+    }
+
+    // Revive the address and let the cooldown lapse: the half-open
+    // probe succeeds and the breaker closes.
+    let db = Arc::new(ActiveDatabase::open_in_memory().unwrap());
+    let _server = HipacServer::bind(db, &*addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let client = HipacClient::connect_with(&*addr, config).unwrap();
+    client.stats().unwrap();
+    assert!(client.breaker_trips() >= 1, "breaker tripped at least once");
+    assert!(client.breaker_resets() >= 1, "breaker reset after the probe");
+}

@@ -1059,7 +1059,8 @@ impl RuleManager {
     /// the trigger.
     fn submit_separate(&self, rid: RuleId, signal: EventSignal) {
         let time = signal.time;
-        self.submit_separate_job(rid, time, move |mgr, txn| {
+        let deadline = signal.txn.and_then(|t| self.tm.tree().effective_deadline(t));
+        self.submit_separate_job(rid, time, deadline, move |mgr, txn| {
             let Some(def) = mgr.rules.get(txn, &rid) else {
                 return Ok(()); // deleted meanwhile
             };
@@ -1084,7 +1085,8 @@ impl RuleManager {
         rows: Vec<QueryResult>,
     ) {
         let time = signal.time;
-        self.submit_separate_job(rid, time, move |mgr, txn| {
+        let deadline = signal.txn.and_then(|t| self.tm.tree().effective_deadline(t));
+        self.submit_separate_job(rid, time, deadline, move |mgr, txn| {
             let sig = EventSignal {
                 txn: Some(txn),
                 ..signal.clone()
@@ -1101,8 +1103,21 @@ impl RuleManager {
     /// or the retry budget is exhausted. Non-retryable errors and
     /// exhausted budgets dead-letter the firing: a trace entry, a
     /// stat, and an entry in the separate-error buffer.
-    fn submit_separate_job<F>(&self, rid: RuleId, event_time: hipac_common::Timestamp, body: F)
-    where
+    ///
+    /// The triggering request's `deadline` (if any) propagates into
+    /// every attempt: each fresh top-level transaction inherits it via
+    /// [`hipac_txn::TxnTree::set_deadline`], an attempt whose deadline
+    /// already passed aborts definitely instead of running, and the
+    /// retry loop stops backing off once the deadline is behind us —
+    /// a separate firing must not outlive the request that asked for
+    /// it by more than one attempt.
+    fn submit_separate_job<F>(
+        &self,
+        rid: RuleId,
+        event_time: hipac_common::Timestamp,
+        deadline: Option<std::time::Instant>,
+        body: F,
+    ) where
         F: Fn(&RuleManager, TxnId) -> Result<()> + Send + 'static,
     {
         let mgr = self.me();
@@ -1110,13 +1125,26 @@ impl RuleManager {
             let limit = mgr.separate_retry_limit.load(Ordering::Relaxed) as u64;
             let mut attempt: u64 = 0;
             loop {
-                let result = mgr.tm.run_top(|txn| {
-                    mgr.internal_txns.lock().insert(txn);
-                    body(&mgr, txn)
-                });
+                let result = if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    // Definite abort: the work never starts, so there is
+                    // nothing ambiguous to recover later.
+                    Err(HipacError::DeadlineExceeded(TxnId(0)))
+                } else {
+                    mgr.tm.run_top(|txn| {
+                        mgr.internal_txns.lock().insert(txn);
+                        if deadline.is_some() {
+                            mgr.tm.tree().set_deadline(txn, deadline)?;
+                        }
+                        body(&mgr, txn)
+                    })
+                };
                 match result {
                     Ok(()) => return,
-                    Err(e) if e.is_txn_fatal() && attempt < limit => {
+                    Err(e)
+                        if e.is_txn_fatal()
+                            && attempt < limit
+                            && !deadline.is_some_and(|d| std::time::Instant::now() >= d) =>
+                    {
                         attempt += 1;
                         mgr.stats.separate_retries.fetch_add(1, Ordering::Relaxed);
                         std::thread::sleep(separate_backoff(rid, attempt));

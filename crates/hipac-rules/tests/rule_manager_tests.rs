@@ -769,6 +769,82 @@ fn separate_firing_error_is_collected_not_propagated() {
     assert!(matches!(errors[0].1, HipacError::EvalError(_)));
 }
 
+/// A triggering request's deadline propagates into separate-mode
+/// firings: with the deadline already behind the trigger, the firing
+/// aborts *definitely* — dead-lettered as `DeadlineExceeded`, handler
+/// never run — instead of doing work its requester stopped waiting
+/// for. Deadlines only clamp lock waits, so the uncontended trigger
+/// itself still commits.
+#[test]
+fn near_deadline_separate_firing_aborts_definitely() {
+    let e = engine();
+    e.tm.run_top(|t| {
+        e.rules.create_rule(
+            t,
+            RuleDef::new("deadline-bound")
+                .on(EventSpec::on_update("stock"))
+                .ec(CouplingMode::Separate)
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "logger".into(),
+                    request: "too-late".into(),
+                    args: vec![],
+                })),
+        )
+    })
+    .unwrap();
+    let oid = xrx_oid(&e);
+    let before = e.log.lock().len();
+    e.tm.run_top(|t| {
+        e.tm.tree()
+            .set_deadline(t, Some(std::time::Instant::now()))?;
+        e.store.update(t, oid, &[("price", Value::from(1.0))])
+    })
+    .unwrap();
+    e.rules.quiesce();
+    assert_eq!(e.log.lock().len(), before, "expired firing must not run");
+    let errors = e.rules.take_separate_errors();
+    assert_eq!(errors.len(), 1, "one dead-lettered firing: {errors:?}");
+    assert!(
+        matches!(errors[0].1, HipacError::DeadlineExceeded(_)),
+        "definite deadline abort, got {:?}",
+        errors[0].1
+    );
+    use std::sync::atomic::Ordering;
+    assert!(
+        e.rules.stats.separate_dead_letters.load(Ordering::Relaxed) >= 1,
+        "dead-letter accounted"
+    );
+}
+
+/// Without a deadline on the trigger, the same separate rule fires
+/// normally — the propagation above is scoped to deadline-bearing
+/// requests, not a general throttle.
+#[test]
+fn separate_firing_without_deadline_still_runs() {
+    let e = engine();
+    e.tm.run_top(|t| {
+        e.rules.create_rule(
+            t,
+            RuleDef::new("unbounded")
+                .on(EventSpec::on_update("stock"))
+                .ec(CouplingMode::Separate)
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "logger".into(),
+                    request: "in-time".into(),
+                    args: vec![],
+                })),
+        )
+    })
+    .unwrap();
+    let oid = xrx_oid(&e);
+    let before = e.log.lock().len();
+    e.tm.run_top(|t| e.store.update(t, oid, &[("price", Value::from(2.0))]))
+        .unwrap();
+    e.rules.quiesce();
+    assert_eq!(e.log.lock().len(), before + 1);
+    assert!(e.rules.take_separate_errors().is_empty());
+}
+
 #[test]
 fn alter_rule_changes_behaviour_transactionally() {
     let e = engine();

@@ -12,7 +12,10 @@
 //! * [`wal`] — a checksummed append-only write-ahead log;
 //! * [`store`] — [`store::DurableStore`], the logical key→bytes store
 //!   the Object Manager persists into, with redo-only commit logging,
-//!   checkpointing and crash recovery.
+//!   checkpointing and crash recovery;
+//! * [`journal`] — the crash-safe reply journal and push-outbox key
+//!   space that keeps the network layer's exactly-once window durable
+//!   across restarts.
 //!
 //! Concurrency note: the durable store sits *behind* the transaction
 //! manager — only committed top-level transactions reach it (the paper's
@@ -26,6 +29,7 @@ pub mod crc;
 pub mod disk;
 pub mod fault;
 pub mod heap;
+pub mod journal;
 pub mod page;
 pub mod slotted;
 pub mod store;

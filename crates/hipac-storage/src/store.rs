@@ -300,10 +300,29 @@ impl DurableStore {
 
     /// Atomically and durably commit a batch of operations on behalf of
     /// top-level transaction `txn`.
+    ///
+    /// Transactional batches (`txn != TxnId(0)`) absorb any reply
+    /// journal ops the network layer annotated onto this thread
+    /// ([`crate::journal::set_pending_ops`]): the cached ack becomes
+    /// durable in the same WAL flush as the commit it acknowledges, so
+    /// no crash point can separate the two. Metadata batches
+    /// (`TxnId(0)`) leave the annotation alone — they can be flushed
+    /// mid-dispatch (push outbox writes) before the data batch exists.
     pub fn commit(&self, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        let merged: Vec<StoreOp>;
+        let batch: &[StoreOp] = match txn {
+            TxnId(0) => ops,
+            _ => match crate::journal::take_pending_ops() {
+                Some(extra) if !extra.is_empty() => {
+                    merged = ops.iter().cloned().chain(extra).collect();
+                    &merged
+                }
+                _ => ops,
+            },
+        };
         let mut inner = self.inner.lock();
-        Self::log_batch(&inner.wal, txn, ops)?;
-        for op in ops {
+        Self::log_batch(&inner.wal, txn, batch)?;
+        for op in batch {
             // Failpoint between the durable log and each in-memory
             // apply: a crash here must recover the batch from the WAL.
             inner.faults.hit(FaultPoint::StoreApply)?;

@@ -264,6 +264,13 @@ impl ActiveDatabase {
         &self.rules
     }
 
+    /// The durable store, when built with [`Builder::durable`]. The
+    /// network layer uses it to persist the reply journal and push
+    /// outbox alongside the data they acknowledge.
+    pub fn durable_store(&self) -> Option<&Arc<DurableStore>> {
+        self.durable.as_ref()
+    }
+
     // ---- transaction operations (Figure 4.1) -----------------------------
 
     /// Create a top-level transaction.

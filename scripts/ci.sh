@@ -31,6 +31,12 @@ cargo test -q -p hipac-rules --test rule_manager_tests separate
 echo "==> netchaos bench smoke (0% vs 5% faults, seed 4242)"
 cargo run --release -q -p hipac-bench --bin report -- --only netchaos --smoke --json netchaos
 
+echo "==> crash-restart torture (fixed seeds 101/202/303, durable exactly-once)"
+cargo test -q -p hipac-check --test restart_torture
+
+echo "==> restart bench cell (recovery time + journal replay hit rate)"
+cargo run --release -q -p hipac-bench --bin report -- --only restart --smoke --json restart
+
 # The offline toolchain may ship without clippy; lint hard when present.
 if cargo clippy --version >/dev/null 2>&1; then
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"
