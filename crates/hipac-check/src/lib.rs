@@ -38,14 +38,19 @@
 //! `FaultPolicy` into a full crash-restart torture: a seeded storage
 //! crash mid-burst, a reboot onto the same data directory, and clients
 //! retrying through the partition — proving the durable reply journal
-//! and push outbox keep exactly-once across the restart.
+//! and push outbox keep exactly-once across the restart. [`failover`]
+//! raises the stakes to a node change: kill a replicated primary
+//! mid-burst, promote its replica, and prove the same guarantees held
+//! by the *replicated* journal and outbox.
 
 pub mod conflict;
+pub mod failover;
 pub mod netchaos;
 pub mod restart;
 pub mod schedule;
 
 pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
+pub use failover::{run_failover_torture, FailoverTortureConfig, FailoverTortureReport};
 pub use netchaos::{ChaosConfig, ChaosFault, ChaosHit, ChaosProxy, ChaosStats};
 pub use restart::{run_restart_torture, RestartTortureConfig, RestartTortureReport};
 pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};

@@ -131,7 +131,7 @@ pub struct RestartTortureReport {
     pub unacked_after: u64,
 }
 
-fn fresh_dir(tag: &str, seed: u64) -> PathBuf {
+pub(crate) fn fresh_dir(tag: &str, seed: u64) -> PathBuf {
     static NONCE: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir().join(format!(
         "hipac-restart-{tag}-{}-{seed}-{}",
@@ -146,7 +146,7 @@ fn fresh_dir(tag: &str, seed: u64) -> PathBuf {
 /// Schema + rule shared by every phase: class `t(n)` for the
 /// exactly-once workload, class `p(n)` whose inserts fire a push to
 /// handler `audit`.
-fn setup_schema(db: &Arc<ActiveDatabase>) {
+pub(crate) fn setup_schema(db: &Arc<ActiveDatabase>) {
     db.run_top(|t| {
         db.store()
             .create_class(t, "t", None, vec![AttrDef::new("n", ValueType::Int)])?;
@@ -188,7 +188,7 @@ fn measure_setup_hits(seed: u64) -> u64 {
     hits
 }
 
-fn committed_counts(db: &Arc<ActiveDatabase>) -> HashMap<i64, usize> {
+pub(crate) fn committed_counts(db: &Arc<ActiveDatabase>) -> HashMap<i64, usize> {
     db.run_top(|t| {
         let rows = db.store().query(t, &Query::all("t"), None)?;
         let mut counts = HashMap::new();
@@ -206,7 +206,7 @@ fn committed_counts(db: &Arc<ActiveDatabase>) -> HashMap<i64, usize> {
 /// client does that internally), redo definite non-executions in a
 /// fresh transaction, and treat only `ReplyEvicted` / exhausted
 /// budgets as permanently unknown.
-fn land_value(client: &HipacClient, class: &str, v: i64, deadline: Instant) -> bool {
+pub(crate) fn land_value(client: &HipacClient, class: &str, v: i64, deadline: Instant) -> bool {
     while Instant::now() < deadline {
         let txn = match client.begin() {
             Ok(t) => t,
@@ -247,7 +247,17 @@ fn land_value(client: &HipacClient, class: &str, v: i64, deadline: Instant) -> b
     false
 }
 
-fn torture_client(addr: String, seed: u64, salt: u64) -> HipacClient {
+pub(crate) fn torture_client(addr: String, seed: u64, salt: u64) -> HipacClient {
+    try_torture_client(addr, seed, salt).expect("connect torture client")
+}
+
+/// Fallible [`torture_client`]: callers racing a server that is still
+/// coming up (e.g. mid-promotion) retry the construction themselves.
+pub(crate) fn try_torture_client(
+    addr: String,
+    seed: u64,
+    salt: u64,
+) -> std::result::Result<HipacClient, hipac_net::proto::WireError> {
     HipacClient::connect_with(
         addr,
         ClientConfig {
@@ -258,13 +268,12 @@ fn torture_client(addr: String, seed: u64, salt: u64) -> HipacClient {
             ..ClientConfig::default()
         },
     )
-    .expect("connect torture client")
 }
 
 /// Send a raw keyed duplicate straight at `addr` and report whether it
 /// came back `Ok` — with the original session dead and the transaction
 /// long gone, only a journal replay can say `Ok` here.
-fn raw_replay_probe(addr: std::net::SocketAddr, client_id: u64, seq: u64) -> bool {
+pub(crate) fn raw_replay_probe(addr: std::net::SocketAddr, client_id: u64, seq: u64) -> bool {
     let Ok(mut stream) = TcpStream::connect(addr) else {
         return false;
     };

@@ -13,10 +13,12 @@ pub mod clock;
 pub mod codec;
 pub mod error;
 pub mod id;
+pub mod repl;
 pub mod sortkey;
 pub mod value;
 
 pub use clock::{Clock, SystemClock, Timestamp, VirtualClock};
 pub use error::{HipacError, Result};
 pub use id::{AttrId, ClassId, EventId, ObjectId, RuleId, TxnId};
+pub use repl::{ReplCounters, ROLE_PRIMARY, ROLE_REPLICA};
 pub use value::{Value, ValueType};

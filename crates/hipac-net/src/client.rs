@@ -38,8 +38,9 @@
 
 use crate::proto::{
     Command, Frame, PushEvent, Reply, RequestMeta, WireAttr, WireError, WireRow, WireStats,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+use hipac_common::ROLE_PRIMARY;
 use hipac_common::{TxnId, Value};
 use hipac_object::AttrDef;
 use hipac_rules::RuleDef;
@@ -450,7 +451,11 @@ impl HipacClient {
                 version: PROTOCOL_VERSION,
             };
             match raw_request(&conn, id, RequestMeta::default(), ping, None)? {
-                Reply::Pong { version } if version == PROTOCOL_VERSION => {}
+                // Additive negotiation: any version both ends speak is
+                // acceptable — the server answers with the minimum of
+                // the two, and v5 extensions degrade gracefully.
+                Reply::Pong { version }
+                    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) => {}
                 Reply::Pong { version } => {
                     return Err(WireError::Protocol(format!(
                         "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
@@ -736,6 +741,297 @@ impl Drop for HipacClient {
     }
 }
 
+/// A client over a replicated fleet of HiPAC nodes: writes and
+/// transactional work route to the primary, snapshot reads and
+/// subscriptions prefer a replica, and every address is guarded by the
+/// process-wide per-address circuit breaker through the underlying
+/// [`HipacClient`]s.
+///
+/// Roles are discovered by probing each address's `STATS` reply
+/// (`repl_role`); they are cached until a request fails in a way
+/// another fleet member could serve — dead socket, open breaker, a
+/// `NotPrimary`/`Draining` refusal — at which point the whole list is
+/// re-probed, so a failover (the old primary gone, a promoted replica
+/// now answering as primary) is followed automatically.
+///
+/// Cross-node retries re-run the operation from scratch (a fresh
+/// idempotency key against a different node), so they are at-most-once
+/// per node: callers needing exactly-once across a failover should run
+/// a redo protocol keyed on application state, as the failover torture
+/// does.
+pub struct FleetClient {
+    addrs: Vec<String>,
+    config: ClientConfig,
+    primary: Mutex<Option<Arc<HipacClient>>>,
+    replica: Mutex<Option<Arc<HipacClient>>>,
+}
+
+impl FleetClient {
+    /// Connect to a fleet given its member addresses, probing roles
+    /// up front. Fails when no member currently answers as primary.
+    pub fn connect(
+        addrs: &[impl AsRef<str>],
+        config: ClientConfig,
+    ) -> Result<FleetClient, WireError> {
+        let addrs: Vec<String> = addrs.iter().map(|a| a.as_ref().to_owned()).collect();
+        if addrs.is_empty() {
+            return Err(WireError::Io("fleet address list is empty".into()));
+        }
+        let fleet = FleetClient {
+            addrs,
+            config,
+            primary: Mutex::new(None),
+            replica: Mutex::new(None),
+        };
+        fleet.probe()?;
+        Ok(fleet)
+    }
+
+    /// Probe every address and refresh the cached role routing. `Ok`
+    /// iff a primary was found; the replica slot is best-effort.
+    fn probe(&self) -> Result<(), WireError> {
+        let mut primary = None;
+        let mut replica = None;
+        let mut last_err = WireError::Transport("no fleet member reachable".into());
+        for addr in &self.addrs {
+            let client = match HipacClient::connect_with(addr.as_str(), self.config.clone()) {
+                Ok(c) => Arc::new(c),
+                Err(e) => {
+                    last_err = e;
+                    continue;
+                }
+            };
+            match client.stats() {
+                Ok(s) if s.repl_role == ROLE_PRIMARY => {
+                    if primary.is_none() {
+                        primary = Some(client);
+                    }
+                }
+                Ok(_) => {
+                    if replica.is_none() {
+                        replica = Some(client);
+                    }
+                }
+                Err(e) => last_err = e,
+            }
+            if primary.is_some() && replica.is_some() {
+                break;
+            }
+        }
+        *self.replica.lock() = replica;
+        match primary {
+            Some(p) => {
+                *self.primary.lock() = Some(p);
+                Ok(())
+            }
+            None => {
+                *self.primary.lock() = None;
+                Err(last_err)
+            }
+        }
+    }
+
+    /// Whether a replica is currently serving the read path (false:
+    /// reads fall back to the primary).
+    pub fn has_replica(&self) -> bool {
+        self.replica.lock().is_some()
+    }
+
+    fn current_primary(&self) -> Result<Arc<HipacClient>, WireError> {
+        if let Some(c) = self.primary.lock().clone() {
+            return Ok(c);
+        }
+        self.probe()?;
+        self.primary
+            .lock()
+            .clone()
+            .ok_or_else(|| WireError::Transport("no primary in fleet".into()))
+    }
+
+    fn current_reader(&self) -> Result<Arc<HipacClient>, WireError> {
+        if let Some(c) = self.replica.lock().clone() {
+            return Ok(c);
+        }
+        if let Some(c) = self.primary.lock().clone() {
+            return Ok(c);
+        }
+        self.probe()?;
+        if let Some(c) = self.replica.lock().clone() {
+            return Ok(c);
+        }
+        self.current_primary()
+    }
+
+    /// Whether `e` means this node cannot serve the request but another
+    /// fleet member might — the trigger for a re-probe.
+    fn reroutable(e: &WireError) -> bool {
+        match e {
+            WireError::Io(_) | WireError::Transport(_) => true,
+            WireError::Remote { kind, .. } => {
+                matches!(kind.as_str(), "NotPrimary" | "Draining" | "Unsupported")
+            }
+            _ => false,
+        }
+    }
+
+    /// Run `f` against the primary, re-probing and failing over when
+    /// the node is unreachable or no longer primary.
+    fn with_primary<T>(
+        &self,
+        f: impl Fn(&HipacClient) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.current_primary().and_then(|c| f(&c)) {
+                Ok(v) => return Ok(v),
+                Err(e) if Self::reroutable(&e) && attempt < self.config.max_retries => {
+                    *self.primary.lock() = None;
+                    attempt += 1;
+                    std::thread::sleep(retry_backoff(self.config.backoff, 0, 0, attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Run `f` against the preferred read node (replica when present),
+    /// falling back to the primary when the replica fails.
+    fn with_reader<T>(
+        &self,
+        f: impl Fn(&HipacClient) -> Result<T, WireError>,
+    ) -> Result<T, WireError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.current_reader().and_then(|c| f(&c)) {
+                Ok(v) => return Ok(v),
+                Err(e) if Self::reroutable(&e) && attempt < self.config.max_retries => {
+                    *self.replica.lock() = None;
+                    *self.primary.lock() = None;
+                    attempt += 1;
+                    std::thread::sleep(retry_backoff(self.config.backoff, 0, 1, attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // ---- write path (routed to the primary) ----
+
+    pub fn begin(&self) -> Result<TxnId, WireError> {
+        self.with_primary(|c| c.begin())
+    }
+
+    pub fn commit(&self, txn: TxnId) -> Result<(), WireError> {
+        self.with_primary(|c| c.commit(txn))
+    }
+
+    pub fn abort(&self, txn: TxnId) -> Result<(), WireError> {
+        self.with_primary(|c| c.abort(txn))
+    }
+
+    pub fn create_class(
+        &self,
+        txn: TxnId,
+        name: &str,
+        superclass: Option<&str>,
+        attrs: Vec<AttrDef>,
+    ) -> Result<u64, WireError> {
+        self.with_primary(|c| c.create_class(txn, name, superclass, attrs.clone()))
+    }
+
+    pub fn insert(&self, txn: TxnId, class: &str, values: Vec<Value>) -> Result<u64, WireError> {
+        self.with_primary(|c| c.insert(txn, class, values.clone()))
+    }
+
+    pub fn update(
+        &self,
+        txn: TxnId,
+        oid: u64,
+        assignments: Vec<(String, Value)>,
+    ) -> Result<(), WireError> {
+        self.with_primary(|c| c.update(txn, oid, assignments.clone()))
+    }
+
+    pub fn delete(&self, txn: TxnId, oid: u64) -> Result<(), WireError> {
+        self.with_primary(|c| c.delete(txn, oid))
+    }
+
+    /// Transactional query — runs on the primary, where the
+    /// transaction lives.
+    pub fn query(
+        &self,
+        txn: TxnId,
+        text: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<Vec<WireRow>, WireError> {
+        self.with_primary(|c| c.query(txn, text, params.clone()))
+    }
+
+    pub fn create_rule(&self, txn: TxnId, def: &RuleDef) -> Result<u64, WireError> {
+        self.with_primary(|c| c.create_rule(txn, def))
+    }
+
+    pub fn define_event(&self, name: &str, params: &[&str]) -> Result<u64, WireError> {
+        self.with_primary(|c| c.define_event(name, params))
+    }
+
+    pub fn signal_event(
+        &self,
+        name: &str,
+        args: HashMap<String, Value>,
+        txn: Option<TxnId>,
+    ) -> Result<(), WireError> {
+        self.with_primary(|c| c.signal_event(name, args.clone(), txn))
+    }
+
+    // ---- read path (routed to a replica when one is up) ----
+
+    /// Snapshot query outside any transaction. A replica serves it at
+    /// its applied-LSN watermark (transaction id 0 means "no
+    /// transaction" there); the primary fallback wraps the read in a
+    /// throwaway transaction for the same point-in-time semantics.
+    pub fn snapshot_query(
+        &self,
+        text: &str,
+        params: HashMap<String, Value>,
+    ) -> Result<Vec<WireRow>, WireError> {
+        self.with_reader(|c| match c.query(TxnId(0), text, params.clone()) {
+            Err(WireError::Remote { kind, .. }) if kind == "UnknownTxn" => {
+                let t = c.begin()?;
+                let rows = c.query(t, text, params.clone());
+                let _ = c.abort(t);
+                rows
+            }
+            other => other,
+        })
+    }
+
+    /// Subscribe `handler` on the preferred read node: with a live
+    /// replica, pushes for replica-homed subscriptions are fanned out
+    /// from the replica's replicated outbox, offloading the primary.
+    pub fn subscribe(
+        &self,
+        handler: &str,
+        f: impl Fn(&PushEvent) + Send + Sync + 'static,
+    ) -> Result<(), WireError> {
+        let f = Arc::new(f);
+        self.with_reader(move |c| {
+            let f = Arc::clone(&f);
+            c.subscribe(handler, move |ev| f(ev))
+        })
+    }
+
+    /// Stats from the preferred read node (replica when present).
+    pub fn stats(&self) -> Result<WireStats, WireError> {
+        self.with_reader(|c| c.stats())
+    }
+
+    /// Stats from the primary.
+    pub fn primary_stats(&self) -> Result<WireStats, WireError> {
+        self.with_primary(|c| c.stats())
+    }
+}
+
 /// Register the pending slot, write the frame, await the routed reply.
 /// `Reply::Err` passes through (the caller distinguishes remote errors
 /// from transport ones); all failure paths clean up the pending slot.
@@ -884,8 +1180,10 @@ fn read_loop(
                     }
                 }
             }
-            // Servers never send requests; a malformed stream is fatal.
-            Ok(Some(Frame::Request { .. })) | Err(_) | Ok(None) => break,
+            // Servers never send requests to plain clients, and repl
+            // stream frames only flow to a subscribed replica (see
+            // `hipac-repl`); a malformed stream is fatal.
+            Ok(Some(Frame::Request { .. })) | Ok(Some(Frame::Repl(_))) | Err(_) | Ok(None) => break,
         }
     }
     dead.store(true, Ordering::Release);

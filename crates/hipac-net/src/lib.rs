@@ -42,6 +42,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::{ClientConfig, HipacClient};
-pub use proto::{Command, Frame, PushEvent, Reply, RequestMeta, WireError};
+pub use client::{ClientConfig, FleetClient, HipacClient};
+pub use proto::{Command, Frame, PushEvent, Reply, ReplMsg, RequestMeta, WireError};
 pub use server::{HipacServer, ServerConfig};

@@ -10,6 +10,8 @@
 //!                   uvarints, 0 = absent), opcode u8, command body
 //! kind 1  Response  uvarint id, status u8, reply body
 //! kind 2  Push      push body (server -> client, unsolicited)
+//! kind 3  Repl      replication stream message (v5, primary -> replica,
+//!                   unsolicited after ReplSubscribe)
 //! ```
 //!
 //! Bodies reuse the `hipac-common` codec: LEB128 varints, length-
@@ -45,12 +47,23 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// acknowledge them with `AckPush`, unacked pushes are redelivered on
 /// re-subscribe; Stats gained shed_adaptive, journal_replays and
 /// pushes_redelivered.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// v5: replication — the `Repl` frame kind (WAL batch / snapshot /
+/// heartbeat stream), `ReplSubscribe` + `ReplProgress` opcodes, and six
+/// replication gauges appended to Stats. Negotiated additively: both
+/// ends answer a `Ping { version: v }` with `min(v, own)` and speak the
+/// agreed version, so a v4 peer never sees a v5-only construct.
+pub const PROTOCOL_VERSION: u32 = 5;
+
+/// Oldest protocol version this build still speaks (the v5 additions
+/// are gated on the negotiated version, everything else is unchanged
+/// since v4).
+pub const MIN_PROTOCOL_VERSION: u32 = 4;
 
 // Frame kinds.
 const KIND_REQUEST: u8 = 0;
 const KIND_RESPONSE: u8 = 1;
 const KIND_PUSH: u8 = 2;
+const KIND_REPL: u8 = 3;
 
 /// Errors surfaced by the protocol layer and the client.
 #[derive(Debug, Clone, PartialEq)]
@@ -243,10 +256,18 @@ pub struct WireStats {
     pub shed_adaptive: u64,
     pub journal_replays: u64,
     pub pushes_redelivered: u64,
+    // ---- v5 replication gauges (encoded only to v5 peers; decoded
+    // by presence, so a v4 stats body reads them as zero) ----
+    pub repl_role: u64,
+    pub last_shipped_lsn: u64,
+    pub last_applied_lsn: u64,
+    pub repl_lag_bytes: u64,
+    pub replica_pushes: u64,
+    pub promotions: u64,
 }
 
 impl WireStats {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>, version: u32) {
         for v in [
             self.signals_processed,
             self.rules_triggered,
@@ -272,6 +293,18 @@ impl WireStats {
         ] {
             put_uvarint(buf, v);
         }
+        if version >= 5 {
+            for v in [
+                self.repl_role,
+                self.last_shipped_lsn,
+                self.last_applied_lsn,
+                self.repl_lag_bytes,
+                self.replica_pushes,
+                self.promotions,
+            ] {
+                put_uvarint(buf, v);
+            }
+        }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
@@ -279,6 +312,17 @@ impl WireStats {
         for f in &mut fields {
             *f = get_uvarint(buf, pos)?;
         }
+        // The stats body is terminal in its reply, so the v5 gauges are
+        // detected by presence: a v4 peer's 21-field body leaves them
+        // zero.
+        let mut repl = [0u64; 6];
+        if *pos < buf.len() {
+            for f in &mut repl {
+                *f = get_uvarint(buf, pos)?;
+            }
+        }
+        let [repl_role, last_shipped_lsn, last_applied_lsn, repl_lag_bytes, replica_pushes, promotions] =
+            repl;
         let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters, shed_adaptive, journal_replays, pushes_redelivered] =
             fields;
         Ok(WireStats {
@@ -303,6 +347,12 @@ impl WireStats {
             shed_adaptive,
             journal_replays,
             pushes_redelivered,
+            repl_role,
+            last_shipped_lsn,
+            last_applied_lsn,
+            repl_lag_bytes,
+            replica_pushes,
+            promotions,
         })
     }
 }
@@ -369,6 +419,17 @@ pub enum Command {
     AckPush { handler: String, seq: u64 },
     // ---- observability ----
     Stats,
+    // ---- replication (v5) ----
+    /// Register this connection as a replication follower. The server
+    /// replies `Ok` and then streams [`ReplMsg`] frames on the same
+    /// connection: batches from `start_lsn` (or a snapshot when that
+    /// LSN is out of range) followed by the live tail.
+    ReplSubscribe { start_lsn: u64 },
+    /// Follower → primary: the follower's store durably reflects the
+    /// primary's log up to `applied_lsn`. Drives the primary's
+    /// semi-sync commit gate and its lag gauges (frame id 0 —
+    /// fire-and-forget).
+    ReplProgress { applied_lsn: u64 },
 }
 
 // Command opcodes. Stable on the wire: never renumber, only append.
@@ -392,6 +453,8 @@ const OP_SUBSCRIBE: u8 = 16;
 const OP_UNSUBSCRIBE: u8 = 17;
 const OP_STATS: u8 = 18;
 const OP_ACK_PUSH: u8 = 19;
+const OP_REPL_SUBSCRIBE: u8 = 20;
+const OP_REPL_PROGRESS: u8 = 21;
 
 impl Command {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -524,6 +587,14 @@ impl Command {
                 put_uvarint(buf, *seq);
             }
             Command::Stats => buf.push(OP_STATS),
+            Command::ReplSubscribe { start_lsn } => {
+                buf.push(OP_REPL_SUBSCRIBE);
+                put_uvarint(buf, *start_lsn);
+            }
+            Command::ReplProgress { applied_lsn } => {
+                buf.push(OP_REPL_PROGRESS);
+                put_uvarint(buf, *applied_lsn);
+            }
         }
     }
 
@@ -663,6 +734,12 @@ impl Command {
                 seq: get_uvarint(buf, pos)?,
             },
             OP_STATS => Command::Stats,
+            OP_REPL_SUBSCRIBE => Command::ReplSubscribe {
+                start_lsn: get_uvarint(buf, pos)?,
+            },
+            OP_REPL_PROGRESS => Command::ReplProgress {
+                applied_lsn: get_uvarint(buf, pos)?,
+            },
             other => return Err(WireError::Protocol(format!("unknown opcode {other}"))),
         })
     }
@@ -699,7 +776,7 @@ const ST_STATS: u8 = 6;
 const ST_ERR: u8 = 7;
 
 impl Reply {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>, version: u32) {
         match self {
             Reply::Ok => buf.push(ST_OK),
             Reply::Pong { version } => {
@@ -732,7 +809,7 @@ impl Reply {
             }
             Reply::Stats(s) => {
                 buf.push(ST_STATS);
-                s.encode(buf);
+                s.encode(buf, version);
             }
             Reply::Err { kind, message } => {
                 buf.push(ST_ERR);
@@ -778,10 +855,12 @@ impl Reply {
     }
 
     /// Serialize standalone (no frame envelope). Used by the server's
-    /// reply journal, which persists cached replies by value.
+    /// reply journal, which persists cached replies by value (always in
+    /// the full current format — both ends of the journal are the same
+    /// disk).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16);
-        self.encode(&mut buf);
+        self.encode(&mut buf, PROTOCOL_VERSION);
         buf
     }
 
@@ -836,6 +915,143 @@ pub struct RequestMeta {
     pub deadline_ms: u64,
 }
 
+/// One message on the v5 replication stream (frame kind 3, primary →
+/// replica, unsolicited after `ReplSubscribe`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// One committed WAL batch. Applying it and recording `next_lsn`
+    /// as the follower's watermark must be atomic (see
+    /// `DurableStore::apply_replicated`).
+    Batch {
+        start_lsn: u64,
+        next_lsn: u64,
+        txn: TxnId,
+        ops: Vec<hipac_storage::StoreOp>,
+    },
+    /// The follower's resume LSN fell out of the primary's retained
+    /// log: a full state transfer follows as chunks, then an end
+    /// marker. The follower buffers chunks and installs them
+    /// atomically on `SnapshotEnd`.
+    SnapshotBegin { snapshot_lsn: u64 },
+    SnapshotChunk { pairs: Vec<(Vec<u8>, Vec<u8>)> },
+    SnapshotEnd { snapshot_lsn: u64 },
+    /// Idle keep-alive carrying the primary's durable frontier so the
+    /// follower can compute byte lag even when nothing ships.
+    Heartbeat { durable_lsn: u64 },
+}
+
+const RM_BATCH: u8 = 0;
+const RM_SNAP_BEGIN: u8 = 1;
+const RM_SNAP_CHUNK: u8 = 2;
+const RM_SNAP_END: u8 = 3;
+const RM_HEARTBEAT: u8 = 4;
+
+impl ReplMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ReplMsg::Batch {
+                start_lsn,
+                next_lsn,
+                txn,
+                ops,
+            } => {
+                buf.push(RM_BATCH);
+                put_uvarint(buf, *start_lsn);
+                put_uvarint(buf, *next_lsn);
+                put_uvarint(buf, txn.0);
+                put_uvarint(buf, ops.len() as u64);
+                for op in ops {
+                    match op {
+                        hipac_storage::StoreOp::Put { key, value } => {
+                            buf.push(0);
+                            put_bytes(buf, key);
+                            put_bytes(buf, value);
+                        }
+                        hipac_storage::StoreOp::Delete { key } => {
+                            buf.push(1);
+                            put_bytes(buf, key);
+                        }
+                    }
+                }
+            }
+            ReplMsg::SnapshotBegin { snapshot_lsn } => {
+                buf.push(RM_SNAP_BEGIN);
+                put_uvarint(buf, *snapshot_lsn);
+            }
+            ReplMsg::SnapshotChunk { pairs } => {
+                buf.push(RM_SNAP_CHUNK);
+                put_uvarint(buf, pairs.len() as u64);
+                for (k, v) in pairs {
+                    put_bytes(buf, k);
+                    put_bytes(buf, v);
+                }
+            }
+            ReplMsg::SnapshotEnd { snapshot_lsn } => {
+                buf.push(RM_SNAP_END);
+                put_uvarint(buf, *snapshot_lsn);
+            }
+            ReplMsg::Heartbeat { durable_lsn } => {
+                buf.push(RM_HEARTBEAT);
+                put_uvarint(buf, *durable_lsn);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<ReplMsg, WireError> {
+        Ok(match next_byte(buf, pos)? {
+            RM_BATCH => {
+                let start_lsn = get_uvarint(buf, pos)?;
+                let next_lsn = get_uvarint(buf, pos)?;
+                let txn = TxnId(get_uvarint(buf, pos)?);
+                let n = get_uvarint(buf, pos)? as usize;
+                bounded(n, buf, *pos)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(match next_byte(buf, pos)? {
+                        0 => hipac_storage::StoreOp::Put {
+                            key: get_bytes(buf, pos)?.to_vec(),
+                            value: get_bytes(buf, pos)?.to_vec(),
+                        },
+                        1 => hipac_storage::StoreOp::Delete {
+                            key: get_bytes(buf, pos)?.to_vec(),
+                        },
+                        other => {
+                            return Err(WireError::Protocol(format!("bad op tag {other}")))
+                        }
+                    });
+                }
+                ReplMsg::Batch {
+                    start_lsn,
+                    next_lsn,
+                    txn,
+                    ops,
+                }
+            }
+            RM_SNAP_BEGIN => ReplMsg::SnapshotBegin {
+                snapshot_lsn: get_uvarint(buf, pos)?,
+            },
+            RM_SNAP_CHUNK => {
+                let n = get_uvarint(buf, pos)? as usize;
+                bounded(n, buf, *pos)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = get_bytes(buf, pos)?.to_vec();
+                    let v = get_bytes(buf, pos)?.to_vec();
+                    pairs.push((k, v));
+                }
+                ReplMsg::SnapshotChunk { pairs }
+            }
+            RM_SNAP_END => ReplMsg::SnapshotEnd {
+                snapshot_lsn: get_uvarint(buf, pos)?,
+            },
+            RM_HEARTBEAT => ReplMsg::Heartbeat {
+                durable_lsn: get_uvarint(buf, pos)?,
+            },
+            other => return Err(WireError::Protocol(format!("unknown repl msg {other}"))),
+        })
+    }
+}
+
 /// A complete protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -846,11 +1062,21 @@ pub enum Frame {
     },
     Response { id: u64, reply: Reply },
     Push(PushEvent),
+    /// v5 replication stream message; never sent to a v4 peer.
+    Repl(ReplMsg),
 }
 
 impl Frame {
-    /// Serialize including the length prefix.
+    /// Serialize including the length prefix, in the current protocol
+    /// version's format.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_versioned(PROTOCOL_VERSION)
+    }
+
+    /// Serialize for a peer speaking `version` (the negotiated minimum
+    /// of both ends). Only the Stats reply body differs between v4 and
+    /// v5; `Repl` frames must not be sent to a v4 peer at all.
+    pub fn encode_versioned(&self, version: u32) -> Vec<u8> {
         let mut payload = Vec::with_capacity(64);
         match self {
             Frame::Request { id, meta, command } => {
@@ -864,7 +1090,7 @@ impl Frame {
             Frame::Response { id, reply } => {
                 payload.push(KIND_RESPONSE);
                 put_uvarint(&mut payload, *id);
-                reply.encode(&mut payload);
+                reply.encode(&mut payload, version);
             }
             Frame::Push(p) => {
                 payload.push(KIND_PUSH);
@@ -872,6 +1098,11 @@ impl Frame {
                 put_str(&mut payload, &p.handler);
                 put_str(&mut payload, &p.request);
                 put_kv_map(&mut payload, &p.args);
+            }
+            Frame::Repl(m) => {
+                debug_assert!(version >= 5, "Repl frames are v5-only");
+                payload.push(KIND_REPL);
+                m.encode(&mut payload);
             }
         }
         debug_assert!(payload.len() <= MAX_FRAME);
@@ -907,6 +1138,7 @@ impl Frame {
                 request: get_str(payload, &mut pos)?,
                 args: get_kv_map(payload, &mut pos)?,
             }),
+            KIND_REPL => Frame::Repl(ReplMsg::decode(payload, &mut pos)?),
             other => return Err(WireError::Protocol(format!("unknown frame kind {other}"))),
         };
         if pos != payload.len() {
@@ -1153,6 +1385,12 @@ mod tests {
                 shed_adaptive: 19,
                 journal_replays: 20,
                 pushes_redelivered: 21,
+                repl_role: 1,
+                last_shipped_lsn: 22,
+                last_applied_lsn: 23,
+                repl_lag_bytes: 24,
+                replica_pushes: 25,
+                promotions: 26,
             }),
             Reply::Err {
                 kind: "UnknownClass".into(),
@@ -1165,6 +1403,78 @@ mod tests {
                 reply,
             });
         }
+    }
+
+    #[test]
+    fn repl_msgs_roundtrip() {
+        use hipac_storage::StoreOp;
+        let msgs = vec![
+            ReplMsg::Batch {
+                start_lsn: 10,
+                next_lsn: 99,
+                txn: TxnId(7),
+                ops: vec![
+                    StoreOp::Put {
+                        key: b"k".to_vec(),
+                        value: b"v".to_vec(),
+                    },
+                    StoreOp::Delete { key: b"d".to_vec() },
+                ],
+            },
+            ReplMsg::SnapshotBegin { snapshot_lsn: 5 },
+            ReplMsg::SnapshotChunk {
+                pairs: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), vec![])],
+            },
+            ReplMsg::SnapshotEnd { snapshot_lsn: 5 },
+            ReplMsg::Heartbeat { durable_lsn: 1234 },
+        ];
+        for m in msgs {
+            roundtrip(Frame::Repl(m));
+        }
+    }
+
+    #[test]
+    fn stats_reply_negotiates_v4_and_v5_formats() {
+        let stats = WireStats {
+            signals_processed: 1,
+            repl_role: 1,
+            last_shipped_lsn: 77,
+            last_applied_lsn: 70,
+            repl_lag_bytes: 7,
+            replica_pushes: 3,
+            promotions: 1,
+            ..WireStats::default()
+        };
+        let frame = Frame::Response {
+            id: 9,
+            reply: Reply::Stats(stats),
+        };
+        // A v4 peer gets the 21-field body and decodes the gauges as
+        // zero — exactly what a v4 build of this code would produce.
+        let v4_bytes = frame.encode_versioned(4);
+        let back = Frame::decode(&v4_bytes[4..]).unwrap();
+        let Frame::Response {
+            reply: Reply::Stats(s),
+            ..
+        } = back
+        else {
+            panic!("expected stats response");
+        };
+        assert_eq!(s.signals_processed, 1);
+        assert_eq!(s.repl_role, 0, "v4 body carries no repl gauges");
+        assert_eq!(s.last_shipped_lsn, 0);
+        // A v5 peer gets the full body.
+        let v5_bytes = frame.encode_versioned(5);
+        assert!(v5_bytes.len() > v4_bytes.len());
+        let back = Frame::decode(&v5_bytes[4..]).unwrap();
+        let Frame::Response {
+            reply: Reply::Stats(s),
+            ..
+        } = back
+        else {
+            panic!("expected stats response");
+        };
+        assert_eq!(s, stats);
     }
 
     #[test]

@@ -20,14 +20,14 @@
 //! transactions aborted, so a crashed client cannot strand locks.
 
 use crate::proto::{
-    code_type, Command, Frame, PushEvent, Reply, RequestMeta, WireError, WireStats,
-    PROTOCOL_VERSION,
+    code_type, Command, Frame, PushEvent, Reply, ReplMsg, RequestMeta, WireError, WireStats,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use hipac::{ActiveDatabase, EngineStats};
-use hipac_common::{HipacError, ObjectId, Result as HipacResult, TxnId, Value};
+use hipac_common::{HipacError, ObjectId, ReplCounters, Result as HipacResult, TxnId, Value};
 use hipac_object::{AttrDef, Query};
 use hipac_storage::journal;
-use hipac_storage::{DurableStore, StoreOp};
+use hipac_storage::{DurableStore, StoreOp, TailRead};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Write;
@@ -77,6 +77,16 @@ pub struct ServerConfig {
     /// flight. `None` disables it; `max_inflight` remains the hard
     /// cap.
     pub shed_queue_delay: Option<Duration>,
+    /// Semi-synchronous replication: gate each successful commit ack on
+    /// every connected replica having reported durable application up
+    /// to the committing frontier, so an acknowledged write never
+    /// exists only on this node. A replica that cannot keep up within
+    /// [`ServerConfig::sync_repl_timeout`] degrades that commit to
+    /// asynchronous (availability over strictness) rather than
+    /// stalling the session. No effect without connected replicas.
+    pub sync_repl: bool,
+    /// Per-commit bound on the semi-sync wait.
+    pub sync_repl_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +100,8 @@ impl Default for ServerConfig {
             reply_journal: true,
             outbox_cap: 256,
             shed_queue_delay: None,
+            sync_repl: false,
+            sync_repl_timeout: Duration::from_millis(250),
         }
     }
 }
@@ -358,6 +370,229 @@ impl Subscriptions {
     }
 }
 
+/// Bytes of WAL tail read per shipping round per replica.
+const SHIP_WINDOW: usize = 256 * 1024;
+
+/// How often idle replicas get a heartbeat carrying the durable
+/// frontier (so a quiet primary still advertises its lag as zero).
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(50);
+
+/// One replica connection registered via `ReplSubscribe`.
+struct ReplPeer {
+    session: u64,
+    writer: Arc<Mutex<TcpStream>>,
+    /// Next LSN to ship to this peer.
+    shipped: u64,
+    /// Highest LSN the peer has reported durably applied.
+    progress: u64,
+    /// Socket write failed; the peer is culled after the round.
+    dead: bool,
+}
+
+/// Primary-side replication hub: the registry of subscribed replica
+/// connections plus the single shipper thread that streams committed
+/// WAL batches to each of them — or a full snapshot when a replica's
+/// resume LSN has been truncated away by a checkpoint
+/// (`TailRead::OutOfRange`).
+///
+/// The hub also carries the semi-sync gate: sessions and the drain
+/// path call [`ReplHub::wait_caught_up`] to hold an ack (or the
+/// shutdown) until every connected replica has applied up to the
+/// durable frontier.
+struct ReplHub {
+    /// `None` for in-memory databases, which cannot be replicated
+    /// (there is no WAL to ship); `ReplSubscribe` is refused.
+    durable: Option<Arc<DurableStore>>,
+    counters: Arc<ReplCounters>,
+    peers: Mutex<Vec<ReplPeer>>,
+}
+
+impl ReplHub {
+    fn new(durable: Option<Arc<DurableStore>>, counters: Arc<ReplCounters>) -> Arc<ReplHub> {
+        Arc::new(ReplHub {
+            durable,
+            counters,
+            peers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Register (or re-register) `session`'s connection as a replica
+    /// resuming from `start_lsn`. The shipper validates the LSN lazily:
+    /// an unusable resume point simply produces a snapshot.
+    fn subscribe(&self, session: u64, writer: Arc<Mutex<TcpStream>>, start_lsn: u64) {
+        let mut peers = self.peers.lock();
+        peers.retain(|p| p.session != session);
+        peers.push(ReplPeer {
+            session,
+            writer,
+            shipped: start_lsn,
+            progress: start_lsn,
+            dead: false,
+        });
+    }
+
+    fn drop_session(&self, session: u64) {
+        self.peers.lock().retain(|p| p.session != session);
+    }
+
+    fn peer_count(&self) -> usize {
+        self.peers.lock().len()
+    }
+
+    /// A replica reported durable application up to `applied_lsn`.
+    /// Folds the best progress across peers into the shared counters.
+    fn record_progress(&self, session: u64, applied_lsn: u64) {
+        let best = {
+            let mut peers = self.peers.lock();
+            let mut best = 0u64;
+            for p in peers.iter_mut() {
+                if p.session == session {
+                    p.progress = p.progress.max(applied_lsn);
+                }
+                best = best.max(p.progress);
+            }
+            best
+        };
+        if let Some(d) = &self.durable {
+            self.counters.record_applied(best, d.durable_lsn());
+        }
+    }
+
+    /// One shipping round over all peers. Returns whether any bytes
+    /// moved (the shipper thread sleeps when nothing did).
+    fn ship_once(&self) -> bool {
+        let Some(d) = &self.durable else { return false };
+        let mut peers = self.peers.lock();
+        if peers.is_empty() {
+            return false;
+        }
+        let mut worked = false;
+        let mut best_shipped = 0u64;
+        for peer in peers.iter_mut() {
+            let durable_lsn = d.durable_lsn();
+            if peer.shipped < durable_lsn {
+                match d.read_batches_from(peer.shipped, SHIP_WINDOW as u64) {
+                    Ok(TailRead::Batches { batches, next_lsn, .. }) => {
+                        if next_lsn > peer.shipped || !batches.is_empty() {
+                            let mut w = peer.writer.lock();
+                            for b in &batches {
+                                let frame = Frame::Repl(ReplMsg::Batch {
+                                    start_lsn: b.start_lsn,
+                                    next_lsn: b.next_lsn,
+                                    txn: b.txn,
+                                    ops: b.ops.clone(),
+                                })
+                                .encode_versioned(PROTOCOL_VERSION);
+                                if w.write_all(&frame).is_err() {
+                                    peer.dead = true;
+                                    break;
+                                }
+                            }
+                            if !peer.dead && next_lsn > peer.shipped {
+                                peer.shipped = next_lsn;
+                                worked = true;
+                            }
+                        }
+                    }
+                    Ok(TailRead::OutOfRange { .. }) => {
+                        // The peer's resume point predates the oldest
+                        // retained WAL (checkpoint truncation) or is
+                        // misaligned: re-seed it with a full snapshot.
+                        peer.dead = !Self::ship_snapshot(d, peer);
+                        worked = true;
+                    }
+                    Err(_) => {}
+                }
+            }
+            best_shipped = best_shipped.max(peer.shipped);
+        }
+        peers.retain(|p| !p.dead);
+        if best_shipped > 0 {
+            self.counters
+                .last_shipped_lsn
+                .fetch_max(best_shipped, Ordering::Relaxed);
+        }
+        worked
+    }
+
+    /// Stream a consistent full-state snapshot to `peer` and move its
+    /// resume point to the snapshot frontier. Returns `false` on a
+    /// socket failure.
+    fn ship_snapshot(d: &Arc<DurableStore>, peer: &mut ReplPeer) -> bool {
+        let (snapshot_lsn, pairs) = match d.snapshot_for_repl() {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        let mut w = peer.writer.lock();
+        let begin = Frame::Repl(ReplMsg::SnapshotBegin { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
+        if w.write_all(&begin).is_err() {
+            return false;
+        }
+        // Chunk by payload volume so no frame approaches the cap.
+        let mut chunk: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        for (k, v) in pairs {
+            chunk_bytes += k.len() + v.len() + 16;
+            chunk.push((k, v));
+            if chunk_bytes >= SHIP_WINDOW {
+                let frame = Frame::Repl(ReplMsg::SnapshotChunk {
+                    pairs: std::mem::take(&mut chunk),
+                })
+                .encode_versioned(PROTOCOL_VERSION);
+                chunk_bytes = 0;
+                if w.write_all(&frame).is_err() {
+                    return false;
+                }
+            }
+        }
+        if !chunk.is_empty() {
+            let frame =
+                Frame::Repl(ReplMsg::SnapshotChunk { pairs: chunk }).encode_versioned(PROTOCOL_VERSION);
+            if w.write_all(&frame).is_err() {
+                return false;
+            }
+        }
+        let end = Frame::Repl(ReplMsg::SnapshotEnd { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
+        if w.write_all(&end).is_err() {
+            return false;
+        }
+        peer.shipped = snapshot_lsn;
+        true
+    }
+
+    /// Advertise the durable frontier to idle peers.
+    fn heartbeat(&self) {
+        let Some(d) = &self.durable else { return };
+        let durable_lsn = d.durable_lsn();
+        let frame = Frame::Repl(ReplMsg::Heartbeat { durable_lsn }).encode_versioned(PROTOCOL_VERSION);
+        let mut peers = self.peers.lock();
+        for peer in peers.iter_mut() {
+            if peer.writer.lock().write_all(&frame).is_err() {
+                peer.dead = true;
+            }
+        }
+        peers.retain(|p| !p.dead);
+    }
+
+    /// Block until every connected replica has reported progress at or
+    /// past the current durable frontier, or `timeout` passes. Returns
+    /// whether they caught up (vacuously true with no peers or no WAL).
+    fn wait_caught_up(&self, timeout: Duration) -> bool {
+        let Some(d) = &self.durable else { return true };
+        let lsn = d.durable_lsn();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.peers.lock().iter().all(|p| p.progress >= lsn) {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
 /// Cross-session resilience state: gauges served over STATS, the
 /// admission-control budget, and the idempotency window.
 struct ServerShared {
@@ -457,7 +692,7 @@ struct ClientWindow {
 /// Outcome of a dedup probe, distinguishing a fresh sequence from one
 /// whose cached reply was evicted under pressure.
 enum DedupProbe {
-    Hit(CachedReply),
+    Hit(Box<CachedReply>),
     Evicted,
     Miss,
 }
@@ -478,7 +713,7 @@ impl DedupWindow {
     fn probe(&self, client: u64, seq: u64) -> DedupProbe {
         match self.clients.get(&client) {
             Some(w) => match w.replies.get(&seq) {
-                Some(cached) => DedupProbe::Hit(cached.clone()),
+                Some(cached) => DedupProbe::Hit(Box::new(cached.clone())),
                 None if seq <= w.floor => DedupProbe::Evicted,
                 None => DedupProbe::Miss,
             },
@@ -552,6 +787,8 @@ pub struct HipacServer {
     refused: Arc<AtomicU64>,
     shared: Arc<ServerShared>,
     subscriptions: Arc<Subscriptions>,
+    repl: Arc<ReplHub>,
+    repl_thread: Option<JoinHandle<()>>,
 }
 
 impl HipacServer {
@@ -584,6 +821,28 @@ impl HipacServer {
         if let Some(d) = &durable {
             load_reply_journal(d, &shared, config.dedup_window);
         }
+        // Replication ships the WAL regardless of reply-journal config.
+        let repl = ReplHub::new(db.durable_store().cloned(), Arc::clone(db.repl_counters()));
+        let repl_thread = {
+            let hub = Arc::clone(&repl);
+            let stop = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("hipac-net-repl-ship".to_owned())
+                .spawn(move || {
+                    let mut last_beat = Instant::now();
+                    while !stop.load(Ordering::Acquire) {
+                        let worked = hub.ship_once();
+                        if last_beat.elapsed() >= HEARTBEAT_EVERY {
+                            hub.heartbeat();
+                            last_beat = Instant::now();
+                        }
+                        if !worked {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                })
+                .expect("spawn repl shipper thread")
+        };
         let workers = config.workers.max(1);
         let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.max_pending.max(1));
 
@@ -596,6 +855,7 @@ impl HipacServer {
             let shared = Arc::clone(&shared);
             let cfg = config.clone();
             let journal = durable.clone();
+            let hub = Arc::clone(&repl);
             session_threads.push(
                 std::thread::Builder::new()
                     .name(format!("hipac-net-session-{n}"))
@@ -603,8 +863,9 @@ impl HipacServer {
                         // Channel closes when the accept thread drops the
                         // last sender at shutdown.
                         while let Ok(stream) = rx.recv() {
-                            let session =
-                                Session::new(&db, &subs, &stop, &shared, &cfg, &journal, stream);
+                            let session = Session::new(
+                                &db, &subs, &stop, &shared, &cfg, &journal, &hub, stream,
+                            );
                             if let Some(mut s) = session {
                                 s.run();
                             }
@@ -658,6 +919,8 @@ impl HipacServer {
             refused,
             shared,
             subscriptions,
+            repl,
+            repl_thread: Some(repl_thread),
         })
     }
 
@@ -712,11 +975,19 @@ impl HipacServer {
         self.shared.active_connections.load(Ordering::Relaxed)
     }
 
+    /// Replica connections currently subscribed to the WAL stream.
+    pub fn repl_peers(&self) -> usize {
+        self.repl.peer_count()
+    }
+
     /// Stop accepting, interrupt live sessions at their next read tick,
     /// abort their open transactions, and join all threads.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.repl_thread.take() {
             let _ = t.join();
         }
         for t in self.session_threads.drain(..) {
@@ -740,6 +1011,12 @@ impl HipacServer {
             std::thread::sleep(Duration::from_millis(1));
         }
         self.db.quiesce();
+        // Finish shipping the committed tail before going away: every
+        // connected replica must apply up to the durable frontier (the
+        // quiesce above may have committed separate-mode work), so no
+        // acknowledged write exists only on this dying node. Bounded —
+        // a wedged replica cannot hold the drain hostage forever.
+        self.repl.wait_caught_up(Duration::from_secs(5));
         self.shutdown();
     }
 }
@@ -886,6 +1163,14 @@ struct Session<'a> {
     /// The durable store for the reply journal (None when journaling
     /// is off or the database is in-memory).
     journal: &'a Option<Arc<DurableStore>>,
+    repl: &'a Arc<ReplHub>,
+    sync_repl: bool,
+    sync_repl_timeout: Duration,
+    /// Protocol version negotiated by the last `Ping` — the minimum of
+    /// both ends, governing version-dependent reply encodings. Until a
+    /// ping arrives the session conservatively speaks the oldest
+    /// supported version.
+    negotiated: u32,
     reader: TcpStream,
     writer: Arc<Mutex<TcpStream>>,
     /// Transactions begun by this session and not yet terminated.
@@ -893,6 +1178,7 @@ struct Session<'a> {
 }
 
 impl<'a> Session<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         db: &'a Arc<ActiveDatabase>,
         subs: &'a Arc<Subscriptions>,
@@ -900,6 +1186,7 @@ impl<'a> Session<'a> {
         shared: &'a Arc<ServerShared>,
         cfg: &ServerConfig,
         journal: &'a Option<Arc<DurableStore>>,
+        repl: &'a Arc<ReplHub>,
         stream: TcpStream,
     ) -> Option<Session<'a>> {
         stream.set_nodelay(true).ok();
@@ -916,6 +1203,10 @@ impl<'a> Session<'a> {
             max_inflight: cfg.max_inflight,
             shed_queue_delay: cfg.shed_queue_delay,
             journal,
+            repl,
+            sync_repl: cfg.sync_repl,
+            sync_repl_timeout: cfg.sync_repl_timeout,
+            negotiated: MIN_PROTOCOL_VERSION,
             reader: stream,
             writer,
             open_txns: HashSet::new(),
@@ -936,7 +1227,8 @@ impl<'a> Session<'a> {
                         Ok(Frame::Request { id, meta, command }) => {
                             let reply = self.handle(meta, command);
                             let frame = Frame::Response { id, reply };
-                            if self.writer.lock().write_all(&frame.encode()).is_err() {
+                            let bytes = frame.encode_versioned(self.negotiated);
+                            if self.writer.lock().write_all(&bytes).is_err() {
                                 break;
                             }
                         }
@@ -962,6 +1254,7 @@ impl<'a> Session<'a> {
     fn teardown(&mut self) {
         self.shared.active_connections.fetch_sub(1, Ordering::Relaxed);
         self.subs.drop_session(self.db, self.id);
+        self.repl.drop_session(self.id);
         // Abort parents last: aborting a parent cascades to children,
         // making the child abort a no-op error we ignore anyway.
         let mut txns: Vec<TxnId> = self.open_txns.drain().collect();
@@ -1042,9 +1335,8 @@ impl<'a> Session<'a> {
         // rides the commit's own WAL batch, along with deletes for any
         // entries evicted from the window since the last journaled
         // commit.
-        let journaling = keyed
-            && matches!(command, Command::Commit { .. })
-            && self.journal.is_some();
+        let is_commit = matches!(command, Command::Commit { .. });
+        let journaling = keyed && is_commit && self.journal.is_some();
         if journaling {
             let mut ops = vec![StoreOp::Put {
                 key: journal::reply_key(meta.client_id, meta.seq),
@@ -1078,6 +1370,13 @@ impl<'a> Session<'a> {
                     }
                 }
             }
+        }
+        // Semi-sync replication: hold the commit ack until every
+        // connected replica has durably applied up to the committing
+        // frontier. A timeout degrades this commit to async rather
+        // than stalling the session indefinitely.
+        if self.sync_repl && is_commit && reply == Reply::Ok {
+            self.repl.wait_caught_up(self.sync_repl_timeout);
         }
         let io_error = matches!(&reply, Reply::Err { kind, .. } if kind == "Io");
         if io_error && self.db.durable_store().is_some() {
@@ -1136,9 +1435,16 @@ impl<'a> Session<'a> {
             }
         }
         Ok(match command {
-            Command::Ping { version: _ } => Reply::Pong {
-                version: PROTOCOL_VERSION,
-            },
+            Command::Ping { version } => {
+                // Additive negotiation: both ends settle on the lower
+                // version. A v4 client gets Pong{4} and a session that
+                // never encodes v5-only material; an older-than-v4
+                // client is clamped up and will refuse us on its side.
+                self.negotiated = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+                Reply::Pong {
+                    version: self.negotiated,
+                }
+            }
             Command::Begin => {
                 let t = self.db.begin();
                 self.open_txns.insert(t);
@@ -1268,6 +1574,27 @@ impl<'a> Session<'a> {
                 self.subs.ack(&handler, seq);
                 Reply::Ok
             }
+            Command::ReplSubscribe { start_lsn } => {
+                if self.negotiated < 5 {
+                    Reply::Err {
+                        kind: "Unsupported".to_owned(),
+                        message: "replication requires protocol v5".to_owned(),
+                    }
+                } else if self.repl.durable.is_none() {
+                    Reply::Err {
+                        kind: "Unsupported".to_owned(),
+                        message: "in-memory databases cannot be replicated".to_owned(),
+                    }
+                } else {
+                    self.repl
+                        .subscribe(self.id, Arc::clone(&self.writer), start_lsn);
+                    Reply::Ok
+                }
+            }
+            Command::ReplProgress { applied_lsn } => {
+                self.repl.record_progress(self.id, applied_lsn);
+                Reply::Ok
+            }
             Command::Stats => {
                 let mut w = stats_to_wire(self.db.stats());
                 w.active_connections = self.shared.active_connections.load(Ordering::Relaxed);
@@ -1331,5 +1658,11 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         shed_adaptive: 0,
         journal_replays: 0,
         pushes_redelivered: 0,
+        repl_role: s.repl_role,
+        last_shipped_lsn: s.last_shipped_lsn,
+        last_applied_lsn: s.last_applied_lsn,
+        repl_lag_bytes: s.repl_lag_bytes,
+        replica_pushes: s.replica_pushes,
+        promotions: s.promotions,
     }
 }

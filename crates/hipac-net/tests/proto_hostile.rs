@@ -140,11 +140,12 @@ fn oversized_length_prefixes_are_rejected_up_front() {
     }
 }
 
-/// Unknown opcodes (20..=255) and unknown frame kinds (3..=255) must
-/// error cleanly whatever bytes follow them.
+/// Unknown opcodes (22..=255, past v5's ReplProgress) and unknown
+/// frame kinds (4..=255, past v5's repl stream kind) must error
+/// cleanly whatever bytes follow them.
 #[test]
 fn garbage_opcodes_and_kinds_error() {
-    for op in 20..=255u8 {
+    for op in 22..=255u8 {
         // kind 0 (request), id 1, zeroed request meta, then the bad
         // opcode and some body.
         let payload = vec![0u8, 1, 0, 0, 0, op, 0xDE, 0xAD, 0xBE, 0xEF];
@@ -153,7 +154,7 @@ fn garbage_opcodes_and_kinds_error() {
             other => panic!("opcode {op} produced {other:?}"),
         }
     }
-    for kind in 3..=255u8 {
+    for kind in 4..=255u8 {
         let payload = vec![kind, 1, 2, 3];
         match Frame::decode(&payload) {
             Err(WireError::Protocol(_)) => {}

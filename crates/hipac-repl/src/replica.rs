@@ -1,0 +1,759 @@
+//! The replica node: WAL-stream follower, snapshot-read server, push
+//! fan-out host, and promotion path.
+//!
+//! A [`ReplicaNode`] maintains two socket roles at once:
+//!
+//! * **Follower** — one outbound connection to the primary. It
+//!   negotiates protocol v5, sends `ReplSubscribe` from its durable
+//!   watermark, applies each [`ReplMsg::Batch`] through
+//!   [`DurableStore::apply_replicated`] (the recovery-equivalent path:
+//!   batch + watermark are one atomic commit), mirrors the batch into
+//!   the in-memory [`ReplicaView`], and reports `ReplProgress` so the
+//!   primary's semi-sync gate and lag gauges advance. When its resume
+//!   LSN has fallen off the primary's retained log it installs the
+//!   streamed snapshot instead.
+//! * **Read server** — a listener speaking the ordinary wire protocol.
+//!   Snapshot queries (`txn == 0`) are served from the view at its
+//!   applied LSN; writes are refused with a typed `NotPrimary` error so
+//!   a fleet client reroutes. Subscriptions homed here are forwarded
+//!   upstream, pushes arriving on the follower connection fan out to
+//!   local subscribers, and acks flow back to the primary's durable
+//!   outbox — exactly-once per subscription holds across the hop
+//!   because the primary's outbox remains the single source of truth.
+//!
+//! [`ReplicaNode::promote`] turns the node into a primary: stop both
+//! roles, release the store, recover a full engine from the local WAL
+//! (reply journal and push outbox included, so retried requests replay
+//! instead of re-executing), and bind a real [`HipacServer`] on the
+//! same read address clients already know.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hipac::ActiveDatabase;
+use hipac_common::{HipacError, ReplCounters, Result, ROLE_REPLICA};
+use hipac_net::proto::{
+    Command, Frame, PushEvent, Reply, ReplMsg, RequestMeta, WireRow, WireStats, MAX_FRAME,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use hipac_net::{HipacServer, ServerConfig};
+use hipac_storage::DurableStore;
+use parking_lot::Mutex;
+
+use crate::view::ReplicaView;
+
+/// Socket read-timeout tick: how often blocked reads observe the stop
+/// flag.
+const READ_TICK: Duration = Duration::from_millis(25);
+/// Backoff between reconnect attempts to the primary.
+const RECONNECT_BACKOFF: Duration = Duration::from_millis(50);
+/// Handshake patience (ping + repl-subscribe acks).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+static NEXT_SESSION: AtomicU64 = AtomicU64::new(1);
+
+/// Resumable frame reader over a socket with a short read timeout
+/// (same contract as the server's internal reader: partial frames park
+/// across ticks, never desynchronizing the stream).
+struct TickReader {
+    want: Option<usize>,
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+impl TickReader {
+    fn new() -> TickReader {
+        TickReader {
+            want: None,
+            buf: vec![0u8; 4],
+            filled: 0,
+        }
+    }
+
+    /// `Ok(Some(payload))` on a complete frame, `Ok(None)` when the
+    /// read tick expired first, `Err` on EOF / oversize / transport
+    /// error.
+    fn poll(&mut self, stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+        loop {
+            let target = self.buf.len();
+            while self.filled < target {
+                match stream.read(&mut self.buf[self.filled..]) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed",
+                        ))
+                    }
+                    Ok(n) => self.filled += n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return Ok(None)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            match self.want {
+                None => {
+                    let len =
+                        u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                            as usize;
+                    if len > MAX_FRAME {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("frame of {len} bytes exceeds cap"),
+                        ));
+                    }
+                    self.want = Some(len);
+                    self.buf = vec![0u8; len];
+                    self.filled = 0;
+                }
+                Some(_) => {
+                    let payload = std::mem::replace(&mut self.buf, vec![0u8; 4]);
+                    self.want = None;
+                    self.filled = 0;
+                    return Ok(Some(payload));
+                }
+            }
+        }
+    }
+}
+
+/// One live subscriber connection: session id plus its shared writer.
+type SubWriter = (u64, Arc<Mutex<TcpStream>>);
+
+/// Local push-subscription registry: live subscriber writers per
+/// handler, plus unacked pushes retained for late subscribers.
+#[derive(Default)]
+struct SubState {
+    subscribers: HashMap<String, Vec<SubWriter>>,
+    pending: HashMap<String, BTreeMap<u64, PushEvent>>,
+}
+
+/// State shared by the follower thread, the read-server sessions, and
+/// the node handle.
+struct Shared {
+    /// `None` after promotion released it to the recovering engine.
+    store: Mutex<Option<Arc<DurableStore>>>,
+    view: Arc<ReplicaView>,
+    counters: Arc<ReplCounters>,
+    stop: AtomicBool,
+    /// Writer half of the live upstream connection (forwarded
+    /// `Subscribe` / `AckPush` / `ReplProgress` ride it as id-0
+    /// fire-and-forget requests).
+    upstream: Mutex<Option<TcpStream>>,
+    subs: Mutex<SubState>,
+    /// Primary's durable frontier, from batches and heartbeats.
+    primary_durable: AtomicU64,
+    connected: AtomicBool,
+}
+
+impl Shared {
+    fn store(&self) -> Option<Arc<DurableStore>> {
+        self.store.lock().clone()
+    }
+
+    /// Best-effort id-0 fire-and-forget request to the primary. The
+    /// primary's `Ok` reply lands in the follower read loop and is
+    /// dropped there.
+    fn send_upstream(&self, command: Command) {
+        let frame = Frame::Request {
+            id: 0,
+            meta: RequestMeta::default(),
+            command,
+        };
+        let mut guard = self.upstream.lock();
+        if let Some(stream) = guard.as_mut() {
+            if stream.write_all(&frame.encode()).is_err() {
+                *guard = None; // follower loop will reconnect
+            }
+        }
+    }
+
+    /// Fan a push from the primary out to local subscribers, retaining
+    /// it (keyed by per-subscription seq) until the local client acks.
+    fn fan_out(&self, event: PushEvent) {
+        let wire = Frame::Push(event.clone()).encode();
+        let mut subs = self.subs.lock();
+        if event.seq > 0 {
+            subs.pending
+                .entry(event.handler.clone())
+                .or_default()
+                .insert(event.seq, event.clone());
+        }
+        if let Some(writers) = subs.subscribers.get_mut(&event.handler) {
+            writers.retain(|(_, w)| {
+                let ok = w.lock().write_all(&wire).is_ok();
+                if ok {
+                    self.counters.replica_pushes.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            });
+        }
+    }
+}
+
+/// A replica: follows one primary, serves snapshot reads and hosts
+/// push subscriptions on its own listen address, and can be promoted
+/// to primary in place. See the module docs for the full contract.
+pub struct ReplicaNode {
+    dir: PathBuf,
+    listen: SocketAddr,
+    shared: Arc<Shared>,
+    follower: Option<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ReplicaNode {
+    /// Open (or create) the replica store in `dir`, start following the
+    /// primary at `primary_addr`, and serve reads on `listen`.
+    pub fn start(
+        dir: impl AsRef<Path>,
+        primary_addr: impl Into<String>,
+        listen: impl ToSocketAddrs,
+    ) -> Result<ReplicaNode> {
+        let dir = dir.as_ref().to_path_buf();
+        let primary_addr = primary_addr.into();
+        let store = Arc::new(DurableStore::open(&dir)?);
+        let applied = store.replicated_applied_lsn()?.unwrap_or(0);
+
+        // Seed the view from whatever the local store already holds (a
+        // replica restart resumes from its watermark, not from zero).
+        let view = Arc::new(ReplicaView::new());
+        let mut pairs = store.scan_prefix(b"c")?;
+        pairs.extend(store.scan_prefix(b"o")?);
+        view.install(&pairs, applied)?;
+
+        let counters = Arc::new(ReplCounters::new(ROLE_REPLICA));
+        counters.record_applied(applied, applied);
+
+        let listener = TcpListener::bind(listen).map_err(|e| HipacError::Io(e.to_string()))?;
+        let listen = listener
+            .local_addr()
+            .map_err(|e| HipacError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| HipacError::Io(e.to_string()))?;
+
+        let shared = Arc::new(Shared {
+            store: Mutex::new(Some(store)),
+            view,
+            counters,
+            stop: AtomicBool::new(false),
+            upstream: Mutex::new(None),
+            subs: Mutex::new(SubState::default()),
+            primary_durable: AtomicU64::new(applied),
+            connected: AtomicBool::new(false),
+        });
+
+        let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let follower = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hipac-repl-follow".into())
+                .spawn(move || follower_loop(&shared, &primary_addr))
+                .map_err(|e| HipacError::Io(e.to_string()))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("hipac-repl-serve".into())
+                .spawn(move || accept_loop(&shared, &listener, &sessions))
+                .map_err(|e| HipacError::Io(e.to_string()))?
+        };
+
+        Ok(ReplicaNode {
+            dir,
+            listen,
+            shared,
+            follower: Some(follower),
+            acceptor: Some(acceptor),
+            sessions,
+        })
+    }
+
+    /// The read-serving address (stable across promotion).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listen
+    }
+
+    /// Replication gauges (role, watermarks, lag, fan-out counts).
+    pub fn counters(&self) -> &Arc<ReplCounters> {
+        &self.shared.counters
+    }
+
+    /// Primary-stream LSN durably applied by this replica.
+    pub fn applied_lsn(&self) -> u64 {
+        self.shared.counters.last_applied_lsn.load(Ordering::Relaxed)
+    }
+
+    /// The in-memory query view (tests).
+    pub fn view(&self) -> &Arc<ReplicaView> {
+        &self.shared.view
+    }
+
+    /// Is the follower connection live and receiving the stream? True
+    /// only once at least one replication message (batch, snapshot or
+    /// heartbeat) has arrived, so the primary's durable frontier is
+    /// known — not merely once the socket handshake completed.
+    pub fn is_connected(&self) -> bool {
+        self.shared.connected.load(Ordering::Relaxed)
+    }
+
+    /// Block until this replica has applied everything the primary has
+    /// made durable (as of the latest batch/heartbeat), or `timeout`.
+    /// An empty primary counts as caught up once the stream is live.
+    pub fn wait_caught_up(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let frontier = self.shared.primary_durable.load(Ordering::Relaxed);
+            let applied = self.applied_lsn();
+            if self.is_connected() && applied >= frontier {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.follower.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self.sessions.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        *self.shared.upstream.lock() = None;
+        self.shared.connected.store(false, Ordering::Relaxed);
+    }
+
+    /// Stop following and serving without promoting.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    /// Promote this replica to primary: seal the applied prefix, stop
+    /// both socket roles, recover a full engine from the local store
+    /// (replaying the reply journal and push outbox, so client retries
+    /// from before the failover replay instead of re-executing), and
+    /// take over the replica's own listen address with a real server.
+    ///
+    /// Consumes the node; returns the recovered database and the bound
+    /// server. Local subscribers reconnect to the same address and
+    /// resume from the restored outbox.
+    pub fn promote(mut self, config: ServerConfig) -> Result<(Arc<ActiveDatabase>, HipacServer)> {
+        self.stop_threads();
+        // Release the replica's store handle: recovery below must be
+        // the only WAL owner for this directory.
+        drop(self.shared.store.lock().take());
+
+        let db = Arc::new(ActiveDatabase::builder().durable(&self.dir).build()?);
+        // Rules fire on the new primary (the gate ships open, but a
+        // promotion must never inherit a closed one).
+        db.rules().set_firing_gate(true);
+        let counters = db.repl_counters();
+        counters.promotions.store(
+            self.shared.counters.promotions.load(Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        counters.replica_pushes.store(
+            self.shared.counters.replica_pushes.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+
+        let server = HipacServer::bind_with(Arc::clone(&db), self.listen, config)
+            .map_err(|e| HipacError::Io(format!("promotion bind failed: {e}")))?;
+        Ok((db, server))
+    }
+}
+
+impl Drop for ReplicaNode {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Follower: primary connection, batch apply, progress reporting.
+// ---------------------------------------------------------------------
+
+fn follower_loop(shared: &Arc<Shared>, primary_addr: &str) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match follow_once(shared, primary_addr) {
+            FollowEnd::Stopped | FollowEnd::StoreGone => return,
+            FollowEnd::Disconnected => {
+                shared.connected.store(false, Ordering::Relaxed);
+                *shared.upstream.lock() = None;
+                std::thread::sleep(RECONNECT_BACKOFF);
+            }
+        }
+    }
+}
+
+enum FollowEnd {
+    Stopped,
+    Disconnected,
+    /// Promotion took the store out from under us: exit for good.
+    StoreGone,
+}
+
+/// One connection lifetime: handshake, subscribe, apply until error.
+fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
+    let Some(store) = shared.store() else {
+        return FollowEnd::StoreGone;
+    };
+    let Ok(mut stream) = TcpStream::connect(primary_addr) else {
+        return FollowEnd::Disconnected;
+    };
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK)).ok();
+    let Ok(writer) = stream.try_clone() else {
+        return FollowEnd::Disconnected;
+    };
+    let mut reader = TickReader::new();
+
+    // Handshake: negotiate v5 (a v4 primary cannot ship), then
+    // subscribe from our durable watermark.
+    let ping = Frame::Request {
+        id: 1,
+        meta: RequestMeta::default(),
+        command: Command::Ping {
+            version: PROTOCOL_VERSION,
+        },
+    };
+    if stream.write_all(&ping.encode()).is_err() {
+        return FollowEnd::Disconnected;
+    }
+    match wait_reply(shared, &mut reader, &mut stream, 1) {
+        Some(Reply::Pong { version }) if version >= 5 => {}
+        _ => return FollowEnd::Disconnected,
+    }
+    let start_lsn = store.replicated_applied_lsn().ok().flatten().unwrap_or(0);
+    let sub = Frame::Request {
+        id: 2,
+        meta: RequestMeta::default(),
+        command: Command::ReplSubscribe { start_lsn },
+    };
+    if stream.write_all(&sub.encode()).is_err() {
+        return FollowEnd::Disconnected;
+    }
+    match wait_reply(shared, &mut reader, &mut stream, 2) {
+        Some(Reply::Ok) => {}
+        _ => return FollowEnd::Disconnected,
+    }
+
+    *shared.upstream.lock() = Some(writer);
+    // Re-home our local subscriptions on the (new) primary so pushes
+    // for them flow down this connection; the primary redelivers any
+    // unacked outbox entries on resubscribe.
+    let handlers: Vec<String> = shared.subs.lock().subscribers.keys().cloned().collect();
+    for handler in handlers {
+        shared.send_upstream(Command::Subscribe { handler });
+    }
+
+    // Steady state: apply the stream.
+    let mut snapshot: Option<Vec<(Vec<u8>, Vec<u8>)>> = None;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return FollowEnd::Stopped;
+        }
+        let payload = match reader.poll(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => continue,
+            Err(_) => return FollowEnd::Disconnected,
+        };
+        let frame = match Frame::decode(&payload) {
+            Ok(f) => f,
+            Err(_) => return FollowEnd::Disconnected,
+        };
+        match frame {
+            Frame::Repl(msg) => {
+                if !apply_repl(shared, &store, msg, &mut snapshot) {
+                    // Storage failure: this node cannot keep its
+                    // durability promise — stop following for good.
+                    return FollowEnd::StoreGone;
+                }
+            }
+            // Pushes for subscriptions homed on this replica.
+            Frame::Push(event) => shared.fan_out(event),
+            // Acks of our id-0 progress/subscribe/ack sends.
+            Frame::Response { .. } => {}
+            Frame::Request { .. } => return FollowEnd::Disconnected,
+        }
+    }
+}
+
+/// Apply one replication message. Returns false on a storage error.
+fn apply_repl(
+    shared: &Arc<Shared>,
+    store: &Arc<DurableStore>,
+    msg: ReplMsg,
+    snapshot: &mut Option<Vec<(Vec<u8>, Vec<u8>)>>,
+) -> bool {
+    match msg {
+        ReplMsg::Batch {
+            next_lsn, ops, ..
+        } => {
+            if store.apply_replicated(&ops, next_lsn).is_err() {
+                return false;
+            }
+            if shared.view.apply_ops(&ops, next_lsn).is_err() {
+                return false;
+            }
+            let frontier = shared
+                .primary_durable
+                .fetch_max(next_lsn, Ordering::Relaxed)
+                .max(next_lsn);
+            shared.counters.record_applied(next_lsn, frontier);
+            shared.connected.store(true, Ordering::Relaxed);
+            shared.send_upstream(Command::ReplProgress {
+                applied_lsn: next_lsn,
+            });
+        }
+        ReplMsg::SnapshotBegin { .. } => *snapshot = Some(Vec::new()),
+        ReplMsg::SnapshotChunk { pairs } => {
+            if let Some(buf) = snapshot.as_mut() {
+                buf.extend(pairs);
+            }
+        }
+        ReplMsg::SnapshotEnd { snapshot_lsn } => {
+            let Some(pairs) = snapshot.take() else {
+                return true; // end without begin: ignore
+            };
+            if store.install_snapshot(&pairs, snapshot_lsn).is_err() {
+                return false;
+            }
+            if shared.view.install(&pairs, snapshot_lsn).is_err() {
+                return false;
+            }
+            let frontier = shared
+                .primary_durable
+                .fetch_max(snapshot_lsn, Ordering::Relaxed)
+                .max(snapshot_lsn);
+            shared.counters.record_applied(snapshot_lsn, frontier);
+            shared.connected.store(true, Ordering::Relaxed);
+            shared.send_upstream(Command::ReplProgress {
+                applied_lsn: snapshot_lsn,
+            });
+        }
+        ReplMsg::Heartbeat { durable_lsn } => {
+            let frontier = shared
+                .primary_durable
+                .fetch_max(durable_lsn, Ordering::Relaxed)
+                .max(durable_lsn);
+            let applied = shared.counters.last_applied_lsn.load(Ordering::Relaxed);
+            shared.counters.record_applied(applied, frontier);
+            shared.connected.store(true, Ordering::Relaxed);
+        }
+    }
+    true
+}
+
+/// Read frames until the response with `id` arrives (handshake only).
+fn wait_reply(
+    shared: &Arc<Shared>,
+    reader: &mut TickReader,
+    stream: &mut TcpStream,
+    id: u64,
+) -> Option<Reply> {
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    while Instant::now() < deadline && !shared.stop.load(Ordering::SeqCst) {
+        match reader.poll(stream) {
+            Ok(Some(payload)) => match Frame::decode(&payload) {
+                Ok(Frame::Response { id: got, reply }) if got == id => return Some(reply),
+                Ok(_) => {}
+                Err(_) => return None,
+            },
+            Ok(None) => {}
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Read server: snapshot queries, local subscriptions, typed refusals.
+// ---------------------------------------------------------------------
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    sessions: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("hipac-repl-session".into())
+                    .spawn(move || session_loop(&shared, stream))
+                {
+                    sessions.lock().push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK)).ok();
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(writer_stream));
+    let session = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+    let mut negotiated = MIN_PROTOCOL_VERSION;
+    let mut reader = TickReader::new();
+
+    while !shared.stop.load(Ordering::SeqCst) {
+        let payload = match reader.poll(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => continue,
+            Err(_) => break,
+        };
+        let (id, command) = match Frame::decode(&payload) {
+            Ok(Frame::Request { id, command, .. }) => (id, command),
+            _ => break,
+        };
+        let reply = execute(shared, session, &writer, &mut negotiated, command);
+        let frame = Frame::Response { id, reply };
+        if writer
+            .lock()
+            .write_all(&frame.encode_versioned(negotiated))
+            .is_err()
+        {
+            break;
+        }
+    }
+
+    // Drop this session's subscriptions (the upstream subscription
+    // stays: the primary's outbox redelivers to the next subscriber).
+    let mut subs = shared.subs.lock();
+    for writers in subs.subscribers.values_mut() {
+        writers.retain(|(sid, _)| *sid != session);
+    }
+}
+
+fn execute(
+    shared: &Arc<Shared>,
+    session: u64,
+    writer: &Arc<Mutex<TcpStream>>,
+    negotiated: &mut u32,
+    command: Command,
+) -> Reply {
+    match command {
+        Command::Ping { version } => {
+            *negotiated = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+            Reply::Pong {
+                version: *negotiated,
+            }
+        }
+        Command::Stats => {
+            let c = &shared.counters;
+            Reply::Stats(WireStats {
+                repl_role: c.role.load(Ordering::Relaxed),
+                last_shipped_lsn: c.last_shipped_lsn.load(Ordering::Relaxed),
+                last_applied_lsn: c.last_applied_lsn.load(Ordering::Relaxed),
+                repl_lag_bytes: c.lag_bytes.load(Ordering::Relaxed),
+                replica_pushes: c.replica_pushes.load(Ordering::Relaxed),
+                promotions: c.promotions.load(Ordering::Relaxed),
+                ..WireStats::default()
+            })
+        }
+        // Snapshot reads at the applied-LSN watermark. Transactional
+        // reads need the primary's lock manager — refuse them the same
+        // way as writes so the client reroutes.
+        Command::Query { txn, text, params } => {
+            if txn.raw() != 0 {
+                return not_primary("transactional reads");
+            }
+            match shared.view.query(&text, &params) {
+                Ok(rows) => Reply::Rows(
+                    rows.into_iter()
+                        .map(|r| WireRow {
+                            oid: r.oid.raw(),
+                            class: r.class.raw(),
+                            values: r.values,
+                        })
+                        .collect(),
+                ),
+                Err(e) => Reply::from(e),
+            }
+        }
+        // Subscriptions homed on this replica: register locally,
+        // re-home upstream, and redeliver anything still unacked.
+        Command::Subscribe { handler } => {
+            let pending: Vec<PushEvent> = {
+                let mut subs = shared.subs.lock();
+                subs.subscribers
+                    .entry(handler.clone())
+                    .or_default()
+                    .push((session, Arc::clone(writer)));
+                subs.pending
+                    .get(&handler)
+                    .map(|m| m.values().cloned().collect())
+                    .unwrap_or_default()
+            };
+            shared.send_upstream(Command::Subscribe { handler });
+            for event in pending {
+                let wire = Frame::Push(event).encode();
+                if writer.lock().write_all(&wire).is_ok() {
+                    shared.counters.replica_pushes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Reply::Ok
+        }
+        Command::Unsubscribe { handler } => {
+            if let Some(writers) = shared.subs.lock().subscribers.get_mut(&handler) {
+                writers.retain(|(sid, _)| *sid != session);
+            }
+            Reply::Ok
+        }
+        // The ack retires the push locally and flows to the primary's
+        // durable outbox — the source of truth for exactly-once.
+        Command::AckPush { handler, seq } => {
+            if let Some(m) = shared.subs.lock().pending.get_mut(&handler) {
+                m.remove(&seq);
+            }
+            shared.send_upstream(Command::AckPush { handler, seq });
+            Reply::Ok
+        }
+        Command::ReplSubscribe { .. } | Command::ReplProgress { .. } => Reply::Err {
+            kind: "Unsupported".to_owned(),
+            message: "replicas do not ship the stream onward".to_owned(),
+        },
+        // Every mutation (and transaction control) belongs on the
+        // primary; the typed kind lets a fleet client reroute.
+        _ => not_primary("writes"),
+    }
+}
+
+fn not_primary(what: &str) -> Reply {
+    Reply::Err {
+        kind: "NotPrimary".to_owned(),
+        message: format!("this node is a replica; {what} must go to the primary"),
+    }
+}

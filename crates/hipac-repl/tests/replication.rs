@@ -1,0 +1,428 @@
+//! Two-node integration tests for the replication subsystem: WAL
+//! shipping, snapshot-read serving, fleet routing, snapshot fallback,
+//! semi-sync commits, drain-ships-tail, replica-homed push fan-out,
+//! and promotion.
+
+use hipac::ActiveDatabase;
+use hipac_common::{TxnId, Value, ValueType, ROLE_PRIMARY, ROLE_REPLICA};
+use hipac_event::EventSpec;
+use hipac_net::{ClientConfig, FleetClient, HipacClient, HipacServer, ServerConfig, WireError};
+use hipac_object::{AttrDef, Expr, Query};
+use hipac_repl::ReplicaNode;
+use hipac_rules::{Action, ActionOp, RuleDef};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hipac-repl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn primary(dir: &PathBuf, sync_repl: bool) -> HipacServer {
+    let db = Arc::new(ActiveDatabase::builder().durable(dir).build().unwrap());
+    let config = ServerConfig {
+        sync_repl,
+        ..ServerConfig::default()
+    };
+    HipacServer::bind_with(db, "127.0.0.1:0", config).unwrap()
+}
+
+/// Create the stock schema and `n` rows; returns the oids.
+fn seed_stock(client: &HipacClient, n: i64) -> Vec<u64> {
+    let t = client.begin().unwrap();
+    client
+        .create_class(
+            t,
+            "stock",
+            None,
+            vec![
+                AttrDef::new("sym", ValueType::Str),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )
+        .unwrap();
+    let mut oids = Vec::new();
+    for i in 0..n {
+        oids.push(
+            client
+                .insert(
+                    t,
+                    "stock",
+                    vec![Value::from(format!("S{i}")), Value::from(10.0 + i as f64)],
+                )
+                .unwrap(),
+        );
+    }
+    client.commit(t).unwrap();
+    oids
+}
+
+#[test]
+fn replica_follows_applies_and_serves_snapshot_reads() {
+    let pdir = tdir("follow-p");
+    let rdir = tdir("follow-r");
+    let mut server = primary(&pdir, false);
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    seed_stock(&client, 8);
+
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+    assert!(node.wait_caught_up(Duration::from_secs(5)), "replica lag");
+
+    // Snapshot reads on the replica, at its applied watermark.
+    let reader = HipacClient::connect(node.local_addr().to_string()).unwrap();
+    let rows = reader
+        .query(TxnId(0), "from stock where price >= 14.0", HashMap::new())
+        .unwrap();
+    assert_eq!(rows.len(), 4, "filtered extent on the replica");
+    let projected = reader
+        .query(TxnId(0), "from stock select sym", HashMap::new())
+        .unwrap();
+    assert_eq!(projected.len(), 8);
+    assert_eq!(projected[0].values.len(), 1, "projection applies");
+
+    // Gauges: the replica reports its role and watermark over STATS...
+    let rstats = reader.stats().unwrap();
+    assert_eq!(rstats.repl_role, ROLE_REPLICA);
+    assert!(rstats.last_applied_lsn > 0);
+    assert_eq!(rstats.repl_lag_bytes, 0, "caught up means zero lag");
+    // ...and the primary reports shipped/applied progress.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let pstats = client.stats().unwrap();
+        if pstats.repl_role == ROLE_PRIMARY
+            && pstats.last_shipped_lsn == rstats.last_applied_lsn
+            && pstats.last_applied_lsn == rstats.last_applied_lsn
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "primary gauges never converged: {pstats:?} vs replica {rstats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // New commits keep flowing. Async mode acks before shipping, so
+    // poll the replica for the row rather than trusting one wait.
+    let t = client.begin().unwrap();
+    client
+        .insert(t, "stock", vec![Value::from("LATE"), Value::from(99.0)])
+        .unwrap();
+    client.commit(t).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let rows = reader
+            .query(TxnId(0), "from stock where sym = \"LATE\"", HashMap::new())
+            .unwrap();
+        if rows.len() == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "post-subscribe commit never reached the replica"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    node.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn replica_refuses_writes_with_typed_error() {
+    let pdir = tdir("refuse-p");
+    let rdir = tdir("refuse-r");
+    let mut server = primary(&pdir, false);
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+
+    let client = HipacClient::connect(node.local_addr().to_string()).unwrap();
+    match client.begin() {
+        Err(WireError::Remote { kind, .. }) => assert_eq!(kind, "NotPrimary"),
+        other => panic!("replica accepted a write path: {other:?}"),
+    }
+    // Transactional reads are refused too (no lock manager here).
+    match client.query(TxnId(7), "from stock", HashMap::new()) {
+        Err(WireError::Remote { kind, .. }) => assert_eq!(kind, "NotPrimary"),
+        other => panic!("replica served a transactional read: {other:?}"),
+    }
+
+    node.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn fleet_client_routes_writes_to_primary_and_reads_to_replica() {
+    let pdir = tdir("fleet-p");
+    let rdir = tdir("fleet-r");
+    let mut server = primary(&pdir, true);
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+
+    // Replica listed first: probing must still find the primary.
+    let fleet = FleetClient::connect(
+        &[
+            node.local_addr().to_string(),
+            server.local_addr().to_string(),
+        ],
+        ClientConfig::default(),
+    )
+    .unwrap();
+    assert!(fleet.has_replica());
+
+    let t = fleet.begin().unwrap();
+    fleet
+        .create_class(t, "acct", None, vec![AttrDef::new("bal", ValueType::Int)])
+        .unwrap();
+    fleet.insert(t, "acct", vec![Value::from(100)]).unwrap();
+    fleet.commit(t).unwrap();
+    assert!(node.wait_caught_up(Duration::from_secs(5)));
+
+    // The read path lands on the replica: its role says so, and its
+    // served row agrees with the primary's committed state.
+    let stats = fleet.stats().unwrap();
+    assert_eq!(stats.repl_role, ROLE_REPLICA, "reads prefer the replica");
+    let rows = fleet.snapshot_query("from acct", HashMap::new()).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].values[0], Value::from(100));
+    assert_eq!(fleet.primary_stats().unwrap().repl_role, ROLE_PRIMARY);
+
+    // Kill the replica: reads fail over to the primary transparently.
+    node.shutdown();
+    let rows = fleet.snapshot_query("from acct", HashMap::new()).unwrap();
+    assert_eq!(rows.len(), 1, "read failover to primary");
+
+    server.shutdown();
+}
+
+#[test]
+fn checkpointed_away_watermark_falls_back_to_snapshot() {
+    let pdir = tdir("snap-p");
+    let rdir = tdir("snap-r");
+    let mut server = primary(&pdir, false);
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    seed_stock(&client, 20);
+
+    // Checkpoint the primary: the WAL resets, its base moves past 0,
+    // and a fresh replica's resume LSN (0) falls out of range.
+    let store = Arc::clone(server.db().durable_store().unwrap());
+    store.checkpoint().unwrap();
+    assert!(
+        store.durable_lsn() > 0,
+        "base survives the reset (monotonic LSN)"
+    );
+
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+    assert!(
+        node.wait_caught_up(Duration::from_secs(5)),
+        "snapshot fallback never caught up"
+    );
+    assert_eq!(node.view().object_count(), 20, "full extent transferred");
+
+    let reader = HipacClient::connect(node.local_addr().to_string()).unwrap();
+    let rows = reader
+        .query(TxnId(0), "from stock", HashMap::new())
+        .unwrap();
+    assert_eq!(rows.len(), 20);
+
+    // The stream continues live past the snapshot (async ack: poll).
+    let t = client.begin().unwrap();
+    client
+        .insert(t, "stock", vec![Value::from("NEW"), Value::from(1.0)])
+        .unwrap();
+    client.commit(t).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node.view().object_count() != 21 {
+        assert!(Instant::now() < deadline, "live stream stalled after snapshot");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    node.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn semi_sync_commit_observes_replica_watermark() {
+    let pdir = tdir("sync-p");
+    let rdir = tdir("sync-r");
+    let mut server = primary(&pdir, true);
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+    assert!(node.wait_caught_up(Duration::from_secs(5)));
+
+    // With sync_repl, a returned commit ack implies the replica has
+    // durably applied the committing frontier — no wait needed here.
+    seed_stock(&client, 5);
+    let frontier = server.db().durable_store().unwrap().durable_lsn();
+    assert!(
+        node.applied_lsn() >= frontier,
+        "semi-sync ack before replica apply: applied {} < durable {}",
+        node.applied_lsn(),
+        frontier
+    );
+
+    node.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn drain_ships_committed_tail_before_shutdown() {
+    let pdir = tdir("drain-p");
+    let rdir = tdir("drain-r");
+    // Async mode: commits ack without waiting for the replica, so at
+    // drain time a shipped-tail deficit is plausible.
+    let mut server = primary(&pdir, false);
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+    // The satellite contract covers *connected* followers: establish
+    // the subscription before the burst.
+    assert!(node.wait_caught_up(Duration::from_secs(5)));
+
+    seed_stock(&client, 50);
+    let frontier = server.db().durable_store().unwrap().durable_lsn();
+
+    // Drain must finish shipping the committed tail before the
+    // listener goes away (the satellite fix: a draining primary ships
+    // its tail, then refuses).
+    server.drain();
+    assert!(
+        node.applied_lsn() >= frontier,
+        "drain returned with unshipped tail: applied {} < durable {}",
+        node.applied_lsn(),
+        frontier
+    );
+    node.shutdown();
+}
+
+#[test]
+fn replica_homed_subscription_gets_pushes_exactly_once() {
+    let pdir = tdir("push-p");
+    let rdir = tdir("push-r");
+    let mut server = primary(&pdir, true);
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+    assert!(node.wait_caught_up(Duration::from_secs(5)));
+
+    // The application server subscribes on the REPLICA.
+    let subscriber = HipacClient::connect(node.local_addr().to_string()).unwrap();
+    let deliveries = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&deliveries);
+    subscriber
+        .subscribe("trader", move |push| {
+            assert_eq!(push.request, "sell");
+            seen.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+
+    // Rule on the primary pushes to that handler.
+    let t = client.begin().unwrap();
+    client
+        .create_class(
+            t,
+            "stock",
+            None,
+            vec![
+                AttrDef::new("sym", ValueType::Str),
+                AttrDef::new("price", ValueType::Float),
+            ],
+        )
+        .unwrap();
+    client
+        .create_rule(
+            t,
+            &RuleDef::new("sell_high")
+                .on(EventSpec::on_update("stock"))
+                .when(Query::parse("from stock where new.price > 50.0").unwrap())
+                .then(Action::single(ActionOp::AppRequest {
+                    handler: "trader".into(),
+                    request: "sell".into(),
+                    args: vec![("why".into(), Expr::lit("high"))],
+                })),
+        )
+        .unwrap();
+    let oid = client
+        .insert(t, "stock", vec![Value::from("XRX"), Value::from(40.0)])
+        .unwrap();
+    client.commit(t).unwrap();
+
+    let t = client.begin().unwrap();
+    client
+        .update(t, oid, vec![("price".into(), Value::from(55.0))])
+        .unwrap();
+    client.commit(t).unwrap();
+
+    // The push crosses primary → follower connection → replica fan-out.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while deliveries.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "push never reached subscriber");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        node.counters().replica_pushes.load(Ordering::Relaxed) >= 1,
+        "replica counted its fan-out"
+    );
+
+    // Exactly-once: the client's ack flowed back through the replica
+    // to the primary's durable outbox, so a fresh subscriber on the
+    // replica sees no redelivery — and the first one saw no duplicate.
+    std::thread::sleep(Duration::from_millis(300));
+    drop(subscriber);
+    let resub = HipacClient::connect(node.local_addr().to_string()).unwrap();
+    let late = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&late);
+    resub
+        .subscribe("trader", move |_| {
+            seen.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(500));
+    assert_eq!(deliveries.load(Ordering::SeqCst), 1, "duplicate delivery");
+    assert_eq!(late.load(Ordering::SeqCst), 0, "acked push was redelivered");
+
+    node.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn promotion_recovers_state_and_serves_writes_on_same_address() {
+    let pdir = tdir("promote-p");
+    let rdir = tdir("promote-r");
+    let mut server = primary(&pdir, true);
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    let oids = seed_stock(&client, 6);
+    let node = ReplicaNode::start(&rdir, server.local_addr().to_string(), "127.0.0.1:0").unwrap();
+    assert!(node.wait_caught_up(Duration::from_secs(5)));
+    let replica_addr = node.local_addr();
+
+    // Primary dies mid-life; the replica takes over on its own address.
+    drop(client);
+    server.shutdown();
+    let (db, mut promoted) = node.promote(ServerConfig::default()).unwrap();
+    assert_eq!(promoted.local_addr(), replica_addr, "address continuity");
+    assert_eq!(db.stats().promotions, 1);
+
+    // The promoted node serves the full replicated state and takes
+    // writes — the whole surface, not just snapshot reads.
+    let c2 = HipacClient::connect(replica_addr.to_string()).unwrap();
+    let stats = c2.stats().unwrap();
+    assert_eq!(stats.repl_role, ROLE_PRIMARY, "promoted node is primary");
+    assert_eq!(stats.promotions, 1);
+
+    let t = c2.begin().unwrap();
+    let rows = c2.query(t, "from stock", HashMap::new()).unwrap();
+    assert_eq!(rows.len(), 6, "replicated extent survived promotion");
+    c2.update(t, oids[0], vec![("price".into(), Value::from(77.0))])
+        .unwrap();
+    c2.commit(t).unwrap();
+    let t = c2.begin().unwrap();
+    let rows = c2
+        .query(t, "from stock where price = 77.0", HashMap::new())
+        .unwrap();
+    assert_eq!(rows.len(), 1, "post-promotion write committed");
+    c2.abort(t).unwrap();
+
+    promoted.shutdown();
+}

@@ -125,6 +125,11 @@ pub struct RuleManager {
     /// Retry budget for separate-mode firings aborted by a
     /// transaction-fatal error (attempts beyond the first).
     separate_retry_limit: std::sync::atomic::AtomicUsize,
+    /// Rule firing gate. Open (the default) on a primary; closed on a
+    /// node applying a replicated stream, where every signal reflects
+    /// state the primary already fired rules for — firing again here
+    /// would double-execute actions. Promotion opens the gate.
+    firing_gate: std::sync::atomic::AtomicBool,
     /// Maximum transaction-tree depth for cascading firings.
     cascade_limit: usize,
     /// Statistics.
@@ -430,6 +435,7 @@ impl RuleManager {
             handlers: RwLock::new(HashMap::new()),
             separate_errors: Mutex::new(Vec::new()),
             separate_retry_limit: std::sync::atomic::AtomicUsize::new(3),
+            firing_gate: std::sync::atomic::AtomicBool::new(true),
             cascade_limit: 32,
             stats: RuleStats::default(),
             tracer: crate::trace::RuleTracer::new(4096),
@@ -558,6 +564,19 @@ impl RuleManager {
     /// finished.
     pub fn quiesce(&self) {
         self.pool.quiesce();
+    }
+
+    /// Open or close the rule firing gate. While closed, signals are
+    /// counted but trigger nothing — the stance of a replica applying
+    /// a replicated stream (the primary already fired these rules).
+    /// Promotion re-opens the gate before the node serves writes.
+    pub fn set_firing_gate(&self, open: bool) {
+        self.firing_gate.store(open, Ordering::Relaxed);
+    }
+
+    /// Whether automatic rule firing is currently enabled.
+    pub fn firing_gate_open(&self) -> bool {
+        self.firing_gate.load(Ordering::Relaxed)
     }
 
     /// Errors from separate-mode firings since the last call (separate
@@ -756,6 +775,9 @@ impl RuleManager {
     /// The Rule Manager's single interface operation: *signal event*.
     fn signal_event(&self, event: EventId, signal: &EventSignal) -> Result<()> {
         self.stats.signals_processed.fetch_add(1, Ordering::Relaxed);
+        if !self.firing_gate.load(Ordering::Relaxed) {
+            return Ok(());
+        }
         let rule_ids = {
             let map = self.event_map.read();
             match map.get(&event) {

@@ -1222,3 +1222,30 @@ fn exhausted_separate_retries_dead_letter_with_accounting() {
         .unwrap();
     assert_eq!(price, Value::from(55.0));
 }
+
+/// The replication firing gate: while closed, signals trigger nothing
+/// (a replica applying a replicated stream must not re-fire rules the
+/// primary already fired); re-opening it (promotion) restores normal
+/// firing without recreating any rules.
+#[test]
+fn firing_gate_suppresses_and_restores_rule_firing() {
+    let e = engine();
+    e.tm.run_top(|t| {
+        e.rules
+            .create_rule(t, xerox_rule(CouplingMode::Immediate, CouplingMode::Immediate))
+    })
+    .unwrap();
+    let oid = xrx_oid(&e);
+    assert!(e.rules.firing_gate_open(), "gate starts open");
+    e.rules.set_firing_gate(false);
+    e.tm.run_top(|t| e.store.update(t, oid, &[("price", Value::from(55.0))]))
+        .unwrap();
+    assert!(
+        e.log.lock().is_empty(),
+        "closed gate must suppress the firing"
+    );
+    e.rules.set_firing_gate(true);
+    e.tm.run_top(|t| e.store.update(t, oid, &[("price", Value::from(56.0))]))
+        .unwrap();
+    assert_eq!(e.log.lock().len(), 1, "reopened gate fires normally");
+}

@@ -40,5 +40,5 @@ pub use disk::DiskManager;
 pub use fault::{FaultPoint, FaultPolicy};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use store::{DurableStore, StoreOp};
-pub use wal::{Wal, WalRecord};
+pub use store::{DurableStore, StoreOp, REPL_APPLIED_KEY};
+pub use wal::{TailRead, Wal, WalBatch, WalRecord};

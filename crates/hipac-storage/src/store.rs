@@ -26,12 +26,24 @@ use crate::disk::{sync_dir, DiskManager};
 use crate::fault::{FaultPoint, FaultPolicy};
 use crate::heap::{HeapFile, RecordId};
 use crate::page::PageId;
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{TailRead, Wal, WalRecord};
 use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::Mutex;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Reserved key under which a replica persists the primary LSN its
+/// store reflects (`'z'`, disjoint from every engine and journal
+/// prefix). The key rides the same WAL batch as the replicated data it
+/// describes, so a replica crash can never separate the two; it is
+/// excluded from snapshots and from applied batches so a promoted
+/// primary's own watermark never leaks downstream.
+pub const REPL_APPLIED_KEY: &[u8] = b"z";
+
+/// The `(key, value)` pairs of a [`DurableStore::snapshot_for_repl`]
+/// bootstrap snapshot.
+pub type SnapshotPairs = Vec<(Vec<u8>, Vec<u8>)>;
 
 const MAGIC: u64 = 0x4849_5041_4344_4231; // "HIPACDB1"
 const META_MAGIC_OFF: usize = 0;
@@ -458,6 +470,117 @@ impl DurableStore {
     /// Current WAL size in bytes (diagnostics).
     pub fn wal_size(&self) -> Result<u64> {
         self.inner.lock().wal.size()
+    }
+
+    // ---- replication producer/consumer ------------------------------------
+
+    /// LSN of the durable (synced) WAL frontier; every committed batch
+    /// at or below this LSN is crash-safe and shippable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.inner.lock().wal.durable_lsn()
+    }
+
+    /// Poll the replication tail: committed batches starting at
+    /// `from_lsn`, or [`TailRead::OutOfRange`] when the resume point
+    /// predates the retained log (snapshot required). See
+    /// [`Wal::read_batches_from`].
+    pub fn read_batches_from(&self, from_lsn: u64, max_bytes: u64) -> Result<TailRead> {
+        self.inner.lock().wal.read_batches_from(from_lsn, max_bytes)
+    }
+
+    /// A consistent full snapshot for replica bootstrap: the durable
+    /// LSN and every `(key, value)` pair the store holds at that LSN
+    /// (excluding the replica watermark key). Taken under the store
+    /// lock, so no commit can interleave between the LSN read and the
+    /// scan.
+    pub fn snapshot_for_repl(&self) -> Result<(u64, SnapshotPairs)> {
+        let inner = self.inner.lock();
+        let lsn = inner.wal.durable_lsn();
+        let mut out = Vec::new();
+        for (key, ridb) in inner.engine.index.iter_all()? {
+            if key == REPL_APPLIED_KEY {
+                continue;
+            }
+            let rid = RecordId::from_u64(u64::from_le_bytes(
+                ridb.as_slice()
+                    .try_into()
+                    .map_err(|_| HipacError::Corruption("bad rid in index".into()))?,
+            ));
+            let value = inner.engine.read_value(rid)?;
+            out.push((key, value));
+        }
+        Ok((lsn, out))
+    }
+
+    /// Replica side: apply one shipped batch and atomically record that
+    /// the store now reflects the primary's log up to `applied_lsn`.
+    /// Ops targeting the watermark key itself are dropped (a promoted
+    /// primary that was once a replica must not replay its old
+    /// watermark into followers).
+    pub fn apply_replicated(&self, ops: &[StoreOp], applied_lsn: u64) -> Result<()> {
+        let mut batch: Vec<StoreOp> = ops
+            .iter()
+            .filter(|op| {
+                let key = match op {
+                    StoreOp::Put { key, .. } => key,
+                    StoreOp::Delete { key } => key,
+                };
+                key != REPL_APPLIED_KEY
+            })
+            .cloned()
+            .collect();
+        batch.push(StoreOp::Put {
+            key: REPL_APPLIED_KEY.to_vec(),
+            value: applied_lsn.to_le_bytes().to_vec(),
+        });
+        // TxnId(0): metadata-style batch — never merges a reply-journal
+        // annotation from this thread.
+        self.commit(TxnId(0), &batch)
+    }
+
+    /// Replica side: replace the whole store contents with a primary
+    /// snapshot taken at `snapshot_lsn`. The deletes, puts and the
+    /// watermark ride one WAL batch, so a crash mid-install recovers
+    /// either the old state (old watermark) or the new one.
+    pub fn install_snapshot(
+        &self,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+        snapshot_lsn: u64,
+    ) -> Result<()> {
+        let existing = self.range(Bound::Unbounded, Bound::Unbounded)?;
+        let mut batch = Vec::with_capacity(existing.len() + pairs.len() + 1);
+        let incoming: std::collections::HashSet<&[u8]> =
+            pairs.iter().map(|(k, _)| k.as_slice()).collect();
+        for (key, _) in &existing {
+            if !incoming.contains(key.as_slice()) && key != REPL_APPLIED_KEY {
+                batch.push(StoreOp::Delete { key: key.clone() });
+            }
+        }
+        for (key, value) in pairs {
+            if key.as_slice() == REPL_APPLIED_KEY {
+                continue;
+            }
+            batch.push(StoreOp::Put {
+                key: key.clone(),
+                value: value.clone(),
+            });
+        }
+        batch.push(StoreOp::Put {
+            key: REPL_APPLIED_KEY.to_vec(),
+            value: snapshot_lsn.to_le_bytes().to_vec(),
+        });
+        self.commit(TxnId(0), &batch)
+    }
+
+    /// The primary LSN this (replica) store reflects, if it has ever
+    /// applied replicated state.
+    pub fn replicated_applied_lsn(&self) -> Result<Option<u64>> {
+        match self.get(REPL_APPLIED_KEY)? {
+            Some(v) if v.len() >= 8 => {
+                Ok(Some(u64::from_le_bytes(v[..8].try_into().unwrap())))
+            }
+            _ => Ok(None),
+        }
     }
 }
 

@@ -8,15 +8,38 @@
 //! On open, the log is scanned and truncated at the first torn or
 //! corrupt frame — everything before it is the recoverable prefix, which
 //! is exactly the crash-consistency contract fsync gives us.
+//!
+//! ## LSNs and the replication tail
+//!
+//! Every byte ever appended gets a **log sequence number**: the LSN of
+//! a position is the cumulative number of bytes appended to the log
+//! over its whole lifetime, *including* bytes retired by checkpoint
+//! truncation. [`Wal::reset`] folds the truncated length into a base
+//! offset persisted in a `.base` sidecar file (written and fsynced
+//! *before* the truncate, so a crash between the two can only skip
+//! LSNs forward, never reuse one). LSNs are therefore monotonic across
+//! checkpoints and restarts, which is what lets a replica name a
+//! resume point that survives the primary's log being truncated under
+//! it: a resume LSN below [`Wal::start_lsn`] simply reports
+//! [`TailRead::OutOfRange`] and the replica falls back to a snapshot.
+//!
+//! [`Wal::read_batches_from`] is the replication producer: it reads
+//! the *synced* region of the log from a batch-aligned LSN and groups
+//! records into committed batches with exactly the semantics of crash
+//! recovery (`Begin` opens, a matching `Commit` emits, `Abort` and
+//! `Checkpoint` discard, a trailing partial batch is withheld), so
+//! applying shipped batches in order is byte-for-byte equivalent to
+//! replaying the log.
 
 use crate::crc::crc32;
 use crate::fault::{FaultPoint, FaultPolicy};
+use crate::store::StoreOp;
 use hipac_common::codec::{get_bytes, get_uvarint, put_bytes, put_uvarint};
 use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// One logical log record.
@@ -121,9 +144,56 @@ impl WalRecord {
     }
 }
 
+/// One committed batch decoded from the log, as seen by the
+/// replication tail. `next_lsn` is the LSN just past this batch's
+/// `Commit` frame — the resume point after applying it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    /// LSN of the first byte of the batch's `Begin` frame.
+    pub start_lsn: u64,
+    /// LSN one past the batch's `Commit` frame.
+    pub next_lsn: u64,
+    /// The committing top-level transaction.
+    pub txn: TxnId,
+    /// The batch's operations, in log order.
+    pub ops: Vec<StoreOp>,
+}
+
+/// Result of one [`Wal::read_batches_from`] poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailRead {
+    /// Zero or more complete committed batches starting at the
+    /// requested LSN. `next_lsn` is where the next poll should resume
+    /// (it advances past `Checkpoint`/`Abort` markers but never into a
+    /// partial trailing batch); `durable_lsn` is the log's current
+    /// synced frontier, so `durable_lsn - next_lsn` is the remaining
+    /// byte lag.
+    Batches {
+        batches: Vec<WalBatch>,
+        next_lsn: u64,
+        durable_lsn: u64,
+    },
+    /// The requested LSN is no longer (or not yet) readable — it
+    /// precedes the log's retained [`Wal::start_lsn`], lies past the
+    /// durable frontier, or does not fall on a frame boundary. The
+    /// caller must fall back to a full snapshot transfer.
+    OutOfRange { start_lsn: u64, durable_lsn: u64 },
+}
+
+struct WalInner {
+    file: File,
+    /// LSN of byte 0 of the current log file.
+    base: u64,
+    /// Bytes currently in the file (appended, possibly unsynced).
+    len: u64,
+    /// Bytes known durable; only this region is served to the tail.
+    synced_len: u64,
+}
+
 /// The write-ahead log file.
 pub struct Wal {
-    file: Mutex<File>,
+    inner: Mutex<WalInner>,
+    base_path: PathBuf,
     faults: Arc<FaultPolicy>,
 }
 
@@ -141,6 +211,11 @@ impl Wal {
         path: &Path,
         faults: Arc<FaultPolicy>,
     ) -> Result<(Wal, Vec<WalRecord>)> {
+        let base_path = Self::base_sidecar(path);
+        let base = match std::fs::read(&base_path) {
+            Ok(bytes) if bytes.len() >= 8 => u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            _ => 0,
+        };
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -157,16 +232,29 @@ impl Wal {
         file.seek(SeekFrom::End(0))?;
         Ok((
             Wal {
-                file: Mutex::new(file),
+                inner: Mutex::new(WalInner {
+                    file,
+                    base,
+                    len: valid_len as u64,
+                    synced_len: valid_len as u64,
+                }),
+                base_path,
                 faults,
             },
-            records,
+            records.into_iter().map(|(rec, _)| rec).collect(),
         ))
     }
 
+    fn base_sidecar(path: &Path) -> PathBuf {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(".base");
+        PathBuf::from(p)
+    }
+
     /// Parse frames from `raw`, stopping at the first torn/corrupt one.
-    /// Returns the records and the byte length of the valid prefix.
-    fn scan(raw: &[u8]) -> (Vec<WalRecord>, usize) {
+    /// Returns the records (each with the byte offset just past its
+    /// frame) and the byte length of the valid prefix.
+    fn scan(raw: &[u8]) -> (Vec<(WalRecord, usize)>, usize) {
         let mut records = Vec::new();
         let mut pos = 0usize;
         loop {
@@ -187,7 +275,7 @@ impl Wal {
                 break;
             }
             match WalRecord::decode(payload) {
-                Ok(rec) => records.push(rec),
+                Ok(rec) => records.push((rec, end)),
                 Err(_) => break,
             }
             pos = end;
@@ -211,14 +299,18 @@ impl Wal {
             frame.extend_from_slice(&crc32(&payload).to_le_bytes());
             frame.extend_from_slice(&payload);
         }
-        let mut file = self.file.lock();
+        let mut inner = self.inner.lock();
         match self.faults.on_write(FaultPoint::WalAppend, frame.len())? {
-            None => file.write_all(&frame)?,
+            None => {
+                inner.file.write_all(&frame)?;
+                inner.len += frame.len() as u64;
+            }
             Some(torn) => {
                 // Injected crash mid-append: a prefix of the frame
                 // reaches the file, then the "process dies".
-                file.write_all(&frame[..torn])?;
-                let _ = file.sync_data();
+                inner.file.write_all(&frame[..torn])?;
+                inner.len += torn as u64;
+                let _ = inner.file.sync_data();
                 return Err(FaultPolicy::crash_error(FaultPoint::WalAppend));
             }
         }
@@ -228,24 +320,163 @@ impl Wal {
     /// Force the log to stable storage.
     pub fn sync(&self) -> Result<()> {
         self.faults.hit(FaultPoint::WalSync)?;
-        self.file.lock().sync_data()?;
+        let mut inner = self.inner.lock();
+        inner.file.sync_data()?;
+        inner.synced_len = inner.len;
         Ok(())
     }
 
     /// Truncate the log to zero length (after a checkpoint has made its
-    /// contents redundant).
+    /// contents redundant). The truncated bytes are folded into the LSN
+    /// base, persisted in the `.base` sidecar *before* the truncate so
+    /// a crash between the two steps skips LSNs forward rather than
+    /// reusing them (a replication tail resuming in the skipped range
+    /// reports [`TailRead::OutOfRange`] and re-snapshots).
     pub fn reset(&self) -> Result<()> {
-        let mut file = self.file.lock();
+        let mut inner = self.inner.lock();
         self.faults.hit(FaultPoint::WalReset)?;
-        file.set_len(0)?;
-        file.seek(SeekFrom::Start(0))?;
-        file.sync_all()?;
+        let new_base = inner.base + inner.len;
+        {
+            let mut f = File::create(&self.base_path)?;
+            f.write_all(&new_base.to_le_bytes())?;
+            f.sync_all()?;
+        }
+        inner.file.set_len(0)?;
+        inner.file.seek(SeekFrom::Start(0))?;
+        inner.file.sync_all()?;
+        inner.base = new_base;
+        inner.len = 0;
+        inner.synced_len = 0;
         Ok(())
     }
 
     /// Current log size in bytes.
     pub fn size(&self) -> Result<u64> {
-        Ok(self.file.lock().metadata()?.len())
+        Ok(self.inner.lock().len)
+    }
+
+    /// LSN of the oldest byte still retained in the log file.
+    pub fn start_lsn(&self) -> u64 {
+        self.inner.lock().base
+    }
+
+    /// LSN of the durable (synced) frontier. Everything below this is
+    /// crash-safe and servable to a replication tail.
+    pub fn durable_lsn(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.base + inner.synced_len
+    }
+
+    /// Read committed batches from the synced region starting at
+    /// `from_lsn` (which must be a resume point previously handed out
+    /// by this API, or [`Wal::start_lsn`]). Emits whole batches only,
+    /// up to roughly `max_bytes` of log, mirroring crash recovery's
+    /// grouping exactly; see the module docs.
+    pub fn read_batches_from(&self, from_lsn: u64, max_bytes: u64) -> Result<TailRead> {
+        let mut inner = self.inner.lock();
+        let durable_lsn = inner.base + inner.synced_len;
+        if from_lsn < inner.base || from_lsn > durable_lsn {
+            return Ok(TailRead::OutOfRange {
+                start_lsn: inner.base,
+                durable_lsn,
+            });
+        }
+        let off = from_lsn - inner.base;
+        let remaining = inner.synced_len - off;
+        let mut want = remaining.min(max_bytes.max(64 * 1024));
+        let read_at = |inner: &mut WalInner, off: u64, want: u64| -> Result<Vec<u8>> {
+            let mut raw = vec![0u8; want as usize];
+            inner.file.seek(SeekFrom::Start(off))?;
+            inner.file.read_exact(&mut raw)?;
+            // Restore the append position; appends rely on the cursor.
+            let append_pos = inner.len;
+            inner.file.seek(SeekFrom::Start(append_pos))?;
+            Ok(raw)
+        };
+        let mut raw = read_at(&mut inner, off, want)?;
+        let (mut batches, mut resume) = Self::group(&raw, from_lsn);
+        if batches.is_empty() && resume == 0 && want < remaining {
+            // The read window cut the only pending batch short (one
+            // batch larger than `max_bytes`): re-read the whole synced
+            // remainder so the tail always makes progress.
+            want = remaining;
+            raw = read_at(&mut inner, off, want)?;
+            (batches, resume) = Self::group(&raw, from_lsn);
+        }
+        let base = inner.base;
+        drop(inner);
+
+        if batches.is_empty() && resume == 0 && want == remaining && raw.len() >= 8 {
+            let (records, valid_len) = Self::scan(&raw);
+            if records.is_empty() && valid_len == 0 {
+                // The full synced region starts with an unparsable
+                // frame: the resume point is not a frame boundary (e.g.
+                // LSNs skipped by a crash during reset). Force a
+                // snapshot.
+                return Ok(TailRead::OutOfRange {
+                    start_lsn: base,
+                    durable_lsn,
+                });
+            }
+        }
+        Ok(TailRead::Batches {
+            batches,
+            next_lsn: from_lsn + resume as u64,
+            durable_lsn,
+        })
+    }
+
+    /// Group scanned frames into committed batches with recovery's
+    /// exact semantics. Returns the batches plus the resume offset: it
+    /// advances past every record while no batch is open (markers and
+    /// foreign records are not re-read) but never into a partial
+    /// trailing batch.
+    fn group(raw: &[u8], from_lsn: u64) -> (Vec<WalBatch>, usize) {
+        let (records, _) = Self::scan(raw);
+        let mut batches = Vec::new();
+        let mut open: Option<(usize, TxnId, Vec<StoreOp>)> = None;
+        let mut resume = 0usize;
+        let mut prev_end = 0usize;
+        for (rec, end) in records {
+            let frame_start = prev_end;
+            prev_end = end;
+            match rec {
+                WalRecord::Begin { txn } => {
+                    open = Some((frame_start, txn, Vec::new()));
+                }
+                WalRecord::Put { txn, key, value } => {
+                    if let Some((_, t, ops)) = &mut open {
+                        if *t == txn {
+                            ops.push(StoreOp::Put { key, value });
+                        }
+                    }
+                }
+                WalRecord::Delete { txn, key } => {
+                    if let Some((_, t, ops)) = &mut open {
+                        if *t == txn {
+                            ops.push(StoreOp::Delete { key });
+                        }
+                    }
+                }
+                WalRecord::Commit { txn } => {
+                    if let Some((start, t, ops)) = open.take() {
+                        if t == txn {
+                            batches.push(WalBatch {
+                                start_lsn: from_lsn + start as u64,
+                                next_lsn: from_lsn + end as u64,
+                                txn,
+                                ops,
+                            });
+                        }
+                    }
+                }
+                WalRecord::Abort { .. } | WalRecord::Checkpoint => open = None,
+            }
+            if open.is_none() {
+                resume = end;
+            }
+        }
+        (batches, resume)
     }
 }
 

@@ -1,0 +1,347 @@
+//! Edge-case tests for the replication tail API (`Wal::read_batches_from`
+//! and the `DurableStore` producer/consumer methods): torn tails,
+//! partial batches at EOF, LSN ranges across checkpoint truncation, and
+//! the core equivalence guarantee — applying shipped batches from an
+//! LSN is indistinguishable from full crash recovery.
+
+use hipac_common::TxnId;
+use hipac_storage::{DurableStore, StoreOp, TailRead, Wal, WalRecord, REPL_APPLIED_KEY};
+use std::io::Write;
+use std::ops::Bound;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hipac-wal-tail/{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn put(key: &[u8], value: &[u8]) -> StoreOp {
+    StoreOp::Put {
+        key: key.to_vec(),
+        value: value.to_vec(),
+    }
+}
+
+fn batch_records(txn: u64, ops: &[StoreOp]) -> Vec<WalRecord> {
+    let mut recs = vec![WalRecord::Begin { txn: TxnId(txn) }];
+    for op in ops {
+        recs.push(match op {
+            StoreOp::Put { key, value } => WalRecord::Put {
+                txn: TxnId(txn),
+                key: key.clone(),
+                value: value.clone(),
+            },
+            StoreOp::Delete { key } => WalRecord::Delete {
+                txn: TxnId(txn),
+                key: key.clone(),
+            },
+        });
+    }
+    recs.push(WalRecord::Commit { txn: TxnId(txn) });
+    recs
+}
+
+/// Everything the store holds except the replica watermark.
+fn contents(store: &DurableStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+    store
+        .range(Bound::Unbounded, Bound::Unbounded)
+        .unwrap()
+        .into_iter()
+        .filter(|(k, _)| k != REPL_APPLIED_KEY)
+        .collect()
+}
+
+#[test]
+fn tail_follows_live_appends() {
+    let dir = tmpdir("follow");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    wal.append_all(&batch_records(1, &[put(b"a", b"1")])).unwrap();
+    wal.append_all(&batch_records(2, &[put(b"b", b"2")])).unwrap();
+    wal.sync().unwrap();
+    let TailRead::Batches {
+        batches,
+        next_lsn,
+        durable_lsn,
+    } = wal.read_batches_from(0, 1 << 20).unwrap()
+    else {
+        panic!("in-range read must yield batches");
+    };
+    assert_eq!(batches.len(), 2);
+    assert_eq!(batches[0].txn, TxnId(1));
+    assert_eq!(batches[0].ops, vec![put(b"a", b"1")]);
+    assert_eq!(batches[0].start_lsn, 0);
+    assert_eq!(batches[0].next_lsn, batches[1].start_lsn);
+    assert_eq!(next_lsn, durable_lsn);
+    assert_eq!(next_lsn, wal.durable_lsn());
+    // A later append is visible only after sync, from the resume point.
+    wal.append_all(&batch_records(3, &[put(b"c", b"3")])).unwrap();
+    let TailRead::Batches { batches, .. } = wal.read_batches_from(next_lsn, 1 << 20).unwrap()
+    else {
+        panic!("still in range");
+    };
+    assert!(batches.is_empty(), "unsynced bytes are not served");
+    wal.sync().unwrap();
+    let TailRead::Batches { batches, next_lsn: n2, .. } =
+        wal.read_batches_from(next_lsn, 1 << 20).unwrap()
+    else {
+        panic!("still in range");
+    };
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].txn, TxnId(3));
+    assert_eq!(n2, wal.durable_lsn());
+}
+
+#[test]
+fn partial_batch_at_eof_is_withheld_until_committed() {
+    let dir = tmpdir("partial");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    wal.append_all(&batch_records(1, &[put(b"a", b"1")])).unwrap();
+    // An open batch: Begin + Put, no Commit yet.
+    wal.append_all(&[
+        WalRecord::Begin { txn: TxnId(2) },
+        WalRecord::Put {
+            txn: TxnId(2),
+            key: b"b".to_vec(),
+            value: b"2".to_vec(),
+        },
+    ])
+    .unwrap();
+    wal.sync().unwrap();
+    let TailRead::Batches { batches, next_lsn, durable_lsn } =
+        wal.read_batches_from(0, 1 << 20).unwrap()
+    else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 1, "the open batch must be withheld");
+    assert!(
+        next_lsn < durable_lsn,
+        "resume point parks at the open batch's Begin frame"
+    );
+    assert_eq!(next_lsn, batches[0].next_lsn);
+    // Completing the batch releases it from the parked resume point.
+    wal.append(&WalRecord::Commit { txn: TxnId(2) }).unwrap();
+    wal.sync().unwrap();
+    let TailRead::Batches { batches, next_lsn: n2, durable_lsn: d2 } =
+        wal.read_batches_from(next_lsn, 1 << 20).unwrap()
+    else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].txn, TxnId(2));
+    assert_eq!(batches[0].ops, vec![put(b"b", b"2")]);
+    assert_eq!(n2, d2);
+}
+
+#[test]
+fn torn_bytes_at_eof_are_truncated_before_serving() {
+    let dir = tmpdir("torn");
+    let path = dir.join("wal.log");
+    {
+        let (wal, _) = Wal::open(&path).unwrap();
+        wal.append_all(&batch_records(1, &[put(b"a", b"1")])).unwrap();
+        wal.sync().unwrap();
+    }
+    // A torn frame at EOF, as a crash mid-append would leave it.
+    {
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x11, 0x22, 0x33, 0x44, 0x55]).unwrap();
+    }
+    let (wal, recovered) = Wal::open(&path).unwrap();
+    assert_eq!(recovered.len(), 3, "Begin/Put/Commit survive, garbage gone");
+    let TailRead::Batches { batches, next_lsn, durable_lsn } =
+        wal.read_batches_from(0, 1 << 20).unwrap()
+    else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 1);
+    assert_eq!(next_lsn, durable_lsn, "truncation restored a clean frontier");
+}
+
+#[test]
+fn reset_moves_the_lsn_base_and_old_lsns_go_out_of_range() {
+    let dir = tmpdir("reset");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    wal.append_all(&batch_records(1, &[put(b"a", b"1")])).unwrap();
+    wal.sync().unwrap();
+    let pre_reset = wal.durable_lsn();
+    assert!(pre_reset > 0);
+    wal.reset().unwrap();
+    assert_eq!(wal.start_lsn(), pre_reset, "truncated bytes fold into the base");
+    assert_eq!(wal.durable_lsn(), pre_reset);
+    // A resume point inside the truncated range demands a snapshot.
+    match wal.read_batches_from(0, 1 << 20).unwrap() {
+        TailRead::OutOfRange { start_lsn, durable_lsn } => {
+            assert_eq!(start_lsn, pre_reset);
+            assert_eq!(durable_lsn, pre_reset);
+        }
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    // The exact frontier is still a valid (empty) resume point.
+    match wal.read_batches_from(pre_reset, 1 << 20).unwrap() {
+        TailRead::Batches { batches, next_lsn, .. } => {
+            assert!(batches.is_empty());
+            assert_eq!(next_lsn, pre_reset);
+        }
+        other => panic!("expected empty Batches, got {other:?}"),
+    }
+    // An LSN past the durable frontier is also out of range.
+    assert!(matches!(
+        wal.read_batches_from(pre_reset + 1, 1 << 20).unwrap(),
+        TailRead::OutOfRange { .. }
+    ));
+    // The base survives reopen via the sidecar.
+    drop(wal);
+    let (wal, _) = Wal::open(&path).unwrap();
+    assert_eq!(wal.start_lsn(), pre_reset);
+    wal.append_all(&batch_records(2, &[put(b"b", b"2")])).unwrap();
+    wal.sync().unwrap();
+    let TailRead::Batches { batches, .. } =
+        wal.read_batches_from(pre_reset, 1 << 20).unwrap()
+    else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 1);
+    assert!(batches[0].start_lsn >= pre_reset, "LSNs never regress");
+}
+
+#[test]
+fn oversized_batch_exceeding_the_window_still_ships() {
+    let dir = tmpdir("oversize");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    let big = vec![0xabu8; 200 * 1024]; // larger than the 64 KiB floor
+    wal.append_all(&batch_records(1, &[put(b"big", &big)])).unwrap();
+    wal.sync().unwrap();
+    let TailRead::Batches { batches, next_lsn, durable_lsn } =
+        wal.read_batches_from(0, 1024).unwrap()
+    else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 1, "window must grow to fit one batch");
+    assert_eq!(batches[0].ops, vec![put(b"big", &big)]);
+    assert_eq!(next_lsn, durable_lsn);
+}
+
+#[test]
+fn abort_and_checkpoint_markers_are_skipped_not_shipped() {
+    let dir = tmpdir("markers");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    // An aborted batch, a checkpoint marker, then a committed batch.
+    wal.append_all(&[
+        WalRecord::Begin { txn: TxnId(7) },
+        WalRecord::Put {
+            txn: TxnId(7),
+            key: b"phantom".to_vec(),
+            value: b"x".to_vec(),
+        },
+        WalRecord::Abort { txn: TxnId(7) },
+        WalRecord::Checkpoint,
+    ])
+    .unwrap();
+    wal.append_all(&batch_records(8, &[put(b"real", b"y")])).unwrap();
+    wal.sync().unwrap();
+    let TailRead::Batches { batches, next_lsn, durable_lsn } =
+        wal.read_batches_from(0, 1 << 20).unwrap()
+    else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].ops, vec![put(b"real", b"y")]);
+    assert_eq!(next_lsn, durable_lsn, "markers are consumed by the resume point");
+}
+
+/// The core guarantee of the tail API: bootstrapping a replica from a
+/// snapshot at LSN `s` and applying every shipped batch after `s`
+/// reaches exactly the state full crash recovery reaches — including
+/// across a checkpoint truncation (snapshot fallback) and a torn
+/// uncommitted batch at EOF.
+#[test]
+fn replay_from_lsn_is_equivalent_to_full_recovery() {
+    let a_dir = tmpdir("equiv-primary");
+    let b_dir = tmpdir("equiv-replica");
+    let a = DurableStore::open(&a_dir).unwrap();
+    for i in 0..20u64 {
+        a.commit(TxnId(i + 1), &[put(format!("k{i}").as_bytes(), &[i as u8; 32])])
+            .unwrap();
+    }
+    // Bootstrap the replica from a snapshot mid-stream.
+    let (snap_lsn, pairs) = a.snapshot_for_repl().unwrap();
+    let b = DurableStore::open(&b_dir).unwrap();
+    b.install_snapshot(&pairs, snap_lsn).unwrap();
+    assert_eq!(b.replicated_applied_lsn().unwrap(), Some(snap_lsn));
+
+    // More traffic on the primary, including overwrites and deletes.
+    for i in 0..20u64 {
+        a.commit(
+            TxnId(100 + i),
+            &[
+                put(format!("k{i}").as_bytes(), &[0xee; 16]),
+                StoreOp::Delete {
+                    key: format!("k{}", (i + 1) % 20).into_bytes(),
+                },
+            ],
+        )
+        .unwrap();
+    }
+    // Tail everything committed after the snapshot into the replica.
+    let mut at = snap_lsn;
+    loop {
+        match a.read_batches_from(at, 64 * 1024).unwrap() {
+            TailRead::Batches { batches, next_lsn, durable_lsn } => {
+                for bt in batches {
+                    b.apply_replicated(&bt.ops, bt.next_lsn).unwrap();
+                }
+                at = next_lsn;
+                if next_lsn == durable_lsn {
+                    break;
+                }
+            }
+            TailRead::OutOfRange { .. } => {
+                let (s, p) = a.snapshot_for_repl().unwrap();
+                b.install_snapshot(&p, s).unwrap();
+                at = s;
+            }
+        }
+    }
+    assert_eq!(b.replicated_applied_lsn().unwrap(), Some(at));
+
+    // A batch that reached the durable log but crashed before the
+    // in-memory apply ("log-only crash") is recovered by reopen — and
+    // the tail must ship it identically.
+    a.commit_log_only_for_crash_test(TxnId(999), &[put(b"log-only", b"x")])
+        .unwrap();
+    match a.read_batches_from(at, 64 * 1024).unwrap() {
+        TailRead::Batches { batches, next_lsn, .. } => {
+            assert_eq!(batches.len(), 1);
+            for bt in batches {
+                b.apply_replicated(&bt.ops, bt.next_lsn).unwrap();
+            }
+            at = next_lsn;
+        }
+        other => panic!("expected the log-only batch, got {other:?}"),
+    }
+
+    // Full recovery: reopen the primary's directory from disk.
+    drop(a);
+    let recovered = DurableStore::open(&a_dir).unwrap();
+    assert_eq!(
+        contents(&recovered),
+        contents(&b),
+        "replica state equals full recovery"
+    );
+
+    // And a checkpoint on the recovered primary forces the snapshot
+    // path for stale resume points without breaking equivalence.
+    recovered.checkpoint().unwrap();
+    let _ = at;
+    assert!(matches!(
+        recovered.read_batches_from(snap_lsn, 64 * 1024).unwrap(),
+        TailRead::OutOfRange { .. }
+    ));
+}

@@ -1,7 +1,9 @@
 //! [`ActiveDatabase`]: the assembled engine and the application
 //! interface of Figure 4.1.
 
-use hipac_common::{Clock, HipacError, Result, SystemClock, Timestamp, TxnId, Value, VirtualClock};
+use hipac_common::{
+    Clock, HipacError, ReplCounters, Result, SystemClock, Timestamp, TxnId, Value, VirtualClock,
+};
 use hipac_event::EventRegistry;
 use hipac_object::ObjectStore;
 use hipac_rules::manager::FnHandler;
@@ -166,6 +168,7 @@ impl Builder {
             rules,
             virtual_clock,
             durable,
+            repl: Arc::new(ReplCounters::new(hipac_common::ROLE_PRIMARY)),
         })
     }
 }
@@ -211,6 +214,20 @@ pub struct EngineStats {
     /// Separate-mode firings that exhausted their retry budget (or hit
     /// a non-retryable error) and were dead-lettered.
     pub separate_dead_letters: u64,
+    /// Replication role: 0 primary, 1 replica
+    /// (`hipac_common::repl::ROLE_*`).
+    pub repl_role: u64,
+    /// Highest LSN shipped to any replica (primary side).
+    pub last_shipped_lsn: u64,
+    /// Highest primary LSN durably applied (replica side; on the
+    /// primary, the highest progress any replica reported).
+    pub last_applied_lsn: u64,
+    /// Durable frontier minus applied watermark, in bytes.
+    pub repl_lag_bytes: u64,
+    /// Push frames fanned out to subscribers homed on a replica.
+    pub replica_pushes: u64,
+    /// Replica → primary promotions in this node's lineage.
+    pub promotions: u64,
 }
 
 /// The assembled active DBMS.
@@ -229,6 +246,7 @@ pub struct ActiveDatabase {
     rules: Arc<RuleManager>,
     virtual_clock: Option<Arc<VirtualClock>>,
     durable: Option<Arc<DurableStore>>,
+    repl: Arc<ReplCounters>,
 }
 
 impl ActiveDatabase {
@@ -269,6 +287,12 @@ impl ActiveDatabase {
     /// outbox alongside the data they acknowledge.
     pub fn durable_store(&self) -> Option<&Arc<DurableStore>> {
         self.durable.as_ref()
+    }
+
+    /// Replication gauges shared with the network layer (primary
+    /// shipper) and `hipac-repl` (replica apply loop, promotion).
+    pub fn repl_counters(&self) -> &Arc<ReplCounters> {
+        &self.repl
     }
 
     // ---- transaction operations (Figure 4.1) -----------------------------
@@ -390,6 +414,12 @@ impl ActiveDatabase {
             pool_queue_depth: self.rules.firing_queue_depth() as u64,
             separate_retries: s.separate_retries.load(Relaxed),
             separate_dead_letters: s.separate_dead_letters.load(Relaxed),
+            repl_role: self.repl.role.load(Relaxed),
+            last_shipped_lsn: self.repl.last_shipped_lsn.load(Relaxed),
+            last_applied_lsn: self.repl.last_applied_lsn.load(Relaxed),
+            repl_lag_bytes: self.repl.lag_bytes.load(Relaxed),
+            replica_pushes: self.repl.replica_pushes.load(Relaxed),
+            promotions: self.repl.promotions.load(Relaxed),
         }
     }
 

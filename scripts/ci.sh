@@ -37,6 +37,15 @@ cargo test -q -p hipac-check --test restart_torture
 echo "==> restart bench cell (recovery time + journal replay hit rate)"
 cargo run --release -q -p hipac-bench --bin report -- --only restart --smoke --json restart
 
+echo "==> replication suite (WAL shipping, replica reads, promotion)"
+cargo test -q -p hipac-repl
+
+echo "==> failover torture (fixed seeds 101/202/303, exactly-once across promotion)"
+cargo test -q -p hipac-check --test failover_torture
+
+echo "==> repl bench cell (lag, replica vs primary serving, failover time)"
+cargo run --release -q -p hipac-bench --bin report -- --only repl --smoke --json repl
+
 # The offline toolchain may ship without clippy; lint hard when present.
 if cargo clippy --version >/dev/null 2>&1; then
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"
