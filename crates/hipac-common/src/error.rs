@@ -86,6 +86,11 @@ pub enum HipacError {
     RecordTooLarge { size: usize, max: usize },
     /// The write-ahead log is malformed.
     WalCorrupt(String),
+    /// A replicated batch does not chain onto the follower's applied
+    /// watermark: the stream skipped (or replayed) data. The follower
+    /// must resubscribe from its durable watermark rather than absorb
+    /// the batch and silently diverge.
+    ReplGap { expected: u64, got: u64 },
 
     // ---- misc ----
     /// Internal invariant violation: indicates a bug in the engine.
@@ -160,6 +165,10 @@ impl fmt::Display for HipacError {
                 write!(f, "record of {size} bytes exceeds page capacity {max}")
             }
             WalCorrupt(msg) => write!(f, "write-ahead log corrupt: {msg}"),
+            ReplGap { expected, got } => write!(
+                f,
+                "replication stream gap: batch chains from lsn {got}, follower watermark is {expected}"
+            ),
             Internal(msg) => write!(f, "internal error (bug): {msg}"),
         }
     }

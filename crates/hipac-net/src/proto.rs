@@ -173,6 +173,7 @@ fn variant_name(e: &HipacError) -> &'static str {
         StorageNotFound(_) => "StorageNotFound",
         RecordTooLarge { .. } => "RecordTooLarge",
         WalCorrupt(_) => "WalCorrupt",
+        ReplGap { .. } => "ReplGap",
         Internal(_) => "Internal",
     }
 }
@@ -922,7 +923,16 @@ pub enum ReplMsg {
     /// One committed WAL batch. Applying it and recording `next_lsn`
     /// as the follower's watermark must be atomic (see
     /// `DurableStore::apply_replicated`).
+    ///
+    /// `prev_lsn` is the shipper's stream-chain position before this
+    /// batch — exactly the watermark the follower must hold for the
+    /// batch to apply (it can exceed `start_lsn` only by skipped
+    /// checkpoint/abort markers, never by data). A mismatch means the
+    /// stream dropped or replayed a batch; the follower treats it as
+    /// fatal and resubscribes from its durable watermark instead of
+    /// silently diverging.
     Batch {
+        prev_lsn: u64,
         start_lsn: u64,
         next_lsn: u64,
         txn: TxnId,
@@ -950,12 +960,14 @@ impl ReplMsg {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             ReplMsg::Batch {
+                prev_lsn,
                 start_lsn,
                 next_lsn,
                 txn,
                 ops,
             } => {
                 buf.push(RM_BATCH);
+                put_uvarint(buf, *prev_lsn);
                 put_uvarint(buf, *start_lsn);
                 put_uvarint(buf, *next_lsn);
                 put_uvarint(buf, txn.0);
@@ -1000,6 +1012,7 @@ impl ReplMsg {
     fn decode(buf: &[u8], pos: &mut usize) -> Result<ReplMsg, WireError> {
         Ok(match next_byte(buf, pos)? {
             RM_BATCH => {
+                let prev_lsn = get_uvarint(buf, pos)?;
                 let start_lsn = get_uvarint(buf, pos)?;
                 let next_lsn = get_uvarint(buf, pos)?;
                 let txn = TxnId(get_uvarint(buf, pos)?);
@@ -1021,6 +1034,7 @@ impl ReplMsg {
                     });
                 }
                 ReplMsg::Batch {
+                    prev_lsn,
                     start_lsn,
                     next_lsn,
                     txn,
@@ -1410,6 +1424,7 @@ mod tests {
         use hipac_storage::StoreOp;
         let msgs = vec![
             ReplMsg::Batch {
+                prev_lsn: 8,
                 start_lsn: 10,
                 next_lsn: 99,
                 txn: TxnId(7),

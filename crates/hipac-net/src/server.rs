@@ -381,13 +381,24 @@ const HEARTBEAT_EVERY: Duration = Duration::from_millis(50);
 struct ReplPeer {
     session: u64,
     writer: Arc<Mutex<TcpStream>>,
-    /// Next LSN to ship to this peer.
+    /// Next LSN to ship to this peer (the WAL read resume point; it
+    /// advances past checkpoint/abort markers).
     shipped: u64,
+    /// Stream-chain position: the last shipped batch's `next_lsn` (or
+    /// the subscribe/snapshot LSN). This is exactly the watermark the
+    /// peer holds after applying everything shipped so far, and is
+    /// sent as each batch's `prev_lsn` so the peer can detect gaps.
+    chained: u64,
     /// Highest LSN the peer has reported durably applied.
     progress: u64,
     /// Socket write failed; the peer is culled after the round.
     dead: bool,
 }
+
+/// How long a blocked write to a replica socket may stall the shipper
+/// before the peer is declared dead and culled (it will reconnect and
+/// resubscribe from its durable watermark).
+const REPL_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Primary-side replication hub: the registry of subscribed replica
 /// connections plus the single shipper thread that streams committed
@@ -419,13 +430,22 @@ impl ReplHub {
     /// Register (or re-register) `session`'s connection as a replica
     /// resuming from `start_lsn`. The shipper validates the LSN lazily:
     /// an unusable resume point simply produces a snapshot.
+    ///
+    /// Callers must invoke this only *after* the `ReplSubscribe` Ok
+    /// response frame has been written to the socket — registering
+    /// earlier lets the shipper interleave repl frames ahead of the
+    /// Ok, which the replica's handshake would have to reorder.
     fn subscribe(&self, session: u64, writer: Arc<Mutex<TcpStream>>, start_lsn: u64) {
+        // A wedged replica must not block the shipper forever: writes
+        // time out, the peer is culled, and the replica resubscribes.
+        let _ = writer.lock().set_write_timeout(Some(REPL_WRITE_TIMEOUT));
         let mut peers = self.peers.lock();
         peers.retain(|p| p.session != session);
         peers.push(ReplPeer {
             session,
             writer,
             shipped: start_lsn,
+            chained: start_lsn,
             progress: start_lsn,
             dead: false,
         });
@@ -460,23 +480,40 @@ impl ReplHub {
 
     /// One shipping round over all peers. Returns whether any bytes
     /// moved (the shipper thread sleeps when nothing did).
+    ///
+    /// The peers mutex is held only to snapshot the peer list and to
+    /// commit results afterwards — never across socket I/O — so
+    /// progress reports, (re)subscribes, session teardown and the
+    /// semi-sync gate can never stall behind a slow replica's socket
+    /// (writes additionally carry [`REPL_WRITE_TIMEOUT`], bounding how
+    /// long the shipper itself can wedge on one peer).
     fn ship_once(&self) -> bool {
         let Some(d) = &self.durable else { return false };
-        let mut peers = self.peers.lock();
-        if peers.is_empty() {
+        let targets: Vec<(u64, Arc<Mutex<TcpStream>>, u64, u64)> = self
+            .peers
+            .lock()
+            .iter()
+            .map(|p| (p.session, Arc::clone(&p.writer), p.shipped, p.chained))
+            .collect();
+        if targets.is_empty() {
             return false;
         }
         let mut worked = false;
-        let mut best_shipped = 0u64;
-        for peer in peers.iter_mut() {
+        // (session, pre-round shipped, new shipped, new chained, dead)
+        let mut outcomes: Vec<(u64, u64, u64, u64, bool)> = Vec::new();
+        for (session, writer, pre_shipped, pre_chained) in targets {
             let durable_lsn = d.durable_lsn();
-            if peer.shipped < durable_lsn {
-                match d.read_batches_from(peer.shipped, SHIP_WINDOW as u64) {
+            let mut shipped = pre_shipped;
+            let mut chained = pre_chained;
+            let mut dead = false;
+            if shipped < durable_lsn {
+                match d.read_batches_from(shipped, SHIP_WINDOW as u64) {
                     Ok(TailRead::Batches { batches, next_lsn, .. }) => {
-                        if next_lsn > peer.shipped || !batches.is_empty() {
-                            let mut w = peer.writer.lock();
+                        if next_lsn > shipped || !batches.is_empty() {
+                            let mut w = writer.lock();
                             for b in &batches {
                                 let frame = Frame::Repl(ReplMsg::Batch {
+                                    prev_lsn: chained,
                                     start_lsn: b.start_lsn,
                                     next_lsn: b.next_lsn,
                                     txn: b.txn,
@@ -484,12 +521,13 @@ impl ReplHub {
                                 })
                                 .encode_versioned(PROTOCOL_VERSION);
                                 if w.write_all(&frame).is_err() {
-                                    peer.dead = true;
+                                    dead = true;
                                     break;
                                 }
+                                chained = b.next_lsn;
                             }
-                            if !peer.dead && next_lsn > peer.shipped {
-                                peer.shipped = next_lsn;
+                            if !dead && next_lsn > shipped {
+                                shipped = next_lsn;
                                 worked = true;
                             }
                         }
@@ -498,15 +536,42 @@ impl ReplHub {
                         // The peer's resume point predates the oldest
                         // retained WAL (checkpoint truncation) or is
                         // misaligned: re-seed it with a full snapshot.
-                        peer.dead = !Self::ship_snapshot(d, peer);
+                        match Self::ship_snapshot(d, &writer) {
+                            Some(snapshot_lsn) => {
+                                shipped = snapshot_lsn;
+                                chained = snapshot_lsn;
+                            }
+                            None => dead = true,
+                        }
                         worked = true;
                     }
                     Err(_) => {}
                 }
             }
-            best_shipped = best_shipped.max(peer.shipped);
+            outcomes.push((session, pre_shipped, shipped, chained, dead));
         }
-        peers.retain(|p| !p.dead);
+        let mut best_shipped = 0u64;
+        {
+            let mut peers = self.peers.lock();
+            for (session, pre, shipped, chained, dead) in outcomes {
+                if let Some(p) = peers.iter_mut().find(|p| p.session == session) {
+                    if dead {
+                        p.dead = true;
+                    } else if p.shipped == pre {
+                        // Unchanged since the snapshot: commit the
+                        // round. (A concurrent resubscribe rewinds
+                        // `shipped`; its fresh resume point must win
+                        // over this stale round's.)
+                        p.shipped = shipped;
+                        p.chained = chained;
+                    }
+                }
+            }
+            peers.retain(|p| !p.dead);
+            for p in peers.iter() {
+                best_shipped = best_shipped.max(p.shipped);
+            }
+        }
         if best_shipped > 0 {
             self.counters
                 .last_shipped_lsn
@@ -515,18 +580,15 @@ impl ReplHub {
         worked
     }
 
-    /// Stream a consistent full-state snapshot to `peer` and move its
-    /// resume point to the snapshot frontier. Returns `false` on a
-    /// socket failure.
-    fn ship_snapshot(d: &Arc<DurableStore>, peer: &mut ReplPeer) -> bool {
-        let (snapshot_lsn, pairs) = match d.snapshot_for_repl() {
-            Ok(s) => s,
-            Err(_) => return false,
-        };
-        let mut w = peer.writer.lock();
+    /// Stream a consistent full-state snapshot to `writer`. Returns
+    /// the snapshot frontier LSN — the peer's new resume point — or
+    /// `None` on a socket failure.
+    fn ship_snapshot(d: &Arc<DurableStore>, writer: &Mutex<TcpStream>) -> Option<u64> {
+        let (snapshot_lsn, pairs) = d.snapshot_for_repl().ok()?;
+        let mut w = writer.lock();
         let begin = Frame::Repl(ReplMsg::SnapshotBegin { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
         if w.write_all(&begin).is_err() {
-            return false;
+            return None;
         }
         // Chunk by payload volume so no frame approaches the cap.
         let mut chunk: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
@@ -541,7 +603,7 @@ impl ReplHub {
                 .encode_versioned(PROTOCOL_VERSION);
                 chunk_bytes = 0;
                 if w.write_all(&frame).is_err() {
-                    return false;
+                    return None;
                 }
             }
         }
@@ -549,29 +611,38 @@ impl ReplHub {
             let frame =
                 Frame::Repl(ReplMsg::SnapshotChunk { pairs: chunk }).encode_versioned(PROTOCOL_VERSION);
             if w.write_all(&frame).is_err() {
-                return false;
+                return None;
             }
         }
         let end = Frame::Repl(ReplMsg::SnapshotEnd { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
         if w.write_all(&end).is_err() {
-            return false;
+            return None;
         }
-        peer.shipped = snapshot_lsn;
-        true
+        Some(snapshot_lsn)
     }
 
-    /// Advertise the durable frontier to idle peers.
+    /// Advertise the durable frontier to idle peers. As with
+    /// [`ReplHub::ship_once`], socket writes happen outside the peers
+    /// lock.
     fn heartbeat(&self) {
         let Some(d) = &self.durable else { return };
         let durable_lsn = d.durable_lsn();
         let frame = Frame::Repl(ReplMsg::Heartbeat { durable_lsn }).encode_versioned(PROTOCOL_VERSION);
-        let mut peers = self.peers.lock();
-        for peer in peers.iter_mut() {
-            if peer.writer.lock().write_all(&frame).is_err() {
-                peer.dead = true;
+        let writers: Vec<(u64, Arc<Mutex<TcpStream>>)> = self
+            .peers
+            .lock()
+            .iter()
+            .map(|p| (p.session, Arc::clone(&p.writer)))
+            .collect();
+        let mut dead = Vec::new();
+        for (session, w) in writers {
+            if w.lock().write_all(&frame).is_err() {
+                dead.push(session);
             }
         }
-        peers.retain(|p| !p.dead);
+        if !dead.is_empty() {
+            self.peers.lock().retain(|p| !dead.contains(&p.session));
+        }
     }
 
     /// Block until every connected replica has reported progress at or
@@ -1175,6 +1246,13 @@ struct Session<'a> {
     writer: Arc<Mutex<TcpStream>>,
     /// Transactions begun by this session and not yet terminated.
     open_txns: HashSet<TxnId>,
+    /// A `ReplSubscribe` accepted by `dispatch` but not yet registered
+    /// with the hub. Registration is deferred until the Ok response
+    /// frame has been written to the socket: were the peer registered
+    /// first, the shipper could interleave Repl frames *before* the Ok
+    /// on the shared writer, and the replica's handshake would have to
+    /// cope with replicated data arriving ahead of the acknowledgement.
+    pending_repl: Option<u64>,
 }
 
 impl<'a> Session<'a> {
@@ -1210,6 +1288,7 @@ impl<'a> Session<'a> {
             reader: stream,
             writer,
             open_txns: HashSet::new(),
+            pending_repl: None,
         })
     }
 
@@ -1230,6 +1309,10 @@ impl<'a> Session<'a> {
                             let bytes = frame.encode_versioned(self.negotiated);
                             if self.writer.lock().write_all(&bytes).is_err() {
                                 break;
+                            }
+                            if let Some(start_lsn) = self.pending_repl.take() {
+                                self.repl
+                                    .subscribe(self.id, Arc::clone(&self.writer), start_lsn);
                             }
                         }
                         // Clients never send responses or pushes; treat
@@ -1586,8 +1669,9 @@ impl<'a> Session<'a> {
                         message: "in-memory databases cannot be replicated".to_owned(),
                     }
                 } else {
-                    self.repl
-                        .subscribe(self.id, Arc::clone(&self.writer), start_lsn);
+                    // Registered by `run` only after the Ok frame is on
+                    // the wire — see the `pending_repl` field docs.
+                    self.pending_repl = Some(start_lsn);
                     Reply::Ok
                 }
             }

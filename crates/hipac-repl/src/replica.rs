@@ -27,7 +27,7 @@
 //! instead of re-executing), and bind a real [`HipacServer`] on the
 //! same read address clients already know.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
@@ -442,7 +442,12 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
     if stream.write_all(&ping.encode()).is_err() {
         return FollowEnd::Disconnected;
     }
-    match wait_reply(shared, &mut reader, &mut stream, 1) {
+    // Frames that arrive interleaved with a handshake ack are parked
+    // here and drained by the steady loop — never discarded. (The
+    // server defers peer registration until its Ok is on the wire, so
+    // nothing *should* precede the ack; this is defense in depth.)
+    let mut deferred: VecDeque<Frame> = VecDeque::new();
+    match wait_reply(shared, &mut reader, &mut stream, 1, &mut deferred) {
         Some(Reply::Pong { version }) if version >= 5 => {}
         _ => return FollowEnd::Disconnected,
     }
@@ -455,7 +460,7 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
     if stream.write_all(&sub.encode()).is_err() {
         return FollowEnd::Disconnected;
     }
-    match wait_reply(shared, &mut reader, &mut stream, 2) {
+    match wait_reply(shared, &mut reader, &mut stream, 2, &mut deferred) {
         Some(Reply::Ok) => {}
         _ => return FollowEnd::Disconnected,
     }
@@ -475,23 +480,33 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
         if shared.stop.load(Ordering::SeqCst) {
             return FollowEnd::Stopped;
         }
-        let payload = match reader.poll(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => continue,
-            Err(_) => return FollowEnd::Disconnected,
-        };
-        let frame = match Frame::decode(&payload) {
-            Ok(f) => f,
-            Err(_) => return FollowEnd::Disconnected,
+        // Frames parked during the handshake drain before the socket
+        // is polled again: they precede everything still in flight.
+        let frame = if let Some(f) = deferred.pop_front() {
+            f
+        } else {
+            let payload = match reader.poll(&mut stream) {
+                Ok(Some(p)) => p,
+                Ok(None) => continue,
+                Err(_) => return FollowEnd::Disconnected,
+            };
+            match Frame::decode(&payload) {
+                Ok(f) => f,
+                Err(_) => return FollowEnd::Disconnected,
+            }
         };
         match frame {
-            Frame::Repl(msg) => {
-                if !apply_repl(shared, &store, msg, &mut snapshot) {
-                    // Storage failure: this node cannot keep its
-                    // durability promise — stop following for good.
-                    return FollowEnd::StoreGone;
-                }
-            }
+            Frame::Repl(msg) => match apply_repl(shared, &store, msg, &mut snapshot) {
+                ReplApply::Applied => {}
+                // The stream skipped past our watermark: drop the
+                // connection and resubscribe from the durable
+                // watermark — the primary resumes or snapshots, and
+                // silent divergence becomes automatic recovery.
+                ReplApply::Gap => return FollowEnd::Disconnected,
+                // Storage failure: this node cannot keep its
+                // durability promise — stop following for good.
+                ReplApply::StoreFailed => return FollowEnd::StoreGone,
+            },
             // Pushes for subscriptions homed on this replica.
             Frame::Push(event) => shared.fan_out(event),
             // Acks of our id-0 progress/subscribe/ack sends.
@@ -501,22 +516,37 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
     }
 }
 
-/// Apply one replication message. Returns false on a storage error.
+/// Outcome of applying one replication message.
+enum ReplApply {
+    Applied,
+    /// The batch does not chain onto our applied watermark
+    /// ([`HipacError::ReplGap`]): recoverable by resubscribing.
+    Gap,
+    /// Local storage failed: not recoverable by reconnecting.
+    StoreFailed,
+}
+
+/// Apply one replication message.
 fn apply_repl(
     shared: &Arc<Shared>,
     store: &Arc<DurableStore>,
     msg: ReplMsg,
     snapshot: &mut Option<Vec<(Vec<u8>, Vec<u8>)>>,
-) -> bool {
+) -> ReplApply {
     match msg {
         ReplMsg::Batch {
-            next_lsn, ops, ..
+            prev_lsn,
+            next_lsn,
+            ops,
+            ..
         } => {
-            if store.apply_replicated(&ops, next_lsn).is_err() {
-                return false;
+            match store.apply_replicated(&ops, prev_lsn, next_lsn) {
+                Ok(()) => {}
+                Err(HipacError::ReplGap { .. }) => return ReplApply::Gap,
+                Err(_) => return ReplApply::StoreFailed,
             }
             if shared.view.apply_ops(&ops, next_lsn).is_err() {
-                return false;
+                return ReplApply::StoreFailed;
             }
             let frontier = shared
                 .primary_durable
@@ -536,13 +566,13 @@ fn apply_repl(
         }
         ReplMsg::SnapshotEnd { snapshot_lsn } => {
             let Some(pairs) = snapshot.take() else {
-                return true; // end without begin: ignore
+                return ReplApply::Applied; // end without begin: ignore
             };
             if store.install_snapshot(&pairs, snapshot_lsn).is_err() {
-                return false;
+                return ReplApply::StoreFailed;
             }
             if shared.view.install(&pairs, snapshot_lsn).is_err() {
-                return false;
+                return ReplApply::StoreFailed;
             }
             let frontier = shared
                 .primary_durable
@@ -564,22 +594,27 @@ fn apply_repl(
             shared.connected.store(true, Ordering::Relaxed);
         }
     }
-    true
+    ReplApply::Applied
 }
 
 /// Read frames until the response with `id` arrives (handshake only).
+/// Any other frame that turns up — a Repl batch or a Push racing the
+/// ack onto the shared writer — is parked in `deferred` for the steady
+/// loop, never dropped: a discarded batch here would silently vanish
+/// from the replica while the primary's shipped cursor moves past it.
 fn wait_reply(
     shared: &Arc<Shared>,
     reader: &mut TickReader,
     stream: &mut TcpStream,
     id: u64,
+    deferred: &mut VecDeque<Frame>,
 ) -> Option<Reply> {
     let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
     while Instant::now() < deadline && !shared.stop.load(Ordering::SeqCst) {
         match reader.poll(stream) {
             Ok(Some(payload)) => match Frame::decode(&payload) {
                 Ok(Frame::Response { id: got, reply }) if got == id => return Some(reply),
-                Ok(_) => {}
+                Ok(f) => deferred.push_back(f),
                 Err(_) => return None,
             },
             Ok(None) => {}

@@ -517,7 +517,28 @@ impl DurableStore {
     /// Ops targeting the watermark key itself are dropped (a promoted
     /// primary that was once a replica must not replay its old
     /// watermark into followers).
-    pub fn apply_replicated(&self, ops: &[StoreOp], applied_lsn: u64) -> Result<()> {
+    ///
+    /// `prev_lsn` is the stream-chain position the batch ships from
+    /// (the shipper's view of what this follower already holds). It
+    /// must equal the store's current watermark exactly — otherwise a
+    /// batch was dropped or replayed between the two, and absorbing
+    /// this one would advance the watermark over a gap. That case
+    /// returns [`HipacError::ReplGap`] without touching the store; the
+    /// caller disconnects and resubscribes from its durable watermark,
+    /// turning silent divergence into automatic recovery.
+    pub fn apply_replicated(
+        &self,
+        ops: &[StoreOp],
+        prev_lsn: u64,
+        applied_lsn: u64,
+    ) -> Result<()> {
+        let expected = self.replicated_applied_lsn()?.unwrap_or(0);
+        if prev_lsn != expected || applied_lsn <= expected {
+            return Err(HipacError::ReplGap {
+                expected,
+                got: prev_lsn,
+            });
+        }
         let mut batch: Vec<StoreOp> = ops
             .iter()
             .filter(|op| {

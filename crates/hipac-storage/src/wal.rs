@@ -15,13 +15,17 @@
 //! a position is the cumulative number of bytes appended to the log
 //! over its whole lifetime, *including* bytes retired by checkpoint
 //! truncation. [`Wal::reset`] folds the truncated length into a base
-//! offset persisted in a `.base` sidecar file (written and fsynced
-//! *before* the truncate, so a crash between the two can only skip
-//! LSNs forward, never reuse one). LSNs are therefore monotonic across
-//! checkpoints and restarts, which is what lets a replica name a
-//! resume point that survives the primary's log being truncated under
-//! it: a resume LSN below [`Wal::start_lsn`] simply reports
-//! [`TailRead::OutOfRange`] and the replica falls back to a snapshot.
+//! offset persisted in a `.base` sidecar file. The sidecar is written
+//! atomically (tmp + rename + directory fsync) in two phases: first
+//! with a *pending-truncate* flag set, then — after the file truncate
+//! is durable — with the flag cleared. A crash between the phases is
+//! detected on reopen, which completes the truncate before serving, so
+//! the retained old bytes are never re-addressed at fresh LSNs. LSNs
+//! are therefore monotonic and never reused across checkpoints and
+//! restarts, which is what lets a replica name a resume point that
+//! survives the primary's log being truncated under it: a resume LSN
+//! below [`Wal::start_lsn`] simply reports [`TailRead::OutOfRange`]
+//! and the replica falls back to a snapshot.
 //!
 //! [`Wal::read_batches_from`] is the replication producer: it reads
 //! the *synced* region of the log from a batch-aligned LSN and groups
@@ -212,16 +216,22 @@ impl Wal {
         faults: Arc<FaultPolicy>,
     ) -> Result<(Wal, Vec<WalRecord>)> {
         let base_path = Self::base_sidecar(path);
-        let base = match std::fs::read(&base_path) {
-            Ok(bytes) if bytes.len() >= 8 => u64::from_le_bytes(bytes[..8].try_into().unwrap()),
-            _ => 0,
-        };
+        let (base, pending_truncate) = Self::read_sidecar(&base_path);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
+        if pending_truncate {
+            // A crash interrupted [`Wal::reset`] after the new base was
+            // persisted but before the file was truncated: the retained
+            // bytes all predate `base` and must not be re-addressed at
+            // fresh LSNs. Complete the truncate, then clear the flag.
+            file.set_len(0)?;
+            file.sync_all()?;
+            Self::write_sidecar(&base_path, base, false)?;
+        }
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
         let (records, valid_len) = Self::scan(&raw);
@@ -249,6 +259,43 @@ impl Wal {
         let mut p = path.as_os_str().to_os_string();
         p.push(".base");
         PathBuf::from(p)
+    }
+
+    /// Read the `.base` sidecar: `(base, pending_truncate)`. The v1
+    /// format was 8 bytes of base; v2 appends 8 flag bytes (bit 0 =
+    /// a reset's truncate may not have reached the log file yet). A
+    /// missing or torn sidecar reads as base 0 — safe because the
+    /// sidecar is only ever replaced atomically via rename.
+    fn read_sidecar(path: &Path) -> (u64, bool) {
+        match std::fs::read(path) {
+            Ok(b) if b.len() >= 16 => (
+                u64::from_le_bytes(b[..8].try_into().unwrap()),
+                u64::from_le_bytes(b[8..16].try_into().unwrap()) & 1 != 0,
+            ),
+            Ok(b) if b.len() >= 8 => (u64::from_le_bytes(b[..8].try_into().unwrap()), false),
+            _ => (0, false),
+        }
+    }
+
+    /// Atomically replace the `.base` sidecar (tmp + fsync + rename +
+    /// directory fsync), so no crash point can leave it torn.
+    fn write_sidecar(path: &Path, base: u64, pending_truncate: bool) -> Result<()> {
+        let tmp = {
+            let mut p = path.as_os_str().to_os_string();
+            p.push(".tmp");
+            PathBuf::from(p)
+        };
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&base.to_le_bytes())?;
+            f.write_all(&u64::from(pending_truncate).to_le_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            crate::disk::sync_dir(dir)?;
+        }
+        Ok(())
     }
 
     /// Parse frames from `raw`, stopping at the first torn/corrupt one.
@@ -328,22 +375,22 @@ impl Wal {
 
     /// Truncate the log to zero length (after a checkpoint has made its
     /// contents redundant). The truncated bytes are folded into the LSN
-    /// base, persisted in the `.base` sidecar *before* the truncate so
-    /// a crash between the two steps skips LSNs forward rather than
-    /// reusing them (a replication tail resuming in the skipped range
-    /// reports [`TailRead::OutOfRange`] and re-snapshots).
+    /// base, persisted in the `.base` sidecar *before* the truncate
+    /// with a pending-truncate flag that reopen uses to complete an
+    /// interrupted reset (see the module docs) — so no crash point can
+    /// re-address retained old bytes at fresh LSNs, and LSNs can only
+    /// skip forward, never be reused (a replication tail resuming in a
+    /// skipped range reports [`TailRead::OutOfRange`] and
+    /// re-snapshots).
     pub fn reset(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         self.faults.hit(FaultPoint::WalReset)?;
         let new_base = inner.base + inner.len;
-        {
-            let mut f = File::create(&self.base_path)?;
-            f.write_all(&new_base.to_le_bytes())?;
-            f.sync_all()?;
-        }
+        Self::write_sidecar(&self.base_path, new_base, true)?;
         inner.file.set_len(0)?;
         inner.file.seek(SeekFrom::Start(0))?;
         inner.file.sync_all()?;
+        Self::write_sidecar(&self.base_path, new_base, false)?;
         inner.base = new_base;
         inner.len = 0;
         inner.synced_len = 0;
@@ -406,13 +453,15 @@ impl Wal {
         let base = inner.base;
         drop(inner);
 
-        if batches.is_empty() && resume == 0 && want == remaining && raw.len() >= 8 {
+        if batches.is_empty() && resume == 0 && want == remaining && !raw.is_empty() {
             let (records, valid_len) = Self::scan(&raw);
             if records.is_empty() && valid_len == 0 {
                 // The full synced region starts with an unparsable
-                // frame: the resume point is not a frame boundary (e.g.
-                // LSNs skipped by a crash during reset). Force a
-                // snapshot.
+                // frame — even a sub-header-sized sliver of one: the
+                // resume point is not a frame boundary (e.g. LSNs
+                // skipped by a crash during reset, or a mid-frame
+                // offset). Force a snapshot so the tail cannot spin
+                // forever without progress.
                 return Ok(TailRead::OutOfRange {
                     start_lsn: base,
                     durable_lsn,

@@ -4,7 +4,7 @@
 //! the core equivalence guarantee — applying shipped batches from an
 //! LSN is indistinguishable from full crash recovery.
 
-use hipac_common::TxnId;
+use hipac_common::{HipacError, TxnId};
 use hipac_storage::{DurableStore, StoreOp, TailRead, Wal, WalRecord, REPL_APPLIED_KEY};
 use std::io::Write;
 use std::ops::Bound;
@@ -289,13 +289,17 @@ fn replay_from_lsn_is_equivalent_to_full_recovery() {
         )
         .unwrap();
     }
-    // Tail everything committed after the snapshot into the replica.
+    // Tail everything committed after the snapshot into the replica,
+    // chaining each batch onto the previous one's frontier exactly as
+    // the shipper's per-peer `chained` cursor does.
     let mut at = snap_lsn;
+    let mut chain = snap_lsn;
     loop {
         match a.read_batches_from(at, 64 * 1024).unwrap() {
             TailRead::Batches { batches, next_lsn, durable_lsn } => {
                 for bt in batches {
-                    b.apply_replicated(&bt.ops, bt.next_lsn).unwrap();
+                    b.apply_replicated(&bt.ops, chain, bt.next_lsn).unwrap();
+                    chain = bt.next_lsn;
                 }
                 at = next_lsn;
                 if next_lsn == durable_lsn {
@@ -306,6 +310,7 @@ fn replay_from_lsn_is_equivalent_to_full_recovery() {
                 let (s, p) = a.snapshot_for_repl().unwrap();
                 b.install_snapshot(&p, s).unwrap();
                 at = s;
+                chain = s;
             }
         }
     }
@@ -320,7 +325,8 @@ fn replay_from_lsn_is_equivalent_to_full_recovery() {
         TailRead::Batches { batches, next_lsn, .. } => {
             assert_eq!(batches.len(), 1);
             for bt in batches {
-                b.apply_replicated(&bt.ops, bt.next_lsn).unwrap();
+                b.apply_replicated(&bt.ops, chain, bt.next_lsn).unwrap();
+                chain = bt.next_lsn;
             }
             at = next_lsn;
         }
@@ -339,9 +345,124 @@ fn replay_from_lsn_is_equivalent_to_full_recovery() {
     // And a checkpoint on the recovered primary forces the snapshot
     // path for stale resume points without breaking equivalence.
     recovered.checkpoint().unwrap();
-    let _ = at;
+    let _ = (at, chain);
     assert!(matches!(
         recovered.read_batches_from(snap_lsn, 64 * 1024).unwrap(),
         TailRead::OutOfRange { .. }
     ));
+}
+
+/// A replicated batch must chain exactly onto the replica's applied
+/// watermark. Skipped batches (prev ahead of the watermark) and
+/// replayed batches (prev behind it) are both refused with `ReplGap`
+/// and leave the store untouched, so a follower resubscribes instead
+/// of silently diverging.
+#[test]
+fn apply_replicated_rejects_stream_gaps() {
+    let a_dir = tmpdir("gap-primary");
+    let b_dir = tmpdir("gap-replica");
+    let a = DurableStore::open(&a_dir).unwrap();
+    a.commit(TxnId(1), &[put(b"k1", b"v1")]).unwrap();
+    a.commit(TxnId(2), &[put(b"k2", b"v2")]).unwrap();
+    let TailRead::Batches { batches, .. } = a.read_batches_from(0, 1 << 20).unwrap() else {
+        panic!("in range");
+    };
+    assert_eq!(batches.len(), 2);
+
+    let b = DurableStore::open(&b_dir).unwrap();
+    // Skipping the first batch must be refused, not absorbed.
+    let second = &batches[1];
+    let err = b
+        .apply_replicated(&second.ops, second.start_lsn, second.next_lsn)
+        .unwrap_err();
+    assert!(matches!(err, HipacError::ReplGap { expected: 0, .. }), "got {err}");
+    assert!(contents(&b).is_empty(), "a refused batch must not touch the store");
+    assert_eq!(b.replicated_applied_lsn().unwrap(), None);
+
+    // Correctly chained application is accepted.
+    let mut chain = 0;
+    for bt in &batches {
+        b.apply_replicated(&bt.ops, chain, bt.next_lsn).unwrap();
+        chain = bt.next_lsn;
+    }
+    assert_eq!(b.replicated_applied_lsn().unwrap(), Some(chain));
+    assert_eq!(contents(&a), contents(&b));
+
+    // A replayed (stale) batch is likewise a gap, not a rewind.
+    let first = &batches[0];
+    let err = b.apply_replicated(&first.ops, 0, first.next_lsn).unwrap_err();
+    assert!(matches!(err, HipacError::ReplGap { .. }), "got {err}");
+    assert_eq!(b.replicated_applied_lsn().unwrap(), Some(chain));
+}
+
+/// A crash after `Wal::reset` persists the pending-truncate sidecar but
+/// before the truncate reaches the log file must not re-address the
+/// retained old bytes at fresh LSNs: reopen completes the truncate.
+#[test]
+fn pending_truncate_sidecar_completes_on_reopen() {
+    let dir = tmpdir("pending-truncate");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    wal.append_all(&batch_records(1, &[put(b"old", b"x")])).unwrap();
+    wal.sync().unwrap();
+    let durable = wal.durable_lsn();
+    assert!(durable > 0);
+    drop(wal);
+
+    // Simulate the crash window: the phase-one sidecar (base advanced,
+    // truncate pending) is durable, the log file still holds old bytes.
+    let sidecar_path = {
+        let mut p = path.as_os_str().to_os_string();
+        p.push(".base");
+        PathBuf::from(p)
+    };
+    let mut sidecar = durable.to_le_bytes().to_vec();
+    sidecar.extend_from_slice(&1u64.to_le_bytes());
+    std::fs::write(&sidecar_path, &sidecar).unwrap();
+
+    let (wal, recovered) = Wal::open(&path).unwrap();
+    assert!(recovered.is_empty(), "stale pre-reset records must not replay");
+    assert_eq!(wal.start_lsn(), durable);
+    assert_eq!(wal.durable_lsn(), durable, "old bytes must not get fresh LSNs");
+    assert_eq!(wal.size().unwrap(), 0, "reopen completes the truncate");
+    // A caught-up tail resumes cleanly at the new base.
+    let TailRead::Batches { batches, next_lsn, .. } =
+        wal.read_batches_from(durable, 1 << 20).unwrap()
+    else {
+        panic!("resume at the new base is in range");
+    };
+    assert!(batches.is_empty());
+    assert_eq!(next_lsn, durable);
+}
+
+/// A misaligned resume point leaving fewer than 8 bytes (not even a
+/// frame header) of synced region must still fall back to
+/// `OutOfRange` so the tail re-snapshots instead of spinning forever
+/// on empty reads.
+#[test]
+fn misaligned_resume_in_final_bytes_forces_snapshot() {
+    let dir = tmpdir("misaligned-tail");
+    let path = dir.join("wal.log");
+    let (wal, _) = Wal::open(&path).unwrap();
+    wal.append_all(&batch_records(1, &[put(b"a", b"1")])).unwrap();
+    wal.sync().unwrap();
+    let durable = wal.durable_lsn();
+    assert!(durable >= 8);
+    for back in 1..8u64 {
+        assert!(
+            matches!(
+                wal.read_batches_from(durable - back, 1 << 20).unwrap(),
+                TailRead::OutOfRange { .. }
+            ),
+            "resume at durable-{back} must force a snapshot"
+        );
+    }
+    // The true frontier still serves: caught-up, empty, no fallback.
+    let TailRead::Batches { batches, next_lsn, .. } =
+        wal.read_batches_from(durable, 1 << 20).unwrap()
+    else {
+        panic!("the frontier is a valid resume point");
+    };
+    assert!(batches.is_empty());
+    assert_eq!(next_lsn, durable);
 }
