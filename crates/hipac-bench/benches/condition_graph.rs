@@ -47,6 +47,94 @@ fn setup(rules: usize, shared: bool, delta: bool) -> (ActiveDatabase, Vec<Object
     (db, oids)
 }
 
+/// Install `n` threshold rules whose guards can never match a quoted
+/// price (distinct thresholds, so the discrimination network spreads
+/// them across range-node entries) plus four that always stay
+/// candidates. Chunked commits keep any single transaction's unstable
+/// set bounded.
+fn setup_wall(matching: Matching, n: usize) -> (ActiveDatabase, Vec<ObjectId>) {
+    let db = ActiveDatabase::builder().matching(matching).build().unwrap();
+    let market = Market::new(16, 7, 0.05);
+    let oids = seed_securities(&db, &market).unwrap();
+    let mut made = 0usize;
+    while made < n {
+        let end = (made + 10_000).min(n);
+        db.run_top(|t| {
+            for i in made..end {
+                db.rules().create_rule(
+                    t,
+                    RuleDef::new(format!("cold{i}"))
+                        .on(EventSpec::on_update("stock"))
+                        .when(Query::filtered(
+                            "stock",
+                            Expr::NewAttr("price".into())
+                                .bin(BinOp::Ge, Expr::lit(1e6 + i as f64)),
+                        ))
+                        .then(Action::none()),
+                )?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        made = end;
+    }
+    db.run_top(|t| {
+        for i in 0..4 {
+            db.rules().create_rule(
+                t,
+                RuleDef::new(format!("hot{i}"))
+                    .on(EventSpec::on_update("stock"))
+                    .when(Query::filtered(
+                        "stock",
+                        Expr::NewAttr("price".into()).bin(BinOp::Ge, Expr::lit(0.0)),
+                    ))
+                    .then(Action::none()),
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    (db, oids)
+}
+
+/// MATCH: candidate resolution as the rule base grows to 1M rules.
+/// Network-mode updates should stay near-flat across the sweep
+/// (O(matches) candidate resolution); naive dispatch is measured only
+/// to 10k rules because it is linear by construction.
+fn bench_match_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("MATCH_rule_base_sweep");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        let (db, oids) = setup_wall(Matching::Network, n);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("network", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % oids.len();
+                db.run_top(|t| {
+                    db.store()
+                        .update(t, oids[i], &[("price", Value::from(50.0))])
+                })
+                .unwrap();
+            })
+        });
+    }
+    for &n in &[1_000usize, 10_000] {
+        let (db, oids) = setup_wall(Matching::Naive, n);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("naive", n), |b| {
+            b.iter(|| {
+                i = (i + 1) % oids.len();
+                db.run_top(|t| {
+                    db.store()
+                        .update(t, oids[i], &[("price", Value::from(50.0))])
+                })
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_condition_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("E5_condition_graph");
     group.sample_size(20);
@@ -74,5 +162,5 @@ fn bench_condition_graph(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_condition_graph);
+criterion_group!(benches, bench_condition_graph, bench_match_sweep);
 criterion_main!(benches);

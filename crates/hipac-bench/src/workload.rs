@@ -171,10 +171,19 @@ mod tests {
         let oids = seed_securities(&db, &market).unwrap();
         let ids = threshold_rules(&db, 16, true, CouplingMode::Immediate).unwrap();
         assert_eq!(ids.len(), 16);
-        // Updates evaluate but never satisfy.
+        // Updates never satisfy: the naive path triggers (and fails)
+        // every rule; the discrimination network prunes them before
+        // they trigger at all.
         apply_quote(&db, &oids, (0, 50.0)).unwrap();
         use std::sync::atomic::Ordering;
-        assert!(db.rules().stats.rules_triggered.load(Ordering::Relaxed) >= 16);
+        match db.rules().matching() {
+            hipac::Matching::Naive => {
+                assert!(db.rules().stats.rules_triggered.load(Ordering::Relaxed) >= 16);
+            }
+            hipac::Matching::Network => {
+                assert!(db.rules().match_pruned() >= 16);
+            }
+        }
         assert_eq!(
             db.rules().stats.conditions_satisfied.load(Ordering::Relaxed),
             0

@@ -721,7 +721,7 @@ impl HipacClient {
     /// Fetch the server's engine statistics snapshot.
     pub fn stats(&self) -> Result<WireStats, WireError> {
         match self.request(Command::Stats)? {
-            Reply::Stats(s) => Ok(s),
+            Reply::Stats(s) => Ok(*s),
             other => Err(unexpected(other)),
         }
     }

@@ -52,11 +52,14 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// replication gauges appended to Stats. Negotiated additively: both
 /// ends answer a `Ping { version: v }` with `min(v, own)` and speak the
 /// agreed version, so a v4 peer never sees a v5-only construct.
-pub const PROTOCOL_VERSION: u32 = 5;
+/// v6: rule-matching gauges — five discrimination-network / memo
+/// counters appended to Stats (same additive presence-based decoding
+/// as the v5 block).
+pub const PROTOCOL_VERSION: u32 = 6;
 
-/// Oldest protocol version this build still speaks (the v5 additions
-/// are gated on the negotiated version, everything else is unchanged
-/// since v4).
+/// Oldest protocol version this build still speaks (the v5/v6
+/// additions are gated on the negotiated version, everything else is
+/// unchanged since v4).
 pub const MIN_PROTOCOL_VERSION: u32 = 4;
 
 // Frame kinds.
@@ -265,6 +268,13 @@ pub struct WireStats {
     pub repl_lag_bytes: u64,
     pub replica_pushes: u64,
     pub promotions: u64,
+    // ---- v6 rule-matching gauges (encoded only to v6 peers; decoded
+    // by presence like the v5 block) ----
+    pub match_index_nodes: u64,
+    pub match_probes: u64,
+    pub match_pruned: u64,
+    pub memo_hits: u64,
+    pub memo_invalidations: u64,
 }
 
 impl WireStats {
@@ -306,6 +316,17 @@ impl WireStats {
                 put_uvarint(buf, v);
             }
         }
+        if version >= 6 {
+            for v in [
+                self.match_index_nodes,
+                self.match_probes,
+                self.match_pruned,
+                self.memo_hits,
+                self.memo_invalidations,
+            ] {
+                put_uvarint(buf, v);
+            }
+        }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
@@ -324,6 +345,14 @@ impl WireStats {
         }
         let [repl_role, last_shipped_lsn, last_applied_lsn, repl_lag_bytes, replica_pushes, promotions] =
             repl;
+        let mut matching = [0u64; 5];
+        if *pos < buf.len() {
+            for f in &mut matching {
+                *f = get_uvarint(buf, pos)?;
+            }
+        }
+        let [match_index_nodes, match_probes, match_pruned, memo_hits, memo_invalidations] =
+            matching;
         let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters, shed_adaptive, journal_replays, pushes_redelivered] =
             fields;
         Ok(WireStats {
@@ -354,6 +383,11 @@ impl WireStats {
             repl_lag_bytes,
             replica_pushes,
             promotions,
+            match_index_nodes,
+            match_probes,
+            match_pruned,
+            memo_hits,
+            memo_invalidations,
         })
     }
 }
@@ -761,8 +795,9 @@ pub enum Reply {
     Id(u64),
     /// Query rows.
     Rows(Vec<WireRow>),
-    /// Engine statistics.
-    Stats(WireStats),
+    /// Engine statistics (boxed: the stats block dwarfs every other
+    /// variant).
+    Stats(Box<WireStats>),
     /// The engine rejected the command.
     Err { kind: String, message: String },
 }
@@ -846,7 +881,7 @@ impl Reply {
                 }
                 Reply::Rows(rows)
             }
-            ST_STATS => Reply::Stats(WireStats::decode(buf, pos)?),
+            ST_STATS => Reply::Stats(Box::new(WireStats::decode(buf, pos)?)),
             ST_ERR => Reply::Err {
                 kind: get_str(buf, pos)?,
                 message: get_str(buf, pos)?,
@@ -1377,7 +1412,7 @@ mod tests {
                     values: vec![],
                 },
             ]),
-            Reply::Stats(WireStats {
+            Reply::Stats(Box::new(WireStats {
                 signals_processed: 1,
                 rules_triggered: 2,
                 conditions_satisfied: 3,
@@ -1405,7 +1440,12 @@ mod tests {
                 repl_lag_bytes: 24,
                 replica_pushes: 25,
                 promotions: 26,
-            }),
+                match_index_nodes: 27,
+                match_probes: 28,
+                match_pruned: 29,
+                memo_hits: 30,
+                memo_invalidations: 31,
+            })),
             Reply::Err {
                 kind: "UnknownClass".into(),
                 message: "unknown class: zz".into(),
@@ -1458,11 +1498,16 @@ mod tests {
             repl_lag_bytes: 7,
             replica_pushes: 3,
             promotions: 1,
+            match_index_nodes: 12,
+            match_probes: 13,
+            match_pruned: 14,
+            memo_hits: 15,
+            memo_invalidations: 16,
             ..WireStats::default()
         };
         let frame = Frame::Response {
             id: 9,
-            reply: Reply::Stats(stats),
+            reply: Reply::Stats(Box::new(stats)),
         };
         // A v4 peer gets the 21-field body and decodes the gauges as
         // zero — exactly what a v4 build of this code would produce.
@@ -1478,7 +1523,7 @@ mod tests {
         assert_eq!(s.signals_processed, 1);
         assert_eq!(s.repl_role, 0, "v4 body carries no repl gauges");
         assert_eq!(s.last_shipped_lsn, 0);
-        // A v5 peer gets the full body.
+        // A v5 peer gets the repl gauges but not the matching gauges.
         let v5_bytes = frame.encode_versioned(5);
         assert!(v5_bytes.len() > v4_bytes.len());
         let back = Frame::decode(&v5_bytes[4..]).unwrap();
@@ -1489,7 +1534,21 @@ mod tests {
         else {
             panic!("expected stats response");
         };
-        assert_eq!(s, stats);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.match_index_nodes, 0, "v5 body carries no matching gauges");
+        assert_eq!(s.memo_hits, 0);
+        // A v6 peer gets the full body.
+        let v6_bytes = frame.encode_versioned(6);
+        assert!(v6_bytes.len() > v5_bytes.len());
+        let back = Frame::decode(&v6_bytes[4..]).unwrap();
+        let Frame::Response {
+            reply: Reply::Stats(s),
+            ..
+        } = back
+        else {
+            panic!("expected stats response");
+        };
+        assert_eq!(*s, stats);
     }
 
     #[test]

@@ -1687,7 +1687,7 @@ impl<'a> Session<'a> {
                 w.shed_adaptive = self.shared.shed_adaptive.load(Ordering::Relaxed);
                 w.journal_replays = self.shared.journal_replays.load(Ordering::Relaxed);
                 w.pushes_redelivered = self.shared.pushes_redelivered.load(Ordering::Relaxed);
-                Reply::Stats(w)
+                Reply::Stats(Box::new(w))
             }
         })
     }
@@ -1748,5 +1748,10 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         repl_lag_bytes: s.repl_lag_bytes,
         replica_pushes: s.replica_pushes,
         promotions: s.promotions,
+        match_index_nodes: s.match_index_nodes,
+        match_probes: s.match_probes,
+        match_pruned: s.match_pruned,
+        memo_hits: s.memo_hits,
+        memo_invalidations: s.memo_invalidations,
     }
 }

@@ -708,7 +708,7 @@ fn execute(
         }
         Command::Stats => {
             let c = &shared.counters;
-            Reply::Stats(WireStats {
+            Reply::Stats(Box::new(WireStats {
                 repl_role: c.role.load(Ordering::Relaxed),
                 last_shipped_lsn: c.last_shipped_lsn.load(Ordering::Relaxed),
                 last_applied_lsn: c.last_applied_lsn.load(Ordering::Relaxed),
@@ -716,7 +716,7 @@ fn execute(
                 replica_pushes: c.replica_pushes.load(Ordering::Relaxed),
                 promotions: c.promotions.load(Ordering::Relaxed),
                 ..WireStats::default()
-            })
+            }))
         }
         // Snapshot reads at the applied-LSN watermark. Transactional
         // reads need the primary's lock manager — refuse them the same

@@ -36,12 +36,14 @@
 pub mod codec;
 pub mod condition;
 pub mod manager;
+pub mod network;
 pub mod pool;
 pub mod rule;
 pub mod trace;
 
 pub use condition::ConditionEvaluator;
 pub use manager::{ApplicationHandler, RuleManager};
+pub use network::{derive_guard, GuardSpec, MatchNetwork, Matching, MemoTable};
 pub use pool::FiringPool;
 pub use rule::{Action, ActionOp, CouplingMode, DbAction, RuleDef};
 pub use trace::{FiringTrace, QueryStrategy, RuleExplanation, RuleTracer};

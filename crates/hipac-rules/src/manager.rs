@@ -29,6 +29,7 @@
 //! runs each satisfied rule's action in its own subtransaction.
 
 use crate::condition::{ConditionEvaluator, EvalStats};
+use crate::network::{derive_guard, GuardSpec, MatchNetwork, Matching, MemoTable};
 use crate::pool::{FiringPool, WorkerPool};
 use crate::rule::{Action, ActionOp, CouplingMode, DbAction, RuleDef};
 use hipac_common::id::IdAllocator;
@@ -107,7 +108,28 @@ pub struct RuleManager {
     rule_names: VersionStore<String, RuleId>,
     ids: IdAllocator,
     catalog: RwLock<HashMap<RuleId, CatalogEntry>>,
-    event_map: RwLock<HashMap<EventId, Vec<RuleId>>>,
+    /// Rules created by each still-uncommitted transaction — the
+    /// inverse of `CatalogEntry::created_by`. Child commits and aborts
+    /// re-attribute or retract only their own creations through this
+    /// index instead of scanning the whole catalog, which would be
+    /// O(total rules) on every immediate-coupled firing (each fires in
+    /// a child transaction).
+    created_index: Mutex<HashMap<TxnId, Vec<RuleId>>>,
+    /// Event → rules, ascending by rule id. The rule lists are shared
+    /// (`Arc`) so signal dispatch clones a handle, not the list — the
+    /// per-signal work under this lock is O(1) regardless of how many
+    /// rules an event has.
+    event_map: RwLock<HashMap<EventId, Arc<Vec<RuleId>>>>,
+    /// How signals resolve their candidate rules (fixed at
+    /// construction): walk the full event list, or probe the
+    /// discrimination network.
+    matching: Matching,
+    /// The discrimination network (maintained only under
+    /// [`Matching::Network`]; naive mode keeps the oracle path pure).
+    network: MatchNetwork,
+    /// Committed-data query memo shared with the Condition Evaluator
+    /// (network mode only).
+    memo: Option<Arc<MemoTable>>,
     /// Structurally identical event specifications share one event
     /// definition (and one detection automaton): this is what makes the
     /// event→rules mapping of §5.4 many-to-one and lets one signal
@@ -144,10 +166,21 @@ pub struct RuleManager {
 }
 
 const RULE_KEY_PREFIX: u8 = b'r';
+/// Persisted discrimination-network guard metadata rides next to the
+/// rule under its own prefix (written in the same durable batch as the
+/// rule itself, in both matching modes, so the records never go stale).
+const GUARD_KEY_PREFIX: u8 = b'g';
 
 fn rule_key(rid: RuleId) -> Vec<u8> {
     let mut k = Vec::with_capacity(9);
     k.push(RULE_KEY_PREFIX);
+    k.extend_from_slice(&rid.raw().to_be_bytes());
+    k
+}
+
+fn guard_key(rid: RuleId) -> Vec<u8> {
+    let mut k = Vec::with_capacity(9);
+    k.push(GUARD_KEY_PREFIX);
     k.extend_from_slice(&rid.raw().to_be_bytes());
     k
 }
@@ -261,6 +294,12 @@ impl TxnHook for RuleTxnHook {
         if let Some(mgr) = self.mgr.upgrade() {
             mgr.deferred.lock().remove(&txn);
             mgr.retract_created_by(txn);
+            if top && mgr.matching == Matching::Network {
+                // Pending definition changes died with the top: the
+                // committed placements were never touched, so dropping
+                // the unstable marks restores steady state.
+                mgr.network.clear_top(txn);
+            }
             if top && mgr.internal_txns.lock().remove(&txn) {
                 return;
             }
@@ -285,12 +324,28 @@ impl ResourceManager for RuleManager {
     fn on_commit_child(&self, txn: TxnId, parent: TxnId) -> Result<()> {
         self.rules.commit_into_parent(txn, parent);
         self.rule_names.commit_into_parent(txn, parent);
-        // Creation attribution moves up with the layer.
-        let mut catalog = self.catalog.write();
-        for entry in catalog.values_mut() {
-            if entry.created_by == Some(txn) {
-                entry.created_by = Some(parent);
+        // Creation attribution moves up with the layer — only the
+        // child's own creations, via the inverse index.
+        let moved = self.created_index.lock().remove(&txn);
+        if let Some(rids) = moved {
+            {
+                let mut catalog = self.catalog.write();
+                for rid in &rids {
+                    if let Some(entry) = catalog.get_mut(rid) {
+                        if entry.created_by == Some(txn) {
+                            entry.created_by = Some(parent);
+                        }
+                    }
+                }
             }
+            self.created_index
+                .lock()
+                .entry(parent)
+                .or_default()
+                .extend(rids);
+        }
+        if self.matching == Matching::Network {
+            self.network.promote_created(txn, parent);
         }
         // Deferred firings registered under the child move to the
         // parent? No: they were processed at the child's commit
@@ -302,17 +357,32 @@ impl ResourceManager for RuleManager {
         let changes = self.rules.commit_top(txn);
         self.rule_names.commit_top(txn);
         if let Some(d) = &self.durable {
-            let mut ops = Vec::with_capacity(changes.len());
+            let mut ops = Vec::with_capacity(changes.len() * 2);
             for (rid, _, new) in &changes {
-                ops.push(match new {
-                    Some(def) => hipac_storage::StoreOp::Put {
-                        key: rule_key(*rid),
-                        value: crate::codec::encode_rule(def),
-                    },
-                    None => hipac_storage::StoreOp::Delete {
-                        key: rule_key(*rid),
-                    },
-                });
+                match new {
+                    Some(def) => {
+                        ops.push(hipac_storage::StoreOp::Put {
+                            key: rule_key(*rid),
+                            value: crate::codec::encode_rule(def),
+                        });
+                        // Index metadata commits in the same batch as
+                        // the rule, whatever the matching mode, so a
+                        // later network-mode open never reads a guard
+                        // that disagrees with its rule.
+                        ops.push(hipac_storage::StoreOp::Put {
+                            key: guard_key(*rid),
+                            value: crate::codec::encode_guard(&derive_guard(def)),
+                        });
+                    }
+                    None => {
+                        ops.push(hipac_storage::StoreOp::Delete {
+                            key: rule_key(*rid),
+                        });
+                        ops.push(hipac_storage::StoreOp::Delete {
+                            key: guard_key(*rid),
+                        });
+                    }
+                }
             }
             if !ops.is_empty() {
                 d.commit(txn, &ops)?;
@@ -340,11 +410,7 @@ impl ResourceManager for RuleManager {
                     let old_event = catalog.get(rid).map(|e| e.event);
                     if let (Some(new_event), Some(old_event)) = (new_event, old_event) {
                         if new_event != old_event {
-                            self.event_map
-                                .write()
-                                .entry(new_event)
-                                .or_default()
-                                .push(*rid);
+                            self.link_rule_event(new_event, *rid);
                             if let Some(e) = catalog.get_mut(rid) {
                                 e.event = new_event;
                             }
@@ -354,15 +420,38 @@ impl ResourceManager for RuleManager {
                     if let Some(e) = catalog.get_mut(rid) {
                         e.created_by = None;
                     }
+                    if self.matching == Matching::Network {
+                        if let Some(old_event) = old_event {
+                            // Re-place per the committed definition
+                            // (clears the rule's unstable mark).
+                            let placed_event = new_event.unwrap_or(old_event);
+                            self.network
+                                .commit_change(old_event, placed_event, *rid, Some(def));
+                        }
+                    }
                 }
                 None => {
                     // Rule deletion committed: drop the mapping, and
                     // retire the (shared) event def once unreferenced.
                     if let Some(entry) = catalog.remove(rid) {
                         self.unlink_rule_event(entry.event, *rid);
+                        if self.matching == Matching::Network {
+                            self.network
+                                .commit_change(entry.event, entry.event, *rid, None);
+                        }
                     }
                 }
             }
+        }
+        drop(catalog);
+        // Everything this top created is now fully committed
+        // (`created_by: None` above) — drop the attribution index.
+        self.created_index.lock().remove(&txn);
+        if self.matching == Matching::Network {
+            // Marks owned by this top whose rules were NOT in the
+            // change set (a child made the change, then aborted): the
+            // committed placement is already right — just unmark.
+            self.network.clear_top(txn);
         }
         Ok(())
     }
@@ -410,7 +499,9 @@ impl RuleManager {
     /// [`RuleManager::with_durability`] with an explicit firing
     /// parallelism: the number of immediate/deferred sibling action
     /// subtransactions of one group that may execute concurrently
-    /// (`1` = sequential, the pre-pool behavior).
+    /// (`1` = sequential, the pre-pool behavior). The matching mode
+    /// comes from `HIPAC_MATCHING` (default: network); see
+    /// [`RuleManager::with_matching`] for an explicit choice.
     pub fn with_config(
         tm: Arc<TransactionManager>,
         store: Arc<ObjectStore>,
@@ -419,15 +510,54 @@ impl RuleManager {
         firing_parallelism: usize,
         durable: Option<Arc<hipac_storage::DurableStore>>,
     ) -> Result<Arc<RuleManager>> {
+        Self::with_matching(
+            tm,
+            store,
+            events,
+            workers,
+            firing_parallelism,
+            Matching::from_env(),
+            durable,
+        )
+    }
+
+    /// [`RuleManager::with_config`] with an explicit candidate-matching
+    /// mode: [`Matching::Network`] probes the discrimination network
+    /// (O(matches) per signal); [`Matching::Naive`] walks the full
+    /// event→rules list (the differential oracle).
+    pub fn with_matching(
+        tm: Arc<TransactionManager>,
+        store: Arc<ObjectStore>,
+        events: Arc<EventRegistry>,
+        workers: usize,
+        firing_parallelism: usize,
+        matching: Matching,
+        durable: Option<Arc<hipac_storage::DurableStore>>,
+    ) -> Result<Arc<RuleManager>> {
         let tree = Arc::clone(tm.tree());
+        let memo = (matching == Matching::Network)
+            .then(|| Arc::new(MemoTable::new(4096)));
+        if matching == Matching::Network {
+            // The memo validates against committed-data version
+            // stamps; the store only maintains them when asked.
+            store.set_write_tracking(true);
+        }
+        let evaluator = match &memo {
+            Some(m) => ConditionEvaluator::with_memo(Arc::clone(&store), Arc::clone(m)),
+            None => ConditionEvaluator::new(Arc::clone(&store)),
+        };
         let mgr = Arc::new(RuleManager {
-            evaluator: ConditionEvaluator::new(Arc::clone(&store)),
+            evaluator,
+            matching,
+            network: MatchNetwork::new(),
+            memo,
             pool: WorkerPool::new(workers),
             firing: FiringPool::new(firing_parallelism),
             rules: VersionStore::new(Arc::clone(&tree)),
             rule_names: VersionStore::new(tree),
             ids: IdAllocator::new(1),
             catalog: RwLock::new(HashMap::new()),
+            created_index: Mutex::new(HashMap::new()),
             event_map: RwLock::new(HashMap::new()),
             spec_index: RwLock::new(HashMap::new()),
             deferred: Mutex::new(HashMap::new()),
@@ -465,6 +595,20 @@ impl RuleManager {
         let Some(d) = &self.durable else {
             return Ok(());
         };
+        // Persisted guard specs (written by every mode — see
+        // `on_commit_top`) spare re-deriving guards per rule; fall
+        // back to derivation for records written before guards were
+        // persisted.
+        let mut guards: HashMap<RuleId, GuardSpec> = HashMap::new();
+        if self.matching == Matching::Network {
+            for (key, bytes) in d.scan_prefix(&[GUARD_KEY_PREFIX])? {
+                if key.len() != 9 {
+                    return Err(HipacError::Corruption("bad guard key length".into()));
+                }
+                let rid = RuleId(u64::from_be_bytes(key[1..9].try_into().unwrap()));
+                guards.insert(rid, crate::codec::decode_guard(&bytes)?);
+            }
+        }
         for (key, bytes) in d.scan_prefix(&[RULE_KEY_PREFIX])? {
             if key.len() != 9 {
                 return Err(HipacError::Corruption("bad rule key length".into()));
@@ -494,7 +638,13 @@ impl RuleManager {
                     created_by: None,
                 },
             );
-            self.event_map.write().entry(event).or_default().push(rid);
+            self.link_rule_event(event, rid);
+            if self.matching == Matching::Network {
+                let guard = guards
+                    .remove(&rid)
+                    .unwrap_or_else(|| derive_guard(&def));
+                self.network.place_committed(event, rid, guard);
+            }
             self.rule_names.put_committed(def.name.clone(), rid);
             self.rules.put_committed(rid, def);
         }
@@ -637,7 +787,14 @@ impl RuleManager {
                 created_by: Some(txn),
             },
         );
-        self.event_map.write().entry(event).or_default().push(rid);
+        self.created_index.lock().entry(txn).or_default().push(rid);
+        self.link_rule_event(event, rid);
+        if self.matching == Matching::Network {
+            // Wired eagerly so the creating transaction's own signals
+            // see the rule; held unstable (always a candidate) until
+            // the top-level commit places it under its guard.
+            self.network.link_created(event, rid, txn);
+        }
         self.rule_names.put(txn, def.name.clone(), rid);
         self.rules.put(txn, rid, def);
         Ok(rid)
@@ -692,7 +849,26 @@ impl RuleManager {
             self.events.external_id(&ext)?;
         }
         self.rules.put(txn, rid, def);
+        self.note_rule_change(txn, rid);
         Ok(rid)
+    }
+
+    /// Mark a rule whose definition changed uncommitted as *unstable*
+    /// in the discrimination network: it stays a candidate for every
+    /// probe of its event until the owning top-level transaction
+    /// commits (re-placing it under the new guard) or aborts (clearing
+    /// the mark). The rule's write lock guarantees a single top-level
+    /// owner at a time.
+    fn note_rule_change(&self, txn: TxnId, rid: RuleId) {
+        if self.matching != Matching::Network {
+            return;
+        }
+        let event = match self.catalog.read().get(&rid) {
+            Some(entry) => entry.event,
+            None => return,
+        };
+        let top = self.tm.tree().top_ancestor(txn);
+        self.network.mark_pending(event, rid, top);
     }
 
     /// Effective event spec of a rule definition (declared or derived).
@@ -713,6 +889,7 @@ impl RuleManager {
             .acquire(txn, LockKey::Rule(rid.raw()), LockMode::Write)?;
         self.rules.delete(txn, rid);
         self.rule_names.delete(txn, name.to_owned());
+        self.note_rule_change(txn, rid);
         Ok(())
     }
 
@@ -739,6 +916,7 @@ impl RuleManager {
             .ok_or_else(|| HipacError::UnknownRule(name.to_owned()))?;
         def.enabled = enabled;
         self.rules.put(txn, rid, def);
+        self.note_rule_change(txn, rid);
         Ok(())
     }
 
@@ -778,15 +956,36 @@ impl RuleManager {
         if !self.firing_gate.load(Ordering::Relaxed) {
             return Ok(());
         }
-        let rule_ids = {
-            let map = self.event_map.read();
-            match map.get(&event) {
-                Some(ids) => ids.clone(),
+        let probed;
+        let listed;
+        let rule_ids: &[RuleId] = match self.matching {
+            // O(matches) candidates from the discrimination network;
+            // the per-rule visibility/enabled/guard-residual checks
+            // below are unchanged, so extra candidates are harmless.
+            Matching::Network => match self.network.probe(event, &self.store, signal) {
+                Some(ids) => {
+                    probed = ids;
+                    &probed
+                }
                 None => return Ok(()), // event defined but no rules attached
+            },
+            Matching::Naive => {
+                let arc = {
+                    let map = self.event_map.read();
+                    match map.get(&event) {
+                        // Clone the Arc, not the list: dispatch cost
+                        // under the map lock stays O(1) regardless of
+                        // how many rules the event has.
+                        Some(ids) => Arc::clone(ids),
+                        None => return Ok(()), // event defined but no rules attached
+                    }
+                };
+                listed = arc;
+                &listed
             }
         };
         let mut immediate = Vec::new();
-        for rid in rule_ids {
+        for &rid in rule_ids {
             // Rules are database objects: visibility follows the
             // triggering transaction's view; committed view otherwise.
             let def = match signal.txn {
@@ -1409,16 +1608,32 @@ impl RuleManager {
     /// Retract catalog entries created by `txn` (its creation never
     /// committed).
     fn retract_created_by(&self, txn: TxnId) {
+        let dead = self.created_index.lock().remove(&txn).unwrap_or_default();
         let mut catalog = self.catalog.write();
-        let dead: Vec<RuleId> = catalog
-            .iter()
-            .filter(|(_, e)| e.created_by == Some(txn))
-            .map(|(rid, _)| *rid)
-            .collect();
         for rid in dead {
-            if let Some(entry) = catalog.remove(&rid) {
-                self.unlink_rule_event(entry.event, rid);
+            // Only entries still attributed to this transaction: a
+            // child commit may have moved attribution to the parent,
+            // in which case the index entry moved with it.
+            if catalog.get(&rid).is_some_and(|e| e.created_by == Some(txn)) {
+                if let Some(entry) = catalog.remove(&rid) {
+                    self.unlink_rule_event(entry.event, rid);
+                }
             }
+        }
+        drop(catalog);
+        if self.matching == Matching::Network {
+            self.network.retract_created(txn);
+        }
+    }
+
+    /// Add `rid` to the event→rules mapping, keeping the list sorted by
+    /// rule id (firing order is rid-ascending in both matching modes).
+    fn link_rule_event(&self, event: EventId, rid: RuleId) {
+        let mut map = self.event_map.write();
+        let rids = map.entry(event).or_default();
+        let list = Arc::make_mut(rids);
+        if let Err(pos) = list.binary_search(&rid) {
+            list.insert(pos, rid);
         }
     }
 
@@ -1428,7 +1643,7 @@ impl RuleManager {
     fn unlink_rule_event(&self, event: EventId, rid: RuleId) {
         let mut map = self.event_map.write();
         if let Some(rids) = map.get_mut(&event) {
-            rids.retain(|r| *r != rid);
+            Arc::make_mut(rids).retain(|r| *r != rid);
             if rids.is_empty() {
                 map.remove(&event);
                 let _ = self.events.delete_event(event);
@@ -1440,6 +1655,58 @@ impl RuleManager {
     /// Number of rules visible to `txn` (diagnostics).
     pub fn rule_count(&self, txn: TxnId) -> usize {
         self.rules.len_visible(txn)
+    }
+
+    /// The candidate-matching mode fixed at construction.
+    pub fn matching(&self) -> Matching {
+        self.matching
+    }
+
+    /// Shared handle to an event's rule list. Repeated calls return
+    /// the *same* allocation (`Arc::ptr_eq`) until the list changes —
+    /// the dispatch path clones this handle, never the list, so signal
+    /// cost under the map lock is independent of rule count.
+    pub fn candidate_handle(&self, event: EventId) -> Option<Arc<Vec<RuleId>>> {
+        self.event_map.read().get(&event).map(Arc::clone)
+    }
+
+    /// The event a rule is wired to.
+    pub fn rule_event(&self, txn: TxnId, name: &str) -> Result<EventId> {
+        let rid = self.rule_id(txn, name)?;
+        self.catalog
+            .read()
+            .get(&rid)
+            .map(|e| e.event)
+            .ok_or_else(|| HipacError::UnknownRule(name.to_owned()))
+    }
+
+    /// Live discrimination-network node count (0 in naive mode).
+    pub fn match_index_nodes(&self) -> u64 {
+        self.network.stats().index_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Signals resolved through the discrimination network.
+    pub fn match_probes(&self) -> u64 {
+        self.network.stats().probes.load(Ordering::Relaxed)
+    }
+
+    /// Rules excluded from candidate sets across all probes.
+    pub fn match_pruned(&self) -> u64 {
+        self.network.stats().candidates_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Memoized partial-match hits (0 in naive mode).
+    pub fn memo_hits(&self) -> u64 {
+        self.memo
+            .as_ref()
+            .map_or(0, |m| m.stats().hits.load(Ordering::Relaxed))
+    }
+
+    /// Memo entries invalidated (stale stamp or evicted).
+    pub fn memo_invalidations(&self) -> u64 {
+        self.memo
+            .as_ref()
+            .map_or(0, |m| m.stats().invalidations.load(Ordering::Relaxed))
     }
 
     /// Static analysis of a rule (§7 tooling): its effective event,

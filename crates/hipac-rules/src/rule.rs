@@ -1,8 +1,10 @@
 //! Rule definitions: the attributes of rule objects (§2.1).
 
+use hipac_common::Value;
 use hipac_event::EventSpec;
 use hipac_object::expr::Expr;
 use hipac_object::query::Query;
+use std::fmt;
 
 /// Coupling modes (§2.1): the transactional relationship between the
 /// triggering event and condition evaluation (E-C) and between
@@ -190,6 +192,35 @@ impl RuleDef {
     pub fn disabled(mut self) -> RuleDef {
         self.enabled = false;
         self
+    }
+}
+
+/// Renders the rule in (approximately) the DSL the property harness
+/// prints for counterexamples: name, couplings, and each condition
+/// query in `from … where … select …` form.
+impl fmt::Display for RuleDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {}", self.name)?;
+        if !self.enabled {
+            write!(f, " (disabled)")?;
+        }
+        write!(f, " [ec={:?} ca={:?}]", self.ec_coupling, self.ca_coupling)?;
+        if let Some(e) = &self.event {
+            write!(f, " on {e:?}")?;
+        }
+        for q in &self.condition {
+            write!(f, " when from {}", q.class)?;
+            if q.predicate != Expr::Literal(Value::Bool(true)) {
+                write!(f, " where {}", q.predicate)?;
+            }
+            if let Some(attrs) = &q.projection {
+                write!(f, " select {}", attrs.join(", "))?;
+            }
+        }
+        if !self.action.ops.is_empty() {
+            write!(f, " then <{} ops>", self.action.ops.len())?;
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,7 @@ use hipac_common::{
 use hipac_event::EventRegistry;
 use hipac_object::ObjectStore;
 use hipac_rules::manager::FnHandler;
-use hipac_rules::RuleManager;
+use hipac_rules::{Matching, RuleManager};
 use hipac_storage::{DurableStore, FaultPolicy};
 use hipac_txn::TransactionManager;
 use std::collections::HashMap;
@@ -37,6 +37,7 @@ pub struct Builder {
     clock: ClockMode,
     storage_faults: Option<Arc<FaultPolicy>>,
     separate_retry_limit: usize,
+    matching: Matching,
 }
 
 impl Default for Builder {
@@ -51,6 +52,7 @@ impl Default for Builder {
             clock: ClockMode::Virtual,
             storage_faults: None,
             separate_retry_limit: 3,
+            matching: Matching::from_env(),
         }
     }
 }
@@ -109,6 +111,16 @@ impl Builder {
         self
     }
 
+    /// How signals resolve candidate rules: [`Matching::Network`] (the
+    /// default) probes the discrimination network, O(matches) per
+    /// signal; [`Matching::Naive`] walks the full event→rules list —
+    /// the differential-testing oracle. Overridable per process via
+    /// `HIPAC_MATCHING=naive|network`.
+    pub fn matching(mut self, mode: Matching) -> Self {
+        self.matching = mode;
+        self
+    }
+
     /// Assemble the engine.
     pub fn build(self) -> Result<ActiveDatabase> {
         let tm = Arc::new(TransactionManager::new());
@@ -152,12 +164,13 @@ impl Builder {
                 events.define_external(name, formals)?;
             }
         }
-        let rules = RuleManager::with_config(
+        let rules = RuleManager::with_matching(
             Arc::clone(&tm),
             Arc::clone(&store),
             Arc::clone(&events),
             self.workers,
             self.firing_parallelism,
+            self.matching,
             durable.clone(),
         )?;
         rules.set_separate_retry_limit(self.separate_retry_limit);
@@ -228,6 +241,17 @@ pub struct EngineStats {
     pub replica_pushes: u64,
     /// Replica → primary promotions in this node's lineage.
     pub promotions: u64,
+    /// Live discrimination-network nodes (type nodes, attribute
+    /// groups, equality buckets, bound keys); 0 in naive matching.
+    pub match_index_nodes: u64,
+    /// Signals resolved through the discrimination network.
+    pub match_probes: u64,
+    /// Rules excluded from candidate sets across all network probes.
+    pub match_pruned: u64,
+    /// Memoized partial-match (shared subexpression) hits.
+    pub memo_hits: u64,
+    /// Memo entries invalidated by committed writes (or evicted).
+    pub memo_invalidations: u64,
 }
 
 /// The assembled active DBMS.
@@ -420,6 +444,11 @@ impl ActiveDatabase {
             repl_lag_bytes: self.repl.lag_bytes.load(Relaxed),
             replica_pushes: self.repl.replica_pushes.load(Relaxed),
             promotions: self.repl.promotions.load(Relaxed),
+            match_index_nodes: self.rules.match_index_nodes(),
+            match_probes: self.rules.match_probes(),
+            match_pruned: self.rules.match_pruned(),
+            memo_hits: self.rules.memo_hits(),
+            memo_invalidations: self.rules.memo_invalidations(),
         }
     }
 

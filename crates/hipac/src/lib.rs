@@ -84,7 +84,9 @@ pub mod prelude {
     pub use hipac_object::expr::{BinOp, Expr};
     pub use hipac_object::query::Row;
     pub use hipac_object::{AttrDef, ObjectStore, Query};
-    pub use hipac_rules::{Action, ActionOp, CouplingMode, DbAction, RuleDef, RuleManager};
+    pub use hipac_rules::{
+        Action, ActionOp, CouplingMode, DbAction, Matching, RuleDef, RuleManager,
+    };
     pub use hipac_txn::TransactionManager;
 
     /// Argument map passed to application handlers.
@@ -96,5 +98,5 @@ pub use hipac_common::{
 };
 pub use hipac_event::{EventRegistry, EventSignal, EventSpec};
 pub use hipac_object::{AttrDef, ObjectStore, Query};
-pub use hipac_rules::{Action, ActionOp, CouplingMode, DbAction, RuleDef, RuleManager};
+pub use hipac_rules::{Action, ActionOp, CouplingMode, DbAction, Matching, RuleDef, RuleManager};
 pub use hipac_txn::TransactionManager;

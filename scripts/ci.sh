@@ -7,8 +7,21 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (full workspace)"
+echo "==> cargo test -q (full workspace, network matching — the default)"
 cargo test -q
+
+echo "==> cargo test -q (naive matching: engine-level suites under the oracle dispatch path)"
+HIPAC_MATCHING=naive cargo test -q -p hipac -p hipac-rules -p hipac-bench
+
+echo "==> matching differential suite (naive vs network, both default modes)"
+cargo test -q -p hipac --test matching_diff
+HIPAC_MATCHING=naive cargo test -q -p hipac --test matching_diff
+
+echo "==> discrimination-network property suite (prune exactness, memo staleness)"
+cargo test -q -p hipac-rules --test match_properties
+
+echo "==> match bench smoke (1k/10k rules, network vs naive dispatch)"
+cargo run --release -q -p hipac-bench --bin report -- --only match --smoke
 
 echo "==> crash matrix (deterministic, fixed seed)"
 cargo test -q -p hipac-storage --test crash_matrix

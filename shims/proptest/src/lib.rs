@@ -2,8 +2,9 @@
 //!
 //! The build environment has no crates registry, so the workspace
 //! vendors the proptest API subset its property tests use: the
-//! [`Strategy`] trait with `prop_map` / `prop_filter` /
-//! `prop_recursive`, `any::<T>()`, range and tuple strategies, a
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_recursive`, `any::<T>()`, range and tuple
+//! strategies, a
 //! regex-lite string strategy, `collection::vec`, `prop_oneof!`,
 //! `Just`, and the `proptest!` test macro.
 //!

@@ -61,6 +61,17 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Derive a second strategy from each generated value (dependent
+    /// generation), then generate from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Reject generated values failing `pred` (regenerates; panics
     /// after too many consecutive rejections).
     fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
@@ -179,6 +190,24 @@ where
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
