@@ -52,5 +52,8 @@ pub mod schedule;
 pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
 pub use failover::{run_failover_torture, FailoverTortureConfig, FailoverTortureReport};
 pub use netchaos::{ChaosConfig, ChaosFault, ChaosHit, ChaosProxy, ChaosStats};
-pub use restart::{run_restart_torture, RestartTortureConfig, RestartTortureReport};
+pub use restart::{
+    run_group_crash_matrix, run_restart_torture, GroupCrashMatrixReport, RestartTortureConfig,
+    RestartTortureReport,
+};
 pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};

@@ -521,3 +521,219 @@ pub fn run_restart_torture(cfg: &RestartTortureConfig) -> RestartTortureReport {
     let _ = std::fs::remove_dir_all(&dir);
     report
 }
+
+// ---------------------------------------------------------------------------
+// Group-commit crash matrix: crashes inside the cohort-flush window.
+// ---------------------------------------------------------------------------
+
+/// Evidence from one [`run_group_crash_matrix`] sweep.
+#[derive(Debug)]
+pub struct GroupCrashMatrixReport {
+    /// Cohort size every phase formed (and the matrix requires).
+    pub cohort: u64,
+    /// Absolute fault-point index of the cohort's single `WalSync`.
+    pub wal_sync_hit: u64,
+    /// Absolute fault-point index of the cohort's `GroupWake` (the
+    /// post-fsync, pre-wake "durable but unacked" window).
+    pub group_wake_hit: u64,
+    /// Members recovered after the leader died *before* the fsync.
+    pub prefsync_recovered: usize,
+    /// Members recovered after the leader died *after* the fsync but
+    /// before waking the cohort (must equal `cohort`).
+    pub postfsync_recovered: usize,
+}
+
+fn group_store_key(i: usize) -> Vec<u8> {
+    format!("gk{i:04}").into_bytes()
+}
+
+fn open_group_store(
+    dir: &std::path::Path,
+    faults: Arc<FaultPolicy>,
+) -> Arc<hipac_storage::DurableStore> {
+    let store = Arc::new(
+        hipac_storage::DurableStore::open_with_faults(dir, 1024, u64::MAX, faults)
+            .expect("open group store"),
+    );
+    // A wide straggler window plus the barrier in `group_burst` makes
+    // cohort formation deterministic: the leader only flushes once
+    // every live committer is queued (or 100ms pass, which no healthy
+    // thread needs to reach its enqueue).
+    store.set_group_commit(true, Duration::from_millis(100));
+    store
+}
+
+/// Commit `committers` single-Put batches from as many threads so
+/// they land in **one** cohort, deterministically, even on one core.
+///
+/// A barrier alone cannot do that: the first thread released may run
+/// its whole commit before any other is scheduled, and the
+/// degenerate-to-immediate window (`queued >= committers`) then
+/// flushes a cohort of one. So a *plug* commit goes first: members
+/// spin until the plug's WAL append crosses the fault policy — at
+/// which point the plug holds the flush mutex and is headed into the
+/// cohort fsync — then all enter `commit`. Each member registers on
+/// the committers gauge before queuing, so whichever member leads
+/// after the plug releases waits out the straggler window until every
+/// member is queued.
+///
+/// Returns `(plug_outcome, member_outcomes)`.
+#[allow(clippy::type_complexity)]
+fn group_burst(
+    store: &Arc<hipac_storage::DurableStore>,
+    faults: &Arc<FaultPolicy>,
+    committers: usize,
+    seed: u64,
+) -> (
+    std::result::Result<(), hipac_common::HipacError>,
+    Vec<std::result::Result<(), hipac_common::HipacError>>,
+) {
+    let hits_before = faults.hits();
+    let barrier = Arc::new(std::sync::Barrier::new(committers + 1));
+    let mut joins = Vec::new();
+    for i in 0..committers {
+        let store = Arc::clone(store);
+        let barrier = Arc::clone(&barrier);
+        let faults = Arc::clone(faults);
+        joins.push(std::thread::spawn(move || {
+            let ops = vec![hipac_storage::StoreOp::Put {
+                key: group_store_key(i),
+                value: seed.to_le_bytes().to_vec(),
+            }];
+            barrier.wait();
+            while faults.hits() == hits_before {
+                std::thread::yield_now();
+            }
+            store.commit(TxnId(1000 + i as u64), &ops)
+        }));
+    }
+    let plug = {
+        let store = Arc::clone(store);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let ops = vec![hipac_storage::StoreOp::Put {
+                key: b"gplug".to_vec(),
+                value: seed.to_le_bytes().to_vec(),
+            }];
+            barrier.wait();
+            store.commit(TxnId(999), &ops)
+        })
+    };
+    let plug_result = plug.join().expect("plug committer panicked");
+    let member_results = joins
+        .into_iter()
+        .map(|j| j.join().expect("committer panicked"))
+        .collect();
+    (plug_result, member_results)
+}
+
+/// Arm a crash at absolute fault-point `hit`, run the cohort burst,
+/// then recover with a clean policy and count surviving members.
+/// Structural invariants asserted here: the crash fired, the cohort
+/// did not split, and **no member was acked** — the flush fails the
+/// whole cohort, so an ack can never precede the cohort's fsync.
+fn group_crash_phase(seed: u64, committers: usize, hit: u64, tag: &str) -> usize {
+    let dir = fresh_dir(&format!("groupmatrix-{tag}"), seed);
+    let faults = FaultPolicy::crash_at(hit, seed);
+    {
+        let store = open_group_store(&dir, Arc::clone(&faults));
+        let (plug, members) = group_burst(&store, &faults, committers, seed);
+        assert!(
+            faults.has_crashed(),
+            "{tag}: armed crash at hit {hit} never fired"
+        );
+        plug.expect("plug commit precedes the armed crash");
+        let stats = store.group_commit_stats();
+        assert_eq!(
+            stats.largest_group, committers as u64,
+            "{tag}: cohort split under the crash run"
+        );
+        for (i, r) in members.iter().enumerate() {
+            assert!(
+                r.is_err(),
+                "{tag}: member {i} was acked although its cohort's flush crashed"
+            );
+        }
+    }
+    // "Reboot": reopen the same directory with a clean policy.
+    let store = open_group_store(&dir, FaultPolicy::none());
+    assert!(
+        store.get(b"gplug").expect("recovered store must read").is_some(),
+        "{tag}: the acked plug commit was lost"
+    );
+    let mut recovered = 0usize;
+    for i in 0..committers {
+        if store
+            .get(&group_store_key(i))
+            .expect("recovered store must read")
+            .is_some()
+        {
+            recovered += 1;
+        }
+    }
+    // Recovery equality: the cohort shares one WAL flush, so recovery
+    // treats every member identically — all present or none.
+    assert!(
+        recovered == 0 || recovered == committers,
+        "{tag}: recovery split the cohort ({recovered}/{committers} members)"
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    recovered
+}
+
+/// Crash-matrix extension for the group-commit window: the leader dies
+/// (a) *pre-fsync*, at the cohort's `WalSync`, and (b) *post-fsync
+/// pre-wake*, at `GroupWake` — the cohort-wide "durable but unacked"
+/// window. Phase (b) must recover **every** cohort member: the fsync
+/// covered all of them, and none was acked.
+///
+/// Crash placement is calibrated, not guessed: a count-only run of the
+/// identical burst logs the fault points the cohort crosses, and the
+/// crash runs arm those exact indices.
+pub fn run_group_crash_matrix(seed: u64, committers: usize) -> GroupCrashMatrixReport {
+    use hipac_storage::fault::FaultPoint;
+
+    // Calibration: find the cohort's WalSync and GroupWake indices.
+    let (wal_sync_hit, group_wake_hit) = {
+        let dir = fresh_dir("groupmatrix-calib", seed);
+        let faults = FaultPolicy::count_only();
+        let store = open_group_store(&dir, Arc::clone(&faults));
+        let (plug, members) = group_burst(&store, &faults, committers, seed);
+        plug.expect("calibration plug commit failed");
+        assert!(members.iter().all(|r| r.is_ok()), "calibration burst failed");
+        let stats = store.group_commit_stats();
+        assert_eq!(
+            stats.largest_group, committers as u64,
+            "calibration cohort split; widen the straggler window"
+        );
+        let log = faults.log();
+        let wake = log
+            .iter()
+            .rposition(|p| *p == FaultPoint::GroupWake)
+            .expect("cohort never crossed GroupWake");
+        let sync = log[..wake]
+            .iter()
+            .rposition(|p| *p == FaultPoint::WalSync)
+            .expect("no WalSync before the cohort's GroupWake");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        (sync as u64, wake as u64)
+    };
+
+    let prefsync_recovered = group_crash_phase(seed, committers, wal_sync_hit, "prefsync");
+    let postfsync_recovered = group_crash_phase(seed, committers, group_wake_hit, "postfsync");
+    assert_eq!(
+        postfsync_recovered, committers,
+        "post-fsync pre-wake crash lost cohort members: the fsync made \
+         the whole cohort durable before the crash"
+    );
+
+    GroupCrashMatrixReport {
+        cohort: committers as u64,
+        wal_sync_hit,
+        group_wake_hit,
+        prefsync_recovered,
+        postfsync_recovered,
+    }
+}

@@ -76,3 +76,21 @@ fn restart_torture_keeps_exactly_once_across_seeds() {
         "no journal replay observed across any seed"
     );
 }
+
+/// Group-commit crash matrix: the leader dying pre-fsync refuses the
+/// whole cohort (recovery may keep all members or none, never a
+/// subset), and dying post-fsync pre-wake — the cohort-wide "durable
+/// but unacked" window — recovers every member.
+#[test]
+fn group_commit_crash_matrix() {
+    for seed in [3u64, 17] {
+        let report = hipac_check::run_group_crash_matrix(seed, 6);
+        assert_eq!(report.cohort, 6);
+        assert_eq!(report.postfsync_recovered, 6);
+        assert!(
+            report.group_wake_hit > report.wal_sync_hit,
+            "seed {seed}: wake point must follow the cohort fsync ({report:?})"
+        );
+        assert!(report.prefsync_recovered == 0 || report.prefsync_recovered == 6);
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod client;
 pub mod proto;
+pub mod reactor;
 pub mod server;
 
 pub use client::{ClientConfig, FleetClient, HipacClient};

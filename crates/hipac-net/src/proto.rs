@@ -55,9 +55,11 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// v6: rule-matching gauges — five discrimination-network / memo
 /// counters appended to Stats (same additive presence-based decoding
 /// as the v5 block).
-pub const PROTOCOL_VERSION: u32 = 6;
+/// v7: hot-path gauges — group-commit cohort counters and the reactor
+/// shard count appended to Stats (additive, presence-decoded).
+pub const PROTOCOL_VERSION: u32 = 7;
 
-/// Oldest protocol version this build still speaks (the v5/v6
+/// Oldest protocol version this build still speaks (the v5–v7
 /// additions are gated on the negotiated version, everything else is
 /// unchanged since v4).
 pub const MIN_PROTOCOL_VERSION: u32 = 4;
@@ -275,6 +277,12 @@ pub struct WireStats {
     pub match_pruned: u64,
     pub memo_hits: u64,
     pub memo_invalidations: u64,
+    // ---- v7 hot-path gauges (encoded only to v7 peers; decoded by
+    // presence like the v5/v6 blocks) ----
+    pub group_commits: u64,
+    pub group_commit_txns: u64,
+    pub group_commit_largest: u64,
+    pub reactor_shards: u64,
 }
 
 impl WireStats {
@@ -327,6 +335,16 @@ impl WireStats {
                 put_uvarint(buf, v);
             }
         }
+        if version >= 7 {
+            for v in [
+                self.group_commits,
+                self.group_commit_txns,
+                self.group_commit_largest,
+                self.reactor_shards,
+            ] {
+                put_uvarint(buf, v);
+            }
+        }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
@@ -353,6 +371,13 @@ impl WireStats {
         }
         let [match_index_nodes, match_probes, match_pruned, memo_hits, memo_invalidations] =
             matching;
+        let mut hot = [0u64; 4];
+        if *pos < buf.len() {
+            for f in &mut hot {
+                *f = get_uvarint(buf, pos)?;
+            }
+        }
+        let [group_commits, group_commit_txns, group_commit_largest, reactor_shards] = hot;
         let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters, shed_adaptive, journal_replays, pushes_redelivered] =
             fields;
         Ok(WireStats {
@@ -388,6 +413,10 @@ impl WireStats {
             match_pruned,
             memo_hits,
             memo_invalidations,
+            group_commits,
+            group_commit_txns,
+            group_commit_largest,
+            reactor_shards,
         })
     }
 }
@@ -1445,6 +1474,10 @@ mod tests {
                 match_pruned: 29,
                 memo_hits: 30,
                 memo_invalidations: 31,
+                group_commits: 32,
+                group_commit_txns: 33,
+                group_commit_largest: 34,
+                reactor_shards: 35,
             })),
             Reply::Err {
                 kind: "UnknownClass".into(),

@@ -1,11 +1,15 @@
 //! [`HipacServer`]: the active DBMS behind a TCP listener.
 //!
-//! Sessions are served one-per-connection on a bounded worker pool: an
-//! accept thread hands sockets to `workers` session threads through a
-//! bounded crossbeam channel, so at most `workers` sessions run
-//! concurrently and at most `max_pending` more wait in the queue;
-//! connections beyond that are refused with an error frame instead of
-//! queueing unboundedly.
+//! Connections are served by a sharded reactor: `reactor_shards`
+//! event-loop threads multiplex all sockets (non-blocking, via the
+//! [`crate::reactor`] epoll facade), so an idle connection costs one
+//! registered fd — no thread, no stack. Complete frames dispatch onto
+//! a pool of `workers` threads; a per-connection queue keeps each
+//! session's requests strictly ordered, and a full queue pauses that
+//! connection's reads (per-connection backpressure) until the worker
+//! drains it. The server admits at most `workers + max_pending`
+//! concurrent connections; beyond that it refuses with an error frame
+//! instead of queueing unboundedly.
 //!
 //! The paper's §4.1 role reversal — the DBMS calling the application —
 //! crosses the network through subscriptions: a client that sends
@@ -32,6 +36,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -77,6 +82,18 @@ pub struct ServerConfig {
     /// flight. `None` disables it; `max_inflight` remains the hard
     /// cap.
     pub shed_queue_delay: Option<Duration>,
+    /// Reactor shards: event-loop threads multiplexing all connections
+    /// over non-blocking sockets. Each connection is owned by exactly
+    /// one shard for reading; complete frames dispatch onto the
+    /// `workers` pool. `0` picks a default from the machine's
+    /// parallelism. Idle connections cost one registered fd each — no
+    /// stack, no thread.
+    pub reactor_shards: usize,
+    /// Bound on one push-frame write to a slow subscriber before it is
+    /// culled (its unacked pushes stay in the outbox for redelivery).
+    /// The batched fan-out writes every subscriber opportunistically
+    /// first, so a slow subscriber only ever delays itself.
+    pub push_write_timeout: Duration,
     /// Semi-synchronous replication: gate each successful commit ack on
     /// every connected replica having reported durable application up
     /// to the committing frontier, so an acknowledged write never
@@ -100,6 +117,8 @@ impl Default for ServerConfig {
             reply_journal: true,
             outbox_cap: 256,
             shed_queue_delay: None,
+            reactor_shards: 0,
+            push_write_timeout: Duration::from_secs(5),
             sync_repl: false,
             sync_repl_timeout: Duration::from_millis(250),
         }
@@ -108,6 +127,26 @@ impl Default for ServerConfig {
 
 /// How often blocked reads wake to check idle/shutdown state.
 const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Lock stripes for the shard-local session maps. Keys hash to a
+/// stripe independently of which reactor shard serves the connection,
+/// so the *same* client id or handler name always lands on the same
+/// stripe no matter where (or when) its connection is homed — which is
+/// exactly what keeps dedup and outbox semantics stable when a client
+/// reconnects onto a different shard.
+const STATE_STRIPES: usize = 16;
+
+fn stripe_of_u64(key: u64) -> usize {
+    // Fibonacci hash: client ids are sequential in tests.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize % STATE_STRIPES
+}
+
+fn stripe_of_str(key: &str) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    stripe_of_u64(h.finish())
+}
 
 /// Subscription table: handler name -> sessions serving it. The engine
 /// sees one proxy `ApplicationHandler` per name; the proxy fans out to
@@ -120,10 +159,18 @@ const READ_TICK: Duration = Duration::from_millis(50);
 /// subscribe instead of vanishing. The first ack clears the frame —
 /// with multiple subscribers per handler, redelivery is exactly-once
 /// per *subscription*, not per subscriber.
+///
+/// Both maps are striped by handler hash (see [`STATE_STRIPES`]): the
+/// reactor serves every connection from a few shard threads plus the
+/// dispatch pool, and one global lock here would serialize unrelated
+/// handlers' pushes across all of them.
 struct Subscriptions {
-    by_handler: RwLock<HashMap<String, Vec<Subscriber>>>,
-    outbox: Mutex<HashMap<String, HandlerOutbox>>,
+    by_handler: Vec<RwLock<HashMap<String, Vec<Subscriber>>>>,
+    outbox: Vec<Mutex<HashMap<String, HandlerOutbox>>>,
     outbox_cap: usize,
+    /// Bound on one push write to a lagging subscriber (second phase of
+    /// the fan-out; the first phase never waits).
+    push_write_timeout: Duration,
     /// Persist outbox records and sequence counters when serving a
     /// durable database (counters must survive restarts: reusing a
     /// sequence would make clients silently drop a fresh push as a
@@ -145,15 +192,28 @@ struct Subscriber {
 }
 
 impl Subscriptions {
-    fn new(outbox_cap: usize, durable: Option<Arc<DurableStore>>) -> Arc<Subscriptions> {
+    fn new(
+        outbox_cap: usize,
+        push_write_timeout: Duration,
+        durable: Option<Arc<DurableStore>>,
+    ) -> Arc<Subscriptions> {
         let subs = Subscriptions {
-            by_handler: RwLock::new(HashMap::new()),
-            outbox: Mutex::new(HashMap::new()),
+            by_handler: (0..STATE_STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
+            outbox: (0..STATE_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
             outbox_cap: outbox_cap.max(1),
+            push_write_timeout,
             durable,
         };
         subs.restore();
         Arc::new(subs)
+    }
+
+    fn handlers(&self, handler: &str) -> &RwLock<HashMap<String, Vec<Subscriber>>> {
+        &self.by_handler[stripe_of_str(handler)]
+    }
+
+    fn outbox_stripe(&self, handler: &str) -> &Mutex<HashMap<String, HandlerOutbox>> {
+        &self.outbox[stripe_of_str(handler)]
     }
 
     /// Rebuild the outbox and sequence counters from storage after a
@@ -161,7 +221,6 @@ impl Subscriptions {
     /// never replayed.
     fn restore(&self) {
         let Some(d) = &self.durable else { return };
-        let mut ob = self.outbox.lock();
         if let Ok(entries) = d.scan_prefix(&[journal::PUSH_SEQ_PREFIX]) {
             for (key, value) in entries {
                 let (Some(handler), Some(raw)) =
@@ -170,7 +229,11 @@ impl Subscriptions {
                     continue;
                 };
                 if let Ok(bytes) = <[u8; 8]>::try_from(raw) {
-                    ob.entry(handler).or_default().next_seq = u64::from_be_bytes(bytes);
+                    self.outbox_stripe(&handler)
+                        .lock()
+                        .entry(handler)
+                        .or_default()
+                        .next_seq = u64::from_be_bytes(bytes);
                 }
             }
         }
@@ -181,6 +244,7 @@ impl Subscriptions {
                 else {
                     continue;
                 };
+                let mut ob = self.outbox_stripe(&handler).lock();
                 let h = ob.entry(handler).or_default();
                 h.unacked.insert(seq, frame.to_vec());
                 h.next_seq = h.next_seq.max(seq + 1);
@@ -197,7 +261,7 @@ impl Subscriptions {
         session: u64,
         writer: Arc<Mutex<TcpStream>>,
     ) {
-        let mut map = self.by_handler.write();
+        let mut map = self.handlers(handler).write();
         let subs = map.entry(handler.to_owned()).or_default();
         if !subs.iter().any(|s| s.session == session) {
             subs.push(Subscriber { session, writer });
@@ -214,7 +278,7 @@ impl Subscriptions {
     /// Remove `session` from `handler`'s subscribers; unregisters the
     /// proxy when the list empties.
     fn unsubscribe(&self, db: &ActiveDatabase, handler: &str, session: u64) {
-        let mut map = self.by_handler.write();
+        let mut map = self.handlers(handler).write();
         if let Some(subs) = map.get_mut(handler) {
             subs.retain(|s| s.session != session);
             if subs.is_empty() {
@@ -226,16 +290,18 @@ impl Subscriptions {
 
     /// Remove `session` from every handler it serves.
     fn drop_session(&self, db: &ActiveDatabase, session: u64) {
-        let mut map = self.by_handler.write();
-        map.retain(|handler, subs| {
-            subs.retain(|s| s.session != session);
-            if subs.is_empty() {
-                db.unregister_handler(handler);
-                false
-            } else {
-                true
-            }
-        });
+        for stripe in &self.by_handler {
+            let mut map = stripe.write();
+            map.retain(|handler, subs| {
+                subs.retain(|s| s.session != session);
+                if subs.is_empty() {
+                    db.unregister_handler(handler);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
     }
 
     /// Push `request` to every subscriber of `handler`.
@@ -247,13 +313,21 @@ impl Subscriptions {
     /// reconnecting subscriber picks it up on re-subscribe. Delivery
     /// fails only when nobody subscribes to the handler at all or the
     /// outbox is full (backpressure into the triggering rule action).
+    /// Batched fan-out: the frame is encoded **once** and written to
+    /// every subscriber in two phases. Phase 1 writes opportunistically
+    /// (non-blocking — a subscriber whose socket has room costs one
+    /// syscall and never waits on its peers); phase 2 finishes the
+    /// stragglers with a bounded blocking write, so one wedged
+    /// subscriber delays only itself, up to `push_write_timeout`, and
+    /// is then culled. Its unacked frames stay in the outbox for
+    /// redelivery — per-subscriber backpressure without loss.
     fn deliver(
         &self,
         handler: &str,
         request: &str,
         args: &HashMap<String, Value>,
     ) -> HipacResult<()> {
-        let subscribers: Vec<Subscriber> = match self.by_handler.read().get(handler) {
+        let subscribers: Vec<Subscriber> = match self.handlers(handler).read().get(handler) {
             Some(subs) => subs.clone(),
             None => Vec::new(),
         };
@@ -261,7 +335,7 @@ impl Subscriptions {
             return Err(HipacError::NoApplicationHandler(handler.to_owned()));
         }
         let frame = {
-            let mut ob = self.outbox.lock();
+            let mut ob = self.outbox_stripe(handler).lock();
             let h = ob.entry(handler.to_owned()).or_default();
             if h.unacked.len() >= self.outbox_cap {
                 return Err(HipacError::InUse(format!(
@@ -299,15 +373,29 @@ impl Subscriptions {
             h.unacked.insert(seq, frame.clone());
             frame
         };
+        // Phase 1: one opportunistic pass over everyone.
+        let mut pending: Vec<(usize, usize)> = Vec::new(); // (subscriber, bytes already written)
         let mut dead = Vec::new();
-        for sub in &subscribers {
+        for (i, sub) in subscribers.iter().enumerate() {
             let mut w = sub.writer.lock();
-            if w.write_all(&frame).is_err() {
+            match crate::reactor::try_write_prefix(&mut w, &frame) {
+                Ok(n) if n == frame.len() => {}
+                Ok(n) => pending.push((i, n)),
+                Err(_) => dead.push(sub.session),
+            }
+        }
+        // Phase 2: bounded blocking finish for the backed-up sockets.
+        for (i, off) in pending {
+            let sub = &subscribers[i];
+            let mut w = sub.writer.lock();
+            if crate::reactor::write_all_timeout(&mut w, &frame[off..], self.push_write_timeout)
+                .is_err()
+            {
                 dead.push(sub.session);
             }
         }
         if !dead.is_empty() {
-            let mut map = self.by_handler.write();
+            let mut map = self.handlers(handler).write();
             if let Some(subs) = map.get_mut(handler) {
                 subs.retain(|s| !dead.contains(&s.session));
             }
@@ -318,7 +406,7 @@ impl Subscriptions {
     /// Drop an acked frame from the outbox (and storage).
     fn ack(&self, handler: &str, seq: u64) {
         let removed = {
-            let mut ob = self.outbox.lock();
+            let mut ob = self.outbox_stripe(handler).lock();
             ob.get_mut(handler)
                 .map(|h| h.unacked.remove(&seq).is_some())
                 .unwrap_or(false)
@@ -343,7 +431,7 @@ impl Subscriptions {
     /// many frames were redelivered.
     fn redeliver(&self, handler: &str, writer: &Arc<Mutex<TcpStream>>) -> u64 {
         let frames: Vec<Vec<u8>> = {
-            let ob = self.outbox.lock();
+            let ob = self.outbox_stripe(handler).lock();
             match ob.get(handler) {
                 Some(h) => h.unacked.values().cloned().collect(),
                 None => Vec::new(),
@@ -352,7 +440,7 @@ impl Subscriptions {
         let mut n = 0u64;
         let mut w = writer.lock();
         for frame in &frames {
-            if w.write_all(frame).is_err() {
+            if crate::reactor::write_all_timeout(&mut w, frame, self.push_write_timeout).is_err() {
                 break;
             }
             n += 1;
@@ -363,9 +451,14 @@ impl Subscriptions {
     /// Total unacked push frames across all handlers (test/ops gauge).
     fn unacked_total(&self) -> u64 {
         self.outbox
-            .lock()
-            .values()
-            .map(|h| h.unacked.len() as u64)
+            .iter()
+            .map(|stripe| {
+                stripe
+                    .lock()
+                    .values()
+                    .map(|h| h.unacked.len() as u64)
+                    .sum::<u64>()
+            })
             .sum()
     }
 }
@@ -437,8 +530,9 @@ impl ReplHub {
     /// Ok, which the replica's handshake would have to reorder.
     fn subscribe(&self, session: u64, writer: Arc<Mutex<TcpStream>>, start_lsn: u64) {
         // A wedged replica must not block the shipper forever: writes
-        // time out, the peer is culled, and the replica resubscribes.
-        let _ = writer.lock().set_write_timeout(Some(REPL_WRITE_TIMEOUT));
+        // go through `write_all_timeout(REPL_WRITE_TIMEOUT)` (sockets
+        // are non-blocking under the reactor), the peer is culled, and
+        // the replica resubscribes.
         let mut peers = self.peers.lock();
         peers.retain(|p| p.session != session);
         peers.push(ReplPeer {
@@ -520,7 +614,13 @@ impl ReplHub {
                                     ops: b.ops.clone(),
                                 })
                                 .encode_versioned(PROTOCOL_VERSION);
-                                if w.write_all(&frame).is_err() {
+                                if crate::reactor::write_all_timeout(
+                                    &mut w,
+                                    &frame,
+                                    REPL_WRITE_TIMEOUT,
+                                )
+                                .is_err()
+                                {
                                     dead = true;
                                     break;
                                 }
@@ -586,8 +686,11 @@ impl ReplHub {
     fn ship_snapshot(d: &Arc<DurableStore>, writer: &Mutex<TcpStream>) -> Option<u64> {
         let (snapshot_lsn, pairs) = d.snapshot_for_repl().ok()?;
         let mut w = writer.lock();
+        let send = |w: &mut TcpStream, frame: &[u8]| {
+            crate::reactor::write_all_timeout(w, frame, REPL_WRITE_TIMEOUT).is_ok()
+        };
         let begin = Frame::Repl(ReplMsg::SnapshotBegin { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
-        if w.write_all(&begin).is_err() {
+        if !send(&mut w, &begin) {
             return None;
         }
         // Chunk by payload volume so no frame approaches the cap.
@@ -602,7 +705,7 @@ impl ReplHub {
                 })
                 .encode_versioned(PROTOCOL_VERSION);
                 chunk_bytes = 0;
-                if w.write_all(&frame).is_err() {
+                if !send(&mut w, &frame) {
                     return None;
                 }
             }
@@ -610,12 +713,12 @@ impl ReplHub {
         if !chunk.is_empty() {
             let frame =
                 Frame::Repl(ReplMsg::SnapshotChunk { pairs: chunk }).encode_versioned(PROTOCOL_VERSION);
-            if w.write_all(&frame).is_err() {
+            if !send(&mut w, &frame) {
                 return None;
             }
         }
         let end = Frame::Repl(ReplMsg::SnapshotEnd { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
-        if w.write_all(&end).is_err() {
+        if !send(&mut w, &end) {
             return None;
         }
         Some(snapshot_lsn)
@@ -636,7 +739,8 @@ impl ReplHub {
             .collect();
         let mut dead = Vec::new();
         for (session, w) in writers {
-            if w.lock().write_all(&frame).is_err() {
+            if crate::reactor::write_all_timeout(&mut w.lock(), &frame, REPL_WRITE_TIMEOUT).is_err()
+            {
                 dead.push(session);
             }
         }
@@ -698,7 +802,12 @@ struct ServerShared {
     /// an Io outcome *safe* to leave ambiguous — the retry resolves it
     /// against the recovered journal, not against poisoned state.
     storage_poisoned: AtomicBool,
-    dedup: Mutex<DedupWindow>,
+    /// Idempotency window, striped by client-id hash ([`stripe_of_u64`])
+    /// so sessions served from different reactor shards never contend
+    /// on one global lock — and so the *same* client always probes the
+    /// same stripe no matter which shard its reconnected socket lands
+    /// on (cross-shard dedup correctness is by key, not by shard).
+    dedup: Vec<Mutex<DedupWindow>>,
     /// Journal keys evicted from the in-memory window, awaiting a
     /// piggybacked durable delete on the next journaled commit.
     pending_evictions: Mutex<Vec<(u64, u64)>>,
@@ -717,9 +826,15 @@ impl ServerShared {
             in_flight: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             storage_poisoned: AtomicBool::new(false),
-            dedup: Mutex::new(DedupWindow::new(dedup_window)),
+            dedup: (0..STATE_STRIPES)
+                .map(|_| Mutex::new(DedupWindow::new(dedup_window)))
+                .collect(),
             pending_evictions: Mutex::new(Vec::new()),
         })
+    }
+
+    fn dedup_stripe(&self, client: u64) -> &Mutex<DedupWindow> {
+        &self.dedup[stripe_of_u64(client)]
     }
 }
 
@@ -843,6 +958,143 @@ impl DedupWindow {
     }
 }
 
+/// Dispatch-queue depth at which a connection's reads are paused (its
+/// `EPOLLIN` interest disarmed) until a worker drains the queue:
+/// per-connection backpressure that cannot be bought with memory. A
+/// pipelining client slows down; everyone else is unaffected.
+const PENDING_CAP: usize = 64;
+
+/// Bound on writing one response frame to a (non-blocking) client
+/// socket from a worker; a client that will not drain its own replies
+/// is disconnected rather than allowed to pin a worker.
+const RESPONSE_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Poller token reserved for a shard's wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// How often a shard sweeps its connections for idle timeouts.
+const IDLE_SWEEP_EVERY: Duration = Duration::from_millis(100);
+
+/// Resolved shard count: the explicit knob, or a small default from
+/// the machine's parallelism (shards are event loops, not compute —
+/// a few go a long way).
+fn resolve_shards(knob: usize) -> usize {
+    if knob > 0 {
+        return knob;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// One unit of per-connection work, ordered through [`ConnQueue`].
+enum WorkItem {
+    /// A complete request frame read by the owning shard.
+    Frame(Vec<u8>),
+    /// Session teardown — enqueued by the shard when it retires the
+    /// connection, so it runs strictly after every in-flight frame.
+    Teardown,
+}
+
+/// The per-connection dispatch queue. `busy` marks a worker currently
+/// draining it; the shard only submits the connection to the job
+/// channel on the false→true transition, so at most one worker works a
+/// connection at a time and its requests stay strictly ordered.
+struct ConnQueue {
+    busy: bool,
+    pending: VecDeque<WorkItem>,
+}
+
+/// Session state mutated by workers (one at a time, by construction).
+struct SessionCore {
+    /// Protocol version negotiated by the last `Ping` — the minimum of
+    /// both ends, governing version-dependent reply encodings. Until a
+    /// ping arrives the session conservatively speaks the oldest
+    /// supported version.
+    negotiated: u32,
+    /// Transactions begun by this session and not yet terminated.
+    open_txns: HashSet<TxnId>,
+    /// A `ReplSubscribe` accepted but not yet registered with the hub.
+    /// Registration is deferred until the Ok response frame has been
+    /// written to the socket: were the peer registered first, the
+    /// shipper could interleave Repl frames *before* the Ok on the
+    /// shared writer, and the replica's handshake would have to cope
+    /// with replicated data arriving ahead of the acknowledgement.
+    pending_repl: Option<u64>,
+}
+
+/// Connection state shared between the owning shard (which reads) and
+/// the worker pool (which executes and writes).
+struct ConnShared {
+    id: u64,
+    /// The reactor shard owning this connection's socket reads.
+    shard: usize,
+    writer: Arc<Mutex<TcpStream>>,
+    core: Mutex<SessionCore>,
+    queue: Mutex<ConnQueue>,
+    /// Set by a worker on a doomed connection (response write failed,
+    /// protocol violation): queued frames are skipped and the shard
+    /// retires the socket at its next wake.
+    dead: AtomicBool,
+    /// Reads disarmed because the dispatch queue hit [`PENDING_CAP`];
+    /// the draining worker asks the shard to re-arm.
+    paused: AtomicBool,
+}
+
+/// Shard-private per-connection state (owned by the shard thread).
+struct ShardConn {
+    stream: TcpStream,
+    frames: TickReader,
+    last_activity: Instant,
+    shared: Arc<ConnShared>,
+}
+
+/// A shard's mailbox, shared with the accept thread and the workers.
+struct ShardHandle {
+    /// Freshly admitted sockets awaiting adoption by the shard.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Connection ids whose reads should be re-armed (queue drained).
+    resume: Mutex<Vec<u64>>,
+    /// Write end of the shard's wake pipe.
+    wake: Mutex<TcpStream>,
+}
+
+/// Everything a worker needs to execute a session's request — the
+/// read-only server context threaded through the pool.
+struct ServerCtx {
+    db: Arc<ActiveDatabase>,
+    subs: Arc<Subscriptions>,
+    shared: Arc<ServerShared>,
+    cfg: ServerConfig,
+    /// The durable store for the reply journal (None when journaling
+    /// is off or the database is in-memory).
+    journal: Option<Arc<DurableStore>>,
+    repl: Arc<ReplHub>,
+    shards: Vec<Arc<ShardHandle>>,
+    /// Resolved shard count, served in `Stats`.
+    reactor_shards: usize,
+}
+
+/// Append `item` to the connection's queue and submit the connection
+/// to the worker pool if no worker is already draining it. Returns the
+/// queue depth after the push (the shard's pause signal).
+fn enqueue(
+    conn: &Arc<ConnShared>,
+    item: WorkItem,
+    jobs: &crossbeam::channel::Sender<Arc<ConnShared>>,
+) -> usize {
+    let mut q = conn.queue.lock();
+    q.pending.push_back(item);
+    let depth = q.pending.len();
+    if !q.busy {
+        q.busy = true;
+        drop(q);
+        let _ = jobs.send(Arc::clone(conn));
+    }
+    depth
+}
+
 /// A running network front end over an [`ActiveDatabase`].
 ///
 /// Dropping the server shuts it down gracefully: the listener stops
@@ -853,13 +1105,18 @@ pub struct HipacServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    session_threads: Vec<JoinHandle<()>>,
-    /// Connections refused because the pending queue was full.
+    shard_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    /// The original job sender; dropped at shutdown (after the shards —
+    /// the only other senders — have joined) to release the workers.
+    jobs: Option<crossbeam::channel::Sender<Arc<ConnShared>>>,
+    /// Connections refused because the admission cap was reached.
     refused: Arc<AtomicU64>,
     shared: Arc<ServerShared>,
     subscriptions: Arc<Subscriptions>,
     repl: Arc<ReplHub>,
     repl_thread: Option<JoinHandle<()>>,
+    ctx: Arc<ServerCtx>,
 }
 
 impl HipacServer {
@@ -877,7 +1134,9 @@ impl HipacServer {
     ) -> Result<HipacServer, WireError> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        // Polling accept: wake every tick to observe the shutdown flag.
+        // Non-blocking accept, driven by a poller on the listener fd:
+        // new connections accept immediately, and the bounded wait
+        // keeps the shutdown flag observable.
         listener.set_nonblocking(true)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -886,7 +1145,11 @@ impl HipacServer {
         } else {
             None
         };
-        let subscriptions = Subscriptions::new(config.outbox_cap, durable.clone());
+        let subscriptions = Subscriptions::new(
+            config.outbox_cap,
+            config.push_write_timeout,
+            durable.clone(),
+        );
         let refused = Arc::new(AtomicU64::new(0));
         let shared = ServerShared::new(config.dedup_window);
         if let Some(d) = &durable {
@@ -914,69 +1177,109 @@ impl HipacServer {
                 })
                 .expect("spawn repl shipper thread")
         };
-        let workers = config.workers.max(1);
-        let (conn_tx, conn_rx) = crossbeam::channel::bounded::<TcpStream>(config.max_pending.max(1));
+        let n_shards = resolve_shards(config.reactor_shards);
+        let mut shard_handles = Vec::with_capacity(n_shards);
+        let mut wake_readers = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (read_end, write_end) = crate::reactor::wake_pair()?;
+            shard_handles.push(Arc::new(ShardHandle {
+                inbox: Mutex::new(Vec::new()),
+                resume: Mutex::new(Vec::new()),
+                wake: Mutex::new(write_end),
+            }));
+            wake_readers.push(read_end);
+        }
+        let ctx = Arc::new(ServerCtx {
+            db: Arc::clone(&db),
+            subs: Arc::clone(&subscriptions),
+            shared: Arc::clone(&shared),
+            cfg: config.clone(),
+            journal: durable,
+            repl: Arc::clone(&repl),
+            shards: shard_handles,
+            reactor_shards: n_shards,
+        });
 
-        let mut session_threads = Vec::with_capacity(workers);
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<Arc<ConnShared>>();
+        let workers = config.workers.max(1);
+        let mut worker_threads = Vec::with_capacity(workers);
         for n in 0..workers {
-            let rx = conn_rx.clone();
-            let db = Arc::clone(&db);
-            let subs = Arc::clone(&subscriptions);
-            let stop = Arc::clone(&shutdown);
-            let shared = Arc::clone(&shared);
-            let cfg = config.clone();
-            let journal = durable.clone();
-            let hub = Arc::clone(&repl);
-            session_threads.push(
+            let rx = job_rx.clone();
+            let ctx = Arc::clone(&ctx);
+            worker_threads.push(
                 std::thread::Builder::new()
-                    .name(format!("hipac-net-session-{n}"))
-                    .spawn(move || {
-                        // Channel closes when the accept thread drops the
-                        // last sender at shutdown.
-                        while let Ok(stream) = rx.recv() {
-                            let session = Session::new(
-                                &db, &subs, &stop, &shared, &cfg, &journal, &hub, stream,
-                            );
-                            if let Some(mut s) = session {
-                                s.run();
-                            }
-                        }
-                    })
-                    .expect("spawn session thread"),
+                    .name(format!("hipac-net-worker-{n}"))
+                    .spawn(move || worker_loop(ctx, rx))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let mut shard_threads = Vec::with_capacity(n_shards);
+        for (idx, wake_rx) in wake_readers.into_iter().enumerate() {
+            let handle = Arc::clone(&ctx.shards[idx]);
+            let ctx = Arc::clone(&ctx);
+            let jobs = job_tx.clone();
+            let stop = Arc::clone(&shutdown);
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("hipac-net-shard-{idx}"))
+                    .spawn(move || shard_loop(idx, handle, wake_rx, ctx, jobs, stop))
+                    .expect("spawn shard thread"),
             );
         }
 
         let accept_thread = {
             let stop = Arc::clone(&shutdown);
             let refused = Arc::clone(&refused);
-            let shared = Arc::clone(&shared);
+            let ctx = Arc::clone(&ctx);
+            // The listener is non-blocking so the shutdown flag stays
+            // observable; parking on a poller (instead of sleeping a
+            // tick) makes a connection sitting in the backlog accept
+            // immediately rather than up to READ_TICK later.
+            let accept_poller = crate::reactor::Poller::new()?;
+            accept_poller.add(listener.as_raw_fd(), 0)?;
+            // Admission cap: at most `workers` connections in active
+            // dispatch plus `max_pending` more whose requests wait
+            // their turn — same budget the thread-per-session design
+            // enforced, now decoupled from connection *count* costs
+            // (an admitted idle connection is just an fd).
+            let conn_cap = (config.workers.max(1) + config.max_pending).max(1) as u64;
             std::thread::Builder::new()
                 .name("hipac-net-accept".to_owned())
                 .spawn(move || {
+                    let mut rr = 0usize;
+                    let mut backlog_events = Vec::new();
                     while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _)) => {
-                                if shared.draining.load(Ordering::Acquire) {
+                                if ctx.shared.draining.load(Ordering::Acquire) {
                                     refuse(stream, "Draining", "server is draining");
                                     continue;
                                 }
-                                match conn_tx.try_send(stream) {
-                                    Ok(()) => {}
-                                    Err(crossbeam::channel::TrySendError::Full(stream)) => {
-                                        refused.fetch_add(1, Ordering::Relaxed);
-                                        refuse(stream, "ServerBusy", "connection limit reached");
-                                    }
-                                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => break,
+                                if ctx.shared.active_connections.load(Ordering::Acquire)
+                                    >= conn_cap
+                                {
+                                    refused.fetch_add(1, Ordering::Relaxed);
+                                    refuse(stream, "ServerBusy", "connection limit reached");
+                                    continue;
                                 }
+                                let _ = stream.set_nodelay(true);
+                                if stream.set_nonblocking(true).is_err() {
+                                    continue;
+                                }
+                                ctx.shared.active_connections.fetch_add(1, Ordering::Relaxed);
+                                let sh = &ctx.shards[rr % ctx.shards.len()];
+                                rr = rr.wrapping_add(1);
+                                sh.inbox.lock().push(stream);
+                                crate::reactor::signal_wake(&mut *sh.wake.lock());
                             }
                             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                std::thread::sleep(READ_TICK);
+                                backlog_events.clear();
+                                let _ = accept_poller.wait(&mut backlog_events, READ_TICK);
                             }
                             Err(_) => std::thread::sleep(READ_TICK),
                         }
                     }
-                    // Dropping conn_tx here closes the channel; session
-                    // threads exit once the queue drains.
                 })
                 .expect("spawn accept thread")
         };
@@ -986,12 +1289,15 @@ impl HipacServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
-            session_threads,
+            shard_threads,
+            worker_threads,
+            jobs: Some(job_tx),
             refused,
             shared,
             subscriptions,
             repl,
             repl_thread: Some(repl_thread),
+            ctx,
         })
     }
 
@@ -1051,17 +1357,30 @@ impl HipacServer {
         self.repl.peer_count()
     }
 
-    /// Stop accepting, interrupt live sessions at their next read tick,
-    /// abort their open transactions, and join all threads.
+    /// Stop accepting, interrupt live sessions at their next reactor
+    /// tick, abort their open transactions, and join all threads.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.repl_thread.take() {
+        // Wake the shards so they observe the flag promptly; each one
+        // enqueues a Teardown for every connection it owns on its way
+        // out (running after any frames already dispatched).
+        for sh in &self.ctx.shards {
+            crate::reactor::signal_wake(&mut *sh.wake.lock());
+        }
+        for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
-        for t in self.session_threads.drain(..) {
+        // The shards held the only other job senders; dropping ours
+        // closes the channel and the workers exit once the teardown
+        // queue drains.
+        self.jobs = None;
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.repl_thread.take() {
             let _ = t.join();
         }
     }
@@ -1113,7 +1432,6 @@ fn load_reply_journal(d: &Arc<DurableStore>, shared: &Arc<ServerShared>, window:
         Err(_) => return,
     };
     let mut dead_keys = Vec::new();
-    let mut dedup = shared.dedup.lock();
     for (key, value) in entries {
         let Some((client, seq)) = journal::parse_reply_key(&key) else {
             dead_keys.push(key);
@@ -1122,14 +1440,17 @@ fn load_reply_journal(d: &Arc<DurableStore>, shared: &Arc<ServerShared>, window:
         let reply = journal::unseal(&value).and_then(|raw| Reply::from_bytes(raw).ok());
         match reply {
             Some(reply) => {
-                for (c, s) in dedup.remember(client, seq, &reply, true, true) {
+                let evicted = shared
+                    .dedup_stripe(client)
+                    .lock()
+                    .remember(client, seq, &reply, true, true);
+                for (c, s) in evicted {
                     dead_keys.push(journal::reply_key(c, s));
                 }
             }
             None => dead_keys.push(key),
         }
     }
-    drop(dedup);
     if !dead_keys.is_empty() {
         let ops: Vec<StoreOp> = dead_keys
             .into_iter()
@@ -1219,478 +1540,607 @@ impl TickReader {
     }
 }
 
-/// One client connection: a read loop, a transaction table, and a
-/// shared writer handle (responses from this thread, pushes from
-/// whichever thread fires a subscribed rule).
-struct Session<'a> {
-    id: u64,
-    db: &'a Arc<ActiveDatabase>,
-    subs: &'a Arc<Subscriptions>,
-    stop: &'a AtomicBool,
-    shared: &'a ServerShared,
-    idle_timeout: Duration,
-    max_inflight: usize,
-    shed_queue_delay: Option<Duration>,
-    /// The durable store for the reply journal (None when journaling
-    /// is off or the database is in-memory).
-    journal: &'a Option<Arc<DurableStore>>,
-    repl: &'a Arc<ReplHub>,
-    sync_repl: bool,
-    sync_repl_timeout: Duration,
-    /// Protocol version negotiated by the last `Ping` — the minimum of
-    /// both ends, governing version-dependent reply encodings. Until a
-    /// ping arrives the session conservatively speaks the oldest
-    /// supported version.
-    negotiated: u32,
-    reader: TcpStream,
-    writer: Arc<Mutex<TcpStream>>,
-    /// Transactions begun by this session and not yet terminated.
-    open_txns: HashSet<TxnId>,
-    /// A `ReplSubscribe` accepted by `dispatch` but not yet registered
-    /// with the hub. Registration is deferred until the Ok response
-    /// frame has been written to the socket: were the peer registered
-    /// first, the shipper could interleave Repl frames *before* the Ok
-    /// on the shared writer, and the replica's handshake would have to
-    /// cope with replicated data arriving ahead of the acknowledgement.
-    pending_repl: Option<u64>,
-}
-
-impl<'a> Session<'a> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        db: &'a Arc<ActiveDatabase>,
-        subs: &'a Arc<Subscriptions>,
-        stop: &'a AtomicBool,
-        shared: &'a Arc<ServerShared>,
-        cfg: &ServerConfig,
-        journal: &'a Option<Arc<DurableStore>>,
-        repl: &'a Arc<ReplHub>,
-        stream: TcpStream,
-    ) -> Option<Session<'a>> {
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(READ_TICK)).ok();
-        let writer = Arc::new(Mutex::new(stream.try_clone().ok()?));
-        shared.active_connections.fetch_add(1, Ordering::Relaxed);
-        Some(Session {
-            id: NEXT_SESSION.fetch_add(1, Ordering::Relaxed),
-            db,
-            subs,
-            stop,
-            shared,
-            idle_timeout: cfg.idle_timeout,
-            max_inflight: cfg.max_inflight,
-            shed_queue_delay: cfg.shed_queue_delay,
-            journal,
-            repl,
-            sync_repl: cfg.sync_repl,
-            sync_repl_timeout: cfg.sync_repl_timeout,
-            negotiated: MIN_PROTOCOL_VERSION,
-            reader: stream,
-            writer,
-            open_txns: HashSet::new(),
-            pending_repl: None,
-        })
-    }
-
-    fn run(&mut self) {
-        let mut frames = TickReader::new();
-        let mut last_activity = Instant::now();
-        loop {
-            if self.stop.load(Ordering::Acquire) {
-                break;
+/// The reactor shard event loop: adopts admitted sockets, reads frames
+/// from every connection it owns, and dispatches complete frames to
+/// the worker pool through per-connection queues. All socket reads for
+/// a connection happen here — workers only write.
+fn shard_loop(
+    idx: usize,
+    handle: Arc<ShardHandle>,
+    mut wake_rx: TcpStream,
+    ctx: Arc<ServerCtx>,
+    jobs: crossbeam::channel::Sender<Arc<ConnShared>>,
+    stop: Arc<AtomicBool>,
+) {
+    let poller = crate::reactor::Poller::new().expect("create shard poller");
+    let _ = poller.add(wake_rx.as_raw_fd(), WAKE_TOKEN);
+    let mut conns: HashMap<u64, ShardConn> = HashMap::new();
+    let mut events: Vec<(u64, u32)> = Vec::new();
+    let mut last_idle_sweep = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        events.clear();
+        let _ = poller.wait(&mut events, READ_TICK);
+        let mut check_dead = false;
+        let round: Vec<(u64, u32)> = std::mem::take(&mut events);
+        for (token, _flags) in round {
+            if token == WAKE_TOKEN {
+                crate::reactor::drain_wake(&mut wake_rx);
+                check_dead = true;
+                continue;
             }
-            match frames.poll(&mut self.reader) {
-                Ok(Some(payload)) => {
-                    last_activity = Instant::now();
-                    match Frame::decode(&payload) {
-                        Ok(Frame::Request { id, meta, command }) => {
-                            let reply = self.handle(meta, command);
-                            let frame = Frame::Response { id, reply };
-                            let bytes = frame.encode_versioned(self.negotiated);
-                            if self.writer.lock().write_all(&bytes).is_err() {
-                                break;
-                            }
-                            if let Some(start_lsn) = self.pending_repl.take() {
-                                self.repl
-                                    .subscribe(self.id, Arc::clone(&self.writer), start_lsn);
-                            }
-                        }
-                        // Clients never send responses or pushes; treat
-                        // as a protocol violation and drop the session.
-                        _ => break,
-                    }
+            let Some(sc) = conns.get_mut(&token) else {
+                continue;
+            };
+            let mut kill = false;
+            loop {
+                if sc.shared.paused.load(Ordering::Acquire) {
+                    break;
                 }
-                Ok(None) => {
-                    // Read tick expired with no complete frame: enforce
-                    // the idle timeout, otherwise keep waiting.
-                    if last_activity.elapsed() >= self.idle_timeout {
+                match sc.frames.poll(&mut sc.stream) {
+                    Ok(Some(payload)) => {
+                        sc.last_activity = Instant::now();
+                        let depth = enqueue(&sc.shared, WorkItem::Frame(payload), &jobs);
+                        if depth >= PENDING_CAP {
+                            sc.shared.paused.store(true, Ordering::Release);
+                            let _ = poller.set_readable(sc.stream.as_raw_fd(), token, false);
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        kill = true;
                         break;
                     }
                 }
-                Err(_) => break, // EOF or transport error
+            }
+            if kill {
+                if let Some(sc) = conns.remove(&token) {
+                    retire(&poller, sc, &jobs);
+                }
             }
         }
-        self.teardown();
-    }
-
-    /// Abort open transactions and drop subscriptions on disconnect.
-    fn teardown(&mut self) {
-        self.shared.active_connections.fetch_sub(1, Ordering::Relaxed);
-        self.subs.drop_session(self.db, self.id);
-        self.repl.drop_session(self.id);
-        // Abort parents last: aborting a parent cascades to children,
-        // making the child abort a no-op error we ignore anyway.
-        let mut txns: Vec<TxnId> = self.open_txns.drain().collect();
-        txns.sort_by_key(|t| std::cmp::Reverse(t.raw()));
-        for t in txns {
-            let _ = self.db.abort(t);
+        // Adoption and resumes are signaled through the wake pipe, but
+        // checking the mailboxes every pass keeps the fallback poller
+        // (whose wakes are advisory) correct too.
+        for stream in handle.inbox.lock().drain(..) {
+            adopt(idx, stream, &poller, &mut conns, &ctx);
+        }
+        for id in handle.resume.lock().drain(..) {
+            if let Some(sc) = conns.get_mut(&id) {
+                sc.shared.paused.store(false, Ordering::Release);
+                // Level-triggered: buffered bytes re-report on re-arm.
+                let _ = poller.set_readable(sc.stream.as_raw_fd(), id, true);
+            }
+        }
+        if check_dead {
+            let doomed: Vec<u64> = conns
+                .iter()
+                .filter(|(_, sc)| sc.shared.dead.load(Ordering::Acquire))
+                .map(|(id, _)| *id)
+                .collect();
+            for id in doomed {
+                if let Some(sc) = conns.remove(&id) {
+                    retire(&poller, sc, &jobs);
+                }
+            }
+        }
+        if last_idle_sweep.elapsed() >= IDLE_SWEEP_EVERY {
+            last_idle_sweep = Instant::now();
+            let idle: Vec<u64> = conns
+                .iter()
+                .filter(|(_, sc)| sc.last_activity.elapsed() >= ctx.cfg.idle_timeout)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in idle {
+                if let Some(sc) = conns.remove(&id) {
+                    retire(&poller, sc, &jobs);
+                }
+            }
         }
     }
+    // Shutdown: adopt whatever the accept thread already admitted (so
+    // the gauge bookkeeping stays uniform), then retire everything.
+    // The teardowns run after any frames already dispatched.
+    for stream in handle.inbox.lock().drain(..) {
+        adopt(idx, stream, &poller, &mut conns, &ctx);
+    }
+    let ids: Vec<u64> = conns.keys().copied().collect();
+    for id in ids {
+        if let Some(sc) = conns.remove(&id) {
+            retire(&poller, sc, &jobs);
+        }
+    }
+}
 
-    /// The resilience pipeline around [`Session::dispatch`]:
-    /// idempotency replay (in-memory window, backed by the durable
-    /// journal across restarts), drain/poison refusal, admission
-    /// control (static cap + adaptive queueing-delay signal), then the
-    /// reply is remembered for future retries of the same `(client_id,
-    /// seq)`. Refusals (`Draining`, `Overloaded`, `ReplyEvicted`)
-    /// return before the window insert, so a retried `seq` re-executes
-    /// once capacity is back; `Io` replies are *never* remembered —
-    /// their outcome is ambiguous in memory and only the recovered
-    /// journal can answer the retry truthfully.
-    fn handle(&mut self, meta: RequestMeta, command: Command) -> Reply {
-        let keyed = meta.client_id != 0 && meta.seq != 0;
-        if keyed {
-            match self.shared.dedup.lock().probe(meta.client_id, meta.seq) {
-                DedupProbe::Hit(cached) => {
-                    self.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                    if cached.restored {
-                        self.shared.journal_replays.fetch_add(1, Ordering::Relaxed);
+/// Register an admitted socket with this shard.
+fn adopt(
+    shard_idx: usize,
+    stream: TcpStream,
+    poller: &crate::reactor::Poller,
+    conns: &mut HashMap<u64, ShardConn>,
+    ctx: &Arc<ServerCtx>,
+) {
+    let Ok(writer) = stream.try_clone() else {
+        // Admission already counted it; undo (no session state exists).
+        ctx.shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+        return;
+    };
+    let id = NEXT_SESSION.fetch_add(1, Ordering::Relaxed);
+    if poller.add(stream.as_raw_fd(), id).is_err() {
+        ctx.shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    let shared = Arc::new(ConnShared {
+        id,
+        shard: shard_idx,
+        writer: Arc::new(Mutex::new(writer)),
+        core: Mutex::new(SessionCore {
+            negotiated: MIN_PROTOCOL_VERSION,
+            open_txns: HashSet::new(),
+            pending_repl: None,
+        }),
+        queue: Mutex::new(ConnQueue {
+            busy: false,
+            pending: VecDeque::new(),
+        }),
+        dead: AtomicBool::new(false),
+        paused: AtomicBool::new(false),
+    });
+    conns.insert(
+        id,
+        ShardConn {
+            stream,
+            frames: TickReader::new(),
+            last_activity: Instant::now(),
+            shared,
+        },
+    );
+}
+
+/// Deregister and close a connection's socket, then enqueue its
+/// teardown (which runs after any frames already in its queue).
+fn retire(
+    poller: &crate::reactor::Poller,
+    sc: ShardConn,
+    jobs: &crossbeam::channel::Sender<Arc<ConnShared>>,
+) {
+    let _ = poller.del(sc.stream.as_raw_fd());
+    let _ = sc.stream.shutdown(std::net::Shutdown::Both);
+    enqueue(&sc.shared, WorkItem::Teardown, jobs);
+}
+
+/// A dispatch worker: drains per-connection queues handed over by the
+/// shards, one connection at a time (the `busy` flag keeps two workers
+/// off the same connection, so a session's requests execute in order).
+fn worker_loop(ctx: Arc<ServerCtx>, rx: crossbeam::channel::Receiver<Arc<ConnShared>>) {
+    while let Ok(conn) = rx.recv() {
+        loop {
+            let item = {
+                let mut q = conn.queue.lock();
+                match q.pending.pop_front() {
+                    Some(i) => i,
+                    None => {
+                        q.busy = false;
+                        break;
                     }
-                    return cached.reply;
                 }
-                DedupProbe::Evicted => {
-                    return Reply::Err {
-                        kind: "ReplyEvicted".to_owned(),
-                        message: "idempotency entry evicted; outcome unknown".to_owned(),
-                    };
-                }
-                DedupProbe::Miss => {}
+            };
+            match item {
+                WorkItem::Frame(payload) => process_frame(&ctx, &conn, payload),
+                WorkItem::Teardown => teardown(&ctx, &conn),
             }
         }
-        if self.shared.storage_poisoned.load(Ordering::Acquire) {
-            return Reply::Err {
-                kind: "Draining".to_owned(),
-                message: "storage failed; server requires restart".to_owned(),
-            };
+        // Drained a paused connection: ask its shard to re-arm reads.
+        if conn.paused.load(Ordering::Acquire) && !conn.dead.load(Ordering::Acquire) {
+            let sh = &ctx.shards[conn.shard];
+            sh.resume.lock().push(conn.id);
+            crate::reactor::signal_wake(&mut *sh.wake.lock());
         }
-        if self.shared.draining.load(Ordering::Acquire) {
-            return Reply::Err {
-                kind: "Draining".to_owned(),
-                message: "server is draining; open transactions will abort".to_owned(),
-            };
+    }
+}
+
+/// Execute one request frame and write its response.
+fn process_frame(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, payload: Vec<u8>) {
+    if conn.dead.load(Ordering::Acquire) {
+        return; // doomed by an earlier write failure; skip the backlog
+    }
+    match Frame::decode(&payload) {
+        Ok(Frame::Request { id, meta, command }) => {
+            let reply = handle(ctx, conn, meta, command);
+            let negotiated = conn.core.lock().negotiated;
+            let bytes = Frame::Response { id, reply }.encode_versioned(negotiated);
+            let sent = crate::reactor::write_all_timeout(
+                &mut conn.writer.lock(),
+                &bytes,
+                RESPONSE_WRITE_TIMEOUT,
+            )
+            .is_ok();
+            if !sent {
+                mark_dead(ctx, conn);
+                return;
+            }
+            let pending = conn.core.lock().pending_repl.take();
+            if let Some(start_lsn) = pending {
+                ctx.repl.subscribe(conn.id, Arc::clone(&conn.writer), start_lsn);
+            }
         }
-        let in_flight = self.shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
-        if self.max_inflight > 0 && in_flight > self.max_inflight as u64 {
-            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            self.shared.shed_requests.fetch_add(1, Ordering::Relaxed);
-            return Reply::Err {
-                kind: "Overloaded".to_owned(),
-                message: "admission budget exhausted; retry later".to_owned(),
-            };
-        }
-        if let Some(limit) = self.shed_queue_delay {
-            // Adaptive signal: shed while dispatches are slower than
-            // the target and someone else is already in flight (a lone
-            // request always admits, so the signal can decay).
-            let ewma = Duration::from_micros(self.shared.ewma_us.load(Ordering::Relaxed));
-            if in_flight >= 2 && ewma > limit {
-                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                self.shared.shed_adaptive.fetch_add(1, Ordering::Relaxed);
+        // Clients never send responses or pushes; treat as a protocol
+        // violation and drop the session.
+        _ => mark_dead(ctx, conn),
+    }
+}
+
+/// Doom a connection from a worker; its shard retires the socket (and
+/// enqueues the teardown) at its next wake.
+fn mark_dead(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>) {
+    if !conn.dead.swap(true, Ordering::AcqRel) {
+        let sh = &ctx.shards[conn.shard];
+        crate::reactor::signal_wake(&mut *sh.wake.lock());
+    }
+}
+
+/// Abort open transactions and drop subscriptions on disconnect. Runs
+/// on a worker, strictly after the connection's in-flight frames.
+fn teardown(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>) {
+    ctx.shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+    ctx.subs.drop_session(&ctx.db, conn.id);
+    ctx.repl.drop_session(conn.id);
+    // Abort parents last: aborting a parent cascades to children,
+    // making the child abort a no-op error we ignore anyway.
+    let mut txns: Vec<TxnId> = conn.core.lock().open_txns.drain().collect();
+    txns.sort_by_key(|t| std::cmp::Reverse(t.raw()));
+    for t in txns {
+        let _ = ctx.db.abort(t);
+    }
+}
+
+/// The resilience pipeline around [`dispatch`]: idempotency replay
+/// (in-memory window, backed by the durable journal across restarts),
+/// drain/poison refusal, admission control (static cap + adaptive
+/// queueing-delay signal), then the reply is remembered for future
+/// retries of the same `(client_id, seq)`. Refusals (`Draining`,
+/// `Overloaded`, `ReplyEvicted`) return before the window insert, so a
+/// retried `seq` re-executes once capacity is back; `Io` replies are
+/// *never* remembered — their outcome is ambiguous in memory and only
+/// the recovered journal can answer the retry truthfully.
+fn handle(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, meta: RequestMeta, command: Command) -> Reply {
+    let keyed = meta.client_id != 0 && meta.seq != 0;
+    if keyed {
+        let probed = ctx
+            .shared
+            .dedup_stripe(meta.client_id)
+            .lock()
+            .probe(meta.client_id, meta.seq);
+        match probed {
+            DedupProbe::Hit(cached) => {
+                ctx.shared.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                if cached.restored {
+                    ctx.shared.journal_replays.fetch_add(1, Ordering::Relaxed);
+                }
+                return cached.reply;
+            }
+            DedupProbe::Evicted => {
                 return Reply::Err {
-                    kind: "Overloaded".to_owned(),
-                    message: "queueing delay over budget; retry later".to_owned(),
+                    kind: "ReplyEvicted".to_owned(),
+                    message: "idempotency entry evicted; outcome unknown".to_owned(),
                 };
             }
+            DedupProbe::Miss => {}
         }
+    }
+    if ctx.shared.storage_poisoned.load(Ordering::Acquire) {
+        return Reply::Err {
+            kind: "Draining".to_owned(),
+            message: "storage failed; server requires restart".to_owned(),
+        };
+    }
+    if ctx.shared.draining.load(Ordering::Acquire) {
+        return Reply::Err {
+            kind: "Draining".to_owned(),
+            message: "server is draining; open transactions will abort".to_owned(),
+        };
+    }
+    let in_flight = ctx.shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+    if ctx.cfg.max_inflight > 0 && in_flight > ctx.cfg.max_inflight as u64 {
+        ctx.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        ctx.shared.shed_requests.fetch_add(1, Ordering::Relaxed);
+        return Reply::Err {
+            kind: "Overloaded".to_owned(),
+            message: "admission budget exhausted; retry later".to_owned(),
+        };
+    }
+    if let Some(limit) = ctx.cfg.shed_queue_delay {
+        // Adaptive signal: shed while dispatches are slower than
+        // the target and someone else is already in flight (a lone
+        // request always admits, so the signal can decay).
+        let ewma = Duration::from_micros(ctx.shared.ewma_us.load(Ordering::Relaxed));
+        if in_flight >= 2 && ewma > limit {
+            ctx.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            ctx.shared.shed_adaptive.fetch_add(1, Ordering::Relaxed);
+            return Reply::Err {
+                kind: "Overloaded".to_owned(),
+                message: "queueing delay over budget; retry later".to_owned(),
+            };
+        }
+    }
 
-        // Arm the crash-atomic reply journal for keyed commits: the
-        // predicted ack (a commit that succeeds always replies `Ok`)
-        // rides the commit's own WAL batch, along with deletes for any
-        // entries evicted from the window since the last journaled
-        // commit.
-        let is_commit = matches!(command, Command::Commit { .. });
-        let journaling = keyed && is_commit && self.journal.is_some();
-        if journaling {
-            let mut ops = vec![StoreOp::Put {
-                key: journal::reply_key(meta.client_id, meta.seq),
-                value: journal::seal(&Reply::Ok.to_bytes()),
-            }];
-            for (c, s) in self.shared.pending_evictions.lock().drain(..) {
-                ops.push(StoreOp::Delete {
-                    key: journal::reply_key(c, s),
+    // Arm the crash-atomic reply journal for keyed commits: the
+    // predicted ack (a commit that succeeds always replies `Ok`)
+    // rides the commit's own WAL batch, along with deletes for any
+    // entries evicted from the window since the last journaled
+    // commit.
+    let is_commit = matches!(command, Command::Commit { .. });
+    let journaling = keyed && is_commit && ctx.journal.is_some();
+    if journaling {
+        let mut ops = vec![StoreOp::Put {
+            key: journal::reply_key(meta.client_id, meta.seq),
+            value: journal::seal(&Reply::Ok.to_bytes()),
+        }];
+        for (c, s) in ctx.shared.pending_evictions.lock().drain(..) {
+            ops.push(StoreOp::Delete {
+                key: journal::reply_key(c, s),
+            });
+        }
+        journal::set_pending_ops(ops);
+    }
+    let started = Instant::now();
+    let reply = dispatch(ctx, conn, meta, command);
+    let spent = started.elapsed().as_micros() as u64;
+    let prev = ctx.shared.ewma_us.load(Ordering::Relaxed);
+    ctx.shared
+        .ewma_us
+        .store(prev - prev / 8 + spent / 8, Ordering::Relaxed);
+    ctx.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    if journaling {
+        if let Some(ops) = journal::take_pending_ops() {
+            // The dispatch never flushed a transactional batch
+            // (read-only commit). If it succeeded, the predicted
+            // ack still holds — persist it as a standalone
+            // metadata batch; a failed dispatch discards the
+            // annotation (error outcomes are not journaled).
+            if reply == Reply::Ok {
+                if let Some(d) = &ctx.journal {
+                    let _ = d.commit(TxnId(0), &ops);
+                }
+            }
+        }
+    }
+    // Semi-sync replication: hold the commit ack until every
+    // connected replica has durably applied up to the committing
+    // frontier. A timeout degrades this commit to async rather
+    // than stalling the session indefinitely.
+    if ctx.cfg.sync_repl && is_commit && reply == Reply::Ok {
+        ctx.repl.wait_caught_up(ctx.cfg.sync_repl_timeout);
+    }
+    let io_error = matches!(&reply, Reply::Err { kind, .. } if kind == "Io");
+    if io_error && ctx.db.durable_store().is_some() {
+        // The WAL and the in-memory engine may now disagree;
+        // answering further requests from poisoned state could
+        // break exactly-once. Fail definite-and-loud until the
+        // operator restarts into recovery.
+        ctx.shared.storage_poisoned.store(true, Ordering::Release);
+    }
+    if keyed && !io_error {
+        let evicted = ctx.shared.dedup_stripe(meta.client_id).lock().remember(
+            meta.client_id,
+            meta.seq,
+            &reply,
+            journaling && reply == Reply::Ok,
+            false,
+        );
+        if !evicted.is_empty() {
+            ctx.shared.pending_evictions.lock().extend(evicted);
+        }
+    }
+    reply
+}
+
+fn dispatch(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, meta: RequestMeta, command: Command) -> Reply {
+    // Propagate the request deadline into the engine: the
+    // transaction this command works under sees it in lock waits
+    // for the duration of the dispatch.
+    let deadline = (meta.deadline_ms > 0)
+        .then(|| Instant::now() + Duration::from_millis(meta.deadline_ms));
+    let txn = deadline.and_then(|_| command_txn(&command));
+    if let (Some(d), Some(t)) = (deadline, txn) {
+        let _ = ctx.db.set_txn_deadline(t, Some(d));
+    }
+    let reply = match execute(ctx, conn, command) {
+        Ok(reply) => reply,
+        Err(e) => Reply::from(e),
+    };
+    if let Some(t) = txn {
+        // Best effort: commit/abort may already have retired it.
+        let _ = ctx.db.set_txn_deadline(t, None);
+    }
+    reply
+}
+
+fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> HipacResult<Reply> {
+    // Sessions own the transactions they begin: a command naming a
+    // transaction this session did not begin (or already retired)
+    // is refused with the definite `UnknownTxn`. This is what
+    // makes a post-restart retry of an uncommitted transaction
+    // safe — the id cannot alias a transaction some other session
+    // opened in the new process incarnation.
+    if let Some(t) = command_txn(&command) {
+        if !conn.core.lock().open_txns.contains(&t) {
+            return Err(HipacError::UnknownTxn(t));
+        }
+    }
+    Ok(match command {
+        Command::Ping { version } => {
+            // Additive negotiation: both ends settle on the lower
+            // version. A v4 client gets Pong{4} and a session that
+            // never encodes v5-only material; an older-than-v4
+            // client is clamped up and will refuse us on its side.
+            let v = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
+            conn.core.lock().negotiated = v;
+            Reply::Pong { version: v }
+        }
+        Command::Begin => {
+            let t = ctx.db.begin();
+            conn.core.lock().open_txns.insert(t);
+            Reply::Txn(t)
+        }
+        Command::BeginChild { parent } => {
+            let t = ctx.db.begin_child(parent)?;
+            conn.core.lock().open_txns.insert(t);
+            Reply::Txn(t)
+        }
+        Command::Commit { txn } => {
+            let result = ctx.db.commit(txn);
+            conn.core.lock().open_txns.remove(&txn);
+            match result {
+                Ok(()) => Reply::Ok,
+                Err(e) => {
+                    // A failed commit leaves the transaction dead;
+                    // make sure it is really gone before reporting.
+                    let _ = ctx.db.abort(txn);
+                    return Err(e);
+                }
+            }
+        }
+        Command::Abort { txn } => {
+            conn.core.lock().open_txns.remove(&txn);
+            ctx.db.abort(txn)?;
+            Reply::Ok
+        }
+        Command::CreateClass {
+            txn,
+            name,
+            superclass,
+            attrs,
+        } => {
+            let mut defs = Vec::with_capacity(attrs.len());
+            for a in attrs {
+                let ty = code_type(a.ty).map_err(|e| HipacError::TypeError(e.to_string()))?;
+                defs.push(AttrDef {
+                    name: a.name,
+                    ty,
+                    nullable: a.nullable,
+                    indexed: a.indexed,
                 });
             }
-            journal::set_pending_ops(ops);
+            let cid = ctx
+                .db
+                .store()
+                .create_class(txn, &name, superclass.as_deref(), defs)?;
+            Reply::Id(cid.raw())
         }
-        let started = Instant::now();
-        let reply = self.dispatch(meta, command);
-        let spent = started.elapsed().as_micros() as u64;
-        let prev = self.shared.ewma_us.load(Ordering::Relaxed);
-        self.shared
-            .ewma_us
-            .store(prev - prev / 8 + spent / 8, Ordering::Relaxed);
-        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        if journaling {
-            if let Some(ops) = journal::take_pending_ops() {
-                // The dispatch never flushed a transactional batch
-                // (read-only commit). If it succeeded, the predicted
-                // ack still holds — persist it as a standalone
-                // metadata batch; a failed dispatch discards the
-                // annotation (error outcomes are not journaled).
-                if reply == Reply::Ok {
-                    if let Some(d) = self.journal {
-                        let _ = d.commit(TxnId(0), &ops);
-                    }
+        Command::Insert { txn, class, values } => {
+            let oid = ctx.db.store().insert(txn, &class, values)?;
+            Reply::Object(oid)
+        }
+        Command::Update {
+            txn,
+            oid,
+            assignments,
+        } => {
+            let borrowed: Vec<(&str, Value)> = assignments
+                .iter()
+                .map(|(n, v)| (n.as_str(), v.clone()))
+                .collect();
+            ctx.db.store().update(txn, ObjectId(oid), &borrowed)?;
+            Reply::Ok
+        }
+        Command::Delete { txn, oid } => {
+            ctx.db.store().delete(txn, ObjectId(oid))?;
+            Reply::Ok
+        }
+        Command::Query { txn, text, params } => {
+            let query = Query::parse(&text)?;
+            let params = if params.is_empty() { None } else { Some(&params) };
+            let rows = ctx.db.store().query(txn, &query, params)?;
+            Reply::Rows(
+                rows.into_iter()
+                    .map(|r| crate::proto::WireRow {
+                        oid: r.oid.raw(),
+                        class: r.class.raw(),
+                        values: r.values,
+                    })
+                    .collect(),
+            )
+        }
+        Command::DefineEvent { name, params } => {
+            let borrowed: Vec<&str> = params.iter().map(String::as_str).collect();
+            let eid = ctx.db.define_event(&name, &borrowed)?;
+            Reply::Id(eid.raw())
+        }
+        Command::SignalEvent { name, args, txn } => {
+            ctx.db.signal_event(&name, args, txn)?;
+            Reply::Ok
+        }
+        Command::CreateRule { txn, rule } => {
+            let def = hipac_rules::codec::decode_rule(&rule)?;
+            let rid = ctx.db.rules().create_rule(txn, def)?;
+            Reply::Id(rid.raw())
+        }
+        Command::DropRule { txn, name } => {
+            ctx.db.rules().drop_rule(txn, &name)?;
+            Reply::Ok
+        }
+        Command::EnableRule { txn, name } => {
+            ctx.db.rules().enable_rule(txn, &name)?;
+            Reply::Ok
+        }
+        Command::DisableRule { txn, name } => {
+            ctx.db.rules().disable_rule(txn, &name)?;
+            Reply::Ok
+        }
+        Command::Subscribe { handler } => {
+            ctx.subs
+                .subscribe(&ctx.db, &handler, conn.id, Arc::clone(&conn.writer));
+            // Catch the new subscriber up on unacked pushes; its
+            // client dedups redeliveries by sequence.
+            let n = ctx.subs.redeliver(&handler, &conn.writer);
+            if n > 0 {
+                ctx.shared.pushes_redelivered.fetch_add(n, Ordering::Relaxed);
+            }
+            Reply::Ok
+        }
+        Command::Unsubscribe { handler } => {
+            ctx.subs.unsubscribe(&ctx.db, &handler, conn.id);
+            Reply::Ok
+        }
+        Command::AckPush { handler, seq } => {
+            ctx.subs.ack(&handler, seq);
+            Reply::Ok
+        }
+        Command::ReplSubscribe { start_lsn } => {
+            if conn.core.lock().negotiated < 5 {
+                Reply::Err {
+                    kind: "Unsupported".to_owned(),
+                    message: "replication requires protocol v5".to_owned(),
                 }
-            }
-        }
-        // Semi-sync replication: hold the commit ack until every
-        // connected replica has durably applied up to the committing
-        // frontier. A timeout degrades this commit to async rather
-        // than stalling the session indefinitely.
-        if self.sync_repl && is_commit && reply == Reply::Ok {
-            self.repl.wait_caught_up(self.sync_repl_timeout);
-        }
-        let io_error = matches!(&reply, Reply::Err { kind, .. } if kind == "Io");
-        if io_error && self.db.durable_store().is_some() {
-            // The WAL and the in-memory engine may now disagree;
-            // answering further requests from poisoned state could
-            // break exactly-once. Fail definite-and-loud until the
-            // operator restarts into recovery.
-            self.shared.storage_poisoned.store(true, Ordering::Release);
-        }
-        if keyed && !io_error {
-            let evicted = self.shared.dedup.lock().remember(
-                meta.client_id,
-                meta.seq,
-                &reply,
-                journaling && reply == Reply::Ok,
-                false,
-            );
-            if !evicted.is_empty() {
-                self.shared.pending_evictions.lock().extend(evicted);
-            }
-        }
-        reply
-    }
-
-    fn dispatch(&mut self, meta: RequestMeta, command: Command) -> Reply {
-        // Propagate the request deadline into the engine: the
-        // transaction this command works under sees it in lock waits
-        // for the duration of the dispatch.
-        let deadline = (meta.deadline_ms > 0)
-            .then(|| Instant::now() + Duration::from_millis(meta.deadline_ms));
-        let txn = deadline.and_then(|_| command_txn(&command));
-        if let (Some(d), Some(t)) = (deadline, txn) {
-            let _ = self.db.set_txn_deadline(t, Some(d));
-        }
-        let reply = match self.execute(command) {
-            Ok(reply) => reply,
-            Err(e) => Reply::from(e),
-        };
-        if let Some(t) = txn {
-            // Best effort: commit/abort may already have retired it.
-            let _ = self.db.set_txn_deadline(t, None);
-        }
-        reply
-    }
-
-    fn execute(&mut self, command: Command) -> HipacResult<Reply> {
-        // Sessions own the transactions they begin: a command naming a
-        // transaction this session did not begin (or already retired)
-        // is refused with the definite `UnknownTxn`. This is what
-        // makes a post-restart retry of an uncommitted transaction
-        // safe — the id cannot alias a transaction some other session
-        // opened in the new process incarnation.
-        if let Some(t) = command_txn(&command) {
-            if !self.open_txns.contains(&t) {
-                return Err(HipacError::UnknownTxn(t));
-            }
-        }
-        Ok(match command {
-            Command::Ping { version } => {
-                // Additive negotiation: both ends settle on the lower
-                // version. A v4 client gets Pong{4} and a session that
-                // never encodes v5-only material; an older-than-v4
-                // client is clamped up and will refuse us on its side.
-                self.negotiated = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
-                Reply::Pong {
-                    version: self.negotiated,
+            } else if ctx.repl.durable.is_none() {
+                Reply::Err {
+                    kind: "Unsupported".to_owned(),
+                    message: "in-memory databases cannot be replicated".to_owned(),
                 }
-            }
-            Command::Begin => {
-                let t = self.db.begin();
-                self.open_txns.insert(t);
-                Reply::Txn(t)
-            }
-            Command::BeginChild { parent } => {
-                let t = self.db.begin_child(parent)?;
-                self.open_txns.insert(t);
-                Reply::Txn(t)
-            }
-            Command::Commit { txn } => {
-                let result = self.db.commit(txn);
-                self.open_txns.remove(&txn);
-                match result {
-                    Ok(()) => Reply::Ok,
-                    Err(e) => {
-                        // A failed commit leaves the transaction dead;
-                        // make sure it is really gone before reporting.
-                        let _ = self.db.abort(txn);
-                        return Err(e);
-                    }
-                }
-            }
-            Command::Abort { txn } => {
-                self.open_txns.remove(&txn);
-                self.db.abort(txn)?;
+            } else {
+                // Registered by `process_frame` only after the Ok frame
+                // is on the wire — see the `pending_repl` field docs.
+                conn.core.lock().pending_repl = Some(start_lsn);
                 Reply::Ok
             }
-            Command::CreateClass {
-                txn,
-                name,
-                superclass,
-                attrs,
-            } => {
-                let mut defs = Vec::with_capacity(attrs.len());
-                for a in attrs {
-                    let ty = code_type(a.ty).map_err(|e| HipacError::TypeError(e.to_string()))?;
-                    defs.push(AttrDef {
-                        name: a.name,
-                        ty,
-                        nullable: a.nullable,
-                        indexed: a.indexed,
-                    });
-                }
-                let cid = self
-                    .db
-                    .store()
-                    .create_class(txn, &name, superclass.as_deref(), defs)?;
-                Reply::Id(cid.raw())
-            }
-            Command::Insert { txn, class, values } => {
-                let oid = self.db.store().insert(txn, &class, values)?;
-                Reply::Object(oid)
-            }
-            Command::Update {
-                txn,
-                oid,
-                assignments,
-            } => {
-                let borrowed: Vec<(&str, Value)> = assignments
-                    .iter()
-                    .map(|(n, v)| (n.as_str(), v.clone()))
-                    .collect();
-                self.db.store().update(txn, ObjectId(oid), &borrowed)?;
-                Reply::Ok
-            }
-            Command::Delete { txn, oid } => {
-                self.db.store().delete(txn, ObjectId(oid))?;
-                Reply::Ok
-            }
-            Command::Query { txn, text, params } => {
-                let query = Query::parse(&text)?;
-                let params = if params.is_empty() { None } else { Some(&params) };
-                let rows = self.db.store().query(txn, &query, params)?;
-                Reply::Rows(
-                    rows.into_iter()
-                        .map(|r| crate::proto::WireRow {
-                            oid: r.oid.raw(),
-                            class: r.class.raw(),
-                            values: r.values,
-                        })
-                        .collect(),
-                )
-            }
-            Command::DefineEvent { name, params } => {
-                let borrowed: Vec<&str> = params.iter().map(String::as_str).collect();
-                let eid = self.db.define_event(&name, &borrowed)?;
-                Reply::Id(eid.raw())
-            }
-            Command::SignalEvent { name, args, txn } => {
-                self.db.signal_event(&name, args, txn)?;
-                Reply::Ok
-            }
-            Command::CreateRule { txn, rule } => {
-                let def = hipac_rules::codec::decode_rule(&rule)?;
-                let rid = self.db.rules().create_rule(txn, def)?;
-                Reply::Id(rid.raw())
-            }
-            Command::DropRule { txn, name } => {
-                self.db.rules().drop_rule(txn, &name)?;
-                Reply::Ok
-            }
-            Command::EnableRule { txn, name } => {
-                self.db.rules().enable_rule(txn, &name)?;
-                Reply::Ok
-            }
-            Command::DisableRule { txn, name } => {
-                self.db.rules().disable_rule(txn, &name)?;
-                Reply::Ok
-            }
-            Command::Subscribe { handler } => {
-                self.subs
-                    .subscribe(self.db, &handler, self.id, Arc::clone(&self.writer));
-                // Catch the new subscriber up on unacked pushes; its
-                // client dedups redeliveries by sequence.
-                let n = self.subs.redeliver(&handler, &self.writer);
-                if n > 0 {
-                    self.shared.pushes_redelivered.fetch_add(n, Ordering::Relaxed);
-                }
-                Reply::Ok
-            }
-            Command::Unsubscribe { handler } => {
-                self.subs.unsubscribe(self.db, &handler, self.id);
-                Reply::Ok
-            }
-            Command::AckPush { handler, seq } => {
-                self.subs.ack(&handler, seq);
-                Reply::Ok
-            }
-            Command::ReplSubscribe { start_lsn } => {
-                if self.negotiated < 5 {
-                    Reply::Err {
-                        kind: "Unsupported".to_owned(),
-                        message: "replication requires protocol v5".to_owned(),
-                    }
-                } else if self.repl.durable.is_none() {
-                    Reply::Err {
-                        kind: "Unsupported".to_owned(),
-                        message: "in-memory databases cannot be replicated".to_owned(),
-                    }
-                } else {
-                    // Registered by `run` only after the Ok frame is on
-                    // the wire — see the `pending_repl` field docs.
-                    self.pending_repl = Some(start_lsn);
-                    Reply::Ok
-                }
-            }
-            Command::ReplProgress { applied_lsn } => {
-                self.repl.record_progress(self.id, applied_lsn);
-                Reply::Ok
-            }
-            Command::Stats => {
-                let mut w = stats_to_wire(self.db.stats());
-                w.active_connections = self.shared.active_connections.load(Ordering::Relaxed);
-                w.shed_requests = self.shared.shed_requests.load(Ordering::Relaxed);
-                w.dedup_hits = self.shared.dedup_hits.load(Ordering::Relaxed);
-                w.shed_adaptive = self.shared.shed_adaptive.load(Ordering::Relaxed);
-                w.journal_replays = self.shared.journal_replays.load(Ordering::Relaxed);
-                w.pushes_redelivered = self.shared.pushes_redelivered.load(Ordering::Relaxed);
-                Reply::Stats(Box::new(w))
-            }
-        })
-    }
+        }
+        Command::ReplProgress { applied_lsn } => {
+            ctx.repl.record_progress(conn.id, applied_lsn);
+            Reply::Ok
+        }
+        Command::Stats => {
+            let mut w = stats_to_wire(ctx.db.stats());
+            w.active_connections = ctx.shared.active_connections.load(Ordering::Relaxed);
+            w.shed_requests = ctx.shared.shed_requests.load(Ordering::Relaxed);
+            w.dedup_hits = ctx.shared.dedup_hits.load(Ordering::Relaxed);
+            w.shed_adaptive = ctx.shared.shed_adaptive.load(Ordering::Relaxed);
+            w.journal_replays = ctx.shared.journal_replays.load(Ordering::Relaxed);
+            w.pushes_redelivered = ctx.shared.pushes_redelivered.load(Ordering::Relaxed);
+            w.reactor_shards = ctx.reactor_shards as u64;
+            Reply::Stats(Box::new(w))
+        }
+    })
 }
 
 /// The transaction a command works under, for deadline propagation.
@@ -1753,5 +2203,9 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         match_pruned: s.match_pruned,
         memo_hits: s.memo_hits,
         memo_invalidations: s.memo_invalidations,
+        group_commits: s.group_commits,
+        group_commit_txns: s.group_commit_txns,
+        group_commit_largest: s.group_commit_largest,
+        reactor_shards: 0,
     }
 }

@@ -52,6 +52,10 @@ pub enum FaultPoint {
     /// `DurableStore::commit`, before each logged operation is applied
     /// to the heap/index.
     StoreApply,
+    /// Group commit only: after the cohort's single fsync, before any
+    /// waiter is woken. A crash here is the "durable but unacked" window
+    /// for the *whole cohort* — recovery must replay every member.
+    GroupWake,
     /// Checkpoint, before the shadow file is renamed over the data
     /// file.
     CheckpointRename,

@@ -31,7 +31,9 @@ use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::Mutex;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Reserved key under which a replica persists the primary LSN its
 /// store reflects (`'z'`, disjoint from every engine and journal
@@ -214,6 +216,85 @@ struct Inner {
     faults: Arc<FaultPolicy>,
 }
 
+/// Snapshot of the group-commit counters (diagnostics / wire stats).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupCommitStats {
+    /// Whether commits currently funnel through the group path.
+    pub enabled: bool,
+    /// Straggler window a leader waits for late committers (µs).
+    pub window_us: u64,
+    /// Cohort flushes performed (each is one WAL fsync).
+    pub groups: u64,
+    /// Transactions committed through cohorts. `grouped_txns / groups`
+    /// is the mean batching factor the fsync amortizes over.
+    pub grouped_txns: u64,
+    /// Largest cohort a single fsync has covered.
+    pub largest_group: u64,
+}
+
+/// One committer's parked batch, waiting for a leader's fsync. The
+/// slot's condvar is signaled only after the cohort's durability point.
+struct GroupReq {
+    txn: TxnId,
+    ops: Vec<StoreOp>,
+    slot: Arc<(StdMutex<Option<Result<()>>>, Condvar)>,
+}
+
+/// WAL group commit: the committer that pushes onto an *empty* queue is
+/// that cohort's leader; everyone who piles on behind it is a follower.
+/// The leader serializes against other leaders on `flush`, appends
+/// every queued batch and pays **one** `fsync` for the whole cohort,
+/// then fills each follower's slot and signals its condvar. Followers
+/// never touch `flush` at all — crucially, collecting a result cannot
+/// convoy behind the *next* leader's fsync, so a drained follower is
+/// immediately free to commit again (that re-enqueue is what builds the
+/// next cohort while the current fsync runs). A waiter is *never* woken
+/// before its group's fsync by construction: slots are filled only
+/// after `flush_cohort` returns.
+struct GroupCommit {
+    enabled: AtomicBool,
+    window_us: AtomicU64,
+    queue: StdMutex<Vec<GroupReq>>,
+    flush: StdMutex<()>,
+    /// Committers currently inside `commit` (the degenerate-to-immediate
+    /// check: a lone committer never waits out the window).
+    committers: AtomicUsize,
+    groups: AtomicU64,
+    grouped_txns: AtomicU64,
+    largest_group: AtomicU64,
+}
+
+impl GroupCommit {
+    fn from_env() -> GroupCommit {
+        let enabled = !matches!(
+            std::env::var("HIPAC_GROUP_COMMIT").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        );
+        let window_us = std::env::var("HIPAC_GROUP_COMMIT_WINDOW_US")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        GroupCommit {
+            enabled: AtomicBool::new(enabled),
+            window_us: AtomicU64::new(window_us),
+            queue: StdMutex::new(Vec::new()),
+            flush: StdMutex::new(()),
+            committers: AtomicUsize::new(0),
+            groups: AtomicU64::new(0),
+            grouped_txns: AtomicU64::new(0),
+            largest_group: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Decrements the active-committer gauge even on panic/early return.
+struct CommitterGuard<'a>(&'a AtomicUsize);
+impl Drop for CommitterGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// The durable store. All methods are safe to call concurrently; writes
 /// serialize internally.
 ///
@@ -229,6 +310,7 @@ struct Inner {
 pub struct DurableStore {
     dir: PathBuf,
     inner: Mutex<Inner>,
+    group: GroupCommit,
 }
 
 impl DurableStore {
@@ -307,7 +389,31 @@ impl DurableStore {
                 checkpoint_threshold,
                 faults,
             }),
+            group: GroupCommit::from_env(),
         })
+    }
+
+    /// Override the group-commit mode set from the environment at open
+    /// (`HIPAC_GROUP_COMMIT=on|off`, `HIPAC_GROUP_COMMIT_WINDOW_US`).
+    /// `window` bounds how long a flush leader waits for stragglers;
+    /// `Duration::ZERO` means pure piggyback batching (whoever queued
+    /// while the previous fsync ran forms the next cohort).
+    pub fn set_group_commit(&self, enabled: bool, window: Duration) {
+        self.group.enabled.store(enabled, Ordering::Relaxed);
+        self.group
+            .window_us
+            .store(window.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Current group-commit configuration and counters.
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            enabled: self.group.enabled.load(Ordering::Relaxed),
+            window_us: self.group.window_us.load(Ordering::Relaxed),
+            groups: self.group.groups.load(Ordering::Relaxed),
+            grouped_txns: self.group.grouped_txns.load(Ordering::Relaxed),
+            largest_group: self.group.largest_group.load(Ordering::Relaxed),
+        }
     }
 
     /// Atomically and durably commit a batch of operations on behalf of
@@ -321,6 +427,9 @@ impl DurableStore {
     /// (`TxnId(0)`) leave the annotation alone — they can be flushed
     /// mid-dispatch (push outbox writes) before the data batch exists.
     pub fn commit(&self, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        // The journal annotation is a *thread-local*: it must be
+        // consumed here, on the caller's thread, before the batch can
+        // be handed to a group leader running on some other thread.
         let merged: Vec<StoreOp>;
         let batch: &[StoreOp] = match txn {
             TxnId(0) => ops,
@@ -332,6 +441,16 @@ impl DurableStore {
                 _ => ops,
             },
         };
+        if !self.group.enabled.load(Ordering::Relaxed) {
+            return self.commit_immediate(txn, batch);
+        }
+        self.commit_grouped(txn, batch.to_vec())
+    }
+
+    /// The pre-group path: one WAL append + fsync per commit, under the
+    /// store lock. Kept verbatim as the differential baseline
+    /// (`HIPAC_GROUP_COMMIT=off`).
+    fn commit_immediate(&self, txn: TxnId, batch: &[StoreOp]) -> Result<()> {
         let mut inner = self.inner.lock();
         Self::log_batch(&inner.wal, txn, batch)?;
         for op in batch {
@@ -346,15 +465,146 @@ impl DurableStore {
         Ok(())
     }
 
-    /// Failpoint for crash testing: durably log the batch but "crash"
-    /// before applying it to the data structures. A subsequent
-    /// [`DurableStore::open`] must recover the batch from the WAL.
-    pub fn commit_log_only_for_crash_test(&self, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
-        let inner = self.inner.lock();
-        Self::log_batch(&inner.wal, txn, ops)
+    /// Group path: park the batch on the queue, then race for the
+    /// `flush` mutex. Whoever wins is leader for everything queued at
+    /// that moment; everyone else blocks on the mutex, which the leader
+    /// only releases *after* the cohort's single fsync (and applies),
+    /// so no committer can observe success before durability.
+    fn commit_grouped(&self, txn: TxnId, ops: Vec<StoreOp>) -> Result<()> {
+        self.group.committers.fetch_add(1, Ordering::Relaxed);
+        let gauge = CommitterGuard(&self.group.committers);
+        let slot: Arc<(StdMutex<Option<Result<()>>>, Condvar)> =
+            Arc::new((StdMutex::new(None), Condvar::new()));
+        let leader = {
+            let mut q = self.group.queue.lock().unwrap();
+            let leader = q.is_empty();
+            q.push(GroupReq {
+                txn,
+                ops,
+                slot: Arc::clone(&slot),
+            });
+            leader
+        };
+        if !leader {
+            // Follower: a leader's request is already queued ahead of
+            // ours (only a drain empties the queue, and only leaders
+            // drain), so its flush will cover us. Park on the slot.
+            let (lock, cvar) = &*slot;
+            let mut filled = lock.lock().unwrap();
+            while filled.is_none() {
+                filled = cvar.wait(filled).unwrap();
+            }
+            // The leader released our committer-gauge entry when it
+            // filled the slot (were drained-but-unscheduled followers
+            // still counted, the next leader's "everyone committing is
+            // already queued" early-break could never fire and every
+            // cohort would sit out the full straggler window).
+            std::mem::forget(gauge);
+            return filled.take().unwrap();
+        }
+        // Leader: serialize against the previous cohort's flush.
+        let _flush = self.group.flush.lock().unwrap();
+        // Optionally wait out the straggler window — but never when
+        // everyone currently committing is already queued
+        // (degenerate-to-immediate: a lone committer at low concurrency
+        // pays no added latency).
+        let window_us = self.group.window_us.load(Ordering::Relaxed);
+        if window_us > 0 {
+            let deadline = Instant::now() + Duration::from_micros(window_us);
+            loop {
+                let queued = self.group.queue.lock().unwrap().len();
+                if queued >= self.group.committers.load(Ordering::Relaxed)
+                    || Instant::now() >= deadline
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(10));
+            }
+        }
+        let cohort = std::mem::take(&mut *self.group.queue.lock().unwrap());
+        self.group.groups.fetch_add(1, Ordering::Relaxed);
+        self.group
+            .grouped_txns
+            .fetch_add(cohort.len() as u64, Ordering::Relaxed);
+        self.group
+            .largest_group
+            .fetch_max(cohort.len() as u64, Ordering::Relaxed);
+        let results = self.flush_cohort(&cohort);
+        let mut mine = Err(HipacError::Internal(
+            "group leader missing from own cohort".into(),
+        ));
+        for (req, res) in cohort.iter().zip(results) {
+            if Arc::ptr_eq(&req.slot, &slot) {
+                mine = res;
+            } else {
+                let (lock, cvar) = &*req.slot;
+                *lock.lock().unwrap() = Some(res);
+                cvar.notify_one();
+                // The follower is no longer a straggler the next leader
+                // should wait for; it skips its own decrement when it
+                // finds the slot filled.
+                self.group.committers.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        mine
     }
 
-    fn log_batch(wal: &Wal, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+    /// Append every cohort batch (each batch contiguous, in queue
+    /// order), fsync once, then apply. Any failure fails the *whole*
+    /// cohort: a batch appended before the failure is unsynced (or, for
+    /// post-fsync failures, durable-but-unacked) and in either case the
+    /// committer must not be told it succeeded — recovery and the
+    /// reply-journal dedup absorb the ambiguity exactly as they do for
+    /// single-commit fsync failures.
+    fn flush_cohort(&self, cohort: &[GroupReq]) -> Vec<Result<()>> {
+        let mut inner = self.inner.lock();
+        let all_err = |e: HipacError| -> Vec<Result<()>> {
+            cohort.iter().map(|_| Err(e.clone())).collect()
+        };
+        for req in cohort {
+            if let Err(e) = Self::append_batch(&inner.wal, req.txn, &req.ops) {
+                return all_err(e);
+            }
+        }
+        if let Err(e) = inner.wal.sync() {
+            return all_err(e);
+        }
+        // Durability point. A crash between here and the waiters being
+        // woken (slot writes / mutex release) is the cohort-wide
+        // "durable but unacked" window the crash matrix probes.
+        if let Err(e) = inner.faults.hit(FaultPoint::GroupWake) {
+            return all_err(e);
+        }
+        let mut results = Vec::with_capacity(cohort.len());
+        for req in cohort {
+            let mut ok = Ok(());
+            for op in &req.ops {
+                if let Err(e) = inner
+                    .faults
+                    .hit(FaultPoint::StoreApply)
+                    .and_then(|()| inner.engine.apply(op))
+                {
+                    ok = Err(e);
+                    break;
+                }
+            }
+            results.push(ok);
+        }
+        if results.iter().all(|r| r.is_ok()) {
+            match inner.wal.size() {
+                Ok(size) if size >= inner.checkpoint_threshold => {
+                    if let Err(e) = Self::checkpoint_locked(&self.dir, &mut inner) {
+                        return all_err(e);
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => return all_err(e),
+            }
+        }
+        results
+    }
+
+    fn append_batch(wal: &Wal, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
         let mut records = Vec::with_capacity(ops.len() + 2);
         records.push(WalRecord::Begin { txn });
         for op in ops {
@@ -371,7 +621,19 @@ impl DurableStore {
             });
         }
         records.push(WalRecord::Commit { txn });
-        wal.append_all(&records)?;
+        wal.append_all(&records)
+    }
+
+    /// Failpoint for crash testing: durably log the batch but "crash"
+    /// before applying it to the data structures. A subsequent
+    /// [`DurableStore::open`] must recover the batch from the WAL.
+    pub fn commit_log_only_for_crash_test(&self, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        let inner = self.inner.lock();
+        Self::log_batch(&inner.wal, txn, ops)
+    }
+
+    fn log_batch(wal: &Wal, txn: TxnId, ops: &[StoreOp]) -> Result<()> {
+        Self::append_batch(wal, txn, ops)?;
         wal.sync()
     }
 

@@ -207,3 +207,142 @@ proptest! {
         prop_assert_eq!(all, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Group commit under generated interleavings of enqueue / fsync / crash.
+//
+// A plan picks a committer-thread count, a per-thread transaction
+// schedule, and a crash point (a global fault-hit index that may land
+// inside `Wal::append_all`, the cohort fsync, the post-fsync pre-wake
+// window, apply — or past the end, meaning no crash). The threads race
+// through the grouped commit path, so which cohorts form — and where in
+// a cohort's lifetime the crash lands — varies run to run; the
+// invariants below must hold for *every* interleaving:
+//
+//   1. No ack before durability: a commit that returned `Ok` is fully
+//      recovered after restart, bit-for-bit.
+//   2. All-or-nothing per transaction: recovery never surfaces a torn
+//      batch — every transaction is either wholly present or wholly
+//      absent, even when the crash tore its cohort's WAL write.
+//   3. No cross-batch reorder: a thread commits its transactions in
+//      order, so recovery must surface a per-thread *prefix* — a
+//      recovered txn with a missing predecessor would mean the WAL
+//      interleaved bytes across cohort batches.
+
+#[derive(Debug, Clone)]
+struct GroupPlan {
+    threads: usize,
+    txns_per_thread: usize,
+    ops_per_txn: usize,
+    crash_hit: u64,
+    seed: u64,
+}
+
+fn arb_group_plan() -> impl Strategy<Value = GroupPlan> {
+    (2usize..5, 2usize..6, 1usize..4, 0u64..320, any::<u64>()).prop_map(
+        |(threads, txns_per_thread, ops_per_txn, crash_hit, seed)| GroupPlan {
+            threads,
+            txns_per_thread,
+            ops_per_txn,
+            crash_hit,
+            seed,
+        },
+    )
+}
+
+/// The deterministic batch for thread `w`'s `t`-th transaction.
+fn group_txn_ops(plan: &GroupPlan, w: usize, t: usize) -> Vec<StoreOp> {
+    (0..plan.ops_per_txn)
+        .map(|j| StoreOp::Put {
+            key: format!("g{w:02}-{t:02}-{j}").into_bytes(),
+            value: format!("v{w}/{t}/{j}").into_bytes(),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn group_commit_interleavings_never_tear_or_reorder(plan in arb_group_plan()) {
+        use hipac_storage::fault::FaultPolicy;
+        use std::time::Duration;
+
+        let dir = tmpdir("group-interleave");
+        let faults = FaultPolicy::crash_at(plan.crash_hit, plan.seed);
+        // acked[w] = how many of thread w's transactions were acked
+        // (threads commit in order and stop at the first failure, so a
+        // count fully describes the acked set).
+        let mut acked = vec![0usize; plan.threads];
+        match DurableStore::open_with_faults(&dir, 256, u64::MAX, Arc::clone(&faults)) {
+            Err(_) => {} // crashed during open: nothing acked, nothing owed
+            Ok(store) => {
+                store.set_group_commit(true, Duration::from_micros(150));
+                let barrier = std::sync::Barrier::new(plan.threads);
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..plan.threads)
+                        .map(|w| {
+                            let store = &store;
+                            let plan = &plan;
+                            let barrier = &barrier;
+                            s.spawn(move || {
+                                barrier.wait();
+                                let mut ok = 0usize;
+                                for t in 0..plan.txns_per_thread {
+                                    let txn = TxnId(1 + (w * plan.txns_per_thread + t) as u64);
+                                    match store.commit(txn, &group_txn_ops(plan, w, t)) {
+                                        Ok(()) => ok += 1,
+                                        Err(_) => break,
+                                    }
+                                }
+                                ok
+                            })
+                        })
+                        .collect();
+                    for (w, h) in handles.into_iter().enumerate() {
+                        acked[w] = h.join().unwrap();
+                    }
+                });
+                if !faults.has_crashed() {
+                    // No crash: every commit must have been acked, and
+                    // the grouped path must actually have been taken.
+                    prop_assert!(acked.iter().all(|&a| a == plan.txns_per_thread));
+                    prop_assert!(store.group_commit_stats().groups > 0);
+                }
+            }
+        }
+
+        // Restart clean and check the three invariants.
+        let store = DurableStore::open(&dir).unwrap();
+        for (w, &acked_w) in acked.iter().enumerate() {
+            let mut prev_recovered = true;
+            for t in 0..plan.txns_per_thread {
+                let ops = group_txn_ops(&plan, w, t);
+                let mut present = 0usize;
+                for op in &ops {
+                    let StoreOp::Put { key, value } = op else { unreachable!() };
+                    if let Some(v) = store.get(key).unwrap() {
+                        prop_assert_eq!(&v, value, "recovered value diverged");
+                        present += 1;
+                    }
+                }
+                let recovered = present == ops.len();
+                prop_assert!(
+                    recovered || present == 0,
+                    "torn transaction w{}t{}: {}/{} ops recovered",
+                    w, t, present, ops.len()
+                );
+                prop_assert!(
+                    t >= acked_w || recovered,
+                    "acked transaction w{}t{} lost after restart", w, t
+                );
+                prop_assert!(
+                    prev_recovered || !recovered,
+                    "cross-batch reorder: w{}t{} recovered but its predecessor was not", w, t
+                );
+                prev_recovered = recovered;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

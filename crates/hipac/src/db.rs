@@ -38,6 +38,8 @@ pub struct Builder {
     storage_faults: Option<Arc<FaultPolicy>>,
     separate_retry_limit: usize,
     matching: Matching,
+    group_commit: Option<bool>,
+    group_commit_window: Option<Duration>,
 }
 
 impl Default for Builder {
@@ -53,6 +55,8 @@ impl Default for Builder {
             storage_faults: None,
             separate_retry_limit: 3,
             matching: Matching::from_env(),
+            group_commit: None,
+            group_commit_window: None,
         }
     }
 }
@@ -111,6 +115,24 @@ impl Builder {
         self
     }
 
+    /// Force WAL group commit on or off for the durable store,
+    /// overriding the `HIPAC_GROUP_COMMIT` environment default (on).
+    /// Only meaningful together with [`Builder::durable`].
+    pub fn group_commit(mut self, enabled: bool) -> Self {
+        self.group_commit = Some(enabled);
+        self
+    }
+
+    /// Straggler window a group-commit flush leader waits for late
+    /// committers before fsyncing the cohort. `Duration::ZERO` (the
+    /// default) is pure piggyback batching: commits that arrive while
+    /// the previous fsync runs form the next cohort, and a lone
+    /// committer pays no added latency (degenerate-to-immediate).
+    pub fn group_commit_window(mut self, window: Duration) -> Self {
+        self.group_commit_window = Some(window);
+        self
+    }
+
     /// How signals resolve candidate rules: [`Matching::Network`] (the
     /// default) probes the discrimination network, O(matches) per
     /// signal; [`Matching::Naive`] walks the full event→rules list —
@@ -127,12 +149,21 @@ impl Builder {
         let durable = match &self.durable_dir {
             Some(dir) => {
                 let faults = self.storage_faults.unwrap_or_else(FaultPolicy::none);
-                Some(Arc::new(DurableStore::open_with_faults(
+                let d = Arc::new(DurableStore::open_with_faults(
                     dir,
                     1024,
                     hipac_storage::store::DEFAULT_CHECKPOINT_THRESHOLD,
                     faults,
-                )?))
+                )?);
+                if self.group_commit.is_some() || self.group_commit_window.is_some() {
+                    let cur = d.group_commit_stats();
+                    d.set_group_commit(
+                        self.group_commit.unwrap_or(cur.enabled),
+                        self.group_commit_window
+                            .unwrap_or(Duration::from_micros(cur.window_us)),
+                    );
+                }
+                Some(d)
             }
             None => None,
         };
@@ -252,6 +283,13 @@ pub struct EngineStats {
     pub memo_hits: u64,
     /// Memo entries invalidated by committed writes (or evicted).
     pub memo_invalidations: u64,
+    /// WAL group-commit cohort flushes (each is one fsync); 0 when the
+    /// store is in-memory or group commit is off.
+    pub group_commits: u64,
+    /// Transactions committed through group-commit cohorts.
+    pub group_commit_txns: u64,
+    /// Largest cohort a single fsync has covered.
+    pub group_commit_largest: u64,
 }
 
 /// The assembled active DBMS.
@@ -422,6 +460,7 @@ impl ActiveDatabase {
         use std::sync::atomic::Ordering::Relaxed;
         let s = &self.rules.stats;
         let (deferred_txns, deferred_firings) = self.rules.deferred_sizes();
+        let gc = self.durable.as_ref().map(|d| d.group_commit_stats());
         EngineStats {
             signals_processed: s.signals_processed.load(Relaxed),
             rules_triggered: s.rules_triggered.load(Relaxed),
@@ -449,6 +488,9 @@ impl ActiveDatabase {
             match_pruned: self.rules.match_pruned(),
             memo_hits: self.rules.memo_hits(),
             memo_invalidations: self.rules.memo_invalidations(),
+            group_commits: gc.map(|g| g.groups).unwrap_or(0),
+            group_commit_txns: gc.map(|g| g.grouped_txns).unwrap_or(0),
+            group_commit_largest: gc.map(|g| g.largest_group).unwrap_or(0),
         }
     }
 

@@ -59,6 +59,23 @@ cargo test -q -p hipac-check --test failover_torture
 echo "==> repl bench cell (lag, replica vs primary serving, failover time)"
 cargo run --release -q -p hipac-bench --bin report -- --only repl --smoke --json repl
 
+echo "==> group commit: tier-1 engine suites in both commit modes"
+HIPAC_GROUP_COMMIT=on cargo test -q -p hipac -p hipac-storage
+HIPAC_GROUP_COMMIT=off cargo test -q -p hipac -p hipac-storage
+
+echo "==> group commit differential suite (on vs off, both matching modes, crash sweep)"
+cargo test -q -p hipac-check --test group_commit_diff
+
+echo "==> group crash matrix (pre-fsync / post-fsync-pre-wake) + interleaving property test"
+cargo test -q -p hipac-check --test restart_torture group_commit_crash_matrix
+cargo test -q -p hipac-storage --test proptests group_commit_interleavings
+
+echo "==> reactor load suite (idle horde, slow subscriber, cross-shard dedup)"
+HORDE_N=2000 cargo test -q -p hipac-net --test reactor_load
+
+echo "==> groupcommit bench cell (substrate + full stack + push latency)"
+cargo run --release -q -p hipac-bench --bin report -- --only groupcommit --smoke --json groupcommit
+
 # The offline toolchain may ship without clippy; lint hard when present.
 if cargo clippy --version >/dev/null 2>&1; then
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -1,0 +1,706 @@
+//! Differential torture: WAL group commit on vs off must be
+//! observationally equivalent. Identical seeded workloads replayed
+//! against a durable engine in each mode must yield identical
+//! committed state, identical rule-firing order (checked both through
+//! the application-request log and the `hipac-check` schedule
+//! recorder), and identical exactly-once reply-journal/push-outbox
+//! behavior over the wire — including when storage failpoints crash
+//! mid-group, where no commit may have been acked before its group's
+//! fsync.
+
+use hipac::prelude::*;
+use hipac::Matching;
+use hipac_check::ScheduleRecorder;
+use hipac_net::proto::{Command, Frame, Reply, RequestMeta};
+use hipac_net::{HipacClient, HipacServer, ServerConfig};
+use hipac_object::LockKey;
+use hipac_storage::FaultPolicy;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64): the whole schedule derives from a seed.
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule: generated once per seed, replayed verbatim in each mode.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert into the plain class `t` (no rule attached).
+    InsertT { n: i64 },
+    /// Insert into `p`, which an *immediate* rule audits.
+    InsertP { n: i64 },
+    /// Update a seeded `t` row; a *deferred* rule audits large values.
+    UpdateT { slot: usize, n: i64 },
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    ops: Vec<Op>,
+    abort: bool,
+}
+
+fn make_schedule(seed: u64, steps: usize, abort_pct: u64) -> Vec<Step> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let abort = rng.chance(abort_pct);
+        let mut ops = Vec::new();
+        for _ in 0..1 + rng.below(3) {
+            match rng.below(6) {
+                0..=1 => ops.push(Op::InsertT {
+                    n: rng.below(100) as i64,
+                }),
+                2..=3 => ops.push(Op::InsertP {
+                    n: rng.below(100) as i64,
+                }),
+                _ => ops.push(Op::UpdateT {
+                    slot: rng.below(4) as usize,
+                    n: rng.below(30) as i64,
+                }),
+            }
+        }
+        out.push(Step { ops, abort });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Engine harness: one durable ActiveDatabase per (mode, dir), with an
+// audit handler log and a schedule recorder on the lock manager.
+// ---------------------------------------------------------------------------
+
+struct Harness {
+    db: Arc<ActiveDatabase>,
+    log: Arc<Mutex<Vec<String>>>,
+    rec: Arc<ScheduleRecorder<LockKey>>,
+    oids: Vec<ObjectId>,
+}
+
+fn build(
+    group: bool,
+    dir: &PathBuf,
+    matching: Matching,
+    faults: Option<Arc<FaultPolicy>>,
+) -> Result<Harness> {
+    let mut b = ActiveDatabase::builder()
+        .durable(dir)
+        .matching(matching)
+        .workers(1)
+        .group_commit(group)
+        .group_commit_window(Duration::from_micros(if group { 200 } else { 0 }))
+        .lock_timeout(Duration::from_secs(3));
+    if let Some(f) = faults {
+        b = b.storage_faults(f);
+    }
+    let db = Arc::new(b.build()?);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    {
+        let log = Arc::clone(&log);
+        db.register_handler("audit", move |req: &str, _args: &Args| {
+            log.lock().unwrap().push(req.to_owned());
+            Ok(())
+        });
+    }
+    let rec: Arc<ScheduleRecorder<LockKey>> = ScheduleRecorder::new();
+    rec.attach(db.store().locks());
+    db.txn()
+        .register_resource(Arc::clone(&rec) as Arc<dyn hipac_txn::ResourceManager>);
+    Ok(Harness {
+        db,
+        log,
+        rec,
+        oids: Vec::new(),
+    })
+}
+
+impl Harness {
+    fn seed_data(&mut self) -> Result<()> {
+        let q = |s: &str| Query::parse(s).unwrap();
+        let oids = self.db.run_top(|t| {
+            self.db.store().create_class(
+                t,
+                "t",
+                None,
+                vec![
+                    AttrDef::new("sym", ValueType::Str),
+                    AttrDef::new("n", ValueType::Int),
+                ],
+            )?;
+            self.db
+                .store()
+                .create_class(t, "p", None, vec![AttrDef::new("n", ValueType::Int)])?;
+            self.db.rules().create_rule(
+                t,
+                RuleDef::new("imm-audit")
+                    .on(EventSpec::db(DbEventKind::Insert, Some("p")))
+                    .ec(CouplingMode::Immediate)
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "audit".into(),
+                        request: "imm".into(),
+                        args: vec![],
+                    })),
+            )?;
+            self.db.rules().create_rule(
+                t,
+                RuleDef::new("def-audit")
+                    .on(EventSpec::on_update("t"))
+                    .when(q("from t where new.n >= 20"))
+                    .ec(CouplingMode::Deferred)
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "audit".into(),
+                        request: "def".into(),
+                        args: vec![],
+                    })),
+            )?;
+            let mut oids = Vec::new();
+            for (i, sym) in ["a", "b", "c", "d"].iter().enumerate() {
+                oids.push(self.db.store().insert(
+                    t,
+                    "t",
+                    vec![Value::from(*sym), Value::from(i as i64)],
+                )?);
+            }
+            Ok(oids)
+        })?;
+        self.oids = oids;
+        Ok(())
+    }
+
+    /// Replay one step. `Err` only surfaces injected storage faults.
+    fn apply(&mut self, step: &Step) -> Result<()> {
+        let t = self.db.begin();
+        let mut failed = None;
+        for op in &step.ops {
+            let r: Result<()> = match op {
+                Op::InsertT { n } => self
+                    .db
+                    .store()
+                    .insert(t, "t", vec![Value::from("x"), Value::from(*n)])
+                    .map(|_| ()),
+                Op::InsertP { n } => self
+                    .db
+                    .store()
+                    .insert(t, "p", vec![Value::from(*n)])
+                    .map(|_| ()),
+                Op::UpdateT { slot, n } => {
+                    let oid = self.oids[slot % self.oids.len()];
+                    self.db
+                        .store()
+                        .update(t, oid, &[("n", Value::from(*n))])
+                        .map(|_| ())
+                }
+            };
+            if let Err(e) = r {
+                failed = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = failed {
+            let _ = self.db.abort(t);
+            return Err(e);
+        }
+        if step.abort {
+            self.db.abort(t)?;
+        } else if let Err(e) = self.db.commit(t) {
+            let _ = self.db.abort(t);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Committed rows per class, rendered stably.
+    fn state(&self) -> Vec<String> {
+        self.db
+            .run_top(|t| {
+                let mut rows = Vec::new();
+                for class in ["t", "p"] {
+                    let mut part: Vec<String> = self
+                        .db
+                        .store()
+                        .query(t, &Query::parse(&format!("from {class}")).unwrap(), None)
+                        .unwrap_or_default()
+                        .iter()
+                        .map(|r| format!("{class}/{:?}:{:?}", r.oid, r.values))
+                        .collect();
+                    part.sort();
+                    rows.extend(part);
+                }
+                Ok(rows)
+            })
+            .unwrap_or_default()
+    }
+
+    fn fired(&self) -> Vec<String> {
+        self.log.lock().unwrap().clone()
+    }
+
+    /// The committed access history with transaction ids erased: the
+    /// per-transaction `(key, kind)` sequences in commit order. Rule
+    /// firings fold into their top-level ancestor, so this captures
+    /// firing order without depending on txn-id allocation.
+    fn history(&self) -> Vec<Vec<String>> {
+        self.rec
+            .history()
+            .committed
+            .iter()
+            .map(|c| {
+                c.accesses
+                    .iter()
+                    .map(|a| format!("{:?}/{:?}", a.key, a.kind))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hipac-group-commit-diff/{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// 1. Sequential differential: state, firing order, access history.
+// ---------------------------------------------------------------------------
+
+/// Replay `schedule` under group commit off and on and demand
+/// identical observable behavior, in both matching modes.
+fn run_diff(seed: u64, steps: usize, abort_pct: u64, matching: Matching) {
+    let schedule = make_schedule(seed, steps, abort_pct);
+    let dir_off = tmpdir(&format!("seq-off-{seed}-{matching:?}"));
+    let dir_on = tmpdir(&format!("seq-on-{seed}-{matching:?}"));
+    let mut off = build(false, &dir_off, matching, None).unwrap();
+    let mut on = build(true, &dir_on, matching, None).unwrap();
+    off.seed_data().unwrap();
+    on.seed_data().unwrap();
+    for (i, step) in schedule.iter().enumerate() {
+        off.apply(step).unwrap();
+        on.apply(step).unwrap();
+        assert_eq!(
+            off.fired(),
+            on.fired(),
+            "seed {seed}: firing order diverged after step {i}: {step:?}"
+        );
+    }
+    // Compare histories before the state() snapshot below adds its
+    // own full-scan transactions (whose read order follows hash-map
+    // iteration and is not deterministic).
+    let (h_off, h_on) = (off.history(), on.history());
+    assert_eq!(
+        h_off.len(),
+        h_on.len(),
+        "seed {seed}: committed txn counts diverged"
+    );
+    for (i, (a, b)) in h_off.iter().zip(h_on.iter()).enumerate() {
+        assert_eq!(a, b, "seed {seed}: access history of committed txn #{i} diverged");
+    }
+    assert_eq!(off.state(), on.state(), "seed {seed}: committed state diverged");
+    assert_eq!(off.rec.active_count(), 0);
+    assert_eq!(on.rec.active_count(), 0);
+    // The on-mode run must actually have taken the group path.
+    let stats = on.db.stats();
+    assert!(stats.group_commits > 0, "seed {seed}: group path never taken");
+    assert_eq!(off.db.stats().group_commits, 0, "seed {seed}: off mode grouped");
+    drop(off);
+    drop(on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+}
+
+#[test]
+fn sequential_schedules_match() {
+    for seed in [1u64, 2, 3] {
+        run_diff(seed, 40, 15, Matching::Network);
+    }
+}
+
+#[test]
+fn sequential_schedules_match_naive_matching() {
+    run_diff(7, 40, 15, Matching::Naive);
+}
+
+#[test]
+fn abort_heavy_schedules_match() {
+    run_diff(11, 40, 60, Matching::Network);
+}
+
+// ---------------------------------------------------------------------------
+// 2. Concurrent committers: equivalence under real cohort formation.
+// ---------------------------------------------------------------------------
+
+/// Run `threads` concurrent committers, each landing a disjoint range
+/// of values, and return the committed multiset of values. Each
+/// committer writes its *own* class: inserts take a class write lock
+/// (phantom protection), so same-class committers serialize end to
+/// end and a cohort could never form.
+fn concurrent_run(group: bool, dir: &PathBuf, threads: usize, per: usize) -> HashMap<i64, usize> {
+    let mut h = build(group, dir, Matching::Network, None).unwrap();
+    h.seed_data().unwrap();
+    let db = Arc::clone(&h.db);
+    db.run_top(|t| {
+        for w in 0..threads {
+            db.store().create_class(
+                t,
+                &format!("w{w}"),
+                None,
+                vec![AttrDef::new("n", ValueType::Int)],
+            )?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    let mut joins = Vec::new();
+    for w in 0..threads {
+        let db = Arc::clone(&db);
+        joins.push(std::thread::spawn(move || {
+            let class = format!("w{w}");
+            for i in 0..per {
+                let n = 1000 + (w * per + i) as i64;
+                let t = db.begin();
+                db.store().insert(t, &class, vec![Value::from(n)]).unwrap();
+                db.commit(t).unwrap();
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    let mut counts = HashMap::new();
+    db.run_top(|t| {
+        for w in 0..threads {
+            for r in db
+                .store()
+                .query(t, &Query::parse(&format!("from w{w}")).unwrap(), None)?
+            {
+                if let Value::Int(n) = r.values[0] {
+                    *counts.entry(n).or_insert(0usize) += 1;
+                }
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    if group {
+        let s = db.stats();
+        assert!(
+            s.group_commit_largest >= 2,
+            "concurrent committers never formed a cohort (largest {})",
+            s.group_commit_largest
+        );
+        assert!(s.group_commit_txns >= (threads * per) as u64);
+    }
+    counts
+}
+
+#[test]
+fn concurrent_committers_equivalent() {
+    let threads = 8;
+    let per = 25;
+    let dir_off = tmpdir("conc-off");
+    let dir_on = tmpdir("conc-on");
+    let off = concurrent_run(false, &dir_off, threads, per);
+    let on = concurrent_run(true, &dir_on, threads, per);
+    assert_eq!(off, on, "concurrent committed states diverged");
+    assert_eq!(on.len(), threads * per);
+    assert!(on.values().all(|&c| c == 1), "duplicate commit applied");
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Failpoints mid-group: no ack before the group's fsync.
+// ---------------------------------------------------------------------------
+
+/// Crash at fault-point `crash_hit` while `threads` committers race,
+/// then recover and check: every value whose commit was *acked* is
+/// present exactly once (acked ⊆ recovered — nobody was woken before
+/// the cohort fsync), and nothing foreign appears.
+fn crash_run(group: bool, seed: u64, crash_hit: u64) {
+    let dir = tmpdir(&format!("crash-{group}-{seed}-{crash_hit}"));
+    let faults = FaultPolicy::crash_at(crash_hit, seed);
+    let acked: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let mut h = match build(group, &dir, Matching::Network, Some(Arc::clone(&faults))) {
+            Ok(h) => h,
+            Err(_) => return, // crash fired during open: nothing was acked
+        };
+        if h.seed_data().is_err() {
+            return; // crash during setup: nothing post-setup was acked
+        }
+        let db = Arc::clone(&h.db);
+        let mut joins = Vec::new();
+        for w in 0..4usize {
+            let db = Arc::clone(&db);
+            let acked = Arc::clone(&acked);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..12usize {
+                    let n = 1000 + (w * 12 + i) as i64;
+                    let t = db.begin();
+                    if db
+                        .store()
+                        .insert(t, "t", vec![Value::from("w"), Value::from(n)])
+                        .is_err()
+                    {
+                        let _ = db.abort(t);
+                        continue;
+                    }
+                    match db.commit(t) {
+                        Ok(()) => acked.lock().unwrap().push(n),
+                        Err(_) => {
+                            let _ = db.abort(t);
+                        }
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+    // Recover with a clean policy; injected crashes are sticky, so the
+    // "dead" store cannot have mutated disk after the crash point.
+    let h = build(group, &dir, Matching::Network, None).unwrap();
+    let mut counts: HashMap<i64, usize> = HashMap::new();
+    h.db.run_top(|t| {
+        for r in h.db.store().query(t, &Query::parse("from t").unwrap(), None)? {
+            if let Value::Int(n) = r.values[1] {
+                if n >= 1000 {
+                    *counts.entry(n).or_insert(0) += 1;
+                }
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    let crashed = faults.has_crashed();
+    for n in acked.lock().unwrap().iter() {
+        assert_eq!(
+            counts.get(n),
+            Some(&1),
+            "group={group} crash_hit={crash_hit} (crashed={crashed}): \
+             acked commit of {n} lost or duplicated after recovery"
+        );
+    }
+    for (n, c) in &counts {
+        assert_eq!(
+            *c, 1,
+            "group={group} crash_hit={crash_hit}: value {n} applied {c} times"
+        );
+        assert!((1000..2000).contains(n));
+    }
+    drop(h);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_group_never_loses_acked_commits() {
+    // Sweep crash points across the whole commit path: WAL appends,
+    // the cohort fsync, the post-fsync pre-wake window (GroupWake),
+    // and the apply loop all fall in this range for a 48-txn burst.
+    for seed in [5u64, 6] {
+        for crash_hit in [60u64, 95, 140, 210] {
+            crash_run(true, seed, crash_hit);
+            crash_run(false, seed, crash_hit);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. Exactly-once reply journal and push outbox over the wire.
+// ---------------------------------------------------------------------------
+
+/// Run a keyed network workload against a durable server in the given
+/// group mode: every acked commit lands exactly once, every rule push
+/// is delivered exactly once, a raw duplicate replays from the dedup
+/// window, and after a restart the reply journal still answers for the
+/// pre-restart commit. Returns (committed counts, push payloads).
+fn wire_run(group: bool) -> (HashMap<i64, usize>, Vec<String>) {
+    let dir = tmpdir(&format!("wire-{group}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let open = || {
+        let db = Arc::new(
+            ActiveDatabase::builder()
+                .durable(&dir)
+                .group_commit(group)
+                .group_commit_window(Duration::from_micros(if group { 200 } else { 0 }))
+                .lock_timeout(Duration::from_secs(3))
+                .build()
+                .unwrap(),
+        );
+        HipacServer::bind_with(db, "127.0.0.1:0", ServerConfig::default()).unwrap()
+    };
+    let mut server = open();
+    {
+        let db = server.db();
+        db.run_top(|t| {
+            db.store()
+                .create_class(t, "p", None, vec![AttrDef::new("n", ValueType::Int)])?;
+            db.rules().create_rule(
+                t,
+                RuleDef::new("audit-insert")
+                    .on(EventSpec::db(DbEventKind::Insert, Some("p")))
+                    .then(Action::single(ActionOp::AppRequest {
+                        handler: "audit".into(),
+                        request: "audit".into(),
+                        args: vec![],
+                    })),
+            )?;
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    let pushes: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let subscriber = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    {
+        let pushes = Arc::clone(&pushes);
+        subscriber
+            .subscribe("audit", move |push| {
+                pushes.lock().unwrap().push(push.request.clone());
+            })
+            .unwrap();
+    }
+
+    let client = HipacClient::connect(server.local_addr().to_string()).unwrap();
+    let mut last_commit_txn = None;
+    for i in 0..20i64 {
+        let t = client.begin().unwrap();
+        client.insert(t, "p", vec![Value::from(i)]).unwrap();
+        client.commit(t).unwrap();
+        last_commit_txn = Some(t);
+    }
+
+    // All pushes must drain (the outbox empties only on client ack).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.unacked_pushes() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.unacked_pushes(), 0, "group={group}: outbox never drained");
+    assert_eq!(pushes.lock().unwrap().len(), 20, "group={group}: push count");
+
+    // A raw duplicate of an already-committed keyed request must hit
+    // the dedup window, not re-execute.
+    let roundtrip = |stream: &mut TcpStream, id: u64, meta: RequestMeta, command: Command| {
+        stream
+            .write_all(&Frame::Request { id, meta, command }.encode())
+            .unwrap();
+        loop {
+            match Frame::read_from(stream).unwrap().expect("reply") {
+                Frame::Response { id: rid, reply } if rid == id => return reply,
+                Frame::Response { .. } | Frame::Push(_) => continue,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    };
+    let keyed = RequestMeta {
+        client_id: 4242 + group as u64,
+        seq: 1,
+        deadline_ms: 0,
+    };
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    let txn = match roundtrip(&mut conn, 1, keyed, Command::Begin) {
+        Reply::Txn(t) => t,
+        other => panic!("{other:?}"),
+    };
+    let meta2 = RequestMeta { seq: 2, ..keyed };
+    roundtrip(
+        &mut conn,
+        2,
+        meta2,
+        Command::Insert {
+            txn,
+            class: "p".into(),
+            values: vec![Value::from(777i64)],
+        },
+    );
+    let meta3 = RequestMeta { seq: 3, ..keyed };
+    assert_eq!(
+        roundtrip(&mut conn, 3, meta3, Command::Commit { txn }),
+        Reply::Ok
+    );
+    let before = server.dedup_hits();
+    assert_eq!(
+        roundtrip(&mut conn, 4, meta3, Command::Commit { txn }),
+        Reply::Ok,
+        "group={group}: keyed duplicate must replay the cached reply"
+    );
+    assert!(server.dedup_hits() > before, "group={group}: dedup window missed");
+    drop(conn);
+    drop(client);
+    drop(subscriber);
+
+    // Restart on the same directory: the reply journal (which rides
+    // the same commit batches group commit coalesces) must still
+    // answer for the pre-restart commit.
+    let _ = last_commit_txn;
+    server.shutdown();
+    drop(server);
+    let server = open();
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    assert_eq!(
+        roundtrip(&mut conn, 10, meta3, Command::Commit { txn }),
+        Reply::Ok,
+        "group={group}: journal replay after restart failed"
+    );
+    assert_eq!(server.journal_replays(), 1, "group={group}");
+
+    let db = server.db();
+    let mut counts = HashMap::new();
+    db.run_top(|t| {
+        for r in db.store().query(t, &Query::parse("from p").unwrap(), None)? {
+            if let Value::Int(n) = r.values[0] {
+                *counts.entry(n).or_insert(0usize) += 1;
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    let fired = pushes.lock().unwrap().clone();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+    (counts, fired)
+}
+
+#[test]
+fn wire_journal_and_outbox_exactly_once_in_both_modes() {
+    let (counts_off, pushes_off) = wire_run(false);
+    let (counts_on, pushes_on) = wire_run(true);
+    assert_eq!(counts_off, counts_on, "wire committed state diverged");
+    assert_eq!(pushes_off, pushes_on, "push payload traces diverged");
+    assert!(counts_on.values().all(|&c| c == 1), "duplicate wire commit");
+    assert_eq!(counts_on.len(), 21); // 20 keyed inserts + the raw 777
+}
