@@ -43,11 +43,19 @@
 //! mid-burst, promote its replica, and prove the same guarantees held
 //! by the *replicated* journal and outbox.
 
+//! [`tenants`] tortures the multi-tenant hardening layer (protocol
+//! v8): hostile peers asserting foreign identities, a noisy tenant
+//! flooding per-tenant admission budgets through chaos, and a
+//! calibrated crash sweep across the slow-subscriber eviction window
+//! proving the `SubscriberEvicted` signal fires user rules exactly
+//! once per eviction.
+
 pub mod conflict;
 pub mod failover;
 pub mod netchaos;
 pub mod restart;
 pub mod schedule;
+pub mod tenants;
 
 pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
 pub use failover::{run_failover_torture, FailoverTortureConfig, FailoverTortureReport};
@@ -57,3 +65,4 @@ pub use restart::{
     RestartTortureReport,
 };
 pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};
+pub use tenants::{run_tenant_torture, TenantTortureConfig, TenantTortureReport};

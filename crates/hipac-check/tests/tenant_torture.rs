@@ -1,0 +1,86 @@
+//! Tenant-isolation torture: across ≥3 seeds, a hostile peer
+//! asserting foreign identities is refused everywhere, a noisy tenant
+//! flooding through chaos absorbs its own shedding while a quiet
+//! tenant's workload lands untouched, and crashes swept across the
+//! slow-subscriber eviction window leave the `SubscriberEvicted` user
+//! rule fired exactly once per eviction.
+
+use hipac_check::tenants::{run_tenant_torture, TenantTortureConfig};
+
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+#[test]
+fn tenant_torture_isolates_tenants_across_seeds() {
+    let mut crash_evidence = 0u64;
+    for seed in SEEDS {
+        let cfg = TenantTortureConfig::fast(seed);
+        let report = run_tenant_torture(&cfg);
+
+        // Phase A: every hostile avenue refused, the victim unharmed.
+        assert_eq!(
+            report.spoof_refusals, cfg.spoof_attempts,
+            "seed {seed}: spoofed keyed requests not all refused"
+        );
+        assert_eq!(
+            report.forged_token_refusals, 3,
+            "seed {seed}: forged tokens not all refused"
+        );
+        assert_eq!(
+            report.foreign_subscribe_refusals, 1,
+            "seed {seed}: foreign subscribe admitted"
+        );
+        assert_eq!(
+            report.foreign_ack_refusals, 1,
+            "seed {seed}: foreign ack admitted"
+        );
+        assert!(
+            report.victim_replay_ok,
+            "seed {seed}: victim's retried commit did not replay"
+        );
+        assert!(
+            report.dedup_poison_blocked,
+            "seed {seed}: hostile peer poisoned the victim's dedup state"
+        );
+        assert!(
+            report.auth_failures >= cfg.spoof_attempts + 3,
+            "seed {seed}: auth_failures gauge under-counted ({})",
+            report.auth_failures
+        );
+
+        // Phase B: the quiet tenant landed everything exactly once
+        // while the noisy tenant absorbed per-tenant shedding.
+        assert_eq!(
+            report.quiet_landed, cfg.quiet_txns,
+            "seed {seed}: quiet tenant lost transactions to the flood"
+        );
+        for i in 0..cfg.quiet_txns {
+            assert_eq!(
+                report.quiet_counts.get(&i),
+                Some(&1),
+                "seed {seed}: quiet value {i} not applied exactly once"
+            );
+        }
+        assert!(
+            report.tenant_sheds > 0,
+            "seed {seed}: the noisy flood was never shed by its tenant budget"
+        );
+
+        // Phase C: every swept crash point kept the eviction signal
+        // exactly-once.
+        assert!(
+            report.crash_points > 0,
+            "seed {seed}: no crash point in the eviction window ever fired"
+        );
+        assert_eq!(
+            report.exactly_once_points, report.crash_points,
+            "seed {seed}: eviction signal lost or duplicated under crash"
+        );
+        crash_evidence += report.crash_points;
+    }
+    // Across the seeds, the sweep must have exercised a spread of
+    // crash placements inside the finalization window.
+    assert!(
+        crash_evidence >= 3,
+        "too few eviction-window crashes observed across seeds ({crash_evidence})"
+    );
+}

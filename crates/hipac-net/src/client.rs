@@ -92,6 +92,15 @@ pub struct ClientConfig {
     /// How long an open breaker refuses before allowing one half-open
     /// probe.
     pub breaker_cooldown: Duration,
+    /// Shared server secret for session authentication (protocol v8).
+    /// When set, every (re)connect handshake presents
+    /// `HMAC-SHA256(secret, client_id)` via `Command::Auth` after the
+    /// ping, binding the session to this client's identity — required
+    /// before a v8 server with auth enabled honors keyed requests,
+    /// journal replays, or push acks for that `client_id`. Against a
+    /// v≤7 server (which cannot understand `Auth`) the step is
+    /// skipped. `None` sends no token.
+    pub auth_secret: Option<Vec<u8>>,
 }
 
 impl Default for ClientConfig {
@@ -104,6 +113,7 @@ impl Default for ClientConfig {
             retry_ambiguous: false,
             breaker_threshold: 0,
             breaker_cooldown: Duration::from_millis(250),
+            auth_secret: None,
         }
     }
 }
@@ -450,12 +460,15 @@ impl HipacClient {
             let ping = Command::Ping {
                 version: PROTOCOL_VERSION,
             };
-            match raw_request(&conn, id, RequestMeta::default(), ping, None)? {
+            let negotiated = match raw_request(&conn, id, RequestMeta::default(), ping, None)? {
                 // Additive negotiation: any version both ends speak is
                 // acceptable — the server answers with the minimum of
                 // the two, and v5 extensions degrade gracefully.
                 Reply::Pong { version }
-                    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) => {}
+                    if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+                {
+                    version
+                }
                 Reply::Pong { version } => {
                     return Err(WireError::Protocol(format!(
                         "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
@@ -463,6 +476,26 @@ impl HipacClient {
                 }
                 Reply::Err { kind, message } => return Err(WireError::Remote { kind, message }),
                 other => return Err(unexpected(other)),
+            };
+            // Authenticate before re-subscribing: subscriptions bind to
+            // the proven identity on a v8 server with auth enabled, so
+            // the token must land first. A v≤7 server never sees the
+            // opcode (it could not decode it).
+            if let Some(secret) = &self.config.auth_secret {
+                if negotiated >= 8 {
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    let auth = Command::Auth {
+                        client_id: self.client_id,
+                        token: crate::auth::session_token(secret, self.client_id).to_vec(),
+                    };
+                    match raw_request(&conn, id, RequestMeta::default(), auth, None)? {
+                        Reply::Ok => {}
+                        Reply::Err { kind, message } => {
+                            return Err(WireError::Remote { kind, message })
+                        }
+                        other => return Err(unexpected(other)),
+                    }
+                }
             }
             for handler in self.subscribed.lock().iter() {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -718,10 +751,18 @@ impl HipacClient {
 
     // ---- observability ----
 
-    /// Fetch the server's engine statistics snapshot.
+    /// Fetch the server's engine statistics snapshot. The client-side
+    /// circuit-breaker gauges (`breaker_trips`/`breaker_resets`) are
+    /// overlaid from this process's per-address breaker — the server
+    /// encodes them as zero because it cannot know them.
     pub fn stats(&self) -> Result<WireStats, WireError> {
         match self.request(Command::Stats)? {
-            Reply::Stats(s) => Ok(*s),
+            Reply::Stats(s) => {
+                let mut s = *s;
+                s.breaker_trips = self.breaker_trips();
+                s.breaker_resets = self.breaker_resets();
+                Ok(s)
+            }
             other => Err(unexpected(other)),
         }
     }

@@ -37,7 +37,19 @@
 //! a dispatch-delay EWMA and a client-side per-address circuit
 //! breaker. See DESIGN.md §7 and the `hipac-check::restart` torture
 //! for the proof obligations.
+//!
+//! Protocol v8 hardens the server for multiple tenants: sessions
+//! authenticate with an HMAC token over a shared server secret
+//! ([`auth`], [`Command::Auth`]) binding the connection to its
+//! `client_id`, so journal replays, push redelivery, and acks are only
+//! honored for the proven identity; admission control is hung off the
+//! tenant (per-tenant inflight caps and dispatch-delay EWMAs replace
+//! the single global gate); and a slow subscriber whose durable outbox
+//! exceeds a byte/age budget is dead-lettered with a typed
+//! `SubscriberEvicted` engine event that user rules can fire on. See
+//! DESIGN.md §9.
 
+pub mod auth;
 pub mod client;
 pub mod proto;
 pub mod reactor;

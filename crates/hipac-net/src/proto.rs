@@ -57,9 +57,14 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// as the v5 block).
 /// v7: hot-path gauges — group-commit cohort counters and the reactor
 /// shard count appended to Stats (additive, presence-decoded).
-pub const PROTOCOL_VERSION: u32 = 7;
+/// v8: multi-tenant hardening — the `Auth` opcode (HMAC session token
+/// binding the connection to its `client_id`), and seven tenancy /
+/// breaker gauges appended to Stats (additive, presence-decoded).
+/// v≤7 peers negotiate down, never see the new constructs, and are
+/// confined to the server's `unauthenticated` tenant class.
+pub const PROTOCOL_VERSION: u32 = 8;
 
-/// Oldest protocol version this build still speaks (the v5–v7
+/// Oldest protocol version this build still speaks (the v5–v8
 /// additions are gated on the negotiated version, everything else is
 /// unchanged since v4).
 pub const MIN_PROTOCOL_VERSION: u32 = 4;
@@ -283,6 +288,17 @@ pub struct WireStats {
     pub group_commit_txns: u64,
     pub group_commit_largest: u64,
     pub reactor_shards: u64,
+    // ---- v8 tenancy / breaker gauges (encoded only to v8 peers;
+    // decoded by presence like the earlier blocks). The server encodes
+    // breaker_trips / breaker_resets as zero — the client overlays its
+    // process-wide circuit-breaker registry in `HipacClient::stats`. ----
+    pub auth_failures: u64,
+    pub tenants_active: u64,
+    pub tenant_shed_requests: u64,
+    pub pushes_shed: u64,
+    pub subscribers_evicted: u64,
+    pub breaker_trips: u64,
+    pub breaker_resets: u64,
 }
 
 impl WireStats {
@@ -345,6 +361,19 @@ impl WireStats {
                 put_uvarint(buf, v);
             }
         }
+        if version >= 8 {
+            for v in [
+                self.auth_failures,
+                self.tenants_active,
+                self.tenant_shed_requests,
+                self.pushes_shed,
+                self.subscribers_evicted,
+                self.breaker_trips,
+                self.breaker_resets,
+            ] {
+                put_uvarint(buf, v);
+            }
+        }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
@@ -378,6 +407,14 @@ impl WireStats {
             }
         }
         let [group_commits, group_commit_txns, group_commit_largest, reactor_shards] = hot;
+        let mut tenancy = [0u64; 7];
+        if *pos < buf.len() {
+            for f in &mut tenancy {
+                *f = get_uvarint(buf, pos)?;
+            }
+        }
+        let [auth_failures, tenants_active, tenant_shed_requests, pushes_shed, subscribers_evicted, breaker_trips, breaker_resets] =
+            tenancy;
         let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters, shed_adaptive, journal_replays, pushes_redelivered] =
             fields;
         Ok(WireStats {
@@ -417,6 +454,13 @@ impl WireStats {
             group_commit_txns,
             group_commit_largest,
             reactor_shards,
+            auth_failures,
+            tenants_active,
+            tenant_shed_requests,
+            pushes_shed,
+            subscribers_evicted,
+            breaker_trips,
+            breaker_resets,
         })
     }
 }
@@ -494,6 +538,14 @@ pub enum Command {
     /// semi-sync commit gate and its lag gauges (frame id 0 —
     /// fire-and-forget).
     ReplProgress { applied_lsn: u64 },
+    // ---- authentication (v8) ----
+    /// Bind this connection to identity `client_id`. `token` is
+    /// `HMAC-SHA256(server_secret, client_id.to_be_bytes())` (see
+    /// `hipac_net::auth::session_token`). On a server with auth
+    /// enabled, keyed requests, push redelivery, and `AckPush` are only
+    /// honored once the session has authenticated as the matching
+    /// identity; a bad token gets a typed `AuthFailed` refusal.
+    Auth { client_id: u64, token: Vec<u8> },
 }
 
 // Command opcodes. Stable on the wire: never renumber, only append.
@@ -519,6 +571,7 @@ const OP_STATS: u8 = 18;
 const OP_ACK_PUSH: u8 = 19;
 const OP_REPL_SUBSCRIBE: u8 = 20;
 const OP_REPL_PROGRESS: u8 = 21;
+const OP_AUTH: u8 = 22;
 
 impl Command {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -658,6 +711,11 @@ impl Command {
             Command::ReplProgress { applied_lsn } => {
                 buf.push(OP_REPL_PROGRESS);
                 put_uvarint(buf, *applied_lsn);
+            }
+            Command::Auth { client_id, token } => {
+                buf.push(OP_AUTH);
+                put_uvarint(buf, *client_id);
+                put_bytes(buf, token);
             }
         }
     }
@@ -803,6 +861,10 @@ impl Command {
             },
             OP_REPL_PROGRESS => Command::ReplProgress {
                 applied_lsn: get_uvarint(buf, pos)?,
+            },
+            OP_AUTH => Command::Auth {
+                client_id: get_uvarint(buf, pos)?,
+                token: get_bytes(buf, pos)?.to_vec(),
             },
             other => return Err(WireError::Protocol(format!("unknown opcode {other}"))),
         })
@@ -1395,6 +1457,10 @@ mod tests {
                 handler: "reorderer".into(),
                 seq: 99,
             },
+            Command::Auth {
+                client_id: u64::MAX,
+                token: vec![0xde, 0xad, 0xbe, 0xef],
+            },
             Command::Stats,
         ];
         for (i, command) in commands.into_iter().enumerate() {
@@ -1478,6 +1544,13 @@ mod tests {
                 group_commit_txns: 33,
                 group_commit_largest: 34,
                 reactor_shards: 35,
+                auth_failures: 36,
+                tenants_active: 37,
+                tenant_shed_requests: 38,
+                pushes_shed: 39,
+                subscribers_evicted: 40,
+                breaker_trips: 41,
+                breaker_resets: 42,
             })),
             Reply::Err {
                 kind: "UnknownClass".into(),
@@ -1536,6 +1609,12 @@ mod tests {
             match_pruned: 14,
             memo_hits: 15,
             memo_invalidations: 16,
+            group_commits: 21,
+            reactor_shards: 4,
+            auth_failures: 31,
+            tenant_shed_requests: 32,
+            subscribers_evicted: 33,
+            breaker_trips: 34,
             ..WireStats::default()
         };
         let frame = Frame::Response {
@@ -1570,10 +1649,38 @@ mod tests {
         assert_eq!(s.promotions, 1);
         assert_eq!(s.match_index_nodes, 0, "v5 body carries no matching gauges");
         assert_eq!(s.memo_hits, 0);
-        // A v6 peer gets the full body.
+        // A v6 peer gets the matching gauges but not the hot-path ones.
         let v6_bytes = frame.encode_versioned(6);
         assert!(v6_bytes.len() > v5_bytes.len());
         let back = Frame::decode(&v6_bytes[4..]).unwrap();
+        let Frame::Response {
+            reply: Reply::Stats(s),
+            ..
+        } = back
+        else {
+            panic!("expected stats response");
+        };
+        assert_eq!(s.match_index_nodes, 12);
+        assert_eq!(s.group_commits, 0, "v6 body carries no hot-path gauges");
+        // A v7 peer gets the hot-path gauges but not the tenancy block.
+        let v7_bytes = frame.encode_versioned(7);
+        assert!(v7_bytes.len() > v6_bytes.len());
+        let back = Frame::decode(&v7_bytes[4..]).unwrap();
+        let Frame::Response {
+            reply: Reply::Stats(s),
+            ..
+        } = back
+        else {
+            panic!("expected stats response");
+        };
+        assert_eq!(s.group_commits, 21);
+        assert_eq!(s.reactor_shards, 4);
+        assert_eq!(s.auth_failures, 0, "v7 body carries no tenancy gauges");
+        assert_eq!(s.subscribers_evicted, 0);
+        // A v8 peer gets the full body.
+        let v8_bytes = frame.encode_versioned(8);
+        assert!(v8_bytes.len() > v7_bytes.len());
+        let back = Frame::decode(&v8_bytes[4..]).unwrap();
         let Frame::Response {
             reply: Reply::Stats(s),
             ..

@@ -94,6 +94,42 @@ pub struct ServerConfig {
     /// The batched fan-out writes every subscriber opportunistically
     /// first, so a slow subscriber only ever delays itself.
     pub push_write_timeout: Duration,
+    /// Shared secret for session authentication (v8). When set, a
+    /// session must present `Command::Auth` with a valid
+    /// `HMAC-SHA256(secret, client_id)` token before any keyed request
+    /// naming that `client_id` is honored — which covers reply-journal
+    /// replays, dedup probes, and the per-tenant admission identity.
+    /// Push subscriptions bind to the first authenticated owner;
+    /// `Subscribe`/`AckPush` from any other identity are refused with
+    /// `AuthFailed`. Unauthenticated sessions (including v≤7 peers,
+    /// which cannot send `Auth`) are confined to the shared
+    /// `unauthenticated` tenant class and unkeyed work. `None`
+    /// disables authentication: the asserted `client_id` is trusted,
+    /// as in earlier protocol versions.
+    pub auth_secret: Option<Vec<u8>>,
+    /// Per-tenant admission budget: requests one tenant may have in
+    /// dispatch concurrently. Beyond it that tenant's requests are
+    /// shed with `Overloaded` (counted in `tenant_shed_requests`)
+    /// while other tenants keep admitting. `0` disables the cap.
+    pub tenant_max_inflight: usize,
+    /// Per-tenant adaptive admission signal: when a tenant's own
+    /// dispatch-delay EWMA exceeds this while that tenant already has
+    /// work in flight, its next request is shed. `None` disables it.
+    /// (The global `shed_queue_delay` signal is tenant-weighted too:
+    /// it shedding requires the *requesting tenant* to already have
+    /// work in flight, so a noisy tenant's queueing delay sheds the
+    /// noisy tenant, not the quiet ones.)
+    pub tenant_shed_queue_delay: Option<Duration>,
+    /// Slow-subscriber byte budget: when a handler's unacked outbox
+    /// reaches this many encoded frame bytes, the subscription is
+    /// dead-lettered — its durable outbox state is garbage-collected
+    /// and a `SubscriberEvicted` engine event is signalled so user
+    /// rules can react. `0` disables byte-based eviction.
+    pub outbox_evict_bytes: usize,
+    /// Slow-subscriber age budget: a handler whose *oldest* unacked
+    /// push has waited longer than this is dead-lettered on the next
+    /// delivery attempt. `None` disables age-based eviction.
+    pub outbox_evict_age: Option<Duration>,
     /// Semi-synchronous replication: gate each successful commit ack on
     /// every connected replica having reported durable application up
     /// to the committing frontier, so an acknowledged write never
@@ -117,6 +153,11 @@ impl Default for ServerConfig {
             reply_journal: true,
             outbox_cap: 256,
             shed_queue_delay: None,
+            auth_secret: None,
+            tenant_max_inflight: 0,
+            tenant_shed_queue_delay: None,
+            outbox_evict_bytes: 0,
+            outbox_evict_age: None,
             reactor_shards: 0,
             push_write_timeout: Duration::from_secs(5),
             sync_repl: false,
@@ -171,6 +212,18 @@ struct Subscriptions {
     /// Bound on one push write to a lagging subscriber (second phase of
     /// the fan-out; the first phase never waits).
     push_write_timeout: Duration,
+    /// Slow-subscriber budgets (`0`/`None` disable): an outbox past
+    /// either one is dead-lettered instead of backpressured forever.
+    evict_bytes: usize,
+    evict_age: Option<Duration>,
+    /// Handlers detected over-budget by [`Subscriptions::deliver`],
+    /// awaiting the eviction housekeeper (`deliver` runs on rule-firing
+    /// threads *inside* transactions, so the durable GC, teardown, and
+    /// `SubscriberEvicted` signal must happen elsewhere).
+    evict_queue: Mutex<Vec<EvictNotice>>,
+    /// Push deliveries refused because the handler is over budget or
+    /// already dead-lettered (served in Stats as `pushes_shed`).
+    pushes_shed: AtomicU64,
     /// Persist outbox records and sequence counters when serving a
     /// durable database (counters must survive restarts: reusing a
     /// sequence would make clients silently drop a fresh push as a
@@ -183,6 +236,79 @@ struct HandlerOutbox {
     next_seq: u64,
     /// Encoded push frames awaiting ack, in sequence order.
     unacked: BTreeMap<u64, Vec<u8>>,
+    /// Enqueue instants parallel to `unacked` (the age budget's clock).
+    enqueued_at: BTreeMap<u64, Instant>,
+    /// Total encoded bytes across `unacked` (the byte budget's gauge).
+    bytes: u64,
+    /// The authenticated tenant that first subscribed this handler
+    /// (persisted in the `'k'` record on durable stores). With auth
+    /// enabled, only the owner may subscribe or ack; `None` means
+    /// unclaimed. Ignored when auth is off.
+    owner: Option<u64>,
+    /// Dead-lettered: deliveries are refused (and counted in
+    /// `pushes_shed`) until an owner re-subscribe resurrects the
+    /// handler. `next_seq` is preserved across the eviction so a
+    /// resurrected subscription never reuses a sequence its client
+    /// already deduplicated.
+    evicted: bool,
+}
+
+/// A dead-letter decision recorded by `deliver`, consumed by the
+/// eviction housekeeper: enough to GC the durable state, tear down the
+/// subscription, and signal `SubscriberEvicted` through the engine.
+struct EvictNotice {
+    handler: String,
+    /// Preserved sequence counter (written into the tombstone).
+    next_seq: u64,
+    /// Unacked sequences to GC from the `'q'` key space (empty for
+    /// notices recovered from a pending tombstone — their GC already
+    /// committed before the crash).
+    seqs: Vec<u64>,
+    /// Gauges at eviction time, carried into the signal args.
+    unacked: u64,
+    bytes: u64,
+    reason: &'static str,
+}
+
+/// Eviction tombstone states (the byte after `next_seq` in the sealed
+/// `'v'` record).
+const EVICT_PENDING: u8 = 0;
+const EVICT_DONE: u8 = 1;
+
+/// Serialize a tombstone record: `next_seq` (BE), state byte, then the
+/// eviction-time gauges (BE) for the recovered signal's args.
+fn evict_record(next_seq: u64, state: u8, unacked: u64, bytes: u64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(25);
+    v.extend_from_slice(&next_seq.to_be_bytes());
+    v.push(state);
+    v.extend_from_slice(&unacked.to_be_bytes());
+    v.extend_from_slice(&bytes.to_be_bytes());
+    v
+}
+
+/// Inverse of [`evict_record`].
+fn parse_evict_record(raw: &[u8]) -> Option<(u64, u8, u64, u64)> {
+    if raw.len() != 25 {
+        return None;
+    }
+    let next_seq = u64::from_be_bytes(raw[0..8].try_into().ok()?);
+    let state = raw[8];
+    let unacked = u64::from_be_bytes(raw[9..17].try_into().ok()?);
+    let bytes = u64::from_be_bytes(raw[17..25].try_into().ok()?);
+    Some((next_seq, state, unacked, bytes))
+}
+
+/// Serialize a handler's `'k'` record: the 8-byte next sequence, plus
+/// the owning tenant id when the handler has been claimed (16 bytes
+/// total). `restore` accepts both lengths, so stores written by older
+/// builds (owner-less 8-byte records) reopen cleanly.
+fn push_seq_value(next_seq: u64, owner: Option<u64>) -> Vec<u8> {
+    let mut v = Vec::with_capacity(16);
+    v.extend_from_slice(&next_seq.to_be_bytes());
+    if let Some(o) = owner {
+        v.extend_from_slice(&o.to_be_bytes());
+    }
+    v
 }
 
 #[derive(Clone)]
@@ -195,6 +321,8 @@ impl Subscriptions {
     fn new(
         outbox_cap: usize,
         push_write_timeout: Duration,
+        evict_bytes: usize,
+        evict_age: Option<Duration>,
         durable: Option<Arc<DurableStore>>,
     ) -> Arc<Subscriptions> {
         let subs = Subscriptions {
@@ -202,6 +330,10 @@ impl Subscriptions {
             outbox: (0..STATE_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
             outbox_cap: outbox_cap.max(1),
             push_write_timeout,
+            evict_bytes,
+            evict_age,
+            evict_queue: Mutex::new(Vec::new()),
+            pushes_shed: AtomicU64::new(0),
             durable,
         };
         subs.restore();
@@ -228,16 +360,20 @@ impl Subscriptions {
                 else {
                     continue;
                 };
-                if let Ok(bytes) = <[u8; 8]>::try_from(raw) {
-                    self.outbox_stripe(&handler)
-                        .lock()
-                        .entry(handler)
-                        .or_default()
-                        .next_seq = u64::from_be_bytes(bytes);
+                // 8 bytes = next_seq only; 16 = next_seq + owner.
+                if raw.len() == 8 || raw.len() == 16 {
+                    let next_seq = u64::from_be_bytes(raw[..8].try_into().unwrap());
+                    let owner = (raw.len() == 16)
+                        .then(|| u64::from_be_bytes(raw[8..16].try_into().unwrap()));
+                    let mut ob = self.outbox_stripe(&handler).lock();
+                    let h = ob.entry(handler).or_default();
+                    h.next_seq = next_seq;
+                    h.owner = owner;
                 }
             }
         }
         if let Ok(entries) = d.scan_prefix(&[journal::OUTBOX_PREFIX]) {
+            let restored_at = Instant::now();
             for (key, value) in entries {
                 let (Some((handler, seq)), Some(frame)) =
                     (journal::parse_outbox_key(&key), journal::unseal(&value))
@@ -246,10 +382,135 @@ impl Subscriptions {
                 };
                 let mut ob = self.outbox_stripe(&handler).lock();
                 let h = ob.entry(handler).or_default();
+                h.bytes += frame.len() as u64;
                 h.unacked.insert(seq, frame.to_vec());
+                // The original enqueue instant did not survive the
+                // restart; the age clock restarts, which fails toward
+                // keeping (not evicting) recovered frames.
+                h.enqueued_at.insert(seq, restored_at);
                 h.next_seq = h.next_seq.max(seq + 1);
             }
         }
+    }
+
+    /// Replay eviction tombstones after a restart: mark each handler
+    /// dead-lettered with its preserved sequence counter, and return a
+    /// notice for every *pending* tombstone — an eviction whose durable
+    /// GC committed but whose `SubscriberEvicted` signal had not yet
+    /// become durable when the process died. The caller re-enqueues
+    /// those so the signal fires exactly once across the crash.
+    fn restore_evictions(&self) -> Vec<EvictNotice> {
+        let Some(d) = &self.durable else {
+            return Vec::new();
+        };
+        let mut pending = Vec::new();
+        if let Ok(entries) = d.scan_prefix(&[journal::EVICT_PREFIX]) {
+            for (key, value) in entries {
+                let (Some(handler), Some(raw)) =
+                    (journal::parse_evict_key(&key), journal::unseal(&value))
+                else {
+                    continue;
+                };
+                let Some((next_seq, state, unacked, bytes)) = parse_evict_record(raw) else {
+                    continue;
+                };
+                {
+                    let mut ob = self.outbox_stripe(&handler).lock();
+                    let h = ob.entry(handler.clone()).or_default();
+                    h.evicted = true;
+                    h.next_seq = h.next_seq.max(next_seq);
+                    h.unacked.clear();
+                    h.enqueued_at.clear();
+                    h.bytes = 0;
+                }
+                if state == EVICT_PENDING {
+                    pending.push(EvictNotice {
+                        handler,
+                        next_seq,
+                        seqs: Vec::new(),
+                        unacked,
+                        bytes,
+                        reason: "recovered",
+                    });
+                }
+            }
+        }
+        pending
+    }
+
+    /// With auth enabled, bind `handler` to its first authenticated
+    /// subscriber and enforce the binding afterwards: the owner (and
+    /// only the owner) may subscribe again; unauthenticated sessions
+    /// may serve unclaimed handlers but never claim one. Returns
+    /// whether the caller may proceed.
+    fn claim_owner(&self, handler: &str, authed: Option<u64>) -> bool {
+        let (claimed, next_seq) = {
+            let mut ob = self.outbox_stripe(handler).lock();
+            let h = ob.entry(handler.to_owned()).or_default();
+            match (h.owner, authed) {
+                (Some(o), Some(a)) if o == a => return true,
+                (Some(_), _) => return false,
+                (None, Some(a)) => {
+                    h.owner = Some(a);
+                    (a, h.next_seq)
+                }
+                (None, None) => return true,
+            }
+        };
+        if let Some(d) = &self.durable {
+            let _ = d.commit(
+                TxnId(0),
+                &[StoreOp::Put {
+                    key: journal::push_seq_key(handler),
+                    value: journal::seal(&push_seq_value(next_seq, Some(claimed))),
+                }],
+            );
+        }
+        true
+    }
+
+    /// Whether `authed` may act on `handler`'s outbox (ack pushes).
+    /// Unclaimed handlers are open; claimed ones admit only the owner.
+    fn may_touch(&self, handler: &str, authed: Option<u64>) -> bool {
+        let ob = self.outbox_stripe(handler).lock();
+        match ob.get(handler).and_then(|h| h.owner) {
+            Some(o) => authed == Some(o),
+            None => true,
+        }
+    }
+
+    /// Resurrect a dead-lettered handler on an authorized re-subscribe:
+    /// clear the tombstone and resume the preserved sequence counter.
+    /// Returns whether a resurrection happened.
+    fn resurrect(&self, handler: &str) -> bool {
+        let revived = {
+            let mut ob = self.outbox_stripe(handler).lock();
+            match ob.get_mut(handler) {
+                Some(h) if h.evicted => {
+                    h.evicted = false;
+                    Some((h.next_seq, h.owner))
+                }
+                _ => None,
+            }
+        };
+        let Some((next_seq, owner)) = revived else {
+            return false;
+        };
+        if let Some(d) = &self.durable {
+            let _ = d.commit(
+                TxnId(0),
+                &[
+                    StoreOp::Put {
+                        key: journal::push_seq_key(handler),
+                        value: journal::seal(&push_seq_value(next_seq, owner)),
+                    },
+                    StoreOp::Delete {
+                        key: journal::evict_key(handler),
+                    },
+                ],
+            );
+        }
+        true
     }
 
     /// Add `session` as a server for `handler`. Registers the engine
@@ -337,6 +598,39 @@ impl Subscriptions {
         let frame = {
             let mut ob = self.outbox_stripe(handler).lock();
             let h = ob.entry(handler.to_owned()).or_default();
+            if h.evicted {
+                self.pushes_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(HipacError::InUse(format!(
+                    "handler dead-lettered (subscriber evicted): {handler}"
+                )));
+            }
+            // Slow-subscriber policy: an outbox past its byte or age
+            // budget is dead-lettered instead of backpressured forever.
+            // `deliver` runs on rule-firing threads inside transactions,
+            // so it only *decides* here; the durable GC, teardown, and
+            // `SubscriberEvicted` signal run on the eviction housekeeper.
+            let bytes_blown = self.evict_bytes > 0 && h.bytes as usize >= self.evict_bytes;
+            let age_blown = self.evict_age.is_some_and(|limit| {
+                h.enqueued_at
+                    .values()
+                    .next()
+                    .is_some_and(|oldest| oldest.elapsed() > limit)
+            });
+            if bytes_blown || age_blown {
+                h.evicted = true;
+                self.evict_queue.lock().push(EvictNotice {
+                    handler: handler.to_owned(),
+                    next_seq: h.next_seq,
+                    seqs: h.unacked.keys().copied().collect(),
+                    unacked: h.unacked.len() as u64,
+                    bytes: h.bytes,
+                    reason: if bytes_blown { "bytes" } else { "age" },
+                });
+                self.pushes_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(HipacError::InUse(format!(
+                    "subscriber evicted: push outbox over budget for handler {handler}"
+                )));
+            }
             if h.unacked.len() >= self.outbox_cap {
                 return Err(HipacError::InUse(format!(
                     "push outbox full for handler {handler} ({} unacked)",
@@ -365,11 +659,13 @@ impl Subscriptions {
                         },
                         StoreOp::Put {
                             key: journal::push_seq_key(handler),
-                            value: journal::seal(&h.next_seq.to_be_bytes()),
+                            value: journal::seal(&push_seq_value(h.next_seq, h.owner)),
                         },
                     ],
                 )?;
             }
+            h.bytes += frame.len() as u64;
+            h.enqueued_at.insert(seq, Instant::now());
             h.unacked.insert(seq, frame.clone());
             frame
         };
@@ -408,7 +704,14 @@ impl Subscriptions {
         let removed = {
             let mut ob = self.outbox_stripe(handler).lock();
             ob.get_mut(handler)
-                .map(|h| h.unacked.remove(&seq).is_some())
+                .map(|h| match h.unacked.remove(&seq) {
+                    Some(frame) => {
+                        h.enqueued_at.remove(&seq);
+                        h.bytes = h.bytes.saturating_sub(frame.len() as u64);
+                        true
+                    }
+                    None => false,
+                })
                 .unwrap_or(false)
         };
         if removed {
@@ -811,7 +1114,37 @@ struct ServerShared {
     /// Journal keys evicted from the in-memory window, awaiting a
     /// piggybacked durable delete on the next journaled commit.
     pending_evictions: Mutex<Vec<(u64, u64)>>,
+    /// Keyed requests refused because the session had not proven the
+    /// asserted `client_id` (or presented a bad `Auth` token, or tried
+    /// to touch another tenant's subscription).
+    auth_failures: AtomicU64,
+    /// Requests shed by a per-tenant admission gate (cap or per-tenant
+    /// queueing-delay signal) — disjoint from the global counters.
+    tenant_shed_requests: AtomicU64,
+    /// Subscriptions dead-lettered by the slow-subscriber policy.
+    subscribers_evicted: AtomicU64,
+    /// Per-tenant admission state, striped like the dedup window so
+    /// tenants served from different reactor shards never contend on
+    /// one lock. Tenant identity is the authenticated client id when
+    /// auth is on (id 0 = the shared `unauthenticated` class) and the
+    /// asserted client id otherwise.
+    tenants: Vec<Mutex<HashMap<u64, Arc<TenantState>>>>,
 }
+
+/// One tenant's admission gauges: its in-flight count, its own
+/// dispatch-delay EWMA, and how many of its requests were shed.
+#[derive(Default)]
+struct TenantState {
+    in_flight: AtomicU64,
+    ewma_us: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Soft cap on tenants remembered per stripe; beyond it an *idle*
+/// tenant is forgotten to make room, so churning client ids cannot grow
+/// the table unboundedly (a tenant with work in flight is never
+/// dropped — losing its gauge mid-request would corrupt the counts).
+const TENANTS_PER_STRIPE: usize = 64;
 
 impl ServerShared {
     fn new(dedup_window: usize) -> Arc<ServerShared> {
@@ -830,11 +1163,35 @@ impl ServerShared {
                 .map(|_| Mutex::new(DedupWindow::new(dedup_window)))
                 .collect(),
             pending_evictions: Mutex::new(Vec::new()),
+            auth_failures: AtomicU64::new(0),
+            tenant_shed_requests: AtomicU64::new(0),
+            subscribers_evicted: AtomicU64::new(0),
+            tenants: (0..STATE_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
         })
     }
 
     fn dedup_stripe(&self, client: u64) -> &Mutex<DedupWindow> {
         &self.dedup[stripe_of_u64(client)]
+    }
+
+    /// The admission state for tenant `id`, created on first sight.
+    fn tenant(&self, id: u64) -> Arc<TenantState> {
+        let mut map = self.tenants[stripe_of_u64(id)].lock();
+        if map.len() >= TENANTS_PER_STRIPE && !map.contains_key(&id) {
+            let idle = map
+                .iter()
+                .find(|(_, t)| t.in_flight.load(Ordering::Acquire) == 0)
+                .map(|(k, _)| *k);
+            if let Some(idle) = idle {
+                map.remove(&idle);
+            }
+        }
+        Arc::clone(map.entry(id).or_default())
+    }
+
+    /// Distinct tenants currently tracked (a gauge for Stats).
+    fn tenants_active(&self) -> u64 {
+        self.tenants.iter().map(|s| s.lock().len() as u64).sum()
     }
 }
 
@@ -1013,6 +1370,12 @@ struct SessionCore {
     /// ping arrives the session conservatively speaks the oldest
     /// supported version.
     negotiated: u32,
+    /// The tenant identity this session has proven with `Command::Auth`
+    /// (v8); `None` until a valid token arrives. With an `auth_secret`
+    /// configured, keyed requests are honored only when their asserted
+    /// `client_id` equals this — which is what stops a hostile peer
+    /// from replaying another tenant's journal or acking its pushes.
+    auth: Option<u64>,
     /// Transactions begun by this session and not yet terminated.
     open_txns: HashSet<TxnId>,
     /// A `ReplSubscribe` accepted but not yet registered with the hub.
@@ -1116,6 +1479,9 @@ pub struct HipacServer {
     subscriptions: Arc<Subscriptions>,
     repl: Arc<ReplHub>,
     repl_thread: Option<JoinHandle<()>>,
+    /// The slow-subscriber eviction housekeeper (drains
+    /// [`Subscriptions::evict_queue`]).
+    evict_thread: Option<JoinHandle<()>>,
     ctx: Arc<ServerCtx>,
 }
 
@@ -1148,6 +1514,8 @@ impl HipacServer {
         let subscriptions = Subscriptions::new(
             config.outbox_cap,
             config.push_write_timeout,
+            config.outbox_evict_bytes,
+            config.outbox_evict_age,
             durable.clone(),
         );
         let refused = Arc::new(AtomicU64::new(0));
@@ -1199,6 +1567,40 @@ impl HipacServer {
             shards: shard_handles,
             reactor_shards: n_shards,
         });
+
+        // Rule-visible slow-subscriber policy: the eviction event is
+        // defined up front (idempotent — `DuplicateName` on a reopened
+        // durable database is fine), pending tombstones from a crash at
+        // the eviction point re-enter the queue, and the housekeeper
+        // thread finalizes notices off the rule-firing path.
+        let _ = db.define_event("SubscriberEvicted", &["handler", "reason", "unacked", "bytes"]);
+        {
+            let recovered = subscriptions.restore_evictions();
+            if !recovered.is_empty() {
+                subscriptions.evict_queue.lock().extend(recovered);
+            }
+        }
+        let evict_thread = {
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("hipac-net-evict".to_owned())
+                .spawn(move || loop {
+                    let batch: Vec<EvictNotice> =
+                        std::mem::take(&mut *ctx.subs.evict_queue.lock());
+                    if batch.is_empty() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                        continue;
+                    }
+                    for n in batch {
+                        finalize_eviction(&ctx, n);
+                    }
+                })
+                .expect("spawn eviction housekeeper thread")
+        };
 
         let (job_tx, job_rx) = crossbeam::channel::unbounded::<Arc<ConnShared>>();
         let workers = config.workers.max(1);
@@ -1297,6 +1699,7 @@ impl HipacServer {
             subscriptions,
             repl,
             repl_thread: Some(repl_thread),
+            evict_thread: Some(evict_thread),
             ctx,
         })
     }
@@ -1357,6 +1760,33 @@ impl HipacServer {
         self.repl.peer_count()
     }
 
+    /// Keyed requests (or `Auth`/`Subscribe`/`AckPush` attempts)
+    /// refused because the session had not proven the identity.
+    pub fn auth_failures(&self) -> u64 {
+        self.shared.auth_failures.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by a per-tenant admission gate.
+    pub fn tenant_shed_requests(&self) -> u64 {
+        self.shared.tenant_shed_requests.load(Ordering::Relaxed)
+    }
+
+    /// Push deliveries refused because the handler was over budget or
+    /// already dead-lettered.
+    pub fn pushes_shed(&self) -> u64 {
+        self.subscriptions.pushes_shed.load(Ordering::Relaxed)
+    }
+
+    /// Subscriptions dead-lettered by the slow-subscriber policy.
+    pub fn subscribers_evicted(&self) -> u64 {
+        self.shared.subscribers_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Distinct tenants currently tracked by admission control.
+    pub fn tenants_active(&self) -> u64 {
+        self.shared.tenants_active()
+    }
+
     /// Stop accepting, interrupt live sessions at their next reactor
     /// tick, abort their open transactions, and join all threads.
     pub fn shutdown(&mut self) {
@@ -1381,6 +1811,11 @@ impl HipacServer {
             let _ = t.join();
         }
         if let Some(t) = self.repl_thread.take() {
+            let _ = t.join();
+        }
+        // The housekeeper drains its remaining queue before exiting, so
+        // a dead-letter decided just before shutdown still signals.
+        if let Some(t) = self.evict_thread.take() {
             let _ = t.join();
         }
     }
@@ -1458,6 +1893,86 @@ fn load_reply_journal(d: &Arc<DurableStore>, shared: &Arc<ServerShared>, window:
             .collect();
         let _ = d.commit(TxnId(0), &ops);
     }
+}
+
+/// Finalize one dead-letter decision, off the rule-firing path (the
+/// eviction housekeeper's work loop). Three steps, each crash-safe:
+///
+/// 1. **Durable GC, atomically with the tombstone.** One metadata
+///    batch deletes every unacked `'q'` record and the `'k'` counter,
+///    and writes the `'v'` tombstone in `EVICT_PENDING` state carrying
+///    the preserved sequence counter. A crash before this batch leaves
+///    the outbox intact (the eviction re-decides on the next over-budget
+///    delivery); a crash after it recovers a pending tombstone, which
+///    [`Subscriptions::restore_evictions`] turns back into a notice.
+/// 2. **Teardown.** The in-memory outbox empties and the engine proxy
+///    unregisters, so further rule actions addressed to the handler fail
+///    fast with `NoApplicationHandler` instead of re-queueing.
+/// 3. **Signal.** `SubscriberEvicted` fires through the engine so user
+///    rules can react — the active DBMS reacting to its own overload.
+///    The tombstone's `EVICT_DONE` marker rides the signalling
+///    transaction's WAL batch (the same piggyback the reply journal
+///    uses), so the signal-with-rule-effects is atomic: a crash before
+///    the batch re-fires the signal on restart (the tombstone is still
+///    pending), a crash after it does not — exactly once. When the
+///    rule's effects abort (or no rule fires a write), the marker is
+///    committed standalone: at-most-once on rule failure, by design —
+///    re-firing a failing rule forever would turn one slow subscriber
+///    into a poison loop.
+fn finalize_eviction(ctx: &Arc<ServerCtx>, n: EvictNotice) {
+    if let Some(d) = &ctx.subs.durable {
+        let mut ops = vec![StoreOp::Put {
+            key: journal::evict_key(&n.handler),
+            value: journal::seal(&evict_record(n.next_seq, EVICT_PENDING, n.unacked, n.bytes)),
+        }];
+        for s in &n.seqs {
+            ops.push(StoreOp::Delete {
+                key: journal::outbox_key(&n.handler, *s),
+            });
+        }
+        ops.push(StoreOp::Delete {
+            key: journal::push_seq_key(&n.handler),
+        });
+        let _ = d.commit(TxnId(0), &ops);
+    }
+    {
+        let mut ob = ctx.subs.outbox_stripe(&n.handler).lock();
+        if let Some(h) = ob.get_mut(&n.handler) {
+            h.unacked.clear();
+            h.enqueued_at.clear();
+            h.bytes = 0;
+        }
+    }
+    {
+        let mut map = ctx.subs.handlers(&n.handler).write();
+        if map.remove(&n.handler).is_some() {
+            ctx.db.unregister_handler(&n.handler);
+        }
+    }
+    let mut args = HashMap::new();
+    args.insert("handler".to_owned(), Value::Str(n.handler.clone()));
+    args.insert("reason".to_owned(), Value::Str(n.reason.to_owned()));
+    args.insert("unacked".to_owned(), Value::Int(n.unacked as i64));
+    args.insert("bytes".to_owned(), Value::Int(n.bytes as i64));
+    if ctx.subs.durable.is_some() {
+        journal::set_pending_ops(vec![StoreOp::Put {
+            key: journal::evict_key(&n.handler),
+            value: journal::seal(&evict_record(n.next_seq, EVICT_DONE, n.unacked, n.bytes)),
+        }]);
+    }
+    let _ = ctx
+        .db
+        .run_top(|t| ctx.db.signal_event("SubscriberEvicted", args.clone(), Some(t)));
+    if let Some(ops) = journal::take_pending_ops() {
+        // The signal never flushed a transactional batch (no rule
+        // matched, rule effects were read-only, or the transaction
+        // aborted): persist the done marker standalone so the
+        // tombstone cannot re-fire forever.
+        if let Some(d) = &ctx.subs.durable {
+            let _ = d.commit(TxnId(0), &ops);
+        }
+    }
+    ctx.shared.subscribers_evicted.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Best-effort typed error frame on a refused connection.
@@ -1676,6 +2191,7 @@ fn adopt(
         writer: Arc::new(Mutex::new(writer)),
         core: Mutex::new(SessionCore {
             negotiated: MIN_PROTOCOL_VERSION,
+            auth: None,
             open_txns: HashSet::new(),
             pending_repl: None,
         }),
@@ -1805,6 +2321,22 @@ fn teardown(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>) {
 /// the recovered journal can answer the retry truthfully.
 fn handle(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, meta: RequestMeta, command: Command) -> Reply {
     let keyed = meta.client_id != 0 && meta.seq != 0;
+    // Identity gate (v8): with auth enabled, a keyed request is honored
+    // only for the session's proven identity. Refusing *before* the
+    // dedup probe and before any window/journal insert is what stops a
+    // hostile peer asserting a foreign `client_id` from reading that
+    // tenant's cached replies — or poisoning its dedup state with
+    // refusal entries under sequences the victim has yet to use.
+    if keyed
+        && ctx.cfg.auth_secret.is_some()
+        && conn.core.lock().auth != Some(meta.client_id)
+    {
+        ctx.shared.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return Reply::Err {
+            kind: "AuthFailed".to_owned(),
+            message: "client_id not authenticated on this session".to_owned(),
+        };
+    }
     if keyed {
         let probed = ctx
             .shared
@@ -1840,26 +2372,67 @@ fn handle(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, meta: RequestMeta, comma
             message: "server is draining; open transactions will abort".to_owned(),
         };
     }
+    // Tenant identity for admission control: the *proven* identity
+    // when auth is on (unauthenticated sessions — including v≤7 peers,
+    // which cannot send `Auth` — share class 0), the asserted one
+    // otherwise.
+    let tenant_id = if ctx.cfg.auth_secret.is_some() {
+        conn.core.lock().auth.unwrap_or(0)
+    } else {
+        meta.client_id
+    };
+    let tenant = ctx.shared.tenant(tenant_id);
     let in_flight = ctx.shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
-    if ctx.cfg.max_inflight > 0 && in_flight > ctx.cfg.max_inflight as u64 {
+    let tenant_in_flight = tenant.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+    let release = || {
         ctx.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    };
+    if ctx.cfg.max_inflight > 0 && in_flight > ctx.cfg.max_inflight as u64 {
+        release();
         ctx.shared.shed_requests.fetch_add(1, Ordering::Relaxed);
         return Reply::Err {
             kind: "Overloaded".to_owned(),
             message: "admission budget exhausted; retry later".to_owned(),
         };
     }
+    if ctx.cfg.tenant_max_inflight > 0 && tenant_in_flight > ctx.cfg.tenant_max_inflight as u64 {
+        release();
+        tenant.shed.fetch_add(1, Ordering::Relaxed);
+        ctx.shared.tenant_shed_requests.fetch_add(1, Ordering::Relaxed);
+        return Reply::Err {
+            kind: "Overloaded".to_owned(),
+            message: "tenant admission budget exhausted; retry later".to_owned(),
+        };
+    }
     if let Some(limit) = ctx.cfg.shed_queue_delay {
-        // Adaptive signal: shed while dispatches are slower than
-        // the target and someone else is already in flight (a lone
-        // request always admits, so the signal can decay).
+        // Adaptive signal, tenant-weighted: shed while dispatches are
+        // slower than the target and the *requesting tenant* already
+        // has work in flight. A noisy tenant (whose requests pile up)
+        // absorbs the shedding its own load causes; a quiet tenant's
+        // lone request still admits — and a lone request overall keeps
+        // admitting, so the signal can decay.
         let ewma = Duration::from_micros(ctx.shared.ewma_us.load(Ordering::Relaxed));
-        if in_flight >= 2 && ewma > limit {
-            ctx.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if tenant_in_flight >= 2 && ewma > limit {
+            release();
             ctx.shared.shed_adaptive.fetch_add(1, Ordering::Relaxed);
             return Reply::Err {
                 kind: "Overloaded".to_owned(),
                 message: "queueing delay over budget; retry later".to_owned(),
+            };
+        }
+    }
+    if let Some(limit) = ctx.cfg.tenant_shed_queue_delay {
+        // Per-tenant signal: a tenant whose *own* dispatches run slow
+        // sheds itself without the global EWMA ever moving.
+        let ewma = Duration::from_micros(tenant.ewma_us.load(Ordering::Relaxed));
+        if tenant_in_flight >= 2 && ewma > limit {
+            release();
+            tenant.shed.fetch_add(1, Ordering::Relaxed);
+            ctx.shared.tenant_shed_requests.fetch_add(1, Ordering::Relaxed);
+            return Reply::Err {
+                kind: "Overloaded".to_owned(),
+                message: "tenant queueing delay over budget; retry later".to_owned(),
             };
         }
     }
@@ -1890,7 +2463,11 @@ fn handle(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, meta: RequestMeta, comma
     ctx.shared
         .ewma_us
         .store(prev - prev / 8 + spent / 8, Ordering::Relaxed);
-    ctx.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    let prev_t = tenant.ewma_us.load(Ordering::Relaxed);
+    tenant
+        .ewma_us
+        .store(prev_t - prev_t / 8 + spent / 8, Ordering::Relaxed);
+    release();
     if journaling {
         if let Some(ops) = journal::take_pending_ops() {
             // The dispatch never flushed a transactional batch
@@ -1977,6 +2554,44 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             let v = version.clamp(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION);
             conn.core.lock().negotiated = v;
             Reply::Pong { version: v }
+        }
+        Command::Auth { client_id, token } => {
+            if conn.core.lock().negotiated < 8 {
+                Reply::Err {
+                    kind: "Unsupported".to_owned(),
+                    message: "session authentication requires protocol v8".to_owned(),
+                }
+            } else if client_id == 0 {
+                ctx.shared.auth_failures.fetch_add(1, Ordering::Relaxed);
+                Reply::Err {
+                    kind: "AuthFailed".to_owned(),
+                    message: "client_id 0 cannot authenticate".to_owned(),
+                }
+            } else {
+                match &ctx.cfg.auth_secret {
+                    // No secret configured: authentication is vacuous
+                    // but *accepted*, so a client fleet can start
+                    // presenting tokens before the server enforces
+                    // them (roll the secret on clients first).
+                    None => {
+                        conn.core.lock().auth = Some(client_id);
+                        Reply::Ok
+                    }
+                    Some(secret) => {
+                        let expect = crate::auth::session_token(secret, client_id);
+                        if crate::auth::token_eq(&token, &expect) {
+                            conn.core.lock().auth = Some(client_id);
+                            Reply::Ok
+                        } else {
+                            ctx.shared.auth_failures.fetch_add(1, Ordering::Relaxed);
+                            Reply::Err {
+                                kind: "AuthFailed".to_owned(),
+                                message: "invalid session token".to_owned(),
+                            }
+                        }
+                    }
+                }
+            }
         }
         Command::Begin => {
             let t = ctx.db.begin();
@@ -2089,6 +2704,22 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             Reply::Ok
         }
         Command::Subscribe { handler } => {
+            if ctx.cfg.auth_secret.is_some() {
+                // Subscriptions bind to their first authenticated
+                // owner; a foreign identity may neither take over the
+                // handler nor receive its (possibly sensitive) backlog.
+                let authed = conn.core.lock().auth;
+                if !ctx.subs.claim_owner(&handler, authed) {
+                    ctx.shared.auth_failures.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Reply::Err {
+                        kind: "AuthFailed".to_owned(),
+                        message: format!("handler {handler} is owned by another tenant"),
+                    });
+                }
+            }
+            // An authorized re-subscribe revives a dead-lettered
+            // handler (its preserved sequence counter resumes).
+            ctx.subs.resurrect(&handler);
             ctx.subs
                 .subscribe(&ctx.db, &handler, conn.id, Arc::clone(&conn.writer));
             // Catch the new subscriber up on unacked pushes; its
@@ -2104,6 +2735,17 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             Reply::Ok
         }
         Command::AckPush { handler, seq } => {
+            if ctx.cfg.auth_secret.is_some()
+                && !ctx.subs.may_touch(&handler, conn.core.lock().auth)
+            {
+                // A foreign ack would delete another tenant's unacked
+                // frame — exactly-once delivery silently broken.
+                ctx.shared.auth_failures.fetch_add(1, Ordering::Relaxed);
+                return Ok(Reply::Err {
+                    kind: "AuthFailed".to_owned(),
+                    message: format!("handler {handler} is owned by another tenant"),
+                });
+            }
             ctx.subs.ack(&handler, seq);
             Reply::Ok
         }
@@ -2138,6 +2780,13 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             w.journal_replays = ctx.shared.journal_replays.load(Ordering::Relaxed);
             w.pushes_redelivered = ctx.shared.pushes_redelivered.load(Ordering::Relaxed);
             w.reactor_shards = ctx.reactor_shards as u64;
+            w.auth_failures = ctx.shared.auth_failures.load(Ordering::Relaxed);
+            w.tenants_active = ctx.shared.tenants_active();
+            w.tenant_shed_requests = ctx.shared.tenant_shed_requests.load(Ordering::Relaxed);
+            w.pushes_shed = ctx.subs.pushes_shed.load(Ordering::Relaxed);
+            w.subscribers_evicted = ctx.shared.subscribers_evicted.load(Ordering::Relaxed);
+            // breaker_trips/breaker_resets stay zero: they are client-
+            // side gauges, overlaid by `HipacClient::stats`.
             Reply::Stats(Box::new(w))
         }
     })
@@ -2207,5 +2856,12 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         group_commit_txns: s.group_commit_txns,
         group_commit_largest: s.group_commit_largest,
         reactor_shards: 0,
+        auth_failures: 0,
+        tenants_active: 0,
+        tenant_shed_requests: 0,
+        pushes_shed: 0,
+        subscribers_evicted: 0,
+        breaker_trips: 0,
+        breaker_resets: 0,
     }
 }

@@ -140,12 +140,12 @@ fn oversized_length_prefixes_are_rejected_up_front() {
     }
 }
 
-/// Unknown opcodes (22..=255, past v5's ReplProgress) and unknown
-/// frame kinds (4..=255, past v5's repl stream kind) must error
-/// cleanly whatever bytes follow them.
+/// Unknown opcodes (23..=255, past v8's Auth) and unknown frame
+/// kinds (4..=255, past v5's repl stream kind) must error cleanly
+/// whatever bytes follow them.
 #[test]
 fn garbage_opcodes_and_kinds_error() {
-    for op in 22..=255u8 {
+    for op in 23..=255u8 {
         // kind 0 (request), id 1, zeroed request meta, then the bad
         // opcode and some body.
         let payload = vec![0u8, 1, 0, 0, 0, op, 0xDE, 0xAD, 0xBE, 0xEF];

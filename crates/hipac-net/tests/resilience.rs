@@ -676,10 +676,13 @@ fn evicted_dedup_entry_gets_typed_refusal() {
     assert!(server.dedup_hits() >= 1);
 }
 
-/// Adaptive shedding: with a queueing-delay budget configured, slow
-/// dispatches push the EWMA over it and a request arriving while
-/// another is in flight is refused `Overloaded` (counted separately in
-/// `shed_adaptive`), without any static `max_inflight` cap set.
+/// Adaptive shedding, tenant-weighted: with a queueing-delay budget
+/// configured, slow dispatches push the EWMA over it and a request
+/// arriving while *its own tenant* already has one in flight is
+/// refused `Overloaded` (counted separately in `shed_adaptive`) — but
+/// a quiet tenant's lone request is still admitted through the same
+/// overloaded window, so one noisy tenant cannot starve the rest. No
+/// static `max_inflight` cap is set.
 #[test]
 fn adaptive_shed_refuses_when_queueing_delay_over_budget() {
     let server = server_with(ServerConfig {
@@ -697,12 +700,21 @@ fn adaptive_shed_refuses_when_queueing_delay_over_budget() {
     let ta = a.begin().unwrap();
     a.update(ta, oid, vec![("n".into(), Value::from(2))]).unwrap();
 
-    let b = HipacClient::connect(&*addr).unwrap();
+    // B is the noisy tenant: a fixed client_id so a raw probe below
+    // can arrive under the *same* tenant with a non-colliding seq.
+    let b = HipacClient::connect_with(
+        &*addr,
+        ClientConfig {
+            client_id: 0xB0B,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
     let c = HipacClient::connect(&*addr).unwrap();
     let tb = b.begin().unwrap();
     // B: two deadline-bound updates against the held lock. The first
     // (~400ms) drives the dispatch EWMA to ~50ms > 40ms; the second
-    // keeps one request in flight while C arrives.
+    // keeps one of B's requests in flight while the probes arrive.
     let b_thread = std::thread::spawn(move || {
         for _ in 0..2 {
             let _ = b.request_with_deadline(
@@ -718,9 +730,28 @@ fn adaptive_shed_refuses_when_queueing_delay_over_budget() {
     });
     std::thread::sleep(Duration::from_millis(550));
 
-    let c_err = c.begin().unwrap_err();
-    match &c_err {
-        WireError::Remote { kind, message } => {
+    // A second request from B's tenant (same client_id, fresh seq so
+    // the dedup window stays out of the way) is shed.
+    let probe = |stream: &mut TcpStream, id: u64, seq: u64| {
+        let meta = RequestMeta {
+            client_id: 0xB0B,
+            seq,
+            deadline_ms: 0,
+        };
+        stream
+            .write_all(&Frame::Request { id, meta, command: Command::Begin }.encode())
+            .unwrap();
+        loop {
+            match Frame::read_from(stream).unwrap().expect("reply") {
+                Frame::Response { id: rid, reply } if rid == id => return reply,
+                Frame::Response { .. } | Frame::Push(_) => continue,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    };
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    match probe(&mut raw, 1, 5000) {
+        Reply::Err { kind, message } => {
             assert_eq!(kind, "Overloaded", "{message}");
             assert!(message.contains("queueing delay"), "{message}");
         }
@@ -728,12 +759,149 @@ fn adaptive_shed_refuses_when_queueing_delay_over_budget() {
     }
     assert!(server.shed_adaptive() >= 1, "shed_adaptive gauge counted");
 
+    // C is a different tenant with nothing in flight: admitted through
+    // the very same overloaded window.
+    let tc = c.begin().expect("quiet tenant starved by noisy tenant");
+    c.abort(tc).unwrap();
+
     b_thread.join().unwrap();
     a.abort(ta).unwrap();
-    // With the contention gone and traffic sparse, a lone request is
-    // always admitted: the signal can decay instead of latching shut.
-    let t = c.begin().unwrap();
-    c.abort(t).unwrap();
+    // With the contention gone and traffic sparse, even the noisy
+    // tenant's lone request is admitted again: the signal can decay
+    // instead of latching shut.
+    match probe(&mut raw, 2, 5001) {
+        Reply::Txn(_) => {}
+        other => panic!("lone request after drain produced {other:?}"),
+    }
+}
+
+/// Raw request/response roundtrip helper for version-negotiation
+/// tests: one frame out, matching response back, pushes skipped.
+fn raw_roundtrip(stream: &mut TcpStream, id: u64, meta: RequestMeta, command: Command) -> Reply {
+    stream
+        .write_all(&Frame::Request { id, meta, command }.encode())
+        .unwrap();
+    loop {
+        match Frame::read_from(stream).unwrap().expect("reply") {
+            Frame::Response { id: rid, reply } if rid == id => return reply,
+            Frame::Response { .. } | Frame::Push(_) => continue,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+}
+
+/// Version negotiation is a clamp to the server's supported range:
+/// in-range offers echo back, newer offers settle on v8, ancient
+/// offers are clamped up to v4 (the client refuses on its side).
+#[test]
+fn ping_negotiation_clamps_to_supported_range() {
+    let server = server();
+    for (offered, want) in [(1u32, 4u32), (4, 4), (5, 5), (6, 6), (7, 7), (8, 8), (99, 8)] {
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        match raw_roundtrip(
+            &mut conn,
+            1,
+            RequestMeta::default(),
+            Command::Ping { version: offered },
+        ) {
+            Reply::Pong { version } => {
+                assert_eq!(version, want, "offer {offered} negotiated {version}")
+            }
+            other => panic!("ping {offered} produced {other:?}"),
+        }
+    }
+}
+
+/// A pre-v8 peer against an auth-enabled server: `Auth` is refused
+/// `Unsupported`, keyed requests are refused `AuthFailed`, but unkeyed
+/// traffic still works — the session is confined to the
+/// unauthenticated tenant class instead of being cut off.
+#[test]
+fn pre_v8_peer_lands_in_unauthenticated_class() {
+    let server = server_with(ServerConfig {
+        auth_secret: Some(b"mixed-version-secret".to_vec()),
+        ..ServerConfig::default()
+    });
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    match raw_roundtrip(&mut conn, 1, RequestMeta::default(), Command::Ping { version: 7 }) {
+        Reply::Pong { version } => assert_eq!(version, 7),
+        other => panic!("ping produced {other:?}"),
+    }
+    // The v7 session cannot even present a token...
+    let token = hipac_net::auth::session_token(b"mixed-version-secret", 42).to_vec();
+    match raw_roundtrip(
+        &mut conn,
+        2,
+        RequestMeta::default(),
+        Command::Auth { client_id: 42, token },
+    ) {
+        Reply::Err { kind, message } => {
+            assert_eq!(kind, "Unsupported", "{message}");
+            assert!(message.contains("v8"), "{message}");
+        }
+        other => panic!("pre-v8 auth produced {other:?}"),
+    }
+    // ...so its keyed requests are refused per the identity gate...
+    let keyed = RequestMeta {
+        client_id: 42,
+        seq: 1,
+        deadline_ms: 0,
+    };
+    match raw_roundtrip(&mut conn, 3, keyed, Command::Begin) {
+        Reply::Err { kind, message } => assert_eq!(kind, "AuthFailed", "{message}"),
+        other => panic!("keyed pre-v8 begin produced {other:?}"),
+    }
+    // ...but unkeyed traffic is served from the unauthenticated class.
+    match raw_roundtrip(&mut conn, 4, RequestMeta::default(), Command::Begin) {
+        Reply::Txn(t) => {
+            assert_eq!(raw_roundtrip(&mut conn, 5, RequestMeta::default(), Command::Abort { txn: t }), Reply::Ok)
+        }
+        other => panic!("unkeyed pre-v8 begin produced {other:?}"),
+    }
+}
+
+/// An old peer must never see v8-only material: with nonzero v8
+/// counters on the server, a v4 session's `Stats` reply decodes with
+/// those fields absent (zero) while a v8 session sees them.
+#[test]
+fn old_peer_stats_carry_no_v8_fields() {
+    let server = server_with(ServerConfig {
+        auth_secret: Some(b"mixed-version-secret".to_vec()),
+        ..ServerConfig::default()
+    });
+    // Drive auth_failures nonzero from a v8 session with a bad token.
+    let mut v8 = TcpStream::connect(server.local_addr()).unwrap();
+    match raw_roundtrip(&mut v8, 1, RequestMeta::default(), Command::Ping { version: 8 }) {
+        Reply::Pong { version } => assert_eq!(version, 8),
+        other => panic!("ping produced {other:?}"),
+    }
+    match raw_roundtrip(
+        &mut v8,
+        2,
+        RequestMeta::default(),
+        Command::Auth { client_id: 42, token: vec![0u8; 32] },
+    ) {
+        Reply::Err { kind, .. } => assert_eq!(kind, "AuthFailed"),
+        other => panic!("bad token produced {other:?}"),
+    }
+    match raw_roundtrip(&mut v8, 3, RequestMeta::default(), Command::Stats) {
+        Reply::Stats(s) => assert!(s.auth_failures >= 1, "v8 peer sees live counter"),
+        other => panic!("stats produced {other:?}"),
+    }
+
+    let mut v4 = TcpStream::connect(server.local_addr()).unwrap();
+    match raw_roundtrip(&mut v4, 1, RequestMeta::default(), Command::Ping { version: 4 }) {
+        Reply::Pong { version } => assert_eq!(version, 4),
+        other => panic!("ping produced {other:?}"),
+    }
+    match raw_roundtrip(&mut v4, 2, RequestMeta::default(), Command::Stats) {
+        Reply::Stats(s) => {
+            assert_eq!(s.auth_failures, 0, "v8 field leaked into a v4 reply");
+            assert_eq!(s.tenants_active, 0);
+            assert_eq!(s.tenant_shed_requests, 0);
+        }
+        other => panic!("stats produced {other:?}"),
+    }
 }
 
 /// The shared per-address circuit breaker: repeated dial failures trip

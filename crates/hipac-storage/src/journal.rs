@@ -46,6 +46,14 @@ pub const REPLY_PREFIX: u8 = b'j';
 pub const OUTBOX_PREFIX: u8 = b'q';
 /// Reserved key prefix for per-handler push sequence counters (`'k'`).
 pub const PUSH_SEQ_PREFIX: u8 = b'k';
+/// Reserved key prefix for slow-subscriber eviction tombstones (`'v'`).
+/// A tombstone marks a handler whose outbox blew its byte/age budget:
+/// its `'q'`/`'k'` state has been garbage-collected, and the value
+/// (sealed) records the preserved next-sequence counter plus whether
+/// the `SubscriberEvicted` engine signal has fired yet — the signal's
+/// done-marker rides the signalling transaction's WAL batch so a crash
+/// at the eviction point replays it exactly once.
+pub const EVICT_PREFIX: u8 = b'v';
 
 /// Journal key for one `(client_id, seq)` reply: prefix byte followed
 /// by both halves big-endian, so `scan_prefix(&[REPLY_PREFIX])` yields
@@ -105,6 +113,22 @@ pub fn push_seq_key(handler: &str) -> Vec<u8> {
 /// Inverse of [`push_seq_key`].
 pub fn parse_push_seq_key(key: &[u8]) -> Option<String> {
     if key.is_empty() || key[0] != PUSH_SEQ_PREFIX {
+        return None;
+    }
+    String::from_utf8(key[1..].to_vec()).ok()
+}
+
+/// Tombstone key for a dead-lettered (evicted) subscription.
+pub fn evict_key(handler: &str) -> Vec<u8> {
+    let mut k = Vec::with_capacity(1 + handler.len());
+    k.push(EVICT_PREFIX);
+    k.extend_from_slice(handler.as_bytes());
+    k
+}
+
+/// Inverse of [`evict_key`].
+pub fn parse_evict_key(key: &[u8]) -> Option<String> {
+    if key.is_empty() || key[0] != EVICT_PREFIX {
         return None;
     }
     String::from_utf8(key[1..].to_vec()).ok()
@@ -175,6 +199,13 @@ mod tests {
     fn push_seq_key_roundtrips() {
         assert_eq!(parse_push_seq_key(&push_seq_key("h")), Some("h".into()));
         assert_eq!(parse_push_seq_key(b"jx"), None);
+    }
+
+    #[test]
+    fn evict_key_roundtrips() {
+        assert_eq!(parse_evict_key(&evict_key("slow")), Some("slow".into()));
+        assert_eq!(parse_evict_key(b"kx"), None);
+        assert_eq!(parse_evict_key(b""), None);
     }
 
     #[test]

@@ -76,6 +76,15 @@ HORDE_N=2000 cargo test -q -p hipac-net --test reactor_load
 echo "==> groupcommit bench cell (substrate + full stack + push latency)"
 cargo run --release -q -p hipac-bench --bin report -- --only groupcommit --smoke --json groupcommit
 
+echo "==> multi-tenant suite (auth sessions, tenant caps, slow-subscriber eviction)"
+cargo test -q -p hipac-net --test tenants
+
+echo "==> tenant-isolation torture (fixed seeds 101/202/303, eviction crash sweep)"
+cargo test -q -p hipac-check --test tenant_torture
+
+echo "==> qos bench cell (quiet-tenant p50/p99 unloaded vs noisy-neighbor flood)"
+cargo run --release -q -p hipac-bench --bin report -- --only qos --smoke --json qos
+
 # The offline toolchain may ship without clippy; lint hard when present.
 if cargo clippy --version >/dev/null 2>&1; then
   echo "==> cargo clippy --workspace --all-targets -- -D warnings"
