@@ -55,6 +55,7 @@ pub mod failover;
 pub mod netchaos;
 pub mod restart;
 pub mod schedule;
+pub mod splitbrain;
 pub mod tenants;
 
 pub use conflict::{check_serializable, ConflictEdge, Report, Violation};
@@ -65,4 +66,8 @@ pub use restart::{
     RestartTortureReport,
 };
 pub use schedule::{Access, AccessKind, CommittedTxn, History, ScheduleRecorder};
+pub use splitbrain::{
+    run_quorum_torture, run_splitbrain_torture, QuorumTortureConfig, QuorumTortureReport,
+    SplitbrainTortureConfig, SplitbrainTortureReport,
+};
 pub use tenants::{run_tenant_torture, TenantTortureConfig, TenantTortureReport};

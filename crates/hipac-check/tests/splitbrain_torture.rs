@@ -1,0 +1,183 @@
+//! Split-brain torture: across ≥3 seeds, partition a semi-sync
+//! primary away from its replica mid-burst, promote the replica, let
+//! the deposed primary keep acking writes, heal, and rejoin. Every
+//! replicated-acked value survives on both nodes exactly once, no
+//! write commits under the stale epoch after the fence, the divergent
+//! tail is erased by rejoin, and the rejoined node's anti-entropy
+//! digest agrees with the new primary's. A second test proves the
+//! 3-replica quorum gate: one crash costs no acks, total loss
+//! degrades (typed in the gauge) instead of blocking.
+
+use hipac_check::splitbrain::{
+    run_quorum_torture, run_splitbrain_torture, QuorumTortureConfig, SplitbrainTortureConfig,
+};
+
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+#[test]
+fn splitbrain_torture_fences_and_repairs_across_seeds() {
+    for seed in SEEDS {
+        let report = run_splitbrain_torture(&SplitbrainTortureConfig::fast(seed));
+
+        assert!(
+            report.unknown.is_empty(),
+            "seed {seed}: pre-partition outcomes left ambiguous: {:?}",
+            report.unknown
+        );
+        // Epoch lineage: promotion minted epoch 1, the fence made the
+        // deposed primary adopt it, and the rejoined node runs under it.
+        assert_eq!(report.new_epoch, 1, "seed {seed}: promotion minted epoch");
+        assert_eq!(
+            report.old_primary_epoch, report.new_epoch,
+            "seed {seed}: deposed primary never adopted the fencing epoch"
+        );
+        assert!(
+            report.old_stale_epochs >= 1,
+            "seed {seed}: deposed primary counted no stale-epoch observation"
+        );
+        assert_eq!(
+            report.rejoined_epoch, report.new_epoch,
+            "seed {seed}: rejoined node is not on the new epoch"
+        );
+
+        // No replicated ack lost: every value acked while semi-sync
+        // held exists exactly once on the new primary AND on the
+        // rejoined node.
+        assert!(
+            !report.acked_before.is_empty(),
+            "seed {seed}: burst landed nothing before the partition"
+        );
+        for v in &report.acked_before {
+            assert_eq!(
+                report.counts_new_primary.get(v),
+                Some(&1),
+                "seed {seed}: replicated-acked value {v} lost or duplicated on the new primary"
+            );
+            assert_eq!(
+                report.counts_rejoined.get(v),
+                Some(&1),
+                "seed {seed}: replicated-acked value {v} lost or duplicated on the rejoined node"
+            );
+        }
+
+        // Divergence repair: everything the deposed primary acked
+        // while partitioned was truncated — absent from both nodes.
+        assert!(
+            !report.divergent_acked.is_empty(),
+            "seed {seed}: partition window produced no divergent tail"
+        );
+        for v in &report.divergent_acked {
+            assert!(
+                !report.counts_new_primary.contains_key(v),
+                "seed {seed}: divergent value {v} leaked onto the new primary"
+            );
+            assert!(
+                !report.counts_rejoined.contains_key(v),
+                "seed {seed}: divergent value {v} survived rejoin on the deposed node"
+            );
+        }
+
+        // The fence: every post-heal write attempt was refused with a
+        // typed `NotPrimary`, and none of those values exist anywhere.
+        assert_eq!(
+            report.fence_refusals,
+            SplitbrainTortureConfig::fast(seed).adversarial_attempts,
+            "seed {seed}: fenced node accepted a write"
+        );
+        for v in 6000..6000 + SplitbrainTortureConfig::fast(seed).adversarial_attempts {
+            assert!(
+                !report.counts_new_primary.contains_key(&v)
+                    && !report.counts_rejoined.contains_key(&v),
+                "seed {seed}: post-fence value {v} committed somewhere"
+            );
+        }
+
+        // Post-rejoin traffic flows, gated on the rejoined node's acks.
+        assert_eq!(
+            report.acked_after.len() as i64,
+            SplitbrainTortureConfig::fast(seed).post_txns,
+            "seed {seed}: post-rejoin writes failed"
+        );
+        for v in &report.acked_after {
+            assert_eq!(
+                report.counts_new_primary.get(v),
+                Some(&1),
+                "seed {seed}: post-rejoin value {v} not applied exactly once on the primary"
+            );
+            assert_eq!(
+                report.counts_rejoined.get(v),
+                Some(&1),
+                "seed {seed}: post-rejoin value {v} not applied exactly once on the rejoined node"
+            );
+        }
+
+        // Anti-entropy: the rejoined follower's stream digest agrees
+        // with the primary's fold; the quorum gate is live and green.
+        assert!(
+            report.rejoined_caught_up,
+            "seed {seed}: rejoined node never caught up"
+        );
+        assert_eq!(report.peers, 1, "seed {seed}: rejoined peer not subscribed");
+        assert_eq!(
+            report.digest_ok_peers, 1,
+            "seed {seed}: rejoined peer's digest does not match the primary's"
+        );
+        assert_eq!(
+            report.digest_mismatches, 0,
+            "seed {seed}: digest mismatches detected after rejoin"
+        );
+        assert_eq!(report.quorum, 1, "seed {seed}: quorum gauge wrong");
+        assert_eq!(
+            report.quorum_ok, 1,
+            "seed {seed}: semi-sync gate degraded after rejoin"
+        );
+    }
+}
+
+#[test]
+fn quorum_torture_survives_one_replica_crash() {
+    for seed in SEEDS {
+        let report = run_quorum_torture(&QuorumTortureConfig::fast(seed));
+
+        assert_eq!(
+            report.peers_at_start, 3,
+            "seed {seed}: not all replicas subscribed"
+        );
+        assert_eq!(
+            report.quorum_at_start, 2,
+            "seed {seed}: quorum of 3 replicas must be 2"
+        );
+        // One crash costs nothing: every post-crash write acked and
+        // the gate kept meeting quorum synchronously.
+        assert_eq!(
+            report.acked_after_crash.len() as i64,
+            QuorumTortureConfig::fast(seed).txns_after,
+            "seed {seed}: writes failed after a single replica crash"
+        );
+        assert_eq!(
+            report.quorum_ok_after_crash, 1,
+            "seed {seed}: semi-sync degraded although a quorum survived"
+        );
+        assert!(
+            report.survivors_caught_up,
+            "seed {seed}: surviving replicas not caught up"
+        );
+        // Total loss degrades (typed) instead of blocking.
+        assert!(
+            report.degraded_write_acked,
+            "seed {seed}: write blocked after losing every replica"
+        );
+        assert_eq!(
+            report.quorum_ok_after_total_loss, 0,
+            "seed {seed}: gauge still claims quorum after losing every replica"
+        );
+        // Nothing lost, nothing duplicated.
+        for v in report.acked_before.iter().chain(&report.acked_after_crash) {
+            assert_eq!(
+                report.counts.get(v),
+                Some(&1),
+                "seed {seed}: value {v} not applied exactly once"
+            );
+        }
+    }
+}

@@ -91,6 +91,11 @@ pub enum HipacError {
     /// must resubscribe from its durable watermark rather than absorb
     /// the batch and silently diverge.
     ReplGap { expected: u64, got: u64 },
+    /// A replication message carries an epoch older than the one this
+    /// node has durably observed: it was sent by a deposed primary.
+    /// The sender must stop writing (it has been fenced) and rejoin as
+    /// a replica of the current epoch's primary.
+    StaleEpoch { current: u64, got: u64 },
 
     // ---- misc ----
     /// Internal invariant violation: indicates a bug in the engine.
@@ -168,6 +173,10 @@ impl fmt::Display for HipacError {
             ReplGap { expected, got } => write!(
                 f,
                 "replication stream gap: batch chains from lsn {got}, follower watermark is {expected}"
+            ),
+            StaleEpoch { current, got } => write!(
+                f,
+                "stale replication epoch {got}: this node has observed epoch {current}"
             ),
             Internal(msg) => write!(f, "internal error (bug): {msg}"),
         }

@@ -33,6 +33,35 @@ pub struct ReplCounters {
     pub replica_pushes: AtomicU64,
     /// Times this node (or its lineage) promoted replica → primary.
     pub promotions: AtomicU64,
+    /// Replication epoch this node operates under (bumped by
+    /// promotion; adopted from the wire when fenced).
+    pub epoch: AtomicU64,
+    /// Replication messages refused (or refusals received) because
+    /// their epoch was older than the locally observed one.
+    pub stale_epochs: AtomicU64,
+    /// LSN (in the previous epoch's space) where this node's lineage
+    /// diverged at its last promotion: the truncate point a rejoining
+    /// ex-primary must cut its WAL back to.
+    pub fence_prev: AtomicU64,
+    /// This node's durable LSN at its last promotion: the watermark a
+    /// rejoining ex-primary resubscribes from in the new epoch's space.
+    pub fence_start: AtomicU64,
+    /// Replicas currently subscribed to this primary's hub.
+    pub peers: AtomicU64,
+    /// Lowest progress watermark across subscribed replicas (the
+    /// quorum-limiting peer); 0 with no peers.
+    pub min_peer_applied: AtomicU64,
+    /// Peers whose anti-entropy stream digest currently matches the
+    /// primary's fold.
+    pub digest_ok_peers: AtomicU64,
+    /// Digest comparisons that disagreed (cumulative — detection
+    /// counter, never reset).
+    pub digest_mismatches: AtomicU64,
+    /// Replica acks required before a semi-sync commit is released
+    /// (⌈(N+1)/2⌉ of an N-replica fleet; 0 when semi-sync is off).
+    pub quorum: AtomicU64,
+    /// 1 while enough live peers exist to satisfy the quorum.
+    pub quorum_ok: AtomicU64,
 }
 
 impl ReplCounters {

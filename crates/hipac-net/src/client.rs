@@ -805,6 +805,28 @@ pub struct FleetClient {
     config: ClientConfig,
     primary: Mutex<Option<Arc<HipacClient>>>,
     replica: Mutex<Option<Arc<HipacClient>>>,
+    /// Last probe's view of every member, for operators and failover
+    /// tooling.
+    members: Mutex<Vec<FleetMember>>,
+    /// Per-fleet jitter identity for retry backoff: two fleet clients
+    /// hammering the same downed primary must not re-probe in
+    /// lockstep.
+    jitter_key: u64,
+}
+
+/// One fleet member as seen by the latest [`FleetClient`] probe.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    pub addr: String,
+    /// `Some(ROLE_PRIMARY)` / `Some(ROLE_REPLICA)`; `None` when the
+    /// member was unreachable or its stats call failed.
+    pub role: Option<u64>,
+    /// Replication epoch the member reports (0 = never promoted /
+    /// pre-epoch build).
+    pub epoch: u64,
+    /// Primary-stream LSN the member has applied (replicas) or its
+    /// highest peer-acked LSN (primaries).
+    pub applied_lsn: u64,
 }
 
 impl FleetClient {
@@ -823,6 +845,8 @@ impl FleetClient {
             config,
             primary: Mutex::new(None),
             replica: Mutex::new(None),
+            members: Mutex::new(Vec::new()),
+            jitter_key: auto_client_id(),
         };
         fleet.probe()?;
         Ok(fleet)
@@ -830,38 +854,57 @@ impl FleetClient {
 
     /// Probe every address and refresh the cached role routing. `Ok`
     /// iff a primary was found; the replica slot is best-effort.
+    ///
+    /// All members are probed — no early exit — because role alone no
+    /// longer picks the right node: during a split-brain heal two
+    /// members may both answer as primary, and only the one carrying
+    /// the **highest replication epoch** is real (the other is a
+    /// deposed primary that has not yet been fenced; writing to it
+    /// would be refused or, worse, lost at rejoin). Among replicas the
+    /// probe prefers the **highest applied LSN**, so reads land on the
+    /// freshest follower and a failover driven through
+    /// [`FleetClient::topology`] promotes the best candidate.
     fn probe(&self) -> Result<(), WireError> {
-        let mut primary = None;
-        let mut replica = None;
+        let mut primary: Option<(Arc<HipacClient>, u64)> = None;
+        let mut replica: Option<(Arc<HipacClient>, u64)> = None;
+        let mut members = Vec::with_capacity(self.addrs.len());
         let mut last_err = WireError::Transport("no fleet member reachable".into());
         for addr in &self.addrs {
+            let mut member = FleetMember {
+                addr: addr.clone(),
+                role: None,
+                epoch: 0,
+                applied_lsn: 0,
+            };
             let client = match HipacClient::connect_with(addr.as_str(), self.config.clone()) {
                 Ok(c) => Arc::new(c),
                 Err(e) => {
                     last_err = e;
+                    members.push(member);
                     continue;
                 }
             };
             match client.stats() {
-                Ok(s) if s.repl_role == ROLE_PRIMARY => {
-                    if primary.is_none() {
-                        primary = Some(client);
-                    }
-                }
-                Ok(_) => {
-                    if replica.is_none() {
-                        replica = Some(client);
+                Ok(s) => {
+                    member.role = Some(s.repl_role);
+                    member.epoch = s.repl_epoch;
+                    member.applied_lsn = s.last_applied_lsn;
+                    if s.repl_role == ROLE_PRIMARY {
+                        if !matches!(&primary, Some((_, e)) if s.repl_epoch <= *e) {
+                            primary = Some((client, s.repl_epoch));
+                        }
+                    } else if !matches!(&replica, Some((_, l)) if s.last_applied_lsn <= *l) {
+                        replica = Some((client, s.last_applied_lsn));
                     }
                 }
                 Err(e) => last_err = e,
             }
-            if primary.is_some() && replica.is_some() {
-                break;
-            }
+            members.push(member);
         }
-        *self.replica.lock() = replica;
+        *self.members.lock() = members;
+        *self.replica.lock() = replica.map(|(c, _)| c);
         match primary {
-            Some(p) => {
+            Some((p, _)) => {
                 *self.primary.lock() = Some(p);
                 Ok(())
             }
@@ -870,6 +913,20 @@ impl FleetClient {
                 Err(last_err)
             }
         }
+    }
+
+    /// The fleet as seen by the most recent probe (refreshed on every
+    /// reroute). Failover tooling uses this to pick a promotion
+    /// candidate: the reachable replica with the highest
+    /// `applied_lsn` loses the least data.
+    pub fn topology(&self) -> Vec<FleetMember> {
+        self.members.lock().clone()
+    }
+
+    /// Re-probe the fleet now and return the refreshed topology.
+    pub fn refresh_topology(&self) -> Vec<FleetMember> {
+        let _ = self.probe();
+        self.topology()
     }
 
     /// Whether a replica is currently serving the read path (false:
@@ -928,7 +985,7 @@ impl FleetClient {
                 Err(e) if Self::reroutable(&e) && attempt < self.config.max_retries => {
                     *self.primary.lock() = None;
                     attempt += 1;
-                    std::thread::sleep(retry_backoff(self.config.backoff, 0, 0, attempt));
+                    std::thread::sleep(retry_backoff(self.config.backoff, self.jitter_key, 0, attempt));
                 }
                 Err(e) => return Err(e),
             }
@@ -949,7 +1006,7 @@ impl FleetClient {
                     *self.replica.lock() = None;
                     *self.primary.lock() = None;
                     attempt += 1;
-                    std::thread::sleep(retry_backoff(self.config.backoff, 0, 1, attempt));
+                    std::thread::sleep(retry_backoff(self.config.backoff, self.jitter_key, 1, attempt));
                 }
                 Err(e) => return Err(e),
             }

@@ -55,6 +55,6 @@ pub mod proto;
 pub mod reactor;
 pub mod server;
 
-pub use client::{ClientConfig, FleetClient, HipacClient};
+pub use client::{ClientConfig, FleetClient, FleetMember, HipacClient};
 pub use proto::{Command, Frame, PushEvent, Reply, ReplMsg, RequestMeta, WireError};
 pub use server::{HipacServer, ServerConfig};

@@ -62,9 +62,16 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// breaker gauges appended to Stats (additive, presence-decoded).
 /// v≤7 peers negotiate down, never see the new constructs, and are
 /// confined to the server's `unauthenticated` tenant class.
-pub const PROTOCOL_VERSION: u32 = 8;
+/// v9: epoch-fenced replication — `ReplSubscribe` carries the
+/// subscriber's epoch, `ReplProgress` carries epoch + anti-entropy
+/// stream digest, `Batch`/`Heartbeat`/`SnapshotEnd` carry the
+/// primary's epoch, and nine fencing/quorum/digest gauges are appended
+/// to Stats. All fields are appended in terminal positions and decoded
+/// by presence, so v≤8 peers interoperate (they simply ride epoch 0,
+/// which never fences).
+pub const PROTOCOL_VERSION: u32 = 9;
 
-/// Oldest protocol version this build still speaks (the v5–v8
+/// Oldest protocol version this build still speaks (the v5–v9
 /// additions are gated on the negotiated version, everything else is
 /// unchanged since v4).
 pub const MIN_PROTOCOL_VERSION: u32 = 4;
@@ -184,6 +191,7 @@ fn variant_name(e: &HipacError) -> &'static str {
         RecordTooLarge { .. } => "RecordTooLarge",
         WalCorrupt(_) => "WalCorrupt",
         ReplGap { .. } => "ReplGap",
+        StaleEpoch { .. } => "StaleEpoch",
         Internal(_) => "Internal",
     }
 }
@@ -299,6 +307,17 @@ pub struct WireStats {
     pub subscribers_evicted: u64,
     pub breaker_trips: u64,
     pub breaker_resets: u64,
+    // ---- v9 epoch-fencing / quorum / anti-entropy gauges (encoded
+    // only to v9 peers; decoded by presence like the earlier blocks) ----
+    pub repl_epoch: u64,
+    pub repl_fence_prev: u64,
+    pub repl_fence_start: u64,
+    pub repl_peers: u64,
+    pub repl_min_peer_applied: u64,
+    pub repl_digest_ok_peers: u64,
+    pub repl_digest_mismatches: u64,
+    pub repl_quorum: u64,
+    pub repl_quorum_ok: u64,
 }
 
 impl WireStats {
@@ -374,6 +393,21 @@ impl WireStats {
                 put_uvarint(buf, v);
             }
         }
+        if version >= 9 {
+            for v in [
+                self.repl_epoch,
+                self.repl_fence_prev,
+                self.repl_fence_start,
+                self.repl_peers,
+                self.repl_min_peer_applied,
+                self.repl_digest_ok_peers,
+                self.repl_digest_mismatches,
+                self.repl_quorum,
+                self.repl_quorum_ok,
+            ] {
+                put_uvarint(buf, v);
+            }
+        }
     }
 
     fn decode(buf: &[u8], pos: &mut usize) -> Result<WireStats, WireError> {
@@ -415,6 +449,14 @@ impl WireStats {
         }
         let [auth_failures, tenants_active, tenant_shed_requests, pushes_shed, subscribers_evicted, breaker_trips, breaker_resets] =
             tenancy;
+        let mut fencing = [0u64; 9];
+        if *pos < buf.len() {
+            for f in &mut fencing {
+                *f = get_uvarint(buf, pos)?;
+            }
+        }
+        let [repl_epoch, repl_fence_prev, repl_fence_start, repl_peers, repl_min_peer_applied, repl_digest_ok_peers, repl_digest_mismatches, repl_quorum, repl_quorum_ok] =
+            fencing;
         let [signals_processed, rules_triggered, conditions_satisfied, actions_executed, store_evaluations, delta_evaluations, cache_hits, deferred_txns, deferred_firings, pool_outstanding, separate_errors, firings_parallel, pool_queue_depth, active_connections, shed_requests, dedup_hits, separate_retries, separate_dead_letters, shed_adaptive, journal_replays, pushes_redelivered] =
             fields;
         Ok(WireStats {
@@ -461,6 +503,15 @@ impl WireStats {
             subscribers_evicted,
             breaker_trips,
             breaker_resets,
+            repl_epoch,
+            repl_fence_prev,
+            repl_fence_start,
+            repl_peers,
+            repl_min_peer_applied,
+            repl_digest_ok_peers,
+            repl_digest_mismatches,
+            repl_quorum,
+            repl_quorum_ok,
         })
     }
 }
@@ -532,12 +583,27 @@ pub enum Command {
     /// replies `Ok` and then streams [`ReplMsg`] frames on the same
     /// connection: batches from `start_lsn` (or a snapshot when that
     /// LSN is out of range) followed by the live tail.
-    ReplSubscribe { start_lsn: u64 },
+    ///
+    /// `epoch` (v9) is the subscriber's replication epoch. A
+    /// subscriber *behind* the primary's epoch gets a snapshot
+    /// bootstrap regardless of `start_lsn` — LSN spaces are never
+    /// comparable across epochs. A subscriber *ahead* of the primary
+    /// proves the primary has been deposed: the request is refused
+    /// with a typed `StaleEpoch` error and the ex-primary fences
+    /// itself read-only.
+    ReplSubscribe { start_lsn: u64, epoch: u64 },
     /// Follower → primary: the follower's store durably reflects the
     /// primary's log up to `applied_lsn`. Drives the primary's
     /// semi-sync commit gate and its lag gauges (frame id 0 —
     /// fire-and-forget).
-    ReplProgress { applied_lsn: u64 },
+    ///
+    /// `epoch` (v9): the sender's replication epoch — a value newer
+    /// than the receiver's fences the receiver (this is also the heal
+    /// path's demote signal). `digest` (v9): the sender's anti-entropy
+    /// fold over every batch applied this subscription (see
+    /// `hipac_storage::fold_digest`); the primary compares it against
+    /// its per-peer shipped fold at `applied_lsn`.
+    ReplProgress { applied_lsn: u64, epoch: u64, digest: u64 },
     // ---- authentication (v8) ----
     /// Bind this connection to identity `client_id`. `token` is
     /// `HMAC-SHA256(server_secret, client_id.to_be_bytes())` (see
@@ -574,7 +640,7 @@ const OP_REPL_PROGRESS: u8 = 21;
 const OP_AUTH: u8 = 22;
 
 impl Command {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>, version: u32) {
         match self {
             Command::Ping { version } => {
                 buf.push(OP_PING);
@@ -704,13 +770,26 @@ impl Command {
                 put_uvarint(buf, *seq);
             }
             Command::Stats => buf.push(OP_STATS),
-            Command::ReplSubscribe { start_lsn } => {
+            Command::ReplSubscribe { start_lsn, epoch } => {
                 buf.push(OP_REPL_SUBSCRIBE);
                 put_uvarint(buf, *start_lsn);
+                // Terminal in a Request frame, so a v9 peer decodes the
+                // epoch by presence; a v8 encoder simply omits it.
+                if version >= 9 {
+                    put_uvarint(buf, *epoch);
+                }
             }
-            Command::ReplProgress { applied_lsn } => {
+            Command::ReplProgress {
+                applied_lsn,
+                epoch,
+                digest,
+            } => {
                 buf.push(OP_REPL_PROGRESS);
                 put_uvarint(buf, *applied_lsn);
+                if version >= 9 {
+                    put_uvarint(buf, *epoch);
+                    put_uvarint(buf, *digest);
+                }
             }
             Command::Auth { client_id, token } => {
                 buf.push(OP_AUTH);
@@ -856,12 +935,31 @@ impl Command {
                 seq: get_uvarint(buf, pos)?,
             },
             OP_STATS => Command::Stats,
-            OP_REPL_SUBSCRIBE => Command::ReplSubscribe {
-                start_lsn: get_uvarint(buf, pos)?,
-            },
-            OP_REPL_PROGRESS => Command::ReplProgress {
-                applied_lsn: get_uvarint(buf, pos)?,
-            },
+            OP_REPL_SUBSCRIBE => {
+                let start_lsn = get_uvarint(buf, pos)?;
+                // v9 appends the subscriber epoch; a v8 body ends here
+                // and reads as epoch 0 (the never-fenced pre-failover
+                // world).
+                let epoch = if *pos < buf.len() {
+                    get_uvarint(buf, pos)?
+                } else {
+                    0
+                };
+                Command::ReplSubscribe { start_lsn, epoch }
+            }
+            OP_REPL_PROGRESS => {
+                let applied_lsn = get_uvarint(buf, pos)?;
+                let (epoch, digest) = if *pos < buf.len() {
+                    (get_uvarint(buf, pos)?, get_uvarint(buf, pos)?)
+                } else {
+                    (0, 0)
+                };
+                Command::ReplProgress {
+                    applied_lsn,
+                    epoch,
+                    digest,
+                }
+            }
             OP_AUTH => Command::Auth {
                 client_id: get_uvarint(buf, pos)?,
                 token: get_bytes(buf, pos)?.to_vec(),
@@ -1057,23 +1155,31 @@ pub enum ReplMsg {
     /// stream dropped or replayed a batch; the follower treats it as
     /// fatal and resubscribes from its durable watermark instead of
     /// silently diverging.
+    /// `epoch` (v9): the shipping primary's replication epoch. A
+    /// follower that has observed a newer epoch refuses the batch
+    /// (`StaleEpoch`) instead of absorbing writes from a deposed
+    /// primary; a follower on an older epoch adopts this one.
     Batch {
         prev_lsn: u64,
         start_lsn: u64,
         next_lsn: u64,
         txn: TxnId,
         ops: Vec<hipac_storage::StoreOp>,
+        epoch: u64,
     },
     /// The follower's resume LSN fell out of the primary's retained
     /// log: a full state transfer follows as chunks, then an end
     /// marker. The follower buffers chunks and installs them
-    /// atomically on `SnapshotEnd`.
+    /// atomically on `SnapshotEnd` (whose `epoch` — v9 — the follower
+    /// adopts at the same instant).
     SnapshotBegin { snapshot_lsn: u64 },
     SnapshotChunk { pairs: Vec<(Vec<u8>, Vec<u8>)> },
-    SnapshotEnd { snapshot_lsn: u64 },
+    SnapshotEnd { snapshot_lsn: u64, epoch: u64 },
     /// Idle keep-alive carrying the primary's durable frontier so the
-    /// follower can compute byte lag even when nothing ships.
-    Heartbeat { durable_lsn: u64 },
+    /// follower can compute byte lag even when nothing ships, plus
+    /// (v9) the primary's epoch — the anti-entropy exchange rides the
+    /// progress replies these provoke.
+    Heartbeat { durable_lsn: u64, epoch: u64 },
 }
 
 const RM_BATCH: u8 = 0;
@@ -1083,7 +1189,7 @@ const RM_SNAP_END: u8 = 3;
 const RM_HEARTBEAT: u8 = 4;
 
 impl ReplMsg {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode(&self, buf: &mut Vec<u8>, version: u32) {
         match self {
             ReplMsg::Batch {
                 prev_lsn,
@@ -1091,6 +1197,7 @@ impl ReplMsg {
                 next_lsn,
                 txn,
                 ops,
+                epoch,
             } => {
                 buf.push(RM_BATCH);
                 put_uvarint(buf, *prev_lsn);
@@ -1111,6 +1218,11 @@ impl ReplMsg {
                         }
                     }
                 }
+                // Terminal in a Repl frame: v9 peers decode the epoch
+                // by presence, v8 encoders never emit it.
+                if version >= 9 {
+                    put_uvarint(buf, *epoch);
+                }
             }
             ReplMsg::SnapshotBegin { snapshot_lsn } => {
                 buf.push(RM_SNAP_BEGIN);
@@ -1124,13 +1236,19 @@ impl ReplMsg {
                     put_bytes(buf, v);
                 }
             }
-            ReplMsg::SnapshotEnd { snapshot_lsn } => {
+            ReplMsg::SnapshotEnd { snapshot_lsn, epoch } => {
                 buf.push(RM_SNAP_END);
                 put_uvarint(buf, *snapshot_lsn);
+                if version >= 9 {
+                    put_uvarint(buf, *epoch);
+                }
             }
-            ReplMsg::Heartbeat { durable_lsn } => {
+            ReplMsg::Heartbeat { durable_lsn, epoch } => {
                 buf.push(RM_HEARTBEAT);
                 put_uvarint(buf, *durable_lsn);
+                if version >= 9 {
+                    put_uvarint(buf, *epoch);
+                }
             }
         }
     }
@@ -1159,12 +1277,18 @@ impl ReplMsg {
                         }
                     });
                 }
+                let epoch = if *pos < buf.len() {
+                    get_uvarint(buf, pos)?
+                } else {
+                    0
+                };
                 ReplMsg::Batch {
                     prev_lsn,
                     start_lsn,
                     next_lsn,
                     txn,
                     ops,
+                    epoch,
                 }
             }
             RM_SNAP_BEGIN => ReplMsg::SnapshotBegin {
@@ -1181,12 +1305,24 @@ impl ReplMsg {
                 }
                 ReplMsg::SnapshotChunk { pairs }
             }
-            RM_SNAP_END => ReplMsg::SnapshotEnd {
-                snapshot_lsn: get_uvarint(buf, pos)?,
-            },
-            RM_HEARTBEAT => ReplMsg::Heartbeat {
-                durable_lsn: get_uvarint(buf, pos)?,
-            },
+            RM_SNAP_END => {
+                let snapshot_lsn = get_uvarint(buf, pos)?;
+                let epoch = if *pos < buf.len() {
+                    get_uvarint(buf, pos)?
+                } else {
+                    0
+                };
+                ReplMsg::SnapshotEnd { snapshot_lsn, epoch }
+            }
+            RM_HEARTBEAT => {
+                let durable_lsn = get_uvarint(buf, pos)?;
+                let epoch = if *pos < buf.len() {
+                    get_uvarint(buf, pos)?
+                } else {
+                    0
+                };
+                ReplMsg::Heartbeat { durable_lsn, epoch }
+            }
             other => return Err(WireError::Protocol(format!("unknown repl msg {other}"))),
         })
     }
@@ -1225,7 +1361,7 @@ impl Frame {
                 put_uvarint(&mut payload, meta.client_id);
                 put_uvarint(&mut payload, meta.seq);
                 put_uvarint(&mut payload, meta.deadline_ms);
-                command.encode(&mut payload);
+                command.encode(&mut payload, version);
             }
             Frame::Response { id, reply } => {
                 payload.push(KIND_RESPONSE);
@@ -1242,7 +1378,7 @@ impl Frame {
             Frame::Repl(m) => {
                 debug_assert!(version >= 5, "Repl frames are v5-only");
                 payload.push(KIND_REPL);
-                m.encode(&mut payload);
+                m.encode(&mut payload, version);
             }
         }
         debug_assert!(payload.len() <= MAX_FRAME);
@@ -1461,6 +1597,15 @@ mod tests {
                 client_id: u64::MAX,
                 token: vec![0xde, 0xad, 0xbe, 0xef],
             },
+            Command::ReplSubscribe {
+                start_lsn: 512,
+                epoch: 3,
+            },
+            Command::ReplProgress {
+                applied_lsn: 512,
+                epoch: 3,
+                digest: 0xdead_beef,
+            },
             Command::Stats,
         ];
         for (i, command) in commands.into_iter().enumerate() {
@@ -1551,6 +1696,15 @@ mod tests {
                 subscribers_evicted: 40,
                 breaker_trips: 41,
                 breaker_resets: 42,
+                repl_epoch: 43,
+                repl_fence_prev: 44,
+                repl_fence_start: 45,
+                repl_peers: 46,
+                repl_min_peer_applied: 47,
+                repl_digest_ok_peers: 48,
+                repl_digest_mismatches: 49,
+                repl_quorum: 50,
+                repl_quorum_ok: 1,
             })),
             Reply::Err {
                 kind: "UnknownClass".into(),
@@ -1581,16 +1735,99 @@ mod tests {
                     },
                     StoreOp::Delete { key: b"d".to_vec() },
                 ],
+                epoch: 2,
             },
             ReplMsg::SnapshotBegin { snapshot_lsn: 5 },
             ReplMsg::SnapshotChunk {
                 pairs: vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), vec![])],
             },
-            ReplMsg::SnapshotEnd { snapshot_lsn: 5 },
-            ReplMsg::Heartbeat { durable_lsn: 1234 },
+            ReplMsg::SnapshotEnd {
+                snapshot_lsn: 5,
+                epoch: 2,
+            },
+            ReplMsg::Heartbeat {
+                durable_lsn: 1234,
+                epoch: 2,
+            },
         ];
         for m in msgs {
             roundtrip(Frame::Repl(m));
+        }
+    }
+
+    #[test]
+    fn v8_peers_never_see_epoch_fields_and_v9_decodes_them_as_zero() {
+        // A v9 node encoding for a v8 peer omits every epoch field; the
+        // same bytes decoded by a v9 node read the epochs as zero (the
+        // never-fenced world), so mixed fleets interoperate.
+        let msgs = [
+            Frame::Repl(ReplMsg::Heartbeat {
+                durable_lsn: 9,
+                epoch: 4,
+            }),
+            Frame::Repl(ReplMsg::SnapshotEnd {
+                snapshot_lsn: 11,
+                epoch: 4,
+            }),
+            Frame::Repl(ReplMsg::Batch {
+                prev_lsn: 0,
+                start_lsn: 0,
+                next_lsn: 30,
+                txn: TxnId(1),
+                ops: vec![],
+                epoch: 4,
+            }),
+            Frame::Request {
+                id: 1,
+                meta: RequestMeta::default(),
+                command: Command::ReplSubscribe {
+                    start_lsn: 7,
+                    epoch: 4,
+                },
+            },
+            Frame::Request {
+                id: 0,
+                meta: RequestMeta::default(),
+                command: Command::ReplProgress {
+                    applied_lsn: 7,
+                    epoch: 4,
+                    digest: 99,
+                },
+            },
+        ];
+        for frame in msgs {
+            let v8_bytes = frame.encode_versioned(8);
+            let v9_bytes = frame.encode_versioned(9);
+            assert!(v9_bytes.len() > v8_bytes.len(), "epoch fields add bytes");
+            // v8 bytes decode cleanly (no trailing-garbage refusal) and
+            // every epoch/digest reads back zero.
+            let back = Frame::decode(&v8_bytes[4..]).unwrap();
+            match back {
+                Frame::Repl(ReplMsg::Heartbeat { epoch, .. })
+                | Frame::Repl(ReplMsg::SnapshotEnd { epoch, .. })
+                | Frame::Repl(ReplMsg::Batch { epoch, .. }) => assert_eq!(epoch, 0),
+                Frame::Request {
+                    command: Command::ReplSubscribe { start_lsn, epoch },
+                    ..
+                } => {
+                    assert_eq!(start_lsn, 7);
+                    assert_eq!(epoch, 0);
+                }
+                Frame::Request {
+                    command:
+                        Command::ReplProgress {
+                            applied_lsn,
+                            epoch,
+                            digest,
+                        },
+                    ..
+                } => {
+                    assert_eq!((applied_lsn, epoch, digest), (7, 0, 0));
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+            // v9 bytes roundtrip exactly.
+            assert_eq!(Frame::decode(&v9_bytes[4..]).unwrap(), frame);
         }
     }
 

@@ -138,8 +138,16 @@ pub struct ServerConfig {
     /// asynchronous (availability over strictness) rather than
     /// stalling the session. No effect without connected replicas.
     pub sync_repl: bool,
-    /// Per-commit bound on the semi-sync wait.
+    /// Per-commit bound on the semi-sync wait: a quorum slower than
+    /// this degrades the commit to asynchronous. Overridable at bind
+    /// time with the `HIPAC_REPL_DEGRADE_MS` environment variable.
     pub sync_repl_timeout: Duration,
+    /// How often idle replicas get a heartbeat carrying the durable
+    /// frontier and the primary's replication epoch (so a quiet
+    /// primary still advertises zero lag, and a fenced world is
+    /// discovered without waiting for traffic). Overridable at bind
+    /// time with the `HIPAC_REPL_HEARTBEAT_MS` environment variable.
+    pub repl_heartbeat_every: Duration,
 }
 
 impl Default for ServerConfig {
@@ -162,8 +170,20 @@ impl Default for ServerConfig {
             push_write_timeout: Duration::from_secs(5),
             sync_repl: false,
             sync_repl_timeout: Duration::from_millis(250),
+            repl_heartbeat_every: Duration::from_millis(50),
         }
     }
+}
+
+/// Parse a `HIPAC_REPL_*` millisecond knob from the environment.
+/// Unset or unparsable values fall back to the builder configuration.
+fn env_millis(name: &str) -> Option<Duration> {
+    std::env::var(name)
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .map(Duration::from_millis)
 }
 
 /// How often blocked reads wake to check idle/shutdown state.
@@ -769,14 +789,19 @@ impl Subscriptions {
 /// Bytes of WAL tail read per shipping round per replica.
 const SHIP_WINDOW: usize = 256 * 1024;
 
-/// How often idle replicas get a heartbeat carrying the durable
-/// frontier (so a quiet primary still advertises its lag as zero).
-const HEARTBEAT_EVERY: Duration = Duration::from_millis(50);
+/// Per-peer `(lsn, fold)` digest checkpoints retained for anti-entropy
+/// comparison. A progress report whose LSN has already been pruned
+/// simply skips the comparison (detection is best-effort, never a
+/// correctness gate).
+const DIGEST_LOG_CAP: usize = 256;
 
 /// One replica connection registered via `ReplSubscribe`.
 struct ReplPeer {
     session: u64,
     writer: Arc<Mutex<TcpStream>>,
+    /// Protocol version this peer negotiated; epoch and digest fields
+    /// are encoded on its stream only for v9+ peers.
+    version: u32,
     /// Next LSN to ship to this peer (the WAL read resume point; it
     /// advances past checkpoint/abort markers).
     shipped: u64,
@@ -787,8 +812,35 @@ struct ReplPeer {
     chained: u64,
     /// Highest LSN the peer has reported durably applied.
     progress: u64,
+    /// Incremental fold of every batch digest shipped to this peer
+    /// since subscribe/snapshot — the primary's half of the
+    /// anti-entropy exchange (see [`hipac_storage::fold_digest`]).
+    fold: u64,
+    /// Recent `(chained_lsn, fold)` checkpoints, bounded at
+    /// [`DIGEST_LOG_CAP`]: a progress report's digest is compared at
+    /// its exact applied LSN.
+    digest_log: VecDeque<(u64, u64)>,
+    /// Last digest comparison outcome (true until proven otherwise).
+    digest_ok: bool,
+    /// Ship a full snapshot before any batches: the peer subscribed
+    /// from an older epoch, so its watermark lives in a dead LSN space
+    /// and must not be used as a WAL resume point.
+    force_snapshot: bool,
     /// Socket write failed; the peer is culled after the round.
     dead: bool,
+}
+
+/// Replica acks required to release a semi-sync commit: a majority of
+/// the full fleet (the N connected replicas plus this primary),
+/// ⌈(N+1)/2⌉. One replica → 1 (it must ack, as before multi-replica
+/// fan-out existed); three replicas → 2, so one crashed or lagging
+/// replica no longer degrades every commit to asynchronous.
+fn quorum_of(n_peers: u64) -> u64 {
+    if n_peers == 0 {
+        0
+    } else {
+        (n_peers + 2) / 2
+    }
 }
 
 /// How long a blocked write to a replica socket may stall the shipper
@@ -812,59 +864,153 @@ struct ReplHub {
     durable: Option<Arc<DurableStore>>,
     counters: Arc<ReplCounters>,
     peers: Mutex<Vec<ReplPeer>>,
+    /// Whether semi-sync acks are configured — reported as the
+    /// `repl_quorum` gauge (0 when off, the required ack count when
+    /// on).
+    sync: bool,
+    /// Set when this node observes a replication epoch newer than its
+    /// own: a promotion happened elsewhere while this node thought it
+    /// was primary. From then on every write-class command is refused
+    /// with `NotPrimary` (split-brain fence) until the operator
+    /// rejoins the node as a replica of the new epoch's primary.
+    fenced: AtomicBool,
 }
 
 impl ReplHub {
-    fn new(durable: Option<Arc<DurableStore>>, counters: Arc<ReplCounters>) -> Arc<ReplHub> {
+    fn new(
+        durable: Option<Arc<DurableStore>>,
+        counters: Arc<ReplCounters>,
+        sync: bool,
+    ) -> Arc<ReplHub> {
+        // Seed the epoch gauges from the persisted sidecar so STATS
+        // serves the fence coordinates from the first request on.
+        if let Some(d) = &durable {
+            counters.epoch.store(d.repl_epoch(), Ordering::Relaxed);
+            let (prev, start) = d.repl_fence();
+            counters.fence_prev.store(prev, Ordering::Relaxed);
+            counters.fence_start.store(start, Ordering::Relaxed);
+        }
+        // Healthy until a semi-sync wait proves otherwise. A persisted
+        // fence marker (set when this node learned it was deposed, not
+        // yet repaired by rejoin) re-arms the write fence on restart.
+        counters.quorum_ok.store(1, Ordering::Relaxed);
+        let fenced = durable.as_ref().is_some_and(|d| d.repl_fenced());
         Arc::new(ReplHub {
             durable,
             counters,
             peers: Mutex::new(Vec::new()),
+            sync,
+            fenced: AtomicBool::new(fenced),
         })
+    }
+
+    /// The replication epoch this node operates under (0 for in-memory
+    /// databases, which cannot be fenced).
+    fn epoch(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| d.repl_epoch())
+    }
+
+    /// Demote this node: persist the newer epoch *with the fence
+    /// marker set* — so the fence survives a restart, can never be
+    /// un-observed, and `ReplicaNode::rejoin` still knows the local
+    /// WAL carries an unrepaired divergent tail — and refuse writes
+    /// from now on.
+    fn fence(&self, new_epoch: u64) {
+        self.fenced.store(true, Ordering::Release);
+        self.counters.stale_epochs.fetch_add(1, Ordering::Relaxed);
+        if let Some(d) = &self.durable {
+            let _ = d.fence_epoch(new_epoch);
+        }
+        self.counters.epoch.fetch_max(new_epoch, Ordering::Relaxed);
     }
 
     /// Register (or re-register) `session`'s connection as a replica
     /// resuming from `start_lsn`. The shipper validates the LSN lazily:
-    /// an unusable resume point simply produces a snapshot.
+    /// an unusable resume point simply produces a snapshot. A peer
+    /// subscribing from an older epoch gets an unconditional snapshot —
+    /// its LSNs belong to a superseded primary's WAL and must never be
+    /// interpreted in this one.
     ///
     /// Callers must invoke this only *after* the `ReplSubscribe` Ok
     /// response frame has been written to the socket — registering
     /// earlier lets the shipper interleave repl frames ahead of the
     /// Ok, which the replica's handshake would have to reorder.
-    fn subscribe(&self, session: u64, writer: Arc<Mutex<TcpStream>>, start_lsn: u64) {
+    fn subscribe(
+        &self,
+        session: u64,
+        writer: Arc<Mutex<TcpStream>>,
+        start_lsn: u64,
+        version: u32,
+        peer_epoch: u64,
+    ) {
         // A wedged replica must not block the shipper forever: writes
         // go through `write_all_timeout(REPL_WRITE_TIMEOUT)` (sockets
         // are non-blocking under the reactor), the peer is culled, and
         // the replica resubscribes.
+        //
+        // Any peer that cannot prove it observed this node's epoch —
+        // including pre-v9 peers and v9 peers that slept through the
+        // promotion, both of which offer epoch 0 — gets a snapshot:
+        // their watermark may have been minted under a deposed
+        // primary's WAL. A never-promoted fleet has epoch 0 itself, so
+        // the v8 resume semantics there are unchanged.
+        let force_snapshot = peer_epoch < self.epoch();
         let mut peers = self.peers.lock();
         peers.retain(|p| p.session != session);
         peers.push(ReplPeer {
             session,
             writer,
+            version,
             shipped: start_lsn,
             chained: start_lsn,
             progress: start_lsn,
+            fold: 0,
+            digest_log: VecDeque::from([(start_lsn, 0)]),
+            digest_ok: true,
+            force_snapshot,
             dead: false,
         });
+        drop(peers);
+        self.refresh_gauges();
     }
 
     fn drop_session(&self, session: u64) {
         self.peers.lock().retain(|p| p.session != session);
+        self.refresh_gauges();
     }
 
     fn peer_count(&self) -> usize {
         self.peers.lock().len()
     }
 
-    /// A replica reported durable application up to `applied_lsn`.
-    /// Folds the best progress across peers into the shared counters.
-    fn record_progress(&self, session: u64, applied_lsn: u64) {
+    /// A replica reported durable application up to `applied_lsn`,
+    /// carrying its incremental stream digest (v9; pre-v9 peers report
+    /// no digest and are exempt from comparison). Folds the best
+    /// progress across peers into the shared counters and compares the
+    /// peer's digest against the primary-side fold at the same LSN.
+    fn record_progress(&self, session: u64, applied_lsn: u64, digest: u64) {
         let best = {
             let mut peers = self.peers.lock();
             let mut best = 0u64;
             for p in peers.iter_mut() {
                 if p.session == session {
                     p.progress = p.progress.max(applied_lsn);
+                    if p.version >= 9 {
+                        if let Some(&(_, expect)) =
+                            p.digest_log.iter().find(|(l, _)| *l == applied_lsn)
+                        {
+                            let ok = expect == digest;
+                            if !ok {
+                                self.counters.digest_mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                            p.digest_ok = ok;
+                        }
+                        // Checkpoints at or before the report can never
+                        // be asked about again (progress is monotone).
+                        while p.digest_log.front().is_some_and(|(l, _)| *l < applied_lsn) {
+                            p.digest_log.pop_front();
+                        }
+                    }
                 }
                 best = best.max(p.progress);
             }
@@ -873,6 +1019,27 @@ impl ReplHub {
         if let Some(d) = &self.durable {
             self.counters.record_applied(best, d.durable_lsn());
         }
+        self.refresh_gauges();
+    }
+
+    /// Fold per-peer state into the shared gauges: peer count, the
+    /// quorum-limiting watermark, digest agreement, and the required
+    /// semi-sync ack count.
+    fn refresh_gauges(&self) {
+        let (n, min, digest_ok) = {
+            let peers = self.peers.lock();
+            (
+                peers.len() as u64,
+                peers.iter().map(|p| p.progress).min().unwrap_or(0),
+                peers.iter().filter(|p| p.digest_ok).count() as u64,
+            )
+        };
+        self.counters.peers.store(n, Ordering::Relaxed);
+        self.counters.min_peer_applied.store(min, Ordering::Relaxed);
+        self.counters.digest_ok_peers.store(digest_ok, Ordering::Relaxed);
+        self.counters
+            .quorum
+            .store(if self.sync { quorum_of(n) } else { 0 }, Ordering::Relaxed);
     }
 
     /// One shipping round over all peers. Returns whether any bytes
@@ -886,28 +1053,76 @@ impl ReplHub {
     /// long the shipper itself can wedge on one peer).
     fn ship_once(&self) -> bool {
         let Some(d) = &self.durable else { return false };
-        let targets: Vec<(u64, Arc<Mutex<TcpStream>>, u64, u64)> = self
+        struct Target {
+            session: u64,
+            writer: Arc<Mutex<TcpStream>>,
+            shipped: u64,
+            chained: u64,
+            version: u32,
+            fold: u64,
+            force_snapshot: bool,
+        }
+        let targets: Vec<Target> = self
             .peers
             .lock()
             .iter()
-            .map(|p| (p.session, Arc::clone(&p.writer), p.shipped, p.chained))
+            .map(|p| Target {
+                session: p.session,
+                writer: Arc::clone(&p.writer),
+                shipped: p.shipped,
+                chained: p.chained,
+                version: p.version,
+                fold: p.fold,
+                force_snapshot: p.force_snapshot,
+            })
             .collect();
         if targets.is_empty() {
             return false;
         }
+        let epoch = d.repl_epoch();
         let mut worked = false;
-        // (session, pre-round shipped, new shipped, new chained, dead)
-        let mut outcomes: Vec<(u64, u64, u64, u64, bool)> = Vec::new();
-        for (session, writer, pre_shipped, pre_chained) in targets {
+        struct Outcome {
+            session: u64,
+            pre_shipped: u64,
+            shipped: u64,
+            chained: u64,
+            fold: u64,
+            /// New `(lsn, fold)` digest checkpoints from this round;
+            /// `reseed` replaces the peer's log instead of appending
+            /// (snapshot: the stream fold restarts from zero).
+            log: Vec<(u64, u64)>,
+            reseed: bool,
+            dead: bool,
+        }
+        let mut outcomes: Vec<Outcome> = Vec::new();
+        for t in targets {
             let durable_lsn = d.durable_lsn();
-            let mut shipped = pre_shipped;
-            let mut chained = pre_chained;
+            let pre_shipped = t.shipped;
+            let mut shipped = t.shipped;
+            let mut chained = t.chained;
+            let mut fold = t.fold;
+            let mut log: Vec<(u64, u64)> = Vec::new();
+            let mut reseed = false;
             let mut dead = false;
-            if shipped < durable_lsn {
+            if t.force_snapshot {
+                // Stale-epoch subscriber: its watermark is from a dead
+                // LSN space; bootstrap it with a snapshot immediately.
+                match Self::ship_snapshot(d, &t.writer, t.version, epoch) {
+                    Some(snapshot_lsn) => {
+                        shipped = snapshot_lsn;
+                        chained = snapshot_lsn;
+                        fold = 0;
+                        log = vec![(snapshot_lsn, 0)];
+                        reseed = true;
+                    }
+                    None => dead = true,
+                }
+                worked = true;
+            } else if shipped < durable_lsn {
                 match d.read_batches_from(shipped, SHIP_WINDOW as u64) {
                     Ok(TailRead::Batches { batches, next_lsn, .. }) => {
                         if next_lsn > shipped || !batches.is_empty() {
-                            let mut w = writer.lock();
+                            let mut w = t.writer.lock();
                             for b in &batches {
                                 let frame = Frame::Repl(ReplMsg::Batch {
                                     prev_lsn: chained,
@@ -915,8 +1130,9 @@ impl ReplHub {
                                     next_lsn: b.next_lsn,
                                     txn: b.txn,
                                     ops: b.ops.clone(),
+                                    epoch,
                                 })
-                                .encode_versioned(PROTOCOL_VERSION);
+                                .encode_versioned(t.version);
                                 if crate::reactor::write_all_timeout(
                                     &mut w,
                                     &frame,
@@ -928,6 +1144,11 @@ impl ReplHub {
                                     break;
                                 }
                                 chained = b.next_lsn;
+                                fold = hipac_storage::fold_digest(
+                                    fold,
+                                    hipac_storage::batch_digest(b.next_lsn, b.txn, &b.ops),
+                                );
+                                log.push((b.next_lsn, fold));
                             }
                             if !dead && next_lsn > shipped {
                                 shipped = next_lsn;
@@ -939,10 +1160,13 @@ impl ReplHub {
                         // The peer's resume point predates the oldest
                         // retained WAL (checkpoint truncation) or is
                         // misaligned: re-seed it with a full snapshot.
-                        match Self::ship_snapshot(d, &writer) {
+                        match Self::ship_snapshot(d, &t.writer, t.version, epoch) {
                             Some(snapshot_lsn) => {
                                 shipped = snapshot_lsn;
                                 chained = snapshot_lsn;
+                                fold = 0;
+                                log = vec![(snapshot_lsn, 0)];
+                                reseed = true;
                             }
                             None => dead = true,
                         }
@@ -951,22 +1175,42 @@ impl ReplHub {
                     Err(_) => {}
                 }
             }
-            outcomes.push((session, pre_shipped, shipped, chained, dead));
+            outcomes.push(Outcome {
+                session: t.session,
+                pre_shipped,
+                shipped,
+                chained,
+                fold,
+                log,
+                reseed,
+                dead,
+            });
         }
         let mut best_shipped = 0u64;
         {
             let mut peers = self.peers.lock();
-            for (session, pre, shipped, chained, dead) in outcomes {
-                if let Some(p) = peers.iter_mut().find(|p| p.session == session) {
-                    if dead {
+            for o in outcomes {
+                if let Some(p) = peers.iter_mut().find(|p| p.session == o.session) {
+                    if o.dead {
                         p.dead = true;
-                    } else if p.shipped == pre {
+                    } else if p.shipped == o.pre_shipped {
                         // Unchanged since the snapshot: commit the
                         // round. (A concurrent resubscribe rewinds
                         // `shipped`; its fresh resume point must win
                         // over this stale round's.)
-                        p.shipped = shipped;
-                        p.chained = chained;
+                        p.shipped = o.shipped;
+                        p.chained = o.chained;
+                        p.fold = o.fold;
+                        if o.reseed {
+                            p.digest_log = o.log.into_iter().collect();
+                            p.digest_ok = true;
+                            p.force_snapshot = false;
+                        } else {
+                            p.digest_log.extend(o.log);
+                            while p.digest_log.len() > DIGEST_LOG_CAP {
+                                p.digest_log.pop_front();
+                            }
+                        }
                     }
                 }
             }
@@ -986,13 +1230,18 @@ impl ReplHub {
     /// Stream a consistent full-state snapshot to `writer`. Returns
     /// the snapshot frontier LSN — the peer's new resume point — or
     /// `None` on a socket failure.
-    fn ship_snapshot(d: &Arc<DurableStore>, writer: &Mutex<TcpStream>) -> Option<u64> {
+    fn ship_snapshot(
+        d: &Arc<DurableStore>,
+        writer: &Mutex<TcpStream>,
+        version: u32,
+        epoch: u64,
+    ) -> Option<u64> {
         let (snapshot_lsn, pairs) = d.snapshot_for_repl().ok()?;
         let mut w = writer.lock();
         let send = |w: &mut TcpStream, frame: &[u8]| {
             crate::reactor::write_all_timeout(w, frame, REPL_WRITE_TIMEOUT).is_ok()
         };
-        let begin = Frame::Repl(ReplMsg::SnapshotBegin { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
+        let begin = Frame::Repl(ReplMsg::SnapshotBegin { snapshot_lsn }).encode_versioned(version);
         if !send(&mut w, &begin) {
             return None;
         }
@@ -1006,7 +1255,7 @@ impl ReplHub {
                 let frame = Frame::Repl(ReplMsg::SnapshotChunk {
                     pairs: std::mem::take(&mut chunk),
                 })
-                .encode_versioned(PROTOCOL_VERSION);
+                .encode_versioned(version);
                 chunk_bytes = 0;
                 if !send(&mut w, &frame) {
                     return None;
@@ -1015,12 +1264,16 @@ impl ReplHub {
         }
         if !chunk.is_empty() {
             let frame =
-                Frame::Repl(ReplMsg::SnapshotChunk { pairs: chunk }).encode_versioned(PROTOCOL_VERSION);
+                Frame::Repl(ReplMsg::SnapshotChunk { pairs: chunk }).encode_versioned(version);
             if !send(&mut w, &frame) {
                 return None;
             }
         }
-        let end = Frame::Repl(ReplMsg::SnapshotEnd { snapshot_lsn }).encode_versioned(PROTOCOL_VERSION);
+        let end = Frame::Repl(ReplMsg::SnapshotEnd {
+            snapshot_lsn,
+            epoch,
+        })
+        .encode_versioned(version);
         if !send(&mut w, &end) {
             return None;
         }
@@ -1033,15 +1286,17 @@ impl ReplHub {
     fn heartbeat(&self) {
         let Some(d) = &self.durable else { return };
         let durable_lsn = d.durable_lsn();
-        let frame = Frame::Repl(ReplMsg::Heartbeat { durable_lsn }).encode_versioned(PROTOCOL_VERSION);
-        let writers: Vec<(u64, Arc<Mutex<TcpStream>>)> = self
+        let epoch = d.repl_epoch();
+        let writers: Vec<(u64, Arc<Mutex<TcpStream>>, u32)> = self
             .peers
             .lock()
             .iter()
-            .map(|p| (p.session, Arc::clone(&p.writer)))
+            .map(|p| (p.session, Arc::clone(&p.writer), p.version))
             .collect();
         let mut dead = Vec::new();
-        for (session, w) in writers {
+        for (session, w, version) in writers {
+            let frame =
+                Frame::Repl(ReplMsg::Heartbeat { durable_lsn, epoch }).encode_versioned(version);
             if crate::reactor::write_all_timeout(&mut w.lock(), &frame, REPL_WRITE_TIMEOUT).is_err()
             {
                 dead.push(session);
@@ -1050,20 +1305,32 @@ impl ReplHub {
         if !dead.is_empty() {
             self.peers.lock().retain(|p| !dead.contains(&p.session));
         }
+        self.refresh_gauges();
     }
 
-    /// Block until every connected replica has reported progress at or
-    /// past the current durable frontier, or `timeout` passes. Returns
-    /// whether they caught up (vacuously true with no peers or no WAL).
+    /// Block until a quorum of the connected replicas — ⌈(N+1)/2⌉ of
+    /// N, see [`quorum_of`] — has reported progress at or past the
+    /// current durable frontier, or `timeout` passes. Vacuously true
+    /// with no peers or no WAL; with three replicas, one crashed or
+    /// lagging peer no longer degrades every commit to asynchronous.
     fn wait_caught_up(&self, timeout: Duration) -> bool {
         let Some(d) = &self.durable else { return true };
         let lsn = d.durable_lsn();
         let deadline = Instant::now() + timeout;
         loop {
-            if self.peers.lock().iter().all(|p| p.progress >= lsn) {
+            let (n, caught) = {
+                let peers = self.peers.lock();
+                (
+                    peers.len() as u64,
+                    peers.iter().filter(|p| p.progress >= lsn).count() as u64,
+                )
+            };
+            if caught >= quorum_of(n) {
+                self.counters.quorum_ok.store(1, Ordering::Relaxed);
                 return true;
             }
             if Instant::now() >= deadline {
+                self.counters.quorum_ok.store(0, Ordering::Relaxed);
                 return false;
             }
             std::thread::sleep(Duration::from_micros(200));
@@ -1378,13 +1645,14 @@ struct SessionCore {
     auth: Option<u64>,
     /// Transactions begun by this session and not yet terminated.
     open_txns: HashSet<TxnId>,
-    /// A `ReplSubscribe` accepted but not yet registered with the hub.
-    /// Registration is deferred until the Ok response frame has been
-    /// written to the socket: were the peer registered first, the
-    /// shipper could interleave Repl frames *before* the Ok on the
-    /// shared writer, and the replica's handshake would have to cope
-    /// with replicated data arriving ahead of the acknowledgement.
-    pending_repl: Option<u64>,
+    /// A `ReplSubscribe` accepted but not yet registered with the hub:
+    /// `(start_lsn, peer_epoch)`. Registration is deferred until the
+    /// Ok response frame has been written to the socket: were the peer
+    /// registered first, the shipper could interleave Repl frames
+    /// *before* the Ok on the shared writer, and the replica's
+    /// handshake would have to cope with replicated data arriving
+    /// ahead of the acknowledgement.
+    pending_repl: Option<(u64, u64)>,
 }
 
 /// Connection state shared between the owning shard (which reads) and
@@ -1496,8 +1764,16 @@ impl HipacServer {
     pub fn bind_with(
         db: Arc<ActiveDatabase>,
         addr: impl ToSocketAddrs,
-        config: ServerConfig,
+        mut config: ServerConfig,
     ) -> Result<HipacServer, WireError> {
+        // Deploy-time overrides for the replication cadence knobs, so
+        // fleet operators can tune them without recompiling callers.
+        if let Some(every) = env_millis("HIPAC_REPL_HEARTBEAT_MS") {
+            config.repl_heartbeat_every = every;
+        }
+        if let Some(degrade) = env_millis("HIPAC_REPL_DEGRADE_MS") {
+            config.sync_repl_timeout = degrade;
+        }
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept, driven by a poller on the listener fd:
@@ -1524,17 +1800,22 @@ impl HipacServer {
             load_reply_journal(d, &shared, config.dedup_window);
         }
         // Replication ships the WAL regardless of reply-journal config.
-        let repl = ReplHub::new(db.durable_store().cloned(), Arc::clone(db.repl_counters()));
+        let repl = ReplHub::new(
+            db.durable_store().cloned(),
+            Arc::clone(db.repl_counters()),
+            config.sync_repl,
+        );
         let repl_thread = {
             let hub = Arc::clone(&repl);
             let stop = Arc::clone(&shutdown);
+            let beat_every = config.repl_heartbeat_every;
             std::thread::Builder::new()
                 .name("hipac-net-repl-ship".to_owned())
                 .spawn(move || {
                     let mut last_beat = Instant::now();
                     while !stop.load(Ordering::Acquire) {
                         let worked = hub.ship_once();
-                        if last_beat.elapsed() >= HEARTBEAT_EVERY {
+                        if last_beat.elapsed() >= beat_every {
                             hub.heartbeat();
                             last_beat = Instant::now();
                         }
@@ -2275,9 +2556,13 @@ fn process_frame(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, payload: Vec<u8>)
                 mark_dead(ctx, conn);
                 return;
             }
-            let pending = conn.core.lock().pending_repl.take();
-            if let Some(start_lsn) = pending {
-                ctx.repl.subscribe(conn.id, Arc::clone(&conn.writer), start_lsn);
+            let (pending, version) = {
+                let mut core = conn.core.lock();
+                (core.pending_repl.take(), core.negotiated)
+            };
+            if let Some((start_lsn, peer_epoch)) = pending {
+                ctx.repl
+                    .subscribe(conn.id, Arc::clone(&conn.writer), start_lsn, version, peer_epoch);
             }
         }
         // Clients never send responses or pushes; treat as a protocol
@@ -2545,6 +2830,18 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             return Err(HipacError::UnknownTxn(t));
         }
     }
+    // Split-brain fence: a deposed primary serves reads, session
+    // management and replication plumbing, but refuses every mutation
+    // — a write acked here could never survive rejoin (the divergent
+    // tail is truncated), so it must not be acked at all.
+    if ctx.repl.fenced.load(Ordering::Acquire) && is_write_command(&command) {
+        return Ok(Reply::Err {
+            kind: "NotPrimary".to_owned(),
+            message: "node is fenced: a newer replication epoch exists; \
+                      write to the current primary"
+                .to_owned(),
+        });
+    }
     Ok(match command {
         Command::Ping { version } => {
             // Additive negotiation: both ends settle on the lower
@@ -2749,7 +3046,7 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             ctx.subs.ack(&handler, seq);
             Reply::Ok
         }
-        Command::ReplSubscribe { start_lsn } => {
+        Command::ReplSubscribe { start_lsn, epoch } => {
             if conn.core.lock().negotiated < 5 {
                 Reply::Err {
                     kind: "Unsupported".to_owned(),
@@ -2761,14 +3058,56 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
                     message: "in-memory databases cannot be replicated".to_owned(),
                 }
             } else {
+                let own = ctx.repl.epoch();
+                if epoch > own {
+                    // The subscriber lives in a newer epoch than this
+                    // node has ever observed: a promotion happened
+                    // while it thought itself primary. Fence first,
+                    // refuse second — the caller learns it must rejoin.
+                    ctx.repl.fence(epoch);
+                    return Err(HipacError::StaleEpoch {
+                        current: epoch,
+                        got: own,
+                    });
+                }
                 // Registered by `process_frame` only after the Ok frame
                 // is on the wire — see the `pending_repl` field docs.
-                conn.core.lock().pending_repl = Some(start_lsn);
+                // (A stale-epoch subscriber is accepted: the hub
+                // bootstraps it with a snapshot instead of trusting
+                // its dead-LSN-space watermark.)
+                conn.core.lock().pending_repl = Some((start_lsn, epoch));
                 Reply::Ok
             }
         }
-        Command::ReplProgress { applied_lsn } => {
-            ctx.repl.record_progress(conn.id, applied_lsn);
+        Command::ReplProgress {
+            applied_lsn,
+            epoch,
+            digest,
+        } => {
+            let own = ctx.repl.epoch();
+            if epoch > own {
+                // Progress from the future: same deposition signal as
+                // a newer-epoch subscribe. This is also the heal path
+                // — `fence_stale_primary` sends exactly this frame.
+                ctx.repl.fence(epoch);
+                return Err(HipacError::StaleEpoch {
+                    current: epoch,
+                    got: own,
+                });
+            }
+            if epoch != 0 && epoch < own {
+                // A deposed-epoch replica's progress must never
+                // satisfy this epoch's semi-sync quorum.
+                ctx.repl
+                    .counters
+                    .stale_epochs
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(HipacError::StaleEpoch {
+                    current: own,
+                    got: epoch,
+                });
+            }
+            ctx.repl.record_progress(conn.id, applied_lsn, digest);
             Reply::Ok
         }
         Command::Stats => {
@@ -2790,6 +3129,26 @@ fn execute(ctx: &Arc<ServerCtx>, conn: &Arc<ConnShared>, command: Command) -> Hi
             Reply::Stats(Box::new(w))
         }
     })
+}
+
+/// Commands refused on a fenced (deposed) primary. Reads, transaction
+/// bookkeeping (begin/abort), session management and replication
+/// plumbing stay available — only state mutation is forbidden.
+fn is_write_command(c: &Command) -> bool {
+    matches!(
+        c,
+        Command::Commit { .. }
+            | Command::CreateClass { .. }
+            | Command::Insert { .. }
+            | Command::Update { .. }
+            | Command::Delete { .. }
+            | Command::DefineEvent { .. }
+            | Command::SignalEvent { .. }
+            | Command::CreateRule { .. }
+            | Command::DropRule { .. }
+            | Command::EnableRule { .. }
+            | Command::DisableRule { .. }
+    )
 }
 
 /// The transaction a command works under, for deadline propagation.
@@ -2863,5 +3222,14 @@ pub fn stats_to_wire(s: EngineStats) -> WireStats {
         subscribers_evicted: 0,
         breaker_trips: 0,
         breaker_resets: 0,
+        repl_epoch: s.repl_epoch,
+        repl_fence_prev: s.repl_fence_prev,
+        repl_fence_start: s.repl_fence_start,
+        repl_peers: s.repl_peers,
+        repl_min_peer_applied: s.repl_min_peer_applied,
+        repl_digest_ok_peers: s.repl_digest_ok_peers,
+        repl_digest_mismatches: s.repl_digest_mismatches,
+        repl_quorum: s.repl_quorum,
+        repl_quorum_ok: s.repl_quorum_ok,
     }
 }

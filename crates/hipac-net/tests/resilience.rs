@@ -791,12 +791,12 @@ fn raw_roundtrip(stream: &mut TcpStream, id: u64, meta: RequestMeta, command: Co
 }
 
 /// Version negotiation is a clamp to the server's supported range:
-/// in-range offers echo back, newer offers settle on v8, ancient
+/// in-range offers echo back, newer offers settle on v9, ancient
 /// offers are clamped up to v4 (the client refuses on its side).
 #[test]
 fn ping_negotiation_clamps_to_supported_range() {
     let server = server();
-    for (offered, want) in [(1u32, 4u32), (4, 4), (5, 5), (6, 6), (7, 7), (8, 8), (99, 8)] {
+    for (offered, want) in [(1u32, 4u32), (4, 4), (5, 5), (6, 6), (7, 7), (8, 8), (9, 9), (99, 9)] {
         let mut conn = TcpStream::connect(server.local_addr()).unwrap();
         match raw_roundtrip(
             &mut conn,

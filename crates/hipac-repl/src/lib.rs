@@ -28,7 +28,17 @@
 //!   prefix, recovers a full engine from the replica's own store —
 //!   reply journal and push outbox included, so client retries from
 //!   before the failover replay rather than re-execute — and binds a
-//!   real server on the address the replica was already serving.
+//!   real server on the address the replica was already serving. It
+//!   also bumps the persistent **replication epoch** and records the
+//!   fence coordinates (divergence point in the old primary's LSN
+//!   space, resubscribe watermark in the new one): every replication
+//!   frame is stamped with the shipper's epoch, a deposed primary
+//!   fences itself read-only on first contact with a newer one
+//!   ([`fence_stale_primary`] delivers that contact on partition
+//!   heal), and [`ReplicaNode::rejoin`] truncates the deposed node's
+//!   divergent WAL tail and re-enlists it as a replica of the new
+//!   primary — falling back to a snapshot bootstrap when the tail can
+//!   no longer be cut precisely.
 //!
 //! `hipac-net`'s `FleetClient` is the client-side counterpart: writes
 //! route to whichever node answers as primary, snapshot reads and
@@ -40,5 +50,5 @@
 pub mod replica;
 pub mod view;
 
-pub use replica::ReplicaNode;
+pub use replica::{fence_stale_primary, ReplicaNode};
 pub use view::ReplicaView;

@@ -43,7 +43,7 @@ use hipac_net::proto::{
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use hipac_net::{HipacServer, ServerConfig};
-use hipac_storage::DurableStore;
+use hipac_storage::{batch_digest, fold_digest, DurableStore, TailTruncate, REPL_SNAPSHOT_SENTINEL};
 use parking_lot::Mutex;
 
 use crate::view::ReplicaView;
@@ -154,6 +154,10 @@ struct Shared {
     /// Primary's durable frontier, from batches and heartbeats.
     primary_durable: AtomicU64,
     connected: AtomicBool,
+    /// Protocol version negotiated on the live upstream connection;
+    /// forwarded requests must be encoded at it (a v8 primary treats
+    /// trailing v9 epoch bytes as frame garbage).
+    upstream_version: AtomicU64,
 }
 
 impl Shared {
@@ -165,6 +169,7 @@ impl Shared {
     /// primary's `Ok` reply lands in the follower read loop and is
     /// dropped there.
     fn send_upstream(&self, command: Command) {
+        let version = self.upstream_version.load(Ordering::Relaxed) as u32;
         let frame = Frame::Request {
             id: 0,
             meta: RequestMeta::default(),
@@ -172,7 +177,7 @@ impl Shared {
         };
         let mut guard = self.upstream.lock();
         if let Some(stream) = guard.as_mut() {
-            if stream.write_all(&frame.encode()).is_err() {
+            if stream.write_all(&frame.encode_versioned(version)).is_err() {
                 *guard = None; // follower loop will reconnect
             }
         }
@@ -235,6 +240,10 @@ impl ReplicaNode {
 
         let counters = Arc::new(ReplCounters::new(ROLE_REPLICA));
         counters.record_applied(applied, applied);
+        counters.epoch.store(store.repl_epoch(), Ordering::Relaxed);
+        let (fence_prev, fence_start) = store.repl_fence();
+        counters.fence_prev.store(fence_prev, Ordering::Relaxed);
+        counters.fence_start.store(fence_start, Ordering::Relaxed);
 
         let listener = TcpListener::bind(listen).map_err(|e| HipacError::Io(e.to_string()))?;
         let listen = listener
@@ -253,6 +262,7 @@ impl ReplicaNode {
             subs: Mutex::new(SubState::default()),
             primary_durable: AtomicU64::new(applied),
             connected: AtomicBool::new(false),
+            upstream_version: AtomicU64::new(u64::from(PROTOCOL_VERSION)),
         });
 
         let sessions: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -361,6 +371,25 @@ impl ReplicaNode {
     /// resume from the restored outbox.
     pub fn promote(mut self, config: ServerConfig) -> Result<(Arc<ActiveDatabase>, HipacServer)> {
         self.stop_threads();
+        // Fence coordinates for the deposed primary's eventual rejoin,
+        // captured before recovery can append anything: `fence_prev` is
+        // the old primary's LSN this node had durably applied at the
+        // moment of promotion (anything past it on the deposed node is
+        // a divergent tail that rejoin truncates away); `fence_start`
+        // is this node's own durable LSN at the same instant — the
+        // equivalent point in the new epoch's LSN space, so a rejoiner
+        // resubscribing from it receives every post-promotion commit,
+        // including any appended during recovery below.
+        let (fence_prev, fence_start) = self
+            .shared
+            .store()
+            .map(|s| {
+                (
+                    s.replicated_applied_lsn().ok().flatten().unwrap_or(0),
+                    s.durable_lsn(),
+                )
+            })
+            .unwrap_or((0, 0));
         // Release the replica's store handle: recovery below must be
         // the only WAL owner for this directory.
         drop(self.shared.store.lock().take());
@@ -379,9 +408,87 @@ impl ReplicaNode {
             Ordering::Relaxed,
         );
 
+        // Bump the replication epoch *before* binding: the server's hub
+        // seeds its gauges from the sidecar at bind time, and from the
+        // first shipped batch onward every frame carries the new epoch
+        // — fencing the deposed primary on contact.
+        if let Some(store) = db.durable_store() {
+            let epoch = store.repl_epoch() + 1;
+            store.set_repl_epoch(epoch, fence_prev, fence_start)?;
+            counters.epoch.store(epoch, Ordering::Relaxed);
+            counters.fence_prev.store(fence_prev, Ordering::Relaxed);
+            counters.fence_start.store(fence_start, Ordering::Relaxed);
+        }
+
         let server = HipacServer::bind_with(Arc::clone(&db), self.listen, config)
             .map_err(|e| HipacError::Io(format!("promotion bind failed: {e}")))?;
         Ok((db, server))
+    }
+
+    /// Rejoin a deposed primary's data directory to the fleet as a
+    /// replica of the node at `primary_addr` (divergence repair).
+    ///
+    /// While partitioned, the old primary may have committed a
+    /// divergent WAL tail past the point where the new primary's
+    /// lineage branched off. Rejoin probes the new primary for its
+    /// fence coordinates (epoch, divergence point `fence_prev`,
+    /// resubscribe watermark `fence_start`), truncates the local WAL
+    /// back to the divergence point (two-phase through the base
+    /// sidecar, so a crash at any step either completes or retries the
+    /// cut — never leaves half a tail), adopts the new epoch, and
+    /// points the resume watermark at `fence_start` in the new
+    /// primary's LSN space. If the divergence point is no longer
+    /// addressable in the local WAL (a checkpoint baked the tail into
+    /// the data file) the watermark is set to the snapshot sentinel
+    /// instead, forcing a full snapshot bootstrap. Then starts the
+    /// node as an ordinary replica.
+    ///
+    /// Idempotent: a node that already adopted the primary's epoch (a
+    /// plain replica restart, or a rejoin interrupted after adoption)
+    /// is not re-truncated — everything past `fence_prev` in its WAL
+    /// is new-epoch data by then.
+    pub fn rejoin(
+        dir: impl AsRef<Path>,
+        primary_addr: impl Into<String>,
+        listen: impl ToSocketAddrs,
+    ) -> Result<ReplicaNode> {
+        let dir = dir.as_ref().to_path_buf();
+        let primary_addr = primary_addr.into();
+        let stats = probe_stats(&primary_addr)?;
+        if stats.repl_epoch > 0 {
+            let (own, fenced) = {
+                let store = DurableStore::open(&dir)?;
+                (store.repl_epoch(), store.repl_fenced())
+            };
+            // Repair when this store has not yet caught up to the
+            // primary's epoch — or when it *has* the epoch but only
+            // because the wire fence forced it to adopt (the fenced
+            // marker): that adoption deliberately left the divergent
+            // tail in place, and only the truncation below (which
+            // clears the marker) makes the WAL safe to resume from.
+            if stats.repl_epoch > own || (stats.repl_epoch == own && fenced) {
+                let watermark = match DurableStore::truncate_wal_tail(&dir, stats.repl_fence_prev)?
+                {
+                    TailTruncate::Done | TailTruncate::NothingToDo => stats.repl_fence_start,
+                    TailTruncate::Gone => REPL_SNAPSHOT_SENTINEL,
+                };
+                // Move the watermark *before* adopting the epoch: the
+                // epoch sidecar is the "repair complete" marker. A
+                // crash anywhere earlier leaves the old epoch in
+                // place, so the next rejoin re-runs the truncation —
+                // which also cuts away a half-landed watermark commit,
+                // because it sits past `fence_prev` — and retries.
+                let store = DurableStore::open(&dir)?;
+                store.set_replicated_watermark(watermark)?;
+                store.set_repl_epoch(
+                    stats.repl_epoch,
+                    stats.repl_fence_prev,
+                    stats.repl_fence_start,
+                )?;
+                drop(store);
+            }
+        }
+        ReplicaNode::start(dir, primary_addr, listen)
     }
 }
 
@@ -447,21 +554,31 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
     // server defers peer registration until its Ok is on the wire, so
     // nothing *should* precede the ack; this is defense in depth.)
     let mut deferred: VecDeque<Frame> = VecDeque::new();
-    match wait_reply(shared, &mut reader, &mut stream, 1, &mut deferred) {
-        Some(Reply::Pong { version }) if version >= 5 => {}
+    let negotiated = match wait_reply(shared, &mut reader, &mut stream, 1, &mut deferred) {
+        Some(Reply::Pong { version }) if version >= 5 => version,
         _ => return FollowEnd::Disconnected,
-    }
+    };
+    shared
+        .upstream_version
+        .store(u64::from(negotiated), Ordering::Relaxed);
     let start_lsn = store.replicated_applied_lsn().ok().flatten().unwrap_or(0);
     let sub = Frame::Request {
         id: 2,
         meta: RequestMeta::default(),
-        command: Command::ReplSubscribe { start_lsn },
+        command: Command::ReplSubscribe {
+            start_lsn,
+            epoch: store.repl_epoch(),
+        },
     };
-    if stream.write_all(&sub.encode()).is_err() {
+    if stream.write_all(&sub.encode_versioned(negotiated)).is_err() {
         return FollowEnd::Disconnected;
     }
     match wait_reply(shared, &mut reader, &mut stream, 2, &mut deferred) {
         Some(Reply::Ok) => {}
+        // A typed `StaleEpoch` refusal means *this* node carries the
+        // newer epoch and the addressed primary just fenced itself;
+        // reconnecting will keep failing until the operator repoints
+        // the follower. Either way: disconnect and retry with backoff.
         _ => return FollowEnd::Disconnected,
     }
 
@@ -474,8 +591,11 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
         shared.send_upstream(Command::Subscribe { handler });
     }
 
-    // Steady state: apply the stream.
+    // Steady state: apply the stream. The digest fold is
+    // per-connection — the primary reseeds its side of the exchange on
+    // every (re)subscribe, so both folds start from zero together.
     let mut snapshot: Option<Vec<(Vec<u8>, Vec<u8>)>> = None;
+    let mut fold: u64 = 0;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return FollowEnd::Stopped;
@@ -496,13 +616,19 @@ fn follow_once(shared: &Arc<Shared>, primary_addr: &str) -> FollowEnd {
             }
         };
         match frame {
-            Frame::Repl(msg) => match apply_repl(shared, &store, msg, &mut snapshot) {
+            Frame::Repl(msg) => match apply_repl(shared, &store, msg, &mut snapshot, &mut fold) {
                 ReplApply::Applied => {}
                 // The stream skipped past our watermark: drop the
                 // connection and resubscribe from the durable
                 // watermark — the primary resumes or snapshots, and
                 // silent divergence becomes automatic recovery.
                 ReplApply::Gap => return FollowEnd::Disconnected,
+                // The stream carries an epoch older than one this node
+                // has durably observed: a deposed primary is still
+                // shipping. Never apply its batches; disconnect (the
+                // backoff loop retries, and succeeds once the operator
+                // repoints this follower at the real primary).
+                ReplApply::StaleEpoch => return FollowEnd::Disconnected,
                 // Storage failure: this node cannot keep its
                 // durability promise — stop following for good.
                 ReplApply::StoreFailed => return FollowEnd::StoreGone,
@@ -522,24 +648,60 @@ enum ReplApply {
     /// The batch does not chain onto our applied watermark
     /// ([`HipacError::ReplGap`]): recoverable by resubscribing.
     Gap,
+    /// The message carries an epoch older than one this node has
+    /// durably observed ([`HipacError::StaleEpoch`]): a deposed
+    /// primary is still shipping. Disconnect without applying.
+    StaleEpoch,
     /// Local storage failed: not recoverable by reconnecting.
     StoreFailed,
 }
 
-/// Apply one replication message.
+/// Observe the epoch stamped on a replication message. Newer epochs
+/// are adopted (persisted first, so the observation can never be
+/// rolled back by a crash); an older one marks the sender as a deposed
+/// primary whose stream must not be applied. Epoch 0 is the pre-v9 /
+/// never-promoted world and always passes.
+fn observe_epoch(shared: &Arc<Shared>, store: &Arc<DurableStore>, wire_epoch: u64) -> ReplApply {
+    if wire_epoch == 0 {
+        return ReplApply::Applied;
+    }
+    let own = store.repl_epoch();
+    if wire_epoch < own {
+        shared.counters.stale_epochs.fetch_add(1, Ordering::Relaxed);
+        return ReplApply::StaleEpoch;
+    }
+    if wire_epoch > own {
+        let (prev, start) = store.repl_fence();
+        if store.set_repl_epoch(wire_epoch, prev, start).is_err() {
+            return ReplApply::StoreFailed;
+        }
+        shared.counters.epoch.store(wire_epoch, Ordering::Relaxed);
+    }
+    ReplApply::Applied
+}
+
+/// Apply one replication message, threading the connection's digest
+/// fold (reported back to the primary with every progress frame).
 fn apply_repl(
     shared: &Arc<Shared>,
     store: &Arc<DurableStore>,
     msg: ReplMsg,
     snapshot: &mut Option<Vec<(Vec<u8>, Vec<u8>)>>,
+    fold: &mut u64,
 ) -> ReplApply {
     match msg {
         ReplMsg::Batch {
             prev_lsn,
             next_lsn,
+            txn,
             ops,
+            epoch,
             ..
         } => {
+            match observe_epoch(shared, store, epoch) {
+                ReplApply::Applied => {}
+                other => return other,
+            }
             match store.apply_replicated(&ops, prev_lsn, next_lsn) {
                 Ok(()) => {}
                 Err(HipacError::ReplGap { .. }) => return ReplApply::Gap,
@@ -548,6 +710,7 @@ fn apply_repl(
             if shared.view.apply_ops(&ops, next_lsn).is_err() {
                 return ReplApply::StoreFailed;
             }
+            *fold = fold_digest(*fold, batch_digest(next_lsn, txn, &ops));
             let frontier = shared
                 .primary_durable
                 .fetch_max(next_lsn, Ordering::Relaxed)
@@ -556,6 +719,8 @@ fn apply_repl(
             shared.connected.store(true, Ordering::Relaxed);
             shared.send_upstream(Command::ReplProgress {
                 applied_lsn: next_lsn,
+                epoch: store.repl_epoch(),
+                digest: *fold,
             });
         }
         ReplMsg::SnapshotBegin { .. } => *snapshot = Some(Vec::new()),
@@ -564,7 +729,11 @@ fn apply_repl(
                 buf.extend(pairs);
             }
         }
-        ReplMsg::SnapshotEnd { snapshot_lsn } => {
+        ReplMsg::SnapshotEnd { snapshot_lsn, epoch } => {
+            match observe_epoch(shared, store, epoch) {
+                ReplApply::Applied => {}
+                other => return other,
+            }
             let Some(pairs) = snapshot.take() else {
                 return ReplApply::Applied; // end without begin: ignore
             };
@@ -574,6 +743,9 @@ fn apply_repl(
             if shared.view.install(&pairs, snapshot_lsn).is_err() {
                 return ReplApply::StoreFailed;
             }
+            // A snapshot restarts the stream — both sides reseed their
+            // digest folds at zero.
+            *fold = 0;
             let frontier = shared
                 .primary_durable
                 .fetch_max(snapshot_lsn, Ordering::Relaxed)
@@ -582,9 +754,15 @@ fn apply_repl(
             shared.connected.store(true, Ordering::Relaxed);
             shared.send_upstream(Command::ReplProgress {
                 applied_lsn: snapshot_lsn,
+                epoch: store.repl_epoch(),
+                digest: *fold,
             });
         }
-        ReplMsg::Heartbeat { durable_lsn } => {
+        ReplMsg::Heartbeat { durable_lsn, epoch } => {
+            match observe_epoch(shared, store, epoch) {
+                ReplApply::Applied => {}
+                other => return other,
+            }
             let frontier = shared
                 .primary_durable
                 .fetch_max(durable_lsn, Ordering::Relaxed)
@@ -715,6 +893,9 @@ fn execute(
                 repl_lag_bytes: c.lag_bytes.load(Ordering::Relaxed),
                 replica_pushes: c.replica_pushes.load(Ordering::Relaxed),
                 promotions: c.promotions.load(Ordering::Relaxed),
+                repl_epoch: c.epoch.load(Ordering::Relaxed),
+                repl_fence_prev: c.fence_prev.load(Ordering::Relaxed),
+                repl_fence_start: c.fence_start.load(Ordering::Relaxed),
                 ..WireStats::default()
             }))
         }
@@ -791,4 +972,91 @@ fn not_primary(what: &str) -> Reply {
         kind: "NotPrimary".to_owned(),
         message: format!("this node is a replica; {what} must go to the primary"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Fencing helpers: probing fence coordinates and healing split-brain.
+// ---------------------------------------------------------------------
+
+/// Fetch replication stats from `addr` over a throwaway connection —
+/// the transport by which a rejoiner learns the new primary's fence
+/// coordinates (`repl_epoch`, `repl_fence_prev`, `repl_fence_start`).
+fn probe_stats(addr: &str) -> Result<WireStats> {
+    let client =
+        hipac_net::HipacClient::connect(addr).map_err(|e| HipacError::Io(e.to_string()))?;
+    client.stats().map_err(|e| HipacError::Io(e.to_string()))
+}
+
+/// Deliver a newer epoch to a node that may still believe it is
+/// primary ("fence on heal"): connect, handshake, and send one
+/// `ReplProgress` frame stamped with `epoch`. A server that sees an
+/// epoch newer than its own fences itself — every subsequent write is
+/// refused with a typed `NotPrimary` error — and answers this frame
+/// with a typed `StaleEpoch` refusal, which here means the fence
+/// *took*. Returns `Ok(())` once the frame was delivered and the peer
+/// acknowledged the epoch (fenced now, or already fenced).
+pub fn fence_stale_primary(addr: &str, epoch: u64) -> Result<()> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| HipacError::Io(e.to_string()))?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TICK)).ok();
+    let mut reader = TickReader::new();
+
+    let ping = Frame::Request {
+        id: 1,
+        meta: RequestMeta::default(),
+        command: Command::Ping {
+            version: PROTOCOL_VERSION,
+        },
+    };
+    stream
+        .write_all(&ping.encode())
+        .map_err(|e| HipacError::Io(e.to_string()))?;
+    let version = match wait_reply_raw(&mut reader, &mut stream, 1)? {
+        Reply::Pong { version } => version,
+        other => return Err(HipacError::Io(format!("unexpected handshake reply: {other:?}"))),
+    };
+    if version < 9 {
+        return Err(HipacError::Io(
+            "peer predates epoch fencing (protocol < 9): cannot fence".into(),
+        ));
+    }
+
+    let fence = Frame::Request {
+        id: 2,
+        meta: RequestMeta::default(),
+        command: Command::ReplProgress {
+            applied_lsn: 0,
+            epoch,
+            digest: 0,
+        },
+    };
+    stream
+        .write_all(&fence.encode_versioned(version))
+        .map_err(|e| HipacError::Io(e.to_string()))?;
+    match wait_reply_raw(&mut reader, &mut stream, 2)? {
+        // `Ok`: the peer was at (or already past) this epoch.
+        // `StaleEpoch`: the peer just fenced itself against our newer
+        // epoch and refused the frame — exactly the intended effect.
+        Reply::Ok => Ok(()),
+        Reply::Err { ref kind, .. } if kind == "StaleEpoch" => Ok(()),
+        other => Err(HipacError::Io(format!("fence frame refused: {other:?}"))),
+    }
+}
+
+/// Blocking read until the response with `id` arrives (probe
+/// connections only — anything else on the wire is irrelevant here).
+fn wait_reply_raw(reader: &mut TickReader, stream: &mut TcpStream, id: u64) -> Result<Reply> {
+    let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+    while Instant::now() < deadline {
+        match reader.poll(stream) {
+            Ok(Some(payload)) => match Frame::decode(&payload) {
+                Ok(Frame::Response { id: got, reply }) if got == id => return Ok(reply),
+                Ok(_) => {}
+                Err(e) => return Err(HipacError::Io(format!("bad frame: {e}"))),
+            },
+            Ok(None) => {}
+            Err(e) => return Err(HipacError::Io(e.to_string())),
+        }
+    }
+    Err(HipacError::Io("probe timed out".into()))
 }

@@ -40,5 +40,7 @@ pub use disk::DiskManager;
 pub use fault::{FaultPoint, FaultPolicy};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
-pub use store::{DurableStore, StoreOp, REPL_APPLIED_KEY};
-pub use wal::{TailRead, Wal, WalBatch, WalRecord};
+pub use store::{
+    batch_digest, fold_digest, DurableStore, StoreOp, REPL_APPLIED_KEY, REPL_SNAPSHOT_SENTINEL,
+};
+pub use wal::{TailRead, TailTruncate, Wal, WalBatch, WalRecord};

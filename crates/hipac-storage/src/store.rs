@@ -26,7 +26,7 @@ use crate::disk::{sync_dir, DiskManager};
 use crate::fault::{FaultPoint, FaultPolicy};
 use crate::heap::{HeapFile, RecordId};
 use crate::page::PageId;
-use crate::wal::{TailRead, Wal, WalRecord};
+use crate::wal::{TailRead, TailTruncate, Wal, WalRecord};
 use hipac_common::{HipacError, Result, TxnId};
 use parking_lot::Mutex;
 use std::ops::Bound;
@@ -42,6 +42,57 @@ use std::time::{Duration, Instant};
 /// excluded from snapshots and from applied batches so a promoted
 /// primary's own watermark never leaks downstream.
 pub const REPL_APPLIED_KEY: &[u8] = b"z";
+
+/// Watermark sentinel a rejoining ex-primary writes when its divergent
+/// WAL tail is no longer truncatable (a checkpoint baked it into the
+/// data file): subscribing from `u64::MAX` is always
+/// [`TailRead::OutOfRange`], forcing a full snapshot resync instead of
+/// silently chaining onto unrelated LSNs.
+pub const REPL_SNAPSHOT_SENTINEL: u64 = u64::MAX;
+
+/// Checksum of one replicated batch, for the anti-entropy digest: a
+/// 64-bit FNV-1a over the batch's resume LSN, committing transaction
+/// and every operation in log order. Both ends of a replication stream
+/// hash the batches they ship/apply and fold them with
+/// [`fold_digest`]; equal folds mean byte-equivalent histories.
+pub fn batch_digest(next_lsn: u64, txn: TxnId, ops: &[StoreOp]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&next_lsn.to_le_bytes());
+    eat(&txn.raw().to_le_bytes());
+    for op in ops {
+        match op {
+            StoreOp::Put { key, value } => {
+                eat(&[1]);
+                eat(&(key.len() as u64).to_le_bytes());
+                eat(key);
+                eat(&(value.len() as u64).to_le_bytes());
+                eat(value);
+            }
+            StoreOp::Delete { key } => {
+                eat(&[2]);
+                eat(&(key.len() as u64).to_le_bytes());
+                eat(key);
+            }
+        }
+    }
+    h
+}
+
+/// Fold one [`batch_digest`] into a running stream digest. The rotate
+/// keeps the fold order-sensitive (swapped batches change the result)
+/// while staying a single-word accumulator that is cheap to exchange
+/// on every heartbeat.
+pub fn fold_digest(acc: u64, batch: u64) -> u64 {
+    acc.rotate_left(7) ^ batch
+}
 
 /// The `(key, value)` pairs of a [`DurableStore::snapshot_for_repl`]
 /// bootstrap snapshot.
@@ -311,6 +362,16 @@ pub struct DurableStore {
     dir: PathBuf,
     inner: Mutex<Inner>,
     group: GroupCommit,
+    /// Cached view of the `repl.epoch` sidecar (see
+    /// [`DurableStore::set_repl_epoch`]); the file is authoritative,
+    /// these atomics only mirror it for lock-free reads on the
+    /// replication hot path.
+    repl_epoch: AtomicU64,
+    repl_fence_prev: AtomicU64,
+    repl_fence_start: AtomicU64,
+    repl_fenced: AtomicU64,
+    /// Serializes epoch-sidecar rewrites (rare: promotion / fencing).
+    epoch_write: StdMutex<()>,
 }
 
 impl DurableStore {
@@ -381,6 +442,8 @@ impl DurableStore {
                 WalRecord::Checkpoint => current = None,
             }
         }
+        let (epoch, fence_prev, fence_start, fenced) =
+            Self::read_epoch_file(&Self::epoch_path(dir));
         Ok(DurableStore {
             dir: dir.to_path_buf(),
             inner: Mutex::new(Inner {
@@ -390,6 +453,11 @@ impl DurableStore {
                 faults,
             }),
             group: GroupCommit::from_env(),
+            repl_epoch: AtomicU64::new(epoch),
+            repl_fence_prev: AtomicU64::new(fence_prev),
+            repl_fence_start: AtomicU64::new(fence_start),
+            repl_fenced: AtomicU64::new(fenced),
+            epoch_write: StdMutex::new(()),
         })
     }
 
@@ -865,6 +933,160 @@ impl DurableStore {
             _ => Ok(None),
         }
     }
+
+    /// Overwrite the replica watermark directly (rejoin repair only —
+    /// normal application always rides [`DurableStore::apply_replicated`]).
+    /// A fenced ex-primary's stale watermark lives in the *old*
+    /// primary's LSN space; chaining the new primary's stream onto it
+    /// would either refuse forever or, worse, silently line up with an
+    /// unrelated LSN. Rejoin therefore rewrites it to the new primary's
+    /// fence LSN (tail truncated) or [`REPL_SNAPSHOT_SENTINEL`] (tail
+    /// gone, snapshot forced) before subscribing.
+    pub fn set_replicated_watermark(&self, lsn: u64) -> Result<()> {
+        self.commit(
+            TxnId(0),
+            &[StoreOp::Put {
+                key: REPL_APPLIED_KEY.to_vec(),
+                value: lsn.to_le_bytes().to_vec(),
+            }],
+        )
+    }
+
+    // ---- replication epoch (split-brain fencing) ---------------------------
+
+    fn epoch_path(dir: &Path) -> PathBuf {
+        dir.join("repl.epoch")
+    }
+
+    /// Read the `repl.epoch` sidecar: `(epoch, fence_prev,
+    /// fence_start)`. Missing or torn reads as all-zero — epoch 0 is
+    /// the pre-failover world where fencing never triggers, exactly the
+    /// pre-v9 behavior.
+    fn read_epoch_file(path: &Path) -> (u64, u64, u64, u64) {
+        match std::fs::read(path) {
+            Ok(b) if b.len() >= 24 => (
+                u64::from_le_bytes(b[..8].try_into().unwrap()),
+                u64::from_le_bytes(b[8..16].try_into().unwrap()),
+                u64::from_le_bytes(b[16..24].try_into().unwrap()),
+                // A fourth word marks a fence adoption awaiting
+                // divergence repair; 24-byte files predate it = clean.
+                if b.len() >= 32 {
+                    u64::from_le_bytes(b[24..32].try_into().unwrap())
+                } else {
+                    0
+                },
+            ),
+            _ => (0, 0, 0, 0),
+        }
+    }
+
+    /// Atomically replace the `repl.epoch` sidecar (tmp + fsync +
+    /// rename + directory fsync — the `.base` sidecar's pattern).
+    fn write_epoch_file(
+        path: &Path,
+        epoch: u64,
+        fence_prev: u64,
+        fence_start: u64,
+        fenced: u64,
+    ) -> Result<()> {
+        let tmp = path.with_extension("epoch.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            use std::io::Write as _;
+            f.write_all(&epoch.to_le_bytes())?;
+            f.write_all(&fence_prev.to_le_bytes())?;
+            f.write_all(&fence_start.to_le_bytes())?;
+            f.write_all(&fenced.to_le_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            sync_dir(dir)?;
+        }
+        Ok(())
+    }
+
+    /// The replication epoch this store last durably observed. Epochs
+    /// are bumped by promotion and only ever move forward; a batch
+    /// stamped with an older epoch comes from a deposed primary.
+    pub fn repl_epoch(&self) -> u64 {
+        self.repl_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The fence recorded with the current epoch: `(fence_prev,
+    /// fence_start)`. `fence_prev` is the *old* primary's LSN the
+    /// promoting replica had applied (the truncate point for the
+    /// deposed node's divergent tail); `fence_start` is the *new*
+    /// primary's own durable LSN at promotion (where the new stream
+    /// begins). Zero/zero until the first promotion.
+    pub fn repl_fence(&self) -> (u64, u64) {
+        (
+            self.repl_fence_prev.load(Ordering::SeqCst),
+            self.repl_fence_start.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Durably advance the replication epoch (promotion bumps it;
+    /// fencing adopts a newer one observed on the wire). Regressions
+    /// are refused as no-ops so a delayed stale writer can never move
+    /// the store backwards; same-epoch calls may refresh the fence.
+    /// Returns the epoch now in force.
+    pub fn set_repl_epoch(&self, epoch: u64, fence_prev: u64, fence_start: u64) -> Result<u64> {
+        let _guard = self.epoch_write.lock().unwrap();
+        let current = self.repl_epoch.load(Ordering::SeqCst);
+        if epoch < current {
+            return Ok(current);
+        }
+        Self::write_epoch_file(&Self::epoch_path(&self.dir), epoch, fence_prev, fence_start, 0)?;
+        self.repl_fence_prev.store(fence_prev, Ordering::SeqCst);
+        self.repl_fence_start.store(fence_start, Ordering::SeqCst);
+        self.repl_fenced.store(0, Ordering::SeqCst);
+        self.repl_epoch.store(epoch, Ordering::SeqCst);
+        Ok(epoch)
+    }
+
+    /// Durably adopt a newer epoch observed *under duress* — a primary
+    /// discovering on the wire that it was deposed. Unlike
+    /// [`DurableStore::set_repl_epoch`] this leaves the fenced marker
+    /// set: the local WAL may still carry a divergent tail written
+    /// under the old epoch, so the store is not yet safe to resume as
+    /// a replica by raw LSN. `ReplicaNode::rejoin` repairs the tail
+    /// and clears the marker via `set_repl_epoch`. Regressions are
+    /// refused as no-ops; the existing fence coordinates are kept.
+    pub fn fence_epoch(&self, epoch: u64) -> Result<u64> {
+        let _guard = self.epoch_write.lock().unwrap();
+        let current = self.repl_epoch.load(Ordering::SeqCst);
+        if epoch < current {
+            return Ok(current);
+        }
+        let (prev, start) = (
+            self.repl_fence_prev.load(Ordering::SeqCst),
+            self.repl_fence_start.load(Ordering::SeqCst),
+        );
+        Self::write_epoch_file(&Self::epoch_path(&self.dir), epoch, prev, start, 1)?;
+        self.repl_fenced.store(1, Ordering::SeqCst);
+        self.repl_epoch.store(epoch, Ordering::SeqCst);
+        Ok(epoch)
+    }
+
+    /// Whether the current epoch was adopted by fencing (see
+    /// [`DurableStore::fence_epoch`]) and divergence repair has not
+    /// yet run. While set, the store's WAL tail is suspect.
+    pub fn repl_fenced(&self) -> bool {
+        self.repl_fenced.load(Ordering::SeqCst) != 0
+    }
+
+    /// Discard this store's WAL suffix past `to_lsn` *while the store
+    /// is closed* — divergent-tail repair before rejoining as a
+    /// replica. The subsequent [`DurableStore::open`] replays exactly
+    /// checkpoint + retained prefix, i.e. the state at the fence.
+    /// [`TailTruncate::Gone`] means a checkpoint already baked the
+    /// divergent suffix into the data file and the caller must resync
+    /// from a snapshot (see [`REPL_SNAPSHOT_SENTINEL`]).
+    pub fn truncate_wal_tail(dir: &Path, to_lsn: u64) -> Result<TailTruncate> {
+        let (wal, _records) = Wal::open(&dir.join("wal.log"))?;
+        wal.truncate_tail(to_lsn)
+    }
 }
 
 #[cfg(test)]
@@ -1101,6 +1323,125 @@ mod tests {
         drop(store2);
         let recovered = DurableStore::open(&dir2).unwrap();
         assert_eq!(recovered.get(b"k").unwrap(), Some(b"v".to_vec()));
+    }
+
+    #[test]
+    fn repl_epoch_persists_and_never_regresses() {
+        let dir = tmpdir("epoch");
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            assert_eq!(store.repl_epoch(), 0);
+            assert_eq!(store.set_repl_epoch(3, 100, 200).unwrap(), 3);
+            assert_eq!(store.repl_epoch(), 3);
+            assert_eq!(store.repl_fence(), (100, 200));
+            // A stale epoch cannot move the store backwards.
+            assert_eq!(store.set_repl_epoch(1, 0, 0).unwrap(), 3);
+            assert_eq!(store.repl_fence(), (100, 200));
+        }
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.repl_epoch(), 3);
+        assert_eq!(store.repl_fence(), (100, 200));
+    }
+
+    #[test]
+    fn fence_epoch_marks_store_dirty_until_repair() {
+        let dir = tmpdir("epoch-fence");
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            assert!(!store.repl_fenced());
+            // Fencing adopts the epoch but keeps the repair marker set
+            // and the old fence coordinates intact.
+            assert_eq!(store.set_repl_epoch(1, 10, 20).unwrap(), 1);
+            assert_eq!(store.fence_epoch(2).unwrap(), 2);
+            assert!(store.repl_fenced());
+            assert_eq!(store.repl_fence(), (10, 20));
+            // Stale fence attempts are no-ops.
+            assert_eq!(store.fence_epoch(1).unwrap(), 2);
+        }
+        // The marker survives restart; clean adoption clears it.
+        let store = DurableStore::open(&dir).unwrap();
+        assert!(store.repl_fenced());
+        assert_eq!(store.set_repl_epoch(2, 30, 40).unwrap(), 2);
+        assert!(!store.repl_fenced());
+        drop(store);
+        assert!(!DurableStore::open(&dir).unwrap().repl_fenced());
+    }
+
+    #[test]
+    fn truncate_wal_tail_repairs_closed_store() {
+        let dir = tmpdir("tail-repair");
+        let fence;
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            store.commit(TxnId(1), &[put(b"kept", b"1")]).unwrap();
+            fence = store.durable_lsn();
+            store.commit(TxnId(2), &[put(b"divergent", b"2")]).unwrap();
+        }
+        assert_eq!(
+            DurableStore::truncate_wal_tail(&dir, fence).unwrap(),
+            TailTruncate::Done
+        );
+        let store = DurableStore::open(&dir).unwrap();
+        assert_eq!(store.get(b"kept").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(store.get(b"divergent").unwrap(), None);
+        assert_eq!(store.durable_lsn(), fence);
+    }
+
+    #[test]
+    fn truncate_wal_tail_gone_after_checkpoint() {
+        let dir = tmpdir("tail-gone");
+        let fence;
+        {
+            let store = DurableStore::open(&dir).unwrap();
+            store.commit(TxnId(1), &[put(b"a", b"1")]).unwrap();
+            fence = store.durable_lsn();
+            store.commit(TxnId(2), &[put(b"b", b"2")]).unwrap();
+            // The checkpoint bakes the divergent batch into data.db:
+            // WAL truncation can no longer undo it.
+            store.checkpoint().unwrap();
+        }
+        assert_eq!(
+            DurableStore::truncate_wal_tail(&dir, fence).unwrap(),
+            TailTruncate::Gone
+        );
+    }
+
+    #[test]
+    fn snapshot_sentinel_watermark_forces_out_of_range() {
+        let dir = tmpdir("sentinel");
+        let store = DurableStore::open(&dir).unwrap();
+        store
+            .set_replicated_watermark(REPL_SNAPSHOT_SENTINEL)
+            .unwrap();
+        assert_eq!(
+            store.replicated_applied_lsn().unwrap(),
+            Some(REPL_SNAPSHOT_SENTINEL)
+        );
+        match store.read_batches_from(REPL_SNAPSHOT_SENTINEL, 1 << 20).unwrap() {
+            TailRead::OutOfRange { .. } => {}
+            other => panic!("sentinel must force a snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let b1 = batch_digest(100, TxnId(1), &[put(b"a", b"1")]);
+        let b2 = batch_digest(200, TxnId(2), &[put(b"b", b"2")]);
+        assert_ne!(b1, b2);
+        assert_ne!(
+            b1,
+            batch_digest(100, TxnId(1), &[put(b"a", b"x")]),
+            "value change must change the digest"
+        );
+        assert_ne!(
+            fold_digest(fold_digest(0, b1), b2),
+            fold_digest(fold_digest(0, b2), b1),
+            "fold must be order-sensitive"
+        );
+        assert_ne!(
+            batch_digest(100, TxnId(1), &[put(b"a", b"1")]),
+            batch_digest(100, TxnId(1), &[del(b"a")]),
+        );
     }
 
     #[test]

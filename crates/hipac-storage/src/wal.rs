@@ -184,6 +184,23 @@ pub enum TailRead {
     OutOfRange { start_lsn: u64, durable_lsn: u64 },
 }
 
+/// Result of one [`Wal::truncate_tail`] call (divergent-tail repair
+/// when a fenced ex-primary rejoins as a replica).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailTruncate {
+    /// The suffix past `to_lsn` was discarded; the log now ends exactly
+    /// at the fence point.
+    Done,
+    /// The log already ends at or before `to_lsn` — nothing diverged.
+    NothingToDo,
+    /// `to_lsn` is no longer addressable in this log: it predates the
+    /// retained [`Wal::start_lsn`] (a checkpoint baked the divergent
+    /// suffix into the data file) or does not fall on a frame boundary.
+    /// Truncation cannot repair the divergence; the caller must discard
+    /// local state and resync from a snapshot.
+    Gone,
+}
+
 struct WalInner {
     file: File,
     /// LSN of byte 0 of the current log file.
@@ -216,7 +233,7 @@ impl Wal {
         faults: Arc<FaultPolicy>,
     ) -> Result<(Wal, Vec<WalRecord>)> {
         let base_path = Self::base_sidecar(path);
-        let (base, pending_truncate) = Self::read_sidecar(&base_path);
+        let (base, pending_truncate, pending_tail) = Self::read_sidecar(&base_path);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -230,7 +247,15 @@ impl Wal {
             // fresh LSNs. Complete the truncate, then clear the flag.
             file.set_len(0)?;
             file.sync_all()?;
-            Self::write_sidecar(&base_path, base, false)?;
+            Self::write_sidecar(&base_path, base, false, None)?;
+        } else if let Some(target) = pending_tail {
+            // A crash interrupted [`Wal::truncate_tail`] after the
+            // intent was persisted but before the file was cut: the
+            // bytes past `target` are a divergent suffix that must not
+            // survive. Complete the cut, then clear the flag.
+            file.set_len(target)?;
+            file.sync_all()?;
+            Self::write_sidecar(&base_path, base, false, None)?;
         }
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)?;
@@ -261,34 +286,51 @@ impl Wal {
         PathBuf::from(p)
     }
 
-    /// Read the `.base` sidecar: `(base, pending_truncate)`. The v1
-    /// format was 8 bytes of base; v2 appends 8 flag bytes (bit 0 =
-    /// a reset's truncate may not have reached the log file yet). A
+    /// Read the `.base` sidecar: `(base, pending_truncate,
+    /// pending_tail_target)`. The v1 format was 8 bytes of base; v2
+    /// appends 8 flag bytes (bit 0 = a reset's truncate-to-zero may not
+    /// have reached the log file yet); v3 appends an 8-byte tail target
+    /// length consulted when flag bit 1 is set (a
+    /// [`Wal::truncate_tail`] cut may not have reached the file yet). A
     /// missing or torn sidecar reads as base 0 — safe because the
     /// sidecar is only ever replaced atomically via rename.
-    fn read_sidecar(path: &Path) -> (u64, bool) {
+    fn read_sidecar(path: &Path) -> (u64, bool, Option<u64>) {
         match std::fs::read(path) {
-            Ok(b) if b.len() >= 16 => (
-                u64::from_le_bytes(b[..8].try_into().unwrap()),
-                u64::from_le_bytes(b[8..16].try_into().unwrap()) & 1 != 0,
-            ),
-            Ok(b) if b.len() >= 8 => (u64::from_le_bytes(b[..8].try_into().unwrap()), false),
-            _ => (0, false),
+            Ok(b) if b.len() >= 16 => {
+                let base = u64::from_le_bytes(b[..8].try_into().unwrap());
+                let flags = u64::from_le_bytes(b[8..16].try_into().unwrap());
+                let tail = if flags & 2 != 0 && b.len() >= 24 {
+                    Some(u64::from_le_bytes(b[16..24].try_into().unwrap()))
+                } else {
+                    None
+                };
+                (base, flags & 1 != 0, tail)
+            }
+            Ok(b) if b.len() >= 8 => (u64::from_le_bytes(b[..8].try_into().unwrap()), false, None),
+            _ => (0, false, None),
         }
     }
 
     /// Atomically replace the `.base` sidecar (tmp + fsync + rename +
     /// directory fsync), so no crash point can leave it torn.
-    fn write_sidecar(path: &Path, base: u64, pending_truncate: bool) -> Result<()> {
+    fn write_sidecar(
+        path: &Path,
+        base: u64,
+        pending_truncate: bool,
+        pending_tail: Option<u64>,
+    ) -> Result<()> {
         let tmp = {
             let mut p = path.as_os_str().to_os_string();
             p.push(".tmp");
             PathBuf::from(p)
         };
         {
+            let flags =
+                u64::from(pending_truncate) | if pending_tail.is_some() { 2 } else { 0 };
             let mut f = File::create(&tmp)?;
             f.write_all(&base.to_le_bytes())?;
-            f.write_all(&u64::from(pending_truncate).to_le_bytes())?;
+            f.write_all(&flags.to_le_bytes())?;
+            f.write_all(&pending_tail.unwrap_or(0).to_le_bytes())?;
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
@@ -386,15 +428,62 @@ impl Wal {
         let mut inner = self.inner.lock();
         self.faults.hit(FaultPoint::WalReset)?;
         let new_base = inner.base + inner.len;
-        Self::write_sidecar(&self.base_path, new_base, true)?;
+        Self::write_sidecar(&self.base_path, new_base, true, None)?;
         inner.file.set_len(0)?;
         inner.file.seek(SeekFrom::Start(0))?;
         inner.file.sync_all()?;
-        Self::write_sidecar(&self.base_path, new_base, false)?;
+        Self::write_sidecar(&self.base_path, new_base, false, None)?;
         inner.base = new_base;
         inner.len = 0;
         inner.synced_len = 0;
         Ok(())
+    }
+
+    /// Discard every byte past `to_lsn` — divergent-tail repair for a
+    /// fenced ex-primary rejoining as a replica. `to_lsn` must be a
+    /// batch resume point previously handed out by this log
+    /// ([`TailRead::Batches::next_lsn`]); anything else — including a
+    /// fence point that a later checkpoint already folded into the data
+    /// file — reports [`TailTruncate::Gone`] and the caller resyncs
+    /// from a snapshot instead. The cut uses the same two-phase sidecar
+    /// protocol as [`Wal::reset`]: intent (flag bit 1 + target length)
+    /// is durable before the file shrinks, so a crash at any point
+    /// either keeps the full tail or completes the cut on reopen —
+    /// never leaves a half-addressed suffix.
+    pub fn truncate_tail(&self, to_lsn: u64) -> Result<TailTruncate> {
+        let mut inner = self.inner.lock();
+        let end_lsn = inner.base + inner.len;
+        if to_lsn >= end_lsn {
+            return Ok(TailTruncate::NothingToDo);
+        }
+        if to_lsn < inner.base {
+            return Ok(TailTruncate::Gone);
+        }
+        let target = to_lsn - inner.base;
+        if target > 0 {
+            // The cut must land on a frame boundary: a mid-frame target
+            // would leave a torn head that the next open silently scans
+            // away, losing an arbitrary extra suffix. Verify against
+            // the actual frame layout before committing the intent.
+            let mut raw = vec![0u8; inner.len as usize];
+            inner.file.seek(SeekFrom::Start(0))?;
+            inner.file.read_exact(&mut raw)?;
+            let append_pos = inner.len;
+            inner.file.seek(SeekFrom::Start(append_pos))?;
+            let (records, _) = Self::scan(&raw);
+            if !records.iter().any(|(_, end)| *end as u64 == target) {
+                return Ok(TailTruncate::Gone);
+            }
+        }
+        let base = inner.base;
+        Self::write_sidecar(&self.base_path, base, false, Some(target))?;
+        inner.file.set_len(target)?;
+        inner.file.seek(SeekFrom::Start(target))?;
+        inner.file.sync_all()?;
+        Self::write_sidecar(&self.base_path, base, false, None)?;
+        inner.len = target;
+        inner.synced_len = target;
+        Ok(TailTruncate::Done)
     }
 
     /// Current log size in bytes.
@@ -662,5 +751,78 @@ mod tests {
         let mut enc = WalRecord::Checkpoint.encode();
         enc.push(0);
         assert!(WalRecord::decode(&enc).is_err());
+    }
+
+    fn commit_batch(wal: &Wal, txn: u64, key: &[u8]) {
+        wal.append_all(&[
+            WalRecord::Begin { txn: TxnId(txn) },
+            WalRecord::Put {
+                txn: TxnId(txn),
+                key: key.to_vec(),
+                value: b"v".to_vec(),
+            },
+            WalRecord::Commit { txn: TxnId(txn) },
+        ])
+        .unwrap();
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn truncate_tail_discards_divergent_suffix() {
+        let path = tmp("trunc-tail");
+        let (wal, _) = Wal::open(&path).unwrap();
+        commit_batch(&wal, 1, b"a");
+        let fence = wal.durable_lsn();
+        commit_batch(&wal, 2, b"b");
+        commit_batch(&wal, 3, b"c");
+        assert_eq!(wal.truncate_tail(fence).unwrap(), TailTruncate::Done);
+        assert_eq!(wal.durable_lsn(), fence);
+        // Idempotent: the log already ends at the fence.
+        assert_eq!(wal.truncate_tail(fence).unwrap(), TailTruncate::NothingToDo);
+        drop(wal);
+        let (_w, records) = Wal::open(&path).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                WalRecord::Begin { txn: TxnId(1) },
+                WalRecord::Put {
+                    txn: TxnId(1),
+                    key: b"a".to_vec(),
+                    value: b"v".to_vec(),
+                },
+                WalRecord::Commit { txn: TxnId(1) },
+            ]
+        );
+    }
+
+    #[test]
+    fn truncate_tail_rejects_non_boundary_and_retired_points() {
+        let path = tmp("trunc-gone");
+        let (wal, _) = Wal::open(&path).unwrap();
+        commit_batch(&wal, 1, b"a");
+        let fence = wal.durable_lsn();
+        commit_batch(&wal, 2, b"b");
+        // Mid-frame: not a frame boundary.
+        assert_eq!(wal.truncate_tail(fence + 3).unwrap(), TailTruncate::Gone);
+        // Checkpoint retires everything; an old fence predates the base.
+        wal.reset().unwrap();
+        commit_batch(&wal, 3, b"c");
+        assert_eq!(wal.truncate_tail(fence).unwrap(), TailTruncate::Gone);
+    }
+
+    #[test]
+    fn pending_tail_truncate_completes_on_reopen() {
+        let path = tmp("trunc-pending");
+        let (wal, _) = Wal::open(&path).unwrap();
+        commit_batch(&wal, 1, b"a");
+        let fence = wal.durable_lsn();
+        commit_batch(&wal, 2, b"b");
+        drop(wal);
+        // Simulate a crash after the intent reached the sidecar but
+        // before the file was cut.
+        Wal::write_sidecar(&Wal::base_sidecar(&path), 0, false, Some(fence)).unwrap();
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 3, "only the first batch survives");
+        assert_eq!(wal.durable_lsn(), fence);
     }
 }

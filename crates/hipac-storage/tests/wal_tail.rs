@@ -466,3 +466,80 @@ fn misaligned_resume_in_final_bytes_forces_snapshot() {
     assert!(batches.is_empty());
     assert_eq!(next_lsn, durable);
 }
+
+/// The gap-refusal + watermark-resume contract must hold when the
+/// producing store runs group commit: cohorts share one fsync, so the
+/// batch boundaries the shipper sees come from concurrent committers
+/// racing into a flush window, not from a quiet serial append. A
+/// skipped cohort batch is still refused with `ReplGap`, and resuming
+/// from the replica's durable watermark — exactly what a follower does
+/// when it resubscribes after the refusal — replays the remainder to
+/// byte-identical contents.
+#[test]
+fn gap_refusal_and_watermark_resume_under_group_commit() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let a_dir = tmpdir("gap-gc-primary");
+    let b_dir = tmpdir("gap-gc-replica");
+    let a = Arc::new(DurableStore::open(&a_dir).unwrap());
+    a.set_group_commit(true, Duration::from_micros(200));
+
+    // Concurrent committers so flush cohorts actually form.
+    let threads: Vec<_> = (0..4u64)
+        .map(|w| {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let txn = w * 1000 + i;
+                    let key = format!("k{w}-{i}");
+                    a.commit(TxnId(txn), &[put(key.as_bytes(), b"v")]).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let TailRead::Batches { batches, .. } = a.read_batches_from(0, 1 << 24).unwrap() else {
+        panic!("in range");
+    };
+    assert_eq!(
+        batches.iter().map(|b| b.ops.len()).sum::<usize>(),
+        100,
+        "every committed op must ship exactly once"
+    );
+
+    let b = DurableStore::open(&b_dir).unwrap();
+    // Apply a prefix, then skip one batch: refused, store untouched.
+    let split = batches.len() / 2;
+    let mut chain = 0;
+    for bt in &batches[..split] {
+        b.apply_replicated(&bt.ops, chain, bt.next_lsn).unwrap();
+        chain = bt.next_lsn;
+    }
+    let skipped = &batches[split + 1];
+    let err = b
+        .apply_replicated(&skipped.ops, skipped.start_lsn, skipped.next_lsn)
+        .unwrap_err();
+    assert!(matches!(err, HipacError::ReplGap { .. }), "got {err}");
+    assert_eq!(
+        b.replicated_applied_lsn().unwrap(),
+        Some(chain),
+        "a refused batch must not move the watermark"
+    );
+
+    // The resubscribe path: resume shipping from the replica's durable
+    // watermark and apply the rest.
+    let TailRead::Batches { batches: rest, .. } = a.read_batches_from(chain, 1 << 24).unwrap()
+    else {
+        panic!("the watermark is a valid resume point");
+    };
+    for bt in &rest {
+        b.apply_replicated(&bt.ops, chain, bt.next_lsn).unwrap();
+        chain = bt.next_lsn;
+    }
+    assert_eq!(chain, a.durable_lsn());
+    assert_eq!(contents(&a), contents(&b));
+}

@@ -290,6 +290,32 @@ pub struct EngineStats {
     pub group_commit_txns: u64,
     /// Largest cohort a single fsync has covered.
     pub group_commit_largest: u64,
+    /// Replication epoch this node operates under (v9): bumped by
+    /// promotion, adopted from the wire when fenced, 0 in a
+    /// never-promoted fleet.
+    pub repl_epoch: u64,
+    /// Divergence LSN (previous epoch's space) recorded at this node's
+    /// last promotion — the truncate point for a rejoining ex-primary.
+    pub repl_fence_prev: u64,
+    /// This node's durable LSN at its last promotion — the watermark a
+    /// rejoining ex-primary resubscribes from.
+    pub repl_fence_start: u64,
+    /// Replication messages refused (or refusals received) for
+    /// carrying a stale epoch.
+    pub repl_stale_epochs: u64,
+    /// Replicas currently subscribed to this primary's hub.
+    pub repl_peers: u64,
+    /// Lowest progress watermark across subscribed replicas.
+    pub repl_min_peer_applied: u64,
+    /// Peers whose anti-entropy stream digest matches the primary's.
+    pub repl_digest_ok_peers: u64,
+    /// Digest comparisons that disagreed (cumulative).
+    pub repl_digest_mismatches: u64,
+    /// Replica acks required to release a semi-sync commit (0 when
+    /// semi-sync is off).
+    pub repl_quorum: u64,
+    /// 1 while the latest semi-sync wait met its quorum.
+    pub repl_quorum_ok: u64,
 }
 
 /// The assembled active DBMS.
@@ -491,6 +517,16 @@ impl ActiveDatabase {
             group_commits: gc.map(|g| g.groups).unwrap_or(0),
             group_commit_txns: gc.map(|g| g.grouped_txns).unwrap_or(0),
             group_commit_largest: gc.map(|g| g.largest_group).unwrap_or(0),
+            repl_epoch: self.repl.epoch.load(Relaxed),
+            repl_fence_prev: self.repl.fence_prev.load(Relaxed),
+            repl_fence_start: self.repl.fence_start.load(Relaxed),
+            repl_stale_epochs: self.repl.stale_epochs.load(Relaxed),
+            repl_peers: self.repl.peers.load(Relaxed),
+            repl_min_peer_applied: self.repl.min_peer_applied.load(Relaxed),
+            repl_digest_ok_peers: self.repl.digest_ok_peers.load(Relaxed),
+            repl_digest_mismatches: self.repl.digest_mismatches.load(Relaxed),
+            repl_quorum: self.repl.quorum.load(Relaxed),
+            repl_quorum_ok: self.repl.quorum_ok.load(Relaxed),
         }
     }
 

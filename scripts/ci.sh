@@ -56,7 +56,14 @@ cargo test -q -p hipac-repl
 echo "==> failover torture (fixed seeds 101/202/303, exactly-once across promotion)"
 cargo test -q -p hipac-check --test failover_torture
 
-echo "==> repl bench cell (lag, replica vs primary serving, failover time)"
+echo "==> split-brain torture (fixed seeds 101/202/303, epoch fence + divergence repair + 3-replica quorum)"
+cargo test -q -p hipac-check --test splitbrain_torture
+
+echo "==> ReplGap resubscribe under group commit (cohort batch boundaries)"
+cargo test -q -p hipac-check --test repl_gap
+cargo test -q -p hipac-storage --test wal_tail gap
+
+echo "==> repl bench cell (lag, replica vs primary serving, failover + splitbrain + quorum)"
 cargo run --release -q -p hipac-bench --bin report -- --only repl --smoke --json repl
 
 echo "==> group commit: tier-1 engine suites in both commit modes"
